@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 12-a/b/c: FunctionBench invocations and the
+//! image-processing chain under each flavour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_memsim::CoreKind;
+use hpmp_penglai::TeeFlavor;
+use hpmp_workloads::serverless::{image_chain, invoke, Function};
+use hpmp_workloads::TeeBench;
+use std::time::Duration;
+
+const FLAVORS: [TeeFlavor; 3] =
+    [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp];
+
+fn fig12ac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_serverless");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for function in [Function::Dd, Function::Chameleon, Function::Matmul] {
+        for flavor in FLAVORS {
+            let id = BenchmarkId::new(format!("cold/{function}"), flavor.to_string());
+            group.bench_function(id, |b| {
+                let mut tee = TeeBench::boot(flavor, CoreKind::Rocket);
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    invoke(&mut tee, function, seed).expect("invocation")
+                });
+            });
+        }
+    }
+    for flavor in FLAVORS {
+        let id = BenchmarkId::new("image_chain/64", flavor.to_string());
+        group.bench_function(id, |b| {
+            b.iter(|| image_chain(flavor, CoreKind::Rocket, 64).expect("chain"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12ac);
+criterion_main!(benches);

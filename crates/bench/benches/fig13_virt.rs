@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 13: virtualized (two-stage) access latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_machine::VirtScheme;
+use hpmp_memsim::CoreKind;
+use hpmp_workloads::latency::{measure_virt, VIRT_CASES};
+use std::time::Duration;
+
+fn fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_virt");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for scheme in [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp,
+                   VirtScheme::HpmpGpt]
+    {
+        for case in VIRT_CASES {
+            let id = BenchmarkId::new(scheme.to_string(), case.to_string());
+            group.bench_with_input(id, &case, |b, &case| {
+                b.iter(|| measure_virt(CoreKind::Rocket, scheme, case));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 17: FunctionBench with 8 vs 32 PWC entries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_machine::MachineConfig;
+use hpmp_penglai::TeeFlavor;
+use hpmp_workloads::serverless::{invoke, Function};
+use hpmp_workloads::TeeBench;
+use std::time::Duration;
+
+fn fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_pwc");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
+        for pwc_entries in [8usize, 32] {
+            let id = BenchmarkId::new(flavor.to_string(), format!("pwc{pwc_entries}"));
+            group.bench_function(id, |b| {
+                let mut config = MachineConfig::rocket();
+                config.pwc.entries = pwc_entries;
+                let mut tee = TeeBench::boot_with_config(flavor, config);
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    invoke(&mut tee, Function::Dd, seed).expect("invocation")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig17);
+criterion_main!(benches);

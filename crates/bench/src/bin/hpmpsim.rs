@@ -1,0 +1,245 @@
+//! `hpmpsim` — run one workload under a chosen configuration and print the
+//! machine-level statistics.
+//!
+//! ```text
+//! hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]
+//!         [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]
+//!         [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]
+//!         [--encryption CYCLES] [--epmp]
+//! ```
+//!
+//! Unlike `repro` (which regenerates the paper's tables), this is the
+//! kick-the-tires tool: pick a stack, run a workload, read the counters.
+
+use hpmp_core::PmptwCacheConfig;
+use hpmp_machine::MachineConfig;
+use hpmp_memsim::CoreKind;
+use hpmp_penglai::TeeFlavor;
+use hpmp_workloads::TeeBench;
+
+#[derive(Debug)]
+struct Options {
+    flavor: TeeFlavor,
+    core: CoreKind,
+    workload: String,
+    pwc: Option<usize>,
+    pmptw_cache: Option<usize>,
+    tlb_inlining: bool,
+    encryption: u64,
+    epmp: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]\n\
+         \x20              [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]\n\
+         \x20              [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]\n\
+         \x20              [--encryption CYCLES] [--epmp]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        flavor: TeeFlavor::PenglaiHpmp,
+        core: CoreKind::Rocket,
+        workload: "serverless".to_string(),
+        pwc: None,
+        pmptw_cache: None,
+        tlb_inlining: true,
+        encryption: 0,
+        epmp: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--flavor" => {
+                options.flavor = match value("--flavor").as_str() {
+                    "pmp" => TeeFlavor::PenglaiPmp,
+                    "pmpt" => TeeFlavor::PenglaiPmpt,
+                    "hpmp" => TeeFlavor::PenglaiHpmp,
+                    other => {
+                        eprintln!("unknown flavor {other}");
+                        usage()
+                    }
+                }
+            }
+            "--core" => {
+                options.core = match value("--core").as_str() {
+                    "rocket" => CoreKind::Rocket,
+                    "boom" => CoreKind::Boom,
+                    other => {
+                        eprintln!("unknown core {other}");
+                        usage()
+                    }
+                }
+            }
+            "--workload" => options.workload = value("--workload"),
+            "--pwc" => options.pwc = value("--pwc").parse().ok(),
+            "--pmptw-cache" => options.pmptw_cache = value("--pmptw-cache").parse().ok(),
+            "--no-tlb-inlining" => options.tlb_inlining = false,
+            "--encryption" => {
+                options.encryption = value("--encryption").parse().unwrap_or(0)
+            }
+            "--epmp" => options.epmp = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    options
+}
+
+fn machine_config(options: &Options) -> MachineConfig {
+    let mut config = match options.core {
+        CoreKind::Rocket => MachineConfig::rocket(),
+        CoreKind::Boom => MachineConfig::boom(),
+    };
+    if let Some(entries) = options.pwc {
+        config.pwc.entries = entries;
+    }
+    if let Some(entries) = options.pmptw_cache {
+        config.pmptw_cache = PmptwCacheConfig { entries };
+    }
+    config.tlb_inlining = options.tlb_inlining;
+    config.mem = config.mem.with_encryption(options.encryption);
+    if options.epmp {
+        config.hpmp_entries = hpmp_core::EPMP_ENTRIES;
+    }
+    config
+}
+
+fn main() {
+    let options = parse_args();
+    println!(
+        "hpmpsim: {} on {} running '{}' (pwc={:?}, pmptw-cache={:?}, inlining={}, \
+         encryption={}c, entries={})",
+        options.flavor,
+        options.core,
+        options.workload,
+        options.pwc,
+        options.pmptw_cache,
+        options.tlb_inlining,
+        options.encryption,
+        if options.epmp { 64 } else { 16 },
+    );
+
+    let config = machine_config(&options);
+    let cycles = match options.workload.as_str() {
+        "serverless" => {
+            let mut tee = TeeBench::boot_with_config(options.flavor, config);
+            let mut total = 0;
+            for (i, function) in hpmp_workloads::serverless::FUNCTIONS.iter().enumerate() {
+                total += hpmp_workloads::serverless::invoke(&mut tee, *function, i as u64)
+                    .expect("invocation");
+            }
+            report_machine(&tee);
+            total
+        }
+        "redis" => {
+            let mut server = hpmp_workloads::redis::RedisServer::start(
+                options.flavor,
+                options.core,
+                hpmp_workloads::redis::DEFAULT_DATASET_PAGES,
+            )
+            .expect("server");
+            let mut total = 0;
+            for cmd in hpmp_workloads::redis::REDIS_COMMANDS {
+                for _ in 0..50 {
+                    total += server.serve(cmd).expect("request");
+                }
+            }
+            total
+        }
+        "gap" => {
+            let graph = hpmp_workloads::gap::default_graph();
+            let mut total = 0;
+            for kernel in hpmp_workloads::gap::GAP_KERNELS {
+                total += hpmp_workloads::gap::run_gap(options.flavor, options.core, kernel,
+                                                      &graph, 5_000)
+                    .expect("kernel");
+            }
+            total
+        }
+        "rv8" => {
+            let mut total = 0;
+            for kernel in hpmp_workloads::rv8::RV8_KERNELS {
+                total += hpmp_workloads::rv8::run_rv8(options.flavor, options.core, kernel)
+                    .expect("kernel");
+            }
+            total
+        }
+        "lmbench" => {
+            let mut ctx =
+                hpmp_workloads::lmbench::LmbenchContext::new(options.flavor, options.core)
+                    .expect("boot");
+            let mut total = 0;
+            for syscall in hpmp_workloads::lmbench::SYSCALLS {
+                for _ in 0..10 {
+                    total += ctx.run(syscall).expect("syscall");
+                }
+            }
+            total
+        }
+        "virtapp" => {
+            let scheme = match options.flavor {
+                TeeFlavor::PenglaiPmp => hpmp_machine::VirtScheme::Pmp,
+                TeeFlavor::PenglaiPmpt => hpmp_machine::VirtScheme::PmpTable,
+                TeeFlavor::PenglaiHpmp => hpmp_machine::VirtScheme::Hpmp,
+            };
+            let out = hpmp_workloads::virt_app::run_guest_kv(
+                options.core,
+                scheme,
+                hpmp_workloads::virt_app::GUEST_DATASET_PAGES,
+                500,
+            );
+            println!("  cycles/request: {:.0}", out.cycles_per_request());
+            out.cycles
+        }
+        "tenancy" => {
+            let out = hpmp_workloads::multi_tenant::run_tenancy(options.flavor, options.core,
+                                                                100, 2)
+                .expect("tenancy");
+            println!("  tenants: {} (entry wall: {})", out.tenants, out.hit_entry_wall);
+            out.total_cycles
+        }
+        other => {
+            eprintln!("unknown workload {other}");
+            usage()
+        }
+    };
+
+    let core = hpmp_memsim::CoreModel::for_kind(options.core);
+    println!("  total cycles : {cycles}");
+    println!("  wall time    : {:.3} ms (at {} MHz)", core.cycles_to_ns(cycles) / 1e6,
+             core.clock_mhz);
+}
+
+fn report_machine(tee: &TeeBench) {
+    let stats = tee.machine.stats();
+    let tlb = tee.machine.tlb_stats();
+    let mem = tee.machine.mem_stats();
+    println!("  accesses     : {} ({} walks, {:.1}% TLB hit)", stats.accesses, stats.walks,
+             tlb.hit_rate() * 100.0);
+    println!(
+        "  references   : {} PT, {} data, {} pmpte(PT), {} pmpte(data)",
+        stats.refs.pt_reads, stats.refs.data_reads, stats.refs.pmpte_for_pt,
+        stats.refs.pmpte_for_data,
+    );
+    println!(
+        "  hierarchy    : L1 {:.1}% | L2 {:.1}% | LLC {:.1}% hit; {} DRAM row hits / {} misses",
+        mem.l1.hit_rate() * 100.0,
+        mem.l2.hit_rate() * 100.0,
+        mem.llc.hit_rate() * 100.0,
+        mem.dram.row_hits,
+        mem.dram.row_misses,
+    );
+}

@@ -1,0 +1,118 @@
+//! # hpmp-bench
+//!
+//! The reproduction harness: text-table formatting shared by the `repro`
+//! binary (which regenerates every table and figure of the paper) and the
+//! Criterion benches.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table with a title, printed in the style of
+/// the paper's tables.
+#[derive(Clone, Debug)]
+pub struct Report {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Report {
+        Report {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row; missing cells render empty, extras are kept.
+    pub fn row(&mut self, cells: &[String]) -> &mut Report {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a free-form note printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Report {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "{cell:<w$}  ");
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(100)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats `value` as a percentage of `baseline` (`"110.0%"`).
+pub fn pct(value: u64, baseline: u64) -> String {
+    format!("{:.1}%", value as f64 * 100.0 / baseline as f64)
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct_f(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("T", &["a", "long-header", "c"]);
+        r.row(&["x".into(), "y".into(), "zzz".into()]);
+        r.note("hello");
+        let s = r.render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: hello"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("a "));
+        assert!(lines[3].starts_with("x "));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(110, 100), "110.0%");
+        assert_eq!(pct_f(0.155), "15.5%");
+    }
+}

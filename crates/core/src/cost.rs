@@ -1,0 +1,148 @@
+//! Analytic hardware-cost model (the Table 4 substitution).
+//!
+//! The paper reports Vivado utilisation for the FPGA top module; we cannot
+//! synthesize RTL in this environment, so we estimate the *delta* HPMP adds
+//! from first principles: the new state bits (PMPTW walker registers,
+//! PMPTW-Cache tags/data), comparators (entry match, cache lookup) and
+//! muxing, expressed as LUT/FF counts with standard per-bit factors. The
+//! baseline absolute numbers are taken from the paper's Table 4 so the
+//! *percentages* — the claim under test (≈1% LUT, <1% FF, zero BRAM/DSP) —
+//! are comparable. This is an estimate, not a synthesis result; see
+//! DESIGN.md §2.
+
+/// Parameters describing an HPMP hardware instantiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardwareParams {
+    /// Number of HPMP entries.
+    pub entries: usize,
+    /// PMPTW-Cache entries (0 when disabled).
+    pub pmptw_cache_entries: usize,
+    /// Whether the hypervisor extension is present (widens physical-address
+    /// datapaths and duplicates some matching logic for the G stage).
+    pub hypervisor: bool,
+}
+
+impl HardwareParams {
+    /// The evaluated prototype: 16 entries, cache disabled, no hypervisor.
+    pub fn prototype() -> HardwareParams {
+        HardwareParams { entries: 16, pmptw_cache_entries: 0, hypervisor: false }
+    }
+
+    /// The hypervisor-enabled prototype (the "+H" columns of Table 4).
+    pub fn prototype_hypervisor() -> HardwareParams {
+        HardwareParams { entries: 16, pmptw_cache_entries: 0, hypervisor: true }
+    }
+}
+
+/// Estimated resource deltas and totals for the FPGA top module.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceReport {
+    /// Baseline LUTs (from the paper's Table 4).
+    pub baseline_lut: u64,
+    /// LUTs with HPMP.
+    pub hpmp_lut: u64,
+    /// Baseline flip-flops.
+    pub baseline_ff: u64,
+    /// Flip-flops with HPMP.
+    pub hpmp_ff: u64,
+    /// Block-RAM delta (always zero: PMP Tables live in DRAM).
+    pub bram_delta: u64,
+    /// DSP delta (always zero: no multipliers in the checker).
+    pub dsp_delta: u64,
+}
+
+impl ResourceReport {
+    /// LUT overhead as a percentage of the baseline.
+    pub fn lut_cost_percent(&self) -> f64 {
+        (self.hpmp_lut - self.baseline_lut) as f64 * 100.0 / self.baseline_lut as f64
+    }
+
+    /// FF overhead as a percentage of the baseline.
+    pub fn ff_cost_percent(&self) -> f64 {
+        (self.hpmp_ff - self.baseline_ff) as f64 * 100.0 / self.baseline_ff as f64
+    }
+}
+
+/// Estimates the Table 4 resource report for `params`.
+///
+/// The component model:
+/// * **PMPTW state machine**: a 2-state walker with a 56-bit address
+///   register, 64-bit pmpte latch, level counter and region-offset adder.
+/// * **Entry decode**: one extra AND/MUX per entry for the `T` bit, plus the
+///   Mode/PPN field extraction of the pointer slot.
+/// * **PMPTW-Cache**: per entry a ~44-bit tag comparator and 64-bit payload.
+/// * **TLB inlining**: 3 permission bits per TLB entry (64 L1 + 1024 L2).
+pub fn estimate_resources(params: &HardwareParams) -> ResourceReport {
+    // Baselines from the paper's Table 4 (Rocket/BOOM SoC top module).
+    let (baseline_lut, baseline_ff) =
+        if params.hypervisor { (249_026, 260_073) } else { (248_292, 258_498) };
+
+    // Flip-flops: walker registers + per-entry T-bit pipeline + cache state
+    // + inlined TLB permission bits.
+    let walker_ff = 56 + 64 + 3 + 34; // addr, pmpte latch, FSM, offset
+    let entry_ff = params.entries as u64; // registered T decode per entry
+    let cache_ff = params.pmptw_cache_entries as u64 * (44 + 64 + 3); // tag+data+lru
+    let tlb_inline_ff = (64 + 1024) * 3 / 16; // amortised: perm bits fold into existing arrays
+    let hyp_ff = if params.hypervisor { 1600 } else { 0 }; // wider datapaths, G-stage plumbing
+    let ff_delta = walker_ff + entry_ff + cache_ff + tlb_inline_ff + hyp_ff;
+
+    // LUTs: comparator trees and muxes. ~2 LUTs per compared bit for the
+    // offset split/indexing, ~1.5 per mux bit on the permission path.
+    let walker_lut = 2 * (34 + 9 + 9 + 4) + 3 * 64; // offset split + pmpte decode
+    let entry_lut = params.entries as u64 * 70; // T-bit gating + pointer extraction
+    let cache_lut = params.pmptw_cache_entries as u64 * (44 * 2 + 16);
+    let match_lut = 900; // priority mux rework for skipped pointer slots
+    let hyp_lut = if params.hypervisor { 600 } else { 0 };
+    let lut_delta = walker_lut + entry_lut + cache_lut + match_lut + hyp_lut;
+
+    ResourceReport {
+        baseline_lut,
+        hpmp_lut: baseline_lut + lut_delta,
+        baseline_ff,
+        hpmp_ff: baseline_ff + ff_delta,
+        bram_delta: 0,
+        dsp_delta: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_costs_are_small() {
+        let report = estimate_resources(&HardwareParams::prototype());
+        // The paper's claim: ~1% LUT, ~0.2% FF, zero BRAM/DSP.
+        assert!(report.lut_cost_percent() < 2.0, "LUT cost {}", report.lut_cost_percent());
+        assert!(report.ff_cost_percent() < 1.0, "FF cost {}", report.ff_cost_percent());
+        assert_eq!(report.bram_delta, 0);
+        assert_eq!(report.dsp_delta, 0);
+    }
+
+    #[test]
+    fn hypervisor_variant_costs_more() {
+        let base = estimate_resources(&HardwareParams::prototype());
+        let hyp = estimate_resources(&HardwareParams::prototype_hypervisor());
+        assert!(hyp.ff_cost_percent() > base.ff_cost_percent());
+        assert!(hyp.lut_cost_percent() > base.lut_cost_percent());
+        assert!(hyp.ff_cost_percent() < 2.0);
+    }
+
+    #[test]
+    fn cache_adds_resources() {
+        let without = estimate_resources(&HardwareParams::prototype());
+        let with = estimate_resources(&HardwareParams {
+            pmptw_cache_entries: 8,
+            ..HardwareParams::prototype()
+        });
+        assert!(with.hpmp_lut > without.hpmp_lut);
+        assert!(with.hpmp_ff > without.hpmp_ff);
+    }
+
+    #[test]
+    fn report_percentages_positive() {
+        let r = estimate_resources(&HardwareParams::prototype());
+        assert!(r.lut_cost_percent() > 0.0);
+        assert!(r.ff_cost_percent() > 0.0);
+    }
+}

@@ -1,0 +1,703 @@
+//! The HPMP register file and permission checker (§4.2).
+//!
+//! HPMP keeps PMP's 16 (`addr`, `config`) entry pairs and its static
+//! priority: the lowest-numbered entry covering any byte of an access
+//! decides. Each entry is either
+//!
+//! * **segment mode** (`T = 0`): the config register's R/W/X is the
+//!   effective permission for the whole region — a zero-memory-reference
+//!   check; or
+//! * **table mode** (`T = 1`): permissions come from a PMP Table whose root
+//!   page (and depth, via the `Mode` field) is recorded in the *next*
+//!   entry's address register; the checker walks the table, issuing the
+//!   pmpte reads reported in [`CheckOutcome::refs`].
+//!
+//! An entry whose predecessor is in table mode is a table-pointer register
+//! and never participates in address matching. The last entry cannot be in
+//! table mode (it has no successor to hold the pointer).
+
+use hpmp_memsim::{AccessKind, Perms, PhysAddr, PrivMode, WordStore};
+
+use crate::pmp::{napot_decode, napot_encode, AddressMode, PmpConfig, PmpRegion};
+use crate::ptw_cache::PmptwCache;
+use crate::table::{self, LeafPmpte, PmptRef, RootPmpte, TableLevels, TableOffset};
+
+/// Number of HPMP entries in the prototype ("our prototype supports 16
+/// entries").
+pub const HPMP_ENTRIES: usize = 16;
+
+/// Entry count with the ePMP extension (§4.3: "future RISC-V processors
+/// will support 64 PMP entries with the ePMP extension. With 64 entries, a
+/// CPU can use 2-level tables to manage 512GB of memory").
+pub const EPMP_ENTRIES: usize = 64;
+
+/// Encodes a table pointer for the HPMP address register (Figure 6-b):
+/// `Mode` in bits 63:62, PPN in bits 43:0.
+pub fn table_pointer_encode(root: PhysAddr, levels: TableLevels) -> u64 {
+    (levels.to_mode_bits() << 62) | (root.page_number() & ((1 << 44) - 1))
+}
+
+/// Decodes a table-pointer address register into `(root, levels)`; `None`
+/// for the reserved `Mode` encoding.
+pub fn table_pointer_decode(reg: u64) -> Option<(PhysAddr, TableLevels)> {
+    let levels = TableLevels::from_mode_bits(reg >> 62)?;
+    Some((PhysAddr::new((reg & ((1 << 44) - 1)) << 12), levels))
+}
+
+/// Error from register-file configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HpmpError {
+    /// Entry index out of range.
+    BadIndex(usize),
+    /// The last entry cannot be in table mode.
+    LastEntryTableMode,
+    /// The entry (or its pointer slot) is locked.
+    Locked(usize),
+    /// Region cannot be encoded (not NAPOT-representable).
+    BadRegion,
+    /// The region exceeds the reach of the configured table depth.
+    RegionTooLarge,
+    /// The successor entry is in use as a matching entry.
+    PointerSlotBusy(usize),
+}
+
+impl std::fmt::Display for HpmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HpmpError::BadIndex(i) => write!(f, "HPMP entry index {i} out of range"),
+            HpmpError::LastEntryTableMode => {
+                f.write_str("last HPMP entry cannot be in table mode")
+            }
+            HpmpError::Locked(i) => write!(f, "HPMP entry {i} is locked"),
+            HpmpError::BadRegion => f.write_str("region is not NAPOT-encodable"),
+            HpmpError::RegionTooLarge => f.write_str("region exceeds PMP-table reach"),
+            HpmpError::PointerSlotBusy(i) => {
+                write!(f, "entry {i} needed as table pointer but is active")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HpmpError {}
+
+/// Outcome of one HPMP permission check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Whether the access is permitted.
+    pub allowed: bool,
+    /// The effective permission found (empty when no entry matched).
+    pub perms: Perms,
+    /// Index of the entry that decided, if any.
+    pub matched_entry: Option<usize>,
+    /// pmpte memory references performed by the PMP Table walker (empty in
+    /// segment mode or on a PMPTW-Cache leaf hit).
+    pub refs: Vec<PmptRef>,
+}
+
+impl CheckOutcome {
+    fn denied() -> CheckOutcome {
+        CheckOutcome { allowed: false, perms: Perms::NONE, matched_entry: None, refs: Vec::new() }
+    }
+}
+
+/// The HPMP register file (16 entries in the prototype; up to 64 with the
+/// ePMP extension via [`HpmpRegFile::with_entries`]).
+///
+/// ```
+/// use hpmp_core::{HpmpRegFile, PmpRegion, PmptwCache};
+/// use hpmp_memsim::{AccessKind, Perms, PhysAddr, PhysMem, PrivMode};
+///
+/// let mut regs = HpmpRegFile::new();
+/// regs.configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000_0000),
+///                        Perms::RW).unwrap();
+/// let mem = PhysMem::new();
+/// let mut cache = PmptwCache::disabled();
+/// let out = regs.check(&mem, &mut cache, PhysAddr::new(0x8080_0000),
+///                      AccessKind::Read, PrivMode::Supervisor);
+/// assert!(out.allowed);
+/// assert!(out.refs.is_empty()); // segment mode: zero memory references
+/// ```
+#[derive(Clone, Debug)]
+pub struct HpmpRegFile {
+    addr: Vec<u64>,
+    cfg: Vec<PmpConfig>,
+    /// CSR writes performed (the monitor's domain-switch cost metric).
+    csr_writes: u64,
+}
+
+impl Default for HpmpRegFile {
+    fn default() -> HpmpRegFile {
+        HpmpRegFile::new()
+    }
+}
+
+impl HpmpRegFile {
+    /// Creates the prototype's 16-entry register file with every entry off.
+    pub fn new() -> HpmpRegFile {
+        HpmpRegFile::with_entries(HPMP_ENTRIES)
+    }
+
+    /// Creates a register file with `entries` entries (16 for the
+    /// prototype, [`EPMP_ENTRIES`] for the ePMP variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not in `2..=64` — an HPMP file needs at least
+    /// one matching entry plus one pointer slot, and the ePMP ceiling is 64.
+    pub fn with_entries(entries: usize) -> HpmpRegFile {
+        assert!((2..=EPMP_ENTRIES).contains(&entries), "HPMP supports 2..=64 entries");
+        HpmpRegFile {
+            addr: vec![0; entries],
+            cfg: vec![PmpConfig::default(); entries],
+            csr_writes: 0,
+        }
+    }
+
+    /// Number of entries in this register file.
+    pub fn len(&self) -> usize {
+        self.addr.len()
+    }
+
+    /// True if the file has no entries (never: construction requires ≥ 2).
+    pub fn is_empty(&self) -> bool {
+        self.addr.is_empty()
+    }
+
+    /// Raw read of an address register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn addr_reg(&self, idx: usize) -> u64 {
+        self.addr[idx]
+    }
+
+    /// Raw read of a config register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn cfg_reg(&self, idx: usize) -> PmpConfig {
+        self.cfg[idx]
+    }
+
+    /// Number of CSR writes performed since construction (or
+    /// [`HpmpRegFile::reset_csr_writes`]).
+    pub fn csr_writes(&self) -> u64 {
+        self.csr_writes
+    }
+
+    /// Clears the CSR-write counter.
+    pub fn reset_csr_writes(&mut self) {
+        self.csr_writes = 0;
+    }
+
+    /// Raw WARL write of an address register (M-mode only, enforced by the
+    /// caller holding `&mut self`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the entry is locked or out of range.
+    pub fn write_addr(&mut self, idx: usize, value: u64) -> Result<(), HpmpError> {
+        if idx >= self.len() {
+            return Err(HpmpError::BadIndex(idx));
+        }
+        if self.cfg[idx].locked() {
+            return Err(HpmpError::Locked(idx));
+        }
+        self.addr[idx] = value;
+        self.csr_writes += 1;
+        Ok(())
+    }
+
+    /// Raw WARL write of a config register.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the entry is locked, out of range, or sets table mode on the
+    /// last entry.
+    pub fn write_cfg(&mut self, idx: usize, cfg: PmpConfig) -> Result<(), HpmpError> {
+        if idx >= self.len() {
+            return Err(HpmpError::BadIndex(idx));
+        }
+        if self.cfg[idx].locked() {
+            return Err(HpmpError::Locked(idx));
+        }
+        if cfg.table_mode() && idx == self.len() - 1 {
+            return Err(HpmpError::LastEntryTableMode);
+        }
+        self.cfg[idx] = cfg;
+        self.csr_writes += 1;
+        Ok(())
+    }
+
+    /// Configures entry `idx` as a segment covering `region` with `perms`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region is not NAPOT-encodable or the entry is locked.
+    pub fn configure_segment(
+        &mut self,
+        idx: usize,
+        region: PmpRegion,
+        perms: Perms,
+    ) -> Result<(), HpmpError> {
+        if !region.is_napot() {
+            return Err(HpmpError::BadRegion);
+        }
+        self.write_addr(idx, napot_encode(region.base, region.size))?;
+        self.write_cfg(idx, PmpConfig::new(perms, AddressMode::Napot))
+    }
+
+    /// Configures entry `idx` in table mode covering `region`, with the PMP
+    /// Table rooted at `root` (depth `levels`). Entry `idx + 1` becomes the
+    /// table-pointer register.
+    ///
+    /// # Errors
+    ///
+    /// Fails for the last entry, non-NAPOT regions, regions beyond the
+    /// table's reach, or locked entries.
+    pub fn configure_table(
+        &mut self,
+        idx: usize,
+        region: PmpRegion,
+        root: PhysAddr,
+        levels: TableLevels,
+    ) -> Result<(), HpmpError> {
+        if idx >= self.len() - 1 {
+            return Err(HpmpError::LastEntryTableMode);
+        }
+        if !region.is_napot() {
+            return Err(HpmpError::BadRegion);
+        }
+        if region.size > levels.reach() {
+            return Err(HpmpError::RegionTooLarge);
+        }
+        self.write_addr(idx, napot_encode(region.base, region.size))?;
+        self.write_cfg(
+            idx,
+            PmpConfig::new(Perms::NONE, AddressMode::Napot).with_table_mode(true),
+        )?;
+        self.write_addr(idx + 1, table_pointer_encode(root, levels))?;
+        // The pointer slot's own config must not match anything.
+        self.write_cfg(idx + 1, PmpConfig::new(Perms::NONE, AddressMode::Off))
+    }
+
+    /// Disables entry `idx` (and its pointer slot if it was in table mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the entry is locked or out of range.
+    pub fn disable(&mut self, idx: usize) -> Result<(), HpmpError> {
+        if idx >= self.len() {
+            return Err(HpmpError::BadIndex(idx));
+        }
+        let was_table = self.cfg[idx].table_mode();
+        self.write_cfg(idx, PmpConfig::new(Perms::NONE, AddressMode::Off))?;
+        if was_table {
+            self.write_addr(idx + 1, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Switches an existing entry between segment and table interpretation
+    /// by flipping only the `T` bit — the paper's "easily switch any entry
+    /// between segment and table modes by changing T bit".
+    ///
+    /// # Errors
+    ///
+    /// Fails on locked entries or table mode in the last entry.
+    pub fn set_table_mode(&mut self, idx: usize, table: bool) -> Result<(), HpmpError> {
+        if idx >= self.len() {
+            return Err(HpmpError::BadIndex(idx));
+        }
+        let cfg = self.cfg[idx].with_table_mode(table);
+        self.write_cfg(idx, cfg)
+    }
+
+    /// The region matched by entry `idx`, if it is active and not a pointer
+    /// slot.
+    pub fn entry_region(&self, idx: usize) -> Option<PmpRegion> {
+        if idx >= self.len() || self.is_pointer_slot(idx) {
+            return None;
+        }
+        match self.cfg[idx].address_mode() {
+            AddressMode::Off => None,
+            AddressMode::Napot => {
+                let (base, size) = napot_decode(self.addr[idx]);
+                Some(PmpRegion::new(base, size))
+            }
+            AddressMode::Na4 => Some(PmpRegion::new(PhysAddr::new(self.addr[idx] << 2), 4)),
+            AddressMode::Tor => {
+                let top = self.addr[idx] << 2;
+                let bottom = if idx == 0 { 0 } else { self.addr[idx - 1] << 2 };
+                (top > bottom).then(|| PmpRegion::new(PhysAddr::new(bottom), top - bottom))
+            }
+        }
+    }
+
+    /// True if entry `idx` is consumed as a table-pointer register by its
+    /// predecessor.
+    pub fn is_pointer_slot(&self, idx: usize) -> bool {
+        idx > 0 && self.cfg[idx - 1].table_mode()
+            && self.cfg[idx - 1].address_mode() != AddressMode::Off
+    }
+
+    /// Performs the HPMP permission check for one physical access.
+    ///
+    /// M-mode accesses bypass HPMP unless the matching entry is locked, as
+    /// in standard PMP. The pmpte reads performed by the table walker are
+    /// returned in [`CheckOutcome::refs`]; the caller charges them to the
+    /// cache hierarchy.
+    pub fn check(
+        &self,
+        mem: &dyn WordStore,
+        cache: &mut PmptwCache,
+        addr: PhysAddr,
+        kind: AccessKind,
+        mode: PrivMode,
+    ) -> CheckOutcome {
+        for idx in 0..self.len() {
+            if self.is_pointer_slot(idx) {
+                continue;
+            }
+            let Some(region) = self.entry_region(idx) else { continue };
+            if !region.contains(addr) {
+                continue;
+            }
+            // Lowest-numbered matching entry decides.
+            let cfg = self.cfg[idx];
+            if mode == PrivMode::Machine && !cfg.locked() {
+                return CheckOutcome {
+                    allowed: true,
+                    perms: Perms::RWX,
+                    matched_entry: Some(idx),
+                    refs: Vec::new(),
+                };
+            }
+            if !cfg.table_mode() {
+                let perms = cfg.perms();
+                return CheckOutcome {
+                    allowed: perms.allows(kind),
+                    perms,
+                    matched_entry: Some(idx),
+                    refs: Vec::new(),
+                };
+            }
+            // Table mode: walk the PMP Table via the next entry's pointer.
+            let Some((root, levels)) = table_pointer_decode(self.addr[idx + 1]) else {
+                return CheckOutcome::denied();
+            };
+            let offset = addr.offset_from(region.base);
+            let (perms, refs) =
+                walk_with_cache(mem, cache, idx, root, levels, region.base, addr, offset);
+            let perms = perms.unwrap_or(Perms::NONE);
+            return CheckOutcome {
+                allowed: perms.allows(kind),
+                perms,
+                matched_entry: Some(idx),
+                refs,
+            };
+        }
+        // No entry matched: M-mode has default full access, S/U none.
+        if mode == PrivMode::Machine {
+            CheckOutcome {
+                allowed: true,
+                perms: Perms::RWX,
+                matched_entry: None,
+                refs: Vec::new(),
+            }
+        } else {
+            CheckOutcome::denied()
+        }
+    }
+}
+
+/// Walks a table-mode entry's PMP Table, consulting the PMPTW-Cache.
+#[allow(clippy::too_many_arguments)]
+fn walk_with_cache(
+    mem: &dyn WordStore,
+    cache: &mut PmptwCache,
+    entry_idx: usize,
+    root: PhysAddr,
+    levels: TableLevels,
+    region_base: PhysAddr,
+    addr: PhysAddr,
+    offset: u64,
+) -> (Option<Perms>, Vec<PmptRef>) {
+    if !cache.is_disabled() && levels == TableLevels::Two {
+        // Fast path: leaf pmpte cached => zero references.
+        if let Some(perms) = cache.lookup_leaf(entry_idx, offset) {
+            return ((!perms.is_empty()).then_some(perms), Vec::new());
+        }
+        // Root pmpte cached => one reference (the leaf read).
+        if let Some(root_pmpte) = cache.lookup_root(entry_idx, offset) {
+            if !root_pmpte.is_valid() {
+                return (None, Vec::new());
+            }
+            if root_pmpte.is_huge() {
+                return (Some(root_pmpte.perms()), Vec::new());
+            }
+            let split = TableOffset::split(offset);
+            let leaf_slot = PhysAddr::new(root_pmpte.leaf_table().raw() + split.off0 * 8);
+            let leaf = LeafPmpte::from_bits(mem.read_u64(leaf_slot));
+            cache.insert_leaf(entry_idx, offset, leaf);
+            let perms = leaf.perm(split.page_index);
+            return (
+                (!perms.is_empty()).then_some(perms),
+                vec![PmptRef { is_root: false, addr: leaf_slot }],
+            );
+        }
+        cache.record_miss();
+    }
+    let walk = table::walk_from_root(mem, root, levels, region_base, addr, offset);
+    // Refill the cache from the full walk.
+    if !cache.is_disabled() && levels == TableLevels::Two {
+        for r in &walk.refs {
+            if r.is_root {
+                cache.insert_root(entry_idx, offset, RootPmpte::from_bits(mem.read_u64(r.addr)));
+            } else {
+                cache.insert_leaf(entry_idx, offset, LeafPmpte::from_bits(mem.read_u64(r.addr)));
+            }
+        }
+    }
+    (walk.perms, walk.refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptw_cache::PmptwCacheConfig;
+    use crate::table::PmpTable;
+    use hpmp_memsim::{FrameAllocator, PhysMem, PAGE_SIZE};
+
+    const S: PrivMode = PrivMode::Supervisor;
+
+    fn table_fixture() -> (PhysMem, PmpTable, HpmpRegFile) {
+        let mut mem = PhysMem::new();
+        let mut frames = FrameAllocator::new(PhysAddr::new(0x1_0000_0000), 64 * PAGE_SIZE);
+        let region = PmpRegion::new(PhysAddr::new(0x9000_0000), 1 << 28);
+        let mut table = PmpTable::new(region, &mut mem, &mut frames).unwrap();
+        table
+            .set_page_perm(&mut mem, &mut frames, PhysAddr::new(0x9000_2000), Perms::RW)
+            .unwrap();
+        let mut regs = HpmpRegFile::new();
+        regs.configure_table(0, region, table.root(), TableLevels::Two).unwrap();
+        (mem, table, regs)
+    }
+
+    #[test]
+    fn segment_mode_zero_refs() {
+        let mut regs = HpmpRegFile::new();
+        regs.configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000), Perms::RX)
+            .unwrap();
+        let mem = PhysMem::new();
+        let mut cache = PmptwCache::disabled();
+        let out = regs.check(&mem, &mut cache, PhysAddr::new(0x8000_0800), AccessKind::Read, S);
+        assert!(out.allowed);
+        assert!(out.refs.is_empty());
+        assert_eq!(out.matched_entry, Some(0));
+        let out = regs.check(&mem, &mut cache, PhysAddr::new(0x8000_0800), AccessKind::Write, S);
+        assert!(!out.allowed);
+    }
+
+    #[test]
+    fn no_match_denies_s_mode_allows_m_mode() {
+        let regs = HpmpRegFile::new();
+        let mem = PhysMem::new();
+        let mut cache = PmptwCache::disabled();
+        let addr = PhysAddr::new(0x1234_5000);
+        assert!(!regs.check(&mem, &mut cache, addr, AccessKind::Read, S).allowed);
+        assert!(
+            regs.check(&mem, &mut cache, addr, AccessKind::Read, PrivMode::Machine).allowed
+        );
+    }
+
+    #[test]
+    fn table_mode_issues_two_refs() {
+        let (mem, _table, regs) = table_fixture();
+        let mut cache = PmptwCache::disabled();
+        let out =
+            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2abc), AccessKind::Read, S);
+        assert!(out.allowed);
+        assert_eq!(out.refs.len(), 2);
+        // A page the table never granted: denied after the walk.
+        let out =
+            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_3000), AccessKind::Read, S);
+        assert!(!out.allowed);
+    }
+
+    #[test]
+    fn priority_lowest_entry_wins() {
+        let (mut mem, _table, mut regs) = table_fixture();
+        // Entry 0/1 already hold the table. Put a *higher-priority* segment
+        // in front by reconfiguring: move table to 2, segment at 0.
+        let region = PmpRegion::new(PhysAddr::new(0x9000_0000), 1 << 28);
+        let root = table_pointer_decode(regs.addr_reg(1)).unwrap().0;
+        let mut regs2 = HpmpRegFile::new();
+        regs2
+            .configure_segment(0, PmpRegion::new(PhysAddr::new(0x9000_0000), 0x1000_0000),
+                               Perms::RWX)
+            .unwrap();
+        regs2.configure_table(2, region, root, TableLevels::Two).unwrap();
+        regs = regs2;
+        let mut cache = PmptwCache::disabled();
+        // Segment (entry 0) matches first: zero refs, allowed even where the
+        // table would deny.
+        let out =
+            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_3000), AccessKind::Write, S);
+        assert!(out.allowed);
+        assert_eq!(out.matched_entry, Some(0));
+        assert!(out.refs.is_empty());
+        let _ = &mut mem;
+    }
+
+    #[test]
+    fn pointer_slot_is_skipped_in_matching() {
+        let (mem, _table, regs) = table_fixture();
+        assert!(regs.is_pointer_slot(1));
+        // Entry 1's addr register holds a PPN that could accidentally match;
+        // verify it never decides an access.
+        let mut cache = PmptwCache::disabled();
+        let out =
+            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2000), AccessKind::Read, S);
+        assert_eq!(out.matched_entry, Some(0));
+    }
+
+    #[test]
+    fn last_entry_rejects_table_mode() {
+        let mut regs = HpmpRegFile::new();
+        let region = PmpRegion::new(PhysAddr::new(0x9000_0000), 1 << 28);
+        assert_eq!(
+            regs.configure_table(15, region, PhysAddr::new(0x1000), TableLevels::Two),
+            Err(HpmpError::LastEntryTableMode)
+        );
+        assert_eq!(
+            regs.write_cfg(15, PmpConfig::new(Perms::NONE, AddressMode::Off)
+                .with_table_mode(true)),
+            Err(HpmpError::LastEntryTableMode)
+        );
+    }
+
+    #[test]
+    fn locked_entry_rejects_writes_and_constrains_m_mode() {
+        let mut regs = HpmpRegFile::new();
+        let region = PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000);
+        regs.configure_segment(0, region, Perms::READ).unwrap();
+        let locked = regs.cfg_reg(0).with_locked();
+        regs.write_cfg(0, locked).unwrap();
+        assert_eq!(regs.write_addr(0, 0), Err(HpmpError::Locked(0)));
+        let mem = PhysMem::new();
+        let mut cache = PmptwCache::disabled();
+        let out = regs.check(&mem, &mut cache, PhysAddr::new(0x8000_0000), AccessKind::Write,
+                             PrivMode::Machine);
+        assert!(!out.allowed); // locked entry constrains M-mode too
+    }
+
+    #[test]
+    fn t_bit_flip_switches_modes() {
+        let (mem, _table, mut regs) = table_fixture();
+        let mut cache = PmptwCache::disabled();
+        // Flip entry 0 to segment mode: permission now comes from the config
+        // register (NONE), so the access is denied without any refs.
+        regs.set_table_mode(0, false).unwrap();
+        let out =
+            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2000), AccessKind::Read, S);
+        assert!(!out.allowed);
+        assert!(out.refs.is_empty());
+        // Flip back: table checked again.
+        regs.set_table_mode(0, true).unwrap();
+        let out =
+            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2000), AccessKind::Read, S);
+        assert!(out.allowed);
+        assert_eq!(out.refs.len(), 2);
+    }
+
+    #[test]
+    fn pmptw_cache_removes_refs() {
+        let (mem, _table, regs) = table_fixture();
+        let mut cache = PmptwCache::new(PmptwCacheConfig::ENABLED_8);
+        let addr = PhysAddr::new(0x9000_2abc);
+        let cold = regs.check(&mem, &mut cache, addr, AccessKind::Read, S);
+        assert_eq!(cold.refs.len(), 2);
+        let warm = regs.check(&mem, &mut cache, addr, AccessKind::Read, S);
+        assert!(warm.allowed);
+        assert_eq!(warm.refs.len(), 0); // leaf pmpte cached
+        // Same 32 MiB slice, different 64 KiB span: root hit, one ref.
+        let near = regs.check(&mem, &mut cache, PhysAddr::new(0x9001_2000), AccessKind::Read, S);
+        assert_eq!(near.refs.len(), 1);
+    }
+
+    #[test]
+    fn table_pointer_encoding_round_trip() {
+        for levels in [TableLevels::One, TableLevels::Two, TableLevels::Three] {
+            let reg = table_pointer_encode(PhysAddr::new(0x8_1234_5000), levels);
+            let (root, decoded) = table_pointer_decode(reg).unwrap();
+            assert_eq!(root, PhysAddr::new(0x8_1234_5000));
+            assert_eq!(decoded, levels);
+        }
+        assert!(table_pointer_decode(3 << 62).is_none());
+    }
+
+    #[test]
+    fn tor_region_matching() {
+        let mut regs = HpmpRegFile::new();
+        regs.write_addr(0, 0x8000_0000 >> 2).unwrap();
+        regs.write_addr(1, 0x8001_0000 >> 2).unwrap();
+        regs.write_cfg(1, PmpConfig::new(Perms::RW, AddressMode::Tor)).unwrap();
+        let region = regs.entry_region(1).unwrap();
+        assert_eq!(region.base, PhysAddr::new(0x8000_0000));
+        assert_eq!(region.size, 0x1_0000);
+    }
+
+    #[test]
+    fn epmp_file_sizes() {
+        let small = HpmpRegFile::with_entries(2);
+        assert_eq!(small.len(), 2);
+        let big = HpmpRegFile::with_entries(64);
+        assert_eq!(big.len(), 64);
+        assert!(!big.is_empty());
+        // Entry 63 exists; 64 does not.
+        let mut big = big;
+        assert!(big.write_addr(63, 1).is_ok());
+        assert_eq!(big.write_addr(64, 1), Err(HpmpError::BadIndex(64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=64")]
+    fn oversized_file_rejected() {
+        HpmpRegFile::with_entries(65);
+    }
+
+    #[test]
+    fn unmatched_na4_entry() {
+        let mut regs = HpmpRegFile::new();
+        regs.write_addr(0, 0x8000_0000 >> 2).unwrap();
+        regs.write_cfg(0, PmpConfig::new(Perms::READ, AddressMode::Na4)).unwrap();
+        let region = regs.entry_region(0).unwrap();
+        assert_eq!(region.size, 4);
+        assert!(region.contains(PhysAddr::new(0x8000_0003)));
+        assert!(!region.contains(PhysAddr::new(0x8000_0004)));
+    }
+
+    #[test]
+    fn tor_with_inverted_bounds_is_inactive() {
+        let mut regs = HpmpRegFile::new();
+        regs.write_addr(0, 0x9000_0000 >> 2).unwrap();
+        regs.write_addr(1, 0x8000_0000 >> 2).unwrap(); // top below bottom
+        regs.write_cfg(1, PmpConfig::new(Perms::RW, AddressMode::Tor)).unwrap();
+        assert_eq!(regs.entry_region(1), None);
+    }
+
+    #[test]
+    fn csr_write_accounting() {
+        let mut regs = HpmpRegFile::new();
+        regs.configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000),
+                               Perms::RW).unwrap();
+        assert_eq!(regs.csr_writes(), 2); // addr + cfg
+        regs.reset_csr_writes();
+        let region = PmpRegion::new(PhysAddr::new(0x9000_0000), 1 << 28);
+        regs.configure_table(2, region, PhysAddr::new(0x1000), TableLevels::Two).unwrap();
+        assert_eq!(regs.csr_writes(), 4); // addr+cfg for entry, addr+cfg for pointer
+    }
+}

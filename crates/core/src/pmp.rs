@@ -1,0 +1,251 @@
+//! RISC-V PMP register formats and address matching (§4.1).
+//!
+//! Standard PMP gives 16 entries, each an (`addr`, `config`) register pair.
+//! The config byte holds `R W X` (bits 0–2), the address-matching mode `A`
+//! (bits 3–4) and the lock bit `L` (bit 7). HPMP claims the previously
+//! reserved bit 5 as the `T` (table-mode) bit — see Figure 6-a — which is
+//! decoded here but given meaning in [`crate::HpmpRegFile`].
+
+use hpmp_memsim::{Perms, PhysAddr};
+
+/// PMP address-matching mode (the `A` field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AddressMode {
+    /// Entry disabled.
+    Off,
+    /// Top-of-range: region is `[prev.addr, this.addr)`.
+    Tor,
+    /// Naturally-aligned four-byte region.
+    Na4,
+    /// Naturally-aligned power-of-two region, size ≥ 8 bytes.
+    Napot,
+}
+
+impl AddressMode {
+    /// Decodes the 2-bit `A` field.
+    pub const fn from_bits(bits: u8) -> AddressMode {
+        match bits & 0b11 {
+            0 => AddressMode::Off,
+            1 => AddressMode::Tor,
+            2 => AddressMode::Na4,
+            _ => AddressMode::Napot,
+        }
+    }
+
+    /// Encodes to the 2-bit `A` field.
+    pub const fn to_bits(self) -> u8 {
+        match self {
+            AddressMode::Off => 0,
+            AddressMode::Tor => 1,
+            AddressMode::Na4 => 2,
+            AddressMode::Napot => 3,
+        }
+    }
+}
+
+/// A decoded PMP/HPMP configuration byte (Figure 6-a).
+///
+/// ```
+/// use hpmp_core::{AddressMode, PmpConfig};
+/// use hpmp_memsim::Perms;
+///
+/// let cfg = PmpConfig::new(Perms::RW, AddressMode::Napot).with_table_mode(true);
+/// let decoded = PmpConfig::from_bits(cfg.to_bits());
+/// assert!(decoded.table_mode());
+/// assert_eq!(decoded.perms(), Perms::RW);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PmpConfig {
+    bits: u8,
+}
+
+impl PmpConfig {
+    const T_BIT: u8 = 1 << 5;
+    const L_BIT: u8 = 1 << 7;
+
+    /// Builds a config with the given permissions and matching mode
+    /// (T and L clear).
+    pub const fn new(perms: Perms, mode: AddressMode) -> PmpConfig {
+        PmpConfig { bits: perms.bits() | (mode.to_bits() << 3) }
+    }
+
+    /// Decodes a raw config byte. Bit 6 is reserved and reads as zero
+    /// (WARL).
+    pub const fn from_bits(bits: u8) -> PmpConfig {
+        PmpConfig { bits: bits & !(1 << 6) }
+    }
+
+    /// Raw byte encoding.
+    pub const fn to_bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The R/W/X permission field. Ignored by hardware when
+    /// [`PmpConfig::table_mode`] is set (the PMP Table supplies permissions).
+    pub const fn perms(self) -> Perms {
+        Perms::from_bits_truncate(self.bits)
+    }
+
+    /// The address-matching mode.
+    pub const fn address_mode(self) -> AddressMode {
+        AddressMode::from_bits(self.bits >> 3)
+    }
+
+    /// The HPMP `T` bit: entry is in table mode.
+    pub const fn table_mode(self) -> bool {
+        self.bits & Self::T_BIT != 0
+    }
+
+    /// The lock bit: entry also constrains M-mode and is write-protected.
+    pub const fn locked(self) -> bool {
+        self.bits & Self::L_BIT != 0
+    }
+
+    /// Returns a copy with the `T` bit set or cleared.
+    pub const fn with_table_mode(self, table: bool) -> PmpConfig {
+        if table {
+            PmpConfig { bits: self.bits | Self::T_BIT }
+        } else {
+            PmpConfig { bits: self.bits & !Self::T_BIT }
+        }
+    }
+
+    /// Returns a copy with the `L` bit set.
+    pub const fn with_locked(self) -> PmpConfig {
+        PmpConfig { bits: self.bits | Self::L_BIT }
+    }
+}
+
+/// Encodes `[base, base + size)` as a NAPOT `pmpaddr` value.
+///
+/// # Panics
+///
+/// Panics if `size` is not a power of two ≥ 8 or `base` is not aligned to
+/// `size`.
+pub fn napot_encode(base: PhysAddr, size: u64) -> u64 {
+    assert!(size.is_power_of_two() && size >= 8, "NAPOT size must be a power of two >= 8");
+    assert!(base.is_aligned(size), "NAPOT base must be size-aligned");
+    // pmpaddr = (base | (size/2 - 1)) >> 2, i.e. low bits 0111..1.
+    (base.raw() | (size / 2 - 1)) >> 2
+}
+
+/// Decodes a NAPOT `pmpaddr` value into `(base, size)`.
+pub fn napot_decode(pmpaddr: u64) -> (PhysAddr, u64) {
+    let trailing = (!pmpaddr).trailing_zeros().min(61);
+    let size = 8u64 << trailing;
+    let base = (pmpaddr & !((1u64 << (trailing + 1)) - 1)) << 2;
+    (PhysAddr::new(base), size)
+}
+
+/// A physical region as matched by a PMP entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PmpRegion {
+    /// Inclusive base address.
+    pub base: PhysAddr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl PmpRegion {
+    /// Builds a region.
+    pub const fn new(base: PhysAddr, size: u64) -> PmpRegion {
+        PmpRegion { base, size }
+    }
+
+    /// Exclusive end address.
+    pub const fn end(self) -> PhysAddr {
+        PhysAddr::new(self.base.raw() + self.size)
+    }
+
+    /// True if `addr` lies inside the region.
+    pub const fn contains(self, addr: PhysAddr) -> bool {
+        addr.raw() >= self.base.raw() && addr.raw() < self.base.raw() + self.size
+    }
+
+    /// True if the region can be expressed as a single NAPOT entry.
+    pub fn is_napot(self) -> bool {
+        self.size.is_power_of_two() && self.size >= 8 && self.base.is_aligned(self.size)
+    }
+}
+
+impl std::fmt::Display for PmpRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.base, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trip() {
+        let cfg = PmpConfig::new(Perms::RX, AddressMode::Tor);
+        assert_eq!(cfg.perms(), Perms::RX);
+        assert_eq!(cfg.address_mode(), AddressMode::Tor);
+        assert!(!cfg.table_mode());
+        assert!(!cfg.locked());
+        let cfg = cfg.with_table_mode(true).with_locked();
+        let decoded = PmpConfig::from_bits(cfg.to_bits());
+        assert!(decoded.table_mode());
+        assert!(decoded.locked());
+        assert_eq!(decoded.address_mode(), AddressMode::Tor);
+    }
+
+    #[test]
+    fn t_bit_is_bit_5() {
+        let cfg = PmpConfig::new(Perms::NONE, AddressMode::Off).with_table_mode(true);
+        assert_eq!(cfg.to_bits() & 0b0010_0000, 0b0010_0000);
+    }
+
+    #[test]
+    fn reserved_bit_reads_zero() {
+        let cfg = PmpConfig::from_bits(0b0100_0000);
+        assert_eq!(cfg.to_bits(), 0);
+    }
+
+    #[test]
+    fn address_mode_codes() {
+        for mode in [AddressMode::Off, AddressMode::Tor, AddressMode::Na4, AddressMode::Napot] {
+            assert_eq!(AddressMode::from_bits(mode.to_bits()), mode);
+        }
+    }
+
+    #[test]
+    fn napot_round_trip() {
+        for (base, size) in [
+            (0x8000_0000u64, 0x1000u64),
+            (0x0, 8),
+            (0x4000_0000, 1 << 30),
+            (0x8020_0000, 2 << 20),
+        ] {
+            let enc = napot_encode(PhysAddr::new(base), size);
+            let (b, s) = napot_decode(enc);
+            assert_eq!((b.raw(), s), (base, size), "case base={base:#x} size={size:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn napot_rejects_non_power_of_two() {
+        napot_encode(PhysAddr::new(0), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn napot_rejects_misaligned_base() {
+        napot_encode(PhysAddr::new(0x1000), 0x2000);
+    }
+
+    #[test]
+    fn region_containment() {
+        let r = PmpRegion::new(PhysAddr::new(0x1000), 0x1000);
+        assert!(r.contains(PhysAddr::new(0x1000)));
+        assert!(r.contains(PhysAddr::new(0x1fff)));
+        assert!(!r.contains(PhysAddr::new(0x2000)));
+        assert!(!r.contains(PhysAddr::new(0xfff)));
+        assert!(r.is_napot());
+        assert!(!PmpRegion::new(PhysAddr::new(0x1000), 0x1800).is_napot());
+        assert_eq!(r.to_string(), "[0x1000, 0x2000)");
+    }
+}

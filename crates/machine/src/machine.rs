@@ -1,0 +1,576 @@
+//! The simulated machine: TLB → PTW → HPMP checker → cache hierarchy.
+//!
+//! [`Machine::access`] reproduces the paper's Figure 2/Figure 4 reference
+//! sequences exactly:
+//!
+//! * TLB hit (with permission inlining): one data reference, no permission
+//!   walk — identical latency for every isolation scheme (TC4).
+//! * TLB miss: for each PT-page reference of the radix walk, a permission
+//!   check (0 refs in segment mode, up to `depth` pmpte reads in table
+//!   mode), then the PTE read; finally the permission check for the data
+//!   page and the data reference itself.
+//!
+//! Every reference is pushed through the shared [`MemSystem`], so warm/cold
+//! behaviour (TC1–TC3), pmpte cache-line sharing, and DRAM row locality all
+//! emerge rather than being hard-coded.
+
+use hpmp_core::{HpmpRegFile, PmptwCache, PmptwCacheConfig};
+use hpmp_memsim::{
+    AccessKind, CoreModel, HitLevel, MemSystem, MemSystemConfig, PhysAddr, PhysMem,
+    PrivMode, VirtAddr,
+};
+use hpmp_paging::{
+    apply_translation, walk, AddressSpace, Tlb, TlbConfig, TlbEntry, TlbHit, WalkCache,
+    WalkCacheConfig,
+};
+
+/// Why an access failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// No valid translation for the virtual address.
+    PageFault(VirtAddr),
+    /// The page-table permission did not allow the access.
+    PtePermission(VirtAddr),
+    /// The isolation layer denied a PT-page reference during the walk.
+    IsolationOnPtPage(PhysAddr),
+    /// The isolation layer denied the data reference.
+    IsolationOnData(PhysAddr),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::PageFault(va) => write!(f, "page fault at {va}"),
+            Fault::PtePermission(va) => write!(f, "PTE permission fault at {va}"),
+            Fault::IsolationOnPtPage(pa) => {
+                write!(f, "isolation fault on PT page at {pa}")
+            }
+            Fault::IsolationOnData(pa) => write!(f, "isolation fault on data at {pa}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Per-access breakdown of memory references, mirroring the squares and
+/// circles of Figures 2 and 4.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefBreakdown {
+    /// Page-table-page reads.
+    pub pt_reads: u64,
+    /// Data (or instruction) reads/writes.
+    pub data_reads: u64,
+    /// pmpte reads caused by checking PT pages.
+    pub pmpte_for_pt: u64,
+    /// pmpte reads caused by checking the data page.
+    pub pmpte_for_data: u64,
+}
+
+impl RefBreakdown {
+    /// Total memory references for the access.
+    pub fn total(&self) -> u64 {
+        self.pt_reads + self.data_reads + self.pmpte_for_pt + self.pmpte_for_data
+    }
+}
+
+/// The result of one successful memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// End-to-end latency in core cycles (pipeline overhead included).
+    pub cycles: u64,
+    /// Reference breakdown.
+    pub refs: RefBreakdown,
+    /// TLB hit level, or `None` when the access walked.
+    pub tlb_hit: Option<TlbHit>,
+    /// Physical address that was accessed.
+    pub paddr: PhysAddr,
+}
+
+/// Aggregate counters for a machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Successful accesses performed.
+    pub accesses: u64,
+    /// Total cycles across those accesses.
+    pub cycles: u64,
+    /// Sum of all reference breakdowns.
+    pub refs: RefBreakdown,
+    /// Faults taken.
+    pub faults: u64,
+    /// TLB-miss walks performed.
+    pub walks: u64,
+}
+
+/// Configuration of a [`Machine`].
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Core timing parameters.
+    pub core: CoreModel,
+    /// Cache/DRAM geometry.
+    pub mem: MemSystemConfig,
+    /// TLB geometry.
+    pub tlb: TlbConfig,
+    /// Page-walk-cache geometry.
+    pub pwc: WalkCacheConfig,
+    /// PMPTW-Cache geometry (disabled by default, per §7).
+    pub pmptw_cache: PmptwCacheConfig,
+    /// TLB permission inlining (§7): when enabled (the default, used by both
+    /// the baseline and HPMP), a TLB hit needs no permission walk; when
+    /// disabled, even TLB hits consult the isolation layer — the paper's
+    /// Implication-2 ablation.
+    pub tlb_inlining: bool,
+    /// HPMP register-file entries (16 for the prototype, 64 with ePMP).
+    pub hpmp_entries: usize,
+}
+
+impl MachineConfig {
+    /// RocketCore SoC per Table 1.
+    pub fn rocket() -> MachineConfig {
+        MachineConfig {
+            core: CoreModel::rocket(),
+            mem: MemSystemConfig::rocket(),
+            tlb: TlbConfig::default(),
+            pwc: WalkCacheConfig::default(),
+            pmptw_cache: PmptwCacheConfig::DISABLED,
+            tlb_inlining: true,
+            hpmp_entries: hpmp_core::HPMP_ENTRIES,
+        }
+    }
+
+    /// BOOM SoC per Table 1.
+    pub fn boom() -> MachineConfig {
+        MachineConfig {
+            core: CoreModel::boom(),
+            mem: MemSystemConfig::boom(),
+            tlb: TlbConfig::default(),
+            pwc: WalkCacheConfig::default(),
+            pmptw_cache: PmptwCacheConfig::DISABLED,
+            tlb_inlining: true,
+            hpmp_entries: hpmp_core::HPMP_ENTRIES,
+        }
+    }
+}
+
+/// A simulated core + MMU + HPMP + memory system.
+///
+/// The isolation *scheme* is not a field: it is whatever the HPMP register
+/// file has been programmed to — all-segment (PMP), all-table (PMP Table) or
+/// hybrid (HPMP) — which is precisely the paper's point that one hardware
+/// structure expresses all three.
+#[derive(Debug)]
+pub struct Machine {
+    core: CoreModel,
+    mem_sys: MemSystem,
+    phys: PhysMem,
+    tlb: Tlb,
+    itlb: Tlb,
+    pwc: WalkCache,
+    pmptw_cache: PmptwCache,
+    regs: HpmpRegFile,
+    tlb_inlining: bool,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Builds a machine with empty physical memory and all HPMP entries off.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            core: config.core,
+            mem_sys: MemSystem::new(config.mem),
+            phys: PhysMem::new(),
+            tlb: Tlb::new(config.tlb),
+            itlb: Tlb::new(config.tlb),
+            pwc: WalkCache::new(config.pwc),
+            pmptw_cache: PmptwCache::new(config.pmptw_cache),
+            regs: HpmpRegFile::with_entries(config.hpmp_entries),
+            tlb_inlining: config.tlb_inlining,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// The core timing model.
+    pub fn core(&self) -> &CoreModel {
+        &self.core
+    }
+
+    /// Simulated physical memory (for building page tables and PMP tables).
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// Mutable access to simulated physical memory.
+    pub fn phys_mut(&mut self) -> &mut PhysMem {
+        &mut self.phys
+    }
+
+    /// The HPMP register file (M-mode software's view).
+    pub fn regs(&self) -> &HpmpRegFile {
+        &self.regs
+    }
+
+    /// Mutable access to the HPMP register file. The caller (the secure
+    /// monitor) must flush the TLB afterwards, as the paper requires —
+    /// [`Machine::sfence_vma_all`] — because permissions are inlined in TLB
+    /// entries.
+    pub fn regs_mut(&mut self) -> &mut HpmpRegFile {
+        &mut self.regs
+    }
+
+    /// The PMPTW-Cache (for stats inspection).
+    pub fn pmptw_cache(&self) -> &PmptwCache {
+        &self.pmptw_cache
+    }
+
+    /// Flushes all TLB, PWC and PMPTW-Cache state (`sfence.vma` +
+    /// HPMP-reconfiguration flush).
+    pub fn sfence_vma_all(&mut self) {
+        self.tlb.flush_all();
+        self.itlb.flush_all();
+        self.pwc.flush_all();
+        self.pmptw_cache.flush_all();
+    }
+
+    /// Flushes translation state for one ASID (`sfence.vma` with ASID).
+    pub fn sfence_vma_asid(&mut self, asid: u16) {
+        self.tlb.flush_asid(asid);
+        self.itlb.flush_asid(asid);
+        self.pwc.flush_asid(asid);
+    }
+
+    /// Flushes one page's translation (`sfence.vma` with address + ASID).
+    /// The PWC is flushed per-ASID: its entries cache non-leaf steps that a
+    /// single-page unmap may invalidate at the leaf level only, but a
+    /// conservative implementation (like ours) drops the ASID's entries.
+    pub fn sfence_vma_page(&mut self, asid: u16, va: VirtAddr) {
+        self.tlb.flush_page(asid, va);
+        self.itlb.flush_page(asid, va);
+        self.pwc.flush_asid(asid);
+    }
+
+    /// Empties all caches and DRAM row buffers — the cold TC1 state.
+    pub fn flush_microarch(&mut self) {
+        self.mem_sys.flush_all();
+        self.sfence_vma_all();
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// TLB counters.
+    pub fn tlb_stats(&self) -> hpmp_paging::TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Memory-system counters.
+    pub fn mem_stats(&self) -> hpmp_memsim::MemSystemStats {
+        self.mem_sys.stats()
+    }
+
+    /// Clears all counters (cache contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = MachineStats::default();
+        self.mem_sys.reset_stats();
+        self.tlb.reset_stats();
+        self.pwc.reset_stats();
+        self.pmptw_cache.reset_stats();
+    }
+
+    /// Performs one data access at `va` in `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] on translation failure, a PTE permission
+    /// violation, or an isolation denial (on a PT page or on the data page).
+    pub fn access(
+        &mut self,
+        space: &AddressSpace,
+        va: VirtAddr,
+        kind: AccessKind,
+        mode: PrivMode,
+    ) -> Result<AccessOutcome, Fault> {
+        self.access_inner(space, va, kind, mode, kind == AccessKind::Fetch)
+    }
+
+    /// Performs one instruction fetch at `va` in `space` — HPMP "applies to
+    /// all memory accesses … including instruction fetches". Fetches use a
+    /// separate I-TLB (Table 1's "L1 I/D TLB 32 entries each") but share the
+    /// walker, the checker and the cache hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::access`], with the X permission required at both
+    /// layers.
+    pub fn fetch(
+        &mut self,
+        space: &AddressSpace,
+        va: VirtAddr,
+        mode: PrivMode,
+    ) -> Result<AccessOutcome, Fault> {
+        self.access_inner(space, va, AccessKind::Fetch, mode, true)
+    }
+
+    fn access_inner(
+        &mut self,
+        space: &AddressSpace,
+        va: VirtAddr,
+        kind: AccessKind,
+        mode: PrivMode,
+        instruction: bool,
+    ) -> Result<AccessOutcome, Fault> {
+        let mut cycles = self.core.pipeline_overhead;
+        let mut refs = RefBreakdown::default();
+
+        // 1. TLB lookup (I-TLB for fetches). Permission inlining means a
+        //    hit needs no isolation-layer work at all.
+        let tlb = if instruction { &mut self.itlb } else { &mut self.tlb };
+        let lookup = tlb.lookup(space.asid(), va);
+        if let Some((entry, hit)) = lookup {
+            if !entry.page_perms.allows(kind) {
+                self.stats.faults += 1;
+                return Err(Fault::PtePermission(va));
+            }
+            let paddr = apply_translation(&entry, va);
+            if self.tlb_inlining {
+                if !entry.isolation_perms.allows(kind) {
+                    self.stats.faults += 1;
+                    return Err(Fault::IsolationOnData(paddr));
+                }
+            } else {
+                // Ablation: no inlining — every access re-checks.
+                let check =
+                    self.regs.check(&self.phys, &mut self.pmptw_cache, paddr, kind, mode);
+                refs.pmpte_for_data += check.refs.len() as u64;
+                cycles += self.charge_pmpte_refs(&check.refs);
+                if !check.allowed {
+                    self.stats.faults += 1;
+                    return Err(Fault::IsolationOnData(paddr));
+                }
+            }
+            if hit == TlbHit::L2 {
+                // Both TLBs share one configuration.
+                cycles += self.tlb.config().l2_hit_latency;
+            }
+            cycles += self.data_ref(paddr, kind);
+            refs.data_reads = 1;
+            self.stats.accesses += 1;
+            self.stats.cycles += cycles;
+            self.accumulate(refs);
+            return Ok(AccessOutcome { cycles, refs, tlb_hit: Some(hit), paddr });
+        }
+
+        // 2. TLB miss: page-table walk. Each PT-page reference is first
+        //    validated by the isolation layer, then read.
+        self.stats.walks += 1;
+        let result = walk(&self.phys, space, &mut self.pwc, va);
+        for pt_ref in &result.pt_refs {
+            let check = self.regs.check(
+                &self.phys,
+                &mut self.pmptw_cache,
+                pt_ref.addr,
+                AccessKind::Read,
+                mode,
+            );
+            refs.pmpte_for_pt += check.refs.len() as u64;
+            cycles += self.charge_pmpte_refs(&check.refs);
+            if !check.allowed {
+                self.stats.faults += 1;
+                return Err(Fault::IsolationOnPtPage(pt_ref.addr));
+            }
+            cycles += self.mem_sys.access_ptw(pt_ref.addr).cycles;
+            refs.pt_reads += 1;
+        }
+        let Some(translation) = result.translation else {
+            self.stats.faults += 1;
+            return Err(Fault::PageFault(va));
+        };
+        if !translation.perms.allows(kind) {
+            self.stats.faults += 1;
+            return Err(Fault::PtePermission(va));
+        }
+
+        // 3. Isolation check for the data page.
+        let check = self.regs.check(
+            &self.phys,
+            &mut self.pmptw_cache,
+            translation.paddr,
+            kind,
+            mode,
+        );
+        refs.pmpte_for_data += check.refs.len() as u64;
+        cycles += self.charge_pmpte_refs(&check.refs);
+        if !check.allowed {
+            self.stats.faults += 1;
+            return Err(Fault::IsolationOnData(translation.paddr));
+        }
+
+        // 4. TLB refill with inlined isolation permission, then the data
+        //    reference itself.
+        let tlb = if instruction { &mut self.itlb } else { &mut self.tlb };
+        tlb.fill(TlbEntry {
+            asid: space.asid(),
+            vpn: va.page_number(),
+            frame: translation.paddr.page_base(),
+            page_perms: translation.perms,
+            isolation_perms: check.perms,
+            user: translation.user,
+        });
+        cycles += self.data_ref(translation.paddr, kind);
+        refs.data_reads = 1;
+
+        self.stats.accesses += 1;
+        self.stats.cycles += cycles;
+        self.accumulate(refs);
+        Ok(AccessOutcome { cycles, refs, tlb_hit: None, paddr: translation.paddr })
+    }
+
+    /// Charges a list of pmpte reads to the memory system, returning their
+    /// observed latency.
+    fn charge_pmpte_refs(&mut self, pmpte_refs: &[hpmp_core::PmptRef]) -> u64 {
+        // Walk references are a dependent pointer chase: the out-of-order
+        // window cannot overlap them, so they cost their raw latency.
+        let mut cycles = 0;
+        for r in pmpte_refs {
+            cycles += self.mem_sys.access_ptw(r.addr).cycles;
+        }
+        cycles
+    }
+
+    /// Issues the data reference, including the store-miss penalty.
+    fn data_ref(&mut self, paddr: PhysAddr, kind: AccessKind) -> u64 {
+        let outcome = self.mem_sys.access(paddr);
+        let hit = outcome.level != HitLevel::Dram;
+        let mut cycles = self.core.observed_ref_cycles(outcome.cycles, hit);
+        if kind == AccessKind::Write && outcome.level != HitLevel::L1 {
+            cycles += self.core.store_miss_penalty;
+        }
+        cycles
+    }
+
+    fn accumulate(&mut self, refs: RefBreakdown) {
+        self.stats.refs.pt_reads += refs.pt_reads;
+        self.stats.refs.data_reads += refs.data_reads;
+        self.stats.refs.pmpte_for_pt += refs.pmpte_for_pt;
+        self.stats.refs.pmpte_for_data += refs.pmpte_for_data;
+    }
+
+    /// Adds pure-compute cycles to the running total (used by workload
+    /// models for their non-memory instructions).
+    pub fn run_compute(&mut self, instructions: u64) -> u64 {
+        let cycles = self.core.alu_cycles(instructions);
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    /// Performs a DMA transfer of `len` bytes at `base` from `device`,
+    /// checked line-by-page against `iopmp` (§9's I/O protection). DMA
+    /// bypasses the L1 like the walker port. Returns the cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::IsolationOnData`] at the first denied page.
+    pub fn dma_transfer(
+        &mut self,
+        iopmp: &hpmp_core::IoPmp,
+        device: hpmp_core::DeviceId,
+        base: PhysAddr,
+        len: u64,
+        kind: AccessKind,
+    ) -> Result<u64, Fault> {
+        let mut cycles = 0;
+        let mut offset = 0;
+        let mut checked_page = None;
+        while offset < len {
+            let addr = base + offset;
+            // One permission check per page crossed.
+            if checked_page != Some(addr.page_number()) {
+                let outcome = iopmp.check(&self.phys, device, addr, kind);
+                for r in &outcome.refs {
+                    cycles += self.mem_sys.access_ptw(r.addr).cycles;
+                }
+                if !outcome.allowed {
+                    self.stats.faults += 1;
+                    return Err(Fault::IsolationOnData(addr));
+                }
+                checked_page = Some(addr.page_number());
+            }
+            cycles += self.mem_sys.access_ptw(addr).cycles;
+            offset += hpmp_memsim::LINE_SIZE;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmp_core::PmpRegion;
+    use hpmp_memsim::{FrameAllocator, Perms, PAGE_SIZE};
+    use hpmp_paging::TranslationMode;
+
+    fn flat_machine() -> (Machine, AddressSpace) {
+        let mut machine = Machine::new(MachineConfig::rocket());
+        machine
+            .regs_mut()
+            .configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30),
+                               Perms::RWX)
+            .expect("segment");
+        let mut frames =
+            FrameAllocator::new(PhysAddr::new(0x8000_0000), 64 * PAGE_SIZE);
+        let mut space =
+            AddressSpace::new(TranslationMode::Sv39, 1, machine.phys_mut(), &mut frames)
+                .expect("space");
+        space
+            .map_page(machine.phys_mut(), &mut frames, VirtAddr::new(0x1000),
+                      PhysAddr::new(0x8010_0000), Perms::RX, true)
+            .expect("code page");
+        space
+            .map_page(machine.phys_mut(), &mut frames, VirtAddr::new(0x2000),
+                      PhysAddr::new(0x8010_1000), Perms::RW, true)
+            .expect("data page");
+        (machine, space)
+    }
+
+    #[test]
+    fn fetch_requires_execute_permission() {
+        let (mut machine, space) = flat_machine();
+        machine
+            .fetch(&space, VirtAddr::new(0x1000), PrivMode::User)
+            .expect("RX page is fetchable");
+        let err = machine
+            .fetch(&space, VirtAddr::new(0x2000), PrivMode::User)
+            .expect_err("RW page is not fetchable");
+        assert!(matches!(err, Fault::PtePermission(_)));
+    }
+
+    #[test]
+    fn itlb_and_dtlb_are_separate() {
+        let (mut machine, space) = flat_machine();
+        let code = VirtAddr::new(0x1000);
+        // A data read warms the D-TLB only.
+        machine.access(&space, code, AccessKind::Read, PrivMode::User).expect("read");
+        let fetch = machine.fetch(&space, code, PrivMode::User).expect("fetch");
+        assert!(fetch.tlb_hit.is_none(), "first fetch must walk despite warm D-TLB");
+        let refetch = machine.fetch(&space, code, PrivMode::User).expect("refetch");
+        assert!(refetch.tlb_hit.is_some(), "second fetch hits the I-TLB");
+    }
+
+    #[test]
+    fn fetch_checked_by_isolation_layer() {
+        let (mut machine, space) = flat_machine();
+        // Shrink the allow segment so the code page falls outside it.
+        machine.regs_mut().disable(0).expect("disable");
+        machine
+            .regs_mut()
+            .configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 20),
+                               Perms::RWX)
+            .expect("narrow segment");
+        machine.sfence_vma_all();
+        let err = machine
+            .fetch(&space, VirtAddr::new(0x1000), PrivMode::User)
+            .expect_err("fetch outside the segment must fault");
+        assert!(matches!(err, Fault::IsolationOnPtPage(_) | Fault::IsolationOnData(_)));
+    }
+}

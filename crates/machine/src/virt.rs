@@ -1,0 +1,486 @@
+//! The virtualized machine: 3-D page walks under HPMP (§6, Figures 8/13).
+//!
+//! A guest access walks guest PT × nested PT, and *every* host-physical
+//! reference of that walk is validated by the isolation layer. The schemes
+//! compared in Figure 13:
+//!
+//! * **PMP** — segments everywhere: 16 references, none for permissions.
+//! * **PMP Table** — every reference pays a table walk: up to 48.
+//! * **HPMP** — NPT pages in a contiguous "fast" GMS behind a segment:
+//!   the 24 permission references for NPT pages vanish.
+//! * **HPMP-GPT** — the guest also keeps its PT pages contiguous and the
+//!   hypervisor backs them with a segment: only the 2 data-page permission
+//!   references remain.
+
+use hpmp_core::{FillPolicy, PmpRegion, PmpTable, TableLevels};
+use hpmp_memsim::{
+    AccessKind, CoreModel, HitLevel, MemSystem, Perms, PhysAddr, PhysMem, PrivMode, VirtAddr,
+    PAGE_SIZE,
+};
+use hpmp_paging::{
+    apply_translation, nested_walk, AddressSpace, GuestView, NestedPageTable, NestedRefKind,
+    Tlb, TlbEntry, TranslationMode, WalkCache,
+};
+
+use crate::machine::{Fault, MachineConfig};
+use crate::setup::IsolationScheme;
+
+/// The isolation scheme for the virtualized experiments, which adds the
+/// HPMP-GPT refinement to the three base schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VirtScheme {
+    /// Segment-based isolation for everything.
+    Pmp,
+    /// Table-based isolation for everything.
+    PmpTable,
+    /// NPT pages behind a segment; everything else behind the table.
+    Hpmp,
+    /// NPT *and* guest-PT pages behind segments.
+    HpmpGpt,
+}
+
+impl std::fmt::Display for VirtScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VirtScheme::Pmp => "PMP",
+            VirtScheme::PmpTable => "PMPT",
+            VirtScheme::Hpmp => "HPMP",
+            VirtScheme::HpmpGpt => "HPMP-GPT",
+        })
+    }
+}
+
+impl From<IsolationScheme> for VirtScheme {
+    fn from(scheme: IsolationScheme) -> VirtScheme {
+        match scheme {
+            IsolationScheme::Pmp => VirtScheme::Pmp,
+            IsolationScheme::PmpTable => VirtScheme::PmpTable,
+            IsolationScheme::Hpmp => VirtScheme::Hpmp,
+        }
+    }
+}
+
+/// Reference breakdown of one guest access, split by Figure 8's categories.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VirtRefBreakdown {
+    /// Nested-PT page reads (`nL*`).
+    pub npt_reads: u64,
+    /// Guest-PT page reads (`gL*`).
+    pub gpt_reads: u64,
+    /// The data reference.
+    pub data_reads: u64,
+    /// pmpte reads for checking NPT pages.
+    pub pmpte_for_npt: u64,
+    /// pmpte reads for checking guest-PT pages.
+    pub pmpte_for_gpt: u64,
+    /// pmpte reads for checking the data page.
+    pub pmpte_for_data: u64,
+}
+
+impl VirtRefBreakdown {
+    /// Total memory references.
+    pub fn total(&self) -> u64 {
+        self.npt_reads
+            + self.gpt_reads
+            + self.data_reads
+            + self.pmpte_for_npt
+            + self.pmpte_for_gpt
+            + self.pmpte_for_data
+    }
+}
+
+/// Outcome of one guest access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VirtAccessOutcome {
+    /// End-to-end latency in core cycles.
+    pub cycles: u64,
+    /// Reference breakdown.
+    pub refs: VirtRefBreakdown,
+    /// Whether the combined (gVA → hPA) TLB hit.
+    pub tlb_hit: bool,
+    /// Host-physical address accessed.
+    pub paddr: PhysAddr,
+}
+
+/// A virtualized system: host memory, NPT, one guest, and the isolation
+/// layer programmed per [`VirtScheme`].
+#[derive(Debug)]
+pub struct VirtMachine {
+    core: CoreModel,
+    mem_sys: MemSystem,
+    phys: PhysMem,
+    npt: NestedPageTable,
+    guest: AddressSpace,
+    /// Combined TLB: gVA page → hPA page.
+    tlb: Tlb,
+    /// G-stage TLB: gPA page → hPA page (survives `hfence.vvma`).
+    gtlb: Tlb,
+    /// Guest-stage walk cache.
+    gpwc: WalkCache,
+    regs: hpmp_core::HpmpRegFile,
+    pmptw_cache: hpmp_core::PmptwCache,
+    scheme: VirtScheme,
+    guest_data_gpa: PhysAddr,
+}
+
+/// Host RAM layout constants for the virtualized fixture.
+const RAM_BASE: u64 = 0x8000_0000;
+const RAM_SIZE: u64 = 1 << 30;
+const NPT_POOL: u64 = RAM_BASE; // 8 MiB for NPT pages (contiguous)
+const NPT_POOL_SIZE: u64 = 8 << 20;
+const TABLE_POOL: u64 = RAM_BASE + NPT_POOL_SIZE; // PMP-table pages
+const TABLE_POOL_SIZE: u64 = 24 << 20;
+const GPT_HOST_POOL: u64 = TABLE_POOL + TABLE_POOL_SIZE; // host frames backing guest PT pages
+const GPT_HOST_POOL_SIZE: u64 = 8 << 20;
+const DATA_HOST_POOL: u64 = GPT_HOST_POOL + GPT_HOST_POOL_SIZE;
+
+/// Guest-physical layout: PT pool first, then data.
+const GPA_PT_POOL: u64 = 0x1000_0000;
+const GPA_PT_POOL_SIZE: u64 = 8 << 20;
+const GPA_DATA: u64 = GPA_PT_POOL + GPA_PT_POOL_SIZE;
+
+impl VirtMachine {
+    /// Builds the virtualized fixture: a guest with `guest_pages` data pages
+    /// mapped starting at guest VA 0x20_0000, NPT pages contiguous in the
+    /// NPT pool, guest-PT pages contiguous in guest-physical space (and in
+    /// the host frames backing them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed pools are exhausted — enlarge the constants
+    /// rather than handling it at runtime; this is a fixture.
+    pub fn new(config: MachineConfig, scheme: VirtScheme, guest_pages: u64) -> VirtMachine {
+        Self::with_options(config, scheme, guest_pages, false)
+    }
+
+    /// As [`VirtMachine::new`], with control over guest-data backing:
+    /// `fragmented_backing` strides the host frames behind the guest's data
+    /// pages (2 MiB + one page apart), reproducing the paper's §8.8 cases
+    /// (3)/(4) where "fragmented host virtual pages" back the guest.
+    ///
+    /// # Panics
+    ///
+    /// As [`VirtMachine::new`].
+    pub fn with_options(
+        config: MachineConfig,
+        scheme: VirtScheme,
+        guest_pages: u64,
+        fragmented_backing: bool,
+    ) -> VirtMachine {
+        let mut phys = PhysMem::new();
+        let mut npt_frames =
+            hpmp_memsim::FrameAllocator::new(PhysAddr::new(NPT_POOL), NPT_POOL_SIZE);
+        let mut npt = NestedPageTable::new(&mut phys, &mut npt_frames).expect("NPT root");
+
+        // Back the guest-physical PT pool and data pool with host frames.
+        let mut gpt_host =
+            hpmp_memsim::FrameAllocator::new(PhysAddr::new(GPT_HOST_POOL), GPT_HOST_POOL_SIZE);
+        for i in 0..GPA_PT_POOL_SIZE / PAGE_SIZE {
+            let gpa = PhysAddr::new(GPA_PT_POOL + i * PAGE_SIZE);
+            let hpa = gpt_host.alloc().expect("guest PT host frames");
+            npt.map_page(&mut phys, &mut npt_frames, gpa, hpa, true).expect("NPT map");
+        }
+        let data_pages_backed = guest_pages.max(64) * 2;
+        let backing_stride =
+            if fragmented_backing { (2u64 << 20) / PAGE_SIZE + 1 } else { 1 };
+        for i in 0..data_pages_backed {
+            let gpa = PhysAddr::new(GPA_DATA + i * PAGE_SIZE);
+            let hpa = PhysAddr::new(DATA_HOST_POOL + i * backing_stride * PAGE_SIZE);
+            npt.map_page(&mut phys, &mut npt_frames, gpa, hpa, true).expect("NPT map");
+        }
+
+        // Build the guest page table in guest-physical memory.
+        let mut guest_pt_frames =
+            hpmp_memsim::FrameAllocator::new(PhysAddr::new(GPA_PT_POOL), GPA_PT_POOL_SIZE);
+        let mut view = GuestView::new(&mut phys, &npt);
+        let mut guest = AddressSpace::new(TranslationMode::Sv39, 5, &mut view,
+                                          &mut guest_pt_frames)
+            .expect("guest root");
+        for i in 0..guest_pages {
+            let gva = VirtAddr::new(0x20_0000 + i * PAGE_SIZE);
+            let gpa = PhysAddr::new(GPA_DATA + i * PAGE_SIZE);
+            guest.map_page(&mut view, &mut guest_pt_frames, gva, gpa, Perms::RW, true)
+                .expect("guest map");
+        }
+
+        // Program the isolation layer.
+        let ram = PmpRegion::new(PhysAddr::new(RAM_BASE), RAM_SIZE);
+        let mut regs = hpmp_core::HpmpRegFile::new();
+        let mut table_frames =
+            hpmp_memsim::FrameAllocator::new(PhysAddr::new(TABLE_POOL), TABLE_POOL_SIZE);
+        match scheme {
+            VirtScheme::Pmp => {
+                regs.configure_segment(0, ram, Perms::RWX).expect("segment");
+            }
+            VirtScheme::PmpTable | VirtScheme::Hpmp | VirtScheme::HpmpGpt => {
+                let mut table =
+                    PmpTable::new(ram, &mut phys, &mut table_frames).expect("table");
+                table
+                    .set_range_perm(&mut phys, &mut table_frames, PhysAddr::new(RAM_BASE),
+                                    RAM_SIZE / 2, Perms::RWX, FillPolicy::PerPage)
+                    .expect("table fill");
+                let mut next = 0;
+                if scheme == VirtScheme::Hpmp || scheme == VirtScheme::HpmpGpt {
+                    regs.configure_segment(
+                        next,
+                        PmpRegion::new(PhysAddr::new(NPT_POOL), NPT_POOL_SIZE),
+                        Perms::RW,
+                    )
+                    .expect("NPT fast GMS");
+                    next += 1;
+                }
+                if scheme == VirtScheme::HpmpGpt {
+                    regs.configure_segment(
+                        next,
+                        PmpRegion::new(PhysAddr::new(GPT_HOST_POOL), GPT_HOST_POOL_SIZE),
+                        Perms::RW,
+                    )
+                    .expect("GPT fast GMS");
+                    next += 1;
+                }
+                regs.configure_table(next, ram, table.root(), TableLevels::Two)
+                    .expect("table entry");
+            }
+        }
+
+        VirtMachine {
+            core: config.core,
+            mem_sys: MemSystem::new(config.mem),
+            phys,
+            npt,
+            guest,
+            tlb: Tlb::new(config.tlb),
+            gtlb: Tlb::new(config.tlb),
+            gpwc: WalkCache::new(config.pwc),
+            regs,
+            pmptw_cache: hpmp_core::PmptwCache::new(config.pmptw_cache),
+            scheme,
+            guest_data_gpa: PhysAddr::new(GPA_DATA),
+        }
+    }
+
+    /// The scheme this machine was built for.
+    pub fn scheme(&self) -> VirtScheme {
+        self.scheme
+    }
+
+    /// Guest-physical base of the guest's data pool (for tests).
+    pub fn guest_data_gpa(&self) -> PhysAddr {
+        self.guest_data_gpa
+    }
+
+    /// `hfence.vvma`: flush guest-stage translations, keep the G-stage TLB.
+    pub fn hfence_vvma(&mut self) {
+        self.tlb.flush_all();
+        self.gpwc.flush_all();
+    }
+
+    /// `hfence.gvma`: flush everything derived from the NPT as well.
+    pub fn hfence_gvma(&mut self) {
+        self.tlb.flush_all();
+        self.gpwc.flush_all();
+        self.gtlb.flush_all();
+    }
+
+    /// Cold state: empty caches and TLBs (TC1).
+    pub fn flush_microarch(&mut self) {
+        self.mem_sys.flush_all();
+        self.hfence_gvma();
+        self.pmptw_cache.flush_all();
+    }
+
+    /// Performs one guest load/store (the paper uses `hlv.d` from the host
+    /// to avoid guest-software noise; the reference sequence is identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] on translation failure in either stage or an
+    /// isolation denial.
+    pub fn access(
+        &mut self,
+        gva: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<VirtAccessOutcome, Fault> {
+        let mode = PrivMode::Supervisor; // VS-mode accesses are checked like S.
+        let mut cycles = self.core.pipeline_overhead + 2; // two-stage TLB tax
+        let mut refs = VirtRefBreakdown::default();
+
+        // Combined TLB hit: data reference only (permission inlined).
+        if let Some((entry, _)) = self.tlb.lookup(self.guest.asid(), gva) {
+            let paddr = apply_translation(&entry, gva);
+            if !entry.page_perms.allows(kind) {
+                return Err(Fault::PtePermission(gva));
+            }
+            if !entry.isolation_perms.allows(kind) {
+                return Err(Fault::IsolationOnData(paddr));
+            }
+            cycles += self.data_ref(paddr, kind);
+            refs.data_reads = 1;
+            return Ok(VirtAccessOutcome { cycles, refs, tlb_hit: true, paddr });
+        }
+
+        // Two-stage walk.
+        let result = nested_walk(&self.phys, &self.guest, &self.npt, &mut self.gtlb,
+                                 &mut self.gpwc, gva);
+        for r in &result.refs {
+            let check = self.regs.check(&self.phys, &mut self.pmptw_cache, r.addr,
+                                        AccessKind::Read, mode);
+            let pmpte_count = check.refs.len() as u64;
+            cycles += self.charge_pmpte_refs(&check.refs);
+            match r.kind {
+                NestedRefKind::NestedPt { .. } => refs.pmpte_for_npt += pmpte_count,
+                NestedRefKind::GuestPt { .. } => refs.pmpte_for_gpt += pmpte_count,
+            }
+            if !check.allowed {
+                return Err(Fault::IsolationOnPtPage(r.addr));
+            }
+            cycles += self.mem_sys.access_ptw(r.addr).cycles;
+            match r.kind {
+                NestedRefKind::NestedPt { .. } => refs.npt_reads += 1,
+                NestedRefKind::GuestPt { .. } => refs.gpt_reads += 1,
+            }
+        }
+        let Some(translation) = result.translation else {
+            return Err(Fault::PageFault(gva));
+        };
+        if !translation.perms.allows(kind) {
+            return Err(Fault::PtePermission(gva));
+        }
+
+        // Data-page permission check + TLB refill + data reference.
+        let check = self.regs.check(&self.phys, &mut self.pmptw_cache, translation.paddr,
+                                    kind, mode);
+        refs.pmpte_for_data += check.refs.len() as u64;
+        cycles += self.charge_pmpte_refs(&check.refs);
+        if !check.allowed {
+            return Err(Fault::IsolationOnData(translation.paddr));
+        }
+        self.tlb.fill(TlbEntry {
+            asid: self.guest.asid(),
+            vpn: gva.page_number(),
+            frame: translation.paddr.page_base(),
+            page_perms: translation.perms,
+            isolation_perms: check.perms,
+            user: translation.user,
+        });
+        cycles += self.data_ref(translation.paddr, kind);
+        refs.data_reads = 1;
+
+        Ok(VirtAccessOutcome { cycles, refs, tlb_hit: false, paddr: translation.paddr })
+    }
+
+    fn charge_pmpte_refs(&mut self, pmpte_refs: &[hpmp_core::PmptRef]) -> u64 {
+        // Walk references are a dependent pointer chase: the out-of-order
+        // window cannot overlap them, so they cost their raw latency.
+        let mut cycles = 0;
+        for r in pmpte_refs {
+            cycles += self.mem_sys.access_ptw(r.addr).cycles;
+        }
+        cycles
+    }
+
+    fn data_ref(&mut self, paddr: PhysAddr, kind: AccessKind) -> u64 {
+        let outcome = self.mem_sys.access(paddr);
+        let hit = outcome.level != HitLevel::Dram;
+        let mut cycles = self.core.observed_ref_cycles(outcome.cycles, hit);
+        if kind == AccessKind::Write && outcome.level != HitLevel::L1 {
+            cycles += self.core.store_miss_penalty;
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GVA: VirtAddr = VirtAddr::new(0x20_0000);
+
+    fn machine(scheme: VirtScheme) -> VirtMachine {
+        VirtMachine::new(MachineConfig::rocket(), scheme, 16)
+    }
+
+    /// Figure 8: PMP = 16 refs, PMPT = 48, HPMP = 24, HPMP-GPT = 18.
+    #[test]
+    fn cold_reference_counts_match_section_6() {
+        let expect = [
+            (VirtScheme::Pmp, 16, 0, 0, 0),
+            (VirtScheme::PmpTable, 16, 24, 6, 2),
+            (VirtScheme::Hpmp, 16, 0, 6, 2),
+            (VirtScheme::HpmpGpt, 16, 0, 0, 2),
+        ];
+        for (scheme, base, npt_pmpte, gpt_pmpte, data_pmpte) in expect {
+            let mut m = machine(scheme);
+            m.flush_microarch();
+            let out = m.access(GVA, AccessKind::Read).unwrap();
+            let walk_refs = out.refs.npt_reads + out.refs.gpt_reads + out.refs.data_reads;
+            assert_eq!(walk_refs, base, "{scheme}: base walk refs");
+            assert_eq!(out.refs.pmpte_for_npt, npt_pmpte, "{scheme}: NPT pmpte refs");
+            assert_eq!(out.refs.pmpte_for_gpt, gpt_pmpte, "{scheme}: GPT pmpte refs");
+            assert_eq!(out.refs.pmpte_for_data, data_pmpte, "{scheme}: data pmpte refs");
+            assert_eq!(
+                out.refs.total(),
+                base + npt_pmpte + gpt_pmpte + data_pmpte,
+                "{scheme}: total"
+            );
+        }
+    }
+
+    #[test]
+    fn tlb_hit_single_reference() {
+        let mut m = machine(VirtScheme::PmpTable);
+        m.access(GVA, AccessKind::Read).unwrap();
+        let out = m.access(GVA, AccessKind::Read).unwrap();
+        assert!(out.tlb_hit);
+        assert_eq!(out.refs.total(), 1);
+    }
+
+    #[test]
+    fn hfence_vvma_cheaper_than_gvma() {
+        let mut cost = std::collections::HashMap::new();
+        for (name, gvma) in [("v", false), ("g", true)] {
+            let mut m = machine(VirtScheme::PmpTable);
+            m.access(GVA, AccessKind::Read).unwrap();
+            if gvma {
+                m.hfence_gvma();
+            } else {
+                m.hfence_vvma();
+            }
+            let out = m.access(GVA, AccessKind::Read).unwrap();
+            cost.insert(name, out.refs.total());
+        }
+        assert!(cost["v"] < cost["g"], "hfence.vvma {} < hfence.gvma {}", cost["v"],
+                cost["g"]);
+    }
+
+    #[test]
+    fn latency_ordering_matches_figure_13() {
+        let mut lat = Vec::new();
+        for scheme in [VirtScheme::Pmp, VirtScheme::HpmpGpt, VirtScheme::Hpmp,
+                       VirtScheme::PmpTable]
+        {
+            let mut m = machine(scheme);
+            m.flush_microarch();
+            lat.push(m.access(GVA, AccessKind::Read).unwrap().cycles);
+        }
+        assert!(lat[0] < lat[1], "PMP < HPMP-GPT");
+        assert!(lat[1] < lat[2], "HPMP-GPT < HPMP");
+        assert!(lat[2] < lat[3], "HPMP < PMPT");
+    }
+
+    #[test]
+    fn unmapped_gva_faults() {
+        let mut m = machine(VirtScheme::Pmp);
+        assert!(matches!(
+            m.access(VirtAddr::new(0x5000_0000), AccessKind::Read),
+            Err(Fault::PageFault(_))
+        ));
+    }
+
+    #[test]
+    fn translation_lands_in_host_data_pool() {
+        let mut m = machine(VirtScheme::Pmp);
+        let out = m.access(GVA + 0x123, AccessKind::Read).unwrap();
+        assert_eq!(out.paddr, PhysAddr::new(DATA_HOST_POOL + 0x123));
+    }
+}

@@ -1,0 +1,249 @@
+//! Permissions and access kinds.
+//!
+//! A [`Perms`] value is the 3-bit R/W/X set used everywhere in the RISC-V
+//! privileged architecture: in PTEs, in PMP configuration registers, and in
+//! the PMP-Table entries introduced by HPMP. An [`AccessKind`] describes what
+//! a memory reference is trying to do, and [`Perms::allows`] is the single
+//! check used by every permission-enforcement point in the simulator.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// A read/write/execute permission set (3 bits).
+///
+/// ```
+/// use hpmp_memsim::{AccessKind, Perms};
+/// let p = Perms::READ | Perms::WRITE;
+/// assert!(p.allows(AccessKind::Write));
+/// assert!(!p.allows(AccessKind::Fetch));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No permissions. An access matching this always faults.
+    pub const NONE: Perms = Perms(0);
+    /// Read permission (bit 0, matching the PMP `R` field).
+    pub const READ: Perms = Perms(1 << 0);
+    /// Write permission (bit 1, matching the PMP `W` field).
+    pub const WRITE: Perms = Perms(1 << 1);
+    /// Execute permission (bit 2, matching the PMP `X` field).
+    pub const EXEC: Perms = Perms(1 << 2);
+    /// Read + write.
+    pub const RW: Perms = Perms(0b011);
+    /// Read + execute.
+    pub const RX: Perms = Perms(0b101);
+    /// Read + write + execute.
+    pub const RWX: Perms = Perms(0b111);
+
+    /// Builds a permission set from its three component bits.
+    #[inline]
+    pub const fn new(read: bool, write: bool, exec: bool) -> Perms {
+        Perms((read as u8) | ((write as u8) << 1) | ((exec as u8) << 2))
+    }
+
+    /// Reconstructs a permission set from the low 3 bits of `raw`.
+    ///
+    /// Extra high bits are ignored, mirroring how hardware decodes the
+    /// R/W/X fields of a configuration register.
+    #[inline]
+    pub const fn from_bits_truncate(raw: u8) -> Perms {
+        Perms(raw & 0b111)
+    }
+
+    /// Returns the raw 3-bit encoding (`X:W:R` from high to low).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True if the set contains read permission.
+    #[inline]
+    pub const fn can_read(self) -> bool {
+        self.0 & Self::READ.0 != 0
+    }
+
+    /// True if the set contains write permission.
+    #[inline]
+    pub const fn can_write(self) -> bool {
+        self.0 & Self::WRITE.0 != 0
+    }
+
+    /// True if the set contains execute permission.
+    #[inline]
+    pub const fn can_exec(self) -> bool {
+        self.0 & Self::EXEC.0 != 0
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every permission in `other` is also in `self`.
+    #[inline]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if this permission set satisfies the given access.
+    #[inline]
+    pub const fn allows(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.can_read(),
+            AccessKind::Write => self.can_write(),
+            AccessKind::Fetch => self.can_exec(),
+        }
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Perms({}{}{})",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' },
+        )
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' },
+        )
+    }
+}
+
+/// What a memory reference is trying to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load (`ld` and friends).
+    Read,
+    /// A data store (`sd` and friends).
+    Write,
+    /// An instruction fetch.
+    Fetch,
+}
+
+impl AccessKind {
+    /// The minimal permission set that satisfies this access.
+    #[inline]
+    pub const fn required_perms(self) -> Perms {
+        match self {
+            AccessKind::Read => Perms::READ,
+            AccessKind::Write => Perms::WRITE,
+            AccessKind::Fetch => Perms::EXEC,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Fetch => "fetch",
+        })
+    }
+}
+
+/// RISC-V privilege mode issuing an access.
+///
+/// HPMP (like PMP) applies to S-mode and U-mode accesses; M-mode (the secure
+/// monitor) bypasses the checks unless locked entries are configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrivMode {
+    /// User mode.
+    User,
+    /// Supervisor mode (the OS kernel).
+    Supervisor,
+    /// Machine mode (the secure monitor).
+    Machine,
+}
+
+impl fmt::Display for PrivMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PrivMode::User => "U",
+            PrivMode::Supervisor => "S",
+            PrivMode::Machine => "M",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_composition() {
+        assert_eq!(Perms::READ | Perms::WRITE, Perms::RW);
+        assert_eq!((Perms::RWX & Perms::RX).bits(), Perms::RX.bits());
+        assert_eq!(Perms::new(true, false, true), Perms::RX);
+    }
+
+    #[test]
+    fn truncation_ignores_high_bits() {
+        assert_eq!(Perms::from_bits_truncate(0xff), Perms::RWX);
+        assert_eq!(Perms::from_bits_truncate(0b1000), Perms::NONE);
+    }
+
+    #[test]
+    fn allows_matches_kind() {
+        assert!(Perms::READ.allows(AccessKind::Read));
+        assert!(!Perms::READ.allows(AccessKind::Write));
+        assert!(!Perms::READ.allows(AccessKind::Fetch));
+        assert!(Perms::RWX.allows(AccessKind::Fetch));
+        assert!(!Perms::NONE.allows(AccessKind::Read));
+    }
+
+    #[test]
+    fn contains_is_subset() {
+        assert!(Perms::RWX.contains(Perms::RW));
+        assert!(!Perms::RW.contains(Perms::RX));
+        assert!(Perms::NONE.contains(Perms::NONE));
+    }
+
+    #[test]
+    fn required_perms_round_trip() {
+        for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Fetch] {
+            assert!(kind.required_perms().allows(kind));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Perms::RW.to_string(), "rw-");
+        assert_eq!(format!("{:?}", Perms::RX), "Perms(r-x)");
+        assert_eq!(PrivMode::Machine.to_string(), "M");
+        assert_eq!(AccessKind::Fetch.to_string(), "fetch");
+    }
+}

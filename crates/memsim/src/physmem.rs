@@ -1,0 +1,198 @@
+//! Sparse backing store for simulated physical memory.
+//!
+//! The simulator needs real storage for structures that hardware actually
+//! walks: page tables (read by the PTW) and PMP Tables (read by the PMPTW).
+//! [`PhysMem`] is a sparse, page-granular store of 64-bit words; untouched
+//! pages read as zero, matching DRAM scrubbed at boot.
+
+use std::collections::HashMap;
+
+use crate::addr::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+
+/// Number of 64-bit words per 4 KiB page.
+const WORDS_PER_PAGE: usize = (PAGE_SIZE / 8) as usize;
+
+/// Sparse word-addressable physical memory.
+///
+/// ```
+/// use hpmp_memsim::{PhysAddr, PhysMem};
+/// let mut mem = PhysMem::new();
+/// mem.write_u64(PhysAddr::new(0x8000_0008), 42);
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x8000_0008)), 42);
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x8000_0000)), 0); // untouched => 0
+/// ```
+#[derive(Clone, Default)]
+pub struct PhysMem {
+    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+}
+
+impl PhysMem {
+    /// Creates an empty (all-zero) physical memory.
+    pub fn new() -> PhysMem {
+        PhysMem::default()
+    }
+
+    /// Reads the naturally-aligned 64-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned; hardware would raise a
+    /// misaligned-access exception, which the walkers never do.
+    pub fn read_u64(&self, addr: PhysAddr) -> u64 {
+        assert!(addr.is_aligned(8), "misaligned u64 read at {addr}");
+        match self.pages.get(&addr.page_number()) {
+            Some(page) => page[Self::word_index(addr)],
+            None => 0,
+        }
+    }
+
+    /// Writes the naturally-aligned 64-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        assert!(addr.is_aligned(8), "misaligned u64 write at {addr}");
+        let page = self
+            .pages
+            .entry(addr.page_number())
+            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]));
+        page[Self::word_index(addr)] = value;
+    }
+
+    /// Zeroes an entire 4 KiB page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page aligned.
+    pub fn zero_page(&mut self, base: PhysAddr) {
+        assert!(base.is_aligned(PAGE_SIZE), "zero_page of unaligned {base}");
+        self.pages.remove(&base.page_number());
+    }
+
+    /// Number of distinct pages that have been written.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total bytes of simulated memory currently backed by host storage.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    fn word_index(addr: PhysAddr) -> usize {
+        ((addr.raw() & (PAGE_SIZE - 1)) >> 3) as usize
+    }
+}
+
+impl std::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+/// A bump allocator handing out page frames from a physical range.
+///
+/// This is *not* the OS page allocator (which lives in `hpmp-penglai`); it is
+/// a low-level frame source used when constructing test fixtures and the
+/// monitor's own private pools.
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    next: PhysAddr,
+    end: PhysAddr,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `[base, base + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page aligned or `len` is not a multiple of the
+    /// page size.
+    pub fn new(base: PhysAddr, len: u64) -> FrameAllocator {
+        assert!(base.is_aligned(PAGE_SIZE), "unaligned allocator base");
+        assert!(len.is_multiple_of(PAGE_SIZE), "allocator length not page-multiple");
+        FrameAllocator { next: base, end: base + len }
+    }
+
+    /// Allocates one 4 KiB frame, or `None` when exhausted.
+    pub fn alloc(&mut self) -> Option<PhysAddr> {
+        if self.next >= self.end {
+            return None;
+        }
+        let frame = self.next;
+        self.next += PAGE_SIZE;
+        Some(frame)
+    }
+
+    /// Allocates `n` physically contiguous frames, returning the base.
+    pub fn alloc_contiguous(&mut self, n: u64) -> Option<PhysAddr> {
+        let bytes = n.checked_mul(PAGE_SIZE)?;
+        if self.next.raw().checked_add(bytes)? > self.end.raw() {
+            return None;
+        }
+        let base = self.next;
+        self.next += bytes;
+        Some(base)
+    }
+
+    /// Number of frames still available.
+    pub fn remaining(&self) -> u64 {
+        (self.end.raw() - self.next.raw()) >> PAGE_SHIFT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_and_default_zero() {
+        let mut mem = PhysMem::new();
+        let a = PhysAddr::new(0x8000_1000);
+        assert_eq!(mem.read_u64(a), 0);
+        mem.write_u64(a, 0xdead_beef);
+        assert_eq!(mem.read_u64(a), 0xdead_beef);
+        assert_eq!(mem.read_u64(a + 8), 0);
+        assert_eq!(mem.resident_pages(), 1);
+    }
+
+    #[test]
+    fn pages_are_independent() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(PhysAddr::new(0x1000), 1);
+        mem.write_u64(PhysAddr::new(0x2000), 2);
+        assert_eq!(mem.resident_pages(), 2);
+        mem.zero_page(PhysAddr::new(0x1000));
+        assert_eq!(mem.read_u64(PhysAddr::new(0x1000)), 0);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x2000)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_read_panics() {
+        PhysMem::new().read_u64(PhysAddr::new(0x1004 + 1));
+    }
+
+    #[test]
+    fn frame_allocator_bump() {
+        let mut fa = FrameAllocator::new(PhysAddr::new(0x8000_0000), 3 * PAGE_SIZE);
+        assert_eq!(fa.remaining(), 3);
+        assert_eq!(fa.alloc(), Some(PhysAddr::new(0x8000_0000)));
+        assert_eq!(fa.alloc(), Some(PhysAddr::new(0x8000_1000)));
+        assert_eq!(fa.alloc(), Some(PhysAddr::new(0x8000_2000)));
+        assert_eq!(fa.alloc(), None);
+    }
+
+    #[test]
+    fn frame_allocator_contiguous() {
+        let mut fa = FrameAllocator::new(PhysAddr::new(0x8000_0000), 4 * PAGE_SIZE);
+        let base = fa.alloc_contiguous(3).unwrap();
+        assert_eq!(base, PhysAddr::new(0x8000_0000));
+        assert_eq!(fa.remaining(), 1);
+        assert!(fa.alloc_contiguous(2).is_none());
+        assert!(fa.alloc_contiguous(1).is_some());
+    }
+}

@@ -1,0 +1,52 @@
+//! Word-addressable storage abstraction.
+//!
+//! Page-table construction code works against [`WordStore`] rather than
+//! [`crate::PhysMem`] directly, so the same code can build *guest* page
+//! tables whose slots are addressed by guest-physical addresses: the
+//! hypervisor layer supplies a store that translates through the nested page
+//! table before touching host memory.
+
+use crate::addr::PhysAddr;
+use crate::physmem::PhysMem;
+
+/// A 64-bit-word addressable memory.
+pub trait WordStore {
+    /// Reads the naturally-aligned word at `addr`.
+    fn read_u64(&self, addr: PhysAddr) -> u64;
+    /// Writes the naturally-aligned word at `addr`.
+    fn write_u64(&mut self, addr: PhysAddr, value: u64);
+    /// Zeroes the 4 KiB page based at `addr`.
+    fn zero_page(&mut self, base: PhysAddr);
+}
+
+impl WordStore for PhysMem {
+    fn read_u64(&self, addr: PhysAddr) -> u64 {
+        PhysMem::read_u64(self, addr)
+    }
+
+    fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        PhysMem::write_u64(self, addr, value)
+    }
+
+    fn zero_page(&mut self, base: PhysAddr) {
+        PhysMem::zero_page(self, base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn through_dyn(store: &mut dyn WordStore) {
+        store.write_u64(PhysAddr::new(0x1000), 99);
+        assert_eq!(store.read_u64(PhysAddr::new(0x1000)), 99);
+        store.zero_page(PhysAddr::new(0x1000));
+        assert_eq!(store.read_u64(PhysAddr::new(0x1000)), 0);
+    }
+
+    #[test]
+    fn physmem_is_a_word_store() {
+        let mut mem = PhysMem::new();
+        through_dyn(&mut mem);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: the cache and DRAM models against simple reference
+//! implementations.
+
+use hpmp_memsim::{Cache, CacheConfig, Dram, DramConfig, PhysAddr};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference LRU cache: a bounded deque of line numbers per set.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> RefCache {
+        let sets = config.sets();
+        RefCache {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            ways: config.ways,
+            line_shift: config.line_size.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        let tag = line >> self.set_mask.count_ones();
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.push_back(tag);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.pop_front();
+            }
+            set.push_back(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The tags-only cache agrees with the reference LRU model on arbitrary
+    /// access streams, for several geometries.
+    #[test]
+    fn cache_matches_reference_lru(
+        geometry in 0usize..3,
+        stream in prop::collection::vec(0u64..0x8000, 1..400),
+    ) {
+        let config = [
+            CacheConfig { capacity: 512, ways: 2, line_size: 64, hit_latency: 1 },
+            CacheConfig { capacity: 1024, ways: 4, line_size: 64, hit_latency: 1 },
+            CacheConfig { capacity: 256, ways: 1, line_size: 32, hit_latency: 1 },
+        ][geometry];
+        let mut cache = Cache::new(config);
+        let mut reference = RefCache::new(config);
+        for &addr in &stream {
+            let got = cache.access(PhysAddr::new(addr));
+            let want = reference.access(addr);
+            prop_assert_eq!(got, want, "divergence at {:#x}", addr);
+        }
+    }
+
+    /// Invalidate removes exactly the requested line.
+    #[test]
+    fn invalidate_is_precise(
+        warm in prop::collection::vec(0u64..0x2000, 1..64),
+        victim in 0u64..0x2000,
+    ) {
+        let config = CacheConfig { capacity: 4096, ways: 4, line_size: 64, hit_latency: 1 };
+        let mut cache = Cache::new(config);
+        for &a in &warm {
+            cache.access(PhysAddr::new(a));
+        }
+        // Snapshot presence before invalidation (capacity eviction may have
+        // already removed some warm lines, which is fine).
+        let present: Vec<u64> =
+            warm.iter().copied().filter(|&a| cache.probe(PhysAddr::new(a))).collect();
+        cache.invalidate(PhysAddr::new(victim));
+        prop_assert!(!cache.probe(PhysAddr::new(victim)));
+        // Only the victim's line may disappear.
+        for &a in &present {
+            if a >> 6 != victim >> 6 {
+                prop_assert!(cache.probe(PhysAddr::new(a)),
+                             "unrelated line {:#x} evicted by invalidate", a);
+            }
+        }
+    }
+
+    /// DRAM: consecutive accesses within one row always row-hit; the stats
+    /// add up; latency is one of the two configured values.
+    #[test]
+    fn dram_row_behaviour(rows in prop::collection::vec(0u64..64, 1..100)) {
+        let config = DramConfig { banks: 4, row_bytes: 2048, row_hit_latency: 10,
+                                  row_miss_latency: 50 };
+        let mut dram = Dram::new(config);
+        let mut total = 0u64;
+        for &row in &rows {
+            let lat1 = dram.access(PhysAddr::new(row * 2048));
+            let lat2 = dram.access(PhysAddr::new(row * 2048 + 64));
+            prop_assert!(lat1 == 10 || lat1 == 50);
+            prop_assert_eq!(lat2, 10, "second access in a row must row-hit");
+            total += 2;
+        }
+        let stats = dram.stats();
+        prop_assert_eq!(stats.row_hits + stats.row_misses, total);
+        prop_assert!(stats.row_hits >= rows.len() as u64);
+    }
+}

@@ -1,0 +1,200 @@
+//! `satp` / `hgatp` register encodings (RV64 privileged spec).
+//!
+//! The monitor and OS program translation through these CSRs; modelling
+//! their exact bit layout (MODE 63:60, ASID/VMID 59:44, PPN 43:0) keeps the
+//! software layer honest about what a context switch actually writes.
+
+use hpmp_memsim::{PhysAddr, PAGE_SHIFT};
+
+use crate::mode::TranslationMode;
+
+/// MODE field values for `satp` (RV64).
+const MODE_BARE: u64 = 0;
+const MODE_SV39: u64 = 8;
+const MODE_SV48: u64 = 9;
+const MODE_SV57: u64 = 10;
+
+/// A decoded `satp` value: translation mode, ASID and root-table PPN.
+///
+/// ```
+/// use hpmp_memsim::PhysAddr;
+/// use hpmp_paging::{Satp, TranslationMode};
+///
+/// let satp = Satp::new(TranslationMode::Sv39, 7, PhysAddr::new(0x8000_1000));
+/// let decoded = Satp::from_bits(satp.to_bits()).expect("valid");
+/// assert_eq!(decoded.mode(), Some(TranslationMode::Sv39));
+/// assert_eq!(decoded.asid(), 7);
+/// assert_eq!(decoded.root(), PhysAddr::new(0x8000_1000));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Satp {
+    bits: u64,
+}
+
+impl Satp {
+    /// The Bare encoding: translation off.
+    pub const BARE: Satp = Satp { bits: 0 };
+
+    /// Builds a `satp` for `mode` with the given ASID and root-table page.
+    pub fn new(mode: TranslationMode, asid: u16, root: PhysAddr) -> Satp {
+        let mode_bits = match mode {
+            TranslationMode::Sv39 => MODE_SV39,
+            TranslationMode::Sv48 => MODE_SV48,
+            TranslationMode::Sv57 => MODE_SV57,
+        };
+        Satp {
+            bits: (mode_bits << 60)
+                | ((asid as u64) << 44)
+                | (root.page_number() & ((1 << 44) - 1)),
+        }
+    }
+
+    /// Decodes a raw CSR value; `None` for reserved MODE encodings.
+    pub fn from_bits(bits: u64) -> Option<Satp> {
+        match bits >> 60 {
+            MODE_BARE | MODE_SV39 | MODE_SV48 | MODE_SV57 => Some(Satp { bits }),
+            _ => None,
+        }
+    }
+
+    /// Raw CSR encoding.
+    pub const fn to_bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The translation mode, or `None` for Bare.
+    pub fn mode(self) -> Option<TranslationMode> {
+        match self.bits >> 60 {
+            MODE_SV39 => Some(TranslationMode::Sv39),
+            MODE_SV48 => Some(TranslationMode::Sv48),
+            MODE_SV57 => Some(TranslationMode::Sv57),
+            _ => None,
+        }
+    }
+
+    /// True for the Bare (translation-off) encoding.
+    pub fn is_bare(self) -> bool {
+        self.bits >> 60 == MODE_BARE
+    }
+
+    /// The address-space identifier.
+    pub fn asid(self) -> u16 {
+        ((self.bits >> 44) & 0xffff) as u16
+    }
+
+    /// Physical base of the root page table.
+    pub fn root(self) -> PhysAddr {
+        PhysAddr::new((self.bits & ((1 << 44) - 1)) << PAGE_SHIFT)
+    }
+}
+
+/// A decoded `hgatp` value (hypervisor G-stage): like `satp` but the ASID
+/// field is a VMID and MODE 8 means Sv39x4 (the root is 16 KiB).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Hgatp {
+    bits: u64,
+}
+
+impl Hgatp {
+    /// G-stage translation off.
+    pub const BARE: Hgatp = Hgatp { bits: 0 };
+
+    /// Builds an `hgatp` for Sv39x4 with the given VMID and root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not 16 KiB aligned (the Sv39x4 requirement).
+    pub fn sv39x4(vmid: u16, root: PhysAddr) -> Hgatp {
+        assert!(root.is_aligned(16 * 1024), "Sv39x4 root must be 16 KiB aligned");
+        Hgatp {
+            bits: (MODE_SV39 << 60)
+                | (((vmid & 0x3fff) as u64) << 44)
+                | (root.page_number() & ((1 << 44) - 1)),
+        }
+    }
+
+    /// Raw CSR encoding.
+    pub const fn to_bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Decodes a raw CSR value; `None` for reserved MODE encodings.
+    pub fn from_bits(bits: u64) -> Option<Hgatp> {
+        match bits >> 60 {
+            MODE_BARE | MODE_SV39 => Some(Hgatp { bits }),
+            _ => None,
+        }
+    }
+
+    /// The virtual-machine identifier (14 bits on RV64).
+    pub fn vmid(self) -> u16 {
+        ((self.bits >> 44) & 0x3fff) as u16
+    }
+
+    /// Physical base of the (16 KiB) root.
+    pub fn root(self) -> PhysAddr {
+        PhysAddr::new((self.bits & ((1 << 44) - 1)) << PAGE_SHIFT)
+    }
+
+    /// True for the Bare encoding.
+    pub fn is_bare(self) -> bool {
+        self.bits >> 60 == MODE_BARE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satp_round_trip_all_modes() {
+        for mode in [TranslationMode::Sv39, TranslationMode::Sv48, TranslationMode::Sv57] {
+            let satp = Satp::new(mode, 42, PhysAddr::new(0x8123_4000));
+            let decoded = Satp::from_bits(satp.to_bits()).unwrap();
+            assert_eq!(decoded.mode(), Some(mode));
+            assert_eq!(decoded.asid(), 42);
+            assert_eq!(decoded.root(), PhysAddr::new(0x8123_4000));
+            assert!(!decoded.is_bare());
+        }
+    }
+
+    #[test]
+    fn bare_is_zero() {
+        assert_eq!(Satp::BARE.to_bits(), 0);
+        assert!(Satp::BARE.is_bare());
+        assert_eq!(Satp::BARE.mode(), None);
+    }
+
+    #[test]
+    fn reserved_modes_rejected() {
+        assert!(Satp::from_bits(5 << 60).is_none());
+        assert!(Satp::from_bits(15 << 60).is_none());
+        assert!(Hgatp::from_bits(9 << 60).is_none());
+    }
+
+    #[test]
+    fn mode_field_values_match_spec() {
+        let satp = Satp::new(TranslationMode::Sv39, 0, PhysAddr::new(0));
+        assert_eq!(satp.to_bits() >> 60, 8);
+        let satp = Satp::new(TranslationMode::Sv48, 0, PhysAddr::new(0));
+        assert_eq!(satp.to_bits() >> 60, 9);
+        let satp = Satp::new(TranslationMode::Sv57, 0, PhysAddr::new(0));
+        assert_eq!(satp.to_bits() >> 60, 10);
+    }
+
+    #[test]
+    fn hgatp_round_trip() {
+        let hgatp = Hgatp::sv39x4(99, PhysAddr::new(0x8000_4000));
+        let decoded = Hgatp::from_bits(hgatp.to_bits()).unwrap();
+        assert_eq!(decoded.vmid(), 99);
+        assert_eq!(decoded.root(), PhysAddr::new(0x8000_4000));
+        assert!(!decoded.is_bare());
+        assert!(Hgatp::BARE.is_bare());
+    }
+
+    #[test]
+    #[should_panic(expected = "16 KiB aligned")]
+    fn hgatp_requires_alignment() {
+        Hgatp::sv39x4(0, PhysAddr::new(0x8000_1000));
+    }
+}

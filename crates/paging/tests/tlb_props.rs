@@ -1,0 +1,101 @@
+//! Property tests: the two-level TLB against a reference model, and walk
+//! determinism under arbitrary PWC state.
+
+use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, PhysMem, VirtAddr, PAGE_SIZE};
+use hpmp_paging::{
+    walk, AddressSpace, Tlb, TlbConfig, TlbEntry, TranslationMode, WalkCache,
+    WalkCacheConfig,
+};
+use proptest::prelude::*;
+
+fn entry(asid: u16, vpn: u64) -> TlbEntry {
+    TlbEntry {
+        asid,
+        vpn,
+        frame: PhysAddr::new(vpn << 12),
+        page_perms: Perms::RW,
+        isolation_perms: Perms::RWX,
+        user: true,
+    }
+}
+
+proptest! {
+    /// A filled translation remains visible until a flush that covers it;
+    /// flushes never over- or under-remove across ASIDs.
+    #[test]
+    fn flush_scoping(
+        fills in prop::collection::vec((0u16..4, 0u64..64), 1..48),
+        flush_asid in 0u16..4,
+    ) {
+        let mut tlb = Tlb::new(TlbConfig { l1_entries: 64, l2_entries: 1024,
+                                           l2_hit_latency: 4 });
+        for &(asid, vpn) in &fills {
+            tlb.fill(entry(asid, vpn));
+        }
+        tlb.flush_asid(flush_asid);
+        for &(asid, vpn) in &fills {
+            let hit = tlb.lookup(asid, VirtAddr::new(vpn << 12)).is_some();
+            if asid == flush_asid {
+                prop_assert!(!hit, "asid {asid} vpn {vpn} must be flushed");
+            }
+            // Survivors may still have been evicted by capacity, so only
+            // the flushed direction is asserted.
+        }
+    }
+
+    /// With capacity to spare, every fill is retrievable and returns the
+    /// exact entry.
+    #[test]
+    fn fills_are_faithful(fills in prop::collection::vec((0u16..4, 0u64..512), 1..32)) {
+        let mut tlb = Tlb::new(TlbConfig { l1_entries: 64, l2_entries: 1024,
+                                           l2_hit_latency: 4 });
+        let mut last = std::collections::HashMap::new();
+        for &(asid, vpn) in &fills {
+            tlb.fill(entry(asid, vpn));
+            last.insert((asid, vpn), ());
+        }
+        // Direct-mapped L2 conflicts only occur for equal vpn%1024; with
+        // vpn < 512 every (asid, vpn) pair with distinct vpn coexists —
+        // same-vpn different-asid pairs can conflict, so check only the
+        // most recent fill per vpn.
+        let mut latest_by_vpn = std::collections::HashMap::new();
+        for &(asid, vpn) in &fills {
+            latest_by_vpn.insert(vpn, asid);
+        }
+        for (&vpn, &asid) in &latest_by_vpn {
+            let hit = tlb.lookup(asid, VirtAddr::new(vpn << 12));
+            prop_assert!(hit.is_some(), "latest fill for vpn {vpn} lost");
+            let (e, _) = hit.unwrap();
+            prop_assert_eq!(e.frame, PhysAddr::new(vpn << 12));
+        }
+    }
+
+    /// The hardware walk returns the same translation no matter what PWC
+    /// state it starts from (caches accelerate, never change, the result).
+    #[test]
+    fn walk_invariant_under_pwc_state(
+        pages in prop::collection::vec(0u64..256, 1..16),
+        probes in prop::collection::vec(0u64..256, 1..16),
+        pwc_entries in 0usize..9,
+    ) {
+        let mut mem = PhysMem::new();
+        let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 128 * PAGE_SIZE);
+        let mut space =
+            AddressSpace::new(TranslationMode::Sv39, 1, &mut mem, &mut frames).unwrap();
+        for (i, &p) in pages.iter().enumerate() {
+            let _ = space.map_page(&mut mem, &mut frames,
+                                   VirtAddr::new(0x40_0000 + p * PAGE_SIZE),
+                                   PhysAddr::new(0x9000_0000 + (i as u64) * PAGE_SIZE),
+                                   Perms::RW, true);
+        }
+        let mut pwc = WalkCache::new(WalkCacheConfig { entries: pwc_entries,
+                                                       hit_latency: 1 });
+        for &p in &probes {
+            let va = VirtAddr::new(0x40_0000 + p * PAGE_SIZE);
+            let with_pwc = walk(&mem, &space, &mut pwc, va).translation;
+            let mut cold = WalkCache::new(WalkCacheConfig { entries: 0, hit_latency: 1 });
+            let without = walk(&mem, &space, &mut cold, va).translation;
+            prop_assert_eq!(with_pwc, without, "PWC changed a translation at {}", va);
+        }
+    }
+}

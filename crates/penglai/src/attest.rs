@@ -1,0 +1,239 @@
+//! Enclave measurement and attestation.
+//!
+//! Penglai's monitor is loaded and verified by the boot ROM (secure boot)
+//! and manages enclave deployment, which includes *measuring* an enclave's
+//! initial memory so a remote party can check what is running. The model:
+//! the monitor hashes the enclave's initial region(s) page by page (reusing
+//! the Merkle leaf hash), binds the measurement to the domain id and a
+//! monotonic nonce, and tags the report with a key only the monitor holds.
+//! The tag stands in for a signature — verifying it requires asking the
+//! monitor, exactly like a local attestation flow.
+
+use hpmp_machine::Machine;
+use hpmp_memsim::{PhysAddr, PAGE_SIZE};
+
+use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor};
+
+/// An attestation report for one domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// The attested domain.
+    pub domain: DomainId,
+    /// Hash of the domain's memory at measurement time.
+    pub measurement: u64,
+    /// Monotonic freshness counter bound into the tag.
+    pub nonce: u64,
+    /// Monitor authentication tag over (domain, measurement, nonce).
+    pub tag: u64,
+}
+
+/// Why report verification failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttestError {
+    /// The tag does not match the report body (forged or corrupted).
+    BadTag,
+    /// The measurement does not match the monitor's records for the domain.
+    MeasurementMismatch,
+    /// The domain is unknown (destroyed since measurement).
+    UnknownDomain(DomainId),
+}
+
+impl std::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestError::BadTag => f.write_str("report tag invalid"),
+            AttestError::MeasurementMismatch => f.write_str("measurement mismatch"),
+            AttestError::UnknownDomain(d) => write!(f, "unknown domain {d}"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+fn fnv_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for shift in (0..64).step_by(8) {
+            hash ^= (w >> shift) & 0xff;
+            hash = hash.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Monitor-held attestation state: the device key (provisioned at secure
+/// boot) and recorded measurements.
+#[derive(Debug)]
+pub struct Attestor {
+    device_key: u64,
+    nonce: u64,
+    measurements: Vec<(DomainId, u64)>,
+}
+
+impl Attestor {
+    /// Provisions the attestor with a device key (burned in at
+    /// manufacturing; any value works for the model).
+    pub fn new(device_key: u64) -> Attestor {
+        Attestor { device_key, nonce: 0, measurements: Vec::new() }
+    }
+
+    /// Measures `domain`'s memory (every page of every GMS it owns) and
+    /// records the result. Returns `(measurement, cycles)` — the cycle cost
+    /// models the hash engine at ~1 cycle per word plus monitor overhead.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains.
+    pub fn measure(
+        &mut self,
+        machine: &Machine,
+        monitor: &SecureMonitor,
+        domain: DomainId,
+    ) -> Result<(u64, u64), MonitorError> {
+        let mut page_hashes = Vec::new();
+        let mut pages = 0u64;
+        for gms in monitor.regions_of(domain)? {
+            let region = gms.region;
+            for p in 0..region.size / PAGE_SIZE {
+                let base = PhysAddr::new(region.base.raw() + p * PAGE_SIZE);
+                page_hashes.push(fnv_words(
+                    (0..PAGE_SIZE / 8).map(|i| machine.phys().read_u64(base + i * 8)),
+                ));
+                pages += 1;
+            }
+        }
+        let measurement = fnv_words(page_hashes);
+        self.measurements.retain(|(d, _)| *d != domain);
+        self.measurements.push((domain, measurement));
+        let cycles = cost::TRAP_ROUND_TRIP + pages * (PAGE_SIZE / 8) + cost::BOOKKEEPING;
+        Ok((measurement, cycles))
+    }
+
+    /// Produces a fresh report for a previously measured domain.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the domain was never measured.
+    pub fn attest(&mut self, domain: DomainId) -> Result<AttestationReport, AttestError> {
+        let measurement = self
+            .measurements
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, m)| *m)
+            .ok_or(AttestError::UnknownDomain(domain))?;
+        self.nonce += 1;
+        let nonce = self.nonce;
+        Ok(AttestationReport {
+            domain,
+            measurement,
+            nonce,
+            tag: self.tag(domain, measurement, nonce),
+        })
+    }
+
+    /// Verifies a report: the tag must authenticate the body, and the body
+    /// must match the recorded measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific failure so callers can distinguish forgery from
+    /// re-measured (changed) enclaves.
+    pub fn verify(&self, report: &AttestationReport) -> Result<(), AttestError> {
+        if report.tag != self.tag(report.domain, report.measurement, report.nonce) {
+            return Err(AttestError::BadTag);
+        }
+        let recorded = self
+            .measurements
+            .iter()
+            .find(|(d, _)| *d == report.domain)
+            .map(|(_, m)| *m)
+            .ok_or(AttestError::UnknownDomain(report.domain))?;
+        if recorded != report.measurement {
+            return Err(AttestError::MeasurementMismatch);
+        }
+        Ok(())
+    }
+
+    fn tag(&self, domain: DomainId, measurement: u64, nonce: u64) -> u64 {
+        fnv_words([self.device_key, domain.0 as u64, measurement, nonce])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gms::GmsLabel;
+    use crate::monitor::TeeFlavor;
+    use hpmp_core::PmpRegion;
+    use hpmp_machine::MachineConfig;
+
+    const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+    fn boot() -> (Machine, SecureMonitor, Attestor, DomainId) {
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM);
+        let (domain, _) =
+            monitor.create_domain(&mut machine, 64 * 1024, GmsLabel::Slow).unwrap();
+        (machine, monitor, Attestor::new(0x5ec2e7), domain)
+    }
+
+    #[test]
+    fn measure_attest_verify_round_trip() {
+        let (machine, monitor, mut attestor, domain) = boot();
+        let (m, cycles) = attestor.measure(&machine, &monitor, domain).unwrap();
+        assert!(cycles > 0);
+        let report = attestor.attest(domain).unwrap();
+        assert_eq!(report.measurement, m);
+        attestor.verify(&report).expect("genuine report verifies");
+    }
+
+    #[test]
+    fn forged_tag_rejected() {
+        let (machine, monitor, mut attestor, domain) = boot();
+        attestor.measure(&machine, &monitor, domain).unwrap();
+        let mut report = attestor.attest(domain).unwrap();
+        report.tag ^= 1;
+        assert_eq!(attestor.verify(&report), Err(AttestError::BadTag));
+    }
+
+    #[test]
+    fn tampered_measurement_rejected() {
+        let (machine, monitor, mut attestor, domain) = boot();
+        attestor.measure(&machine, &monitor, domain).unwrap();
+        let mut report = attestor.attest(domain).unwrap();
+        // An attacker cannot fix the tag without the device key, but even
+        // if measurements leak, substituting one fails the tag first; with
+        // a "re-signed" (same-attestor) report, the mismatch is caught.
+        report.measurement ^= 0xff;
+        assert_eq!(attestor.verify(&report), Err(AttestError::BadTag));
+    }
+
+    #[test]
+    fn memory_change_changes_measurement() {
+        let (mut machine, monitor, mut attestor, domain) = boot();
+        let (before, _) = attestor.measure(&machine, &monitor, domain).unwrap();
+        let base = monitor.regions_of(domain).unwrap()[0].region.base;
+        machine.phys_mut().write_u64(base + 0x100, 0x1234);
+        let (after, _) = attestor.measure(&machine, &monitor, domain).unwrap();
+        assert_ne!(before, after, "measurement must track memory contents");
+    }
+
+    #[test]
+    fn nonces_are_fresh() {
+        let (machine, monitor, mut attestor, domain) = boot();
+        attestor.measure(&machine, &monitor, domain).unwrap();
+        let a = attestor.attest(domain).unwrap();
+        let b = attestor.attest(domain).unwrap();
+        assert_ne!(a.nonce, b.nonce);
+        assert_ne!(a.tag, b.tag, "tags bind the nonce");
+        attestor.verify(&a).unwrap();
+        attestor.verify(&b).unwrap();
+    }
+
+    #[test]
+    fn unmeasured_domain_rejected() {
+        let (_, _, mut attestor, _) = boot();
+        assert_eq!(attestor.attest(DomainId(99)),
+                   Err(AttestError::UnknownDomain(DomainId(99))));
+    }
+}

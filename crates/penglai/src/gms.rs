@@ -1,0 +1,87 @@
+//! The general memory segment (GMS) abstraction (§5).
+//!
+//! A GMS is a contiguous physical region with one permission and a label.
+//! The OS may *label* a GMS "fast" or "slow" as a hint, but cannot change
+//! its range or permission — those are enforced by the secure monitor. The
+//! monitor backs fast GMSs with HPMP segment entries (higher-priority,
+//! cache-like: every GMS is also covered by the permission table, so
+//! dropping a segment never changes correctness, only speed).
+
+use hpmp_core::PmpRegion;
+use hpmp_memsim::Perms;
+
+/// The OS-provided placement hint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GmsLabel {
+    /// Back with a segment entry if one is free.
+    Fast,
+    /// Permission-table-only.
+    #[default]
+    Slow,
+}
+
+impl std::fmt::Display for GmsLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GmsLabel::Fast => "fast",
+            GmsLabel::Slow => "slow",
+        })
+    }
+}
+
+/// A general memory segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gms {
+    /// The physical region.
+    pub region: PmpRegion,
+    /// Permission granted to the owning domain.
+    pub perms: Perms,
+    /// The OS hint; the monitor treats it as advisory.
+    pub label: GmsLabel,
+}
+
+impl Gms {
+    /// Builds a GMS.
+    pub fn new(region: PmpRegion, perms: Perms, label: GmsLabel) -> Gms {
+        Gms { region, perms, label }
+    }
+
+    /// True if the monitor can express this GMS as one NAPOT segment.
+    pub fn segment_compatible(&self) -> bool {
+        self.region.is_napot()
+    }
+}
+
+impl std::fmt::Display for Gms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.region, self.perms, self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmp_memsim::PhysAddr;
+
+    #[test]
+    fn labels_and_display() {
+        let gms = Gms::new(
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x10_0000),
+            Perms::RW,
+            GmsLabel::Fast,
+        );
+        assert!(gms.segment_compatible());
+        assert_eq!(gms.to_string(), "[0x80000000, 0x80100000) rw- fast");
+        assert_eq!(GmsLabel::default(), GmsLabel::Slow);
+    }
+
+    #[test]
+    fn non_napot_region_not_segment_compatible() {
+        let gms = Gms::new(
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x18_0000),
+            Perms::RW,
+            GmsLabel::Fast,
+        );
+        assert!(!gms.segment_compatible());
+    }
+}

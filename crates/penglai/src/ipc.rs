@@ -1,0 +1,321 @@
+//! Inter-enclave communication (Figure 7).
+//!
+//! Penglai provides monitor-mediated channels between domains. The model:
+//! the monitor allocates a shared buffer from protected memory, grants it
+//! RW to exactly the two endpoints (in their permission tables, or as a
+//! shared segment under the PMP flavour), and messages are copied through
+//! the machine so the cost is real memory traffic plus the monitor's trap
+//! overhead. Third domains never gain access — verified by the tests and
+//! by `tests/security.rs`.
+
+use hpmp_machine::Machine;
+use hpmp_memsim::{AccessKind, Perms, PhysAddr, PrivMode, PAGE_SIZE};
+
+use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor};
+
+/// Identifier of an IPC channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u32);
+
+/// One monitor-mediated channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Channel {
+    /// The channel's id.
+    pub id: ChannelId,
+    /// First endpoint.
+    pub a: DomainId,
+    /// Second endpoint.
+    pub b: DomainId,
+    /// The shared buffer (one page).
+    pub buffer: PhysAddr,
+    /// Bytes of the pending message (0 = empty).
+    pub pending: u64,
+    /// Which endpoint wrote the pending message.
+    pub sender: DomainId,
+}
+
+/// Monitor-mediated IPC state. Owned next to the [`SecureMonitor`]; methods
+/// take the monitor and machine explicitly, mirroring the ecall interface.
+#[derive(Debug, Default)]
+pub struct IpcTable {
+    channels: Vec<Channel>,
+    next_id: u32,
+}
+
+/// Errors from IPC operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpcError {
+    /// Unknown channel.
+    NoSuchChannel(ChannelId),
+    /// The calling domain is not an endpoint.
+    NotEndpoint(DomainId),
+    /// A message is already pending (the buffer is single-slot).
+    Busy,
+    /// No message is pending.
+    Empty,
+    /// The message exceeds the one-page buffer.
+    TooLarge(u64),
+    /// Monitor-side failure (allocation, programming).
+    Monitor(MonitorError),
+}
+
+impl std::fmt::Display for IpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpcError::NoSuchChannel(id) => write!(f, "no such channel {id:?}"),
+            IpcError::NotEndpoint(d) => write!(f, "domain {d} is not an endpoint"),
+            IpcError::Busy => f.write_str("channel busy (message pending)"),
+            IpcError::Empty => f.write_str("channel empty"),
+            IpcError::TooLarge(n) => write!(f, "message of {n} bytes exceeds one page"),
+            IpcError::Monitor(e) => write!(f, "monitor failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+impl From<MonitorError> for IpcError {
+    fn from(e: MonitorError) -> IpcError {
+        IpcError::Monitor(e)
+    }
+}
+
+impl IpcTable {
+    /// Creates an empty table.
+    pub fn new() -> IpcTable {
+        IpcTable::default()
+    }
+
+    /// Lists the channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Creates a channel between `a` and `b`: allocates a one-page shared
+    /// buffer and grants it to both endpoints' permission tables. Returns
+    /// the id and cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either domain is unknown or memory runs out.
+    pub fn create(
+        &mut self,
+        machine: &mut Machine,
+        monitor: &mut SecureMonitor,
+        a: DomainId,
+        b: DomainId,
+    ) -> Result<(ChannelId, u64), IpcError> {
+        // The buffer comes from the monitor's region allocator, owned by
+        // neither endpoint; grants are added to both tables below.
+        let (region, mut cycles) =
+            monitor.alloc_shared_buffer(machine, a, b, PAGE_SIZE)?;
+        cycles += cost::TRAP_ROUND_TRIP;
+        let id = ChannelId(self.next_id);
+        self.next_id += 1;
+        self.channels.push(Channel {
+            id,
+            a,
+            b,
+            buffer: region,
+            pending: 0,
+            sender: a,
+        });
+        Ok((id, cycles))
+    }
+
+    /// Sends `bytes` from `from` over the channel: copies through the
+    /// shared buffer via the kernel direct map. Returns the cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the caller is not an endpoint, a message is pending, or the
+    /// message exceeds one page.
+    pub fn send(
+        &mut self,
+        machine: &mut Machine,
+        id: ChannelId,
+        from: DomainId,
+        bytes: u64,
+    ) -> Result<u64, IpcError> {
+        if bytes > PAGE_SIZE {
+            return Err(IpcError::TooLarge(bytes));
+        }
+        let channel = self.channel_mut(id)?;
+        if channel.a != from && channel.b != from {
+            return Err(IpcError::NotEndpoint(from));
+        }
+        if channel.pending > 0 {
+            return Err(IpcError::Busy);
+        }
+        channel.pending = bytes;
+        channel.sender = from;
+        let buffer = channel.buffer;
+        Ok(cost::TRAP_ROUND_TRIP + Self::copy_cost(machine, buffer, bytes))
+    }
+
+    /// Receives the pending message at `to`, draining the slot. Returns
+    /// `(bytes, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the caller is not the *other* endpoint or nothing is
+    /// pending.
+    pub fn recv(
+        &mut self,
+        machine: &mut Machine,
+        id: ChannelId,
+        to: DomainId,
+    ) -> Result<(u64, u64), IpcError> {
+        let channel = self.channel_mut(id)?;
+        if channel.a != to && channel.b != to {
+            return Err(IpcError::NotEndpoint(to));
+        }
+        if channel.pending == 0 {
+            return Err(IpcError::Empty);
+        }
+        if channel.sender == to {
+            return Err(IpcError::Empty); // cannot receive your own message
+        }
+        let bytes = channel.pending;
+        channel.pending = 0;
+        let buffer = channel.buffer;
+        Ok((bytes, cost::TRAP_ROUND_TRIP + Self::copy_cost(machine, buffer, bytes)))
+    }
+
+    /// Prices the buffer copy as real memory traffic (M-mode copies via
+    /// physical addresses; the monitor is exempt from HPMP checks).
+    fn copy_cost(machine: &mut Machine, buffer: PhysAddr, bytes: u64) -> u64 {
+        let mut cycles = 0;
+        let lines = bytes.div_ceil(64).max(1);
+        for i in 0..lines {
+            // M-mode access: direct physical, checked (and allowed) by HPMP.
+            let regs_allow = machine
+                .regs()
+                .check(
+                    machine.phys(),
+                    &mut hpmp_core::PmptwCache::disabled(),
+                    buffer + i * 64,
+                    AccessKind::Write,
+                    PrivMode::Machine,
+                )
+                .allowed;
+            debug_assert!(regs_allow, "monitor copies are M-mode");
+            cycles += machine.run_compute(4);
+        }
+        cycles + bytes / 8 // word moves
+    }
+
+    fn channel_mut(&mut self, id: ChannelId) -> Result<&mut Channel, IpcError> {
+        self.channels.iter_mut().find(|c| c.id == id).ok_or(IpcError::NoSuchChannel(id))
+    }
+}
+
+impl SecureMonitor {
+    /// Allocates a one-page shared buffer granted RW to both `a` and `b`
+    /// (IPC support). Returns the buffer base and the cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains or exhausted memory.
+    pub fn alloc_shared_buffer(
+        &mut self,
+        machine: &mut Machine,
+        a: DomainId,
+        b: DomainId,
+        len: u64,
+    ) -> Result<(PhysAddr, u64), MonitorError> {
+        // Internal allocation: carve from the region cursor without making
+        // it a domain GMS (the monitor owns it; endpoints get table grants).
+        let (region, mut cycles) = self.alloc_monitor_buffer(len)?;
+        for domain in [a, b] {
+            cycles += self.grant_in_domain_table(machine, domain, region, Perms::RW)?;
+        }
+        machine.sfence_vma_all();
+        cycles += cost::FENCE;
+        Ok((region.base, cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmp_core::PmpRegion;
+    use hpmp_machine::MachineConfig;
+    use hpmp_penglai_test_support::*;
+
+    /// Minimal local support to avoid a cyclic dev-dependency.
+    mod hpmp_penglai_test_support {
+        pub use crate::gms::GmsLabel;
+        pub use crate::monitor::TeeFlavor;
+    }
+
+    const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+    fn boot() -> (Machine, SecureMonitor, IpcTable, DomainId, DomainId) {
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM);
+        let (a, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let (b, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        (machine, monitor, IpcTable::new(), a, b)
+    }
+
+    #[test]
+    fn round_trip_message() {
+        let (mut machine, mut monitor, mut ipc, a, b) = boot();
+        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        let send_cost = ipc.send(&mut machine, ch, a, 256).expect("send");
+        assert!(send_cost > 0);
+        let (bytes, recv_cost) = ipc.recv(&mut machine, ch, b).expect("recv");
+        assert_eq!(bytes, 256);
+        assert!(recv_cost > 0);
+        // Drained: a second recv reports empty.
+        assert_eq!(ipc.recv(&mut machine, ch, b), Err(IpcError::Empty));
+    }
+
+    #[test]
+    fn single_slot_backpressure() {
+        let (mut machine, mut monitor, mut ipc, a, b) = boot();
+        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        ipc.send(&mut machine, ch, a, 64).expect("first send");
+        assert_eq!(ipc.send(&mut machine, ch, b, 64), Err(IpcError::Busy));
+        ipc.recv(&mut machine, ch, b).expect("drain");
+        ipc.send(&mut machine, ch, b, 64).expect("now free");
+    }
+
+    #[test]
+    fn endpoints_only() {
+        let (mut machine, mut monitor, mut ipc, a, b) = boot();
+        let (c, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        assert_eq!(ipc.send(&mut machine, ch, c, 64), Err(IpcError::NotEndpoint(c)));
+        ipc.send(&mut machine, ch, a, 64).expect("send");
+        assert_eq!(ipc.recv(&mut machine, ch, c), Err(IpcError::NotEndpoint(c)));
+        // The sender cannot receive its own message.
+        assert_eq!(ipc.recv(&mut machine, ch, a), Err(IpcError::Empty));
+    }
+
+    #[test]
+    fn buffer_granted_to_both_endpoints_only() {
+        use hpmp_memsim::PrivMode;
+        let (mut machine, mut monitor, mut ipc, a, b) = boot();
+        let (c, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        let buffer = ipc.channels()[0].buffer;
+        let mut cache = hpmp_core::PmptwCache::disabled();
+        for (domain, expect) in [(a, true), (b, true), (c, false)] {
+            monitor.switch_to(&mut machine, domain).expect("switch");
+            let out = machine.regs().check(machine.phys(), &mut cache, buffer,
+                                           AccessKind::Write, PrivMode::Supervisor);
+            assert_eq!(out.allowed, expect, "domain {domain} buffer access");
+        }
+        let _ = ch;
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let (mut machine, mut monitor, mut ipc, a, b) = boot();
+        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        assert_eq!(ipc.send(&mut machine, ch, a, PAGE_SIZE + 1),
+                   Err(IpcError::TooLarge(PAGE_SIZE + 1)));
+    }
+}

@@ -1,0 +1,31 @@
+//! # hpmp-penglai
+//!
+//! The software half of the co-design: a simulated Penglai-style secure
+//! monitor (M-mode) with the general-memory-segment (GMS) abstraction, the
+//! three comparison flavours (Penglai-PMP / Penglai-PMPT / Penglai-HPMP),
+//! domain lifecycle and region management (§5, Figure 14), and a small
+//! simulated OS kernel whose page-table pages come from a contiguous "fast"
+//! pool or a scattered allocator — the ~700-line Linux change the paper
+//! describes, reproduced behaviourally.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod attest;
+mod gms;
+mod ipc;
+mod merkle;
+mod monitor;
+mod os;
+mod sdk;
+
+pub use attest::{AttestError, AttestationReport, Attestor};
+pub use gms::{Gms, GmsLabel};
+pub use ipc::{Channel, ChannelId, IpcError, IpcTable};
+pub use merkle::{IntegrityError, MerkleTree, SUBTREE_PAGES};
+pub use monitor::{cost, DomainId, MonitorError, MonitorStats, SecureMonitor, TeeFlavor};
+pub use sdk::{CallError, EnclaveSdk};
+pub use os::{
+    HintId, OsError, OsStats, Pid, PtPlacement, RegionHint, SimOs, KERNEL_DIRECT_MAP,
+    USER_CODE_BASE, USER_HEAP_BASE,
+};

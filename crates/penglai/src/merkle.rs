@@ -1,0 +1,308 @@
+//! Mountable Merkle tree: Penglai's integrity protection (Figure 7).
+//!
+//! Penglai "employs encryption and merkle tree to defend against physical
+//! memory attacks", and its mountable variant materialises subtrees on
+//! demand so integrity metadata scales with the *hot* working set rather
+//! than total protected memory. This module models that component over the
+//! simulated physical memory: a page-granular hash tree with arity 8,
+//! lazily-mounted subtrees and tamper detection.
+//!
+//! The hash is FNV-1a (64-bit) — a stand-in for the hardware hash engine;
+//! collision resistance is irrelevant to what the model measures (metadata
+//! counts, verify/update paths, detection of direct physical writes), and
+//! the offline crate policy precludes a real cryptographic hash.
+
+use std::collections::HashMap;
+
+use hpmp_memsim::{PhysAddr, PhysMem, PAGE_SIZE};
+
+use crate::monitor::MonitorError;
+
+/// Arity of the tree (children per internal node).
+const ARITY: u64 = 8;
+
+/// 64-bit FNV-1a over a byte-free word stream (we hash the page's words).
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for shift in (0..64).step_by(8) {
+            hash ^= (w >> shift) & 0xff;
+            hash = hash.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn hash_page(mem: &PhysMem, base: PhysAddr) -> u64 {
+    fnv1a((0..PAGE_SIZE / 8).map(|i| mem.read_u64(base + i * 8)))
+}
+
+fn hash_children(children: &[u64]) -> u64 {
+    fnv1a(children.iter().copied())
+}
+
+/// Errors from integrity operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The page's current contents do not match the recorded hash.
+    TamperDetected(PhysAddr),
+    /// The address lies outside the protected region.
+    OutOfRange(PhysAddr),
+    /// The page's subtree is not mounted.
+    NotMounted(PhysAddr),
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::TamperDetected(pa) => write!(f, "tampering detected at {pa}"),
+            IntegrityError::OutOfRange(pa) => write!(f, "address {pa} outside merkle region"),
+            IntegrityError::NotMounted(pa) => write!(f, "subtree for {pa} not mounted"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+impl From<IntegrityError> for MonitorError {
+    fn from(_: IntegrityError) -> MonitorError {
+        MonitorError::NotOwned
+    }
+}
+
+/// A mountable Merkle tree over `[base, base + pages·4K)`.
+///
+/// Leaves are page hashes grouped into *subtrees* of 8² pages; a
+/// subtree's leaf hashes exist in memory only while mounted. The root keeps
+/// one hash per subtree, so unmounted state costs 8 bytes per 64 pages.
+#[derive(Debug)]
+pub struct MerkleTree {
+    base: PhysAddr,
+    pages: u64,
+    /// Per-subtree top hash (always resident).
+    subtree_roots: Vec<u64>,
+    /// Mounted subtrees: index → leaf page hashes.
+    mounted: HashMap<u64, Vec<u64>>,
+    root: u64,
+}
+
+/// Pages per subtree (arity²).
+pub const SUBTREE_PAGES: u64 = ARITY * ARITY;
+
+impl MerkleTree {
+    /// Builds the tree over the current contents of `mem`. All subtrees
+    /// start unmounted (only their top hashes are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page aligned or `pages` is zero.
+    pub fn build(mem: &PhysMem, base: PhysAddr, pages: u64) -> MerkleTree {
+        assert!(base.is_aligned(PAGE_SIZE), "merkle base must be page aligned");
+        assert!(pages > 0, "empty merkle region");
+        let subtrees = pages.div_ceil(SUBTREE_PAGES);
+        let mut subtree_roots = Vec::with_capacity(subtrees as usize);
+        for s in 0..subtrees {
+            let leaves = Self::subtree_leaves(mem, base, pages, s);
+            subtree_roots.push(Self::fold_subtree(&leaves));
+        }
+        let root = hash_children(&subtree_roots);
+        MerkleTree { base, pages, subtree_roots, mounted: HashMap::new(), root }
+    }
+
+    /// The current root hash — what the monitor keeps in its private
+    /// memory (or a register) as the trust anchor.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Number of currently mounted subtrees.
+    pub fn mounted_count(&self) -> usize {
+        self.mounted.len()
+    }
+
+    /// Resident integrity metadata in bytes (root + subtree tops + mounted
+    /// leaves) — the quantity the mountable design keeps small.
+    pub fn resident_metadata_bytes(&self) -> u64 {
+        8 + self.subtree_roots.len() as u64 * 8
+            + self.mounted.values().map(|v| v.len() as u64 * 8).sum::<u64>()
+    }
+
+    /// Mounts the subtree covering `addr`, re-hashing its pages and
+    /// verifying the subtree's top hash against the resident copy.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`IntegrityError::TamperDetected`] if the recomputed top
+    /// hash mismatches (memory was modified while unmounted).
+    pub fn mount(&mut self, mem: &PhysMem, addr: PhysAddr) -> Result<(), IntegrityError> {
+        let s = self.subtree_of(addr)?;
+        if self.mounted.contains_key(&s) {
+            return Ok(());
+        }
+        let leaves = Self::subtree_leaves(mem, self.base, self.pages, s);
+        if Self::fold_subtree(&leaves) != self.subtree_roots[s as usize] {
+            return Err(IntegrityError::TamperDetected(addr.page_base()));
+        }
+        self.mounted.insert(s, leaves);
+        Ok(())
+    }
+
+    /// Unmounts the subtree covering `addr`, dropping its leaf hashes (the
+    /// top hash stays resident).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is out of range.
+    pub fn unmount(&mut self, addr: PhysAddr) -> Result<(), IntegrityError> {
+        let s = self.subtree_of(addr)?;
+        self.mounted.remove(&s);
+        Ok(())
+    }
+
+    /// Verifies the page containing `addr` against its recorded hash.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the subtree is not mounted or the page was tampered with.
+    pub fn verify_page(&self, mem: &PhysMem, addr: PhysAddr) -> Result<(), IntegrityError> {
+        let s = self.subtree_of(addr)?;
+        let leaves =
+            self.mounted.get(&s).ok_or(IntegrityError::NotMounted(addr.page_base()))?;
+        let page_idx = (addr.page_number() - self.base.page_number()) % SUBTREE_PAGES;
+        let page_base = addr.page_base();
+        if hash_page(mem, page_base) != leaves[page_idx as usize] {
+            return Err(IntegrityError::TamperDetected(page_base));
+        }
+        Ok(())
+    }
+
+    /// Records a legitimate write: re-hashes the page and propagates the
+    /// change up to the root.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the subtree is not mounted or the address is out of range.
+    pub fn update_page(&mut self, mem: &PhysMem, addr: PhysAddr) -> Result<(), IntegrityError> {
+        let s = self.subtree_of(addr)?;
+        let leaves =
+            self.mounted.get_mut(&s).ok_or(IntegrityError::NotMounted(addr.page_base()))?;
+        let page_idx = (addr.page_number() - self.base.page_number()) % SUBTREE_PAGES;
+        leaves[page_idx as usize] = hash_page(mem, addr.page_base());
+        self.subtree_roots[s as usize] = Self::fold_subtree(leaves);
+        self.root = hash_children(&self.subtree_roots);
+        Ok(())
+    }
+
+    fn subtree_of(&self, addr: PhysAddr) -> Result<u64, IntegrityError> {
+        let page = addr.page_number();
+        let first = self.base.page_number();
+        if page < first || page >= first + self.pages {
+            return Err(IntegrityError::OutOfRange(addr));
+        }
+        Ok((page - first) / SUBTREE_PAGES)
+    }
+
+    fn subtree_leaves(mem: &PhysMem, base: PhysAddr, pages: u64, s: u64) -> Vec<u64> {
+        let start = s * SUBTREE_PAGES;
+        let end = (start + SUBTREE_PAGES).min(pages);
+        (start..end)
+            .map(|p| hash_page(mem, PhysAddr::new(base.raw() + p * PAGE_SIZE)))
+            .collect()
+    }
+
+    /// Folds a subtree's leaves through one ARITY-way level and then to a
+    /// single hash.
+    fn fold_subtree(leaves: &[u64]) -> u64 {
+        let level: Vec<u64> =
+            leaves.chunks(ARITY as usize).map(hash_children).collect();
+        hash_children(&level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: PhysAddr = PhysAddr::new(0x9000_0000);
+
+    fn fixture(pages: u64) -> (PhysMem, MerkleTree) {
+        let mut mem = PhysMem::new();
+        for p in 0..pages {
+            mem.write_u64(PhysAddr::new(BASE.raw() + p * PAGE_SIZE), p + 1);
+        }
+        let tree = MerkleTree::build(&mem, BASE, pages);
+        (mem, tree)
+    }
+
+    #[test]
+    fn verify_clean_pages() {
+        let (mem, mut tree) = fixture(130); // spans 3 subtrees
+        for p in [0u64, 63, 64, 129] {
+            let addr = PhysAddr::new(BASE.raw() + p * PAGE_SIZE);
+            tree.mount(&mem, addr).expect("mount");
+            tree.verify_page(&mem, addr).expect("clean page verifies");
+        }
+        assert_eq!(tree.mounted_count(), 3);
+    }
+
+    #[test]
+    fn tamper_detected_on_mounted_page() {
+        let (mut mem, mut tree) = fixture(64);
+        let victim = PhysAddr::new(BASE.raw() + 7 * PAGE_SIZE);
+        tree.mount(&mem, victim).expect("mount");
+        // A physical attacker flips a word directly.
+        mem.write_u64(victim + 0x100, 0xdead_beef);
+        assert_eq!(tree.verify_page(&mem, victim),
+                   Err(IntegrityError::TamperDetected(victim)));
+    }
+
+    #[test]
+    fn tamper_detected_at_mount_time() {
+        let (mut mem, mut tree) = fixture(64);
+        let victim = PhysAddr::new(BASE.raw() + 3 * PAGE_SIZE);
+        // Tamper while unmounted: the subtree top hash catches it on mount.
+        mem.write_u64(victim, 42);
+        assert!(matches!(tree.mount(&mem, victim),
+                         Err(IntegrityError::TamperDetected(_))));
+    }
+
+    #[test]
+    fn legitimate_update_propagates_to_root() {
+        let (mut mem, mut tree) = fixture(64);
+        let page = PhysAddr::new(BASE.raw() + 5 * PAGE_SIZE);
+        tree.mount(&mem, page).expect("mount");
+        let old_root = tree.root();
+        mem.write_u64(page, 777);
+        tree.update_page(&mem, page).expect("update");
+        assert_ne!(tree.root(), old_root, "root must change");
+        tree.verify_page(&mem, page).expect("updated page verifies");
+        // Remount after unmount still verifies (top hash was updated).
+        tree.unmount(page).expect("unmount");
+        tree.mount(&mem, page).expect("remount");
+        tree.verify_page(&mem, page).expect("verify after remount");
+    }
+
+    #[test]
+    fn unmounted_metadata_is_small() {
+        let (_, tree) = fixture(1024); // 4 MiB protected
+        // 16 subtree hashes + root = 136 bytes while nothing is mounted.
+        assert_eq!(tree.mounted_count(), 0);
+        assert_eq!(tree.resident_metadata_bytes(), 8 + 16 * 8);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (mem, mut tree) = fixture(16);
+        let outside = PhysAddr::new(BASE.raw() + 64 * PAGE_SIZE);
+        assert!(matches!(tree.mount(&mem, outside), Err(IntegrityError::OutOfRange(_))));
+        assert!(matches!(tree.verify_page(&mem, outside),
+                         Err(IntegrityError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn verify_requires_mount() {
+        let (mem, tree) = fixture(16);
+        assert!(matches!(tree.verify_page(&mem, BASE),
+                         Err(IntegrityError::NotMounted(_))));
+    }
+}

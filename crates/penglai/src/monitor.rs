@@ -1,0 +1,1081 @@
+//! The secure monitor (Penglai-HPMP's software TCB, §5).
+//!
+//! The monitor runs in M-mode, owns the HPMP register file, and isolates
+//! domains: a **host** domain (the default OS) and any number of **enclave**
+//! domains. Three flavours reproduce the paper's comparison systems:
+//!
+//! * **Penglai-PMP** — segment-per-region. The host's permitted memory is
+//!   RAM minus every enclave region, which fragments as enclaves are carved
+//!   out; once the fragments (plus the monitor's own entry) exceed 16 PMP
+//!   entries, creation fails — the paper's "<16 domains" scalability wall.
+//! * **Penglai-PMPT** — one permission table per domain; switching domains
+//!   re-points one HPMP table entry at the target's table root.
+//! * **Penglai-HPMP** — like PMPT, plus fast GMSs backed by segment entries
+//!   (the cache-like management of §5): lower-numbered entries hold the fast
+//!   GMSs, the table entry backs everything.
+//!
+//! Every operation's cycle cost is derived from the CSR writes, table-entry
+//! writes and fence operations it performs — the quantities Figure 14
+//! measures.
+
+use hpmp_core::{
+    DeviceId, FillPolicy, IoPmp, IoPmpEntry, IoPmpMode, PmpRegion, PmpTable, TableLevels,
+};
+use hpmp_machine::Machine;
+use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, PAGE_SIZE};
+
+use crate::gms::{Gms, GmsLabel};
+
+/// Identifier of a domain. The host is always [`DomainId::HOST`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The host (default) domain.
+    pub const HOST: DomainId = DomainId(0);
+}
+
+impl std::fmt::Display for DomainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == DomainId::HOST {
+            f.write_str("host")
+        } else {
+            write!(f, "domain-{}", self.0)
+        }
+    }
+}
+
+/// Which comparison system the monitor implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TeeFlavor {
+    /// Penglai with PMP (segment-per-region).
+    PenglaiPmp,
+    /// Penglai with PMP Table for everything.
+    PenglaiPmpt,
+    /// Penglai-HPMP (hybrid).
+    PenglaiHpmp,
+}
+
+impl std::fmt::Display for TeeFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TeeFlavor::PenglaiPmp => "Penglai-PMP",
+            TeeFlavor::PenglaiPmpt => "Penglai-PMPT",
+            TeeFlavor::PenglaiHpmp => "Penglai-HPMP",
+        })
+    }
+}
+
+/// Errors surfaced by monitor calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorError {
+    /// PMP flavour ran out of segment entries (the scalability wall).
+    OutOfPmpEntries,
+    /// No physical memory left for regions or tables.
+    OutOfMemory,
+    /// Unknown domain.
+    NoSuchDomain(DomainId),
+    /// The region does not belong to the domain.
+    NotOwned,
+    /// Underlying HPMP programming failed.
+    Hpmp(hpmp_core::HpmpError),
+    /// Underlying table programming failed.
+    Table(hpmp_core::TableError),
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::OutOfPmpEntries => f.write_str("no available PMP entries"),
+            MonitorError::OutOfMemory => f.write_str("out of protected memory"),
+            MonitorError::NoSuchDomain(id) => write!(f, "no such domain {id}"),
+            MonitorError::NotOwned => f.write_str("region not owned by domain"),
+            MonitorError::Hpmp(e) => write!(f, "HPMP programming failed: {e}"),
+            MonitorError::Table(e) => write!(f, "PMP-table programming failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<hpmp_core::HpmpError> for MonitorError {
+    fn from(e: hpmp_core::HpmpError) -> MonitorError {
+        MonitorError::Hpmp(e)
+    }
+}
+
+impl From<hpmp_core::TableError> for MonitorError {
+    fn from(e: hpmp_core::TableError) -> MonitorError {
+        MonitorError::Table(e)
+    }
+}
+
+/// Cycle-cost constants for monitor operations (M-mode software costs,
+/// calibrated to the magnitudes of Figure 14).
+pub mod cost {
+    /// Trap into and out of M-mode (ecall + context save/restore).
+    pub const TRAP_ROUND_TRIP: u64 = 260;
+    /// One CSR write to an HPMP register.
+    pub const CSR_WRITE: u64 = 4;
+    /// One pmpte read-modify-write in DRAM-resident tables.
+    pub const TABLE_ENTRY_WRITE: u64 = 14;
+    /// `sfence.vma` plus the TLB-refill ramp it causes.
+    pub const FENCE: u64 = 120;
+    /// Monitor bookkeeping per operation (list walks, checks).
+    pub const BOOKKEEPING: u64 = 90;
+}
+
+#[derive(Debug)]
+struct Domain {
+    id: DomainId,
+    gmss: Vec<Gms>,
+    /// Per-domain permission table (table flavours).
+    table: Option<PmpTable>,
+}
+
+/// Counters for monitor activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Domain switches performed.
+    pub switches: u64,
+    /// Total CSR writes.
+    pub csr_writes: u64,
+    /// Total pmpte writes.
+    pub table_writes: u64,
+    /// Total modelled cycles spent inside the monitor.
+    pub cycles: u64,
+}
+
+/// The secure monitor.
+#[derive(Debug)]
+pub struct SecureMonitor {
+    flavor: TeeFlavor,
+    ram: PmpRegion,
+    monitor_region: PmpRegion,
+    /// Bump allocator for domain regions.
+    region_cursor: PhysAddr,
+    region_end: PhysAddr,
+    /// Frames for per-domain permission tables.
+    table_frames: FrameAllocator,
+    domains: Vec<Domain>,
+    current: DomainId,
+    next_id: u32,
+    iopmp: IoPmp,
+    devices: Vec<(DeviceId, DomainId)>,
+    stats: MonitorStats,
+}
+
+impl SecureMonitor {
+    /// Boots the monitor on `machine`, claiming the bottom of RAM for its
+    /// own memory and (for table flavours) the per-domain tables.
+    ///
+    /// Layout: `[monitor 4 MiB][tables 60 MiB][domain regions ...]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ram` is not NAPOT-encodable or smaller than 128 MiB.
+    pub fn boot(machine: &mut Machine, flavor: TeeFlavor, ram: PmpRegion) -> SecureMonitor {
+        assert!(ram.is_napot(), "RAM must be NAPOT-encodable");
+        assert!(ram.size >= 128 << 20, "need at least 128 MiB of RAM");
+        let monitor_region = PmpRegion::new(ram.base, 4 << 20);
+        let tables_base = PhysAddr::new(ram.base.raw() + (4 << 20));
+        let tables_size = 60u64 << 20;
+        let region_base = PhysAddr::new(tables_base.raw() + tables_size);
+
+        // Entry 0: the monitor's own memory — matched first, no S/U perms.
+        machine
+            .regs_mut()
+            .configure_segment(0, monitor_region, Perms::NONE)
+            .expect("monitor segment");
+
+        let mut monitor = SecureMonitor {
+            flavor,
+            ram,
+            monitor_region,
+            // Offset by one page so no allocated region shares a base with
+            // the host's whole-memory GMS.
+            region_cursor: PhysAddr::new(region_base.raw() + PAGE_SIZE),
+            region_end: ram.end(),
+            table_frames: FrameAllocator::new(tables_base, tables_size),
+            domains: Vec::new(),
+            current: DomainId::HOST,
+            next_id: 1,
+            iopmp: IoPmp::new(),
+            devices: Vec::new(),
+            stats: MonitorStats::default(),
+        };
+
+        // The host domain starts owning all remaining memory as one slow GMS.
+        let host_region =
+            PmpRegion::new(region_base, ram.end().raw() - region_base.raw());
+        let mut host = Domain { id: DomainId::HOST, gmss: Vec::new(), table: None };
+        if flavor != TeeFlavor::PenglaiPmp {
+            let mut table = PmpTable::new(monitor.ram, machine.phys_mut(),
+                                          &mut monitor.table_frames)
+                .expect("host table");
+            let writes = table
+                .set_range_perm(machine.phys_mut(), &mut monitor.table_frames,
+                                host_region.base, host_region.size, Perms::RWX,
+                                FillPolicy::HugeWhenAligned)
+                .expect("host grant");
+            monitor.stats.table_writes += writes;
+            host.table = Some(table);
+        }
+        host.gmss.push(Gms::new(host_region, Perms::RWX, GmsLabel::Slow));
+        monitor.domains.push(host);
+
+        monitor.program_current(machine).expect("initial programming");
+        monitor
+    }
+
+    /// The flavour this monitor implements.
+    pub fn flavor(&self) -> TeeFlavor {
+        self.flavor
+    }
+
+    /// The monitor's own protected memory (entry 0's segment).
+    pub fn monitor_region(&self) -> PmpRegion {
+        self.monitor_region
+    }
+
+    /// The currently running domain.
+    pub fn current(&self) -> DomainId {
+        self.current
+    }
+
+    /// Number of domains (including the host).
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// GMSs owned by `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains.
+    pub fn regions_of(&self, domain: DomainId) -> Result<&[Gms], MonitorError> {
+        self.domain(domain).map(|d| d.gmss.as_slice())
+    }
+
+    /// Creates an enclave domain with one initial private region of
+    /// `initial_size` bytes (rounded up to a NAPOT size). Returns the id and
+    /// the modelled cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails when memory or (for the PMP flavour) segment entries run out.
+    pub fn create_domain(
+        &mut self,
+        machine: &mut Machine,
+        initial_size: u64,
+        label: GmsLabel,
+    ) -> Result<(DomainId, u64), MonitorError> {
+        let id = DomainId(self.next_id);
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+
+        let mut domain = Domain { id, gmss: Vec::new(), table: None };
+        if self.flavor != TeeFlavor::PenglaiPmp {
+            let table =
+                PmpTable::new(self.ram, machine.phys_mut(), &mut self.table_frames)
+                    .map_err(|_| MonitorError::OutOfMemory)?;
+            domain.table = Some(table);
+        }
+        self.domains.push(domain);
+        self.next_id += 1;
+
+        let (_, alloc_cycles) = self.alloc_region(machine, id, initial_size, label)?;
+        cycles += alloc_cycles;
+
+        // For the PMP flavour, verify the host can still be expressed: when
+        // the host runs, every enclave region needs a higher-priority deny
+        // entry (Keystone-style), plus the monitor entry and at least one
+        // host allow entry.
+        if self.flavor == TeeFlavor::PenglaiPmp
+            && self.enclave_region_count() + 2 > machine.regs().len()
+        {
+            // Roll back.
+            self.domains.pop();
+            self.next_id -= 1;
+            return Err(MonitorError::OutOfPmpEntries);
+        }
+
+        self.stats.cycles += cycles;
+        Ok((id, cycles))
+    }
+
+    /// Destroys an enclave domain, returning its memory to the host.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains or the host.
+    pub fn destroy_domain(
+        &mut self,
+        machine: &mut Machine,
+        id: DomainId,
+    ) -> Result<u64, MonitorError> {
+        if id == DomainId::HOST {
+            return Err(MonitorError::NoSuchDomain(id));
+        }
+        let idx = self
+            .domains
+            .iter()
+            .position(|d| d.id == id)
+            .ok_or(MonitorError::NoSuchDomain(id))?;
+        let domain = self.domains.remove(idx);
+        self.devices.retain(|(_, owner)| *owner != id);
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        cycles += self.sync_iopmp(machine);
+        // Return regions to the host's table (scrub + grant).
+        for gms in &domain.gmss {
+            cycles += self.grant_in_host_table(machine, gms.region, Perms::RWX)?;
+        }
+        if self.current == id {
+            cycles += self.switch_to(machine, DomainId::HOST)?;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Allocates a private region for `domain`. Returns the region and the
+    /// modelled cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails when memory runs out, the domain is unknown, or (PMP flavour)
+    /// the per-domain segment budget is exhausted.
+    pub fn alloc_region(
+        &mut self,
+        machine: &mut Machine,
+        domain: DomainId,
+        size: u64,
+        label: GmsLabel,
+    ) -> Result<(PmpRegion, u64), MonitorError> {
+        let size = size.next_power_of_two().max(PAGE_SIZE);
+        let base = self.region_cursor.align_up(size);
+        if base.raw() + size > self.region_end.raw() {
+            return Err(MonitorError::OutOfMemory);
+        }
+        self.region_cursor = PhysAddr::new(base.raw() + size);
+        let region = PmpRegion::new(base, size);
+
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        let flavor = self.flavor;
+
+        // PMP flavour: each region consumes a segment entry when active.
+        if flavor == TeeFlavor::PenglaiPmp {
+            let d = self.domain(domain)?;
+            // Entry 0 is the monitor; a region list longer than the file
+            // cannot be programmed.
+            if d.gmss.len() + 2 > machine.regs().len() {
+                return Err(MonitorError::OutOfPmpEntries);
+            }
+        }
+
+        // Revoke from the host's table, grant in the owner's table.
+        if flavor != TeeFlavor::PenglaiPmp && domain != DomainId::HOST {
+            cycles += self.grant_in_host_table(machine, region, Perms::NONE)?;
+        }
+        if flavor != TeeFlavor::PenglaiPmp {
+            let stats = &mut self.stats;
+            let table_frames = &mut self.table_frames;
+            let d = self
+                .domains
+                .iter_mut()
+                .find(|d| d.id == domain)
+                .ok_or(MonitorError::NoSuchDomain(domain))?;
+            let table = d.table.as_mut().expect("table flavours have tables");
+            let writes = table.set_range_perm(
+                machine.phys_mut(),
+                table_frames,
+                region.base,
+                region.size,
+                Perms::RWX,
+                if flavor == TeeFlavor::PenglaiHpmp {
+                    FillPolicy::HugeWhenAligned
+                } else {
+                    FillPolicy::PerPage
+                },
+            )?;
+            stats.table_writes += writes;
+            cycles += writes * cost::TABLE_ENTRY_WRITE;
+        }
+
+        let d = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        d.gmss.push(Gms::new(region, Perms::RWX, label));
+        if self.devices.iter().any(|(_, owner)| *owner == domain) {
+            cycles += self.sync_iopmp(machine);
+        }
+
+        // If the affected domain is running, reprogram and fence.
+        if self.current == domain {
+            cycles += self.program_current(machine)?;
+            machine.sfence_vma_all();
+            cycles += cost::FENCE;
+        }
+        self.stats.cycles += cycles;
+        Ok((region, cycles))
+    }
+
+    /// Releases a region owned by `domain`, returning the cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region is not owned by the domain.
+    pub fn free_region(
+        &mut self,
+        machine: &mut Machine,
+        domain: DomainId,
+        base: PhysAddr,
+    ) -> Result<u64, MonitorError> {
+        let flavor = self.flavor;
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        let d_idx = self
+            .domains
+            .iter()
+            .position(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        let g_idx = self.domains[d_idx]
+            .gmss
+            .iter()
+            .position(|g| g.region.base == base)
+            .ok_or(MonitorError::NotOwned)?;
+        let gms = self.domains[d_idx].gmss.remove(g_idx);
+
+        if flavor != TeeFlavor::PenglaiPmp {
+            // Revoke in the owner's table…
+            let stats = &mut self.stats;
+            let table_frames = &mut self.table_frames;
+            let table = self.domains[d_idx].table.as_mut().expect("table flavour");
+            let writes = table.set_range_perm(
+                machine.phys_mut(),
+                table_frames,
+                gms.region.base,
+                gms.region.size,
+                Perms::NONE,
+                FillPolicy::PerPage,
+            )?;
+            stats.table_writes += writes;
+            cycles += writes * cost::TABLE_ENTRY_WRITE;
+            // …and return it to the host.
+            if domain != DomainId::HOST {
+                cycles += self.grant_in_host_table(machine, gms.region, Perms::RWX)?;
+            }
+        }
+        if self.current == domain {
+            cycles += self.program_current(machine)?;
+            machine.sfence_vma_all();
+            cycles += cost::FENCE;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Relabels a GMS (the OS hint path); only HPMP acts on it, by
+    /// reprogramming registers — no table updates, which is why it is cheap.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region is not owned by the domain.
+    pub fn relabel(
+        &mut self,
+        machine: &mut Machine,
+        domain: DomainId,
+        base: PhysAddr,
+        label: GmsLabel,
+    ) -> Result<u64, MonitorError> {
+        let d = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        let gms =
+            d.gmss.iter_mut().find(|g| g.region.base == base).ok_or(MonitorError::NotOwned)?;
+        gms.label = label;
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        if self.current == domain {
+            cycles += self.program_current(machine)?;
+            machine.sfence_vma_all();
+            cycles += cost::FENCE;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Carves a monitor-owned buffer (not a domain GMS) from the region
+    /// area. Returns `(region, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when memory runs out.
+    pub(crate) fn alloc_monitor_buffer(
+        &mut self,
+        len: u64,
+    ) -> Result<(PmpRegion, u64), MonitorError> {
+        let size = len.next_power_of_two().max(PAGE_SIZE);
+        let base = self.region_cursor.align_up(size);
+        if base.raw() + size > self.region_end.raw() {
+            return Err(MonitorError::OutOfMemory);
+        }
+        self.region_cursor = PhysAddr::new(base.raw() + size);
+        Ok((PmpRegion::new(base, size), cost::BOOKKEEPING))
+    }
+
+    /// Grants `region` with `perms` in `domain`'s permission table without
+    /// making it a GMS of the domain (shared-buffer support). No-op access
+    /// change for the PMP flavour (segments are per-GMS); callers that need
+    /// PMP-flavour sharing must use whole GMSs.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains.
+    pub(crate) fn grant_in_domain_table(
+        &mut self,
+        machine: &mut Machine,
+        domain: DomainId,
+        region: PmpRegion,
+        perms: Perms,
+    ) -> Result<u64, MonitorError> {
+        let stats = &mut self.stats;
+        let table_frames = &mut self.table_frames;
+        let d = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        let Some(table) = d.table.as_mut() else {
+            return Ok(0);
+        };
+        let writes = table.set_range_perm(
+            machine.phys_mut(),
+            table_frames,
+            region.base,
+            region.size,
+            perms,
+            FillPolicy::PerPage,
+        )?;
+        stats.table_writes += writes;
+        Ok(writes * cost::TABLE_ENTRY_WRITE)
+    }
+
+    /// The IOPMP checker for DMA initiators (§9). Pass to
+    /// [`hpmp_machine::Machine::dma_transfer`].
+    pub fn iopmp(&self) -> &IoPmp {
+        &self.iopmp
+    }
+
+    /// Assigns a DMA initiator to `domain`: the device may then DMA into
+    /// (and only into) that domain's memory. Returns the cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains.
+    pub fn assign_device(
+        &mut self,
+        machine: &mut Machine,
+        device: DeviceId,
+        domain: DomainId,
+    ) -> Result<u64, MonitorError> {
+        self.domain(domain)?;
+        self.devices.retain(|(d, _)| *d != device);
+        self.devices.push((device, domain));
+        let cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING + self.sync_iopmp(machine);
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Revokes a DMA initiator's assignment (back to no access).
+    pub fn revoke_device(&mut self, machine: &mut Machine, device: DeviceId) -> u64 {
+        self.devices.retain(|(d, _)| *d != device);
+        let cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING + self.sync_iopmp(machine);
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    /// Rebuilds the IOPMP entry list from device ownership. DMA is
+    /// asynchronous, so entries reflect *ownership*, not the scheduled
+    /// domain; every mutation of a device-owning domain's memory re-syncs.
+    fn sync_iopmp(&mut self, machine: &mut Machine) -> u64 {
+        let _ = &machine;
+        let mut iopmp = IoPmp::new();
+        let mut writes = 0u64;
+        for (device, domain) in &self.devices {
+            let Some(d) = self.domains.iter().find(|d| d.id == *domain) else { continue };
+            match (&d.table, self.flavor) {
+                (Some(table), TeeFlavor::PenglaiPmpt | TeeFlavor::PenglaiHpmp) => {
+                    // One table-mode entry: the domain's permission table is
+                    // the single source of truth for its pages.
+                    iopmp.push(IoPmpEntry {
+                        source_mask: 1 << (device.0 & 31),
+                        region: self.ram,
+                        mode: IoPmpMode::Table {
+                            root: table.root(),
+                            levels: TableLevels::Two,
+                        },
+                    });
+                    writes += 1;
+                }
+                _ => {
+                    // PMP flavour: the host's whole-memory GMS still covers
+                    // enclave carve-outs, so (as on the CPU side) deny
+                    // entries for every enclave region match first.
+                    if *domain == DomainId::HOST {
+                        for hole in self
+                            .domains
+                            .iter()
+                            .filter(|other| other.id != DomainId::HOST)
+                            .flat_map(|other| other.gmss.iter().map(|g| g.region))
+                        {
+                            iopmp.push(IoPmpEntry {
+                                source_mask: 1 << (device.0 & 31),
+                                region: hole,
+                                mode: IoPmpMode::Segment(hpmp_memsim::Perms::NONE),
+                            });
+                            writes += 1;
+                        }
+                    }
+                    for gms in &d.gmss {
+                        iopmp.push(IoPmpEntry {
+                            source_mask: 1 << (device.0 & 31),
+                            region: gms.region,
+                            mode: IoPmpMode::Segment(gms.perms),
+                        });
+                        writes += 1;
+                    }
+                }
+            }
+        }
+        self.iopmp = iopmp;
+        writes * cost::CSR_WRITE
+    }
+
+    /// Labels a sub-range of one of `domain`'s GMSs as its own GMS — the
+    /// §9 "efficient isolation through new abstractions" path, fed by the
+    /// OS's hint ioctls. The sub-GMS inherits the parent's permission; a
+    /// `Fast` label asks for segment backing on the next programming.
+    ///
+    /// Only meaningful for Penglai-HPMP (the other flavours have no
+    /// fast/slow distinction for data).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the flavour is not HPMP, the region is not contained in a
+    /// GMS the domain owns, or it is already labelled.
+    pub fn label_subregion(
+        &mut self,
+        machine: &mut Machine,
+        domain: DomainId,
+        region: PmpRegion,
+        label: GmsLabel,
+    ) -> Result<u64, MonitorError> {
+        if self.flavor != TeeFlavor::PenglaiHpmp {
+            return Err(MonitorError::NotOwned);
+        }
+        let d = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        let parent = d
+            .gmss
+            .iter()
+            .find(|g| {
+                g.region.base <= region.base && g.region.end() >= region.end()
+                    && g.region != region
+            })
+            .copied()
+            .ok_or(MonitorError::NotOwned)?;
+        if d.gmss.iter().any(|g| g.region == region) {
+            return Err(MonitorError::NotOwned);
+        }
+        d.gmss.push(Gms::new(region, parent.perms, label));
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        if self.current == domain {
+            cycles += self.program_current(machine)?;
+            machine.sfence_vma_all();
+            cycles += cost::FENCE;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Removes a sub-GMS added by [`SecureMonitor::label_subregion`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the exact region is not a labelled sub-GMS of the domain.
+    pub fn unlabel_subregion(
+        &mut self,
+        machine: &mut Machine,
+        domain: DomainId,
+        region: PmpRegion,
+    ) -> Result<u64, MonitorError> {
+        let d = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        let idx = d
+            .gmss
+            .iter()
+            .position(|g| g.region == region)
+            .ok_or(MonitorError::NotOwned)?;
+        d.gmss.remove(idx);
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        if self.current == domain {
+            cycles += self.program_current(machine)?;
+            machine.sfence_vma_all();
+            cycles += cost::FENCE;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Switches execution to `target`, reprogramming the HPMP entries.
+    /// Returns the modelled cycle cost — the Figure 14-a quantity.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains, or for the PMP flavour when the target's
+    /// allow-list does not fit the register file.
+    pub fn switch_to(
+        &mut self,
+        machine: &mut Machine,
+        target: DomainId,
+    ) -> Result<u64, MonitorError> {
+        self.domain(target)?;
+        self.current = target;
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        cycles += self.program_current(machine)?;
+        machine.sfence_vma_all();
+        cycles += cost::FENCE;
+        self.stats.switches += 1;
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Reprograms the register file for the current domain. Returns cycles.
+    fn program_current(&mut self, machine: &mut Machine) -> Result<u64, MonitorError> {
+        let before = machine.regs().csr_writes();
+        let current = self.current;
+        let flavor = self.flavor;
+
+        // Disable everything except entry 0 (the monitor's own segment).
+        for idx in 1..machine.regs().len() {
+            if !machine.regs().cfg_reg(idx).locked() {
+                machine.regs_mut().disable(idx).ok();
+            }
+        }
+
+        match flavor {
+            TeeFlavor::PenglaiPmp => {
+                let mut next = 1;
+                if current == DomainId::HOST {
+                    // Keystone-style: deny entries for every enclave region
+                    // (they match first), then allow entries for the host.
+                    let enclaves: Vec<PmpRegion> = self
+                        .domains
+                        .iter()
+                        .filter(|d| d.id != DomainId::HOST)
+                        .flat_map(|d| d.gmss.iter().map(|g| g.region))
+                        .collect();
+                    let host: Vec<PmpRegion> = self
+                        .domain(DomainId::HOST)?
+                        .gmss
+                        .iter()
+                        .map(|g| g.region)
+                        .collect();
+                    if 1 + enclaves.len() + host.len() > machine.regs().len() {
+                        return Err(MonitorError::OutOfPmpEntries);
+                    }
+                    for region in enclaves {
+                        machine
+                            .regs_mut()
+                            .configure_segment(next, napot_superset(region), Perms::NONE)?;
+                        next += 1;
+                    }
+                    for region in host {
+                        machine
+                            .regs_mut()
+                            .configure_segment(next, napot_superset(region), Perms::RWX)?;
+                        next += 1;
+                    }
+                } else {
+                    let regions: Vec<PmpRegion> =
+                        self.domain(current)?.gmss.iter().map(|g| g.region).collect();
+                    if 1 + regions.len() > machine.regs().len() {
+                        return Err(MonitorError::OutOfPmpEntries);
+                    }
+                    for region in regions {
+                        machine
+                            .regs_mut()
+                            .configure_segment(next, napot_superset(region), Perms::RWX)?;
+                        next += 1;
+                    }
+                }
+            }
+            TeeFlavor::PenglaiPmpt | TeeFlavor::PenglaiHpmp => {
+                let d = self
+                    .domains
+                    .iter()
+                    .find(|d| d.id == current)
+                    .ok_or(MonitorError::NoSuchDomain(current))?;
+                let root = d.table.as_ref().expect("table flavour").root();
+                let mut next = 1;
+                if flavor == TeeFlavor::PenglaiHpmp {
+                    // Fast GMSs become segments, lowest entries first.
+                    for gms in d.gmss.iter().filter(|g| g.label == GmsLabel::Fast) {
+                        if next + 2 >= machine.regs().len() || !gms.segment_compatible() {
+                            continue; // cache-like: fall back to the table
+                        }
+                        machine.regs_mut().configure_segment(next, gms.region, gms.perms)?;
+                        next += 1;
+                    }
+                }
+                machine.regs_mut().configure_table(next, self.ram, root,
+                                                   TableLevels::Two)?;
+            }
+        }
+
+        let writes = machine.regs().csr_writes() - before;
+        self.stats.csr_writes += writes;
+        Ok(writes * cost::CSR_WRITE)
+    }
+
+    /// Grants or revokes a region in the host's table.
+    fn grant_in_host_table(
+        &mut self,
+        machine: &mut Machine,
+        region: PmpRegion,
+        perms: Perms,
+    ) -> Result<u64, MonitorError> {
+        let stats = &mut self.stats;
+        let table_frames = &mut self.table_frames;
+        let host = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == DomainId::HOST)
+            .expect("host always exists");
+        // The PMP flavour has no host table: region return is a pure
+        // bookkeeping operation there (segments reprogram on switch).
+        let Some(table) = host.table.as_mut() else {
+            return Ok(0);
+        };
+        let writes = table.set_range_perm(
+            machine.phys_mut(),
+            table_frames,
+            region.base,
+            region.size,
+            perms,
+            FillPolicy::PerPage,
+        )?;
+        stats.table_writes += writes;
+        Ok(writes * cost::TABLE_ENTRY_WRITE)
+    }
+
+    /// Total enclave regions — each needs a deny entry while the host runs
+    /// (PMP flavour).
+    fn enclave_region_count(&self) -> usize {
+        self.domains
+            .iter()
+            .filter(|d| d.id != DomainId::HOST)
+            .map(|d| d.gmss.len())
+            .sum()
+    }
+
+    fn domain(&self, id: DomainId) -> Result<&Domain, MonitorError> {
+        self.domains.iter().find(|d| d.id == id).ok_or(MonitorError::NoSuchDomain(id))
+    }
+}
+
+/// Smallest NAPOT region containing `region`.
+fn napot_superset(region: PmpRegion) -> PmpRegion {
+    let mut size = region.size.next_power_of_two().max(8);
+    loop {
+        let base = PhysAddr::new(region.base.raw() & !(size - 1));
+        if base.raw() + size >= region.end().raw() {
+            return PmpRegion::new(base, size);
+        }
+        size *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmp_machine::MachineConfig;
+
+    const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+    fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor) {
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let monitor = SecureMonitor::boot(&mut machine, flavor, RAM);
+        (machine, monitor)
+    }
+
+    #[test]
+    fn boot_programs_monitor_segment() {
+        let (machine, monitor) = boot(TeeFlavor::PenglaiHpmp);
+        assert_eq!(monitor.domain_count(), 1);
+        assert_eq!(monitor.current(), DomainId::HOST);
+        // Entry 0 covers the monitor region with no S/U permissions.
+        let region = machine.regs().entry_region(0).unwrap();
+        assert_eq!(region.base, RAM.base);
+    }
+
+    #[test]
+    fn create_and_switch_domains() {
+        for flavor in
+            [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp]
+        {
+            let (mut machine, mut monitor) = boot(flavor);
+            let (id, _) =
+                monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+            let cycles = monitor.switch_to(&mut machine, id).unwrap();
+            assert!(cycles > 0);
+            assert_eq!(monitor.current(), id);
+            monitor.switch_to(&mut machine, DomainId::HOST).unwrap();
+            assert_eq!(monitor.current(), DomainId::HOST);
+        }
+    }
+
+    #[test]
+    fn switch_cost_stable_in_domain_count() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (first, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let cost_2 = monitor.switch_to(&mut machine, first).unwrap();
+        for _ in 0..99 {
+            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        }
+        assert_eq!(monitor.domain_count(), 101);
+        let cost_101 = monitor.switch_to(&mut machine, first).unwrap();
+        let ratio = cost_101 as f64 / cost_2 as f64;
+        assert!((0.99..=1.01).contains(&ratio), "switch cost must be stable: {ratio}");
+    }
+
+    #[test]
+    fn pmp_flavor_hits_entry_wall() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiPmp);
+        let mut created = 0;
+        loop {
+            match monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow) {
+                Ok(_) => created += 1,
+                Err(MonitorError::OutOfPmpEntries) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(created < 100, "PMP flavour must hit the entry wall");
+        }
+        assert!(created <= 15, "wall at <16 domains, got {created}");
+    }
+
+    #[test]
+    fn hpmp_supports_over_100_domains() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        for _ in 0..100 {
+            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        }
+        assert_eq!(monitor.domain_count(), 101);
+    }
+
+    #[test]
+    fn pmp_flavor_region_limit_per_domain() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiPmp);
+        let mut allocated = 0;
+        loop {
+            match monitor.alloc_region(&mut machine, DomainId::HOST, 64 * 1024,
+                                       GmsLabel::Slow) {
+                Ok(_) => allocated += 1,
+                Err(MonitorError::OutOfPmpEntries) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(allocated < 64);
+        }
+        assert!(allocated <= 14, "PMP flavour regions bounded by entries: {allocated}");
+    }
+
+    #[test]
+    fn hpmp_supports_over_100_regions() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        for _ in 0..110 {
+            monitor
+                .alloc_region(&mut machine, DomainId::HOST, 64 * 1024, GmsLabel::Slow)
+                .unwrap();
+        }
+        assert!(monitor.regions_of(DomainId::HOST).unwrap().len() > 100);
+    }
+
+    #[test]
+    fn free_region_round_trip() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (region, _) = monitor
+            .alloc_region(&mut machine, DomainId::HOST, 64 * 1024, GmsLabel::Slow)
+            .unwrap();
+        let before = monitor.regions_of(DomainId::HOST).unwrap().len();
+        monitor.free_region(&mut machine, DomainId::HOST, region.base).unwrap();
+        assert_eq!(monitor.regions_of(DomainId::HOST).unwrap().len(), before - 1);
+        assert_eq!(
+            monitor.free_region(&mut machine, DomainId::HOST, region.base),
+            Err(MonitorError::NotOwned)
+        );
+    }
+
+    #[test]
+    fn huge_fill_makes_large_alloc_cheap_for_hpmp() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (_, cost_32m) = monitor
+            .alloc_region(&mut machine, DomainId::HOST, 32 << 20, GmsLabel::Slow)
+            .unwrap();
+        let (mut machine2, mut monitor2) = boot(TeeFlavor::PenglaiPmpt);
+        let (_, cost_32m_pmpt) = monitor2
+            .alloc_region(&mut machine2, DomainId::HOST, 32 << 20, GmsLabel::Slow)
+            .unwrap();
+        assert!(
+            cost_32m < cost_32m_pmpt / 10,
+            "huge fill should be much cheaper: {cost_32m} vs {cost_32m_pmpt}"
+        );
+    }
+
+    #[test]
+    fn destroy_returns_memory_to_host() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (id, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        monitor.switch_to(&mut machine, id).unwrap();
+        monitor.destroy_domain(&mut machine, id).unwrap();
+        assert_eq!(monitor.current(), DomainId::HOST);
+        assert_eq!(monitor.domain_count(), 1);
+        assert!(matches!(
+            monitor.switch_to(&mut machine, id),
+            Err(MonitorError::NoSuchDomain(_))
+        ));
+    }
+
+    #[test]
+    fn relabel_is_registers_only() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (region, _) = monitor
+            .alloc_region(&mut machine, DomainId::HOST, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let writes_before = monitor.stats().table_writes;
+        monitor.relabel(&mut machine, DomainId::HOST, region.base, GmsLabel::Fast).unwrap();
+        assert_eq!(monitor.stats().table_writes, writes_before, "no table writes on relabel");
+        // And the fast GMS now occupies a segment entry.
+        let seg = machine.regs().entry_region(1);
+        assert_eq!(seg.map(|r| r.base), Some(region.base));
+    }
+
+    #[test]
+    fn napot_superset_covers() {
+        let r = PmpRegion::new(PhysAddr::new(0x8010_0000), 0x18_0000);
+        let sup = napot_superset(r);
+        assert!(sup.is_napot());
+        assert!(sup.base <= r.base && sup.end() >= r.end());
+    }
+}

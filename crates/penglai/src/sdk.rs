@@ -1,0 +1,228 @@
+//! The enclave SDK call path (Figure 7's "Enclave SDK" / "Enclave Driver").
+//!
+//! Host applications enter an enclave with an **ecall** and enclaves call
+//! back out with an **ocall**; both transition through the secure monitor
+//! (trap, HPMP reprogramming, fence) and carry arguments through a shared
+//! buffer. The cycle costs are the monitor's real switch cost plus the
+//! argument copy, so the Figure 14-a result — switch cost independent of
+//! enclave count — carries straight into application-visible call latency.
+
+use hpmp_machine::Machine;
+use hpmp_memsim::PAGE_SIZE;
+
+use crate::ipc::{IpcError, IpcTable};
+use crate::monitor::{DomainId, MonitorError, SecureMonitor};
+
+/// Errors from enclave calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallError {
+    /// The callee domain does not exist (destroyed or never created).
+    NoSuchEnclave(DomainId),
+    /// Arguments exceed the shared-buffer page.
+    ArgsTooLarge(u64),
+    /// Monitor-side failure.
+    Monitor(MonitorError),
+    /// Shared-buffer failure.
+    Ipc(IpcError),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::NoSuchEnclave(d) => write!(f, "no such enclave {d}"),
+            CallError::ArgsTooLarge(n) => write!(f, "{n} argument bytes exceed one page"),
+            CallError::Monitor(e) => write!(f, "monitor failure: {e}"),
+            CallError::Ipc(e) => write!(f, "shared buffer failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<MonitorError> for CallError {
+    fn from(e: MonitorError) -> CallError {
+        CallError::Monitor(e)
+    }
+}
+
+impl From<IpcError> for CallError {
+    fn from(e: IpcError) -> CallError {
+        CallError::Ipc(e)
+    }
+}
+
+/// A bound enclave call interface: host ↔ one enclave, with a dedicated
+/// argument channel.
+#[derive(Debug)]
+pub struct EnclaveSdk {
+    enclave: DomainId,
+    channel: crate::ipc::ChannelId,
+    ipc: IpcTable,
+    /// Calls performed (for amortised-cost reporting).
+    calls: u64,
+}
+
+impl EnclaveSdk {
+    /// Binds the SDK to `enclave`, creating the argument channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the enclave does not exist or memory runs out.
+    pub fn bind(
+        machine: &mut Machine,
+        monitor: &mut SecureMonitor,
+        enclave: DomainId,
+    ) -> Result<EnclaveSdk, CallError> {
+        monitor
+            .regions_of(enclave)
+            .map_err(|_| CallError::NoSuchEnclave(enclave))?;
+        let mut ipc = IpcTable::new();
+        let (channel, _) = ipc.create(machine, monitor, DomainId::HOST, enclave)?;
+        Ok(EnclaveSdk { enclave, channel, ipc, calls: 0 })
+    }
+
+    /// The bound enclave.
+    pub fn enclave(&self) -> DomainId {
+        self.enclave
+    }
+
+    /// Calls performed through this binding.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Host → enclave call: marshal `arg_bytes`, switch in, run
+    /// `enclave_compute` instructions inside, marshal `ret_bytes`, switch
+    /// back. Returns the end-to-end cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if arguments exceed a page or the monitor rejects the switch.
+    pub fn ecall(
+        &mut self,
+        machine: &mut Machine,
+        monitor: &mut SecureMonitor,
+        arg_bytes: u64,
+        enclave_compute: u64,
+        ret_bytes: u64,
+    ) -> Result<u64, CallError> {
+        if arg_bytes > PAGE_SIZE || ret_bytes > PAGE_SIZE {
+            return Err(CallError::ArgsTooLarge(arg_bytes.max(ret_bytes)));
+        }
+        let mut cycles = 0;
+        // In: args through the shared page, then the world switch.
+        cycles += self.ipc.send(machine, self.channel, DomainId::HOST, arg_bytes.max(1))?;
+        cycles += monitor.switch_to(machine, self.enclave)?;
+        cycles += self.ipc.recv(machine, self.channel, self.enclave)?.1;
+        // Enclave body.
+        cycles += machine.run_compute(enclave_compute);
+        // Out: return values, switch back to the host.
+        cycles += self.ipc.send(machine, self.channel, self.enclave, ret_bytes.max(1))?;
+        cycles += monitor.switch_to(machine, DomainId::HOST)?;
+        cycles += self.ipc.recv(machine, self.channel, DomainId::HOST)?.1;
+        self.calls += 1;
+        Ok(cycles)
+    }
+
+    /// Enclave → host call (ocall): same shape with the roles reversed;
+    /// the caller is assumed to be running inside the enclave.
+    ///
+    /// # Errors
+    ///
+    /// As [`EnclaveSdk::ecall`].
+    pub fn ocall(
+        &mut self,
+        machine: &mut Machine,
+        monitor: &mut SecureMonitor,
+        arg_bytes: u64,
+        host_compute: u64,
+    ) -> Result<u64, CallError> {
+        if arg_bytes > PAGE_SIZE {
+            return Err(CallError::ArgsTooLarge(arg_bytes));
+        }
+        let mut cycles = 0;
+        cycles += self.ipc.send(machine, self.channel, self.enclave, arg_bytes.max(1))?;
+        cycles += monitor.switch_to(machine, DomainId::HOST)?;
+        cycles += self.ipc.recv(machine, self.channel, DomainId::HOST)?.1;
+        cycles += machine.run_compute(host_compute);
+        cycles += self.ipc.send(machine, self.channel, DomainId::HOST, 1)?;
+        cycles += monitor.switch_to(machine, self.enclave)?;
+        cycles += self.ipc.recv(machine, self.channel, self.enclave)?.1;
+        self.calls += 1;
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gms::GmsLabel;
+    use crate::monitor::TeeFlavor;
+    use hpmp_core::PmpRegion;
+    use hpmp_machine::MachineConfig;
+    use hpmp_memsim::PhysAddr;
+
+    const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+    fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor, DomainId) {
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let mut monitor = SecureMonitor::boot(&mut machine, flavor, RAM);
+        let (enclave, _) =
+            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        (machine, monitor, enclave)
+    }
+
+    #[test]
+    fn ecall_round_trip() {
+        let (mut machine, mut monitor, enclave) = boot(TeeFlavor::PenglaiHpmp);
+        let mut sdk = EnclaveSdk::bind(&mut machine, &mut monitor, enclave).unwrap();
+        let cycles = sdk.ecall(&mut machine, &mut monitor, 128, 5_000, 64).unwrap();
+        assert!(cycles > 5_000, "must include compute plus transition costs");
+        assert_eq!(monitor.current(), DomainId::HOST, "control returns to the host");
+        assert_eq!(sdk.calls(), 1);
+    }
+
+    #[test]
+    fn ocall_round_trip() {
+        let (mut machine, mut monitor, enclave) = boot(TeeFlavor::PenglaiHpmp);
+        let mut sdk = EnclaveSdk::bind(&mut machine, &mut monitor, enclave).unwrap();
+        monitor.switch_to(&mut machine, enclave).unwrap();
+        let cycles = sdk.ocall(&mut machine, &mut monitor, 64, 2_000).unwrap();
+        assert!(cycles > 2_000);
+        assert_eq!(monitor.current(), enclave, "control returns to the enclave");
+    }
+
+    #[test]
+    fn call_cost_stable_across_enclave_count() {
+        // Figure 14-a at the SDK level: ecall latency with 2 vs 60 resident
+        // enclaves is identical under Penglai-HPMP.
+        let cost_with = |extra: usize| {
+            let (mut machine, mut monitor, enclave) = boot(TeeFlavor::PenglaiHpmp);
+            for _ in 0..extra {
+                monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+            }
+            let mut sdk = EnclaveSdk::bind(&mut machine, &mut monitor, enclave).unwrap();
+            sdk.ecall(&mut machine, &mut monitor, 64, 1_000, 64).unwrap()
+        };
+        assert_eq!(cost_with(0), cost_with(58));
+    }
+
+    #[test]
+    fn oversized_args_rejected() {
+        let (mut machine, mut monitor, enclave) = boot(TeeFlavor::PenglaiPmpt);
+        let mut sdk = EnclaveSdk::bind(&mut machine, &mut monitor, enclave).unwrap();
+        assert!(matches!(
+            sdk.ecall(&mut machine, &mut monitor, PAGE_SIZE + 1, 0, 0),
+            Err(CallError::ArgsTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn bind_requires_live_enclave() {
+        let (mut machine, mut monitor, _) = boot(TeeFlavor::PenglaiHpmp);
+        assert!(matches!(
+            EnclaveSdk::bind(&mut machine, &mut monitor, DomainId(77)),
+            Err(CallError::NoSuchEnclave(_))
+        ));
+    }
+}

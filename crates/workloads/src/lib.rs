@@ -1,0 +1,29 @@
+//! # hpmp-workloads
+//!
+//! Workload models for every experiment in the paper's evaluation: the
+//! TC1–TC4 latency microbenchmarks (Table 2 / Figures 10 and 13), the RV8
+//! and GAP suites (Figure 11), LMBench syscalls (Table 3), FunctionBench
+//! and the chained image-processing application (Figure 12-a/b/c), Redis
+//! (Figure 12-d/e), and the fragmentation microbenchmark (Figures 15/16).
+//!
+//! Each workload is a deterministic memory-reference trace with compute
+//! interleaved, replayed through the full simulated stack (monitor + OS +
+//! machine) so the three isolation schemes differ only in what the paper
+//! says they differ in: the cost of TLB-miss-time permission walks.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arena;
+pub mod fixture;
+pub mod frag;
+pub mod gap;
+pub mod latency;
+pub mod lmbench;
+pub mod multi_tenant;
+pub mod redis;
+pub mod rv8;
+pub mod serverless;
+pub mod virt_app;
+
+pub use fixture::{TeeBench, FLAVORS, RAM_BASE, RAM_SIZE};

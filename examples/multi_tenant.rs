@@ -1,0 +1,31 @@
+//! The scalability motivation from the paper's introduction: serverless
+//! nodes run 100+ isolated instances, but segment-based isolation tops out
+//! below 16 domains. This example packs tenants onto one node under each
+//! Penglai flavour and reports where each stops and what a request costs.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use hpmp_suite::memsim::CoreKind;
+use hpmp_suite::penglai::TeeFlavor;
+use hpmp_suite::workloads::multi_tenant::run_tenancy;
+
+fn main() {
+    println!("Packing 100 tenant enclaves onto one node (Rocket)\n");
+    println!("{:<16}{:>10}{:>16}{:>22}", "flavour", "tenants", "entry wall?",
+             "cycles per request");
+
+    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
+        let out = run_tenancy(flavor, CoreKind::Rocket, 100, 2).expect("tenancy run");
+        println!(
+            "{:<16}{:>10}{:>16}{:>22.0}",
+            flavor.to_string(),
+            out.tenants,
+            if out.hit_entry_wall { "yes" } else { "no" },
+            out.cycles_per_request(),
+        );
+    }
+
+    println!("\nPenglai-PMP stops at the PMP entry wall (<16 domains, §2.2); the");
+    println!("table-backed flavours reach 100 tenants with flat per-request cost —");
+    println!("domain switching only re-points one table entry (§8.7, Figure 14-a).");
+}

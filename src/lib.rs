@@ -1,0 +1,14 @@
+//! # hpmp-suite
+//!
+//! Facade crate for the HPMP (MICRO '23) reproduction. Re-exports the
+//! workspace crates under stable module names so examples and integration
+//! tests can use a single dependency.
+
+#![warn(missing_docs)]
+
+pub use hpmp_core as core;
+pub use hpmp_machine as machine;
+pub use hpmp_memsim as memsim;
+pub use hpmp_paging as paging;
+pub use hpmp_penglai as penglai;
+pub use hpmp_workloads as workloads;

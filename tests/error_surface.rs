@@ -1,0 +1,97 @@
+//! Error-surface hygiene: every public error type renders a meaningful,
+//! lowercase-ish message, implements `std::error::Error`, and is `Send +
+//! Sync` (the API-guideline requirements that make the crates usable with
+//! `?` and error-handling libraries).
+
+use hpmp_suite::core::{HpmpError, TableError};
+use hpmp_suite::machine::Fault;
+use hpmp_suite::memsim::{PhysAddr, VirtAddr};
+use hpmp_suite::paging::MapError;
+use hpmp_suite::penglai::{
+    AttestError, CallError, DomainId, HintId, IntegrityError, IpcError, MonitorError, OsError,
+    Pid,
+};
+
+fn assert_error<E: std::error::Error + Send + Sync + 'static>(e: E) {
+    let msg = e.to_string();
+    assert!(!msg.is_empty(), "{e:?} renders empty");
+    assert!(!msg.ends_with('.'), "{msg:?} has trailing punctuation");
+    let debug = format!("{e:?}");
+    assert!(!debug.is_empty());
+}
+
+#[test]
+fn all_public_errors_behave() {
+    let pa = PhysAddr::new(0x8000_0000);
+    let va = VirtAddr::new(0x1000);
+
+    assert_error(MapError::NonCanonical(va));
+    assert_error(MapError::OutOfPtFrames);
+    assert_error(MapError::AlreadyMapped(va));
+    assert_error(MapError::HugePageConflict(va));
+    assert_error(MapError::Misaligned(va));
+
+    assert_error(HpmpError::BadIndex(20));
+    assert_error(HpmpError::LastEntryTableMode);
+    assert_error(HpmpError::Locked(3));
+    assert_error(HpmpError::BadRegion);
+    assert_error(HpmpError::RegionTooLarge);
+    assert_error(HpmpError::PointerSlotBusy(4));
+
+    assert_error(TableError::OutOfReach(1 << 40));
+    assert_error(TableError::OutOfTableFrames);
+    assert_error(TableError::Misaligned(pa));
+    assert_error(TableError::OutsideRegion(pa));
+
+    assert_error(Fault::PageFault(va));
+    assert_error(Fault::PtePermission(va));
+    assert_error(Fault::IsolationOnPtPage(pa));
+    assert_error(Fault::IsolationOnData(pa));
+
+    assert_error(MonitorError::OutOfPmpEntries);
+    assert_error(MonitorError::OutOfMemory);
+    assert_error(MonitorError::NoSuchDomain(DomainId(9)));
+    assert_error(MonitorError::NotOwned);
+
+    assert_error(OsError::NoSuchProcess(Pid(1)));
+    assert_error(OsError::OutOfMemory);
+    assert_error(OsError::Map(MapError::OutOfPtFrames));
+    assert_error(OsError::Access(Fault::PageFault(va)));
+    assert_error(OsError::BadHintRange(va));
+    assert_error(OsError::NoSuchHint(HintId(2)));
+
+    assert_error(IntegrityError::TamperDetected(pa));
+    assert_error(IntegrityError::OutOfRange(pa));
+    assert_error(IntegrityError::NotMounted(pa));
+
+    assert_error(AttestError::BadTag);
+    assert_error(AttestError::MeasurementMismatch);
+    assert_error(AttestError::UnknownDomain(DomainId(3)));
+
+    assert_error(IpcError::Busy);
+    assert_error(IpcError::Empty);
+    assert_error(IpcError::TooLarge(9000));
+    assert_error(IpcError::NotEndpoint(DomainId(4)));
+
+    assert_error(CallError::NoSuchEnclave(DomainId(5)));
+    assert_error(CallError::ArgsTooLarge(9000));
+}
+
+#[test]
+fn error_conversions_compose() {
+    // `?`-operator chains across layers.
+    fn os_level() -> Result<(), OsError> {
+        Err(MapError::OutOfPtFrames)?
+    }
+    assert!(matches!(os_level(), Err(OsError::Map(MapError::OutOfPtFrames))));
+
+    fn ipc_level() -> Result<(), IpcError> {
+        Err(MonitorError::OutOfMemory)?
+    }
+    assert!(matches!(ipc_level(), Err(IpcError::Monitor(MonitorError::OutOfMemory))));
+
+    fn call_level() -> Result<(), CallError> {
+        Err(IpcError::Busy)?
+    }
+    assert!(matches!(call_level(), Err(CallError::Ipc(IpcError::Busy))));
+}

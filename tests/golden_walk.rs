@@ -1,0 +1,98 @@
+//! Golden-sequence regression tests: the exact ordered memory-reference
+//! sequence of Figure 2-c (and Figure 4), pinned address by address for a
+//! known configuration. Any change to walker, checker or builder layout
+//! that silently alters the hardware behaviour trips these.
+
+use hpmp_suite::core::PmptwCache;
+use hpmp_suite::machine::{IsolationScheme, MachineConfig, SystemBuilder};
+use hpmp_suite::memsim::{AccessKind, Perms, PrivMode, VirtAddr};
+use hpmp_suite::paging::{walk, WalkCache, WalkCacheConfig};
+
+/// Kind tags for the golden sequence.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Ref {
+    RootPmpte,
+    LeafPmpte,
+    Pte(usize),
+    Data,
+}
+
+/// Reconstructs the ordered reference sequence for one cold TLB-missing
+/// load, the way the Figure 2/4 diagrams number their squares and circles.
+fn sequence(scheme: IsolationScheme) -> Vec<(Ref, u64)> {
+    let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme).build();
+    let va = VirtAddr::new(0x10_0000);
+    sys.map_range(va, 1, Perms::RW);
+    sys.sync_pt_grants();
+
+    let mut out = Vec::new();
+    let mut pwc = WalkCache::new(WalkCacheConfig { entries: 0, hit_latency: 1 });
+    let result = walk(sys.machine.phys(), &sys.space, &mut pwc, va);
+    let mut cache = PmptwCache::disabled();
+    for pt_ref in &result.pt_refs {
+        let check = sys.machine.regs().check(sys.machine.phys(), &mut cache, pt_ref.addr,
+                                             AccessKind::Read, PrivMode::Supervisor);
+        for r in &check.refs {
+            out.push((if r.is_root { Ref::RootPmpte } else { Ref::LeafPmpte }, r.addr.raw()));
+        }
+        out.push((Ref::Pte(pt_ref.level), pt_ref.addr.raw()));
+    }
+    let t = result.translation.expect("mapped");
+    let check = sys.machine.regs().check(sys.machine.phys(), &mut cache, t.paddr,
+                                         AccessKind::Read, PrivMode::Supervisor);
+    for r in &check.refs {
+        out.push((if r.is_root { Ref::RootPmpte } else { Ref::LeafPmpte }, r.addr.raw()));
+    }
+    out.push((Ref::Data, t.paddr.raw()));
+    out
+}
+
+/// Figure 2-c: the 12-reference sequence, with the paper's interleaving —
+/// (PL1, PL0) before each page-table level, then the leaf data pair.
+#[test]
+fn pmpt_sequence_matches_figure_2c() {
+    let seq = sequence(IsolationScheme::PmpTable);
+    assert_eq!(seq.len(), 12);
+    let kinds: Vec<Ref> = seq.iter().map(|(k, _)| *k).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            Ref::RootPmpte, Ref::LeafPmpte, Ref::Pte(2), // 1,2,3
+            Ref::RootPmpte, Ref::LeafPmpte, Ref::Pte(1), // 4,5,6
+            Ref::RootPmpte, Ref::LeafPmpte, Ref::Pte(0), // 7,8,9
+            Ref::RootPmpte, Ref::LeafPmpte, Ref::Data,   // 10,11,12
+        ],
+    );
+    // Exact addresses for the fixed builder layout (regression pin):
+    // PT pages are the first pool frames; pmptes live in the table area.
+    assert_eq!(seq[2].1, 0x8000_0000, "root PT page (pool base)");
+    assert_eq!(seq[5].1, 0x8000_1000, "L1 PT page");
+    assert_eq!(seq[8].1, 0x8000_2000 + (0x100 * 8), "L0 PTE slot for vpn0=0x100");
+    assert_eq!(seq[11].1, 0x8200_0000, "first data frame");
+    // All three PT-page permission checks hit the same root pmpte (same
+    // 32 MiB slice) but distinct walks still re-read it.
+    assert_eq!(seq[0].1, seq[3].1);
+    assert_eq!(seq[0].1, seq[6].1);
+}
+
+/// Figure 4: HPMP's 6-reference sequence — the PT-page checks vanish.
+#[test]
+fn hpmp_sequence_matches_figure_4() {
+    let seq = sequence(IsolationScheme::Hpmp);
+    let kinds: Vec<Ref> = seq.iter().map(|(k, _)| *k).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            Ref::Pte(2), Ref::Pte(1), Ref::Pte(0),       // 1,2,3
+            Ref::RootPmpte, Ref::LeafPmpte, Ref::Data,   // 4,5,6
+        ],
+    );
+}
+
+/// Figure 2-b: PMP's 4-reference sequence.
+#[test]
+fn pmp_sequence_matches_figure_2b() {
+    let seq = sequence(IsolationScheme::Pmp);
+    let kinds: Vec<Ref> = seq.iter().map(|(k, _)| *k).collect();
+    assert_eq!(kinds, vec![Ref::Pte(2), Ref::Pte(1), Ref::Pte(0), Ref::Data]);
+}

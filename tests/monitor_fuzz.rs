@@ -1,0 +1,124 @@
+//! Randomised operation sequences against the secure monitor, checking the
+//! isolation invariants after every step: no two domains ever hold
+//! overlapping regions, the monitor's memory is never reachable from S-mode,
+//! and the running domain can always reach (only) its own memory.
+
+use hpmp_suite::core::{PmpRegion, PmptwCache};
+use hpmp_suite::machine::{Machine, MachineConfig};
+use hpmp_suite::memsim::{AccessKind, PhysAddr, PrivMode};
+use hpmp_suite::penglai::{DomainId, GmsLabel, MonitorError, SecureMonitor, TeeFlavor};
+use proptest::prelude::*;
+
+const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+/// The operations the fuzzer may issue.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Create,
+    Destroy(u8),
+    Alloc(u8, u8),
+    Switch(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Create),
+        (0u8..8).prop_map(Op::Destroy),
+        (0u8..8, 1u8..8).prop_map(|(d, s)| Op::Alloc(d, s)),
+        (0u8..8).prop_map(Op::Switch),
+    ]
+}
+
+fn check_invariants(machine: &Machine, monitor: &SecureMonitor, live: &[DomainId]) {
+    // 1. No overlapping regions across distinct domains. (The host's
+    //    whole-memory GMS legitimately contains carved regions, so compare
+    //    only non-host domains pairwise and against each other.)
+    let mut regions: Vec<(DomainId, PmpRegion)> = Vec::new();
+    for &d in live {
+        if d == DomainId::HOST {
+            continue;
+        }
+        for g in monitor.regions_of(d).expect("live domain") {
+            regions.push((d, g.region));
+        }
+    }
+    for (i, &(da, ra)) in regions.iter().enumerate() {
+        for &(db, rb) in &regions[i + 1..] {
+            if da != db {
+                let overlap = ra.base < rb.end() && rb.base < ra.end();
+                assert!(!overlap, "{da} {ra} overlaps {db} {rb}");
+            }
+        }
+    }
+    // 2. The monitor's own memory is unreachable from S-mode.
+    let mut cache = PmptwCache::disabled();
+    let probe = PhysAddr::new(monitor.monitor_region().base.raw() + 0x800);
+    let out = machine.regs().check(machine.phys(), &mut cache, probe, AccessKind::Read,
+                                   PrivMode::Supervisor);
+    assert!(!out.allowed, "monitor memory leaked to S-mode");
+    // 3. The current domain reaches its own first region (when not host,
+    //    whose grants are probabilistic under carving).
+    let current = monitor.current();
+    if current != DomainId::HOST {
+        if let Some(g) = monitor.regions_of(current).expect("current").first() {
+            let out = machine.regs().check(machine.phys(), &mut cache, g.region.base,
+                                           AccessKind::Read, PrivMode::Supervisor);
+            assert!(out.allowed, "{current} cannot reach its own region");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn monitor_invariants_hold_under_random_ops(
+        flavor_sel in 0usize..3,
+        ops in prop::collection::vec(arb_op(), 1..40),
+    ) {
+        let flavor = [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt,
+                      TeeFlavor::PenglaiHpmp][flavor_sel];
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let mut monitor = SecureMonitor::boot(&mut machine, flavor, RAM);
+        let mut live: Vec<DomainId> = vec![DomainId::HOST];
+
+        for op in ops {
+            match op {
+                Op::Create => {
+                    match monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow) {
+                        Ok((id, _)) => live.push(id),
+                        Err(MonitorError::OutOfPmpEntries | MonitorError::OutOfMemory) => {}
+                        Err(e) => panic!("create failed: {e}"),
+                    }
+                }
+                Op::Destroy(sel) => {
+                    let candidates: Vec<DomainId> =
+                        live.iter().copied().filter(|d| *d != DomainId::HOST).collect();
+                    if let Some(&victim) = candidates.get(sel as usize % candidates.len().max(1))
+                    {
+                        monitor.destroy_domain(&mut machine, victim).expect("destroy");
+                        live.retain(|d| *d != victim);
+                    }
+                }
+                Op::Alloc(sel, size) => {
+                    let target = live[sel as usize % live.len()];
+                    match monitor.alloc_region(&mut machine, target,
+                                               (size as u64) * 64 * 1024, GmsLabel::Slow) {
+                        Ok(_) => {}
+                        Err(MonitorError::OutOfPmpEntries | MonitorError::OutOfMemory) => {}
+                        Err(e) => panic!("alloc failed: {e}"),
+                    }
+                }
+                Op::Switch(sel) => {
+                    let target = live[sel as usize % live.len()];
+                    match monitor.switch_to(&mut machine, target) {
+                        Ok(_) => {}
+                        Err(MonitorError::OutOfPmpEntries) => {}
+                        Err(e) => panic!("switch failed: {e}"),
+                    }
+                }
+            }
+            check_invariants(&machine, &monitor, &live);
+        }
+    }
+}

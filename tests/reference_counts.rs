@@ -1,0 +1,162 @@
+//! Cross-crate invariant tests: the memory-reference arithmetic the paper
+//! states in §2–§6 must hold *exactly*, for every translation mode —
+//! these counts follow from the RISC-V ISA specification, not from any
+//! microarchitectural model.
+
+use hpmp_suite::machine::{
+    IsolationScheme, MachineConfig, SystemBuilder, VirtMachine, VirtScheme,
+};
+use hpmp_suite::memsim::{AccessKind, Perms, PrivMode, VirtAddr};
+use hpmp_suite::paging::TranslationMode;
+
+fn cold_refs(scheme: IsolationScheme, mode: TranslationMode) -> (u64, u64, u64, u64) {
+    let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme)
+        .translation_mode(mode)
+        .build();
+    sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
+    sys.sync_pt_grants();
+    sys.machine.flush_microarch();
+    let out = sys
+        .machine
+        .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read, PrivMode::Supervisor)
+        .expect("mapped");
+    (out.refs.pt_reads, out.refs.pmpte_for_pt, out.refs.pmpte_for_data, out.refs.total())
+}
+
+/// §2.2: PMP adds zero references — L+1 total for an L-level table.
+#[test]
+fn pmp_reference_formula_all_modes() {
+    for (mode, levels) in [
+        (TranslationMode::Sv39, 3),
+        (TranslationMode::Sv48, 4),
+        (TranslationMode::Sv57, 5),
+    ] {
+        let (pt, for_pt, for_data, total) = cold_refs(IsolationScheme::Pmp, mode);
+        assert_eq!(pt, levels, "{mode}");
+        assert_eq!(for_pt, 0, "{mode}");
+        assert_eq!(for_data, 0, "{mode}");
+        assert_eq!(total, levels + 1, "{mode}");
+    }
+}
+
+/// §2.2: a 2-level permission table triples the count — 3(L+1) total.
+/// "a 2-level permission table leads to eight more memory references
+/// (total: 12) for RISC-V Sv39".
+#[test]
+fn pmpt_reference_formula_all_modes() {
+    for (mode, levels) in [
+        (TranslationMode::Sv39, 3u64),
+        (TranslationMode::Sv48, 4),
+        (TranslationMode::Sv57, 5),
+    ] {
+        let (pt, for_pt, for_data, total) = cold_refs(IsolationScheme::PmpTable, mode);
+        assert_eq!(pt, levels, "{mode}");
+        assert_eq!(for_pt, 2 * levels, "{mode}");
+        assert_eq!(for_data, 2, "{mode}");
+        assert_eq!(total, 3 * (levels + 1), "{mode}");
+    }
+}
+
+/// §3: HPMP leaves only the two data-page references — L+3 total
+/// ("reduce the memory references from 12 to 6 for RISC-V Sv39").
+#[test]
+fn hpmp_reference_formula_all_modes() {
+    for (mode, levels) in [
+        (TranslationMode::Sv39, 3u64),
+        (TranslationMode::Sv48, 4),
+        (TranslationMode::Sv57, 5),
+    ] {
+        let (pt, for_pt, for_data, total) = cold_refs(IsolationScheme::Hpmp, mode);
+        assert_eq!(pt, levels, "{mode}");
+        assert_eq!(for_pt, 0, "{mode}: PT pages are segment-checked");
+        assert_eq!(for_data, 2, "{mode}");
+        assert_eq!(total, levels + 3, "{mode}");
+    }
+}
+
+/// §6: the virtualized walk — 16 base references; the permission table adds
+/// 32 (24 for NPT pages, 6 for guest-PT pages, 2 for data); HPMP removes
+/// the 24; HPMP-GPT also removes the 6.
+#[test]
+fn virtualized_reference_arithmetic() {
+    for (scheme, npt, gpt, data, total) in [
+        (VirtScheme::Pmp, 0, 0, 0, 16),
+        (VirtScheme::PmpTable, 24, 6, 2, 48),
+        (VirtScheme::Hpmp, 0, 6, 2, 24),
+        (VirtScheme::HpmpGpt, 0, 0, 2, 18),
+    ] {
+        let mut machine = VirtMachine::new(MachineConfig::rocket(), scheme, 4);
+        machine.flush_microarch();
+        let out = machine
+            .access(VirtAddr::new(0x20_0000), AccessKind::Read)
+            .expect("guest page mapped");
+        assert_eq!(out.refs.pmpte_for_npt, npt, "{scheme}: NPT pmpte refs");
+        assert_eq!(out.refs.pmpte_for_gpt, gpt, "{scheme}: GPT pmpte refs");
+        assert_eq!(out.refs.pmpte_for_data, data, "{scheme}: data pmpte refs");
+        assert_eq!(out.refs.total(), total, "{scheme}: total");
+    }
+}
+
+/// Footnote 1: the counts are ISA-level — microarchitectural help (PWC)
+/// reduces them. With a warm PWC, the Sv39 PMPT walk needs only the leaf
+/// PTE: 1 PT read + 2 pmpte + data + 2 pmpte = 6.
+#[test]
+fn pwc_reduces_below_isa_counts() {
+    let mut sys = SystemBuilder::new(MachineConfig::rocket(), IsolationScheme::PmpTable).build();
+    sys.map_range(VirtAddr::new(0x10_0000), 2, Perms::RW);
+    sys.sync_pt_grants();
+    sys.machine.flush_microarch();
+    sys.machine
+        .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read, PrivMode::Supervisor)
+        .expect("warm");
+    let out = sys
+        .machine
+        .access(&sys.space, VirtAddr::new(0x10_1000), AccessKind::Read, PrivMode::Supervisor)
+        .expect("neighbour");
+    assert_eq!(out.refs.pt_reads, 1);
+    assert_eq!(out.refs.total(), 6);
+}
+
+/// TLB inlining (Implication-2): a TLB hit needs exactly one reference in
+/// every scheme; with inlining disabled, table schemes pay the permission
+/// walk on every access.
+#[test]
+fn tlb_inlining_ablation() {
+    // Enabled (default): warm access = 1 ref.
+    let mut sys = SystemBuilder::new(MachineConfig::rocket(), IsolationScheme::PmpTable).build();
+    sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
+    sys.sync_pt_grants();
+    let va = VirtAddr::new(0x10_0000);
+    sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor).unwrap();
+    let warm = sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+        .unwrap();
+    assert_eq!(warm.refs.total(), 1);
+
+    // Disabled: the same TLB hit pays two pmpte references.
+    let mut config = MachineConfig::rocket();
+    config.tlb_inlining = false;
+    let mut sys = SystemBuilder::new(config, IsolationScheme::PmpTable).build();
+    sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
+    sys.sync_pt_grants();
+    sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor).unwrap();
+    let warm = sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+        .unwrap();
+    assert_eq!(warm.refs.pmpte_for_data, 2);
+    assert_eq!(warm.refs.total(), 3);
+}
+
+/// The three schemes are one register file: flipping the T bit (plus the
+/// pointer register) converts a segment entry into a table entry with no
+/// other hardware change (§4.2).
+#[test]
+fn schemes_share_one_register_file() {
+    use hpmp_suite::core::HPMP_ENTRIES;
+    for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp] {
+        let sys = SystemBuilder::new(MachineConfig::rocket(), scheme).build();
+        // Same 16-entry file in every configuration.
+        let regs = sys.machine.regs();
+        let active = (0..HPMP_ENTRIES).filter(|&i| regs.entry_region(i).is_some()).count();
+        assert!(active >= 1, "{scheme}: at least one active entry");
+        assert!(active <= HPMP_ENTRIES, "{scheme}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Accounting invariants: the statistics the figures are computed from must
+//! be internally consistent — reference counts match what the memory system
+//! saw, TLB lookups match accesses, and cycle totals are conserved.
+
+use hpmp_suite::machine::{IsolationScheme, MachineConfig, SystemBuilder};
+use hpmp_suite::memsim::{AccessKind, Perms, PrivMode, VirtAddr, PAGE_SIZE};
+
+#[test]
+fn references_match_memory_system() {
+    for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp] {
+        let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme).build();
+        sys.map_range(VirtAddr::new(0x10_0000), 32, Perms::RW);
+        sys.sync_pt_grants();
+        sys.machine.flush_microarch();
+        sys.machine.reset_stats();
+
+        for i in 0..32u64 {
+            sys.machine
+                .access(&sys.space, VirtAddr::new(0x10_0000 + i * PAGE_SIZE),
+                        AccessKind::Read, PrivMode::Supervisor)
+                .expect("mapped");
+        }
+
+        let stats = sys.machine.stats();
+        let mem = sys.machine.mem_stats();
+        // Every counted reference went through the memory system, and
+        // nothing else did.
+        assert_eq!(stats.refs.total(), mem.accesses, "{scheme}: reference conservation");
+        // Every access either hit the TLB or walked.
+        let tlb = sys.machine.tlb_stats();
+        assert_eq!(tlb.lookups(), stats.accesses, "{scheme}: one TLB lookup per access");
+        assert_eq!(tlb.misses, stats.walks, "{scheme}: one walk per TLB miss");
+        // Data references: exactly one per access.
+        assert_eq!(stats.refs.data_reads, stats.accesses, "{scheme}");
+        // Hierarchy conservation: every lookup at a level is a hit or miss.
+        assert_eq!(mem.l1.accesses(), mem.l1.hits + mem.l1.misses);
+        assert_eq!(mem.dram.row_hits + mem.dram.row_misses,
+                   mem.llc.misses, "{scheme}: every LLC miss reaches DRAM");
+    }
+}
+
+#[test]
+fn per_access_outcomes_sum_to_totals() {
+    let mut sys = SystemBuilder::new(MachineConfig::boom(), IsolationScheme::Hpmp).build();
+    sys.map_range(VirtAddr::new(0x10_0000), 8, Perms::RW);
+    sys.sync_pt_grants();
+    sys.machine.flush_microarch();
+    sys.machine.reset_stats();
+
+    let mut cycles = 0;
+    let mut refs = 0;
+    for i in 0..8u64 {
+        let out = sys.machine
+            .access(&sys.space, VirtAddr::new(0x10_0000 + i * PAGE_SIZE), AccessKind::Write,
+                    PrivMode::Supervisor)
+            .expect("mapped");
+        cycles += out.cycles;
+        refs += out.refs.total();
+    }
+    let stats = sys.machine.stats();
+    assert_eq!(stats.cycles, cycles, "cycle conservation");
+    assert_eq!(stats.refs.total(), refs, "reference conservation");
+    assert_eq!(stats.accesses, 8);
+    assert_eq!(stats.faults, 0);
+}
+
+#[test]
+fn faults_are_counted_but_not_as_accesses() {
+    let mut sys = SystemBuilder::new(MachineConfig::rocket(), IsolationScheme::Pmp).build();
+    sys.machine.reset_stats();
+    for _ in 0..3 {
+        let _ = sys.machine.access(&sys.space, VirtAddr::new(0xdead_0000), AccessKind::Read,
+                                   PrivMode::Supervisor);
+    }
+    let stats = sys.machine.stats();
+    assert_eq!(stats.faults, 3);
+    assert_eq!(stats.accesses, 0, "faulting accesses do not complete");
+}
