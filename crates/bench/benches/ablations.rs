@@ -2,14 +2,12 @@
 //! PMP-Table depth (1/2/3 levels), TLB inlining on/off, and the
 //! PMPTW-Cache size sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hpmp_core::{
-    HpmpRegFile, PmpRegion, PmpTable, PmptwCache, PmptwCacheConfig, TableLevels,
-};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_core::{HpmpRegFile, PmpRegion, PmpTable, PmptwCache, PmptwCacheConfig, TableLevels};
 use hpmp_machine::{IsolationScheme, MachineConfig};
 use hpmp_memsim::{
-    AccessKind, FrameAllocator, MemSystem, MemSystemConfig, Perms, PhysAddr, PhysMem,
-    PrivMode, PAGE_SIZE,
+    AccessKind, FrameAllocator, MemSystem, MemSystemConfig, Perms, PhysAddr, PhysMem, PrivMode,
+    PAGE_SIZE,
 };
 use hpmp_workloads::latency::{measure_with_config, TestCase};
 use std::time::Duration;
@@ -17,7 +15,9 @@ use std::time::Duration;
 /// Depth ablation (§4.3 "why 2-level?"): cycles per cold permission check.
 fn table_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_table_depth");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
     for levels in [TableLevels::One, TableLevels::Two, TableLevels::Three] {
         let id = BenchmarkId::new("cold_check", format!("{levels:?}"));
@@ -26,27 +26,35 @@ fn table_depth(c: &mut Criterion) {
             let size = levels.reach().min(1 << 28);
             let region = PmpRegion::new(PhysAddr::new(0x9000_0000), size);
             let mut mem = PhysMem::new();
-            let mut frames =
-                FrameAllocator::new(PhysAddr::new(0x1_0000_0000), 1024 * PAGE_SIZE);
+            let mut frames = FrameAllocator::new(PhysAddr::new(0x1_0000_0000), 1024 * PAGE_SIZE);
             let mut table =
                 PmpTable::with_levels(region, levels, &mut mem, &mut frames).expect("table");
             for i in 0..64u64 {
                 table
-                    .set_page_perm(&mut mem, &mut frames,
-                                   PhysAddr::new(0x9000_0000 + i * PAGE_SIZE), Perms::RW)
+                    .set_page_perm(
+                        &mut mem,
+                        &mut frames,
+                        PhysAddr::new(0x9000_0000 + i * PAGE_SIZE),
+                        Perms::RW,
+                    )
                     .expect("fill");
             }
             let mut regs = HpmpRegFile::new();
-            regs.configure_table(0, region, table.root(), levels).expect("entry");
+            regs.configure_table(0, region, table.root(), levels)
+                .expect("entry");
             let mut cache = PmptwCache::disabled();
             let mut mem_sys = MemSystem::new(MemSystemConfig::rocket());
             let mut i = 0u64;
             b.iter(|| {
                 i = (i + 1) % 64;
                 mem_sys.flush_all();
-                let out = regs.check(&mem, &mut cache,
-                                     PhysAddr::new(0x9000_0000 + i * PAGE_SIZE),
-                                     AccessKind::Read, PrivMode::Supervisor);
+                let out = regs.check(
+                    &mem,
+                    &mut cache,
+                    PhysAddr::new(0x9000_0000 + i * PAGE_SIZE),
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                );
                 let mut cycles = 0;
                 for r in &out.refs {
                     cycles += mem_sys.access_ptw(r.addr).cycles;
@@ -62,7 +70,9 @@ fn table_depth(c: &mut Criterion) {
 /// without inlined permissions.
 fn tlb_inlining(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_tlb_inlining");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
     for (name, inlining) in [("inlined", true), ("no_inlining", false)] {
         let id = BenchmarkId::new("tc4_pmpt", name);
@@ -70,8 +80,12 @@ fn tlb_inlining(c: &mut Criterion) {
             let mut config = MachineConfig::rocket();
             config.tlb_inlining = inlining;
             b.iter(|| {
-                measure_with_config(config, IsolationScheme::PmpTable, AccessKind::Read,
-                                    TestCase::Tc4)
+                measure_with_config(
+                    config,
+                    IsolationScheme::PmpTable,
+                    AccessKind::Read,
+                    TestCase::Tc4,
+                )
             });
         });
     }
@@ -81,7 +95,9 @@ fn tlb_inlining(c: &mut Criterion) {
 /// PMPTW-Cache size sweep (§8.9).
 fn pmptw_cache_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_pmptw_cache");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
     for entries in [0usize, 4, 8, 16] {
         let id = BenchmarkId::new("tc2_pmpt", entries);
@@ -89,8 +105,12 @@ fn pmptw_cache_sweep(c: &mut Criterion) {
             let mut config = MachineConfig::rocket();
             config.pmptw_cache = PmptwCacheConfig { entries };
             b.iter(|| {
-                measure_with_config(config, IsolationScheme::PmpTable, AccessKind::Read,
-                                    TestCase::Tc2)
+                measure_with_config(
+                    config,
+                    IsolationScheme::PmpTable,
+                    AccessKind::Read,
+                    TestCase::Tc2,
+                )
             });
         });
     }

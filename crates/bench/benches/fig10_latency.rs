@@ -1,7 +1,7 @@
 //! Criterion bench for Figure 10 / Table 2: single ld/sd latency under
 //! TC1–TC4 for each isolation scheme on both cores.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_machine::IsolationScheme;
 use hpmp_memsim::{AccessKind, CoreKind};
 use hpmp_workloads::latency::{measure, TEST_CASES};
@@ -9,18 +9,19 @@ use std::time::Duration;
 
 fn fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_latency");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
     for core in [CoreKind::Rocket, CoreKind::Boom] {
         for op in [AccessKind::Read, AccessKind::Write] {
-            for scheme in
-                [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp]
-            {
+            for scheme in [
+                IsolationScheme::Pmp,
+                IsolationScheme::PmpTable,
+                IsolationScheme::Hpmp,
+            ] {
                 for case in TEST_CASES {
-                    let id = BenchmarkId::new(
-                        format!("{core}/{op}/{scheme}"),
-                        case.to_string(),
-                    );
+                    let id = BenchmarkId::new(format!("{core}/{op}/{scheme}"), case.to_string());
                     group.bench_with_input(id, &case, |b, &case| {
                         b.iter(|| measure(core, scheme, op, case));
                     });

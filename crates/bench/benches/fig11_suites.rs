@@ -1,18 +1,23 @@
 //! Criterion bench for Figure 11: RV8 and GAP suites under each flavour.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
 use hpmp_workloads::gap::{default_graph, run_gap, GapKernel};
 use hpmp_workloads::rv8::{run_rv8, Rv8Kernel};
 use std::time::Duration;
 
-const FLAVORS: [TeeFlavor; 3] =
-    [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp];
+const FLAVORS: [TeeFlavor; 3] = [
+    TeeFlavor::PenglaiPmp,
+    TeeFlavor::PenglaiPmpt,
+    TeeFlavor::PenglaiHpmp,
+];
 
 fn fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_suites");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(2));
     // Representative RV8 kernels (the full set runs in `repro fig11`).
     for kernel in [Rv8Kernel::Norx, Rv8Kernel::Qsort, Rv8Kernel::Dhrystone] {
@@ -29,8 +34,7 @@ fn fig11(c: &mut Criterion) {
         for flavor in FLAVORS {
             let id = BenchmarkId::new(format!("gap/{kernel}"), flavor.to_string());
             group.bench_function(id, |b| {
-                b.iter(|| run_gap(flavor, CoreKind::Rocket, kernel, &graph, 4_000)
-                    .expect("gap"));
+                b.iter(|| run_gap(flavor, CoreKind::Rocket, kernel, &graph, 4_000).expect("gap"));
             });
         }
     }

@@ -1,7 +1,7 @@
 //! Criterion bench for Figure 12-d/e: Redis request service time per
 //! command under each flavour.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
 use hpmp_workloads::redis::{RedisCommand, RedisServer, DEFAULT_DATASET_PAGES};
@@ -9,10 +9,20 @@ use std::time::Duration;
 
 fn fig12de(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_redis");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
-        for cmd in [RedisCommand::Get, RedisCommand::Lrange100, RedisCommand::Mset] {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
+        for cmd in [
+            RedisCommand::Get,
+            RedisCommand::Lrange100,
+            RedisCommand::Mset,
+        ] {
             let id = BenchmarkId::new(cmd.to_string(), flavor.to_string());
             group.bench_function(id, |b| {
                 let mut server =

@@ -1,19 +1,24 @@
 //! Criterion bench for Figure 12-a/b/c: FunctionBench invocations and the
 //! image-processing chain under each flavour.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
 use hpmp_workloads::serverless::{image_chain, invoke, Function};
 use hpmp_workloads::TeeBench;
 use std::time::Duration;
 
-const FLAVORS: [TeeFlavor; 3] =
-    [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp];
+const FLAVORS: [TeeFlavor; 3] = [
+    TeeFlavor::PenglaiPmp,
+    TeeFlavor::PenglaiPmpt,
+    TeeFlavor::PenglaiHpmp,
+];
 
 fn fig12ac(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_serverless");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     for function in [Function::Dd, Function::Chameleon, Function::Matmul] {
         for flavor in FLAVORS {

@@ -1,6 +1,6 @@
 //! Criterion bench for Figure 13: virtualized (two-stage) access latency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_machine::VirtScheme;
 use hpmp_memsim::CoreKind;
 use hpmp_workloads::latency::{measure_virt, VIRT_CASES};
@@ -8,11 +8,16 @@ use std::time::Duration;
 
 fn fig13(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_virt");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for scheme in [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp,
-                   VirtScheme::HpmpGpt]
-    {
+    for scheme in [
+        VirtScheme::Pmp,
+        VirtScheme::PmpTable,
+        VirtScheme::Hpmp,
+        VirtScheme::HpmpGpt,
+    ] {
         for case in VIRT_CASES {
             let id = BenchmarkId::new(scheme.to_string(), case.to_string());
             group.bench_with_input(id, &case, |b, &case| {

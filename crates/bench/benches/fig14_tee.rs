@@ -1,7 +1,7 @@
 //! Criterion bench for Figure 14: TEE operations — domain switch, region
 //! allocation/release, and sized allocations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_core::PmpRegion;
 use hpmp_machine::{Machine, MachineConfig};
 use hpmp_memsim::PhysAddr;
@@ -18,26 +18,33 @@ fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor) {
 
 fn fig14(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_tee");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
 
     // (a) Domain switch with many resident domains (HPMP only at 101).
-    for (flavor, domains) in [(TeeFlavor::PenglaiPmp, 12u32), (TeeFlavor::PenglaiHpmp, 12),
-                              (TeeFlavor::PenglaiHpmp, 101)]
-    {
+    for (flavor, domains) in [
+        (TeeFlavor::PenglaiPmp, 12u32),
+        (TeeFlavor::PenglaiHpmp, 12),
+        (TeeFlavor::PenglaiHpmp, 101),
+    ] {
         let id = BenchmarkId::new(format!("switch/{flavor}"), domains);
         group.bench_function(id, |b| {
             let (mut machine, mut monitor) = boot(flavor);
             let mut first = None;
             for _ in 0..domains - 1 {
-                let (d, _) =
-                    monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("d");
+                let (d, _) = monitor
+                    .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                    .expect("d");
                 first.get_or_insert(d);
             }
             let target = first.expect("domains");
             b.iter(|| {
                 monitor.switch_to(&mut machine, target).expect("to");
-                monitor.switch_to(&mut machine, DomainId::HOST).expect("back")
+                monitor
+                    .switch_to(&mut machine, DomainId::HOST)
+                    .expect("back")
             });
         });
     }
@@ -51,7 +58,9 @@ fn fig14(c: &mut Criterion) {
                 let (region, _) = monitor
                     .alloc_region(&mut machine, DomainId::HOST, 64 * 1024, GmsLabel::Slow)
                     .expect("alloc");
-                monitor.free_region(&mut machine, DomainId::HOST, region.base).expect("free")
+                monitor
+                    .free_region(&mut machine, DomainId::HOST, region.base)
+                    .expect("free")
             });
         });
     }
@@ -75,11 +84,15 @@ fn tenancy(c: &mut Criterion) {
     use hpmp_memsim::CoreKind;
     use hpmp_workloads::multi_tenant::run_tenancy;
     let mut group = c.benchmark_group("tenancy");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    for (flavor, tenants) in [(TeeFlavor::PenglaiPmp, 12u32), (TeeFlavor::PenglaiHpmp, 12),
-                              (TeeFlavor::PenglaiHpmp, 64)]
-    {
+    for (flavor, tenants) in [
+        (TeeFlavor::PenglaiPmp, 12u32),
+        (TeeFlavor::PenglaiHpmp, 12),
+        (TeeFlavor::PenglaiHpmp, 64),
+    ] {
         let id = BenchmarkId::new(flavor.to_string(), tenants);
         group.bench_function(id, |b| {
             b.iter(|| run_tenancy(flavor, CoreKind::Rocket, tenants, 1).expect("tenancy"));

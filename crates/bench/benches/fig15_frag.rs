@@ -1,7 +1,7 @@
 //! Criterion bench for Figures 15/16: fragmentation layouts, with and
 //! without the PMPTW-Cache.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_core::PmptwCacheConfig;
 use hpmp_machine::IsolationScheme;
 use hpmp_memsim::CoreKind;
@@ -10,15 +10,21 @@ use std::time::Duration;
 
 fn fig15(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15_frag");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp] {
+    for scheme in [
+        IsolationScheme::Pmp,
+        IsolationScheme::PmpTable,
+        IsolationScheme::Hpmp,
+    ] {
         for va in [VaLayout::Contiguous, VaLayout::Fragmented] {
             for pa in [PaLayout::Contiguous, PaLayout::Fragmented] {
-                for (cache_name, cache) in
-                    [("nocache", PmptwCacheConfig::DISABLED),
-                     ("cache8", PmptwCacheConfig::ENABLED_8)]
-                {
+                for (cache_name, cache) in [
+                    ("nocache", PmptwCacheConfig::DISABLED),
+                    ("cache8", PmptwCacheConfig::ENABLED_8),
+                ] {
                     let id = BenchmarkId::new(format!("{scheme}/{va}/{pa}"), cache_name);
                     group.bench_function(id, |b| {
                         b.iter(|| measure(CoreKind::Rocket, scheme, va, pa, cache));

@@ -1,6 +1,6 @@
 //! Criterion bench for Figure 17: FunctionBench with 8 vs 32 PWC entries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_machine::MachineConfig;
 use hpmp_penglai::TeeFlavor;
 use hpmp_workloads::serverless::{invoke, Function};
@@ -9,9 +9,15 @@ use std::time::Duration;
 
 fn fig17(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig17_pwc");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
         for pwc_entries in [8usize, 32] {
             let id = BenchmarkId::new(flavor.to_string(), format!("pwc{pwc_entries}"));
             group.bench_function(id, |b| {

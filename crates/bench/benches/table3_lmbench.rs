@@ -1,6 +1,6 @@
 //! Criterion bench for Table 3: LMBench syscall costs under each flavour.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
 use hpmp_workloads::lmbench::{LmbenchContext, SYSCALLS};
@@ -8,9 +8,15 @@ use std::time::Duration;
 
 fn table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_lmbench");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
         for syscall in SYSCALLS {
             let id = BenchmarkId::new(flavor.to_string(), syscall.to_string());
             group.bench_with_input(id, &syscall, |b, &syscall| {

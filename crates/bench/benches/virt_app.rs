@@ -1,7 +1,7 @@
 //! Criterion bench for the guest key-value extension experiment: sustained
 //! application traffic over the 3-D walk (§6/§8.6 extension).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpmp_machine::VirtScheme;
 use hpmp_memsim::CoreKind;
 use hpmp_workloads::virt_app::{run_guest_kv, GUEST_DATASET_PAGES};
@@ -9,11 +9,16 @@ use std::time::Duration;
 
 fn virt_app(c: &mut Criterion) {
     let mut group = c.benchmark_group("virt_app");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200))
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    for scheme in [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp,
-                   VirtScheme::HpmpGpt]
-    {
+    for scheme in [
+        VirtScheme::Pmp,
+        VirtScheme::PmpTable,
+        VirtScheme::Hpmp,
+        VirtScheme::HpmpGpt,
+    ] {
         let id = BenchmarkId::new("guest_kv", scheme.to_string());
         group.bench_function(id, |b| {
             b.iter(|| run_guest_kv(CoreKind::Rocket, scheme, GUEST_DATASET_PAGES, 150));

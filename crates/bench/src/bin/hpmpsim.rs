@@ -6,7 +6,12 @@
 //!         [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]
 //!         [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]
 //!         [--encryption CYCLES] [--epmp]
+//!         [--trace-out walks.jsonl] [--metrics-out metrics.json]
 //! ```
+//!
+//! `--trace-out` streams one JSON object per page walk (see
+//! `hpmp_trace::WalkEvent::to_json`); `--metrics-out` writes the unified
+//! metrics snapshot as nested JSON after the run.
 //!
 //! Unlike `repro` (which regenerates the paper's tables), this is the
 //! kick-the-tires tool: pick a stack, run a workload, read the counters.
@@ -15,6 +20,7 @@ use hpmp_core::PmptwCacheConfig;
 use hpmp_machine::MachineConfig;
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
+use hpmp_trace::{JsonlSink, NullSink, Snapshot, TraceSink};
 use hpmp_workloads::TeeBench;
 
 #[derive(Debug)]
@@ -27,6 +33,8 @@ struct Options {
     tlb_inlining: bool,
     encryption: u64,
     epmp: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -34,7 +42,8 @@ fn usage() -> ! {
         "usage: hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]\n\
          \x20              [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]\n\
          \x20              [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]\n\
-         \x20              [--encryption CYCLES] [--epmp]"
+         \x20              [--encryption CYCLES] [--epmp]\n\
+         \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]"
     );
     std::process::exit(2);
 }
@@ -49,6 +58,8 @@ fn parse_args() -> Options {
         tlb_inlining: true,
         encryption: 0,
         epmp: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,10 +95,10 @@ fn parse_args() -> Options {
             "--pwc" => options.pwc = value("--pwc").parse().ok(),
             "--pmptw-cache" => options.pmptw_cache = value("--pmptw-cache").parse().ok(),
             "--no-tlb-inlining" => options.tlb_inlining = false,
-            "--encryption" => {
-                options.encryption = value("--encryption").parse().unwrap_or(0)
-            }
+            "--encryption" => options.encryption = value("--encryption").parse().unwrap_or(0),
             "--epmp" => options.epmp = true,
+            "--trace-out" => options.trace_out = Some(value("--trace-out")),
+            "--metrics-out" => options.metrics_out = Some(value("--metrics-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -133,22 +144,65 @@ fn main() {
     );
 
     let config = machine_config(&options);
-    let cycles = match options.workload.as_str() {
+    let (cycles, snapshot) = match &options.trace_out {
+        Some(path) => {
+            let mut sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            let result = run_workload(&options, config, &mut sink);
+            sink.flush();
+            println!("  trace        : {} events -> {}", sink.written(), path);
+            if sink.io_errors() > 0 {
+                eprintln!("  warning: {} events lost to I/O errors", sink.io_errors());
+            }
+            result
+        }
+        None => run_workload(&options, config, NullSink),
+    };
+    if let Some(path) = &options.metrics_out {
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  metrics      : {} counters -> {}", snapshot.len(), path);
+    }
+
+    let core = hpmp_memsim::CoreModel::for_kind(options.core);
+    println!("  total cycles : {cycles}");
+    println!(
+        "  wall time    : {:.3} ms (at {} MHz)",
+        core.cycles_to_ns(cycles) / 1e6,
+        core.clock_mhz
+    );
+}
+
+/// Runs the selected workload with `sink` attached, returning total cycles
+/// and the unified metrics snapshot of the machine that ran it (merged
+/// across machines for workloads that boot one per kernel).
+fn run_workload<S: TraceSink>(
+    options: &Options,
+    config: MachineConfig,
+    mut sink: S,
+) -> (u64, Snapshot) {
+    match options.workload.as_str() {
         "serverless" => {
-            let mut tee = TeeBench::boot_with_config(options.flavor, config);
+            let mut tee = TeeBench::boot_with_sink(options.flavor, config, sink);
             let mut total = 0;
             for (i, function) in hpmp_workloads::serverless::FUNCTIONS.iter().enumerate() {
                 total += hpmp_workloads::serverless::invoke(&mut tee, *function, i as u64)
                     .expect("invocation");
             }
             report_machine(&tee);
-            total
+            tee.machine.flush_sink();
+            (total, tee.machine.metrics_snapshot())
         }
         "redis" => {
-            let mut server = hpmp_workloads::redis::RedisServer::start(
+            let mut server = hpmp_workloads::redis::RedisServer::start_with_sink(
                 options.flavor,
                 options.core,
                 hpmp_workloads::redis::DEFAULT_DATASET_PAGES,
+                sink,
             )
             .expect("server");
             let mut total = 0;
@@ -157,37 +211,59 @@ fn main() {
                     total += server.serve(cmd).expect("request");
                 }
             }
-            total
+            server.tee_mut().machine.flush_sink();
+            (total, server.tee().machine.metrics_snapshot())
         }
         "gap" => {
             let graph = hpmp_workloads::gap::default_graph();
             let mut total = 0;
+            let mut merged = Snapshot::new();
             for kernel in hpmp_workloads::gap::GAP_KERNELS {
-                total += hpmp_workloads::gap::run_gap(options.flavor, options.core, kernel,
-                                                      &graph, 5_000)
-                    .expect("kernel");
+                let (cycles, snap) = hpmp_workloads::gap::run_gap_with_sink(
+                    options.flavor,
+                    options.core,
+                    kernel,
+                    &graph,
+                    5_000,
+                    &mut sink,
+                )
+                .expect("kernel");
+                total += cycles;
+                merged = merged.merge(&snap);
             }
-            total
+            (total, merged)
         }
         "rv8" => {
             let mut total = 0;
+            let mut merged = Snapshot::new();
             for kernel in hpmp_workloads::rv8::RV8_KERNELS {
-                total += hpmp_workloads::rv8::run_rv8(options.flavor, options.core, kernel)
-                    .expect("kernel");
+                let (cycles, snap) = hpmp_workloads::rv8::run_rv8_with_sink(
+                    options.flavor,
+                    options.core,
+                    kernel,
+                    &mut sink,
+                )
+                .expect("kernel");
+                total += cycles;
+                merged = merged.merge(&snap);
             }
-            total
+            (total, merged)
         }
         "lmbench" => {
-            let mut ctx =
-                hpmp_workloads::lmbench::LmbenchContext::new(options.flavor, options.core)
-                    .expect("boot");
+            let mut ctx = hpmp_workloads::lmbench::LmbenchContext::new_with_sink(
+                options.flavor,
+                options.core,
+                sink,
+            )
+            .expect("boot");
             let mut total = 0;
             for syscall in hpmp_workloads::lmbench::SYSCALLS {
                 for _ in 0..10 {
                     total += ctx.run(syscall).expect("syscall");
                 }
             }
-            total
+            ctx.tee_mut().machine.flush_sink();
+            (total, ctx.tee().machine.metrics_snapshot())
         }
         "virtapp" => {
             let scheme = match options.flavor {
@@ -195,43 +271,53 @@ fn main() {
                 TeeFlavor::PenglaiPmpt => hpmp_machine::VirtScheme::PmpTable,
                 TeeFlavor::PenglaiHpmp => hpmp_machine::VirtScheme::Hpmp,
             };
-            let out = hpmp_workloads::virt_app::run_guest_kv(
+            let (out, snap) = hpmp_workloads::virt_app::run_guest_kv_with_sink(
                 options.core,
                 scheme,
                 hpmp_workloads::virt_app::GUEST_DATASET_PAGES,
                 500,
+                sink,
             );
             println!("  cycles/request: {:.0}", out.cycles_per_request());
-            out.cycles
+            (out.cycles, snap)
         }
         "tenancy" => {
-            let out = hpmp_workloads::multi_tenant::run_tenancy(options.flavor, options.core,
-                                                                100, 2)
-                .expect("tenancy");
-            println!("  tenants: {} (entry wall: {})", out.tenants, out.hit_entry_wall);
-            out.total_cycles
+            let (out, snap) = hpmp_workloads::multi_tenant::run_tenancy_with_sink(
+                options.flavor,
+                options.core,
+                100,
+                2,
+                sink,
+            )
+            .expect("tenancy");
+            println!(
+                "  tenants: {} (entry wall: {})",
+                out.tenants, out.hit_entry_wall
+            );
+            (out.total_cycles, snap)
         }
         other => {
             eprintln!("unknown workload {other}");
             usage()
         }
-    };
-
-    let core = hpmp_memsim::CoreModel::for_kind(options.core);
-    println!("  total cycles : {cycles}");
-    println!("  wall time    : {:.3} ms (at {} MHz)", core.cycles_to_ns(cycles) / 1e6,
-             core.clock_mhz);
+    }
 }
 
-fn report_machine(tee: &TeeBench) {
+fn report_machine<S: TraceSink>(tee: &TeeBench<S>) {
     let stats = tee.machine.stats();
     let tlb = tee.machine.tlb_stats();
     let mem = tee.machine.mem_stats();
-    println!("  accesses     : {} ({} walks, {:.1}% TLB hit)", stats.accesses, stats.walks,
-             tlb.hit_rate() * 100.0);
+    println!(
+        "  accesses     : {} ({} walks, {:.1}% TLB hit)",
+        stats.accesses,
+        stats.walks,
+        tlb.hit_rate() * 100.0
+    );
     println!(
         "  references   : {} PT, {} data, {} pmpte(PT), {} pmpte(data)",
-        stats.refs.pt_reads, stats.refs.data_reads, stats.refs.pmpte_for_pt,
+        stats.refs.pt_reads,
+        stats.refs.data_reads,
+        stats.refs.pmpte_for_pt,
         stats.refs.pmpte_for_data,
     );
     println!(

@@ -1,8 +1,15 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [experiment...]` where experiment is one of
+//! Usage: `repro [--serial] [--trace-out <walks.jsonl>] [--metrics-out <m.json>]
+//! [experiment...]` where experiment is one of
 //! `table1 fig2 fig3 fig10 table3 fig11 fig12ac fig12de fig13 fig14 fig15
 //! fig16 fig17 table4 svsweep virtapp tenancy encryption all` (default: `all`).
+//!
+//! `--trace-out` streams one JSONL [`hpmp_trace::WalkEvent`] per memory access
+//! for the experiments that drive the instrumented machine directly (fig2,
+//! fig11, fig12de, fig14, fig17, svsweep, virtapp, tenancy, encryption);
+//! `--metrics-out` writes their merged metrics registry snapshot as JSON.
+//! Either flag implies `--serial` so all events land in one file.
 //!
 //! Absolute cycle counts come from the simulated SoC, not the authors'
 //! FPGA; the *shapes* (who wins, by what factor, where crossovers are) are
@@ -13,27 +20,59 @@ use hpmp_core::{estimate_resources, HardwareParams, PmptwCacheConfig};
 use hpmp_machine::{IsolationScheme, MachineConfig, VirtScheme};
 use hpmp_memsim::{AccessKind, CoreKind, PhysAddr};
 use hpmp_penglai::{cost, DomainId, GmsLabel, MonitorError, SecureMonitor, TeeFlavor};
-use hpmp_workloads::latency::{
-    figure_10_panel, measure_virt, TestCase, VirtCase, VIRT_CASES,
-};
+use hpmp_trace::{JsonlSink, NullSink, Snapshot, TraceSink};
+use hpmp_workloads::latency::{figure_10_panel, measure_virt, TestCase, VirtCase, VIRT_CASES};
 use hpmp_workloads::{frag, gap, lmbench, redis, rv8, serverless};
 
-const SCHEMES: [IsolationScheme; 3] =
-    [IsolationScheme::PmpTable, IsolationScheme::Hpmp, IsolationScheme::Pmp];
+const SCHEMES: [IsolationScheme; 3] = [
+    IsolationScheme::PmpTable,
+    IsolationScheme::Hpmp,
+    IsolationScheme::Pmp,
+];
 
 /// Every experiment, in presentation order.
 const EXPERIMENTS: [&str; 18] = [
-    "table1", "fig2", "fig10", "table3", "fig11", "fig12ac", "fig12de", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "table4", "fig3", "svsweep", "virtapp", "tenancy",
+    "table1",
+    "fig2",
+    "fig10",
+    "table3",
+    "fig11",
+    "fig12ac",
+    "fig12de",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table4",
+    "fig3",
+    "svsweep",
+    "virtapp",
+    "tenancy",
     "encryption",
 ];
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let serial = args.iter().any(|a| a == "--serial");
-    args.retain(|a| a != "--serial");
-    let wanted: Vec<&str> =
-        if args.is_empty() { vec!["all"] } else { args.iter().map(String::as_str).collect() };
+    let mut serial = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--serial" => serial = true,
+            "--trace-out" => trace_out = raw.next(),
+            "--metrics-out" => metrics_out = raw.next(),
+            _ => args.push(arg),
+        }
+    }
+    // A shared trace file only makes sense in one process.
+    let serial = serial || trace_out.is_some() || metrics_out.is_some();
+    let wanted: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
     let all = wanted.contains(&"all");
 
     // `repro all` fans the experiments out as child processes (they build
@@ -71,13 +110,42 @@ fn main() {
         }
     }
 
+    let snapshot = match &trace_out {
+        Some(path) => {
+            let mut sink = match JsonlSink::create(path) {
+                Ok(sink) => sink,
+                Err(e) => {
+                    eprintln!("repro: cannot create {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let snapshot = run_experiments(&wanted, all, &mut sink);
+            sink.flush();
+            eprintln!("repro: trace: {} events -> {}", sink.written(), path);
+            snapshot
+        }
+        None => run_experiments(&wanted, all, NullSink),
+    };
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("repro: metrics: {} counters -> {}", snapshot.len(), path);
+    }
+}
+
+/// Runs the selected experiments, lending `sink` to the ones that drive the
+/// instrumented machine directly and merging their metrics snapshots.
+fn run_experiments<S: TraceSink>(wanted: &[&str], all: bool, mut sink: S) -> Snapshot {
     let want = |name: &str| all || wanted.contains(&name);
+    let mut metrics = Snapshot::new();
 
     if want("table1") {
         table1();
     }
     if want("fig2") {
-        fig2();
+        metrics = metrics.merge(&fig2(&mut sink));
     }
     if want("fig10") {
         fig10();
@@ -86,19 +154,19 @@ fn main() {
         table3();
     }
     if want("fig11") {
-        fig11();
+        metrics = metrics.merge(&fig11(&mut sink));
     }
     if want("fig12ac") {
         fig12ac();
     }
     if want("fig12de") {
-        fig12de();
+        metrics = metrics.merge(&fig12de(&mut sink));
     }
     if want("fig13") {
         fig13();
     }
     if want("fig14") {
-        fig14();
+        metrics = metrics.merge(&fig14(&mut sink));
     }
     if want("fig15") {
         fig15();
@@ -107,7 +175,7 @@ fn main() {
         fig16();
     }
     if want("fig17") {
-        fig17();
+        metrics = metrics.merge(&fig17(&mut sink));
     }
     if want("table4") {
         table4();
@@ -116,63 +184,120 @@ fn main() {
         fig3();
     }
     if want("svsweep") {
-        svsweep();
+        metrics = metrics.merge(&svsweep(&mut sink));
     }
     if want("virtapp") {
-        virtapp();
+        metrics = metrics.merge(&virtapp(&mut sink));
     }
     if want("tenancy") {
-        tenancy();
+        metrics = metrics.merge(&tenancy(&mut sink));
     }
     if want("encryption") {
-        encryption();
+        metrics = metrics.merge(&encryption(&mut sink));
     }
+    sink.flush();
+    metrics
 }
 
 /// Table 1: simulation configurations.
 fn table1() {
-    let mut r = Report::new("Table 1: simulation configurations", &["Parameter", "Value"]);
-    for (name, cfg) in [("Rocket", MachineConfig::rocket()), ("BOOM", MachineConfig::boom())] {
-        r.row(&[format!("{name} core"),
-                format!("{} @ {} MHz", cfg.core.kind, cfg.core.clock_mhz)]);
-        r.row(&[format!("{name} L1 D-cache"),
-                format!("{} KiB, {}-way, {}-cycle hit", cfg.mem.l1.capacity / 1024,
-                        cfg.mem.l1.ways, cfg.mem.l1.hit_latency)]);
-        r.row(&[format!("{name} L2"),
-                format!("{} KiB, {}-way, {}-cycle hit", cfg.mem.l2.capacity / 1024,
-                        cfg.mem.l2.ways, cfg.mem.l2.hit_latency)]);
-        r.row(&[format!("{name} LLC"),
-                format!("{} MiB, {}-way, {}-cycle hit", cfg.mem.llc.capacity >> 20,
-                        cfg.mem.llc.ways, cfg.mem.llc.hit_latency)]);
-        r.row(&[format!("{name} TLB"),
-                format!("L1 {} entries FA, L2 {} direct-mapped", cfg.tlb.l1_entries,
-                        cfg.tlb.l2_entries)]);
-        r.row(&[format!("{name} PTECache (PWC)"), format!("{} entries", cfg.pwc.entries)]);
+    let mut r = Report::new(
+        "Table 1: simulation configurations",
+        &["Parameter", "Value"],
+    );
+    for (name, cfg) in [
+        ("Rocket", MachineConfig::rocket()),
+        ("BOOM", MachineConfig::boom()),
+    ] {
+        r.row(&[
+            format!("{name} core"),
+            format!("{} @ {} MHz", cfg.core.kind, cfg.core.clock_mhz),
+        ]);
+        r.row(&[
+            format!("{name} L1 D-cache"),
+            format!(
+                "{} KiB, {}-way, {}-cycle hit",
+                cfg.mem.l1.capacity / 1024,
+                cfg.mem.l1.ways,
+                cfg.mem.l1.hit_latency
+            ),
+        ]);
+        r.row(&[
+            format!("{name} L2"),
+            format!(
+                "{} KiB, {}-way, {}-cycle hit",
+                cfg.mem.l2.capacity / 1024,
+                cfg.mem.l2.ways,
+                cfg.mem.l2.hit_latency
+            ),
+        ]);
+        r.row(&[
+            format!("{name} LLC"),
+            format!(
+                "{} MiB, {}-way, {}-cycle hit",
+                cfg.mem.llc.capacity >> 20,
+                cfg.mem.llc.ways,
+                cfg.mem.llc.hit_latency
+            ),
+        ]);
+        r.row(&[
+            format!("{name} TLB"),
+            format!(
+                "L1 {} entries FA, L2 {} direct-mapped",
+                cfg.tlb.l1_entries, cfg.tlb.l2_entries
+            ),
+        ]);
+        r.row(&[
+            format!("{name} PTECache (PWC)"),
+            format!("{} entries", cfg.pwc.entries),
+        ]);
     }
     let dram = MachineConfig::rocket().mem.dram;
-    r.row(&["DRAM".into(),
-            format!("{} banks, {} B rows, {}/{} cycle hit/miss", dram.banks, dram.row_bytes,
-                    dram.row_hit_latency, dram.row_miss_latency)]);
+    r.row(&[
+        "DRAM".into(),
+        format!(
+            "{} banks, {} B rows, {}/{} cycle hit/miss",
+            dram.banks, dram.row_bytes, dram.row_hit_latency, dram.row_miss_latency
+        ),
+    ]);
     r.print();
 }
 
 /// Figures 2 & 4: memory-reference counts per TLB-miss access.
-fn fig2() {
+fn fig2<S: TraceSink>(sink: &mut S) -> Snapshot {
     use hpmp_machine::SystemBuilder;
     use hpmp_memsim::{Perms, PrivMode, VirtAddr};
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Figures 2/4: memory references per access (Sv39, TLB miss, cold)",
-        &["Scheme", "PT reads", "pmpte (PT)", "pmpte (data)", "data", "total"],
+        &[
+            "Scheme",
+            "PT reads",
+            "pmpte (PT)",
+            "pmpte (data)",
+            "data",
+            "total",
+        ],
     );
-    for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp] {
-        let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme).build();
+    for scheme in [
+        IsolationScheme::Pmp,
+        IsolationScheme::PmpTable,
+        IsolationScheme::Hpmp,
+    ] {
+        let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme)
+            .sink(&mut *sink)
+            .build();
         sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
         sys.sync_pt_grants();
         sys.machine.flush_microarch();
         let out = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x10_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .expect("access");
         r.row(&[
             scheme.to_string(),
@@ -182,9 +307,11 @@ fn fig2() {
             out.refs.data_reads.to_string(),
             out.refs.total().to_string(),
         ]);
+        metrics = metrics.merge(&sys.machine.metrics_snapshot());
     }
     r.note("paper: PMP=4, PMP Table=12, HPMP=6");
     r.print();
+    metrics
 }
 
 /// Figure 10: ld/sd latency for TC1–TC4 on both cores.
@@ -224,14 +351,11 @@ fn table3() {
     let iters = 12;
     let mut ratios = Vec::new();
     for syscall in lmbench::SYSCALLS {
-        let pmp = lmbench::measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Boom, syscall,
-                                           iters)
+        let pmp = lmbench::measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Boom, syscall, iters)
             .expect("pmp");
-        let pmpt = lmbench::measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Boom, syscall,
-                                            iters)
+        let pmpt = lmbench::measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Boom, syscall, iters)
             .expect("pmpt");
-        let hpmp = lmbench::measure_syscall(TeeFlavor::PenglaiHpmp, CoreKind::Boom, syscall,
-                                            iters)
+        let hpmp = lmbench::measure_syscall(TeeFlavor::PenglaiHpmp, CoreKind::Boom, syscall, iters)
             .expect("hpmp");
         let ratio = pmpt as f64 / hpmp as f64;
         ratios.push(ratio);
@@ -244,22 +368,40 @@ fn table3() {
         ]);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    r.row(&["Avg".into(), String::new(), String::new(), String::new(), pct_f(avg)]);
+    r.row(&[
+        "Avg".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        pct_f(avg),
+    ]);
     r.note("paper: PMPT/HPMP avg = 128.43%");
     r.print();
 }
 
 /// Figure 11: RV8 (Rocket) and GAP (Rocket + BOOM).
-fn fig11() {
+fn fig11<S: TraceSink>(sink: &mut S) -> Snapshot {
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Figure 11-a: RV8 (Rocket), latency normalised to Penglai-PMP",
         &["Kernel", "PL-PMP", "PL-PMPT", "PL-HPMP"],
     );
     for kernel in rv8::RV8_KERNELS {
-        let pmp = rv8::run_rv8(TeeFlavor::PenglaiPmp, CoreKind::Rocket, kernel).expect("pmp");
-        let pmpt = rv8::run_rv8(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, kernel).expect("pmpt");
-        let hpmp = rv8::run_rv8(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, kernel).expect("hpmp");
-        r.row(&[kernel.to_string(), "100.0%".into(), pct(pmpt, pmp), pct(hpmp, pmp)]);
+        let mut run = |flavor| {
+            let (cycles, snap) =
+                rv8::run_rv8_with_sink(flavor, CoreKind::Rocket, kernel, &mut *sink).expect("rv8");
+            metrics = metrics.merge(&snap);
+            cycles
+        };
+        let pmp = run(TeeFlavor::PenglaiPmp);
+        let pmpt = run(TeeFlavor::PenglaiPmpt);
+        let hpmp = run(TeeFlavor::PenglaiHpmp);
+        r.row(&[
+            kernel.to_string(),
+            "100.0%".into(),
+            pct(pmpt, pmp),
+            pct(hpmp, pmp),
+        ]);
     }
     r.note("paper: PMPT 0.0%-1.7% over PMP; HPMP 0.0%-0.5%");
     r.print();
@@ -272,17 +414,27 @@ fn fig11() {
             &["Kernel", "PL-PMP", "PL-PMPT", "PL-HPMP"],
         );
         for kernel in gap::GAP_KERNELS {
-            let pmp = gap::run_gap(TeeFlavor::PenglaiPmp, core, kernel, &graph, budget)
-                .expect("pmp");
-            let pmpt = gap::run_gap(TeeFlavor::PenglaiPmpt, core, kernel, &graph, budget)
-                .expect("pmpt");
-            let hpmp = gap::run_gap(TeeFlavor::PenglaiHpmp, core, kernel, &graph, budget)
-                .expect("hpmp");
-            r.row(&[kernel.to_string(), "100.0%".into(), pct(pmpt, pmp), pct(hpmp, pmp)]);
+            let mut run = |flavor| {
+                let (cycles, snap) =
+                    gap::run_gap_with_sink(flavor, core, kernel, &graph, budget, &mut *sink)
+                        .expect("gap");
+                metrics = metrics.merge(&snap);
+                cycles
+            };
+            let pmp = run(TeeFlavor::PenglaiPmp);
+            let pmpt = run(TeeFlavor::PenglaiPmpt);
+            let hpmp = run(TeeFlavor::PenglaiHpmp);
+            r.row(&[
+                kernel.to_string(),
+                "100.0%".into(),
+                pct(pmpt, pmp),
+                pct(hpmp, pmp),
+            ]);
         }
         r.note("paper: PMPT 1.2%-6.7% (Rocket) / 1.8%-9.6% (BOOM); HPMP <= 2.4%");
         r.print();
     }
+    metrics
 }
 
 /// Figure 12-a/b/c: FunctionBench and the image-processing chain.
@@ -300,7 +452,12 @@ fn fig12ac() {
                 .expect("pmpt");
             let hpmp = serverless::measure_function(TeeFlavor::PenglaiHpmp, core, function, n)
                 .expect("hpmp");
-            r.row(&[function.to_string(), "100.0%".into(), pct(pmpt, pmp), pct(hpmp, pmp)]);
+            r.row(&[
+                function.to_string(),
+                "100.0%".into(),
+                pct(pmpt, pmp),
+                pct(hpmp, pmp),
+            ]);
         }
         r.note("paper: PMPT avg 5.1% (Rocket) / 14.1% (BOOM); HPMP avg 2.0% / 3.5%");
         r.print();
@@ -311,37 +468,44 @@ fn fig12ac() {
         &["Image size", "PL-PMP", "PL-PMPT", "PL-HPMP"],
     );
     for size in [32u64, 64, 128, 256] {
-        let pmp = serverless::image_chain(TeeFlavor::PenglaiPmp, CoreKind::Rocket, size)
-            .expect("pmp");
-        let pmpt = serverless::image_chain(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, size)
-            .expect("pmpt");
-        let hpmp = serverless::image_chain(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, size)
-            .expect("hpmp");
-        r.row(&[format!("{size}x{size}"), "100.0%".into(), pct(pmpt, pmp), pct(hpmp, pmp)]);
+        let pmp =
+            serverless::image_chain(TeeFlavor::PenglaiPmp, CoreKind::Rocket, size).expect("pmp");
+        let pmpt =
+            serverless::image_chain(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, size).expect("pmpt");
+        let hpmp =
+            serverless::image_chain(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, size).expect("hpmp");
+        r.row(&[
+            format!("{size}x{size}"),
+            "100.0%".into(),
+            pct(pmpt, pmp),
+            pct(hpmp, pmp),
+        ]);
     }
     r.note("paper: PMPT 29.7% -> 1.6% as size grows; HPMP 0.3%-6.7%");
     r.print();
 }
 
 /// Figure 12-d/e: Redis RPS.
-fn fig12de() {
+fn fig12de<S: TraceSink>(sink: &mut S) -> Snapshot {
+    let mut metrics = Snapshot::new();
     let requests = 250;
     for core in [CoreKind::Rocket, CoreKind::Boom] {
         let mut r = Report::new(
             format!("Figure 12-d/e: Redis ({core}), RPS normalised to Penglai-PMP"),
             &["Command", "PL-PMP", "PL-PMPT", "PL-HPMP"],
         );
-        let mut pmp_srv =
-            redis::RedisServer::start(TeeFlavor::PenglaiPmp, core,
-                                      redis::DEFAULT_DATASET_PAGES)
-                .expect("pmp server");
+        let mut pmp_srv = redis::RedisServer::start_with_sink(
+            TeeFlavor::PenglaiPmp,
+            core,
+            redis::DEFAULT_DATASET_PAGES,
+            &mut *sink,
+        )
+        .expect("pmp server");
         let mut pmpt_srv =
-            redis::RedisServer::start(TeeFlavor::PenglaiPmpt, core,
-                                      redis::DEFAULT_DATASET_PAGES)
+            redis::RedisServer::start(TeeFlavor::PenglaiPmpt, core, redis::DEFAULT_DATASET_PAGES)
                 .expect("pmpt server");
         let mut hpmp_srv =
-            redis::RedisServer::start(TeeFlavor::PenglaiHpmp, core,
-                                      redis::DEFAULT_DATASET_PAGES)
+            redis::RedisServer::start(TeeFlavor::PenglaiHpmp, core, redis::DEFAULT_DATASET_PAGES)
                 .expect("hpmp server");
         for cmd in redis::REDIS_COMMANDS {
             let pmp = pmp_srv.rps(cmd, requests).expect("pmp");
@@ -354,9 +518,14 @@ fn fig12de() {
                 pct_f(hpmp / pmp),
             ]);
         }
+        metrics = metrics.merge(&pmp_srv.tee().machine.metrics_snapshot());
+        metrics = metrics.merge(&pmpt_srv.tee().machine.metrics_snapshot());
+        metrics = metrics.merge(&hpmp_srv.tee().machine.metrics_snapshot());
+        pmp_srv.tee_mut().machine.flush_sink();
         r.note("paper: PMPT loses 5.9%-18.0% (Rocket) / 10.8%-31.8% (BOOM); HPMP ~3-5%");
         r.print();
     }
+    metrics
 }
 
 /// Figure 13: virtualized memory access latency (Rocket).
@@ -366,11 +535,15 @@ fn fig13() {
         &["Case", "PMPT", "HPMP", "HPMP-GPT", "PMP"],
     );
     for case in VIRT_CASES {
-        let cells: Vec<String> = [VirtScheme::PmpTable, VirtScheme::Hpmp, VirtScheme::HpmpGpt,
-                                  VirtScheme::Pmp]
-            .iter()
-            .map(|&s| measure_virt(CoreKind::Rocket, s, case).to_string())
-            .collect();
+        let cells: Vec<String> = [
+            VirtScheme::PmpTable,
+            VirtScheme::Hpmp,
+            VirtScheme::HpmpGpt,
+            VirtScheme::Pmp,
+        ]
+        .iter()
+        .map(|&s| measure_virt(CoreKind::Rocket, s, case).to_string())
+        .collect();
         let mut row = vec![case.to_string()];
         row.extend(cells);
         r.row(&row);
@@ -381,7 +554,8 @@ fn fig13() {
 }
 
 /// Figure 14: TEE operation costs.
-fn fig14() {
+fn fig14<S: TraceSink>(sink: &mut S) -> Snapshot {
+    let mut metrics = Snapshot::new();
     // (a) Domain switch cost at 2 / 12 / 101 domains.
     let mut r = Report::new(
         "Figure 14-a: domain switch latency (cycles)",
@@ -390,7 +564,7 @@ fn fig14() {
     for &count in &[2u32, 12, 101] {
         let mut cells = vec![format!("{count}-domains")];
         for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiHpmp] {
-            cells.push(match switch_cost(flavor, count) {
+            cells.push(match switch_cost(flavor, count, &mut *sink) {
                 Ok(cycles) => cycles.to_string(),
                 Err(MonitorError::OutOfPmpEntries) => "no available PMP".into(),
                 Err(e) => format!("error: {e}"),
@@ -404,15 +578,23 @@ fn fig14() {
     // (b)/(c) Region allocation and release, 64 KiB x 100.
     let mut r = Report::new(
         "Figure 14-b/c: 64 KiB region allocation/release latency (cycles)",
-        &["Regions", "PMP alloc", "PMP free", "HPMP alloc", "HPMP free"],
+        &[
+            "Regions",
+            "PMP alloc",
+            "PMP free",
+            "HPMP alloc",
+            "HPMP free",
+        ],
     );
     let samples = [1usize, 10, 25, 50, 75, 100];
-    let pmp = region_cycle_series(TeeFlavor::PenglaiPmp, 100);
-    let hpmp = region_cycle_series(TeeFlavor::PenglaiHpmp, 100);
+    let pmp = region_cycle_series(TeeFlavor::PenglaiPmp, 100, &mut *sink);
+    let hpmp = region_cycle_series(TeeFlavor::PenglaiHpmp, 100, &mut *sink);
     for &i in &samples {
         let get = |series: &(Vec<u64>, Vec<u64>), idx: usize, alloc: bool| -> String {
             let v = if alloc { &series.0 } else { &series.1 };
-            v.get(idx - 1).map(|c| c.to_string()).unwrap_or_else(|| "no PMP".into())
+            v.get(idx - 1)
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "no PMP".into())
         };
         r.row(&[
             i.to_string(),
@@ -431,20 +613,26 @@ fn fig14() {
         &["Size (MiB)", "Latency"],
     );
     for &mib in &[1u64, 2, 4, 8, 16, 32, 64] {
-        let mut machine = hpmp_machine::Machine::new(MachineConfig::rocket());
+        let mut machine = hpmp_machine::Machine::with_sink(MachineConfig::rocket(), &mut *sink);
         let ram = hpmp_core::PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
         let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, ram);
         let (_, cycles) = monitor
             .alloc_region(&mut machine, DomainId::HOST, mib << 20, GmsLabel::Slow)
             .expect("alloc");
         r.row(&[mib.to_string(), cycles.to_string()]);
+        metrics = metrics.merge(&machine.metrics_snapshot());
     }
     r.note("paper: grows with size; 32 MiB-aligned regions collapse to one huge pmpte");
     r.print();
+    metrics
 }
 
-fn switch_cost(flavor: TeeFlavor, domains: u32) -> Result<u64, MonitorError> {
-    let mut machine = hpmp_machine::Machine::new(MachineConfig::rocket());
+fn switch_cost<S: TraceSink>(
+    flavor: TeeFlavor,
+    domains: u32,
+    sink: &mut S,
+) -> Result<u64, MonitorError> {
+    let mut machine = hpmp_machine::Machine::with_sink(MachineConfig::rocket(), sink);
     let ram = hpmp_core::PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
     let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
     let mut first = None;
@@ -458,8 +646,12 @@ fn switch_cost(flavor: TeeFlavor, domains: u32) -> Result<u64, MonitorError> {
     monitor.switch_to(&mut machine, target)
 }
 
-fn region_cycle_series(flavor: TeeFlavor, count: usize) -> (Vec<u64>, Vec<u64>) {
-    let mut machine = hpmp_machine::Machine::new(MachineConfig::rocket());
+fn region_cycle_series<S: TraceSink>(
+    flavor: TeeFlavor,
+    count: usize,
+    sink: &mut S,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut machine = hpmp_machine::Machine::with_sink(MachineConfig::rocket(), sink);
     let ram = hpmp_core::PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
     let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
     let mut allocs = Vec::new();
@@ -476,7 +668,11 @@ fn region_cycle_series(flavor: TeeFlavor, count: usize) -> (Vec<u64>, Vec<u64>) 
     }
     let mut frees = Vec::new();
     for base in bases {
-        frees.push(monitor.free_region(&mut machine, DomainId::HOST, base).expect("free"));
+        frees.push(
+            monitor
+                .free_region(&mut machine, DomainId::HOST, base)
+                .expect("free"),
+        );
     }
     (allocs, frees)
 }
@@ -490,11 +686,13 @@ fn fig15() {
     for pa in [frag::PaLayout::Contiguous, frag::PaLayout::Fragmented] {
         for va in [frag::VaLayout::Contiguous, frag::VaLayout::Fragmented] {
             let mut row = vec![format!("{pa} / {va}")];
-            for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable,
-                           IsolationScheme::Hpmp] {
+            for scheme in [
+                IsolationScheme::Pmp,
+                IsolationScheme::PmpTable,
+                IsolationScheme::Hpmp,
+            ] {
                 row.push(
-                    frag::measure(CoreKind::Rocket, scheme, va, pa,
-                                  PmptwCacheConfig::DISABLED)
+                    frag::measure(CoreKind::Rocket, scheme, va, pa, PmptwCacheConfig::DISABLED)
                         .to_string(),
                 );
             }
@@ -512,8 +710,12 @@ fn fig15() {
     );
     for backing in [frag::PaLayout::Contiguous, frag::PaLayout::Fragmented] {
         let mut row = vec![backing.to_string()];
-        for scheme in [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp,
-                       VirtScheme::HpmpGpt] {
+        for scheme in [
+            VirtScheme::Pmp,
+            VirtScheme::PmpTable,
+            VirtScheme::Hpmp,
+            VirtScheme::HpmpGpt,
+        ] {
             row.push(frag::measure_virt(CoreKind::Rocket, scheme, backing).to_string());
         }
         r.row(&row);
@@ -526,7 +728,14 @@ fn fig15() {
 fn fig16() {
     let mut r = Report::new(
         "Figure 16: permission-table caching (Rocket, cycles; fragmented-PA case)",
-        &["VA layout", "PMPT", "PMPT-Cache", "HPMP", "HPMP-Cache", "PMP"],
+        &[
+            "VA layout",
+            "PMPT",
+            "PMPT-Cache",
+            "HPMP",
+            "HPMP-Cache",
+            "PMP",
+        ],
     );
     for va in [frag::VaLayout::Contiguous, frag::VaLayout::Fragmented] {
         let pa = frag::PaLayout::Contiguous;
@@ -545,23 +754,29 @@ fn fig16() {
 }
 
 /// Figure 17: FunctionBench with 8 vs 32 PWC entries (Rocket).
-fn fig17() {
+fn fig17<S: TraceSink>(sink: &mut S) -> Snapshot {
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Figure 17: FunctionBench with PWC sizes (Rocket), normalised to PMP(8)",
-        &["Function", "PMP(8)", "PMP(32)", "PMPT(8)", "PMPT(32)", "HPMP(8)", "HPMP(32)"],
+        &[
+            "Function", "PMP(8)", "PMP(32)", "PMPT(8)", "PMPT(32)", "HPMP(8)", "HPMP(32)",
+        ],
     );
     let n = 2;
-    let flavors = [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp];
+    let flavors = [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ];
     for function in serverless::FUNCTIONS {
         let mut values = Vec::new();
         for flavor in flavors {
             for entries in [8usize, 32] {
                 let mut config = MachineConfig::rocket();
                 config.pwc.entries = entries;
-                let mut tee = hpmp_workloads::TeeBench::boot_with_config(flavor, config);
-                values.push(
-                    serverless::measure_function_on(&mut tee, function, n).expect("run"),
-                );
+                let mut tee = hpmp_workloads::TeeBench::boot_with_sink(flavor, config, &mut *sink);
+                values.push(serverless::measure_function_on(&mut tee, function, n).expect("run"));
+                metrics = metrics.merge(&tee.machine.metrics_snapshot());
             }
         }
         let base = values[0];
@@ -571,13 +786,16 @@ fn fig17() {
     }
     r.note("paper: larger PWC helps only marginally; HPMP(8) still beats PMPT(32)");
     r.print();
+    metrics
 }
 
 /// Table 4: hardware resource costs (analytic substitute).
 fn table4() {
     let mut r = Report::new(
         "Table 4: FPGA resource costs (ANALYTIC MODEL - see DESIGN.md substitution)",
-        &["Resource", "Baseline", "HPMP", "Cost", "Base+H", "HPMP+H", "Cost"],
+        &[
+            "Resource", "Baseline", "HPMP", "Cost", "Base+H", "HPMP+H", "Cost",
+        ],
     );
     let plain = estimate_resources(&HardwareParams::prototype());
     let hyp = estimate_resources(&HardwareParams::prototype_hypervisor());
@@ -599,8 +817,15 @@ fn table4() {
         hyp.hpmp_ff.to_string(),
         format!("{:.2}%", hyp.ff_cost_percent()),
     ]);
-    r.row(&["BRAM/DSP delta".into(), "-".into(), plain.bram_delta.to_string(), "0.00%".into(),
-            "-".into(), hyp.dsp_delta.to_string(), "0.00%".into()]);
+    r.row(&[
+        "BRAM/DSP delta".into(),
+        "-".into(),
+        plain.bram_delta.to_string(),
+        "0.00%".into(),
+        "-".into(),
+        hyp.dsp_delta.to_string(),
+        "0.00%".into(),
+    ]);
     r.note("paper: 0.94%/1.18% LUT, 0.16%/0.78% FF, zero BRAM/DSP");
     r.print();
 
@@ -610,31 +835,50 @@ fn table4() {
 
 /// Extension experiment: the §2.2 depth claim ("even more serious for
 /// 4-level or 5-level page table architectures") swept across Sv39/48/57.
-fn svsweep() {
+fn svsweep<S: TraceSink>(sink: &mut S) -> Snapshot {
     use hpmp_machine::SystemBuilder;
     use hpmp_memsim::{Perms, PrivMode, VirtAddr};
     use hpmp_paging::TranslationMode;
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Depth sweep: cold TLB-miss references and cycles by translation mode (Rocket)",
-        &["Mode", "PMP refs", "PMPT refs", "HPMP refs", "PMP cyc", "PMPT cyc", "HPMP cyc"],
+        &[
+            "Mode",
+            "PMP refs",
+            "PMPT refs",
+            "HPMP refs",
+            "PMP cyc",
+            "PMPT cyc",
+            "HPMP cyc",
+        ],
     );
-    for mode in [TranslationMode::Sv39, TranslationMode::Sv48, TranslationMode::Sv57] {
+    for mode in [
+        TranslationMode::Sv39,
+        TranslationMode::Sv48,
+        TranslationMode::Sv57,
+    ] {
         let mut refs = Vec::new();
         let mut cycles = Vec::new();
         for scheme in SCHEMES_ORDERED {
             let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme)
                 .translation_mode(mode)
+                .sink(&mut *sink)
                 .build();
             sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
             sys.sync_pt_grants();
             sys.machine.flush_microarch();
             let out = sys
                 .machine
-                .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                        PrivMode::Supervisor)
+                .access(
+                    &sys.space,
+                    VirtAddr::new(0x10_0000),
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                )
                 .expect("mapped");
             refs.push(out.refs.total());
             cycles.push(out.cycles);
+            metrics = metrics.merge(&sys.machine.metrics_snapshot());
         }
         r.row(&[
             mode.to_string(),
@@ -648,28 +892,46 @@ fn svsweep() {
     }
     r.note("paper §2.2: the extra dimension worsens with depth; HPMP saving grows with it");
     r.print();
+    metrics
 }
 
 /// Extension experiment: application-level throughput in a guest VM
 /// (sustained key-value probes over the 3-D walk).
-fn virtapp() {
-    use hpmp_workloads::virt_app::{run_guest_kv, GUEST_DATASET_PAGES};
+fn virtapp<S: TraceSink>(sink: &mut S) -> Snapshot {
+    use hpmp_workloads::virt_app::{run_guest_kv, run_guest_kv_with_sink, GUEST_DATASET_PAGES};
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Guest key-value workload (Rocket): cycles per request over the 3-D walk",
         &["Scheme", "cycles/req", "vs PMP"],
     );
     let requests = 600;
-    let base = run_guest_kv(CoreKind::Rocket, VirtScheme::Pmp, GUEST_DATASET_PAGES, requests)
-        .cycles_per_request();
-    for scheme in [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp,
-                   VirtScheme::HpmpGpt]
-    {
-        let cpr = run_guest_kv(CoreKind::Rocket, scheme, GUEST_DATASET_PAGES, requests)
-            .cycles_per_request();
+    let base = run_guest_kv(
+        CoreKind::Rocket,
+        VirtScheme::Pmp,
+        GUEST_DATASET_PAGES,
+        requests,
+    )
+    .cycles_per_request();
+    for scheme in [
+        VirtScheme::Pmp,
+        VirtScheme::PmpTable,
+        VirtScheme::Hpmp,
+        VirtScheme::HpmpGpt,
+    ] {
+        let (out, snap) = run_guest_kv_with_sink(
+            CoreKind::Rocket,
+            scheme,
+            GUEST_DATASET_PAGES,
+            requests,
+            &mut *sink,
+        );
+        metrics = metrics.merge(&snap);
+        let cpr = out.cycles_per_request();
         r.row(&[scheme.to_string(), format!("{cpr:.0}"), pct_f(cpr / base)]);
     }
     r.note("extension of §8.6: the Figure-13 ordering holds under sustained guest load");
     r.print();
+    metrics
 }
 
 /// Extension experiment: interaction with Penglai's memory-encryption
@@ -677,9 +939,10 @@ fn virtapp() {
 /// extra references are exactly the kind of cold pointer-chase traffic that
 /// reaches DRAM — so encryption *amplifies* the table's overhead, and
 /// HPMP's savings grow in absolute terms.
-fn encryption() {
+fn encryption<S: TraceSink>(sink: &mut S) -> Snapshot {
     use hpmp_machine::SystemBuilder;
     use hpmp_memsim::{Perms, PrivMode, VirtAddr};
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Memory-encryption interaction (Rocket): cold TLB-miss ld, cycles",
         &["Engine", "PMP", "PMPT", "HPMP", "PMPT-PMP gap"],
@@ -689,17 +952,22 @@ fn encryption() {
         for scheme in SCHEMES_ORDERED {
             let mut config = MachineConfig::rocket();
             config.mem = config.mem.with_encryption(latency);
-            let mut sys = SystemBuilder::new(config, scheme).build();
+            let mut sys = SystemBuilder::new(config, scheme).sink(&mut *sink).build();
             sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
             sys.sync_pt_grants();
             sys.machine.flush_microarch();
             cycles.push(
                 sys.machine
-                    .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                            PrivMode::Supervisor)
+                    .access(
+                        &sys.space,
+                        VirtAddr::new(0x10_0000),
+                        AccessKind::Read,
+                        PrivMode::Supervisor,
+                    )
                     .expect("mapped")
                     .cycles,
             );
+            metrics = metrics.merge(&sys.machine.metrics_snapshot());
         }
         r.row(&[
             name.to_string(),
@@ -711,30 +979,46 @@ fn encryption() {
     }
     r.note("encryption widens the table-vs-segment gap: every extra reference pays the engine");
     r.print();
+    metrics
 }
 
 /// Extension experiment: the intro's 100-instance scalability claim.
-fn tenancy() {
-    use hpmp_workloads::multi_tenant::run_tenancy;
+fn tenancy<S: TraceSink>(sink: &mut S) -> Snapshot {
+    use hpmp_workloads::multi_tenant::run_tenancy_with_sink;
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Multi-tenant packing (Rocket): 100 requested tenants",
         &["Flavour", "tenants", "entry wall", "cycles/request"],
     );
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
-        let out = run_tenancy(flavor, CoreKind::Rocket, 100, 2).expect("tenancy");
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
+        let (out, snap) =
+            run_tenancy_with_sink(flavor, CoreKind::Rocket, 100, 2, &mut *sink).expect("tenancy");
+        metrics = metrics.merge(&snap);
         r.row(&[
             flavor.to_string(),
             out.tenants.to_string(),
-            if out.hit_entry_wall { "yes".into() } else { "no".into() },
+            if out.hit_entry_wall {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             format!("{:.0}", out.cycles_per_request()),
         ]);
     }
     r.note("intro claim: >100 instances per node; PMP walls below 16 domains");
     r.print();
+    metrics
 }
 
-const SCHEMES_ORDERED: [IsolationScheme; 3] =
-    [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp];
+const SCHEMES_ORDERED: [IsolationScheme; 3] = [
+    IsolationScheme::Pmp,
+    IsolationScheme::PmpTable,
+    IsolationScheme::Hpmp,
+];
 
 /// Figure 3: the preview chart (normalised Segment vs Table, avg/worst).
 fn fig3() {
@@ -759,8 +1043,14 @@ fn fig3() {
     for kernel in gap::GAP_KERNELS {
         let pmp = gap::run_gap(TeeFlavor::PenglaiPmp, CoreKind::Boom, kernel, &graph, 8_000)
             .expect("pmp");
-        let pmpt = gap::run_gap(TeeFlavor::PenglaiPmpt, CoreKind::Boom, kernel, &graph, 8_000)
-            .expect("pmpt");
+        let pmpt = gap::run_gap(
+            TeeFlavor::PenglaiPmpt,
+            CoreKind::Boom,
+            kernel,
+            &graph,
+            8_000,
+        )
+        .expect("pmpt");
         ratios.push(pmpt as f64 / pmp as f64);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -770,12 +1060,11 @@ fn fig3() {
     // (c) serverless.
     let mut ratios = Vec::new();
     for function in serverless::FUNCTIONS {
-        let pmp = serverless::measure_function(TeeFlavor::PenglaiPmp, CoreKind::Boom,
-                                               function, 2)
+        let pmp = serverless::measure_function(TeeFlavor::PenglaiPmp, CoreKind::Boom, function, 2)
             .expect("pmp");
-        let pmpt = serverless::measure_function(TeeFlavor::PenglaiPmpt, CoreKind::Boom,
-                                                function, 2)
-            .expect("pmpt");
+        let pmpt =
+            serverless::measure_function(TeeFlavor::PenglaiPmpt, CoreKind::Boom, function, 2)
+                .expect("pmpt");
         ratios.push(pmpt as f64 / pmp as f64);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -784,14 +1073,24 @@ fn fig3() {
 
     // (d) Redis RPS (lower is the table's loss).
     let mut ratios = Vec::new();
-    for cmd in [redis::RedisCommand::Get, redis::RedisCommand::Set,
-                redis::RedisCommand::Lrange100, redis::RedisCommand::Mset] {
-        let mut pmp_srv = redis::RedisServer::start(TeeFlavor::PenglaiPmp, CoreKind::Boom,
-                                                    redis::DEFAULT_DATASET_PAGES)
-            .expect("pmp");
-        let mut pmpt_srv = redis::RedisServer::start(TeeFlavor::PenglaiPmpt, CoreKind::Boom,
-                                                     redis::DEFAULT_DATASET_PAGES)
-            .expect("pmpt");
+    for cmd in [
+        redis::RedisCommand::Get,
+        redis::RedisCommand::Set,
+        redis::RedisCommand::Lrange100,
+        redis::RedisCommand::Mset,
+    ] {
+        let mut pmp_srv = redis::RedisServer::start(
+            TeeFlavor::PenglaiPmp,
+            CoreKind::Boom,
+            redis::DEFAULT_DATASET_PAGES,
+        )
+        .expect("pmp");
+        let mut pmpt_srv = redis::RedisServer::start(
+            TeeFlavor::PenglaiPmpt,
+            CoreKind::Boom,
+            redis::DEFAULT_DATASET_PAGES,
+        )
+        .expect("pmpt");
         let pmp = pmp_srv.rps(cmd, 150).expect("pmp");
         let pmpt = pmpt_srv.rps(cmd, 150).expect("pmpt");
         ratios.push(pmpt / pmp);

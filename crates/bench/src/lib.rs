@@ -7,6 +7,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod harness;
+
+pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+
 use std::fmt::Write as _;
 
 /// A simple left-aligned text table with a title, printed in the style of
@@ -44,7 +48,10 @@ impl Report {
 
     /// Renders the table to a string.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

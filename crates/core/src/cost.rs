@@ -25,12 +25,20 @@ pub struct HardwareParams {
 impl HardwareParams {
     /// The evaluated prototype: 16 entries, cache disabled, no hypervisor.
     pub fn prototype() -> HardwareParams {
-        HardwareParams { entries: 16, pmptw_cache_entries: 0, hypervisor: false }
+        HardwareParams {
+            entries: 16,
+            pmptw_cache_entries: 0,
+            hypervisor: false,
+        }
     }
 
     /// The hypervisor-enabled prototype (the "+H" columns of Table 4).
     pub fn prototype_hypervisor() -> HardwareParams {
-        HardwareParams { entries: 16, pmptw_cache_entries: 0, hypervisor: true }
+        HardwareParams {
+            entries: 16,
+            pmptw_cache_entries: 0,
+            hypervisor: true,
+        }
     }
 }
 
@@ -74,8 +82,11 @@ impl ResourceReport {
 /// * **TLB inlining**: 3 permission bits per TLB entry (64 L1 + 1024 L2).
 pub fn estimate_resources(params: &HardwareParams) -> ResourceReport {
     // Baselines from the paper's Table 4 (Rocket/BOOM SoC top module).
-    let (baseline_lut, baseline_ff) =
-        if params.hypervisor { (249_026, 260_073) } else { (248_292, 258_498) };
+    let (baseline_lut, baseline_ff) = if params.hypervisor {
+        (249_026, 260_073)
+    } else {
+        (248_292, 258_498)
+    };
 
     // Flip-flops: walker registers + per-entry T-bit pipeline + cache state
     // + inlined TLB permission bits.
@@ -113,8 +124,16 @@ mod tests {
     fn prototype_costs_are_small() {
         let report = estimate_resources(&HardwareParams::prototype());
         // The paper's claim: ~1% LUT, ~0.2% FF, zero BRAM/DSP.
-        assert!(report.lut_cost_percent() < 2.0, "LUT cost {}", report.lut_cost_percent());
-        assert!(report.ff_cost_percent() < 1.0, "FF cost {}", report.ff_cost_percent());
+        assert!(
+            report.lut_cost_percent() < 2.0,
+            "LUT cost {}",
+            report.lut_cost_percent()
+        );
+        assert!(
+            report.ff_cost_percent() < 1.0,
+            "FF cost {}",
+            report.ff_cost_percent()
+        );
         assert_eq!(report.bram_delta, 0);
         assert_eq!(report.dsp_delta, 0);
     }

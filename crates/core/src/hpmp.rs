@@ -17,6 +17,7 @@
 //! table mode (it has no successor to hold the pointer).
 
 use hpmp_memsim::{AccessKind, Perms, PhysAddr, PrivMode, WordStore};
+use hpmp_trace::PmptwOutcome;
 
 use crate::pmp::{napot_decode, napot_encode, AddressMode, PmpConfig, PmpRegion};
 use crate::ptw_cache::PmptwCache;
@@ -65,9 +66,7 @@ impl std::fmt::Display for HpmpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HpmpError::BadIndex(i) => write!(f, "HPMP entry index {i} out of range"),
-            HpmpError::LastEntryTableMode => {
-                f.write_str("last HPMP entry cannot be in table mode")
-            }
+            HpmpError::LastEntryTableMode => f.write_str("last HPMP entry cannot be in table mode"),
             HpmpError::Locked(i) => write!(f, "HPMP entry {i} is locked"),
             HpmpError::BadRegion => f.write_str("region is not NAPOT-encodable"),
             HpmpError::RegionTooLarge => f.write_str("region exceeds PMP-table reach"),
@@ -92,11 +91,22 @@ pub struct CheckOutcome {
     /// pmpte memory references performed by the PMP Table walker (empty in
     /// segment mode or on a PMPTW-Cache leaf hit).
     pub refs: Vec<PmptRef>,
+    /// How the PMPTW-Cache resolved this check: `None` when no PMP Table
+    /// walk happened at all (segment mode, M-mode bypass, no match),
+    /// `Bypass` when a table walk ran with the cache disabled or at a
+    /// depth it does not cover.
+    pub pmptw: Option<PmptwOutcome>,
 }
 
 impl CheckOutcome {
     fn denied() -> CheckOutcome {
-        CheckOutcome { allowed: false, perms: Perms::NONE, matched_entry: None, refs: Vec::new() }
+        CheckOutcome {
+            allowed: false,
+            perms: Perms::NONE,
+            matched_entry: None,
+            refs: Vec::new(),
+            pmptw: None,
+        }
     }
 }
 
@@ -145,7 +155,10 @@ impl HpmpRegFile {
     /// Panics if `entries` is not in `2..=64` — an HPMP file needs at least
     /// one matching entry plus one pointer slot, and the ePMP ceiling is 64.
     pub fn with_entries(entries: usize) -> HpmpRegFile {
-        assert!((2..=EPMP_ENTRIES).contains(&entries), "HPMP supports 2..=64 entries");
+        assert!(
+            (2..=EPMP_ENTRIES).contains(&entries),
+            "HPMP supports 2..=64 entries"
+        );
         HpmpRegFile {
             addr: vec![0; entries],
             cfg: vec![PmpConfig::default(); entries],
@@ -339,7 +352,8 @@ impl HpmpRegFile {
     /// True if entry `idx` is consumed as a table-pointer register by its
     /// predecessor.
     pub fn is_pointer_slot(&self, idx: usize) -> bool {
-        idx > 0 && self.cfg[idx - 1].table_mode()
+        idx > 0
+            && self.cfg[idx - 1].table_mode()
             && self.cfg[idx - 1].address_mode() != AddressMode::Off
     }
 
@@ -361,7 +375,9 @@ impl HpmpRegFile {
             if self.is_pointer_slot(idx) {
                 continue;
             }
-            let Some(region) = self.entry_region(idx) else { continue };
+            let Some(region) = self.entry_region(idx) else {
+                continue;
+            };
             if !region.contains(addr) {
                 continue;
             }
@@ -373,6 +389,7 @@ impl HpmpRegFile {
                     perms: Perms::RWX,
                     matched_entry: Some(idx),
                     refs: Vec::new(),
+                    pmptw: None,
                 };
             }
             if !cfg.table_mode() {
@@ -382,6 +399,7 @@ impl HpmpRegFile {
                     perms,
                     matched_entry: Some(idx),
                     refs: Vec::new(),
+                    pmptw: None,
                 };
             }
             // Table mode: walk the PMP Table via the next entry's pointer.
@@ -389,7 +407,7 @@ impl HpmpRegFile {
                 return CheckOutcome::denied();
             };
             let offset = addr.offset_from(region.base);
-            let (perms, refs) =
+            let (perms, refs, pmptw) =
                 walk_with_cache(mem, cache, idx, root, levels, region.base, addr, offset);
             let perms = perms.unwrap_or(Perms::NONE);
             return CheckOutcome {
@@ -397,6 +415,7 @@ impl HpmpRegFile {
                 perms,
                 matched_entry: Some(idx),
                 refs,
+                pmptw: Some(pmptw),
             };
         }
         // No entry matched: M-mode has default full access, S/U none.
@@ -406,6 +425,7 @@ impl HpmpRegFile {
                 perms: Perms::RWX,
                 matched_entry: None,
                 refs: Vec::new(),
+                pmptw: None,
             }
         } else {
             CheckOutcome::denied()
@@ -424,19 +444,24 @@ fn walk_with_cache(
     region_base: PhysAddr,
     addr: PhysAddr,
     offset: u64,
-) -> (Option<Perms>, Vec<PmptRef>) {
-    if !cache.is_disabled() && levels == TableLevels::Two {
+) -> (Option<Perms>, Vec<PmptRef>, PmptwOutcome) {
+    let cache_covers = !cache.is_disabled() && levels == TableLevels::Two;
+    if cache_covers {
         // Fast path: leaf pmpte cached => zero references.
         if let Some(perms) = cache.lookup_leaf(entry_idx, offset) {
-            return ((!perms.is_empty()).then_some(perms), Vec::new());
+            return (
+                (!perms.is_empty()).then_some(perms),
+                Vec::new(),
+                PmptwOutcome::LeafHit,
+            );
         }
         // Root pmpte cached => one reference (the leaf read).
         if let Some(root_pmpte) = cache.lookup_root(entry_idx, offset) {
             if !root_pmpte.is_valid() {
-                return (None, Vec::new());
+                return (None, Vec::new(), PmptwOutcome::RootHit);
             }
             if root_pmpte.is_huge() {
-                return (Some(root_pmpte.perms()), Vec::new());
+                return (Some(root_pmpte.perms()), Vec::new(), PmptwOutcome::RootHit);
             }
             let split = TableOffset::split(offset);
             let leaf_slot = PhysAddr::new(root_pmpte.leaf_table().raw() + split.off0 * 8);
@@ -445,23 +470,40 @@ fn walk_with_cache(
             let perms = leaf.perm(split.page_index);
             return (
                 (!perms.is_empty()).then_some(perms),
-                vec![PmptRef { is_root: false, addr: leaf_slot }],
+                vec![PmptRef {
+                    is_root: false,
+                    addr: leaf_slot,
+                }],
+                PmptwOutcome::RootHit,
             );
         }
         cache.record_miss();
     }
     let walk = table::walk_from_root(mem, root, levels, region_base, addr, offset);
     // Refill the cache from the full walk.
-    if !cache.is_disabled() && levels == TableLevels::Two {
+    if cache_covers {
         for r in &walk.refs {
             if r.is_root {
-                cache.insert_root(entry_idx, offset, RootPmpte::from_bits(mem.read_u64(r.addr)));
+                cache.insert_root(
+                    entry_idx,
+                    offset,
+                    RootPmpte::from_bits(mem.read_u64(r.addr)),
+                );
             } else {
-                cache.insert_leaf(entry_idx, offset, LeafPmpte::from_bits(mem.read_u64(r.addr)));
+                cache.insert_leaf(
+                    entry_idx,
+                    offset,
+                    LeafPmpte::from_bits(mem.read_u64(r.addr)),
+                );
             }
         }
     }
-    (walk.perms, walk.refs)
+    let outcome = if cache_covers {
+        PmptwOutcome::Miss
+    } else {
+        PmptwOutcome::Bypass
+    };
+    (walk.perms, walk.refs, outcome)
 }
 
 #[cfg(test)]
@@ -482,22 +524,39 @@ mod tests {
             .set_page_perm(&mut mem, &mut frames, PhysAddr::new(0x9000_2000), Perms::RW)
             .unwrap();
         let mut regs = HpmpRegFile::new();
-        regs.configure_table(0, region, table.root(), TableLevels::Two).unwrap();
+        regs.configure_table(0, region, table.root(), TableLevels::Two)
+            .unwrap();
         (mem, table, regs)
     }
 
     #[test]
     fn segment_mode_zero_refs() {
         let mut regs = HpmpRegFile::new();
-        regs.configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000), Perms::RX)
-            .unwrap();
+        regs.configure_segment(
+            0,
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000),
+            Perms::RX,
+        )
+        .unwrap();
         let mem = PhysMem::new();
         let mut cache = PmptwCache::disabled();
-        let out = regs.check(&mem, &mut cache, PhysAddr::new(0x8000_0800), AccessKind::Read, S);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x8000_0800),
+            AccessKind::Read,
+            S,
+        );
         assert!(out.allowed);
         assert!(out.refs.is_empty());
         assert_eq!(out.matched_entry, Some(0));
-        let out = regs.check(&mem, &mut cache, PhysAddr::new(0x8000_0800), AccessKind::Write, S);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x8000_0800),
+            AccessKind::Write,
+            S,
+        );
         assert!(!out.allowed);
     }
 
@@ -507,9 +566,14 @@ mod tests {
         let mem = PhysMem::new();
         let mut cache = PmptwCache::disabled();
         let addr = PhysAddr::new(0x1234_5000);
-        assert!(!regs.check(&mem, &mut cache, addr, AccessKind::Read, S).allowed);
         assert!(
-            regs.check(&mem, &mut cache, addr, AccessKind::Read, PrivMode::Machine).allowed
+            !regs
+                .check(&mem, &mut cache, addr, AccessKind::Read, S)
+                .allowed
+        );
+        assert!(
+            regs.check(&mem, &mut cache, addr, AccessKind::Read, PrivMode::Machine)
+                .allowed
         );
     }
 
@@ -517,13 +581,24 @@ mod tests {
     fn table_mode_issues_two_refs() {
         let (mem, _table, regs) = table_fixture();
         let mut cache = PmptwCache::disabled();
-        let out =
-            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2abc), AccessKind::Read, S);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9000_2abc),
+            AccessKind::Read,
+            S,
+        );
         assert!(out.allowed);
         assert_eq!(out.refs.len(), 2);
-        // A page the table never granted: denied after the walk.
-        let out =
-            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_3000), AccessKind::Read, S);
+        assert_eq!(out.pmptw, Some(PmptwOutcome::Bypass)); // cache disabled
+                                                           // A page the table never granted: denied after the walk.
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9000_3000),
+            AccessKind::Read,
+            S,
+        );
         assert!(!out.allowed);
     }
 
@@ -536,16 +611,26 @@ mod tests {
         let root = table_pointer_decode(regs.addr_reg(1)).unwrap().0;
         let mut regs2 = HpmpRegFile::new();
         regs2
-            .configure_segment(0, PmpRegion::new(PhysAddr::new(0x9000_0000), 0x1000_0000),
-                               Perms::RWX)
+            .configure_segment(
+                0,
+                PmpRegion::new(PhysAddr::new(0x9000_0000), 0x1000_0000),
+                Perms::RWX,
+            )
             .unwrap();
-        regs2.configure_table(2, region, root, TableLevels::Two).unwrap();
+        regs2
+            .configure_table(2, region, root, TableLevels::Two)
+            .unwrap();
         regs = regs2;
         let mut cache = PmptwCache::disabled();
         // Segment (entry 0) matches first: zero refs, allowed even where the
         // table would deny.
-        let out =
-            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_3000), AccessKind::Write, S);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9000_3000),
+            AccessKind::Write,
+            S,
+        );
         assert!(out.allowed);
         assert_eq!(out.matched_entry, Some(0));
         assert!(out.refs.is_empty());
@@ -559,8 +644,13 @@ mod tests {
         // Entry 1's addr register holds a PPN that could accidentally match;
         // verify it never decides an access.
         let mut cache = PmptwCache::disabled();
-        let out =
-            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2000), AccessKind::Read, S);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9000_2000),
+            AccessKind::Read,
+            S,
+        );
         assert_eq!(out.matched_entry, Some(0));
     }
 
@@ -573,8 +663,10 @@ mod tests {
             Err(HpmpError::LastEntryTableMode)
         );
         assert_eq!(
-            regs.write_cfg(15, PmpConfig::new(Perms::NONE, AddressMode::Off)
-                .with_table_mode(true)),
+            regs.write_cfg(
+                15,
+                PmpConfig::new(Perms::NONE, AddressMode::Off).with_table_mode(true)
+            ),
             Err(HpmpError::LastEntryTableMode)
         );
     }
@@ -589,8 +681,13 @@ mod tests {
         assert_eq!(regs.write_addr(0, 0), Err(HpmpError::Locked(0)));
         let mem = PhysMem::new();
         let mut cache = PmptwCache::disabled();
-        let out = regs.check(&mem, &mut cache, PhysAddr::new(0x8000_0000), AccessKind::Write,
-                             PrivMode::Machine);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x8000_0000),
+            AccessKind::Write,
+            PrivMode::Machine,
+        );
         assert!(!out.allowed); // locked entry constrains M-mode too
     }
 
@@ -601,14 +698,24 @@ mod tests {
         // Flip entry 0 to segment mode: permission now comes from the config
         // register (NONE), so the access is denied without any refs.
         regs.set_table_mode(0, false).unwrap();
-        let out =
-            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2000), AccessKind::Read, S);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9000_2000),
+            AccessKind::Read,
+            S,
+        );
         assert!(!out.allowed);
         assert!(out.refs.is_empty());
         // Flip back: table checked again.
         regs.set_table_mode(0, true).unwrap();
-        let out =
-            regs.check(&mem, &mut cache, PhysAddr::new(0x9000_2000), AccessKind::Read, S);
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9000_2000),
+            AccessKind::Read,
+            S,
+        );
         assert!(out.allowed);
         assert_eq!(out.refs.len(), 2);
     }
@@ -620,12 +727,21 @@ mod tests {
         let addr = PhysAddr::new(0x9000_2abc);
         let cold = regs.check(&mem, &mut cache, addr, AccessKind::Read, S);
         assert_eq!(cold.refs.len(), 2);
+        assert_eq!(cold.pmptw, Some(PmptwOutcome::Miss));
         let warm = regs.check(&mem, &mut cache, addr, AccessKind::Read, S);
         assert!(warm.allowed);
         assert_eq!(warm.refs.len(), 0); // leaf pmpte cached
+        assert_eq!(warm.pmptw, Some(PmptwOutcome::LeafHit));
         // Same 32 MiB slice, different 64 KiB span: root hit, one ref.
-        let near = regs.check(&mem, &mut cache, PhysAddr::new(0x9001_2000), AccessKind::Read, S);
+        let near = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9001_2000),
+            AccessKind::Read,
+            S,
+        );
         assert_eq!(near.refs.len(), 1);
+        assert_eq!(near.pmptw, Some(PmptwOutcome::RootHit));
     }
 
     #[test]
@@ -644,7 +760,8 @@ mod tests {
         let mut regs = HpmpRegFile::new();
         regs.write_addr(0, 0x8000_0000 >> 2).unwrap();
         regs.write_addr(1, 0x8001_0000 >> 2).unwrap();
-        regs.write_cfg(1, PmpConfig::new(Perms::RW, AddressMode::Tor)).unwrap();
+        regs.write_cfg(1, PmpConfig::new(Perms::RW, AddressMode::Tor))
+            .unwrap();
         let region = regs.entry_region(1).unwrap();
         assert_eq!(region.base, PhysAddr::new(0x8000_0000));
         assert_eq!(region.size, 0x1_0000);
@@ -673,7 +790,8 @@ mod tests {
     fn unmatched_na4_entry() {
         let mut regs = HpmpRegFile::new();
         regs.write_addr(0, 0x8000_0000 >> 2).unwrap();
-        regs.write_cfg(0, PmpConfig::new(Perms::READ, AddressMode::Na4)).unwrap();
+        regs.write_cfg(0, PmpConfig::new(Perms::READ, AddressMode::Na4))
+            .unwrap();
         let region = regs.entry_region(0).unwrap();
         assert_eq!(region.size, 4);
         assert!(region.contains(PhysAddr::new(0x8000_0003)));
@@ -685,19 +803,25 @@ mod tests {
         let mut regs = HpmpRegFile::new();
         regs.write_addr(0, 0x9000_0000 >> 2).unwrap();
         regs.write_addr(1, 0x8000_0000 >> 2).unwrap(); // top below bottom
-        regs.write_cfg(1, PmpConfig::new(Perms::RW, AddressMode::Tor)).unwrap();
+        regs.write_cfg(1, PmpConfig::new(Perms::RW, AddressMode::Tor))
+            .unwrap();
         assert_eq!(regs.entry_region(1), None);
     }
 
     #[test]
     fn csr_write_accounting() {
         let mut regs = HpmpRegFile::new();
-        regs.configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000),
-                               Perms::RW).unwrap();
+        regs.configure_segment(
+            0,
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000),
+            Perms::RW,
+        )
+        .unwrap();
         assert_eq!(regs.csr_writes(), 2); // addr + cfg
         regs.reset_csr_writes();
         let region = PmpRegion::new(PhysAddr::new(0x9000_0000), 1 << 28);
-        regs.configure_table(2, region, PhysAddr::new(0x1000), TableLevels::Two).unwrap();
+        regs.configure_table(2, region, PhysAddr::new(0x1000), TableLevels::Two)
+            .unwrap();
         assert_eq!(regs.csr_writes(), 4); // addr+cfg for entry, addr+cfg for pointer
     }
 }

@@ -138,8 +138,7 @@ impl IoPmp {
                 },
                 IoPmpMode::Table { root, levels } => {
                     let offset = addr.offset_from(entry.region.base);
-                    let walk = walk_from_root(mem, root, levels, entry.region.base, addr,
-                                              offset);
+                    let walk = walk_from_root(mem, root, levels, entry.region.base, addr, offset);
                     IoCheckOutcome {
                         allowed: walk.perms.is_some_and(|p| p.allows(kind)),
                         matched_entry: Some(idx),
@@ -148,7 +147,11 @@ impl IoPmp {
                 }
             };
         }
-        IoCheckOutcome { allowed: false, matched_entry: None, refs: Vec::new() }
+        IoCheckOutcome {
+            allowed: false,
+            matched_entry: None,
+            refs: Vec::new(),
+        }
     }
 }
 
@@ -162,8 +165,12 @@ mod tests {
     fn default_deny() {
         let iopmp = IoPmp::new();
         let mem = PhysMem::new();
-        let out = iopmp.check(&mem, DeviceId(0), PhysAddr::new(0x9000_0000),
-                              AccessKind::Read);
+        let out = iopmp.check(
+            &mem,
+            DeviceId(0),
+            PhysAddr::new(0x9000_0000),
+            AccessKind::Read,
+        );
         assert!(!out.allowed);
         assert_eq!(out.matched_entry, None);
     }
@@ -178,11 +185,27 @@ mod tests {
         });
         let mem = PhysMem::new();
         let addr = PhysAddr::new(0x9000_0800);
-        assert!(iopmp.check(&mem, DeviceId(1), addr, AccessKind::Read).allowed);
-        assert!(iopmp.check(&mem, DeviceId(2), addr, AccessKind::Read).allowed);
-        assert!(!iopmp.check(&mem, DeviceId(3), addr, AccessKind::Read).allowed);
+        assert!(
+            iopmp
+                .check(&mem, DeviceId(1), addr, AccessKind::Read)
+                .allowed
+        );
+        assert!(
+            iopmp
+                .check(&mem, DeviceId(2), addr, AccessKind::Read)
+                .allowed
+        );
+        assert!(
+            !iopmp
+                .check(&mem, DeviceId(3), addr, AccessKind::Read)
+                .allowed
+        );
         // Permission is respected per kind.
-        assert!(!iopmp.check(&mem, DeviceId(1), addr, AccessKind::Write).allowed);
+        assert!(
+            !iopmp
+                .check(&mem, DeviceId(1), addr, AccessKind::Write)
+                .allowed
+        );
     }
 
     #[test]
@@ -200,8 +223,12 @@ mod tests {
             mode: IoPmpMode::Segment(Perms::RW),
         });
         let mem = PhysMem::new();
-        let out = iopmp.check(&mem, DeviceId(0), PhysAddr::new(0x9000_0000),
-                              AccessKind::Read);
+        let out = iopmp.check(
+            &mem,
+            DeviceId(0),
+            PhysAddr::new(0x9000_0000),
+            AccessKind::Read,
+        );
         assert!(!out.allowed, "the deny entry matches first");
         assert_eq!(out.matched_entry, Some(0));
     }
@@ -213,20 +240,36 @@ mod tests {
         let region = PmpRegion::new(PhysAddr::new(0x9000_0000), 1 << 26);
         let mut table = PmpTable::new(region, &mut mem, &mut frames).unwrap();
         table
-            .set_page_perm(&mut mem, &mut frames, PhysAddr::new(0x9000_2000), Perms::WRITE)
+            .set_page_perm(
+                &mut mem,
+                &mut frames,
+                PhysAddr::new(0x9000_2000),
+                Perms::WRITE,
+            )
             .unwrap();
         let mut iopmp = IoPmp::new();
         iopmp.push(IoPmpEntry {
             source_mask: 1,
             region,
-            mode: IoPmpMode::Table { root: table.root(), levels: TableLevels::Two },
+            mode: IoPmpMode::Table {
+                root: table.root(),
+                levels: TableLevels::Two,
+            },
         });
-        let ok = iopmp.check(&mem, DeviceId(0), PhysAddr::new(0x9000_2abc),
-                             AccessKind::Write);
+        let ok = iopmp.check(
+            &mem,
+            DeviceId(0),
+            PhysAddr::new(0x9000_2abc),
+            AccessKind::Write,
+        );
         assert!(ok.allowed);
         assert_eq!(ok.refs.len(), 2);
-        let deny = iopmp.check(&mem, DeviceId(0), PhysAddr::new(0x9000_3000),
-                               AccessKind::Write);
+        let deny = iopmp.check(
+            &mem,
+            DeviceId(0),
+            PhysAddr::new(0x9000_3000),
+            AccessKind::Write,
+        );
         assert!(!deny.allowed);
     }
 
@@ -240,7 +283,15 @@ mod tests {
         });
         iopmp.remove(idx);
         let mem = PhysMem::new();
-        assert!(!iopmp.check(&mem, DeviceId(0), PhysAddr::new(0x9000_0000),
-                             AccessKind::Read).allowed);
+        assert!(
+            !iopmp
+                .check(
+                    &mem,
+                    DeviceId(0),
+                    PhysAddr::new(0x9000_0000),
+                    AccessKind::Read
+                )
+                .allowed
+        );
     }
 }

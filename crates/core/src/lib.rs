@@ -37,11 +37,12 @@ mod ptw_cache;
 mod table;
 
 pub use cost::{estimate_resources, HardwareParams, ResourceReport};
-pub use iopmp::{DeviceId, IoCheckOutcome, IoPmp, IoPmpEntry, IoPmpMode};
 pub use hpmp::{
-    table_pointer_decode, table_pointer_encode, CheckOutcome, HpmpError, HpmpRegFile,
-    EPMP_ENTRIES, HPMP_ENTRIES,
+    table_pointer_decode, table_pointer_encode, CheckOutcome, HpmpError, HpmpRegFile, EPMP_ENTRIES,
+    HPMP_ENTRIES,
 };
+pub use hpmp_trace::PmptwOutcome;
+pub use iopmp::{DeviceId, IoCheckOutcome, IoPmp, IoPmpEntry, IoPmpMode};
 pub use pmp::{napot_decode, napot_encode, AddressMode, PmpConfig, PmpRegion};
 pub use ptw_cache::{PmptwCache, PmptwCacheConfig, PmptwCacheStats};
 pub use table::{

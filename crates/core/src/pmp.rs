@@ -66,13 +66,17 @@ impl PmpConfig {
     /// Builds a config with the given permissions and matching mode
     /// (T and L clear).
     pub const fn new(perms: Perms, mode: AddressMode) -> PmpConfig {
-        PmpConfig { bits: perms.bits() | (mode.to_bits() << 3) }
+        PmpConfig {
+            bits: perms.bits() | (mode.to_bits() << 3),
+        }
     }
 
     /// Decodes a raw config byte. Bit 6 is reserved and reads as zero
     /// (WARL).
     pub const fn from_bits(bits: u8) -> PmpConfig {
-        PmpConfig { bits: bits & !(1 << 6) }
+        PmpConfig {
+            bits: bits & !(1 << 6),
+        }
     }
 
     /// Raw byte encoding.
@@ -104,15 +108,21 @@ impl PmpConfig {
     /// Returns a copy with the `T` bit set or cleared.
     pub const fn with_table_mode(self, table: bool) -> PmpConfig {
         if table {
-            PmpConfig { bits: self.bits | Self::T_BIT }
+            PmpConfig {
+                bits: self.bits | Self::T_BIT,
+            }
         } else {
-            PmpConfig { bits: self.bits & !Self::T_BIT }
+            PmpConfig {
+                bits: self.bits & !Self::T_BIT,
+            }
         }
     }
 
     /// Returns a copy with the `L` bit set.
     pub const fn with_locked(self) -> PmpConfig {
-        PmpConfig { bits: self.bits | Self::L_BIT }
+        PmpConfig {
+            bits: self.bits | Self::L_BIT,
+        }
     }
 }
 
@@ -123,7 +133,10 @@ impl PmpConfig {
 /// Panics if `size` is not a power of two ≥ 8 or `base` is not aligned to
 /// `size`.
 pub fn napot_encode(base: PhysAddr, size: u64) -> u64 {
-    assert!(size.is_power_of_two() && size >= 8, "NAPOT size must be a power of two >= 8");
+    assert!(
+        size.is_power_of_two() && size >= 8,
+        "NAPOT size must be a power of two >= 8"
+    );
     assert!(base.is_aligned(size), "NAPOT base must be size-aligned");
     // pmpaddr = (base | (size/2 - 1)) >> 2, i.e. low bits 0111..1.
     (base.raw() | (size / 2 - 1)) >> 2
@@ -206,7 +219,12 @@ mod tests {
 
     #[test]
     fn address_mode_codes() {
-        for mode in [AddressMode::Off, AddressMode::Tor, AddressMode::Na4, AddressMode::Napot] {
+        for mode in [
+            AddressMode::Off,
+            AddressMode::Tor,
+            AddressMode::Na4,
+            AddressMode::Napot,
+        ] {
             assert_eq!(AddressMode::from_bits(mode.to_bits()), mode);
         }
     }
@@ -221,7 +239,11 @@ mod tests {
         ] {
             let enc = napot_encode(PhysAddr::new(base), size);
             let (b, s) = napot_decode(enc);
-            assert_eq!((b.raw(), s), (base, size), "case base={base:#x} size={size:#x}");
+            assert_eq!(
+                (b.raw(), s),
+                (base, size),
+                "case base={base:#x} size={size:#x}"
+            );
         }
     }
 

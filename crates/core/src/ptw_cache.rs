@@ -45,10 +45,27 @@ pub struct PmptwCacheStats {
     pub misses: u64,
 }
 
+impl PmptwCacheStats {
+    /// Publishes the counters into `reg` under `prefix`.
+    pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.leaf_hits"), self.leaf_hits);
+        reg.set(format!("{prefix}.root_hits"), self.root_hits);
+        reg.set(format!("{prefix}.misses"), self.misses);
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum CachedEntry {
-    Root { entry_idx: usize, slice: u64, pmpte: RootPmpte },
-    Leaf { entry_idx: usize, span: u64, pmpte: LeafPmpte },
+    Root {
+        entry_idx: usize,
+        slice: u64,
+        pmpte: RootPmpte,
+    },
+    Leaf {
+        entry_idx: usize,
+        span: u64,
+        pmpte: LeafPmpte,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -107,7 +124,9 @@ impl PmptwCache {
                 CachedEntry::Leaf { entry_idx: e, span: sp, .. } if e == entry_idx && sp == span)
         })?;
         slot.lru = clock;
-        let CachedEntry::Leaf { pmpte, .. } = slot.entry else { unreachable!() };
+        let CachedEntry::Leaf { pmpte, .. } = slot.entry else {
+            unreachable!()
+        };
         self.stats.leaf_hits += 1;
         Some(pmpte.perm(page_index))
     }
@@ -122,7 +141,9 @@ impl PmptwCache {
                 CachedEntry::Root { entry_idx: e, slice: sl, .. } if e == entry_idx && sl == slice)
         })?;
         slot.lru = clock;
-        let CachedEntry::Root { pmpte, .. } = slot.entry else { unreachable!() };
+        let CachedEntry::Root { pmpte, .. } = slot.entry else {
+            unreachable!()
+        };
         self.stats.root_hits += 1;
         Some(pmpte)
     }
@@ -134,12 +155,20 @@ impl PmptwCache {
 
     /// Caches a root pmpte read from memory.
     pub fn insert_root(&mut self, entry_idx: usize, offset: u64, pmpte: RootPmpte) {
-        self.insert(CachedEntry::Root { entry_idx, slice: offset >> 25, pmpte });
+        self.insert(CachedEntry::Root {
+            entry_idx,
+            slice: offset >> 25,
+            pmpte,
+        });
     }
 
     /// Caches a leaf pmpte read from memory.
     pub fn insert_leaf(&mut self, entry_idx: usize, offset: u64, pmpte: LeafPmpte) {
-        self.insert(CachedEntry::Leaf { entry_idx, span: offset >> 16, pmpte });
+        self.insert(CachedEntry::Leaf {
+            entry_idx,
+            span: offset >> 16,
+            pmpte,
+        });
     }
 
     /// Drops everything (on any PMP-Table or HPMP-register update).
@@ -166,12 +195,28 @@ impl PmptwCache {
         // Replace an existing slot with the same key if present.
         let same_key = |e: &CachedEntry| match (*e, entry) {
             (
-                CachedEntry::Root { entry_idx: a, slice: b, .. },
-                CachedEntry::Root { entry_idx: c, slice: d, .. },
+                CachedEntry::Root {
+                    entry_idx: a,
+                    slice: b,
+                    ..
+                },
+                CachedEntry::Root {
+                    entry_idx: c,
+                    slice: d,
+                    ..
+                },
             ) => a == c && b == d,
             (
-                CachedEntry::Leaf { entry_idx: a, span: b, .. },
-                CachedEntry::Leaf { entry_idx: c, span: d, .. },
+                CachedEntry::Leaf {
+                    entry_idx: a,
+                    span: b,
+                    ..
+                },
+                CachedEntry::Leaf {
+                    entry_idx: c,
+                    span: d,
+                    ..
+                },
             ) => a == c && b == d,
             _ => false,
         };
@@ -184,8 +229,11 @@ impl PmptwCache {
         if self.slots.len() < self.config.entries {
             self.slots.push(slot);
         } else {
-            let victim =
-                self.slots.iter_mut().min_by_key(|s| s.lru).expect("non-empty when full");
+            let victim = self
+                .slots
+                .iter_mut()
+                .min_by_key(|s| s.lru)
+                .expect("non-empty when full");
             *victim = slot;
         }
     }

@@ -134,7 +134,10 @@ impl RootPmpte {
     ///
     /// Panics if `perms` is empty (that encoding would decode as a pointer).
     pub fn huge(perms: Perms) -> RootPmpte {
-        assert!(!perms.is_empty(), "huge root pmpte needs a non-empty permission");
+        assert!(
+            !perms.is_empty(),
+            "huge root pmpte needs a non-empty permission"
+        );
         let mut bits = Self::V;
         if perms.can_read() {
             bits |= Self::R;
@@ -291,7 +294,10 @@ impl std::fmt::Display for TableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TableError::OutOfReach(off) => {
-                write!(f, "offset {off:#x} beyond the 16 GiB reach of a 2-level PMP table")
+                write!(
+                    f,
+                    "offset {off:#x} beyond the 16 GiB reach of a 2-level PMP table"
+                )
             }
             TableError::OutOfTableFrames => f.write_str("out of PMP-table frames"),
             TableError::Misaligned(pa) => write!(f, "address {pa} not page aligned"),
@@ -373,9 +379,16 @@ impl PmpTable {
         if region.size > levels.reach() {
             return Err(TableError::OutOfReach(region.size));
         }
-        let root = frames.alloc_table_frame().ok_or(TableError::OutOfTableFrames)?;
+        let root = frames
+            .alloc_table_frame()
+            .ok_or(TableError::OutOfTableFrames)?;
         mem.zero_page(root);
-        Ok(PmpTable { region, root, levels, table_pages: vec![root] })
+        Ok(PmpTable {
+            region,
+            root,
+            levels,
+            table_pages: vec![root],
+        })
     }
 
     /// The depth of this table.
@@ -428,7 +441,9 @@ impl PmpTable {
             table = if entry.is_pointer() {
                 entry.leaf_table()
             } else {
-                let child = frames.alloc_table_frame().ok_or(TableError::OutOfTableFrames)?;
+                let child = frames
+                    .alloc_table_frame()
+                    .ok_or(TableError::OutOfTableFrames)?;
                 mem.zero_page(child);
                 if entry.is_huge() {
                     // Expand: children inherit the huge permission.
@@ -493,8 +508,11 @@ impl PmpTable {
         }
         let idx = (offset >> TableLevels::index_shift(1)) & 0x1ff;
         let slot = PhysAddr::new(table.raw() + idx * 8);
-        let entry =
-            if perms.is_empty() { RootPmpte::INVALID } else { RootPmpte::huge(perms) };
+        let entry = if perms.is_empty() {
+            RootPmpte::INVALID
+        } else {
+            RootPmpte::huge(perms)
+        };
         mem.write_u64(slot, entry.to_bits());
         Ok(())
     }
@@ -553,7 +571,10 @@ impl PmpTable {
     /// permission.
     pub fn walk(&self, mem: &dyn WordStore, addr: PhysAddr) -> TableWalk {
         if !self.region.contains(addr) {
-            return TableWalk { refs: Vec::new(), perms: None };
+            return TableWalk {
+                refs: Vec::new(),
+                perms: None,
+            };
         }
         let offset = addr.offset_from(self.region.base);
         walk_from_root(mem, self.root, self.levels, self.region.base, addr, offset)
@@ -583,21 +604,33 @@ pub(crate) fn walk_from_root(
     for level in (1..levels.depth()).rev() {
         let idx = (offset >> TableLevels::index_shift(level)) & 0x1ff;
         let slot = PhysAddr::new(table.raw() + idx * 8);
-        refs.push(PmptRef { is_root: true, addr: slot });
+        refs.push(PmptRef {
+            is_root: true,
+            addr: slot,
+        });
         let entry = RootPmpte::from_bits(mem.read_u64(slot));
         if !entry.is_valid() {
             return TableWalk { refs, perms: None };
         }
         if entry.is_huge() {
-            return TableWalk { refs, perms: Some(entry.perms()) };
+            return TableWalk {
+                refs,
+                perms: Some(entry.perms()),
+            };
         }
         table = entry.leaf_table();
     }
     let leaf_slot = PhysAddr::new(table.raw() + split.off0 * 8);
-    refs.push(PmptRef { is_root: false, addr: leaf_slot });
+    refs.push(PmptRef {
+        is_root: false,
+        addr: leaf_slot,
+    });
     let leaf = LeafPmpte::from_bits(mem.read_u64(leaf_slot));
     let perms = leaf.perm(split.page_index);
-    TableWalk { refs, perms: if perms.is_empty() { None } else { Some(perms) } }
+    TableWalk {
+        refs,
+        perms: if perms.is_empty() { None } else { Some(perms) },
+    }
 }
 
 #[cfg(test)]
@@ -671,7 +704,9 @@ mod tests {
     fn page_perm_round_trip() {
         let (mut mem, mut frames, mut table) = fixture(1 << 30);
         let page = PhysAddr::new(0x9000_5000);
-        table.set_page_perm(&mut mem, &mut frames, page, Perms::RW).unwrap();
+        table
+            .set_page_perm(&mut mem, &mut frames, page, Perms::RW)
+            .unwrap();
         assert_eq!(table.lookup(&mem, page + 0xabc), Some(Perms::RW));
         assert_eq!(table.lookup(&mem, PhysAddr::new(0x9000_6000)), None);
     }
@@ -680,7 +715,9 @@ mod tests {
     fn walk_reads_two_pmptes() {
         let (mut mem, mut frames, mut table) = fixture(1 << 30);
         let page = PhysAddr::new(0x9000_5000);
-        table.set_page_perm(&mut mem, &mut frames, page, Perms::RWX).unwrap();
+        table
+            .set_page_perm(&mut mem, &mut frames, page, Perms::RWX)
+            .unwrap();
         let walk = table.walk(&mem, page);
         assert_eq!(walk.refs.len(), 2);
         assert!(walk.refs[0].is_root);
@@ -698,7 +735,9 @@ mod tests {
     #[test]
     fn huge_root_entry_single_ref() {
         let (mut mem, _frames, mut table) = fixture(1 << 30);
-        table.set_huge_perm(&mut mem, PhysAddr::new(0x9000_0000), Perms::RW).unwrap();
+        table
+            .set_huge_perm(&mut mem, PhysAddr::new(0x9000_0000), Perms::RW)
+            .unwrap();
         let walk = table.walk(&mem, PhysAddr::new(0x9100_0000)); // within 32 MiB slice
         assert_eq!(walk.refs.len(), 1);
         assert_eq!(walk.perms, Some(Perms::RW));
@@ -707,14 +746,24 @@ mod tests {
     #[test]
     fn huge_expansion_preserves_perms() {
         let (mut mem, mut frames, mut table) = fixture(1 << 30);
-        table.set_huge_perm(&mut mem, PhysAddr::new(0x9000_0000), Perms::RW).unwrap();
+        table
+            .set_huge_perm(&mut mem, PhysAddr::new(0x9000_0000), Perms::RW)
+            .unwrap();
         // Punch one page out of the huge slice.
         table
-            .set_page_perm(&mut mem, &mut frames, PhysAddr::new(0x9000_3000), Perms::NONE)
+            .set_page_perm(
+                &mut mem,
+                &mut frames,
+                PhysAddr::new(0x9000_3000),
+                Perms::NONE,
+            )
             .unwrap();
         assert_eq!(table.lookup(&mem, PhysAddr::new(0x9000_3000)), None);
         // The rest of the slice keeps RW, via the expanded leaf table.
-        assert_eq!(table.lookup(&mem, PhysAddr::new(0x9000_4000)), Some(Perms::RW));
+        assert_eq!(
+            table.lookup(&mem, PhysAddr::new(0x9000_4000)),
+            Some(Perms::RW)
+        );
         let walk = table.walk(&mem, PhysAddr::new(0x9000_4000));
         assert_eq!(walk.refs.len(), 2); // now a real 2-level walk
     }
@@ -724,14 +773,26 @@ mod tests {
         let (mut mem, mut frames, mut table) = fixture(1 << 30);
         // 64 MiB aligned at region base: 2 huge writes.
         let writes = table
-            .set_range_perm(&mut mem, &mut frames, PhysAddr::new(0x9000_0000), 64 << 20,
-                            Perms::RW, FillPolicy::HugeWhenAligned)
+            .set_range_perm(
+                &mut mem,
+                &mut frames,
+                PhysAddr::new(0x9000_0000),
+                64 << 20,
+                Perms::RW,
+                FillPolicy::HugeWhenAligned,
+            )
             .unwrap();
         assert_eq!(writes, 2);
         // 64 KiB unaligned-to-32 MiB: 16 page writes.
         let writes = table
-            .set_range_perm(&mut mem, &mut frames, PhysAddr::new(0x9400_0000 + 0x1_0000),
-                            64 * 1024, Perms::RW, FillPolicy::HugeWhenAligned)
+            .set_range_perm(
+                &mut mem,
+                &mut frames,
+                PhysAddr::new(0x9400_0000 + 0x1_0000),
+                64 * 1024,
+                Perms::RW,
+                FillPolicy::HugeWhenAligned,
+            )
             .unwrap();
         assert_eq!(writes, 16);
     }
@@ -756,7 +817,9 @@ mod tests {
         let mut table =
             PmpTable::with_levels(region, TableLevels::One, &mut mem, &mut frames).unwrap();
         let page = PhysAddr::new(0x9000_2000);
-        table.set_page_perm(&mut mem, &mut frames, page, Perms::RW).unwrap();
+        table
+            .set_page_perm(&mut mem, &mut frames, page, Perms::RW)
+            .unwrap();
         let walk = table.walk(&mem, page);
         assert_eq!(walk.refs.len(), 1);
         assert_eq!(walk.perms, Some(Perms::RW));
@@ -781,7 +844,9 @@ mod tests {
             PmpTable::with_levels(region, TableLevels::Three, &mut mem, &mut frames).unwrap();
         // A page 20 GiB into the region (beyond 2-level reach).
         let page = PhysAddr::new(0x10_0000_0000 + (20u64 << 30));
-        table.set_page_perm(&mut mem, &mut frames, page, Perms::RX).unwrap();
+        table
+            .set_page_perm(&mut mem, &mut frames, page, Perms::RX)
+            .unwrap();
         let walk = table.walk(&mem, page);
         assert_eq!(walk.refs.len(), 3);
         assert_eq!(walk.perms, Some(Perms::RX));
@@ -790,7 +855,10 @@ mod tests {
     #[test]
     fn mode_bits_round_trip() {
         for levels in [TableLevels::One, TableLevels::Two, TableLevels::Three] {
-            assert_eq!(TableLevels::from_mode_bits(levels.to_mode_bits()), Some(levels));
+            assert_eq!(
+                TableLevels::from_mode_bits(levels.to_mode_bits()),
+                Some(levels)
+            );
         }
         assert_eq!(TableLevels::from_mode_bits(3), None);
         assert_eq!(TableLevels::Two.to_mode_bits(), 0); // shipped design

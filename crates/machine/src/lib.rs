@@ -27,8 +27,6 @@ mod machine;
 mod setup;
 mod virt;
 
-pub use machine::{
-    AccessOutcome, Fault, Machine, MachineConfig, MachineStats, RefBreakdown,
-};
+pub use machine::{AccessOutcome, Fault, Machine, MachineConfig, MachineStats, RefBreakdown};
 pub use setup::{IsolationScheme, ScatteredPtFrames, System, SystemBuilder};
 pub use virt::{VirtAccessOutcome, VirtMachine, VirtRefBreakdown, VirtScheme};

@@ -13,15 +13,26 @@
 //! Every reference is pushed through the shared [`MemSystem`], so warm/cold
 //! behaviour (TC1–TC3), pmpte cache-line sharing, and DRAM row locality all
 //! emerge rather than being hard-coded.
+//!
+//! The machine is generic over a [`TraceSink`]: with the default
+//! [`NullSink`] every emission site compiles away (the `S::ENABLED`
+//! constant is false, so the event-building branches are dead code), and
+//! with a recording sink each access produces one [`WalkEvent`] whose
+//! per-step cycles sum exactly to the access's cycle count. Tracing never
+//! changes a cycle result.
 
 use hpmp_core::{HpmpRegFile, PmptwCache, PmptwCacheConfig};
 use hpmp_memsim::{
-    AccessKind, CoreModel, HitLevel, MemSystem, MemSystemConfig, PhysAddr, PhysMem,
-    PrivMode, VirtAddr,
+    AccessKind, CoreModel, HitLevel, MemSystem, MemSystemConfig, PhysAddr, PhysMem, PrivMode,
+    VirtAddr,
 };
 use hpmp_paging::{
     apply_translation, walk, AddressSpace, Tlb, TlbConfig, TlbEntry, TlbHit, WalkCache,
     WalkCacheConfig,
+};
+use hpmp_trace::{
+    AccessClass, AccessOp, FaultCause, LatencyHistograms, MetricsRegistry, NullSink, PmptwOutcome,
+    PrivLevel, Snapshot, StepKind, TlbOutcome, TraceSink, WalkEvent, WalkStep, World,
 };
 
 /// Why an access failed.
@@ -35,6 +46,18 @@ pub enum Fault {
     IsolationOnPtPage(PhysAddr),
     /// The isolation layer denied the data reference.
     IsolationOnData(PhysAddr),
+}
+
+impl Fault {
+    /// The structured trace cause for this fault.
+    pub fn cause(&self) -> FaultCause {
+        match self {
+            Fault::PageFault(_) => FaultCause::PageFault,
+            Fault::PtePermission(_) => FaultCause::PtePermission,
+            Fault::IsolationOnPtPage(_) => FaultCause::IsolationOnPtPage,
+            Fault::IsolationOnData(_) => FaultCause::IsolationOnData,
+        }
+    }
 }
 
 impl std::fmt::Display for Fault {
@@ -51,6 +74,24 @@ impl std::fmt::Display for Fault {
 }
 
 impl std::error::Error for Fault {}
+
+/// The trace operation for a memsim access kind.
+fn op_of(kind: AccessKind) -> AccessOp {
+    match kind {
+        AccessKind::Read => AccessOp::Read,
+        AccessKind::Write => AccessOp::Write,
+        AccessKind::Fetch => AccessOp::Fetch,
+    }
+}
+
+/// The trace privilege level for a memsim privilege mode.
+fn priv_of(mode: PrivMode) -> PrivLevel {
+    match mode {
+        PrivMode::User => PrivLevel::User,
+        PrivMode::Supervisor => PrivLevel::Supervisor,
+        PrivMode::Machine => PrivLevel::Machine,
+    }
+}
 
 /// Per-access breakdown of memory references, mirroring the squares and
 /// circles of Figures 2 and 4.
@@ -93,12 +134,50 @@ pub struct MachineStats {
     pub accesses: u64,
     /// Total cycles across those accesses.
     pub cycles: u64,
-    /// Sum of all reference breakdowns.
+    /// Sum of all reference breakdowns (successful accesses only).
     pub refs: RefBreakdown,
     /// Faults taken.
     pub faults: u64,
     /// TLB-miss walks performed.
     pub walks: u64,
+    /// Memory references already issued by accesses that then faulted
+    /// (their breakdown is not folded into `refs`).
+    pub aborted_refs: u64,
+    /// Memory references issued by DMA transfers.
+    pub dma_refs: u64,
+}
+
+impl MachineStats {
+    /// Total references the machine has pushed into the memory system:
+    /// completed-access references plus aborted-walk and DMA references.
+    /// Equals the memory system's own access counter — see
+    /// [`Machine::verify_accounting`].
+    pub fn issued_refs(&self) -> u64 {
+        self.refs.total() + self.aborted_refs + self.dma_refs
+    }
+
+    /// Publishes every counter into `reg` under `prefix`. The reference
+    /// breakdown exports both its total (at `<prefix>.refs`) and each
+    /// component (`<prefix>.refs.pt_reads`, …).
+    pub fn export(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.accesses"), self.accesses);
+        reg.set(format!("{prefix}.cycles"), self.cycles);
+        reg.set(format!("{prefix}.faults"), self.faults);
+        reg.set(format!("{prefix}.walks"), self.walks);
+        reg.set(format!("{prefix}.aborted_refs"), self.aborted_refs);
+        reg.set(format!("{prefix}.dma_refs"), self.dma_refs);
+        reg.set(format!("{prefix}.refs"), self.refs.total());
+        reg.set(format!("{prefix}.refs.pt_reads"), self.refs.pt_reads);
+        reg.set(format!("{prefix}.refs.data_reads"), self.refs.data_reads);
+        reg.set(
+            format!("{prefix}.refs.pmpte_for_pt"),
+            self.refs.pmpte_for_pt,
+        );
+        reg.set(
+            format!("{prefix}.refs.pmpte_for_data"),
+            self.refs.pmpte_for_data,
+        );
+    }
 }
 
 /// Configuration of a [`Machine`].
@@ -157,8 +236,12 @@ impl MachineConfig {
 /// file has been programmed to — all-segment (PMP), all-table (PMP Table) or
 /// hybrid (HPMP) — which is precisely the paper's point that one hardware
 /// structure expresses all three.
+///
+/// The `S` parameter selects the trace sink. The default [`NullSink`]
+/// machine ([`Machine::new`]) records nothing and pays nothing; a machine
+/// built with [`Machine::with_sink`] emits one [`WalkEvent`] per access.
 #[derive(Debug)]
-pub struct Machine {
+pub struct Machine<S: TraceSink = NullSink> {
     core: CoreModel,
     mem_sys: MemSystem,
     phys: PhysMem,
@@ -169,11 +252,23 @@ pub struct Machine {
     regs: HpmpRegFile,
     tlb_inlining: bool,
     stats: MachineStats,
+    hists: LatencyHistograms,
+    sink: S,
+    world: World,
+    seq: u64,
 }
 
 impl Machine {
-    /// Builds a machine with empty physical memory and all HPMP entries off.
+    /// Builds a machine with empty physical memory, all HPMP entries off,
+    /// and the zero-cost [`NullSink`].
     pub fn new(config: MachineConfig) -> Machine {
+        Machine::with_sink(config, NullSink)
+    }
+}
+
+impl<S: TraceSink> Machine<S> {
+    /// Builds a machine that records a [`WalkEvent`] per access into `sink`.
+    pub fn with_sink(config: MachineConfig, sink: S) -> Machine<S> {
         Machine {
             core: config.core,
             mem_sys: MemSystem::new(config.mem),
@@ -185,6 +280,10 @@ impl Machine {
             regs: HpmpRegFile::with_entries(config.hpmp_entries),
             tlb_inlining: config.tlb_inlining,
             stats: MachineStats::default(),
+            hists: LatencyHistograms::new(),
+            sink,
+            world: World::Host,
+            seq: 0,
         }
     }
 
@@ -219,6 +318,38 @@ impl Machine {
     /// The PMPTW-Cache (for stats inspection).
     pub fn pmptw_cache(&self) -> &PmptwCache {
         &self.pmptw_cache
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink (e.g. to drain a ring buffer).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the machine, returning the sink (e.g. to finish a JSONL
+    /// file and inspect the writer).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Flushes the trace sink (no-op for non-buffering sinks).
+    pub fn flush_sink(&mut self) {
+        self.sink.flush();
+    }
+
+    /// The world tag stamped on emitted events.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// Sets the world tag; the secure monitor calls this on domain switch
+    /// so events carry host/enclave attribution.
+    pub fn set_world(&mut self, world: World) {
+        self.world = world;
     }
 
     /// Flushes all TLB, PWC and PMPTW-Cache state (`sfence.vma` +
@@ -258,9 +389,14 @@ impl Machine {
         self.stats
     }
 
-    /// TLB counters.
+    /// D-TLB counters.
     pub fn tlb_stats(&self) -> hpmp_paging::TlbStats {
         self.tlb.stats()
+    }
+
+    /// I-TLB counters.
+    pub fn itlb_stats(&self) -> hpmp_paging::TlbStats {
+        self.itlb.stats()
     }
 
     /// Memory-system counters.
@@ -268,13 +404,64 @@ impl Machine {
         self.mem_sys.stats()
     }
 
-    /// Clears all counters (cache contents are untouched).
+    /// Per-access-class latency histograms (always recorded; reset by
+    /// [`Machine::reset_stats`]).
+    pub fn histograms(&self) -> &LatencyHistograms {
+        &self.hists
+    }
+
+    /// One snapshot unifying every counter the machine keeps: machine
+    /// totals, D-/I-TLB, PWC, PMPTW-Cache, the memory hierarchy, and the
+    /// per-class latency summaries, under dotted `machine.*` names.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut reg = MetricsRegistry::new();
+        self.stats.export(&mut reg, "machine");
+        self.tlb.stats().export(&mut reg, "machine.dtlb");
+        self.itlb.stats().export(&mut reg, "machine.itlb");
+        self.pwc.stats().export(&mut reg, "machine.pwc");
+        self.pmptw_cache
+            .stats()
+            .export(&mut reg, "machine.pmptw_cache");
+        self.mem_sys.stats().export(&mut reg, "machine.mem");
+        self.hists.export(&mut reg, "machine.latency");
+        reg.snapshot()
+    }
+
+    /// Checks that every reference the machine claims to have issued is
+    /// visible in the memory system: `refs.total() + aborted_refs +
+    /// dma_refs == mem.accesses`. Holds whenever all traffic goes through
+    /// [`Machine::access`]/[`Machine::fetch`]/[`Machine::dma_transfer`]
+    /// since the last [`Machine::reset_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the counters disagree.
+    pub fn verify_accounting(&self) -> Result<(), String> {
+        let claimed = self.stats.issued_refs();
+        let observed = self.mem_sys.stats().accesses;
+        if claimed == observed {
+            Ok(())
+        } else {
+            Err(format!(
+                "machine claims {claimed} references (refs {} + aborted {} + dma {}) but \
+                 the memory system observed {observed}",
+                self.stats.refs.total(),
+                self.stats.aborted_refs,
+                self.stats.dma_refs
+            ))
+        }
+    }
+
+    /// Clears all counters and histograms (cache contents are untouched;
+    /// the event sequence number keeps running).
     pub fn reset_stats(&mut self) {
         self.stats = MachineStats::default();
         self.mem_sys.reset_stats();
         self.tlb.reset_stats();
+        self.itlb.reset_stats();
         self.pwc.reset_stats();
         self.pmptw_cache.reset_stats();
+        self.hists.reset();
     }
 
     /// Performs one data access at `va` in `space`.
@@ -321,49 +508,135 @@ impl Machine {
     ) -> Result<AccessOutcome, Fault> {
         let mut cycles = self.core.pipeline_overhead;
         let mut refs = RefBreakdown::default();
+        // Step records for the trace event. With a disabled sink nothing is
+        // ever pushed (and `Vec::new` does not allocate), so this is free.
+        let mut steps: Vec<WalkStep> = Vec::new();
+        let mut pmptw: Option<PmptwOutcome> = None;
 
         // 1. TLB lookup (I-TLB for fetches). Permission inlining means a
         //    hit needs no isolation-layer work at all.
-        let tlb = if instruction { &mut self.itlb } else { &mut self.tlb };
+        let tlb = if instruction {
+            &mut self.itlb
+        } else {
+            &mut self.tlb
+        };
         let lookup = tlb.lookup(space.asid(), va);
         if let Some((entry, hit)) = lookup {
+            let tlb_out = if hit == TlbHit::L2 {
+                TlbOutcome::L2Hit
+            } else {
+                TlbOutcome::L1Hit
+            };
             if !entry.page_perms.allows(kind) {
-                self.stats.faults += 1;
-                return Err(Fault::PtePermission(va));
+                return Err(self.abort(
+                    Fault::PtePermission(va),
+                    refs,
+                    kind,
+                    mode,
+                    va,
+                    None,
+                    tlb_out,
+                    None,
+                    pmptw,
+                    cycles,
+                    steps,
+                ));
             }
             let paddr = apply_translation(&entry, va);
             if self.tlb_inlining {
                 if !entry.isolation_perms.allows(kind) {
-                    self.stats.faults += 1;
-                    return Err(Fault::IsolationOnData(paddr));
+                    return Err(self.abort(
+                        Fault::IsolationOnData(paddr),
+                        refs,
+                        kind,
+                        mode,
+                        va,
+                        Some(paddr.raw()),
+                        tlb_out,
+                        None,
+                        pmptw,
+                        cycles,
+                        steps,
+                    ));
                 }
             } else {
                 // Ablation: no inlining — every access re-checks.
-                let check =
-                    self.regs.check(&self.phys, &mut self.pmptw_cache, paddr, kind, mode);
+                let check = self
+                    .regs
+                    .check(&self.phys, &mut self.pmptw_cache, paddr, kind, mode);
                 refs.pmpte_for_data += check.refs.len() as u64;
-                cycles += self.charge_pmpte_refs(&check.refs);
+                cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
+                pmptw = check.pmptw.or(pmptw);
                 if !check.allowed {
-                    self.stats.faults += 1;
-                    return Err(Fault::IsolationOnData(paddr));
+                    return Err(self.abort(
+                        Fault::IsolationOnData(paddr),
+                        refs,
+                        kind,
+                        mode,
+                        va,
+                        Some(paddr.raw()),
+                        tlb_out,
+                        None,
+                        pmptw,
+                        cycles,
+                        steps,
+                    ));
                 }
             }
             if hit == TlbHit::L2 {
                 // Both TLBs share one configuration.
-                cycles += self.tlb.config().l2_hit_latency;
+                let l2 = self.tlb.config().l2_hit_latency;
+                cycles += l2;
+                if S::ENABLED {
+                    steps.push(WalkStep {
+                        kind: StepKind::TlbL2,
+                        level: None,
+                        addr: 0,
+                        cycles: l2,
+                    });
+                }
             }
-            cycles += self.data_ref(paddr, kind);
+            let data_cycles = self.data_ref(paddr, kind);
+            cycles += data_cycles;
+            if S::ENABLED {
+                steps.push(WalkStep {
+                    kind: StepKind::Data,
+                    level: None,
+                    addr: paddr.raw(),
+                    cycles: data_cycles,
+                });
+            }
             refs.data_reads = 1;
             self.stats.accesses += 1;
             self.stats.cycles += cycles;
             self.accumulate(refs);
-            return Ok(AccessOutcome { cycles, refs, tlb_hit: Some(hit), paddr });
+            self.hists
+                .record(AccessClass::classify(op_of(kind), true), cycles);
+            self.emit(
+                kind,
+                mode,
+                va,
+                Some(paddr.raw()),
+                tlb_out,
+                None,
+                pmptw,
+                cycles,
+                None,
+                steps,
+            );
+            return Ok(AccessOutcome {
+                cycles,
+                refs,
+                tlb_hit: Some(hit),
+                paddr,
+            });
         }
 
         // 2. TLB miss: page-table walk. Each PT-page reference is first
         //    validated by the isolation layer, then read.
         self.stats.walks += 1;
         let result = walk(&self.phys, space, &mut self.pwc, va);
+        let pwc_level = result.pwc_hit_level.map(|l| l as u8);
         for pt_ref in &result.pt_refs {
             let check = self.regs.check(
                 &self.phys,
@@ -373,21 +646,64 @@ impl Machine {
                 mode,
             );
             refs.pmpte_for_pt += check.refs.len() as u64;
-            cycles += self.charge_pmpte_refs(&check.refs);
+            cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
+            pmptw = check.pmptw.or(pmptw);
             if !check.allowed {
-                self.stats.faults += 1;
-                return Err(Fault::IsolationOnPtPage(pt_ref.addr));
+                return Err(self.abort(
+                    Fault::IsolationOnPtPage(pt_ref.addr),
+                    refs,
+                    kind,
+                    mode,
+                    va,
+                    None,
+                    TlbOutcome::Miss,
+                    pwc_level,
+                    pmptw,
+                    cycles,
+                    steps,
+                ));
             }
-            cycles += self.mem_sys.access_ptw(pt_ref.addr).cycles;
+            let pt_cycles = self.mem_sys.access_ptw(pt_ref.addr).cycles;
+            cycles += pt_cycles;
+            if S::ENABLED {
+                steps.push(WalkStep {
+                    kind: StepKind::Pt,
+                    level: Some(pt_ref.level as u8),
+                    addr: pt_ref.addr.raw(),
+                    cycles: pt_cycles,
+                });
+            }
             refs.pt_reads += 1;
         }
         let Some(translation) = result.translation else {
-            self.stats.faults += 1;
-            return Err(Fault::PageFault(va));
+            return Err(self.abort(
+                Fault::PageFault(va),
+                refs,
+                kind,
+                mode,
+                va,
+                None,
+                TlbOutcome::Miss,
+                pwc_level,
+                pmptw,
+                cycles,
+                steps,
+            ));
         };
         if !translation.perms.allows(kind) {
-            self.stats.faults += 1;
-            return Err(Fault::PtePermission(va));
+            return Err(self.abort(
+                Fault::PtePermission(va),
+                refs,
+                kind,
+                mode,
+                va,
+                None,
+                TlbOutcome::Miss,
+                pwc_level,
+                pmptw,
+                cycles,
+                steps,
+            ));
         }
 
         // 3. Isolation check for the data page.
@@ -399,15 +715,31 @@ impl Machine {
             mode,
         );
         refs.pmpte_for_data += check.refs.len() as u64;
-        cycles += self.charge_pmpte_refs(&check.refs);
+        cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
+        pmptw = check.pmptw.or(pmptw);
         if !check.allowed {
-            self.stats.faults += 1;
-            return Err(Fault::IsolationOnData(translation.paddr));
+            return Err(self.abort(
+                Fault::IsolationOnData(translation.paddr),
+                refs,
+                kind,
+                mode,
+                va,
+                Some(translation.paddr.raw()),
+                TlbOutcome::Miss,
+                pwc_level,
+                pmptw,
+                cycles,
+                steps,
+            ));
         }
 
         // 4. TLB refill with inlined isolation permission, then the data
         //    reference itself.
-        let tlb = if instruction { &mut self.itlb } else { &mut self.tlb };
+        let tlb = if instruction {
+            &mut self.itlb
+        } else {
+            &mut self.tlb
+        };
         tlb.fill(TlbEntry {
             asid: space.asid(),
             vpn: va.page_number(),
@@ -416,23 +748,141 @@ impl Machine {
             isolation_perms: check.perms,
             user: translation.user,
         });
-        cycles += self.data_ref(translation.paddr, kind);
+        let data_cycles = self.data_ref(translation.paddr, kind);
+        cycles += data_cycles;
+        if S::ENABLED {
+            steps.push(WalkStep {
+                kind: StepKind::Data,
+                level: None,
+                addr: translation.paddr.raw(),
+                cycles: data_cycles,
+            });
+        }
         refs.data_reads = 1;
 
         self.stats.accesses += 1;
         self.stats.cycles += cycles;
         self.accumulate(refs);
-        Ok(AccessOutcome { cycles, refs, tlb_hit: None, paddr: translation.paddr })
+        self.hists
+            .record(AccessClass::classify(op_of(kind), false), cycles);
+        self.emit(
+            kind,
+            mode,
+            va,
+            Some(translation.paddr.raw()),
+            TlbOutcome::Miss,
+            pwc_level,
+            pmptw,
+            cycles,
+            None,
+            steps,
+        );
+        Ok(AccessOutcome {
+            cycles,
+            refs,
+            tlb_hit: None,
+            paddr: translation.paddr,
+        })
+    }
+
+    /// Books a faulting access: counts the fault, rolls its partial
+    /// references into `aborted_refs`, emits the trace event, and hands the
+    /// fault back for the caller to return.
+    #[allow(clippy::too_many_arguments)]
+    fn abort(
+        &mut self,
+        fault: Fault,
+        refs: RefBreakdown,
+        kind: AccessKind,
+        mode: PrivMode,
+        va: VirtAddr,
+        paddr: Option<u64>,
+        tlb: TlbOutcome,
+        pwc_level: Option<u8>,
+        pmptw: Option<PmptwOutcome>,
+        cycles: u64,
+        steps: Vec<WalkStep>,
+    ) -> Fault {
+        self.stats.faults += 1;
+        self.stats.aborted_refs += refs.total();
+        self.emit(
+            kind,
+            mode,
+            va,
+            paddr,
+            tlb,
+            pwc_level,
+            pmptw,
+            cycles,
+            Some(fault.cause()),
+            steps,
+        );
+        fault
+    }
+
+    /// Emits one trace event. Compiles to nothing when the sink is
+    /// disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        kind: AccessKind,
+        mode: PrivMode,
+        va: VirtAddr,
+        paddr: Option<u64>,
+        tlb: TlbOutcome,
+        pwc_level: Option<u8>,
+        pmptw: Option<PmptwOutcome>,
+        cycles: u64,
+        fault: Option<FaultCause>,
+        steps: Vec<WalkStep>,
+    ) {
+        if !S::ENABLED {
+            return;
+        }
+        let event = WalkEvent {
+            seq: self.seq,
+            world: self.world,
+            op: op_of(kind),
+            privilege: priv_of(mode),
+            va: va.raw(),
+            paddr,
+            tlb,
+            pwc_level,
+            pmptw,
+            pipeline_cycles: self.core.pipeline_overhead,
+            cycles,
+            fault,
+            steps,
+        };
+        self.seq += 1;
+        self.sink.record(&event);
     }
 
     /// Charges a list of pmpte reads to the memory system, returning their
-    /// observed latency.
-    fn charge_pmpte_refs(&mut self, pmpte_refs: &[hpmp_core::PmptRef]) -> u64 {
+    /// observed latency and recording one step per read.
+    fn charge_pmpte_refs(
+        &mut self,
+        pmpte_refs: &[hpmp_core::PmptRef],
+        steps: &mut Vec<WalkStep>,
+    ) -> u64 {
         // Walk references are a dependent pointer chase: the out-of-order
         // window cannot overlap them, so they cost their raw latency.
         let mut cycles = 0;
         for r in pmpte_refs {
-            cycles += self.mem_sys.access_ptw(r.addr).cycles;
+            let c = self.mem_sys.access_ptw(r.addr).cycles;
+            if S::ENABLED {
+                steps.push(WalkStep {
+                    kind: if r.is_root {
+                        StepKind::PmptRoot
+                    } else {
+                        StepKind::PmptLeaf
+                    },
+                    level: None,
+                    addr: r.addr.raw(),
+                    cycles: c,
+                });
+            }
+            cycles += c;
         }
         cycles
     }
@@ -489,6 +939,7 @@ impl Machine {
                 for r in &outcome.refs {
                     cycles += self.mem_sys.access_ptw(r.addr).cycles;
                 }
+                self.stats.dma_refs += outcome.refs.len() as u64;
                 if !outcome.allowed {
                     self.stats.faults += 1;
                     return Err(Fault::IsolationOnData(addr));
@@ -496,6 +947,7 @@ impl Machine {
                 checked_page = Some(addr.page_number());
             }
             cycles += self.mem_sys.access_ptw(addr).cycles;
+            self.stats.dma_refs += 1;
             offset += hpmp_memsim::LINE_SIZE;
         }
         self.stats.cycles += cycles;
@@ -509,26 +961,45 @@ mod tests {
     use hpmp_core::PmpRegion;
     use hpmp_memsim::{FrameAllocator, Perms, PAGE_SIZE};
     use hpmp_paging::TranslationMode;
+    use hpmp_trace::RingSink;
 
     fn flat_machine() -> (Machine, AddressSpace) {
-        let mut machine = Machine::new(MachineConfig::rocket());
+        flat_machine_with_sink(NullSink)
+    }
+
+    fn flat_machine_with_sink<S: TraceSink>(sink: S) -> (Machine<S>, AddressSpace) {
+        let mut machine = Machine::with_sink(MachineConfig::rocket(), sink);
         machine
             .regs_mut()
-            .configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30),
-                               Perms::RWX)
+            .configure_segment(
+                0,
+                PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30),
+                Perms::RWX,
+            )
             .expect("segment");
-        let mut frames =
-            FrameAllocator::new(PhysAddr::new(0x8000_0000), 64 * PAGE_SIZE);
+        let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 64 * PAGE_SIZE);
         let mut space =
             AddressSpace::new(TranslationMode::Sv39, 1, machine.phys_mut(), &mut frames)
                 .expect("space");
         space
-            .map_page(machine.phys_mut(), &mut frames, VirtAddr::new(0x1000),
-                      PhysAddr::new(0x8010_0000), Perms::RX, true)
+            .map_page(
+                machine.phys_mut(),
+                &mut frames,
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0x8010_0000),
+                Perms::RX,
+                true,
+            )
             .expect("code page");
         space
-            .map_page(machine.phys_mut(), &mut frames, VirtAddr::new(0x2000),
-                      PhysAddr::new(0x8010_1000), Perms::RW, true)
+            .map_page(
+                machine.phys_mut(),
+                &mut frames,
+                VirtAddr::new(0x2000),
+                PhysAddr::new(0x8010_1000),
+                Perms::RW,
+                true,
+            )
             .expect("data page");
         (machine, space)
     }
@@ -550,10 +1021,17 @@ mod tests {
         let (mut machine, space) = flat_machine();
         let code = VirtAddr::new(0x1000);
         // A data read warms the D-TLB only.
-        machine.access(&space, code, AccessKind::Read, PrivMode::User).expect("read");
+        machine
+            .access(&space, code, AccessKind::Read, PrivMode::User)
+            .expect("read");
         let fetch = machine.fetch(&space, code, PrivMode::User).expect("fetch");
-        assert!(fetch.tlb_hit.is_none(), "first fetch must walk despite warm D-TLB");
-        let refetch = machine.fetch(&space, code, PrivMode::User).expect("refetch");
+        assert!(
+            fetch.tlb_hit.is_none(),
+            "first fetch must walk despite warm D-TLB"
+        );
+        let refetch = machine
+            .fetch(&space, code, PrivMode::User)
+            .expect("refetch");
         assert!(refetch.tlb_hit.is_some(), "second fetch hits the I-TLB");
     }
 
@@ -564,13 +1042,162 @@ mod tests {
         machine.regs_mut().disable(0).expect("disable");
         machine
             .regs_mut()
-            .configure_segment(0, PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 20),
-                               Perms::RWX)
+            .configure_segment(
+                0,
+                PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 20),
+                Perms::RWX,
+            )
             .expect("narrow segment");
         machine.sfence_vma_all();
         let err = machine
             .fetch(&space, VirtAddr::new(0x1000), PrivMode::User)
             .expect_err("fetch outside the segment must fault");
-        assert!(matches!(err, Fault::IsolationOnPtPage(_) | Fault::IsolationOnData(_)));
+        assert!(matches!(
+            err,
+            Fault::IsolationOnPtPage(_) | Fault::IsolationOnData(_)
+        ));
+    }
+
+    #[test]
+    fn traced_events_balance_and_match_cycles() {
+        let (mut machine, space) = flat_machine_with_sink(RingSink::new(16));
+        let walk = machine
+            .access(
+                &space,
+                VirtAddr::new(0x2000),
+                AccessKind::Read,
+                PrivMode::User,
+            )
+            .expect("walk access");
+        let hit = machine
+            .access(
+                &space,
+                VirtAddr::new(0x2000),
+                AccessKind::Read,
+                PrivMode::User,
+            )
+            .expect("hit access");
+        let events: Vec<_> = machine.sink().events().cloned().collect();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].is_balanced(), "walk event balances");
+        assert!(events[1].is_balanced(), "hit event balances");
+        assert_eq!(events[0].cycles, walk.cycles);
+        assert_eq!(events[1].cycles, hit.cycles);
+        assert_eq!(events[0].tlb, TlbOutcome::Miss);
+        assert_eq!(events[0].count_of(StepKind::Pt) as u64, walk.refs.pt_reads);
+        assert!(events[1].tlb.is_hit());
+        assert_eq!(events[1].count_of(StepKind::Data), 1);
+    }
+
+    #[test]
+    fn tracing_does_not_change_cycle_results() {
+        let (mut plain, space_a) = flat_machine();
+        let (mut traced, space_b) = flat_machine_with_sink(RingSink::new(64));
+        for va in [0x1000u64, 0x2000, 0x1000, 0x2000] {
+            let a = plain
+                .access(
+                    &space_a,
+                    VirtAddr::new(va),
+                    AccessKind::Read,
+                    PrivMode::User,
+                )
+                .expect("plain");
+            let b = traced
+                .access(
+                    &space_b,
+                    VirtAddr::new(va),
+                    AccessKind::Read,
+                    PrivMode::User,
+                )
+                .expect("traced");
+            assert_eq!(a.cycles, b.cycles, "cycles diverge at va {va:#x}");
+            assert_eq!(a.refs, b.refs, "refs diverge at va {va:#x}");
+        }
+    }
+
+    #[test]
+    fn accounting_covers_faulted_walks() {
+        let (mut machine, space) = flat_machine();
+        machine
+            .access(
+                &space,
+                VirtAddr::new(0x2000),
+                AccessKind::Read,
+                PrivMode::User,
+            )
+            .expect("good access");
+        // A page fault mid-walk still issues PT reads.
+        machine
+            .access(
+                &space,
+                VirtAddr::new(0x7000),
+                AccessKind::Read,
+                PrivMode::User,
+            )
+            .expect_err("unmapped");
+        let stats = machine.stats();
+        assert!(
+            stats.aborted_refs > 0,
+            "faulted walk must book its references"
+        );
+        machine
+            .verify_accounting()
+            .expect("all references accounted for");
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_legacy_stats() {
+        let (mut machine, space) = flat_machine();
+        machine
+            .access(
+                &space,
+                VirtAddr::new(0x2000),
+                AccessKind::Read,
+                PrivMode::User,
+            )
+            .expect("access");
+        let snap = machine.metrics_snapshot();
+        let stats = machine.stats();
+        assert_eq!(snap.value("machine.accesses"), stats.accesses);
+        assert_eq!(snap.value("machine.refs"), stats.refs.total());
+        assert_eq!(
+            snap.value("machine.mem.accesses"),
+            machine.mem_stats().accesses
+        );
+        assert_eq!(
+            snap.value("machine.dtlb.misses"),
+            machine.tlb_stats().misses
+        );
+        assert_eq!(
+            snap.value("machine.latency.read_walk.count"),
+            machine.histograms().class(AccessClass::ReadWalk).count()
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_every_counter() {
+        let (mut machine, space) = flat_machine();
+        machine
+            .access(
+                &space,
+                VirtAddr::new(0x2000),
+                AccessKind::Read,
+                PrivMode::User,
+            )
+            .expect("access");
+        machine
+            .fetch(&space, VirtAddr::new(0x1000), PrivMode::User)
+            .expect("fetch");
+        machine.reset_stats();
+        assert_eq!(machine.stats(), MachineStats::default());
+        assert_eq!(machine.mem_stats().accesses, 0);
+        assert_eq!(machine.tlb_stats().lookups(), 0);
+        assert_eq!(
+            machine.itlb_stats().lookups(),
+            0,
+            "the I-TLB must reset too"
+        );
+        assert_eq!(machine.histograms().total_count(), 0);
+        machine.verify_accounting().expect("balanced after reset");
     }
 }

@@ -7,11 +7,10 @@
 //! come from that pool — contiguous (HPMP's "fast" GMS) or deliberately
 //! scattered through RAM (the baseline).
 
-use hpmp_core::{
-    FillPolicy, PmpRegion, PmpTable, TableLevels,
-};
+use hpmp_core::{FillPolicy, PmpRegion, PmpTable, TableLevels};
 use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
 use hpmp_paging::{AddressSpace, PtFrameSource, TranslationMode};
+use hpmp_trace::{NullSink, TraceSink};
 
 use crate::machine::{Machine, MachineConfig};
 
@@ -51,7 +50,12 @@ impl ScatteredPtFrames {
     /// Scatters frames as `base + i * stride` for `i < limit`.
     pub fn new(base: PhysAddr, stride: u64, limit: u64) -> ScatteredPtFrames {
         assert!(stride >= PAGE_SIZE && stride.is_multiple_of(PAGE_SIZE));
-        ScatteredPtFrames { base, stride, limit, next: 0 }
+        ScatteredPtFrames {
+            base,
+            stride,
+            limit,
+            next: 0,
+        }
     }
 }
 
@@ -68,9 +72,9 @@ impl PtFrameSource for ScatteredPtFrames {
 
 /// Where the builder placed everything; handed to tests and workloads.
 #[derive(Debug)]
-pub struct System {
+pub struct System<S: TraceSink = NullSink> {
     /// The machine, with HPMP programmed per the chosen scheme.
-    pub machine: Machine,
+    pub machine: Machine<S>,
     /// The S-mode address space under test.
     pub space: AddressSpace,
     /// Data-page frames remaining for further mappings.
@@ -85,7 +89,7 @@ pub struct System {
     pub ram: PmpRegion,
 }
 
-impl System {
+impl<S: TraceSink> System<S> {
     /// Maps `pages` consecutive virtual pages starting at `va`, pulling data
     /// frames from the data pool and granting `perms`.
     ///
@@ -117,7 +121,14 @@ impl System {
     pub fn map_page_at(&mut self, va: VirtAddr, frame: PhysAddr, perms: Perms) {
         self.grant_data_page(frame);
         self.space
-            .map_page(self.machine.phys_mut(), self.pt_frames.as_mut(), va, frame, perms, true)
+            .map_page(
+                self.machine.phys_mut(),
+                self.pt_frames.as_mut(),
+                va,
+                frame,
+                perms,
+                true,
+            )
             .expect("mapping failed");
     }
 
@@ -125,8 +136,12 @@ impl System {
     fn grant_data_page(&mut self, frame: PhysAddr) {
         if let Some(table) = &mut self.pmp_table {
             table
-                .set_page_perm(self.machine.phys_mut(), &mut self.table_frames, frame,
-                               Perms::RWX)
+                .set_page_perm(
+                    self.machine.phys_mut(),
+                    &mut self.table_frames,
+                    frame,
+                    Perms::RWX,
+                )
                 .expect("PMP table fill failed");
         }
     }
@@ -134,13 +149,14 @@ impl System {
 
 /// Builder for the canonical single-domain system.
 #[derive(Debug)]
-pub struct SystemBuilder {
+pub struct SystemBuilder<S: TraceSink = NullSink> {
     config: MachineConfig,
     scheme: IsolationScheme,
     ram_base: u64,
     ram_size: u64,
     contiguous_pt: Option<bool>,
     mode: TranslationMode,
+    sink: S,
 }
 
 impl SystemBuilder {
@@ -153,11 +169,14 @@ impl SystemBuilder {
             ram_size: 1 << 30,
             contiguous_pt: None,
             mode: TranslationMode::Sv39,
+            sink: NullSink,
         }
     }
+}
 
+impl<S: TraceSink> SystemBuilder<S> {
     /// Overrides the protected RAM region (must be NAPOT-representable).
-    pub fn ram(mut self, base: u64, size: u64) -> SystemBuilder {
+    pub fn ram(mut self, base: u64, size: u64) -> SystemBuilder<S> {
         self.ram_base = base;
         self.ram_size = size;
         self
@@ -167,15 +186,29 @@ impl SystemBuilder {
     /// — the Penglai family always keeps PT pages in one region (Penglai
     /// already requires it to trap page-table modifications, §5); scattered
     /// placement is the stock-kernel ablation.
-    pub fn contiguous_pt(mut self, contiguous: bool) -> SystemBuilder {
+    pub fn contiguous_pt(mut self, contiguous: bool) -> SystemBuilder<S> {
         self.contiguous_pt = Some(contiguous);
         self
     }
 
     /// Overrides the translation mode (default Sv39).
-    pub fn translation_mode(mut self, mode: TranslationMode) -> SystemBuilder {
+    pub fn translation_mode(mut self, mode: TranslationMode) -> SystemBuilder<S> {
         self.mode = mode;
         self
+    }
+
+    /// Attaches a trace sink: the built machine records one event per
+    /// access into it.
+    pub fn sink<T: TraceSink>(self, sink: T) -> SystemBuilder<T> {
+        SystemBuilder {
+            config: self.config,
+            scheme: self.scheme,
+            ram_base: self.ram_base,
+            ram_size: self.ram_size,
+            contiguous_pt: self.contiguous_pt,
+            mode: self.mode,
+            sink,
+        }
     }
 
     /// Builds the machine, programs the HPMP entries for the scheme, and
@@ -187,11 +220,11 @@ impl SystemBuilder {
     ///
     /// Panics if the region is too small or not NAPOT-encodable — fixture
     /// misuse, not a runtime condition.
-    pub fn build(self) -> System {
+    pub fn build(self) -> System<S> {
         let ram = PmpRegion::new(PhysAddr::new(self.ram_base), self.ram_size);
         assert!(ram.is_napot(), "RAM region must be NAPOT-encodable");
         assert!(self.ram_size >= 64 << 20, "RAM must be at least 64 MiB");
-        let mut machine = Machine::new(self.config);
+        let mut machine = Machine::with_sink(self.config, self.sink);
 
         let pt_pool_base = PhysAddr::new(self.ram_base);
         let pt_pool_size = 16u64 << 20;
@@ -223,8 +256,8 @@ impl SystemBuilder {
                     .expect("segment setup");
             }
             IsolationScheme::PmpTable => {
-                let table = PmpTable::new(ram, machine.phys_mut(), &mut table_frames)
-                    .expect("table setup");
+                let table =
+                    PmpTable::new(ram, machine.phys_mut(), &mut table_frames).expect("table setup");
                 machine
                     .regs_mut()
                     .configure_table(0, ram, table.root(), TableLevels::Two)
@@ -232,8 +265,8 @@ impl SystemBuilder {
                 pmp_table = Some(table);
             }
             IsolationScheme::Hpmp => {
-                let mut table = PmpTable::new(ram, machine.phys_mut(), &mut table_frames)
-                    .expect("table setup");
+                let mut table =
+                    PmpTable::new(ram, machine.phys_mut(), &mut table_frames).expect("table setup");
                 // Include the PT pool in the table too (cache-like
                 // management: segments are a cache of the table), so
                 // flipping the segment off still leaves the pool covered.
@@ -250,8 +283,7 @@ impl SystemBuilder {
                 // Entry 0: the fast GMS (PT pool) as a segment.
                 machine
                     .regs_mut()
-                    .configure_segment(0, PmpRegion::new(pt_pool_base, pt_pool_size),
-                                       Perms::RW)
+                    .configure_segment(0, PmpRegion::new(pt_pool_base, pt_pool_size), Perms::RW)
                     .expect("fast GMS setup");
                 // Entries 1/2: the table over all of RAM.
                 machine
@@ -266,13 +298,8 @@ impl SystemBuilder {
         // walker; they are M-mode-owned and the PMPTW is not subject to
         // HPMP checks (it is the checker), so nothing to configure.
 
-        let space = AddressSpace::new(
-            self.mode,
-            1,
-            machine.phys_mut(),
-            pt_frames.as_mut(),
-        )
-        .expect("address space root");
+        let space = AddressSpace::new(self.mode, 1, machine.phys_mut(), pt_frames.as_mut())
+            .expect("address space root");
 
         // In table schemes, PT pages must be granted in the table (the OS
         // reads/writes them, and the PTW checks them). Grant the root now;
@@ -300,19 +327,25 @@ impl SystemBuilder {
     }
 }
 
-impl System {
+impl<S: TraceSink> System<S> {
     /// Grants table permissions for any PT pages created since the last
     /// call. Call after a batch of mappings when running a table scheme
     /// (PMPT grants PT pages in the table; HPMP *also* includes them, per
     /// the cache-like management rule).
     pub fn sync_pt_grants(&mut self) {
-        let Some(table) = &mut self.pmp_table else { return };
+        let Some(table) = &mut self.pmp_table else {
+            return;
+        };
         let pages: Vec<PhysAddr> = self.space.pt_pages().to_vec();
         for page in pages {
             // set_page_perm is idempotent for already-granted pages.
             table
-                .set_page_perm(self.machine.phys_mut(), &mut self.table_frames, page,
-                               Perms::RW)
+                .set_page_perm(
+                    self.machine.phys_mut(),
+                    &mut self.table_frames,
+                    page,
+                    Perms::RW,
+                )
                 .expect("grant PT page");
         }
     }
@@ -337,8 +370,12 @@ mod tests {
         sys.machine.flush_microarch();
         let out = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x10_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .unwrap();
         assert_eq!(out.refs.pt_reads, 3);
         assert_eq!(out.refs.data_reads, 1);
@@ -354,8 +391,12 @@ mod tests {
         sys.machine.flush_microarch();
         let out = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x10_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .unwrap();
         assert_eq!(out.refs.pt_reads, 3);
         assert_eq!(out.refs.data_reads, 1);
@@ -371,8 +412,12 @@ mod tests {
         sys.machine.flush_microarch();
         let out = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x10_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .unwrap();
         assert_eq!(out.refs.pt_reads, 3);
         assert_eq!(out.refs.data_reads, 1);
@@ -385,9 +430,11 @@ mod tests {
     #[test]
     fn tlb_hit_identical_across_schemes() {
         let mut cycles = Vec::new();
-        for scheme in
-            [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp]
-        {
+        for scheme in [
+            IsolationScheme::Pmp,
+            IsolationScheme::PmpTable,
+            IsolationScheme::Hpmp,
+        ] {
             let mut sys = system(scheme);
             let va = VirtAddr::new(0x10_0000);
             sys.machine
@@ -401,27 +448,46 @@ mod tests {
             assert!(warm.tlb_hit.is_some());
             cycles.push(warm.cycles);
         }
-        assert!(cycles.windows(2).all(|w| w[0] == w[1]), "TC4 must be identical: {cycles:?}");
+        assert!(
+            cycles.windows(2).all(|w| w[0] == w[1]),
+            "TC4 must be identical: {cycles:?}"
+        );
     }
 
     /// Cold latency ordering: PMP < HPMP < PMPT.
     #[test]
     fn cold_latency_ordering() {
         let mut lat = Vec::new();
-        for scheme in
-            [IsolationScheme::Pmp, IsolationScheme::Hpmp, IsolationScheme::PmpTable]
-        {
+        for scheme in [
+            IsolationScheme::Pmp,
+            IsolationScheme::Hpmp,
+            IsolationScheme::PmpTable,
+        ] {
             let mut sys = system(scheme);
             sys.machine.flush_microarch();
             let out = sys
                 .machine
-                .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                        PrivMode::Supervisor)
+                .access(
+                    &sys.space,
+                    VirtAddr::new(0x10_0000),
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                )
                 .unwrap();
             lat.push(out.cycles);
         }
-        assert!(lat[0] < lat[1], "PMP {} should beat HPMP {}", lat[0], lat[1]);
-        assert!(lat[1] < lat[2], "HPMP {} should beat PMPT {}", lat[1], lat[2]);
+        assert!(
+            lat[0] < lat[1],
+            "PMP {} should beat HPMP {}",
+            lat[0],
+            lat[1]
+        );
+        assert!(
+            lat[1] < lat[2],
+            "HPMP {} should beat PMPT {}",
+            lat[1],
+            lat[2]
+        );
     }
 
     /// Unmapped addresses fault; addresses outside HPMP coverage fault.
@@ -430,8 +496,12 @@ mod tests {
         let mut sys = system(IsolationScheme::Pmp);
         let err = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0xdead_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0xdead_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::machine::Fault::PageFault(_)));
         // Write to a read-mapped... map an RO page and try to write.
@@ -439,8 +509,12 @@ mod tests {
         sys.sync_pt_grants();
         let err = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0x80_0000), AccessKind::Write,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x80_0000),
+                AccessKind::Write,
+                PrivMode::Supervisor,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::machine::Fault::PtePermission(_)));
     }
@@ -455,13 +529,22 @@ mod tests {
         sys.sync_pt_grants();
         let table = sys.pmp_table.as_mut().unwrap();
         table
-            .set_page_perm(sys.machine.phys_mut(), &mut sys.table_frames, frame, Perms::NONE)
+            .set_page_perm(
+                sys.machine.phys_mut(),
+                &mut sys.table_frames,
+                frame,
+                Perms::NONE,
+            )
             .unwrap();
         sys.machine.sfence_vma_all();
         let err = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0x90_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x90_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .unwrap_err();
         assert!(matches!(err, crate::machine::Fault::IsolationOnData(_)));
     }
@@ -477,8 +560,12 @@ mod tests {
         sys.machine.flush_microarch();
         let out = sys
             .machine
-            .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x10_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .unwrap();
         assert_eq!(out.refs.pt_reads, 4);
         assert_eq!(out.refs.pmpte_for_pt, 8);

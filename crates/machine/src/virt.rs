@@ -11,6 +11,11 @@
 //! * **HPMP-GPT** — the guest also keeps its PT pages contiguous and the
 //!   hypervisor backs them with a segment: only the 2 data-page permission
 //!   references remain.
+//!
+//! Like [`Machine`](crate::machine::Machine), the virtualized machine is
+//! generic over a [`TraceSink`]: the default [`NullSink`] variant records
+//! nothing, and a recording sink gets one [`WalkEvent`] per guest access
+//! whose nested/guest PT steps reproduce Figure 8's square/circle sequence.
 
 use hpmp_core::{FillPolicy, PmpRegion, PmpTable, TableLevels};
 use hpmp_memsim::{
@@ -18,8 +23,12 @@ use hpmp_memsim::{
     PAGE_SIZE,
 };
 use hpmp_paging::{
-    apply_translation, nested_walk, AddressSpace, GuestView, NestedPageTable, NestedRefKind,
-    Tlb, TlbEntry, TranslationMode, WalkCache,
+    apply_translation, nested_walk, AddressSpace, GuestView, NestedPageTable, NestedRefKind, Tlb,
+    TlbEntry, TlbHit, TranslationMode, WalkCache,
+};
+use hpmp_trace::{
+    AccessClass, AccessOp, FaultCause, LatencyHistograms, MetricsRegistry, NullSink, PmptwOutcome,
+    PrivLevel, Snapshot, StepKind, TlbOutcome, TraceSink, WalkEvent, WalkStep, World,
 };
 
 use crate::machine::{Fault, MachineConfig};
@@ -102,10 +111,59 @@ pub struct VirtAccessOutcome {
     pub paddr: PhysAddr,
 }
 
+/// Aggregate counters for a virtualized machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VirtMachineStats {
+    /// Successful guest accesses.
+    pub accesses: u64,
+    /// Total cycles across those accesses.
+    pub cycles: u64,
+    /// Faults taken.
+    pub faults: u64,
+    /// Combined-TLB-miss walks performed.
+    pub walks: u64,
+    /// Sum of all reference breakdowns (successful accesses only).
+    pub refs: VirtRefBreakdown,
+    /// References already issued by accesses that then faulted.
+    pub aborted_refs: u64,
+}
+
+impl VirtMachineStats {
+    /// Total references pushed into the memory system.
+    pub fn issued_refs(&self) -> u64 {
+        self.refs.total() + self.aborted_refs
+    }
+
+    /// Publishes every counter into `reg` under `prefix`.
+    pub fn export(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.accesses"), self.accesses);
+        reg.set(format!("{prefix}.cycles"), self.cycles);
+        reg.set(format!("{prefix}.faults"), self.faults);
+        reg.set(format!("{prefix}.walks"), self.walks);
+        reg.set(format!("{prefix}.aborted_refs"), self.aborted_refs);
+        reg.set(format!("{prefix}.refs"), self.refs.total());
+        reg.set(format!("{prefix}.refs.npt_reads"), self.refs.npt_reads);
+        reg.set(format!("{prefix}.refs.gpt_reads"), self.refs.gpt_reads);
+        reg.set(format!("{prefix}.refs.data_reads"), self.refs.data_reads);
+        reg.set(
+            format!("{prefix}.refs.pmpte_for_npt"),
+            self.refs.pmpte_for_npt,
+        );
+        reg.set(
+            format!("{prefix}.refs.pmpte_for_gpt"),
+            self.refs.pmpte_for_gpt,
+        );
+        reg.set(
+            format!("{prefix}.refs.pmpte_for_data"),
+            self.refs.pmpte_for_data,
+        );
+    }
+}
+
 /// A virtualized system: host memory, NPT, one guest, and the isolation
 /// layer programmed per [`VirtScheme`].
 #[derive(Debug)]
-pub struct VirtMachine {
+pub struct VirtMachine<S: TraceSink = NullSink> {
     core: CoreModel,
     mem_sys: MemSystem,
     phys: PhysMem,
@@ -121,6 +179,10 @@ pub struct VirtMachine {
     pmptw_cache: hpmp_core::PmptwCache,
     scheme: VirtScheme,
     guest_data_gpa: PhysAddr,
+    stats: VirtMachineStats,
+    hists: LatencyHistograms,
+    sink: S,
+    seq: u64,
 }
 
 /// Host RAM layout constants for the virtualized fixture.
@@ -167,6 +229,38 @@ impl VirtMachine {
         guest_pages: u64,
         fragmented_backing: bool,
     ) -> VirtMachine {
+        Self::with_sink_options(config, scheme, guest_pages, fragmented_backing, NullSink)
+    }
+}
+
+impl<S: TraceSink> VirtMachine<S> {
+    /// As [`VirtMachine::new`], recording one [`WalkEvent`] per guest access
+    /// into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// As [`VirtMachine::new`].
+    pub fn with_sink(
+        config: MachineConfig,
+        scheme: VirtScheme,
+        guest_pages: u64,
+        sink: S,
+    ) -> VirtMachine<S> {
+        Self::with_sink_options(config, scheme, guest_pages, false, sink)
+    }
+
+    /// The fully general constructor: scheme, backing layout, and sink.
+    ///
+    /// # Panics
+    ///
+    /// As [`VirtMachine::new`].
+    pub fn with_sink_options(
+        config: MachineConfig,
+        scheme: VirtScheme,
+        guest_pages: u64,
+        fragmented_backing: bool,
+        sink: S,
+    ) -> VirtMachine<S> {
         let mut phys = PhysMem::new();
         let mut npt_frames =
             hpmp_memsim::FrameAllocator::new(PhysAddr::new(NPT_POOL), NPT_POOL_SIZE);
@@ -178,28 +272,34 @@ impl VirtMachine {
         for i in 0..GPA_PT_POOL_SIZE / PAGE_SIZE {
             let gpa = PhysAddr::new(GPA_PT_POOL + i * PAGE_SIZE);
             let hpa = gpt_host.alloc().expect("guest PT host frames");
-            npt.map_page(&mut phys, &mut npt_frames, gpa, hpa, true).expect("NPT map");
+            npt.map_page(&mut phys, &mut npt_frames, gpa, hpa, true)
+                .expect("NPT map");
         }
         let data_pages_backed = guest_pages.max(64) * 2;
-        let backing_stride =
-            if fragmented_backing { (2u64 << 20) / PAGE_SIZE + 1 } else { 1 };
+        let backing_stride = if fragmented_backing {
+            (2u64 << 20) / PAGE_SIZE + 1
+        } else {
+            1
+        };
         for i in 0..data_pages_backed {
             let gpa = PhysAddr::new(GPA_DATA + i * PAGE_SIZE);
             let hpa = PhysAddr::new(DATA_HOST_POOL + i * backing_stride * PAGE_SIZE);
-            npt.map_page(&mut phys, &mut npt_frames, gpa, hpa, true).expect("NPT map");
+            npt.map_page(&mut phys, &mut npt_frames, gpa, hpa, true)
+                .expect("NPT map");
         }
 
         // Build the guest page table in guest-physical memory.
         let mut guest_pt_frames =
             hpmp_memsim::FrameAllocator::new(PhysAddr::new(GPA_PT_POOL), GPA_PT_POOL_SIZE);
         let mut view = GuestView::new(&mut phys, &npt);
-        let mut guest = AddressSpace::new(TranslationMode::Sv39, 5, &mut view,
-                                          &mut guest_pt_frames)
-            .expect("guest root");
+        let mut guest =
+            AddressSpace::new(TranslationMode::Sv39, 5, &mut view, &mut guest_pt_frames)
+                .expect("guest root");
         for i in 0..guest_pages {
             let gva = VirtAddr::new(0x20_0000 + i * PAGE_SIZE);
             let gpa = PhysAddr::new(GPA_DATA + i * PAGE_SIZE);
-            guest.map_page(&mut view, &mut guest_pt_frames, gva, gpa, Perms::RW, true)
+            guest
+                .map_page(&mut view, &mut guest_pt_frames, gva, gpa, Perms::RW, true)
                 .expect("guest map");
         }
 
@@ -213,11 +313,16 @@ impl VirtMachine {
                 regs.configure_segment(0, ram, Perms::RWX).expect("segment");
             }
             VirtScheme::PmpTable | VirtScheme::Hpmp | VirtScheme::HpmpGpt => {
-                let mut table =
-                    PmpTable::new(ram, &mut phys, &mut table_frames).expect("table");
+                let mut table = PmpTable::new(ram, &mut phys, &mut table_frames).expect("table");
                 table
-                    .set_range_perm(&mut phys, &mut table_frames, PhysAddr::new(RAM_BASE),
-                                    RAM_SIZE / 2, Perms::RWX, FillPolicy::PerPage)
+                    .set_range_perm(
+                        &mut phys,
+                        &mut table_frames,
+                        PhysAddr::new(RAM_BASE),
+                        RAM_SIZE / 2,
+                        Perms::RWX,
+                        FillPolicy::PerPage,
+                    )
                     .expect("table fill");
                 let mut next = 0;
                 if scheme == VirtScheme::Hpmp || scheme == VirtScheme::HpmpGpt {
@@ -256,6 +361,10 @@ impl VirtMachine {
             pmptw_cache: hpmp_core::PmptwCache::new(config.pmptw_cache),
             scheme,
             guest_data_gpa: PhysAddr::new(GPA_DATA),
+            stats: VirtMachineStats::default(),
+            hists: LatencyHistograms::new(),
+            sink,
+            seq: 0,
         }
     }
 
@@ -267,6 +376,81 @@ impl VirtMachine {
     /// Guest-physical base of the guest's data pool (for tests).
     pub fn guest_data_gpa(&self) -> PhysAddr {
         self.guest_data_gpa
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the machine, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> VirtMachineStats {
+        self.stats
+    }
+
+    /// Per-access-class latency histograms.
+    pub fn histograms(&self) -> &LatencyHistograms {
+        &self.hists
+    }
+
+    /// One snapshot unifying the virtualized machine's counters under
+    /// dotted `virt.*` names.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut reg = MetricsRegistry::new();
+        self.stats.export(&mut reg, "virt");
+        self.tlb.stats().export(&mut reg, "virt.tlb");
+        self.gtlb.stats().export(&mut reg, "virt.gtlb");
+        self.gpwc.stats().export(&mut reg, "virt.gpwc");
+        self.pmptw_cache
+            .stats()
+            .export(&mut reg, "virt.pmptw_cache");
+        self.mem_sys.stats().export(&mut reg, "virt.mem");
+        self.hists.export(&mut reg, "virt.latency");
+        reg.snapshot()
+    }
+
+    /// Checks that every reference the machine claims to have issued is
+    /// visible in the memory system (as
+    /// [`Machine::verify_accounting`](crate::machine::Machine::verify_accounting)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the counters disagree.
+    pub fn verify_accounting(&self) -> Result<(), String> {
+        let claimed = self.stats.issued_refs();
+        let observed = self.mem_sys.stats().accesses;
+        if claimed == observed {
+            Ok(())
+        } else {
+            Err(format!(
+                "virt machine claims {claimed} references (refs {} + aborted {}) but \
+                 the memory system observed {observed}",
+                self.stats.refs.total(),
+                self.stats.aborted_refs
+            ))
+        }
+    }
+
+    /// Clears all counters and histograms (cache contents untouched; the
+    /// event sequence number keeps running).
+    pub fn reset_stats(&mut self) {
+        self.stats = VirtMachineStats::default();
+        self.mem_sys.reset_stats();
+        self.tlb.reset_stats();
+        self.gtlb.reset_stats();
+        self.gpwc.reset_stats();
+        self.pmptw_cache.reset_stats();
+        self.hists.reset();
     }
 
     /// `hfence.vvma`: flush guest-stage translations, keep the G-stage TLB.
@@ -296,64 +480,196 @@ impl VirtMachine {
     ///
     /// Returns a [`Fault`] on translation failure in either stage or an
     /// isolation denial.
-    pub fn access(
-        &mut self,
-        gva: VirtAddr,
-        kind: AccessKind,
-    ) -> Result<VirtAccessOutcome, Fault> {
+    pub fn access(&mut self, gva: VirtAddr, kind: AccessKind) -> Result<VirtAccessOutcome, Fault> {
         let mode = PrivMode::Supervisor; // VS-mode accesses are checked like S.
         let mut cycles = self.core.pipeline_overhead + 2; // two-stage TLB tax
         let mut refs = VirtRefBreakdown::default();
+        let mut steps: Vec<WalkStep> = Vec::new();
+        let mut pmptw: Option<PmptwOutcome> = None;
 
         // Combined TLB hit: data reference only (permission inlined).
-        if let Some((entry, _)) = self.tlb.lookup(self.guest.asid(), gva) {
+        if let Some((entry, hit)) = self.tlb.lookup(self.guest.asid(), gva) {
+            let tlb_out = if hit == TlbHit::L2 {
+                TlbOutcome::L2Hit
+            } else {
+                TlbOutcome::L1Hit
+            };
             let paddr = apply_translation(&entry, gva);
             if !entry.page_perms.allows(kind) {
-                return Err(Fault::PtePermission(gva));
+                return Err(self.abort(
+                    Fault::PtePermission(gva),
+                    refs,
+                    kind,
+                    gva,
+                    Some(paddr.raw()),
+                    tlb_out,
+                    pmptw,
+                    cycles,
+                    steps,
+                ));
             }
             if !entry.isolation_perms.allows(kind) {
-                return Err(Fault::IsolationOnData(paddr));
+                return Err(self.abort(
+                    Fault::IsolationOnData(paddr),
+                    refs,
+                    kind,
+                    gva,
+                    Some(paddr.raw()),
+                    tlb_out,
+                    pmptw,
+                    cycles,
+                    steps,
+                ));
             }
-            cycles += self.data_ref(paddr, kind);
+            let data_cycles = self.data_ref(paddr, kind);
+            cycles += data_cycles;
+            if S::ENABLED {
+                steps.push(WalkStep {
+                    kind: StepKind::Data,
+                    level: None,
+                    addr: paddr.raw(),
+                    cycles: data_cycles,
+                });
+            }
             refs.data_reads = 1;
-            return Ok(VirtAccessOutcome { cycles, refs, tlb_hit: true, paddr });
+            self.stats.accesses += 1;
+            self.stats.cycles += cycles;
+            self.accumulate(refs);
+            self.hists
+                .record(AccessClass::classify(op_of(kind), true), cycles);
+            self.emit(
+                kind,
+                gva,
+                Some(paddr.raw()),
+                tlb_out,
+                pmptw,
+                cycles,
+                None,
+                steps,
+            );
+            return Ok(VirtAccessOutcome {
+                cycles,
+                refs,
+                tlb_hit: true,
+                paddr,
+            });
         }
 
         // Two-stage walk.
-        let result = nested_walk(&self.phys, &self.guest, &self.npt, &mut self.gtlb,
-                                 &mut self.gpwc, gva);
+        self.stats.walks += 1;
+        let result = nested_walk(
+            &self.phys,
+            &self.guest,
+            &self.npt,
+            &mut self.gtlb,
+            &mut self.gpwc,
+            gva,
+        );
         for r in &result.refs {
-            let check = self.regs.check(&self.phys, &mut self.pmptw_cache, r.addr,
-                                        AccessKind::Read, mode);
+            let check = self.regs.check(
+                &self.phys,
+                &mut self.pmptw_cache,
+                r.addr,
+                AccessKind::Read,
+                mode,
+            );
             let pmpte_count = check.refs.len() as u64;
-            cycles += self.charge_pmpte_refs(&check.refs);
+            cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
+            pmptw = check.pmptw.or(pmptw);
             match r.kind {
                 NestedRefKind::NestedPt { .. } => refs.pmpte_for_npt += pmpte_count,
                 NestedRefKind::GuestPt { .. } => refs.pmpte_for_gpt += pmpte_count,
             }
             if !check.allowed {
-                return Err(Fault::IsolationOnPtPage(r.addr));
+                return Err(self.abort(
+                    Fault::IsolationOnPtPage(r.addr),
+                    refs,
+                    kind,
+                    gva,
+                    None,
+                    TlbOutcome::Miss,
+                    pmptw,
+                    cycles,
+                    steps,
+                ));
             }
-            cycles += self.mem_sys.access_ptw(r.addr).cycles;
+            let pt_cycles = self.mem_sys.access_ptw(r.addr).cycles;
+            cycles += pt_cycles;
             match r.kind {
-                NestedRefKind::NestedPt { .. } => refs.npt_reads += 1,
-                NestedRefKind::GuestPt { .. } => refs.gpt_reads += 1,
+                NestedRefKind::NestedPt { level } => {
+                    refs.npt_reads += 1;
+                    if S::ENABLED {
+                        steps.push(WalkStep {
+                            kind: StepKind::NestedPt,
+                            level: Some(level as u8),
+                            addr: r.addr.raw(),
+                            cycles: pt_cycles,
+                        });
+                    }
+                }
+                NestedRefKind::GuestPt { level } => {
+                    refs.gpt_reads += 1;
+                    if S::ENABLED {
+                        steps.push(WalkStep {
+                            kind: StepKind::GuestPt,
+                            level: Some(level as u8),
+                            addr: r.addr.raw(),
+                            cycles: pt_cycles,
+                        });
+                    }
+                }
             }
         }
         let Some(translation) = result.translation else {
-            return Err(Fault::PageFault(gva));
+            return Err(self.abort(
+                Fault::PageFault(gva),
+                refs,
+                kind,
+                gva,
+                None,
+                TlbOutcome::Miss,
+                pmptw,
+                cycles,
+                steps,
+            ));
         };
         if !translation.perms.allows(kind) {
-            return Err(Fault::PtePermission(gva));
+            return Err(self.abort(
+                Fault::PtePermission(gva),
+                refs,
+                kind,
+                gva,
+                None,
+                TlbOutcome::Miss,
+                pmptw,
+                cycles,
+                steps,
+            ));
         }
 
         // Data-page permission check + TLB refill + data reference.
-        let check = self.regs.check(&self.phys, &mut self.pmptw_cache, translation.paddr,
-                                    kind, mode);
+        let check = self.regs.check(
+            &self.phys,
+            &mut self.pmptw_cache,
+            translation.paddr,
+            kind,
+            mode,
+        );
         refs.pmpte_for_data += check.refs.len() as u64;
-        cycles += self.charge_pmpte_refs(&check.refs);
+        cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
+        pmptw = check.pmptw.or(pmptw);
         if !check.allowed {
-            return Err(Fault::IsolationOnData(translation.paddr));
+            return Err(self.abort(
+                Fault::IsolationOnData(translation.paddr),
+                refs,
+                kind,
+                gva,
+                Some(translation.paddr.raw()),
+                TlbOutcome::Miss,
+                pmptw,
+                cycles,
+                steps,
+            ));
         }
         self.tlb.fill(TlbEntry {
             asid: self.guest.asid(),
@@ -363,18 +679,138 @@ impl VirtMachine {
             isolation_perms: check.perms,
             user: translation.user,
         });
-        cycles += self.data_ref(translation.paddr, kind);
+        let data_cycles = self.data_ref(translation.paddr, kind);
+        cycles += data_cycles;
+        if S::ENABLED {
+            steps.push(WalkStep {
+                kind: StepKind::Data,
+                level: None,
+                addr: translation.paddr.raw(),
+                cycles: data_cycles,
+            });
+        }
         refs.data_reads = 1;
 
-        Ok(VirtAccessOutcome { cycles, refs, tlb_hit: false, paddr: translation.paddr })
+        self.stats.accesses += 1;
+        self.stats.cycles += cycles;
+        self.accumulate(refs);
+        self.hists
+            .record(AccessClass::classify(op_of(kind), false), cycles);
+        self.emit(
+            kind,
+            gva,
+            Some(translation.paddr.raw()),
+            TlbOutcome::Miss,
+            pmptw,
+            cycles,
+            None,
+            steps,
+        );
+        Ok(VirtAccessOutcome {
+            cycles,
+            refs,
+            tlb_hit: false,
+            paddr: translation.paddr,
+        })
     }
 
-    fn charge_pmpte_refs(&mut self, pmpte_refs: &[hpmp_core::PmptRef]) -> u64 {
+    /// Books a faulting access (mirrors `Machine::abort`).
+    #[allow(clippy::too_many_arguments)]
+    fn abort(
+        &mut self,
+        fault: Fault,
+        refs: VirtRefBreakdown,
+        kind: AccessKind,
+        gva: VirtAddr,
+        paddr: Option<u64>,
+        tlb: TlbOutcome,
+        pmptw: Option<PmptwOutcome>,
+        cycles: u64,
+        steps: Vec<WalkStep>,
+    ) -> Fault {
+        self.stats.faults += 1;
+        self.stats.aborted_refs += refs.total();
+        self.emit(
+            kind,
+            gva,
+            paddr,
+            tlb,
+            pmptw,
+            cycles,
+            Some(fault.cause()),
+            steps,
+        );
+        fault
+    }
+
+    /// Emits one trace event; compiles to nothing when the sink is disabled.
+    /// `pipeline_cycles` includes the two-stage TLB tax so events balance.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        kind: AccessKind,
+        gva: VirtAddr,
+        paddr: Option<u64>,
+        tlb: TlbOutcome,
+        pmptw: Option<PmptwOutcome>,
+        cycles: u64,
+        fault: Option<FaultCause>,
+        steps: Vec<WalkStep>,
+    ) {
+        if !S::ENABLED {
+            return;
+        }
+        let event = WalkEvent {
+            seq: self.seq,
+            world: World::Guest,
+            op: op_of(kind),
+            privilege: PrivLevel::Supervisor,
+            va: gva.raw(),
+            paddr,
+            tlb,
+            pwc_level: None,
+            pmptw,
+            pipeline_cycles: self.core.pipeline_overhead + 2,
+            cycles,
+            fault,
+            steps,
+        };
+        self.seq += 1;
+        self.sink.record(&event);
+    }
+
+    fn accumulate(&mut self, refs: VirtRefBreakdown) {
+        self.stats.refs.npt_reads += refs.npt_reads;
+        self.stats.refs.gpt_reads += refs.gpt_reads;
+        self.stats.refs.data_reads += refs.data_reads;
+        self.stats.refs.pmpte_for_npt += refs.pmpte_for_npt;
+        self.stats.refs.pmpte_for_gpt += refs.pmpte_for_gpt;
+        self.stats.refs.pmpte_for_data += refs.pmpte_for_data;
+    }
+
+    fn charge_pmpte_refs(
+        &mut self,
+        pmpte_refs: &[hpmp_core::PmptRef],
+        steps: &mut Vec<WalkStep>,
+    ) -> u64 {
         // Walk references are a dependent pointer chase: the out-of-order
         // window cannot overlap them, so they cost their raw latency.
         let mut cycles = 0;
         for r in pmpte_refs {
-            cycles += self.mem_sys.access_ptw(r.addr).cycles;
+            let c = self.mem_sys.access_ptw(r.addr).cycles;
+            if S::ENABLED {
+                steps.push(WalkStep {
+                    kind: if r.is_root {
+                        StepKind::PmptRoot
+                    } else {
+                        StepKind::PmptLeaf
+                    },
+                    level: None,
+                    addr: r.addr.raw(),
+                    cycles: c,
+                });
+            }
+            cycles += c;
         }
         cycles
     }
@@ -390,9 +826,19 @@ impl VirtMachine {
     }
 }
 
+/// The trace operation for a memsim access kind.
+fn op_of(kind: AccessKind) -> AccessOp {
+    match kind {
+        AccessKind::Read => AccessOp::Read,
+        AccessKind::Write => AccessOp::Write,
+        AccessKind::Fetch => AccessOp::Fetch,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpmp_trace::RingSink;
 
     const GVA: VirtAddr = VirtAddr::new(0x20_0000);
 
@@ -415,9 +861,18 @@ mod tests {
             let out = m.access(GVA, AccessKind::Read).unwrap();
             let walk_refs = out.refs.npt_reads + out.refs.gpt_reads + out.refs.data_reads;
             assert_eq!(walk_refs, base, "{scheme}: base walk refs");
-            assert_eq!(out.refs.pmpte_for_npt, npt_pmpte, "{scheme}: NPT pmpte refs");
-            assert_eq!(out.refs.pmpte_for_gpt, gpt_pmpte, "{scheme}: GPT pmpte refs");
-            assert_eq!(out.refs.pmpte_for_data, data_pmpte, "{scheme}: data pmpte refs");
+            assert_eq!(
+                out.refs.pmpte_for_npt, npt_pmpte,
+                "{scheme}: NPT pmpte refs"
+            );
+            assert_eq!(
+                out.refs.pmpte_for_gpt, gpt_pmpte,
+                "{scheme}: GPT pmpte refs"
+            );
+            assert_eq!(
+                out.refs.pmpte_for_data, data_pmpte,
+                "{scheme}: data pmpte refs"
+            );
             assert_eq!(
                 out.refs.total(),
                 base + npt_pmpte + gpt_pmpte + data_pmpte,
@@ -449,16 +904,23 @@ mod tests {
             let out = m.access(GVA, AccessKind::Read).unwrap();
             cost.insert(name, out.refs.total());
         }
-        assert!(cost["v"] < cost["g"], "hfence.vvma {} < hfence.gvma {}", cost["v"],
-                cost["g"]);
+        assert!(
+            cost["v"] < cost["g"],
+            "hfence.vvma {} < hfence.gvma {}",
+            cost["v"],
+            cost["g"]
+        );
     }
 
     #[test]
     fn latency_ordering_matches_figure_13() {
         let mut lat = Vec::new();
-        for scheme in [VirtScheme::Pmp, VirtScheme::HpmpGpt, VirtScheme::Hpmp,
-                       VirtScheme::PmpTable]
-        {
+        for scheme in [
+            VirtScheme::Pmp,
+            VirtScheme::HpmpGpt,
+            VirtScheme::Hpmp,
+            VirtScheme::PmpTable,
+        ] {
             let mut m = machine(scheme);
             m.flush_microarch();
             lat.push(m.access(GVA, AccessKind::Read).unwrap().cycles);
@@ -482,5 +944,44 @@ mod tests {
         let mut m = machine(VirtScheme::Pmp);
         let out = m.access(GVA + 0x123, AccessKind::Read).unwrap();
         assert_eq!(out.paddr, PhysAddr::new(DATA_HOST_POOL + 0x123));
+    }
+
+    #[test]
+    fn traced_guest_walk_reproduces_figure_8_steps() {
+        let mut m = VirtMachine::with_sink(
+            MachineConfig::rocket(),
+            VirtScheme::PmpTable,
+            16,
+            RingSink::new(8),
+        );
+        m.flush_microarch();
+        let out = m.access(GVA, AccessKind::Read).unwrap();
+        let event = m.sink().events().next().cloned().expect("one event");
+        assert_eq!(event.world, World::Guest);
+        assert!(event.is_balanced(), "guest event balances");
+        assert_eq!(event.cycles, out.cycles);
+        assert_eq!(
+            event.count_of(StepKind::NestedPt) as u64,
+            out.refs.npt_reads
+        );
+        assert_eq!(event.count_of(StepKind::GuestPt) as u64, out.refs.gpt_reads);
+        assert_eq!(
+            event.count_of(StepKind::PmptRoot) + event.count_of(StepKind::PmptLeaf),
+            (out.refs.pmpte_for_npt + out.refs.pmpte_for_gpt + out.refs.pmpte_for_data) as usize
+        );
+    }
+
+    #[test]
+    fn virt_accounting_and_snapshot_agree() {
+        let mut m = machine(VirtScheme::Hpmp);
+        m.access(GVA, AccessKind::Read).unwrap();
+        m.access(GVA, AccessKind::Read).unwrap();
+        m.access(VirtAddr::new(0x5000_0000), AccessKind::Read)
+            .unwrap_err();
+        m.verify_accounting().expect("refs all accounted for");
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.value("virt.accesses"), m.stats().accesses);
+        assert_eq!(snap.value("virt.refs"), m.stats().refs.total());
+        assert_eq!(snap.value("virt.mem.accesses"), m.stats().issued_refs());
     }
 }

@@ -222,7 +222,10 @@ mod tests {
         assert!(!pa.is_aligned(0x1000));
         assert_eq!(pa.align_down(0x1000), PhysAddr::new(0x12000));
         assert_eq!(pa.align_up(0x1000), PhysAddr::new(0x13000));
-        assert_eq!(PhysAddr::new(0x12000).align_up(0x1000), PhysAddr::new(0x12000));
+        assert_eq!(
+            PhysAddr::new(0x12000).align_up(0x1000),
+            PhysAddr::new(0x12000)
+        );
     }
 
     #[test]

@@ -59,6 +59,13 @@ impl CacheStats {
             self.hits as f64 / self.accesses() as f64
         }
     }
+
+    /// Publishes the counters into `reg` under `prefix` (as
+    /// `<prefix>.hits` and `<prefix>.misses`).
+    pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.hits"), self.hits);
+        reg.set(format!("{prefix}.misses"), self.misses);
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -97,7 +104,10 @@ impl Cache {
     ///
     /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways >= 1, "cache needs at least one way");
         let sets = config.sets();
         Cache {
@@ -132,7 +142,11 @@ impl Cache {
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
             .expect("cache has at least one way");
-        *victim = Way { valid: true, tag, lru: clock };
+        *victim = Way {
+            valid: true,
+            tag,
+            lru: clock,
+        };
         false
     }
 
@@ -174,7 +188,10 @@ impl Cache {
 
     fn index(&self, addr: PhysAddr) -> (usize, u64) {
         let line = addr.raw() >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 }
 
@@ -195,7 +212,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 64B lines = 256B.
-        Cache::new(CacheConfig { capacity: 256, ways: 2, line_size: 64, hit_latency: 1 })
+        Cache::new(CacheConfig {
+            capacity: 256,
+            ways: 2,
+            line_size: 64,
+            hit_latency: 1,
+        })
     }
 
     #[test]
@@ -251,8 +273,12 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c =
-            Cache::new(CacheConfig { capacity: 128, ways: 1, line_size: 64, hit_latency: 1 });
+        let mut c = Cache::new(CacheConfig {
+            capacity: 128,
+            ways: 1,
+            line_size: 64,
+            hit_latency: 1,
+        });
         c.access(PhysAddr::new(0x000));
         c.access(PhysAddr::new(0x080)); // maps to same set, evicts
         assert!(!c.probe(PhysAddr::new(0x000)));
@@ -269,6 +295,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        Cache::new(CacheConfig { capacity: 192, ways: 1, line_size: 64, hit_latency: 1 });
+        Cache::new(CacheConfig {
+            capacity: 192,
+            ways: 1,
+            line_size: 64,
+            hit_latency: 1,
+        });
     }
 }

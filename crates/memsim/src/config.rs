@@ -13,8 +13,18 @@ impl MemSystemConfig {
     /// 512 KiB 8-way L2, 4 MiB LLC.
     pub fn rocket() -> MemSystemConfig {
         MemSystemConfig {
-            l1: CacheConfig { capacity: 16 * 1024, ways: 4, line_size: 64, hit_latency: 2 },
-            l2: CacheConfig { capacity: 512 * 1024, ways: 8, line_size: 64, hit_latency: 14 },
+            l1: CacheConfig {
+                capacity: 16 * 1024,
+                ways: 4,
+                line_size: 64,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                capacity: 512 * 1024,
+                ways: 8,
+                line_size: 64,
+                hit_latency: 14,
+            },
             llc: CacheConfig {
                 capacity: 4 * 1024 * 1024,
                 ways: 8,
@@ -33,16 +43,29 @@ impl MemSystemConfig {
     /// BOOM overheads exceed its Rocket overheads on the same workloads.
     pub fn boom() -> MemSystemConfig {
         MemSystemConfig {
-            l1: CacheConfig { capacity: 32 * 1024, ways: 8, line_size: 64, hit_latency: 3 },
-            l2: CacheConfig { capacity: 512 * 1024, ways: 8, line_size: 64, hit_latency: 16 },
+            l1: CacheConfig {
+                capacity: 32 * 1024,
+                ways: 8,
+                line_size: 64,
+                hit_latency: 3,
+            },
+            l2: CacheConfig {
+                capacity: 512 * 1024,
+                ways: 8,
+                line_size: 64,
+                hit_latency: 16,
+            },
             llc: CacheConfig {
                 capacity: 4 * 1024 * 1024,
                 ways: 8,
                 line_size: 64,
                 hit_latency: 28,
             },
-            dram: DramConfig { row_hit_latency: 72, row_miss_latency: 144,
-                               ..DramConfig::default() },
+            dram: DramConfig {
+                row_hit_latency: 72,
+                row_miss_latency: 144,
+                ..DramConfig::default()
+            },
             encryption_latency: 0,
         }
     }

@@ -24,7 +24,12 @@ pub struct DramConfig {
 
 impl Default for DramConfig {
     fn default() -> DramConfig {
-        DramConfig { banks: 32, row_bytes: 8192, row_hit_latency: 40, row_miss_latency: 80 }
+        DramConfig {
+            banks: 32,
+            row_bytes: 8192,
+            row_hit_latency: 40,
+            row_miss_latency: 80,
+        }
     }
 }
 
@@ -35,6 +40,14 @@ pub struct DramStats {
     pub row_hits: u64,
     /// Accesses that required activating a new row.
     pub row_misses: u64,
+}
+
+impl DramStats {
+    /// Publishes the counters into `reg` under `prefix`.
+    pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.row_hits"), self.row_hits);
+        reg.set(format!("{prefix}.row_misses"), self.row_misses);
+    }
 }
 
 /// Open-row DRAM timing model.
@@ -61,8 +74,15 @@ impl Dram {
     /// Panics if `banks` is zero or `row_bytes` is not a power of two.
     pub fn new(config: DramConfig) -> Dram {
         assert!(config.banks > 0, "DRAM needs at least one bank");
-        assert!(config.row_bytes.is_power_of_two(), "row size must be a power of two");
-        Dram { config, open_rows: vec![None; config.banks], stats: DramStats::default() }
+        assert!(
+            config.row_bytes.is_power_of_two(),
+            "row size must be a power of two"
+        );
+        Dram {
+            config,
+            open_rows: vec![None; config.banks],
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration this model was built with.
@@ -113,12 +133,22 @@ mod tests {
         let hit = d.access(PhysAddr::new(64));
         assert_eq!(miss, d.config().row_miss_latency);
         assert_eq!(hit, d.config().row_hit_latency);
-        assert_eq!(d.stats(), DramStats { row_hits: 1, row_misses: 1 });
+        assert_eq!(
+            d.stats(),
+            DramStats {
+                row_hits: 1,
+                row_misses: 1
+            }
+        );
     }
 
     #[test]
     fn different_rows_same_bank_conflict() {
-        let cfg = DramConfig { banks: 2, row_bytes: 4096, ..DramConfig::default() };
+        let cfg = DramConfig {
+            banks: 2,
+            row_bytes: 4096,
+            ..DramConfig::default()
+        };
         let mut d = Dram::new(cfg);
         d.access(PhysAddr::new(0)); // row 0 -> bank 0
         d.access(PhysAddr::new(2 * 4096)); // row 2 -> bank 0, conflicts
@@ -128,7 +158,11 @@ mod tests {
 
     #[test]
     fn banks_are_independent() {
-        let cfg = DramConfig { banks: 2, row_bytes: 4096, ..DramConfig::default() };
+        let cfg = DramConfig {
+            banks: 2,
+            row_bytes: 4096,
+            ..DramConfig::default()
+        };
         let mut d = Dram::new(cfg);
         d.access(PhysAddr::new(0)); // row 0 -> bank 0
         d.access(PhysAddr::new(4096)); // row 1 -> bank 1

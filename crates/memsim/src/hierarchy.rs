@@ -81,6 +81,19 @@ pub struct MemSystemStats {
     pub cycles: u64,
 }
 
+impl MemSystemStats {
+    /// Publishes every counter into `reg` under `prefix` (e.g.
+    /// `mem.l1.hits`, `mem.dram.row_misses`, `mem.accesses`).
+    pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
+        self.l1.export(reg, &format!("{prefix}.l1"));
+        self.l2.export(reg, &format!("{prefix}.l2"));
+        self.llc.export(reg, &format!("{prefix}.llc"));
+        self.dram.export(reg, &format!("{prefix}.dram"));
+        reg.set(format!("{prefix}.accesses"), self.accesses);
+        reg.set(format!("{prefix}.cycles"), self.cycles);
+    }
+}
+
 /// A three-level cache hierarchy in front of DRAM.
 ///
 /// ```
@@ -121,7 +134,10 @@ impl MemSystem {
     pub fn access(&mut self, addr: PhysAddr) -> MemAccessOutcome {
         self.accesses += 1;
         let outcome = if self.l1.access(addr) {
-            MemAccessOutcome { level: HitLevel::L1, cycles: self.l1.config().hit_latency }
+            MemAccessOutcome {
+                level: HitLevel::L1,
+                cycles: self.l1.config().hit_latency,
+            }
         } else if self.l2.access(addr) {
             MemAccessOutcome {
                 level: HitLevel::L2,
@@ -155,7 +171,10 @@ impl MemSystem {
     pub fn access_ptw(&mut self, addr: PhysAddr) -> MemAccessOutcome {
         self.accesses += 1;
         let outcome = if self.l2.access(addr) {
-            MemAccessOutcome { level: HitLevel::L2, cycles: self.l2.config().hit_latency }
+            MemAccessOutcome {
+                level: HitLevel::L2,
+                cycles: self.l2.config().hit_latency,
+            }
         } else if self.llc.access(addr) {
             MemAccessOutcome {
                 level: HitLevel::Llc,
@@ -268,7 +287,10 @@ mod tests {
             m.access(PhysAddr::new(0x8000_0000 + i * l1_capacity));
         }
         let lvl = m.probe(target);
-        assert!(lvl == HitLevel::L2 || lvl == HitLevel::Llc, "target should survive below L1");
+        assert!(
+            lvl == HitLevel::L2 || lvl == HitLevel::Llc,
+            "target should survive below L1"
+        );
     }
 
     #[test]
@@ -284,8 +306,7 @@ mod tests {
     #[test]
     fn encryption_engine_adds_dram_latency_only() {
         let mut plain = system();
-        let mut encrypted =
-            MemSystem::new(MemSystemConfig::rocket().with_encryption(26));
+        let mut encrypted = MemSystem::new(MemSystemConfig::rocket().with_encryption(26));
         let a = PhysAddr::new(0x8000_0000);
         let cold_plain = plain.access(a).cycles;
         let cold_enc = encrypted.access(a).cycles;

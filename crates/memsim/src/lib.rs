@@ -31,6 +31,7 @@ mod dram;
 mod hierarchy;
 mod perm;
 mod physmem;
+mod rng;
 mod store;
 
 pub use addr::{PhysAddr, VirtAddr, LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
@@ -40,4 +41,5 @@ pub use dram::{Dram, DramConfig, DramStats};
 pub use hierarchy::{HitLevel, MemAccessOutcome, MemSystem, MemSystemConfig, MemSystemStats};
 pub use perm::{AccessKind, Perms, PrivMode};
 pub use physmem::{FrameAllocator, PhysMem};
+pub use rng::SplitMix64;
 pub use store::WordStore;

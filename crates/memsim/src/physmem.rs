@@ -113,8 +113,14 @@ impl FrameAllocator {
     /// page size.
     pub fn new(base: PhysAddr, len: u64) -> FrameAllocator {
         assert!(base.is_aligned(PAGE_SIZE), "unaligned allocator base");
-        assert!(len.is_multiple_of(PAGE_SIZE), "allocator length not page-multiple");
-        FrameAllocator { next: base, end: base + len }
+        assert!(
+            len.is_multiple_of(PAGE_SIZE),
+            "allocator length not page-multiple"
+        );
+        FrameAllocator {
+            next: base,
+            end: base + len,
+        }
     }
 
     /// Allocates one 4 KiB frame, or `None` when exhausted.

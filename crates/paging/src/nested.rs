@@ -59,7 +59,11 @@ impl NestedPageTable {
                 "Sv39x4 root requires 4 contiguous frames"
             );
         }
-        Ok(NestedPageTable { root: pages[0], pt_pages: pages, mapped_pages: 0 })
+        Ok(NestedPageTable {
+            root: pages[0],
+            pt_pages: pages,
+            mapped_pages: 0,
+        })
     }
 
     /// Host-physical base of the (16 KiB) root.
@@ -251,12 +255,18 @@ pub struct NestedWalkResult {
 impl NestedWalkResult {
     /// Number of references that read nested-PT pages.
     pub fn nested_refs(&self) -> usize {
-        self.refs.iter().filter(|r| matches!(r.kind, NestedRefKind::NestedPt { .. })).count()
+        self.refs
+            .iter()
+            .filter(|r| matches!(r.kind, NestedRefKind::NestedPt { .. }))
+            .count()
     }
 
     /// Number of references that read guest-PT pages.
     pub fn guest_refs(&self) -> usize {
-        self.refs.iter().filter(|r| matches!(r.kind, NestedRefKind::GuestPt { .. })).count()
+        self.refs
+            .iter()
+            .filter(|r| matches!(r.kind, NestedRefKind::GuestPt { .. }))
+            .count()
     }
 }
 
@@ -285,7 +295,10 @@ pub fn nested_walk(
     let asid = guest.asid();
     let mut refs = Vec::new();
     if !mode.is_canonical(gva) {
-        return NestedWalkResult { refs, translation: None };
+        return NestedWalkResult {
+            refs,
+            translation: None,
+        };
     }
 
     // G-stage helper: translate a gPA, appending nL* refs on a G-TLB miss.
@@ -298,7 +311,10 @@ pub fn nested_walk(
         }
         let (nrefs, hpa) = npt.walk_refs(mem, gpa);
         for (level, addr) in nrefs {
-            refs.push(NestedRef { kind: NestedRefKind::NestedPt { level }, addr });
+            refs.push(NestedRef {
+                kind: NestedRefKind::NestedPt { level },
+                addr,
+            });
         }
         let hpa = hpa?;
         gtlb.fill(TlbEntry {
@@ -326,16 +342,25 @@ pub fn nested_walk(
     loop {
         let slot_gpa = GuestPhysAddr::new(table_gpa.raw() + gva.vpn(level) * 8);
         let Some(slot_hpa) = g_translate(slot_gpa, &mut refs) else {
-            return NestedWalkResult { refs, translation: None };
+            return NestedWalkResult {
+                refs,
+                translation: None,
+            };
         };
-        refs.push(NestedRef { kind: NestedRefKind::GuestPt { level }, addr: slot_hpa });
+        refs.push(NestedRef {
+            kind: NestedRefKind::GuestPt { level },
+            addr: slot_hpa,
+        });
         let pte = Pte::from_bits(mem.read_u64(slot_hpa));
         if pte.is_leaf() {
             let span = mode.level_span(level);
             let offset = gva.raw() & (span - 1);
             let data_gpa = GuestPhysAddr::new(pte.target().raw() + offset);
             let Some(data_hpa) = g_translate(data_gpa, &mut refs) else {
-                return NestedWalkResult { refs, translation: None };
+                return NestedWalkResult {
+                    refs,
+                    translation: None,
+                };
             };
             let translation = Translation {
                 paddr: data_hpa,
@@ -343,10 +368,16 @@ pub fn nested_walk(
                 level,
                 user: pte.is_user(),
             };
-            return NestedWalkResult { refs, translation: Some(translation) };
+            return NestedWalkResult {
+                refs,
+                translation: Some(translation),
+            };
         }
         if !pte.is_table() || level == 0 {
-            return NestedWalkResult { refs, translation: None };
+            return NestedWalkResult {
+                refs,
+                translation: None,
+            };
         }
         gpwc.insert(mode, asid, level, gva, pte.target());
         table_gpa = GuestPhysAddr::new(pte.target().raw());
@@ -359,8 +390,8 @@ mod tests {
     use super::*;
     use crate::pwc::WalkCacheConfig;
     use crate::tlb::TlbConfig;
-    use hpmp_memsim::{FrameAllocator, Perms};
     use crate::TranslationMode;
+    use hpmp_memsim::{FrameAllocator, Perms};
 
     /// Builds a guest with one data page mapped at `GVA`, with NPT identity
     /// offset: gPA x maps to hPA x + 0x4000_0000.
@@ -377,25 +408,34 @@ mod tests {
         for i in 0..64u64 {
             let gpa = GuestPhysAddr::new(gpa_pool_base + i * PAGE_SIZE);
             let hpa = PhysAddr::new(gpa.raw() + HOST_OFF);
-            npt.map_page(&mut mem, &mut host_frames, gpa, hpa, true).unwrap();
+            npt.map_page(&mut mem, &mut host_frames, gpa, hpa, true)
+                .unwrap();
         }
 
         // Guest PT frames come from the guest-physical pool.
-        let mut guest_pt_frames =
-            FrameAllocator::new(PhysAddr::new(gpa_pool_base), 32 * PAGE_SIZE);
+        let mut guest_pt_frames = FrameAllocator::new(PhysAddr::new(gpa_pool_base), 32 * PAGE_SIZE);
         let mut view = GuestView::new(&mut mem, &npt);
         let mut guest =
-            AddressSpace::new(TranslationMode::Sv39, 9, &mut view, &mut guest_pt_frames)
-                .unwrap();
+            AddressSpace::new(TranslationMode::Sv39, 9, &mut view, &mut guest_pt_frames).unwrap();
         let data_gpa = GuestPhysAddr::new(gpa_pool_base + 40 * PAGE_SIZE);
         guest
-            .map_page(&mut view, &mut guest_pt_frames, GVA, data_gpa, Perms::RW, true)
+            .map_page(
+                &mut view,
+                &mut guest_pt_frames,
+                GVA,
+                data_gpa,
+                Perms::RW,
+                true,
+            )
             .unwrap();
         (mem, npt, guest)
     }
 
     fn caches() -> (Tlb, WalkCache) {
-        (Tlb::new(TlbConfig::default()), WalkCache::new(WalkCacheConfig::default()))
+        (
+            Tlb::new(TlbConfig::default()),
+            WalkCache::new(WalkCacheConfig::default()),
+        )
     }
 
     #[test]
@@ -410,8 +450,14 @@ mod tests {
         assert_eq!(result.refs.len(), 15);
         assert!(result.translation.is_some());
         // Order check: walk starts with the nL2 for the guest root.
-        assert!(matches!(result.refs[0].kind, NestedRefKind::NestedPt { level: 2 }));
-        assert!(matches!(result.refs[3].kind, NestedRefKind::GuestPt { level: 2 }));
+        assert!(matches!(
+            result.refs[0].kind,
+            NestedRefKind::NestedPt { level: 2 }
+        ));
+        assert!(matches!(
+            result.refs[3].kind,
+            NestedRefKind::GuestPt { level: 2 }
+        ));
     }
 
     #[test]
@@ -421,7 +467,10 @@ mod tests {
         let result = nested_walk(&mem, &guest, &npt, &mut gtlb, &mut gpwc, GVA + 0x123);
         let t = result.translation.unwrap();
         // gPA of data page = pool base + 40 pages; hPA = gPA + HOST_OFF.
-        assert_eq!(t.paddr, PhysAddr::new(0x1000_0000 + 40 * PAGE_SIZE + HOST_OFF + 0x123));
+        assert_eq!(
+            t.paddr,
+            PhysAddr::new(0x1000_0000 + 40 * PAGE_SIZE + HOST_OFF + 0x123)
+        );
     }
 
     #[test]
@@ -463,8 +512,14 @@ mod tests {
     fn unmapped_gva_faults() {
         let (mem, npt, guest) = fixture();
         let (mut gtlb, mut gpwc) = caches();
-        let result =
-            nested_walk(&mem, &guest, &npt, &mut gtlb, &mut gpwc, VirtAddr::new(0x5000_0000));
+        let result = nested_walk(
+            &mem,
+            &guest,
+            &npt,
+            &mut gtlb,
+            &mut gpwc,
+            VirtAddr::new(0x5000_0000),
+        );
         assert!(result.translation.is_none());
     }
 
@@ -474,7 +529,8 @@ mod tests {
         let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 64 * PAGE_SIZE);
         let mut npt = NestedPageTable::new(&mut mem, &mut frames).unwrap();
         let gpa = GuestPhysAddr::new(0x1000);
-        npt.map_page(&mut mem, &mut frames, gpa, PhysAddr::new(0x9000_0000), true).unwrap();
+        npt.map_page(&mut mem, &mut frames, gpa, PhysAddr::new(0x9000_0000), true)
+            .unwrap();
         assert!(matches!(
             npt.map_page(&mut mem, &mut frames, gpa, PhysAddr::new(0x9000_1000), true),
             Err(MapError::AlreadyMapped(_))
@@ -488,12 +544,24 @@ mod tests {
         let mut npt = NestedPageTable::new(&mut mem, &mut frames).unwrap();
         // A gPA beyond 2^39 uses the extra root-index bits.
         let gpa = GuestPhysAddr::new(1 << 40);
-        npt.map_page(&mut mem, &mut frames, gpa, PhysAddr::new(0x9000_0000), false).unwrap();
+        npt.map_page(
+            &mut mem,
+            &mut frames,
+            gpa,
+            PhysAddr::new(0x9000_0000),
+            false,
+        )
+        .unwrap();
         assert_eq!(npt.translate(&mem, gpa), Some(PhysAddr::new(0x9000_0000)));
         // Beyond 41 bits is rejected.
         assert!(matches!(
-            npt.map_page(&mut mem, &mut frames, GuestPhysAddr::new(1 << 41),
-                          PhysAddr::new(0x9000_1000), false),
+            npt.map_page(
+                &mut mem,
+                &mut frames,
+                GuestPhysAddr::new(1 << 41),
+                PhysAddr::new(0x9000_1000),
+                false
+            ),
             Err(MapError::NonCanonical(_))
         ));
     }

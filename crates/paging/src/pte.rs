@@ -73,7 +73,9 @@ impl Pte {
 
     /// Builds a non-leaf entry pointing at the next-level table page.
     pub fn table(next: PhysAddr) -> Pte {
-        Pte { bits: Self::V | ((next.page_number() & Self::PPN_MASK) << Self::PPN_SHIFT) }
+        Pte {
+            bits: Self::V | ((next.page_number() & Self::PPN_MASK) << Self::PPN_SHIFT),
+        }
     }
 
     /// True if the V bit is set.

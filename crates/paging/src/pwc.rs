@@ -23,7 +23,10 @@ pub struct WalkCacheConfig {
 
 impl Default for WalkCacheConfig {
     fn default() -> WalkCacheConfig {
-        WalkCacheConfig { entries: 8, hit_latency: 1 }
+        WalkCacheConfig {
+            entries: 8,
+            hit_latency: 1,
+        }
     }
 }
 
@@ -34,6 +37,14 @@ pub struct WalkCacheStats {
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+}
+
+impl WalkCacheStats {
+    /// Publishes the counters into `reg` under `prefix`.
+    pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.hits"), self.hits);
+        reg.set(format!("{prefix}.misses"), self.misses);
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -135,12 +146,19 @@ impl WalkCache {
             slot.lru = clock;
             return;
         }
-        let slot = Slot { key, table, lru: clock };
+        let slot = Slot {
+            key,
+            table,
+            lru: clock,
+        };
         if self.slots.len() < self.config.entries {
             self.slots.push(slot);
         } else {
-            let victim =
-                self.slots.iter_mut().min_by_key(|s| s.lru).expect("non-empty when full");
+            let victim = self
+                .slots
+                .iter_mut()
+                .min_by_key(|s| s.lru)
+                .expect("non-empty when full");
             *victim = slot;
         }
     }
@@ -169,7 +187,11 @@ impl WalkCache {
         // The prefix is every VPN field *above and including* `level`.
         let shift = PAGE_SHIFT as usize + 9 * level;
         let _ = mode;
-        Key { asid, level, prefix: va.raw() >> shift }
+        Key {
+            asid,
+            level,
+            prefix: va.raw() >> shift,
+        }
     }
 }
 
@@ -194,7 +216,13 @@ mod tests {
     fn same_region_same_entry() {
         let mut pwc = WalkCache::new(WalkCacheConfig::default());
         // Two VAs in the same 1 GiB region share the L2-level entry.
-        pwc.insert(SV39, 1, 2, VirtAddr::new(0x0000_1000), PhysAddr::new(0x8000_0000));
+        pwc.insert(
+            SV39,
+            1,
+            2,
+            VirtAddr::new(0x0000_1000),
+            PhysAddr::new(0x8000_0000),
+        );
         assert!(pwc.lookup(SV39, 1, 2, VirtAddr::new(0x3fff_f000)).is_some());
         // A VA in a different 1 GiB region misses.
         assert!(pwc.lookup(SV39, 1, 2, VirtAddr::new(0x4000_0000)).is_none());
@@ -210,7 +238,10 @@ mod tests {
 
     #[test]
     fn lru_eviction() {
-        let mut pwc = WalkCache::new(WalkCacheConfig { entries: 2, hit_latency: 1 });
+        let mut pwc = WalkCache::new(WalkCacheConfig {
+            entries: 2,
+            hit_latency: 1,
+        });
         pwc.insert(SV39, 1, 2, VirtAddr::new(0 << 30), PhysAddr::new(0x1000));
         pwc.insert(SV39, 1, 2, VirtAddr::new(1 << 30), PhysAddr::new(0x2000));
         pwc.lookup(SV39, 1, 2, VirtAddr::new(0 << 30)); // refresh first
@@ -221,8 +252,17 @@ mod tests {
 
     #[test]
     fn zero_entry_cache_never_hits() {
-        let mut pwc = WalkCache::new(WalkCacheConfig { entries: 0, hit_latency: 1 });
-        pwc.insert(SV39, 1, 2, VirtAddr::new(0x1000), PhysAddr::new(0x8000_0000));
+        let mut pwc = WalkCache::new(WalkCacheConfig {
+            entries: 0,
+            hit_latency: 1,
+        });
+        pwc.insert(
+            SV39,
+            1,
+            2,
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x8000_0000),
+        );
         assert!(pwc.lookup(SV39, 1, 2, VirtAddr::new(0x1000)).is_none());
     }
 

@@ -105,7 +105,10 @@ impl Hgatp {
     ///
     /// Panics if `root` is not 16 KiB aligned (the Sv39x4 requirement).
     pub fn sv39x4(vmid: u16, root: PhysAddr) -> Hgatp {
-        assert!(root.is_aligned(16 * 1024), "Sv39x4 root must be 16 KiB aligned");
+        assert!(
+            root.is_aligned(16 * 1024),
+            "Sv39x4 root must be 16 KiB aligned"
+        );
         Hgatp {
             bits: (MODE_SV39 << 60)
                 | (((vmid & 0x3fff) as u64) << 44)
@@ -148,7 +151,11 @@ mod tests {
 
     #[test]
     fn satp_round_trip_all_modes() {
-        for mode in [TranslationMode::Sv39, TranslationMode::Sv48, TranslationMode::Sv57] {
+        for mode in [
+            TranslationMode::Sv39,
+            TranslationMode::Sv48,
+            TranslationMode::Sv57,
+        ] {
             let satp = Satp::new(mode, 42, PhysAddr::new(0x8123_4000));
             let decoded = Satp::from_bits(satp.to_bits()).unwrap();
             assert_eq!(decoded.mode(), Some(mode));

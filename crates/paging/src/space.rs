@@ -115,7 +115,13 @@ impl AddressSpace {
     ) -> Result<AddressSpace, MapError> {
         let root = frames.alloc_pt_frame().ok_or(MapError::OutOfPtFrames)?;
         mem.zero_page(root);
-        Ok(AddressSpace { mode, asid, root, pt_pages: vec![root], mapped_pages: 0 })
+        Ok(AddressSpace {
+            mode,
+            asid,
+            root,
+            pt_pages: vec![root],
+            mapped_pages: 0,
+        })
     }
 
     /// The translation mode of this space.
@@ -238,7 +244,11 @@ impl AddressSpace {
         perms: Perms,
     ) -> Option<Translation> {
         let (slot, old) = self.locate(mem, va)?;
-        let new = Pte::leaf(PhysAddr::new(old.paddr.raw() - (va.raw() & (self.mode.level_span(old.level) - 1))), perms, old.user);
+        let new = Pte::leaf(
+            PhysAddr::new(old.paddr.raw() - (va.raw() & (self.mode.level_span(old.level) - 1))),
+            perms,
+            old.user,
+        );
         mem.write_u64(slot, new.to_bits());
         Some(old)
     }
@@ -315,8 +325,7 @@ mod tests {
     fn setup() -> (PhysMem, FrameAllocator, AddressSpace) {
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 256 * PAGE_SIZE);
-        let space =
-            AddressSpace::new(TranslationMode::Sv39, 7, &mut mem, &mut frames).unwrap();
+        let space = AddressSpace::new(TranslationMode::Sv39, 7, &mut mem, &mut frames).unwrap();
         (mem, frames, space)
     }
 
@@ -324,8 +333,14 @@ mod tests {
     fn map_and_translate() {
         let (mut mem, mut frames, mut space) = setup();
         space
-            .map_page(&mut mem, &mut frames, VirtAddr::new(0x4000), PhysAddr::new(0x9000_1000),
-                      Perms::RW, true)
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x4000),
+                PhysAddr::new(0x9000_1000),
+                Perms::RW,
+                true,
+            )
             .unwrap();
         let t = space.translate(&mem, VirtAddr::new(0x4abc)).unwrap();
         assert_eq!(t.paddr, PhysAddr::new(0x9000_1abc));
@@ -347,10 +362,25 @@ mod tests {
     fn double_map_rejected() {
         let (mut mem, mut frames, mut space) = setup();
         let va = VirtAddr::new(0x4000);
-        space.map_page(&mut mem, &mut frames, va, PhysAddr::new(0x9000_0000), Perms::READ, false)
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x9000_0000),
+                Perms::READ,
+                false,
+            )
             .unwrap();
         let err = space
-            .map_page(&mut mem, &mut frames, va, PhysAddr::new(0x9000_1000), Perms::READ, false)
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x9000_1000),
+                Perms::READ,
+                false,
+            )
             .unwrap_err();
         assert_eq!(err, MapError::AlreadyMapped(va));
     }
@@ -360,8 +390,14 @@ mod tests {
         let (mut mem, mut frames, mut space) = setup();
         for i in 0..8u64 {
             space
-                .map_page(&mut mem, &mut frames, VirtAddr::new(0x4000 + i * PAGE_SIZE),
-                          PhysAddr::new(0x9000_0000 + i * PAGE_SIZE), Perms::RW, true)
+                .map_page(
+                    &mut mem,
+                    &mut frames,
+                    VirtAddr::new(0x4000 + i * PAGE_SIZE),
+                    PhysAddr::new(0x9000_0000 + i * PAGE_SIZE),
+                    Perms::RW,
+                    true,
+                )
                 .unwrap();
         }
         assert_eq!(space.pt_pages().len(), 3);
@@ -370,11 +406,27 @@ mod tests {
     #[test]
     fn distant_pages_grow_tree() {
         let (mut mem, mut frames, mut space) = setup();
-        space.map_page(&mut mem, &mut frames, VirtAddr::new(0x4000),
-                       PhysAddr::new(0x9000_0000), Perms::RW, true).unwrap();
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x4000),
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                true,
+            )
+            .unwrap();
         // Different 1 GiB region => new L1 and L0 tables.
-        space.map_page(&mut mem, &mut frames, VirtAddr::new(2 << 30),
-                       PhysAddr::new(0x9100_0000), Perms::RW, true).unwrap();
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(2 << 30),
+                PhysAddr::new(0x9100_0000),
+                Perms::RW,
+                true,
+            )
+            .unwrap();
         assert_eq!(space.pt_pages().len(), 5);
     }
 
@@ -382,7 +434,15 @@ mod tests {
     fn unmap_removes_translation() {
         let (mut mem, mut frames, mut space) = setup();
         let va = VirtAddr::new(0x4000);
-        space.map_page(&mut mem, &mut frames, va, PhysAddr::new(0x9000_0000), Perms::RW, true)
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                true,
+            )
             .unwrap();
         let old = space.unmap_page(&mut mem, va).unwrap();
         assert_eq!(old.paddr, PhysAddr::new(0x9000_0000));
@@ -394,7 +454,15 @@ mod tests {
     fn protect_page_changes_perms_in_place() {
         let (mut mem, mut frames, mut space) = setup();
         let va = VirtAddr::new(0x4000);
-        space.map_page(&mut mem, &mut frames, va, PhysAddr::new(0x9000_0000), Perms::RW, true)
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                true,
+            )
             .unwrap();
         let old = space.protect_page(&mut mem, va, Perms::READ).unwrap();
         assert_eq!(old.perms, Perms::RW);
@@ -402,16 +470,27 @@ mod tests {
         assert_eq!(t.perms, Perms::READ);
         assert_eq!(t.paddr, PhysAddr::new(0x9000_0010), "frame preserved");
         assert!(t.user, "user bit preserved");
-        assert!(space.protect_page(&mut mem, VirtAddr::new(0x9_9000), Perms::READ).is_none());
+        assert!(space
+            .protect_page(&mut mem, VirtAddr::new(0x9_9000), Perms::READ)
+            .is_none());
     }
 
     #[test]
     fn remap_page_swaps_frame() {
         let (mut mem, mut frames, mut space) = setup();
         let va = VirtAddr::new(0x4000);
-        space.map_page(&mut mem, &mut frames, va, PhysAddr::new(0x9000_0000), Perms::READ,
-                       true).unwrap();
-        let old = space.remap_page(&mut mem, va, PhysAddr::new(0x9100_0000), Perms::RW)
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x9000_0000),
+                Perms::READ,
+                true,
+            )
+            .unwrap();
+        let old = space
+            .remap_page(&mut mem, va, PhysAddr::new(0x9100_0000), Perms::RW)
             .unwrap();
         assert_eq!(old.paddr, PhysAddr::new(0x9000_0000));
         let t = space.translate(&mem, va).unwrap();
@@ -424,10 +503,19 @@ mod tests {
         let (mut mem, mut frames, mut space) = setup();
         let va = VirtAddr::new(2 << 20); // 2 MiB aligned
         space
-            .map_huge_page(&mut mem, &mut frames, va, PhysAddr::new(0x4000_0000),
-                           Perms::RX, false, 1)
+            .map_huge_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x4000_0000),
+                Perms::RX,
+                false,
+                1,
+            )
             .unwrap();
-        let t = space.translate(&mem, VirtAddr::new((2 << 20) + 0x12345)).unwrap();
+        let t = space
+            .translate(&mem, VirtAddr::new((2 << 20) + 0x12345))
+            .unwrap();
         assert_eq!(t.level, 1);
         assert_eq!(t.paddr, PhysAddr::new(0x4000_0000 + 0x12345));
         // Only root + one L1 table.
@@ -438,8 +526,15 @@ mod tests {
     fn huge_page_alignment_enforced() {
         let (mut mem, mut frames, mut space) = setup();
         let err = space
-            .map_huge_page(&mut mem, &mut frames, VirtAddr::new(0x1000),
-                           PhysAddr::new(0x4000_0000), Perms::RX, false, 1)
+            .map_huge_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0x4000_0000),
+                Perms::RX,
+                false,
+                1,
+            )
             .unwrap_err();
         assert!(matches!(err, MapError::Misaligned(_)));
     }
@@ -448,12 +543,25 @@ mod tests {
     fn huge_page_blocks_small_mapping() {
         let (mut mem, mut frames, mut space) = setup();
         space
-            .map_huge_page(&mut mem, &mut frames, VirtAddr::new(0), PhysAddr::new(0x4000_0000),
-                           Perms::RW, false, 1)
+            .map_huge_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0),
+                PhysAddr::new(0x4000_0000),
+                Perms::RW,
+                false,
+                1,
+            )
             .unwrap();
         let err = space
-            .map_page(&mut mem, &mut frames, VirtAddr::new(0x1000), PhysAddr::new(0x9000_0000),
-                      Perms::RW, false)
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                false,
+            )
             .unwrap_err();
         assert!(matches!(err, MapError::HugePageConflict(_)));
     }
@@ -463,7 +571,14 @@ mod tests {
         let (mut mem, mut frames, mut space) = setup();
         let va = VirtAddr::new(1 << 40);
         let err = space
-            .map_page(&mut mem, &mut frames, va, PhysAddr::new(0x9000_0000), Perms::RW, false)
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                false,
+            )
             .unwrap_err();
         assert_eq!(err, MapError::NonCanonical(va));
         assert!(space.translate(&mem, va).is_none());
@@ -473,11 +588,16 @@ mod tests {
     fn out_of_frames_reported() {
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), PAGE_SIZE);
-        let mut space =
-            AddressSpace::new(TranslationMode::Sv39, 0, &mut mem, &mut frames).unwrap();
+        let mut space = AddressSpace::new(TranslationMode::Sv39, 0, &mut mem, &mut frames).unwrap();
         let err = space
-            .map_page(&mut mem, &mut frames, VirtAddr::new(0x1000),
-                      PhysAddr::new(0x9000_0000), Perms::RW, false)
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                false,
+            )
             .unwrap_err();
         assert_eq!(err, MapError::OutOfPtFrames);
     }
@@ -486,10 +606,17 @@ mod tests {
     fn sv48_uses_four_levels() {
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 64 * PAGE_SIZE);
-        let mut space =
-            AddressSpace::new(TranslationMode::Sv48, 0, &mut mem, &mut frames).unwrap();
-        space.map_page(&mut mem, &mut frames, VirtAddr::new(0x1000),
-                       PhysAddr::new(0x9000_0000), Perms::RW, false).unwrap();
+        let mut space = AddressSpace::new(TranslationMode::Sv48, 0, &mut mem, &mut frames).unwrap();
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                false,
+            )
+            .unwrap();
         assert_eq!(space.pt_pages().len(), 4);
     }
 }

@@ -64,6 +64,14 @@ impl TlbStats {
             (self.l1_hits + self.l2_hits) as f64 / lookups as f64
         }
     }
+
+    /// Publishes the counters into `reg` under `prefix`.
+    pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.l1_hits"), self.l1_hits);
+        reg.set(format!("{prefix}.l2_hits"), self.l2_hits);
+        reg.set(format!("{prefix}.misses"), self.misses);
+        reg.set(format!("{prefix}.flushes"), self.flushes);
+    }
 }
 
 /// Configuration of the two TLB levels.
@@ -79,7 +87,11 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> TlbConfig {
-        TlbConfig { l1_entries: 32, l2_entries: 1024, l2_hit_latency: 4 }
+        TlbConfig {
+            l1_entries: 32,
+            l2_entries: 1024,
+            l2_hit_latency: 4,
+        }
     }
 }
 
@@ -120,7 +132,10 @@ impl Tlb {
     /// Panics if `l2_entries` is not a power of two or either size is zero.
     pub fn new(config: TlbConfig) -> Tlb {
         assert!(config.l1_entries > 0, "L1 TLB needs entries");
-        assert!(config.l2_entries.is_power_of_two(), "L2 TLB must be a power of two");
+        assert!(
+            config.l2_entries.is_power_of_two(),
+            "L2 TLB must be a power of two"
+        );
         Tlb {
             config,
             l1: Vec::with_capacity(config.l1_entries),
@@ -140,7 +155,10 @@ impl Tlb {
         let vpn = va.page_number();
         self.clock += 1;
         let clock = self.clock;
-        if let Some(slot) = self.l1.iter_mut().find(|s| s.entry.asid == asid && s.entry.vpn == vpn)
+        if let Some(slot) = self
+            .l1
+            .iter_mut()
+            .find(|s| s.entry.asid == asid && s.entry.vpn == vpn)
         {
             slot.lru = clock;
             self.stats.l1_hits += 1;
@@ -186,7 +204,8 @@ impl Tlb {
     /// `sfence.vma` with an address: drop the entry covering `va` in `asid`.
     pub fn flush_page(&mut self, asid: u16, va: VirtAddr) {
         let vpn = va.page_number();
-        self.l1.retain(|s| !(s.entry.asid == asid && s.entry.vpn == vpn));
+        self.l1
+            .retain(|s| !(s.entry.asid == asid && s.entry.vpn == vpn));
         let idx = self.l2_index(asid, vpn);
         if matches!(self.l2[idx], Some(e) if e.asid == asid && e.vpn == vpn) {
             self.l2[idx] = None;
@@ -206,14 +225,19 @@ impl Tlb {
 
     fn insert_l1(&mut self, entry: TlbEntry) {
         self.clock += 1;
-        if let Some(slot) =
-            self.l1.iter_mut().find(|s| s.entry.asid == entry.asid && s.entry.vpn == entry.vpn)
+        if let Some(slot) = self
+            .l1
+            .iter_mut()
+            .find(|s| s.entry.asid == entry.asid && s.entry.vpn == entry.vpn)
         {
             slot.entry = entry;
             slot.lru = self.clock;
             return;
         }
-        let slot = L1Slot { entry, lru: self.clock };
+        let slot = L1Slot {
+            entry,
+            lru: self.clock,
+        };
         if self.l1.len() < self.config.l1_entries {
             self.l1.push(slot);
         } else {
@@ -261,7 +285,10 @@ mod tests {
         tlb.fill(entry(1, 1));
         let (e, hit) = tlb.lookup(1, VirtAddr::new(0x1fff)).unwrap();
         assert_eq!(hit, TlbHit::L1);
-        assert_eq!(apply_translation(&e, VirtAddr::new(0x1fff)), PhysAddr::new(0x1fff));
+        assert_eq!(
+            apply_translation(&e, VirtAddr::new(0x1fff)),
+            PhysAddr::new(0x1fff)
+        );
     }
 
     #[test]
@@ -274,7 +301,11 @@ mod tests {
 
     #[test]
     fn l1_eviction_falls_back_to_l2() {
-        let cfg = TlbConfig { l1_entries: 2, l2_entries: 16, l2_hit_latency: 4 };
+        let cfg = TlbConfig {
+            l1_entries: 2,
+            l2_entries: 16,
+            l2_hit_latency: 4,
+        };
         let mut tlb = Tlb::new(cfg);
         tlb.fill(entry(1, 1));
         tlb.fill(entry(1, 2));
@@ -288,7 +319,11 @@ mod tests {
 
     #[test]
     fn l2_direct_mapped_conflict() {
-        let cfg = TlbConfig { l1_entries: 1, l2_entries: 4, l2_hit_latency: 4 };
+        let cfg = TlbConfig {
+            l1_entries: 1,
+            l2_entries: 4,
+            l2_hit_latency: 4,
+        };
         let mut tlb = Tlb::new(cfg);
         tlb.fill(entry(1, 0));
         tlb.fill(entry(1, 4)); // same L2 slot (0 % 4 == 4 % 4), evicts vpn=0 from L2
@@ -315,7 +350,11 @@ mod tests {
 
     #[test]
     fn stats_track_levels() {
-        let cfg = TlbConfig { l1_entries: 1, l2_entries: 16, l2_hit_latency: 4 };
+        let cfg = TlbConfig {
+            l1_entries: 1,
+            l2_entries: 16,
+            l2_hit_latency: 4,
+        };
         let mut tlb = Tlb::new(cfg);
         tlb.fill(entry(1, 1));
         tlb.fill(entry(1, 2)); // vpn=1 falls back to L2 only

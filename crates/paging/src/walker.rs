@@ -68,16 +68,15 @@ impl WalkResult {
 /// let warm = walk(&mem, &space, &mut pwc, VirtAddr::new(0x1000));
 /// assert_eq!(warm.ref_count(), 1); // PWC skips to the leaf PTE
 /// ```
-pub fn walk(
-    mem: &PhysMem,
-    space: &AddressSpace,
-    pwc: &mut WalkCache,
-    va: VirtAddr,
-) -> WalkResult {
+pub fn walk(mem: &PhysMem, space: &AddressSpace, pwc: &mut WalkCache, va: VirtAddr) -> WalkResult {
     let mode = space.mode();
     let asid = space.asid();
     if !mode.is_canonical(va) {
-        return WalkResult { pt_refs: Vec::new(), translation: None, pwc_hit_level: None };
+        return WalkResult {
+            pt_refs: Vec::new(),
+            translation: None,
+            pwc_hit_level: None,
+        };
     }
 
     // Probe the PWC from the deepest (most useful) level upward. An entry at
@@ -99,7 +98,11 @@ pub fn walk(
     loop {
         let slot = AddressSpace::pte_addr(table, va, level);
         let pte = Pte::from_bits(mem.read_u64(slot));
-        pt_refs.push(PtRef { level, addr: slot, pte });
+        pt_refs.push(PtRef {
+            level,
+            addr: slot,
+            pte,
+        });
         if pte.is_leaf() {
             let span = mode.level_span(level);
             let offset = va.raw() & (span - 1);
@@ -109,11 +112,19 @@ pub fn walk(
                 level,
                 user: pte.is_user(),
             };
-            return WalkResult { pt_refs, translation: Some(translation), pwc_hit_level };
+            return WalkResult {
+                pt_refs,
+                translation: Some(translation),
+                pwc_hit_level,
+            };
         }
         if !pte.is_table() || level == 0 {
             // Page fault: invalid PTE or a pointer where a leaf must be.
-            return WalkResult { pt_refs, translation: None, pwc_hit_level };
+            return WalkResult {
+                pt_refs,
+                translation: None,
+                pwc_hit_level,
+            };
         }
         // Refill the PWC with this non-leaf step.
         pwc.insert(mode, asid, level, va, pte.target());
@@ -132,8 +143,7 @@ mod tests {
     fn fixture() -> (PhysMem, FrameAllocator, AddressSpace, WalkCache) {
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 256 * PAGE_SIZE);
-        let space =
-            AddressSpace::new(TranslationMode::Sv39, 3, &mut mem, &mut frames).unwrap();
+        let space = AddressSpace::new(TranslationMode::Sv39, 3, &mut mem, &mut frames).unwrap();
         let pwc = WalkCache::new(WalkCacheConfig::default());
         (mem, frames, space, pwc)
     }
@@ -141,8 +151,16 @@ mod tests {
     #[test]
     fn cold_walk_reads_every_level() {
         let (mut mem, mut frames, mut space, mut pwc) = fixture();
-        space.map_page(&mut mem, &mut frames, VirtAddr::new(0x1000),
-                       PhysAddr::new(0x9000_0000), Perms::RW, true).unwrap();
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                true,
+            )
+            .unwrap();
         let result = walk(&mem, &space, &mut pwc, VirtAddr::new(0x1234));
         assert_eq!(result.ref_count(), 3);
         assert_eq!(result.pt_refs[0].level, 2);
@@ -157,8 +175,16 @@ mod tests {
     fn warm_pwc_skips_to_leaf() {
         let (mut mem, mut frames, mut space, mut pwc) = fixture();
         for i in 0..2u64 {
-            space.map_page(&mut mem, &mut frames, VirtAddr::new(0x1000 + i * PAGE_SIZE),
-                           PhysAddr::new(0x9000_0000 + i * PAGE_SIZE), Perms::RW, true).unwrap();
+            space
+                .map_page(
+                    &mut mem,
+                    &mut frames,
+                    VirtAddr::new(0x1000 + i * PAGE_SIZE),
+                    PhysAddr::new(0x9000_0000 + i * PAGE_SIZE),
+                    Perms::RW,
+                    true,
+                )
+                .unwrap();
         }
         walk(&mem, &space, &mut pwc, VirtAddr::new(0x1000));
         // Adjacent page: both upper PTEs cached.
@@ -172,10 +198,26 @@ mod tests {
     fn partial_pwc_hit() {
         let (mut mem, mut frames, mut space, mut pwc) = fixture();
         // Two pages in the same 1 GiB region but different 2 MiB regions.
-        space.map_page(&mut mem, &mut frames, VirtAddr::new(0x0000_1000),
-                       PhysAddr::new(0x9000_0000), Perms::RW, true).unwrap();
-        space.map_page(&mut mem, &mut frames, VirtAddr::new(0x0020_0000),
-                       PhysAddr::new(0x9010_0000), Perms::RW, true).unwrap();
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x0000_1000),
+                PhysAddr::new(0x9000_0000),
+                Perms::RW,
+                true,
+            )
+            .unwrap();
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x0020_0000),
+                PhysAddr::new(0x9010_0000),
+                Perms::RW,
+                true,
+            )
+            .unwrap();
         walk(&mem, &space, &mut pwc, VirtAddr::new(0x0000_1000));
         let result = walk(&mem, &space, &mut pwc, VirtAddr::new(0x0020_0000));
         // L2 step cached (same 1 GiB), L1 differs => read L1 + L0.
@@ -194,8 +236,17 @@ mod tests {
     #[test]
     fn huge_page_walk_is_shorter() {
         let (mut mem, mut frames, mut space, mut pwc) = fixture();
-        space.map_huge_page(&mut mem, &mut frames, VirtAddr::new(0x4000_0000),
-                            PhysAddr::new(0x4000_0000), Perms::RX, false, 2).unwrap();
+        space
+            .map_huge_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x4000_0000),
+                PhysAddr::new(0x4000_0000),
+                Perms::RX,
+                false,
+                2,
+            )
+            .unwrap();
         let result = walk(&mem, &space, &mut pwc, VirtAddr::new(0x4012_3456));
         assert_eq!(result.ref_count(), 1); // 1 GiB leaf at the root level
         let t = result.translation.unwrap();
@@ -215,7 +266,15 @@ mod tests {
     fn walk_agrees_with_software_translate() {
         let (mut mem, mut frames, mut space, mut pwc) = fixture();
         let va = VirtAddr::new(0x7fff_f000);
-        space.map_page(&mut mem, &mut frames, va, PhysAddr::new(0x9abc_d000), Perms::RWX, true)
+        space
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va,
+                PhysAddr::new(0x9abc_d000),
+                Perms::RWX,
+                true,
+            )
             .unwrap();
         let hw = walk(&mem, &space, &mut pwc, va).translation.unwrap();
         let sw = space.translate(&mem, va).unwrap();

@@ -1,12 +1,12 @@
-//! Property tests: the two-level TLB against a reference model, and walk
-//! determinism under arbitrary PWC state.
+//! Randomised tests: the two-level TLB against a reference model, and walk
+//! determinism under arbitrary PWC state. Driven by the in-repo
+//! [`SplitMix64`] PRNG with fixed seeds, so every run is deterministic and
+//! reproducible.
 
-use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, PhysMem, VirtAddr, PAGE_SIZE};
+use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, PhysMem, SplitMix64, VirtAddr, PAGE_SIZE};
 use hpmp_paging::{
-    walk, AddressSpace, Tlb, TlbConfig, TlbEntry, TranslationMode, WalkCache,
-    WalkCacheConfig,
+    walk, AddressSpace, Tlb, TlbConfig, TlbEntry, TranslationMode, WalkCache, WalkCacheConfig,
 };
-use proptest::prelude::*;
 
 fn entry(asid: u16, vpn: u64) -> TlbEntry {
     TlbEntry {
@@ -19,16 +19,20 @@ fn entry(asid: u16, vpn: u64) -> TlbEntry {
     }
 }
 
-proptest! {
-    /// A filled translation remains visible until a flush that covers it;
-    /// flushes never over- or under-remove across ASIDs.
-    #[test]
-    fn flush_scoping(
-        fills in prop::collection::vec((0u16..4, 0u64..64), 1..48),
-        flush_asid in 0u16..4,
-    ) {
-        let mut tlb = Tlb::new(TlbConfig { l1_entries: 64, l2_entries: 1024,
-                                           l2_hit_latency: 4 });
+#[test]
+fn flush_scoping() {
+    let mut rng = SplitMix64::seed_from_u64(0x71b1);
+    for _ in 0..128 {
+        let mut tlb = Tlb::new(TlbConfig {
+            l1_entries: 64,
+            l2_entries: 1024,
+            l2_hit_latency: 4,
+        });
+        let len = rng.gen_range(1..48) as usize;
+        let fills: Vec<(u16, u64)> = (0..len)
+            .map(|_| (rng.gen_range(0..4) as u16, rng.gen_range(0..64)))
+            .collect();
+        let flush_asid = rng.gen_range(0..4) as u16;
         for &(asid, vpn) in &fills {
             tlb.fill(entry(asid, vpn));
         }
@@ -36,23 +40,29 @@ proptest! {
         for &(asid, vpn) in &fills {
             let hit = tlb.lookup(asid, VirtAddr::new(vpn << 12)).is_some();
             if asid == flush_asid {
-                prop_assert!(!hit, "asid {asid} vpn {vpn} must be flushed");
+                assert!(!hit, "asid {asid} vpn {vpn} must be flushed");
             }
             // Survivors may still have been evicted by capacity, so only
             // the flushed direction is asserted.
         }
     }
+}
 
-    /// With capacity to spare, every fill is retrievable and returns the
-    /// exact entry.
-    #[test]
-    fn fills_are_faithful(fills in prop::collection::vec((0u16..4, 0u64..512), 1..32)) {
-        let mut tlb = Tlb::new(TlbConfig { l1_entries: 64, l2_entries: 1024,
-                                           l2_hit_latency: 4 });
-        let mut last = std::collections::HashMap::new();
+#[test]
+fn fills_are_faithful() {
+    let mut rng = SplitMix64::seed_from_u64(0x71b2);
+    for _ in 0..128 {
+        let mut tlb = Tlb::new(TlbConfig {
+            l1_entries: 64,
+            l2_entries: 1024,
+            l2_hit_latency: 4,
+        });
+        let len = rng.gen_range(1..32) as usize;
+        let fills: Vec<(u16, u64)> = (0..len)
+            .map(|_| (rng.gen_range(0..4) as u16, rng.gen_range(0..512)))
+            .collect();
         for &(asid, vpn) in &fills {
             tlb.fill(entry(asid, vpn));
-            last.insert((asid, vpn), ());
         }
         // Direct-mapped L2 conflicts only occur for equal vpn%1024; with
         // vpn < 512 every (asid, vpn) pair with distinct vpn coexists —
@@ -64,38 +74,46 @@ proptest! {
         }
         for (&vpn, &asid) in &latest_by_vpn {
             let hit = tlb.lookup(asid, VirtAddr::new(vpn << 12));
-            prop_assert!(hit.is_some(), "latest fill for vpn {vpn} lost");
+            assert!(hit.is_some(), "latest fill for vpn {vpn} lost");
             let (e, _) = hit.unwrap();
-            prop_assert_eq!(e.frame, PhysAddr::new(vpn << 12));
+            assert_eq!(e.frame, PhysAddr::new(vpn << 12));
         }
     }
+}
 
-    /// The hardware walk returns the same translation no matter what PWC
-    /// state it starts from (caches accelerate, never change, the result).
-    #[test]
-    fn walk_invariant_under_pwc_state(
-        pages in prop::collection::vec(0u64..256, 1..16),
-        probes in prop::collection::vec(0u64..256, 1..16),
-        pwc_entries in 0usize..9,
-    ) {
+#[test]
+fn walk_invariant_under_pwc_state() {
+    let mut rng = SplitMix64::seed_from_u64(0x71b3);
+    for _ in 0..48 {
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 128 * PAGE_SIZE);
-        let mut space =
-            AddressSpace::new(TranslationMode::Sv39, 1, &mut mem, &mut frames).unwrap();
-        for (i, &p) in pages.iter().enumerate() {
-            let _ = space.map_page(&mut mem, &mut frames,
-                                   VirtAddr::new(0x40_0000 + p * PAGE_SIZE),
-                                   PhysAddr::new(0x9000_0000 + (i as u64) * PAGE_SIZE),
-                                   Perms::RW, true);
+        let mut space = AddressSpace::new(TranslationMode::Sv39, 1, &mut mem, &mut frames).unwrap();
+        let n_pages = rng.gen_range(1..16) as usize;
+        for i in 0..n_pages {
+            let _ = space.map_page(
+                &mut mem,
+                &mut frames,
+                VirtAddr::new(0x40_0000 + rng.gen_range(0..256) * PAGE_SIZE),
+                PhysAddr::new(0x9000_0000 + (i as u64) * PAGE_SIZE),
+                Perms::RW,
+                true,
+            );
         }
-        let mut pwc = WalkCache::new(WalkCacheConfig { entries: pwc_entries,
-                                                       hit_latency: 1 });
-        for &p in &probes {
-            let va = VirtAddr::new(0x40_0000 + p * PAGE_SIZE);
+        let pwc_entries = rng.gen_range(0..9) as usize;
+        let mut pwc = WalkCache::new(WalkCacheConfig {
+            entries: pwc_entries,
+            hit_latency: 1,
+        });
+        let n_probes = rng.gen_range(1..16) as usize;
+        for _ in 0..n_probes {
+            let va = VirtAddr::new(0x40_0000 + rng.gen_range(0..256) * PAGE_SIZE);
             let with_pwc = walk(&mem, &space, &mut pwc, va).translation;
-            let mut cold = WalkCache::new(WalkCacheConfig { entries: 0, hit_latency: 1 });
+            let mut cold = WalkCache::new(WalkCacheConfig {
+                entries: 0,
+                hit_latency: 1,
+            });
             let without = walk(&mem, &space, &mut cold, va).translation;
-            prop_assert_eq!(with_pwc, without, "PWC changed a translation at {}", va);
+            assert_eq!(with_pwc, without, "PWC changed a translation at {va}");
         }
     }
 }

@@ -11,6 +11,7 @@
 
 use hpmp_machine::Machine;
 use hpmp_memsim::{PhysAddr, PAGE_SIZE};
+use hpmp_trace::TraceSink;
 
 use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor};
 
@@ -74,7 +75,11 @@ impl Attestor {
     /// Provisions the attestor with a device key (burned in at
     /// manufacturing; any value works for the model).
     pub fn new(device_key: u64) -> Attestor {
-        Attestor { device_key, nonce: 0, measurements: Vec::new() }
+        Attestor {
+            device_key,
+            nonce: 0,
+            measurements: Vec::new(),
+        }
     }
 
     /// Measures `domain`'s memory (every page of every GMS it owns) and
@@ -84,9 +89,9 @@ impl Attestor {
     /// # Errors
     ///
     /// Fails for unknown domains.
-    pub fn measure(
+    pub fn measure<S: TraceSink>(
         &mut self,
-        machine: &Machine,
+        machine: &Machine<S>,
         monitor: &SecureMonitor,
         domain: DomainId,
     ) -> Result<(u64, u64), MonitorError> {
@@ -172,8 +177,9 @@ mod tests {
     fn boot() -> (Machine, SecureMonitor, Attestor, DomainId) {
         let mut machine = Machine::new(MachineConfig::rocket());
         let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM);
-        let (domain, _) =
-            monitor.create_domain(&mut machine, 64 * 1024, GmsLabel::Slow).unwrap();
+        let (domain, _) = monitor
+            .create_domain(&mut machine, 64 * 1024, GmsLabel::Slow)
+            .unwrap();
         (machine, monitor, Attestor::new(0x5ec2e7), domain)
     }
 
@@ -233,7 +239,9 @@ mod tests {
     #[test]
     fn unmeasured_domain_rejected() {
         let (_, _, mut attestor, _) = boot();
-        assert_eq!(attestor.attest(DomainId(99)),
-                   Err(AttestError::UnknownDomain(DomainId(99))));
+        assert_eq!(
+            attestor.attest(DomainId(99)),
+            Err(AttestError::UnknownDomain(DomainId(99)))
+        );
     }
 }

@@ -43,7 +43,11 @@ pub struct Gms {
 impl Gms {
     /// Builds a GMS.
     pub fn new(region: PmpRegion, perms: Perms, label: GmsLabel) -> Gms {
-        Gms { region, perms, label }
+        Gms {
+            region,
+            perms,
+            label,
+        }
     }
 
     /// True if the monitor can express this GMS as one NAPOT segment.

@@ -10,6 +10,7 @@
 
 use hpmp_machine::Machine;
 use hpmp_memsim::{AccessKind, Perms, PhysAddr, PrivMode, PAGE_SIZE};
+use hpmp_trace::TraceSink;
 
 use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor};
 
@@ -98,17 +99,16 @@ impl IpcTable {
     /// # Errors
     ///
     /// Fails if either domain is unknown or memory runs out.
-    pub fn create(
+    pub fn create<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         monitor: &mut SecureMonitor,
         a: DomainId,
         b: DomainId,
     ) -> Result<(ChannelId, u64), IpcError> {
         // The buffer comes from the monitor's region allocator, owned by
         // neither endpoint; grants are added to both tables below.
-        let (region, mut cycles) =
-            monitor.alloc_shared_buffer(machine, a, b, PAGE_SIZE)?;
+        let (region, mut cycles) = monitor.alloc_shared_buffer(machine, a, b, PAGE_SIZE)?;
         cycles += cost::TRAP_ROUND_TRIP;
         let id = ChannelId(self.next_id);
         self.next_id += 1;
@@ -130,9 +130,9 @@ impl IpcTable {
     ///
     /// Fails if the caller is not an endpoint, a message is pending, or the
     /// message exceeds one page.
-    pub fn send(
+    pub fn send<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         id: ChannelId,
         from: DomainId,
         bytes: u64,
@@ -160,9 +160,9 @@ impl IpcTable {
     ///
     /// Fails if the caller is not the *other* endpoint or nothing is
     /// pending.
-    pub fn recv(
+    pub fn recv<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         id: ChannelId,
         to: DomainId,
     ) -> Result<(u64, u64), IpcError> {
@@ -179,12 +179,15 @@ impl IpcTable {
         let bytes = channel.pending;
         channel.pending = 0;
         let buffer = channel.buffer;
-        Ok((bytes, cost::TRAP_ROUND_TRIP + Self::copy_cost(machine, buffer, bytes)))
+        Ok((
+            bytes,
+            cost::TRAP_ROUND_TRIP + Self::copy_cost(machine, buffer, bytes),
+        ))
     }
 
     /// Prices the buffer copy as real memory traffic (M-mode copies via
     /// physical addresses; the monitor is exempt from HPMP checks).
-    fn copy_cost(machine: &mut Machine, buffer: PhysAddr, bytes: u64) -> u64 {
+    fn copy_cost<S: TraceSink>(machine: &mut Machine<S>, buffer: PhysAddr, bytes: u64) -> u64 {
         let mut cycles = 0;
         let lines = bytes.div_ceil(64).max(1);
         for i in 0..lines {
@@ -206,7 +209,10 @@ impl IpcTable {
     }
 
     fn channel_mut(&mut self, id: ChannelId) -> Result<&mut Channel, IpcError> {
-        self.channels.iter_mut().find(|c| c.id == id).ok_or(IpcError::NoSuchChannel(id))
+        self.channels
+            .iter_mut()
+            .find(|c| c.id == id)
+            .ok_or(IpcError::NoSuchChannel(id))
     }
 }
 
@@ -217,9 +223,9 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails for unknown domains or exhausted memory.
-    pub fn alloc_shared_buffer(
+    pub fn alloc_shared_buffer<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         a: DomainId,
         b: DomainId,
         len: u64,
@@ -254,15 +260,21 @@ mod tests {
     fn boot() -> (Machine, SecureMonitor, IpcTable, DomainId, DomainId) {
         let mut machine = Machine::new(MachineConfig::rocket());
         let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM);
-        let (a, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
-        let (b, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let (a, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let (b, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
         (machine, monitor, IpcTable::new(), a, b)
     }
 
     #[test]
     fn round_trip_message() {
         let (mut machine, mut monitor, mut ipc, a, b) = boot();
-        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        let (ch, _) = ipc
+            .create(&mut machine, &mut monitor, a, b)
+            .expect("create");
         let send_cost = ipc.send(&mut machine, ch, a, 256).expect("send");
         assert!(send_cost > 0);
         let (bytes, recv_cost) = ipc.recv(&mut machine, ch, b).expect("recv");
@@ -275,7 +287,9 @@ mod tests {
     #[test]
     fn single_slot_backpressure() {
         let (mut machine, mut monitor, mut ipc, a, b) = boot();
-        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        let (ch, _) = ipc
+            .create(&mut machine, &mut monitor, a, b)
+            .expect("create");
         ipc.send(&mut machine, ch, a, 64).expect("first send");
         assert_eq!(ipc.send(&mut machine, ch, b, 64), Err(IpcError::Busy));
         ipc.recv(&mut machine, ch, b).expect("drain");
@@ -285,9 +299,16 @@ mod tests {
     #[test]
     fn endpoints_only() {
         let (mut machine, mut monitor, mut ipc, a, b) = boot();
-        let (c, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
-        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
-        assert_eq!(ipc.send(&mut machine, ch, c, 64), Err(IpcError::NotEndpoint(c)));
+        let (c, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let (ch, _) = ipc
+            .create(&mut machine, &mut monitor, a, b)
+            .expect("create");
+        assert_eq!(
+            ipc.send(&mut machine, ch, c, 64),
+            Err(IpcError::NotEndpoint(c))
+        );
         ipc.send(&mut machine, ch, a, 64).expect("send");
         assert_eq!(ipc.recv(&mut machine, ch, c), Err(IpcError::NotEndpoint(c)));
         // The sender cannot receive its own message.
@@ -298,14 +319,23 @@ mod tests {
     fn buffer_granted_to_both_endpoints_only() {
         use hpmp_memsim::PrivMode;
         let (mut machine, mut monitor, mut ipc, a, b) = boot();
-        let (c, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
-        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
+        let (c, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let (ch, _) = ipc
+            .create(&mut machine, &mut monitor, a, b)
+            .expect("create");
         let buffer = ipc.channels()[0].buffer;
         let mut cache = hpmp_core::PmptwCache::disabled();
         for (domain, expect) in [(a, true), (b, true), (c, false)] {
             monitor.switch_to(&mut machine, domain).expect("switch");
-            let out = machine.regs().check(machine.phys(), &mut cache, buffer,
-                                           AccessKind::Write, PrivMode::Supervisor);
+            let out = machine.regs().check(
+                machine.phys(),
+                &mut cache,
+                buffer,
+                AccessKind::Write,
+                PrivMode::Supervisor,
+            );
             assert_eq!(out.allowed, expect, "domain {domain} buffer access");
         }
         let _ = ch;
@@ -314,8 +344,12 @@ mod tests {
     #[test]
     fn oversized_message_rejected() {
         let (mut machine, mut monitor, mut ipc, a, b) = boot();
-        let (ch, _) = ipc.create(&mut machine, &mut monitor, a, b).expect("create");
-        assert_eq!(ipc.send(&mut machine, ch, a, PAGE_SIZE + 1),
-                   Err(IpcError::TooLarge(PAGE_SIZE + 1)));
+        let (ch, _) = ipc
+            .create(&mut machine, &mut monitor, a, b)
+            .expect("create");
+        assert_eq!(
+            ipc.send(&mut machine, ch, a, PAGE_SIZE + 1),
+            Err(IpcError::TooLarge(PAGE_SIZE + 1))
+        );
     }
 }

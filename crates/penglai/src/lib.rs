@@ -24,8 +24,8 @@ pub use gms::{Gms, GmsLabel};
 pub use ipc::{Channel, ChannelId, IpcError, IpcTable};
 pub use merkle::{IntegrityError, MerkleTree, SUBTREE_PAGES};
 pub use monitor::{cost, DomainId, MonitorError, MonitorStats, SecureMonitor, TeeFlavor};
-pub use sdk::{CallError, EnclaveSdk};
 pub use os::{
     HintId, OsError, OsStats, Pid, PtPlacement, RegionHint, SimOs, KERNEL_DIRECT_MAP,
     USER_CODE_BASE, USER_HEAP_BASE,
 };
+pub use sdk::{CallError, EnclaveSdk};

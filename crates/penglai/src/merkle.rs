@@ -97,7 +97,10 @@ impl MerkleTree {
     ///
     /// Panics if `base` is not page aligned or `pages` is zero.
     pub fn build(mem: &PhysMem, base: PhysAddr, pages: u64) -> MerkleTree {
-        assert!(base.is_aligned(PAGE_SIZE), "merkle base must be page aligned");
+        assert!(
+            base.is_aligned(PAGE_SIZE),
+            "merkle base must be page aligned"
+        );
         assert!(pages > 0, "empty merkle region");
         let subtrees = pages.div_ceil(SUBTREE_PAGES);
         let mut subtree_roots = Vec::with_capacity(subtrees as usize);
@@ -106,7 +109,13 @@ impl MerkleTree {
             subtree_roots.push(Self::fold_subtree(&leaves));
         }
         let root = hash_children(&subtree_roots);
-        MerkleTree { base, pages, subtree_roots, mounted: HashMap::new(), root }
+        MerkleTree {
+            base,
+            pages,
+            subtree_roots,
+            mounted: HashMap::new(),
+            root,
+        }
     }
 
     /// The current root hash — what the monitor keeps in its private
@@ -124,7 +133,11 @@ impl MerkleTree {
     /// leaves) — the quantity the mountable design keeps small.
     pub fn resident_metadata_bytes(&self) -> u64 {
         8 + self.subtree_roots.len() as u64 * 8
-            + self.mounted.values().map(|v| v.len() as u64 * 8).sum::<u64>()
+            + self
+                .mounted
+                .values()
+                .map(|v| v.len() as u64 * 8)
+                .sum::<u64>()
     }
 
     /// Mounts the subtree covering `addr`, re-hashing its pages and
@@ -166,8 +179,10 @@ impl MerkleTree {
     /// Fails if the subtree is not mounted or the page was tampered with.
     pub fn verify_page(&self, mem: &PhysMem, addr: PhysAddr) -> Result<(), IntegrityError> {
         let s = self.subtree_of(addr)?;
-        let leaves =
-            self.mounted.get(&s).ok_or(IntegrityError::NotMounted(addr.page_base()))?;
+        let leaves = self
+            .mounted
+            .get(&s)
+            .ok_or(IntegrityError::NotMounted(addr.page_base()))?;
         let page_idx = (addr.page_number() - self.base.page_number()) % SUBTREE_PAGES;
         let page_base = addr.page_base();
         if hash_page(mem, page_base) != leaves[page_idx as usize] {
@@ -184,8 +199,10 @@ impl MerkleTree {
     /// Fails if the subtree is not mounted or the address is out of range.
     pub fn update_page(&mut self, mem: &PhysMem, addr: PhysAddr) -> Result<(), IntegrityError> {
         let s = self.subtree_of(addr)?;
-        let leaves =
-            self.mounted.get_mut(&s).ok_or(IntegrityError::NotMounted(addr.page_base()))?;
+        let leaves = self
+            .mounted
+            .get_mut(&s)
+            .ok_or(IntegrityError::NotMounted(addr.page_base()))?;
         let page_idx = (addr.page_number() - self.base.page_number()) % SUBTREE_PAGES;
         leaves[page_idx as usize] = hash_page(mem, addr.page_base());
         self.subtree_roots[s as usize] = Self::fold_subtree(leaves);
@@ -213,8 +230,7 @@ impl MerkleTree {
     /// Folds a subtree's leaves through one ARITY-way level and then to a
     /// single hash.
     fn fold_subtree(leaves: &[u64]) -> u64 {
-        let level: Vec<u64> =
-            leaves.chunks(ARITY as usize).map(hash_children).collect();
+        let level: Vec<u64> = leaves.chunks(ARITY as usize).map(hash_children).collect();
         hash_children(&level)
     }
 }
@@ -252,8 +268,10 @@ mod tests {
         tree.mount(&mem, victim).expect("mount");
         // A physical attacker flips a word directly.
         mem.write_u64(victim + 0x100, 0xdead_beef);
-        assert_eq!(tree.verify_page(&mem, victim),
-                   Err(IntegrityError::TamperDetected(victim)));
+        assert_eq!(
+            tree.verify_page(&mem, victim),
+            Err(IntegrityError::TamperDetected(victim))
+        );
     }
 
     #[test]
@@ -262,8 +280,10 @@ mod tests {
         let victim = PhysAddr::new(BASE.raw() + 3 * PAGE_SIZE);
         // Tamper while unmounted: the subtree top hash catches it on mount.
         mem.write_u64(victim, 42);
-        assert!(matches!(tree.mount(&mem, victim),
-                         Err(IntegrityError::TamperDetected(_))));
+        assert!(matches!(
+            tree.mount(&mem, victim),
+            Err(IntegrityError::TamperDetected(_))
+        ));
     }
 
     #[test]
@@ -285,7 +305,7 @@ mod tests {
     #[test]
     fn unmounted_metadata_is_small() {
         let (_, tree) = fixture(1024); // 4 MiB protected
-        // 16 subtree hashes + root = 136 bytes while nothing is mounted.
+                                       // 16 subtree hashes + root = 136 bytes while nothing is mounted.
         assert_eq!(tree.mounted_count(), 0);
         assert_eq!(tree.resident_metadata_bytes(), 8 + 16 * 8);
     }
@@ -294,15 +314,22 @@ mod tests {
     fn out_of_range_rejected() {
         let (mem, mut tree) = fixture(16);
         let outside = PhysAddr::new(BASE.raw() + 64 * PAGE_SIZE);
-        assert!(matches!(tree.mount(&mem, outside), Err(IntegrityError::OutOfRange(_))));
-        assert!(matches!(tree.verify_page(&mem, outside),
-                         Err(IntegrityError::OutOfRange(_))));
+        assert!(matches!(
+            tree.mount(&mem, outside),
+            Err(IntegrityError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            tree.verify_page(&mem, outside),
+            Err(IntegrityError::OutOfRange(_))
+        ));
     }
 
     #[test]
     fn verify_requires_mount() {
         let (mem, tree) = fixture(16);
-        assert!(matches!(tree.verify_page(&mem, BASE),
-                         Err(IntegrityError::NotMounted(_))));
+        assert!(matches!(
+            tree.verify_page(&mem, BASE),
+            Err(IntegrityError::NotMounted(_))
+        ));
     }
 }

@@ -23,6 +23,7 @@ use hpmp_core::{
 };
 use hpmp_machine::Machine;
 use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, PAGE_SIZE};
+use hpmp_trace::{TraceSink, World};
 
 use crate::gms::{Gms, GmsLabel};
 
@@ -174,7 +175,11 @@ impl SecureMonitor {
     /// # Panics
     ///
     /// Panics if `ram` is not NAPOT-encodable or smaller than 128 MiB.
-    pub fn boot(machine: &mut Machine, flavor: TeeFlavor, ram: PmpRegion) -> SecureMonitor {
+    pub fn boot<S: TraceSink>(
+        machine: &mut Machine<S>,
+        flavor: TeeFlavor,
+        ram: PmpRegion,
+    ) -> SecureMonitor {
         assert!(ram.is_napot(), "RAM must be NAPOT-encodable");
         assert!(ram.size >= 128 << 20, "need at least 128 MiB of RAM");
         let monitor_region = PmpRegion::new(ram.base, 4 << 20);
@@ -206,25 +211,36 @@ impl SecureMonitor {
         };
 
         // The host domain starts owning all remaining memory as one slow GMS.
-        let host_region =
-            PmpRegion::new(region_base, ram.end().raw() - region_base.raw());
-        let mut host = Domain { id: DomainId::HOST, gmss: Vec::new(), table: None };
+        let host_region = PmpRegion::new(region_base, ram.end().raw() - region_base.raw());
+        let mut host = Domain {
+            id: DomainId::HOST,
+            gmss: Vec::new(),
+            table: None,
+        };
         if flavor != TeeFlavor::PenglaiPmp {
-            let mut table = PmpTable::new(monitor.ram, machine.phys_mut(),
-                                          &mut monitor.table_frames)
-                .expect("host table");
+            let mut table =
+                PmpTable::new(monitor.ram, machine.phys_mut(), &mut monitor.table_frames)
+                    .expect("host table");
             let writes = table
-                .set_range_perm(machine.phys_mut(), &mut monitor.table_frames,
-                                host_region.base, host_region.size, Perms::RWX,
-                                FillPolicy::HugeWhenAligned)
+                .set_range_perm(
+                    machine.phys_mut(),
+                    &mut monitor.table_frames,
+                    host_region.base,
+                    host_region.size,
+                    Perms::RWX,
+                    FillPolicy::HugeWhenAligned,
+                )
                 .expect("host grant");
             monitor.stats.table_writes += writes;
             host.table = Some(table);
         }
-        host.gmss.push(Gms::new(host_region, Perms::RWX, GmsLabel::Slow));
+        host.gmss
+            .push(Gms::new(host_region, Perms::RWX, GmsLabel::Slow));
         monitor.domains.push(host);
 
-        monitor.program_current(machine).expect("initial programming");
+        monitor
+            .program_current(machine)
+            .expect("initial programming");
         monitor
     }
 
@@ -269,20 +285,23 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails when memory or (for the PMP flavour) segment entries run out.
-    pub fn create_domain(
+    pub fn create_domain<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         initial_size: u64,
         label: GmsLabel,
     ) -> Result<(DomainId, u64), MonitorError> {
         let id = DomainId(self.next_id);
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
 
-        let mut domain = Domain { id, gmss: Vec::new(), table: None };
+        let mut domain = Domain {
+            id,
+            gmss: Vec::new(),
+            table: None,
+        };
         if self.flavor != TeeFlavor::PenglaiPmp {
-            let table =
-                PmpTable::new(self.ram, machine.phys_mut(), &mut self.table_frames)
-                    .map_err(|_| MonitorError::OutOfMemory)?;
+            let table = PmpTable::new(self.ram, machine.phys_mut(), &mut self.table_frames)
+                .map_err(|_| MonitorError::OutOfMemory)?;
             domain.table = Some(table);
         }
         self.domains.push(domain);
@@ -313,9 +332,9 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails for unknown domains or the host.
-    pub fn destroy_domain(
+    pub fn destroy_domain<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         id: DomainId,
     ) -> Result<u64, MonitorError> {
         if id == DomainId::HOST {
@@ -348,9 +367,9 @@ impl SecureMonitor {
     ///
     /// Fails when memory runs out, the domain is unknown, or (PMP flavour)
     /// the per-domain segment budget is exhausted.
-    pub fn alloc_region(
+    pub fn alloc_region<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         domain: DomainId,
         size: u64,
         label: GmsLabel,
@@ -430,9 +449,9 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails if the region is not owned by the domain.
-    pub fn free_region(
+    pub fn free_region<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         domain: DomainId,
         base: PhysAddr,
     ) -> Result<u64, MonitorError> {
@@ -485,9 +504,9 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails if the region is not owned by the domain.
-    pub fn relabel(
+    pub fn relabel<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         domain: DomainId,
         base: PhysAddr,
         label: GmsLabel,
@@ -497,8 +516,11 @@ impl SecureMonitor {
             .iter_mut()
             .find(|d| d.id == domain)
             .ok_or(MonitorError::NoSuchDomain(domain))?;
-        let gms =
-            d.gmss.iter_mut().find(|g| g.region.base == base).ok_or(MonitorError::NotOwned)?;
+        let gms = d
+            .gmss
+            .iter_mut()
+            .find(|g| g.region.base == base)
+            .ok_or(MonitorError::NotOwned)?;
         gms.label = label;
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
         if self.current == domain {
@@ -537,9 +559,9 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails for unknown domains.
-    pub(crate) fn grant_in_domain_table(
+    pub(crate) fn grant_in_domain_table<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         domain: DomainId,
         region: PmpRegion,
         perms: Perms,
@@ -578,9 +600,9 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails for unknown domains.
-    pub fn assign_device(
+    pub fn assign_device<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         device: DeviceId,
         domain: DomainId,
     ) -> Result<u64, MonitorError> {
@@ -593,7 +615,11 @@ impl SecureMonitor {
     }
 
     /// Revokes a DMA initiator's assignment (back to no access).
-    pub fn revoke_device(&mut self, machine: &mut Machine, device: DeviceId) -> u64 {
+    pub fn revoke_device<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        device: DeviceId,
+    ) -> u64 {
         self.devices.retain(|(d, _)| *d != device);
         let cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING + self.sync_iopmp(machine);
         self.stats.cycles += cycles;
@@ -603,12 +629,14 @@ impl SecureMonitor {
     /// Rebuilds the IOPMP entry list from device ownership. DMA is
     /// asynchronous, so entries reflect *ownership*, not the scheduled
     /// domain; every mutation of a device-owning domain's memory re-syncs.
-    fn sync_iopmp(&mut self, machine: &mut Machine) -> u64 {
+    fn sync_iopmp<S: TraceSink>(&mut self, machine: &mut Machine<S>) -> u64 {
         let _ = &machine;
         let mut iopmp = IoPmp::new();
         let mut writes = 0u64;
         for (device, domain) in &self.devices {
-            let Some(d) = self.domains.iter().find(|d| d.id == *domain) else { continue };
+            let Some(d) = self.domains.iter().find(|d| d.id == *domain) else {
+                continue;
+            };
             match (&d.table, self.flavor) {
                 (Some(table), TeeFlavor::PenglaiPmpt | TeeFlavor::PenglaiHpmp) => {
                     // One table-mode entry: the domain's permission table is
@@ -669,9 +697,9 @@ impl SecureMonitor {
     ///
     /// Fails if the flavour is not HPMP, the region is not contained in a
     /// GMS the domain owns, or it is already labelled.
-    pub fn label_subregion(
+    pub fn label_subregion<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         domain: DomainId,
         region: PmpRegion,
         label: GmsLabel,
@@ -688,8 +716,7 @@ impl SecureMonitor {
             .gmss
             .iter()
             .find(|g| {
-                g.region.base <= region.base && g.region.end() >= region.end()
-                    && g.region != region
+                g.region.base <= region.base && g.region.end() >= region.end() && g.region != region
             })
             .copied()
             .ok_or(MonitorError::NotOwned)?;
@@ -712,9 +739,9 @@ impl SecureMonitor {
     /// # Errors
     ///
     /// Fails if the exact region is not a labelled sub-GMS of the domain.
-    pub fn unlabel_subregion(
+    pub fn unlabel_subregion<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         domain: DomainId,
         region: PmpRegion,
     ) -> Result<u64, MonitorError> {
@@ -746,13 +773,19 @@ impl SecureMonitor {
     ///
     /// Fails for unknown domains, or for the PMP flavour when the target's
     /// allow-list does not fit the register file.
-    pub fn switch_to(
+    pub fn switch_to<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         target: DomainId,
     ) -> Result<u64, MonitorError> {
         self.domain(target)?;
         self.current = target;
+        // Tag subsequent trace events with the world we switched into.
+        machine.set_world(if target == DomainId::HOST {
+            World::Host
+        } else {
+            World::Enclave
+        });
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
         cycles += self.program_current(machine)?;
         machine.sfence_vma_all();
@@ -763,7 +796,10 @@ impl SecureMonitor {
     }
 
     /// Reprograms the register file for the current domain. Returns cycles.
-    fn program_current(&mut self, machine: &mut Machine) -> Result<u64, MonitorError> {
+    fn program_current<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+    ) -> Result<u64, MonitorError> {
         let before = machine.regs().csr_writes();
         let current = self.current;
         let flavor = self.flavor;
@@ -797,27 +833,37 @@ impl SecureMonitor {
                         return Err(MonitorError::OutOfPmpEntries);
                     }
                     for region in enclaves {
-                        machine
-                            .regs_mut()
-                            .configure_segment(next, napot_superset(region), Perms::NONE)?;
+                        machine.regs_mut().configure_segment(
+                            next,
+                            napot_superset(region),
+                            Perms::NONE,
+                        )?;
                         next += 1;
                     }
                     for region in host {
-                        machine
-                            .regs_mut()
-                            .configure_segment(next, napot_superset(region), Perms::RWX)?;
+                        machine.regs_mut().configure_segment(
+                            next,
+                            napot_superset(region),
+                            Perms::RWX,
+                        )?;
                         next += 1;
                     }
                 } else {
-                    let regions: Vec<PmpRegion> =
-                        self.domain(current)?.gmss.iter().map(|g| g.region).collect();
+                    let regions: Vec<PmpRegion> = self
+                        .domain(current)?
+                        .gmss
+                        .iter()
+                        .map(|g| g.region)
+                        .collect();
                     if 1 + regions.len() > machine.regs().len() {
                         return Err(MonitorError::OutOfPmpEntries);
                     }
                     for region in regions {
-                        machine
-                            .regs_mut()
-                            .configure_segment(next, napot_superset(region), Perms::RWX)?;
+                        machine.regs_mut().configure_segment(
+                            next,
+                            napot_superset(region),
+                            Perms::RWX,
+                        )?;
                         next += 1;
                     }
                 }
@@ -836,12 +882,15 @@ impl SecureMonitor {
                         if next + 2 >= machine.regs().len() || !gms.segment_compatible() {
                             continue; // cache-like: fall back to the table
                         }
-                        machine.regs_mut().configure_segment(next, gms.region, gms.perms)?;
+                        machine
+                            .regs_mut()
+                            .configure_segment(next, gms.region, gms.perms)?;
                         next += 1;
                     }
                 }
-                machine.regs_mut().configure_table(next, self.ram, root,
-                                                   TableLevels::Two)?;
+                machine
+                    .regs_mut()
+                    .configure_table(next, self.ram, root, TableLevels::Two)?;
             }
         }
 
@@ -851,9 +900,9 @@ impl SecureMonitor {
     }
 
     /// Grants or revokes a region in the host's table.
-    fn grant_in_host_table(
+    fn grant_in_host_table<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         region: PmpRegion,
         perms: Perms,
     ) -> Result<u64, MonitorError> {
@@ -892,7 +941,10 @@ impl SecureMonitor {
     }
 
     fn domain(&self, id: DomainId) -> Result<&Domain, MonitorError> {
-        self.domains.iter().find(|d| d.id == id).ok_or(MonitorError::NoSuchDomain(id))
+        self.domains
+            .iter()
+            .find(|d| d.id == id)
+            .ok_or(MonitorError::NoSuchDomain(id))
     }
 }
 
@@ -933,12 +985,15 @@ mod tests {
 
     #[test]
     fn create_and_switch_domains() {
-        for flavor in
-            [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp]
-        {
+        for flavor in [
+            TeeFlavor::PenglaiPmp,
+            TeeFlavor::PenglaiPmpt,
+            TeeFlavor::PenglaiHpmp,
+        ] {
             let (mut machine, mut monitor) = boot(flavor);
-            let (id, _) =
-                monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+            let (id, _) = monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .unwrap();
             let cycles = monitor.switch_to(&mut machine, id).unwrap();
             assert!(cycles > 0);
             assert_eq!(monitor.current(), id);
@@ -950,15 +1005,22 @@ mod tests {
     #[test]
     fn switch_cost_stable_in_domain_count() {
         let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
-        let (first, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let (first, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
         let cost_2 = monitor.switch_to(&mut machine, first).unwrap();
         for _ in 0..99 {
-            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+            monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .unwrap();
         }
         assert_eq!(monitor.domain_count(), 101);
         let cost_101 = monitor.switch_to(&mut machine, first).unwrap();
         let ratio = cost_101 as f64 / cost_2 as f64;
-        assert!((0.99..=1.01).contains(&ratio), "switch cost must be stable: {ratio}");
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "switch cost must be stable: {ratio}"
+        );
     }
 
     #[test]
@@ -980,7 +1042,9 @@ mod tests {
     fn hpmp_supports_over_100_domains() {
         let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
         for _ in 0..100 {
-            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+            monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .unwrap();
         }
         assert_eq!(monitor.domain_count(), 101);
     }
@@ -990,15 +1054,17 @@ mod tests {
         let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiPmp);
         let mut allocated = 0;
         loop {
-            match monitor.alloc_region(&mut machine, DomainId::HOST, 64 * 1024,
-                                       GmsLabel::Slow) {
+            match monitor.alloc_region(&mut machine, DomainId::HOST, 64 * 1024, GmsLabel::Slow) {
                 Ok(_) => allocated += 1,
                 Err(MonitorError::OutOfPmpEntries) => break,
                 Err(e) => panic!("unexpected error: {e}"),
             }
             assert!(allocated < 64);
         }
-        assert!(allocated <= 14, "PMP flavour regions bounded by entries: {allocated}");
+        assert!(
+            allocated <= 14,
+            "PMP flavour regions bounded by entries: {allocated}"
+        );
     }
 
     #[test]
@@ -1019,8 +1085,13 @@ mod tests {
             .alloc_region(&mut machine, DomainId::HOST, 64 * 1024, GmsLabel::Slow)
             .unwrap();
         let before = monitor.regions_of(DomainId::HOST).unwrap().len();
-        monitor.free_region(&mut machine, DomainId::HOST, region.base).unwrap();
-        assert_eq!(monitor.regions_of(DomainId::HOST).unwrap().len(), before - 1);
+        monitor
+            .free_region(&mut machine, DomainId::HOST, region.base)
+            .unwrap();
+        assert_eq!(
+            monitor.regions_of(DomainId::HOST).unwrap().len(),
+            before - 1
+        );
         assert_eq!(
             monitor.free_region(&mut machine, DomainId::HOST, region.base),
             Err(MonitorError::NotOwned)
@@ -1046,7 +1117,9 @@ mod tests {
     #[test]
     fn destroy_returns_memory_to_host() {
         let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
-        let (id, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let (id, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
         monitor.switch_to(&mut machine, id).unwrap();
         monitor.destroy_domain(&mut machine, id).unwrap();
         assert_eq!(monitor.current(), DomainId::HOST);
@@ -1064,8 +1137,14 @@ mod tests {
             .alloc_region(&mut machine, DomainId::HOST, 1 << 20, GmsLabel::Slow)
             .unwrap();
         let writes_before = monitor.stats().table_writes;
-        monitor.relabel(&mut machine, DomainId::HOST, region.base, GmsLabel::Fast).unwrap();
-        assert_eq!(monitor.stats().table_writes, writes_before, "no table writes on relabel");
+        monitor
+            .relabel(&mut machine, DomainId::HOST, region.base, GmsLabel::Fast)
+            .unwrap();
+        assert_eq!(
+            monitor.stats().table_writes,
+            writes_before,
+            "no table writes on relabel"
+        );
         // And the fast GMS now occupies a segment entry.
         let seg = machine.regs().entry_region(1);
         assert_eq!(seg.map(|r| r.base), Some(region.base));

@@ -15,6 +15,7 @@ use hpmp_core::PmpRegion;
 use hpmp_machine::{Fault, Machine};
 use hpmp_memsim::{AccessKind, Perms, PhysAddr, PrivMode, VirtAddr, PAGE_SIZE};
 use hpmp_paging::{AddressSpace, MapError, PtFrameSource, TranslationMode};
+use hpmp_trace::TraceSink;
 
 use crate::gms::GmsLabel;
 use crate::monitor::{DomainId, SecureMonitor};
@@ -56,7 +57,10 @@ impl std::fmt::Display for OsError {
             OsError::Map(e) => write!(f, "mapping failed: {e}"),
             OsError::Access(e) => write!(f, "access faulted: {e}"),
             OsError::BadHintRange(va) => {
-                write!(f, "hint range at {va} unmapped or not physically contiguous")
+                write!(
+                    f,
+                    "hint range at {va} unmapped or not physically contiguous"
+                )
             }
             OsError::NoSuchHint(id) => write!(f, "no such hint {id:?}"),
             OsError::Monitor(e) => write!(f, "monitor rejected hint: {e}"),
@@ -138,7 +142,12 @@ struct PtPool {
 #[derive(Debug)]
 enum PtSource {
     Contiguous(hpmp_memsim::FrameAllocator),
-    Scattered { base: PhysAddr, stride: u64, next: u64, limit: u64 },
+    Scattered {
+        base: PhysAddr,
+        stride: u64,
+        next: u64,
+        limit: u64,
+    },
 }
 
 impl PtPool {
@@ -154,7 +163,12 @@ impl PtFrameSource for PtPool {
         }
         match &mut self.source {
             PtSource::Contiguous(alloc) => alloc.alloc(),
-            PtSource::Scattered { base, stride, next, limit } => {
+            PtSource::Scattered {
+                base,
+                stride,
+                next,
+                limit,
+            } => {
                 if *next >= *limit {
                     return None;
                 }
@@ -212,8 +226,8 @@ impl SimOs {
     /// # Panics
     ///
     /// Panics if the region is smaller than 64 MiB (fixture misuse).
-    pub fn boot(
-        machine: &mut Machine,
+    pub fn boot<S: TraceSink>(
+        machine: &mut Machine<S>,
         ram_base: PhysAddr,
         ram_size: u64,
         placement: PtPlacement,
@@ -241,8 +255,8 @@ impl SimOs {
     /// # Panics
     ///
     /// Panics if the regions fall outside the direct map.
-    pub fn boot_with_layout(
-        machine: &mut Machine,
+    pub fn boot_with_layout<S: TraceSink>(
+        machine: &mut Machine<S>,
         ram_base: PhysAddr,
         ram_size: u64,
         (pool_base, pool_size): (PhysAddr, u64),
@@ -267,7 +281,10 @@ impl SimOs {
                 limit: (data_size / 4) / stride,
             },
         };
-        let mut pt_pool = PtPool { source, free: Vec::new() };
+        let mut pt_pool = PtPool {
+            source,
+            free: Vec::new(),
+        };
 
         // Kernel space (ASID 0): direct-map RAM with 2 MiB huge pages.
         let mut kernel_space =
@@ -353,7 +370,11 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails when frames run out or an internal access faults.
-    pub fn spawn(&mut self, machine: &mut Machine, code_pages: u64) -> Result<(Pid, u64), OsError> {
+    pub fn spawn<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        code_pages: u64,
+    ) -> Result<(Pid, u64), OsError> {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         let asid = self.alloc_asid(machine);
@@ -387,8 +408,14 @@ impl SimOs {
         let stack_frame = self.alloc_data_frame().ok_or(OsError::OutOfMemory)?;
         let before = space.pt_pages().len();
         let stack_va = VirtAddr::new(0x7f_ffff_f000);
-        space.map_page(machine.phys_mut(), &mut self.pt_pool, stack_va, stack_frame,
-                       Perms::RW, true)?;
+        space.map_page(
+            machine.phys_mut(),
+            &mut self.pt_pool,
+            stack_va,
+            stack_frame,
+            Perms::RW,
+            true,
+        )?;
         cycles += self.price_new_pt_pages(machine, &space, before)?;
         cycles += self.price_pte_install(machine, &space)?;
         mapped.push(stack_va);
@@ -412,7 +439,11 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails for unknown pids or exhausted frames.
-    pub fn fork(&mut self, machine: &mut Machine, parent: Pid) -> Result<(Pid, u64), OsError> {
+    pub fn fork<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        parent: Pid,
+    ) -> Result<(Pid, u64), OsError> {
         let parent_idx = self
             .processes
             .iter()
@@ -445,8 +476,19 @@ impl SimOs {
             let before = space.pt_pages().len();
             // Copy-on-write: share the frame read-only; the COW set records
             // which pages may be upgraded back to RW on a write fault.
-            let shared = if perms.can_write() { Perms::READ } else { *perms };
-            space.map_page(machine.phys_mut(), &mut self.pt_pool, *va, *frame, shared, true)?;
+            let shared = if perms.can_write() {
+                Perms::READ
+            } else {
+                *perms
+            };
+            space.map_page(
+                machine.phys_mut(),
+                &mut self.pt_pool,
+                *va,
+                *frame,
+                shared,
+                true,
+            )?;
             cycles += self.price_new_pt_pages(machine, &space, before)?;
             cycles += self.price_pte_install(machine, &space)?;
         }
@@ -485,7 +527,11 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails for unknown pids.
-    pub fn exit(&mut self, machine: &mut Machine, pid: Pid) -> Result<u64, OsError> {
+    pub fn exit<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        pid: Pid,
+    ) -> Result<u64, OsError> {
         let idx = self
             .processes
             .iter()
@@ -496,8 +542,12 @@ impl SimOs {
         let mut cycles = machine.run_compute(800);
         for page in process.space.pt_pages() {
             let va = self.kernel_va(*page);
-            let out = machine
-                .access(&self.kernel_space, va, AccessKind::Read, PrivMode::Supervisor)?;
+            let out = machine.access(
+                &self.kernel_space,
+                va,
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )?;
             cycles += out.cycles;
             self.pt_pool.recycle(*page);
         }
@@ -533,7 +583,7 @@ impl SimOs {
     /// Hands out the next ASID; on 16-bit rollover the kernel must flush
     /// all non-global translations before reusing identifiers (the classic
     /// ASID-generation scheme, conservatively modelled as a full fence).
-    fn alloc_asid(&mut self, machine: &mut Machine) -> u16 {
+    fn alloc_asid<S: TraceSink>(&mut self, machine: &mut Machine<S>) -> u16 {
         let asid = self.next_asid;
         let (next, wrapped) = self.next_asid.overflowing_add(1);
         self.next_asid = next.max(1);
@@ -551,9 +601,9 @@ impl SimOs {
     ///
     /// Fails for unknown pids; unmapped pages within the range are skipped
     /// (as `munmap` does).
-    pub fn munmap(
+    pub fn munmap<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pid: Pid,
         va: VirtAddr,
         pages: u64,
@@ -566,7 +616,9 @@ impl SimOs {
         let mut cycles = machine.run_compute(300);
         for i in 0..pages {
             let page_va = VirtAddr::new(va.page_base().raw() + i * PAGE_SIZE);
-            let Some(old) = self.processes[idx].space.unmap_page(machine.phys_mut(), page_va)
+            let Some(old) = self.processes[idx]
+                .space
+                .unmap_page(machine.phys_mut(), page_va)
             else {
                 continue;
             };
@@ -595,9 +647,9 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails for unknown pids or exhausted frames.
-    pub fn mmap(
+    pub fn mmap<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pid: Pid,
         pages: u64,
     ) -> Result<u64, OsError> {
@@ -612,8 +664,14 @@ impl SimOs {
             let heap_pages = self.processes[idx].heap_pages;
             let va = VirtAddr::new(USER_HEAP_BASE + heap_pages * PAGE_SIZE);
             let before = self.processes[idx].space.pt_pages().len();
-            self.processes[idx].space.map_page(machine.phys_mut(), &mut self.pt_pool, va,
-                                               frame, Perms::RW, true)?;
+            self.processes[idx].space.map_page(
+                machine.phys_mut(),
+                &mut self.pt_pool,
+                va,
+                frame,
+                Perms::RW,
+                true,
+            )?;
             let space_ref = &self.processes[idx].space;
             cycles += Self::price_new_pt_pages_inner(
                 machine,
@@ -662,9 +720,9 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails for unknown pids or unmapped pages.
-    pub fn mprotect(
+    pub fn mprotect<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pid: Pid,
         va: VirtAddr,
         perms: Perms,
@@ -694,9 +752,9 @@ impl SimOs {
     /// # Errors
     ///
     /// Propagates faults the handlers do not recognise.
-    pub fn user_access_faulting(
+    pub fn user_access_faulting<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pid: Pid,
         va: VirtAddr,
         kind: AccessKind,
@@ -716,9 +774,9 @@ impl SimOs {
     }
 
     /// Demand-paging handler: the faulting page must lie in a lazy region.
-    fn handle_demand_fault(
+    fn handle_demand_fault<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pid: Pid,
         va: VirtAddr,
     ) -> Result<u64, OsError> {
@@ -728,8 +786,7 @@ impl SimOs {
             .position(|p| p.pid == pid)
             .ok_or(OsError::NoSuchProcess(pid))?;
         let covered = self.processes[idx].lazy.iter().any(|(base, pages)| {
-            va.page_number() >= base.page_number()
-                && va.page_number() < base.page_number() + pages
+            va.page_number() >= base.page_number() && va.page_number() < base.page_number() + pages
         });
         if !covered {
             return Err(OsError::Access(Fault::PageFault(va)));
@@ -737,24 +794,39 @@ impl SimOs {
         let mut cycles = machine.run_compute(500); // trap + vma lookup
         let frame = self.alloc_data_frame().ok_or(OsError::OutOfMemory)?;
         let before = self.processes[idx].space.pt_pages().len();
-        self.processes[idx]
-            .space
-            .map_page(machine.phys_mut(), &mut self.pt_pool, va.page_base(), frame,
-                      Perms::RW, true)?;
+        self.processes[idx].space.map_page(
+            machine.phys_mut(),
+            &mut self.pt_pool,
+            va.page_base(),
+            frame,
+            Perms::RW,
+            true,
+        )?;
         let space_ref = &self.processes[idx].space;
-        cycles += Self::price_new_pt_pages_inner(machine, &self.kernel_space, self.ram_base,
-                                                 space_ref, before, &mut self.stats)?;
-        cycles += Self::price_pte_install_inner(machine, &self.kernel_space, self.ram_base,
-                                                space_ref, &mut self.stats)?;
+        cycles += Self::price_new_pt_pages_inner(
+            machine,
+            &self.kernel_space,
+            self.ram_base,
+            space_ref,
+            before,
+            &mut self.stats,
+        )?;
+        cycles += Self::price_pte_install_inner(
+            machine,
+            &self.kernel_space,
+            self.ram_base,
+            space_ref,
+            &mut self.stats,
+        )?;
         self.processes[idx].mapped.push(va.page_base());
         self.stats.kernel_cycles += cycles;
         Ok(cycles)
     }
 
     /// COW handler: copy the shared frame, remap RW.
-    fn handle_cow_fault(
+    fn handle_cow_fault<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pid: Pid,
         va: VirtAddr,
     ) -> Result<u64, OsError> {
@@ -785,18 +857,29 @@ impl SimOs {
             let dst = self.kernel_va(new_frame);
             for line in 0..4u64 {
                 cycles += machine
-                    .access(&self.kernel_space, src + line * 1024, AccessKind::Read,
-                            PrivMode::Supervisor)?
+                    .access(
+                        &self.kernel_space,
+                        src + line * 1024,
+                        AccessKind::Read,
+                        PrivMode::Supervisor,
+                    )?
                     .cycles;
                 cycles += machine
-                    .access(&self.kernel_space, dst + line * 1024, AccessKind::Write,
-                            PrivMode::Supervisor)?
+                    .access(
+                        &self.kernel_space,
+                        dst + line * 1024,
+                        AccessKind::Write,
+                        PrivMode::Supervisor,
+                    )?
                     .cycles;
             }
             cycles += machine.run_compute(PAGE_SIZE / 8);
-            self.processes[idx]
-                .space
-                .remap_page(machine.phys_mut(), va.page_base(), new_frame, Perms::RW);
+            self.processes[idx].space.remap_page(
+                machine.phys_mut(),
+                va.page_base(),
+                new_frame,
+                Perms::RW,
+            );
         } else {
             // Sole owner: upgrade in place.
             self.processes[idx]
@@ -817,7 +900,11 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails for unknown pids.
-    pub fn context_switch(&mut self, machine: &mut Machine, pid: Pid) -> Result<u64, OsError> {
+    pub fn context_switch<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        pid: Pid,
+    ) -> Result<u64, OsError> {
         if !self.processes.iter().any(|p| p.pid == pid) {
             return Err(OsError::NoSuchProcess(pid));
         }
@@ -833,9 +920,9 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails for unknown pids or faulting accesses.
-    pub fn user_access(
+    pub fn user_access<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pid: Pid,
         va: VirtAddr,
         kind: AccessKind,
@@ -854,9 +941,9 @@ impl SimOs {
     /// # Errors
     ///
     /// Propagates access faults.
-    pub fn kernel_access(
+    pub fn kernel_access<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pa: PhysAddr,
         kind: AccessKind,
     ) -> Result<u64, OsError> {
@@ -901,9 +988,9 @@ impl SimOs {
     ///
     /// Fails if the range is unmapped or physically discontiguous, or if
     /// the monitor rejects the label (non-HPMP flavour).
-    pub fn ioctl_hint_create(
+    pub fn ioctl_hint_create<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         monitor: &mut SecureMonitor,
         domain: DomainId,
         pid: Pid,
@@ -949,7 +1036,13 @@ impl SimOs {
 
         let id = HintId(self.next_hint);
         self.next_hint += 1;
-        self.hints.push(RegionHint { id, pid, va, pages, region });
+        self.hints.push(RegionHint {
+            id,
+            pid,
+            va,
+            pages,
+            region,
+        });
         Ok((id, cycles))
     }
 
@@ -958,9 +1051,9 @@ impl SimOs {
     /// # Errors
     ///
     /// Fails for unknown hints.
-    pub fn ioctl_hint_delete(
+    pub fn ioctl_hint_delete<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         monitor: &mut SecureMonitor,
         domain: DomainId,
         id: HintId,
@@ -982,9 +1075,9 @@ impl SimOs {
     /// Prices the kernel stores that zero and link PT pages allocated since
     /// `before` (each new page: a few line-sized stores through the direct
     /// map — priced as 4 representative stores plus compute).
-    fn price_new_pt_pages(
+    fn price_new_pt_pages<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         space: &AddressSpace,
         before: usize,
     ) -> Result<u64, OsError> {
@@ -998,8 +1091,8 @@ impl SimOs {
         )
     }
 
-    fn price_new_pt_pages_inner(
-        machine: &mut Machine,
+    fn price_new_pt_pages_inner<S: TraceSink>(
+        machine: &mut Machine<S>,
         kernel_space: &AddressSpace,
         ram_base: PhysAddr,
         space: &AddressSpace,
@@ -1025,9 +1118,9 @@ impl SimOs {
     }
 
     /// Prices the single PTE store of a leaf install (the deepest PT page).
-    fn price_pte_install(
+    fn price_pte_install<S: TraceSink>(
         &mut self,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         space: &AddressSpace,
     ) -> Result<u64, OsError> {
         Self::price_pte_install_inner(
@@ -1039,8 +1132,8 @@ impl SimOs {
         )
     }
 
-    fn price_pte_install_inner(
-        machine: &mut Machine,
+    fn price_pte_install_inner<S: TraceSink>(
+        machine: &mut Machine<S>,
         kernel_space: &AddressSpace,
         ram_base: PhysAddr,
         space: &AddressSpace,
@@ -1081,7 +1174,12 @@ mod tests {
         assert!(cycles > 0);
         assert_eq!(os.process_count(), 1);
         let cost = os
-            .user_access(&mut machine, pid, VirtAddr::new(USER_CODE_BASE), AccessKind::Read)
+            .user_access(
+                &mut machine,
+                pid,
+                VirtAddr::new(USER_CODE_BASE),
+                AccessKind::Read,
+            )
             .unwrap();
         assert!(cost > 0);
     }
@@ -1094,11 +1192,21 @@ mod tests {
         assert!(cycles > 0);
         assert_ne!(parent, child);
         // The child sees the code pages.
-        os.user_access(&mut machine, child, VirtAddr::new(USER_CODE_BASE), AccessKind::Read)
-            .unwrap();
+        os.user_access(
+            &mut machine,
+            child,
+            VirtAddr::new(USER_CODE_BASE),
+            AccessKind::Read,
+        )
+        .unwrap();
         // The stack became read-only in the child (COW).
         let err = os
-            .user_access(&mut machine, child, VirtAddr::new(0x7f_ffff_f000), AccessKind::Write)
+            .user_access(
+                &mut machine,
+                child,
+                VirtAddr::new(0x7f_ffff_f000),
+                AccessKind::Write,
+            )
             .unwrap_err();
         assert!(matches!(err, OsError::Access(Fault::PtePermission(_))));
     }
@@ -1110,7 +1218,12 @@ mod tests {
         os.exit(&mut machine, pid).unwrap();
         assert_eq!(os.process_count(), 0);
         assert!(matches!(
-            os.user_access(&mut machine, pid, VirtAddr::new(USER_CODE_BASE), AccessKind::Read),
+            os.user_access(
+                &mut machine,
+                pid,
+                VirtAddr::new(USER_CODE_BASE),
+                AccessKind::Read
+            ),
             Err(OsError::NoSuchProcess(_))
         ));
     }
@@ -1169,16 +1282,23 @@ mod tests {
             os.user_access(&mut machine, pid, base, AccessKind::Write),
             Err(OsError::Access(Fault::PageFault(_)))
         ));
-        let cycles = os.user_access_faulting(&mut machine, pid, base, AccessKind::Write)
+        let cycles = os
+            .user_access_faulting(&mut machine, pid, base, AccessKind::Write)
             .expect("demand fault handled");
         assert!(cycles > 500, "fault handling must cost real work: {cycles}");
         // Second touch: normal access, no handler.
-        let warm = os.user_access(&mut machine, pid, base, AccessKind::Read).unwrap();
+        let warm = os
+            .user_access(&mut machine, pid, base, AccessKind::Read)
+            .unwrap();
         assert!(warm < cycles);
         // A touch outside any lazy region still faults.
         assert!(matches!(
-            os.user_access_faulting(&mut machine, pid, VirtAddr::new(0x5000_0000),
-                                    AccessKind::Read),
+            os.user_access_faulting(
+                &mut machine,
+                pid,
+                VirtAddr::new(0x5000_0000),
+                AccessKind::Read
+            ),
             Err(OsError::Access(Fault::PageFault(_)))
         ));
     }
@@ -1189,30 +1309,54 @@ mod tests {
         let (parent, _) = os.spawn(&mut machine, 2).unwrap();
         os.mmap(&mut machine, parent, 2).unwrap();
         let heap = VirtAddr::new(USER_HEAP_BASE);
-        os.user_access(&mut machine, parent, heap, AccessKind::Write).unwrap();
+        os.user_access(&mut machine, parent, heap, AccessKind::Write)
+            .unwrap();
         let (child, _) = os.fork(&mut machine, parent).unwrap();
 
         // Both sides are read-only now (true COW).
-        assert!(os.user_access(&mut machine, parent, heap, AccessKind::Write).is_err());
-        assert!(os.user_access(&mut machine, child, heap, AccessKind::Write).is_err());
-        let parent_frame =
-            os.space_of(parent).unwrap().translate(machine.phys(), heap).unwrap().paddr;
-        let child_frame =
-            os.space_of(child).unwrap().translate(machine.phys(), heap).unwrap().paddr;
+        assert!(os
+            .user_access(&mut machine, parent, heap, AccessKind::Write)
+            .is_err());
+        assert!(os
+            .user_access(&mut machine, child, heap, AccessKind::Write)
+            .is_err());
+        let parent_frame = os
+            .space_of(parent)
+            .unwrap()
+            .translate(machine.phys(), heap)
+            .unwrap()
+            .paddr;
+        let child_frame = os
+            .space_of(child)
+            .unwrap()
+            .translate(machine.phys(), heap)
+            .unwrap()
+            .paddr;
         assert_eq!(parent_frame, child_frame, "frame shared before the write");
 
         // The child writes: COW copies the frame and upgrades.
         os.user_access_faulting(&mut machine, child, heap, AccessKind::Write)
             .expect("COW resolved");
-        let child_frame_after =
-            os.space_of(child).unwrap().translate(machine.phys(), heap).unwrap().paddr;
+        let child_frame_after = os
+            .space_of(child)
+            .unwrap()
+            .translate(machine.phys(), heap)
+            .unwrap()
+            .paddr;
         assert_ne!(child_frame_after, parent_frame, "child got a private copy");
         // Parent then writes: sole owner, upgraded in place.
         os.user_access_faulting(&mut machine, parent, heap, AccessKind::Write)
             .expect("parent upgrade");
-        let parent_frame_after =
-            os.space_of(parent).unwrap().translate(machine.phys(), heap).unwrap().paddr;
-        assert_eq!(parent_frame_after, parent_frame, "parent kept the original frame");
+        let parent_frame_after = os
+            .space_of(parent)
+            .unwrap()
+            .translate(machine.phys(), heap)
+            .unwrap()
+            .paddr;
+        assert_eq!(
+            parent_frame_after, parent_frame,
+            "parent kept the original frame"
+        );
     }
 
     #[test]
@@ -1231,7 +1375,8 @@ mod tests {
             os.user_access(&mut machine, pid, heap, AccessKind::Read),
             Err(OsError::Access(Fault::PageFault(_)))
         ));
-        os.user_access(&mut machine, pid, heap + 2 * PAGE_SIZE, AccessKind::Read).unwrap();
+        os.user_access(&mut machine, pid, heap + 2 * PAGE_SIZE, AccessKind::Read)
+            .unwrap();
         // Unmapping an already-unmapped range is a no-op, not an error.
         os.munmap(&mut machine, pid, heap, 2).unwrap();
     }
@@ -1242,19 +1387,34 @@ mod tests {
         let (parent, _) = os.spawn(&mut machine, 1).unwrap();
         os.mmap(&mut machine, parent, 1).unwrap();
         let heap = VirtAddr::new(USER_HEAP_BASE);
-        os.user_access(&mut machine, parent, heap, AccessKind::Write).unwrap();
+        os.user_access(&mut machine, parent, heap, AccessKind::Write)
+            .unwrap();
         let (child, _) = os.fork(&mut machine, parent).unwrap();
-        let frame = os.space_of(child).unwrap().translate(machine.phys(), heap).unwrap()
-            .paddr.page_base();
+        let frame = os
+            .space_of(child)
+            .unwrap()
+            .translate(machine.phys(), heap)
+            .unwrap()
+            .paddr
+            .page_base();
         // Parent unmaps: the frame is still the child's, so it must not be
         // recycled into a fresh allocation.
         os.munmap(&mut machine, parent, heap, 1).unwrap();
         let (other, _) = os.spawn(&mut machine, 1).unwrap();
         os.mmap(&mut machine, other, 1).unwrap();
-        let fresh = os.space_of(other).unwrap().translate(machine.phys(), heap).unwrap()
-            .paddr.page_base();
-        assert_ne!(fresh, frame, "shared frame must not be reused while the child lives");
-        os.user_access(&mut machine, child, heap, AccessKind::Read).expect("child survives");
+        let fresh = os
+            .space_of(other)
+            .unwrap()
+            .translate(machine.phys(), heap)
+            .unwrap()
+            .paddr
+            .page_base();
+        assert_ne!(
+            fresh, frame,
+            "shared frame must not be reused while the child lives"
+        );
+        os.user_access(&mut machine, child, heap, AccessKind::Read)
+            .expect("child survives");
     }
 
     #[test]
@@ -1263,23 +1423,29 @@ mod tests {
         let (pid, _) = os.spawn(&mut machine, 1).unwrap();
         os.mmap(&mut machine, pid, 1).unwrap();
         let heap = VirtAddr::new(USER_HEAP_BASE);
-        os.user_access(&mut machine, pid, heap, AccessKind::Write).unwrap();
+        os.user_access(&mut machine, pid, heap, AccessKind::Write)
+            .unwrap();
         os.mprotect(&mut machine, pid, heap, Perms::READ).unwrap();
         assert!(matches!(
             os.user_access(&mut machine, pid, heap, AccessKind::Write),
             Err(OsError::Access(Fault::PtePermission(_)))
         ));
-        os.user_access(&mut machine, pid, heap, AccessKind::Read).unwrap();
+        os.user_access(&mut machine, pid, heap, AccessKind::Read)
+            .unwrap();
         os.mprotect(&mut machine, pid, heap, Perms::RW).unwrap();
-        os.user_access(&mut machine, pid, heap, AccessKind::Write).unwrap();
+        os.user_access(&mut machine, pid, heap, AccessKind::Write)
+            .unwrap();
     }
 
     #[test]
     fn kernel_access_works_via_direct_map() {
         let (mut machine, mut os) = boot(PtPlacement::Contiguous);
         let cost = os
-            .kernel_access(&mut machine, PhysAddr::new(RAM_BASE.raw() + 0x10_0000),
-                           AccessKind::Read)
+            .kernel_access(
+                &mut machine,
+                PhysAddr::new(RAM_BASE.raw() + 0x10_0000),
+                AccessKind::Read,
+            )
             .unwrap();
         assert!(cost > 0);
     }

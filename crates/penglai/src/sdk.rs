@@ -78,7 +78,12 @@ impl EnclaveSdk {
             .map_err(|_| CallError::NoSuchEnclave(enclave))?;
         let mut ipc = IpcTable::new();
         let (channel, _) = ipc.create(machine, monitor, DomainId::HOST, enclave)?;
-        Ok(EnclaveSdk { enclave, channel, ipc, calls: 0 })
+        Ok(EnclaveSdk {
+            enclave,
+            channel,
+            ipc,
+            calls: 0,
+        })
     }
 
     /// The bound enclave.
@@ -111,13 +116,17 @@ impl EnclaveSdk {
         }
         let mut cycles = 0;
         // In: args through the shared page, then the world switch.
-        cycles += self.ipc.send(machine, self.channel, DomainId::HOST, arg_bytes.max(1))?;
+        cycles += self
+            .ipc
+            .send(machine, self.channel, DomainId::HOST, arg_bytes.max(1))?;
         cycles += monitor.switch_to(machine, self.enclave)?;
         cycles += self.ipc.recv(machine, self.channel, self.enclave)?.1;
         // Enclave body.
         cycles += machine.run_compute(enclave_compute);
         // Out: return values, switch back to the host.
-        cycles += self.ipc.send(machine, self.channel, self.enclave, ret_bytes.max(1))?;
+        cycles += self
+            .ipc
+            .send(machine, self.channel, self.enclave, ret_bytes.max(1))?;
         cycles += monitor.switch_to(machine, DomainId::HOST)?;
         cycles += self.ipc.recv(machine, self.channel, DomainId::HOST)?.1;
         self.calls += 1;
@@ -141,7 +150,9 @@ impl EnclaveSdk {
             return Err(CallError::ArgsTooLarge(arg_bytes));
         }
         let mut cycles = 0;
-        cycles += self.ipc.send(machine, self.channel, self.enclave, arg_bytes.max(1))?;
+        cycles += self
+            .ipc
+            .send(machine, self.channel, self.enclave, arg_bytes.max(1))?;
         cycles += monitor.switch_to(machine, DomainId::HOST)?;
         cycles += self.ipc.recv(machine, self.channel, DomainId::HOST)?.1;
         cycles += machine.run_compute(host_compute);
@@ -167,8 +178,9 @@ mod tests {
     fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor, DomainId) {
         let mut machine = Machine::new(MachineConfig::rocket());
         let mut monitor = SecureMonitor::boot(&mut machine, flavor, RAM);
-        let (enclave, _) =
-            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+        let (enclave, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
         (machine, monitor, enclave)
     }
 
@@ -176,9 +188,15 @@ mod tests {
     fn ecall_round_trip() {
         let (mut machine, mut monitor, enclave) = boot(TeeFlavor::PenglaiHpmp);
         let mut sdk = EnclaveSdk::bind(&mut machine, &mut monitor, enclave).unwrap();
-        let cycles = sdk.ecall(&mut machine, &mut monitor, 128, 5_000, 64).unwrap();
+        let cycles = sdk
+            .ecall(&mut machine, &mut monitor, 128, 5_000, 64)
+            .unwrap();
         assert!(cycles > 5_000, "must include compute plus transition costs");
-        assert_eq!(monitor.current(), DomainId::HOST, "control returns to the host");
+        assert_eq!(
+            monitor.current(),
+            DomainId::HOST,
+            "control returns to the host"
+        );
         assert_eq!(sdk.calls(), 1);
     }
 
@@ -199,10 +217,13 @@ mod tests {
         let cost_with = |extra: usize| {
             let (mut machine, mut monitor, enclave) = boot(TeeFlavor::PenglaiHpmp);
             for _ in 0..extra {
-                monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).unwrap();
+                monitor
+                    .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                    .unwrap();
             }
             let mut sdk = EnclaveSdk::bind(&mut machine, &mut monitor, enclave).unwrap();
-            sdk.ecall(&mut machine, &mut monitor, 64, 1_000, 64).unwrap()
+            sdk.ecall(&mut machine, &mut monitor, 64, 1_000, 64)
+                .unwrap()
         };
         assert_eq!(cost_with(0), cost_with(58));
     }

@@ -1,0 +1,408 @@
+//! The structured per-access event emitted by the simulator.
+//!
+//! The event mirrors, step by step, what the hardware did to resolve one
+//! memory access: the TLB probe, every page-table and PMP-table reference
+//! issued while walking (with the cycles each cost in the memory
+//! hierarchy), the data reference itself, and the fault that aborted the
+//! access, if any.
+//!
+//! `hpmp-trace` sits below every simulator crate, so the event uses its own
+//! tiny mirror enums ([`AccessOp`], [`PrivLevel`]) instead of the memsim
+//! types; the machine layer converts at emission time.
+
+use crate::json_escape;
+
+/// Which software world issued the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum World {
+    /// The untrusted host OS (the domain the monitor boots into).
+    Host,
+    /// A Penglai enclave domain.
+    Enclave,
+    /// A guest behind nested (two-stage) translation.
+    Guest,
+}
+
+impl World {
+    /// Stable lowercase label used in JSON and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            World::Host => "host",
+            World::Enclave => "enclave",
+            World::Guest => "guest",
+        }
+    }
+}
+
+/// The kind of memory operation (mirror of `hpmp_memsim::AccessKind`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOp {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An instruction fetch.
+    Fetch,
+}
+
+impl AccessOp {
+    /// Stable lowercase label used in JSON and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessOp::Read => "read",
+            AccessOp::Write => "write",
+            AccessOp::Fetch => "fetch",
+        }
+    }
+}
+
+/// The privilege level of the access (mirror of `hpmp_memsim::PrivMode`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrivLevel {
+    /// U-mode.
+    User,
+    /// S-mode.
+    Supervisor,
+    /// M-mode.
+    Machine,
+}
+
+impl PrivLevel {
+    /// Stable one-letter label used in JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrivLevel::User => "U",
+            PrivLevel::Supervisor => "S",
+            PrivLevel::Machine => "M",
+        }
+    }
+}
+
+/// Outcome of the TLB probe that started the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit in the first-level TLB (zero added latency).
+    L1Hit,
+    /// Hit in the second-level TLB (adds the L2 probe latency).
+    L2Hit,
+    /// Missed both levels; a walk followed.
+    Miss,
+}
+
+impl TlbOutcome {
+    /// Stable label used in JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            TlbOutcome::L1Hit => "l1_hit",
+            TlbOutcome::L2Hit => "l2_hit",
+            TlbOutcome::Miss => "miss",
+        }
+    }
+
+    /// Whether the access was served without a page walk.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, TlbOutcome::Miss)
+    }
+}
+
+/// What the PMPTW-Cache contributed to the isolation checks of this access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PmptwOutcome {
+    /// Leaf pmpte found in the cache: zero table references issued.
+    LeafHit,
+    /// Root pmpte found: only the leaf reference was issued.
+    RootHit,
+    /// Full two-level PMP-table walk.
+    Miss,
+    /// The check never reached the PMP table (segment match, or the cache /
+    /// table machinery is disabled for this scheme).
+    Bypass,
+}
+
+impl PmptwOutcome {
+    /// Stable label used in JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            PmptwOutcome::LeafHit => "leaf_hit",
+            PmptwOutcome::RootHit => "root_hit",
+            PmptwOutcome::Miss => "miss",
+            PmptwOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// The kind of one step taken while resolving an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// The L2-TLB probe latency paid on an L1 miss that hit L2.
+    TlbL2,
+    /// A native (host) page-table reference.
+    Pt,
+    /// A guest page-table reference (first stage of a nested walk).
+    GuestPt,
+    /// A nested / G-stage page-table reference.
+    NestedPt,
+    /// A root-pmpte reference in the PMP table.
+    PmptRoot,
+    /// A leaf-pmpte reference in the PMP table.
+    PmptLeaf,
+    /// The data reference itself.
+    Data,
+}
+
+impl StepKind {
+    /// Stable label used in JSON and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepKind::TlbL2 => "tlb_l2",
+            StepKind::Pt => "pt",
+            StepKind::GuestPt => "guest_pt",
+            StepKind::NestedPt => "nested_pt",
+            StepKind::PmptRoot => "pmpt_root",
+            StepKind::PmptLeaf => "pmpt_leaf",
+            StepKind::Data => "data",
+        }
+    }
+}
+
+/// Why an access aborted (mirror of `hpmp_machine::Fault`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCause {
+    /// No valid translation for the virtual address.
+    PageFault,
+    /// The translation exists but its PTE permissions deny the access.
+    PtePermission,
+    /// The isolation layer denied a page-table reference mid-walk.
+    IsolationOnPtPage,
+    /// The isolation layer denied the data reference.
+    IsolationOnData,
+}
+
+impl FaultCause {
+    /// Stable label used in JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultCause::PageFault => "page_fault",
+            FaultCause::PtePermission => "pte_permission",
+            FaultCause::IsolationOnPtPage => "isolation_on_pt_page",
+            FaultCause::IsolationOnData => "isolation_on_data",
+        }
+    }
+}
+
+/// One step taken while resolving an access: what was referenced, at which
+/// table level, and what it cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkStep {
+    /// What kind of reference this was.
+    pub kind: StepKind,
+    /// Table level for page-table steps (`walker` numbering, leaf = 0);
+    /// `None` for steps without a level (TLB probe, data, pmpte).
+    pub level: Option<u8>,
+    /// The physical address referenced (0 for the synthetic TLB-L2 step).
+    pub addr: u64,
+    /// Cycles this step cost in the memory hierarchy.
+    pub cycles: u64,
+}
+
+impl WalkStep {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        let level = match self.level {
+            Some(l) => l.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":\"{}\",\"level\":{},\"addr\":\"{:#x}\",\"cycles\":{}}}",
+            self.kind.label(),
+            level,
+            self.addr,
+            self.cycles
+        )
+    }
+}
+
+/// A complete record of one simulated memory access.
+///
+/// Invariant: `pipeline_cycles + Σ steps[i].cycles == cycles` — every cycle
+/// the access cost is attributed to exactly one step (or to fixed pipeline
+/// overhead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalkEvent {
+    /// Monotonic per-machine sequence number.
+    pub seq: u64,
+    /// Which world issued the access.
+    pub world: World,
+    /// Load / store / fetch.
+    pub op: AccessOp,
+    /// Privilege level of the access.
+    pub privilege: PrivLevel,
+    /// The virtual (or guest-virtual) address accessed.
+    pub va: u64,
+    /// The resolved physical address; `None` when the access faulted before
+    /// translation completed.
+    pub paddr: Option<u64>,
+    /// Outcome of the TLB probe.
+    pub tlb: TlbOutcome,
+    /// PWC hit level for the walk (`walker` numbering), `None` on a PWC
+    /// miss or when no walk ran.
+    pub pwc_level: Option<u8>,
+    /// Best PMPTW-Cache outcome over the isolation checks of this access.
+    pub pmptw: Option<PmptwOutcome>,
+    /// Fixed pipeline overhead charged by the core model.
+    pub pipeline_cycles: u64,
+    /// Total cycles for the access (== outcome cycles, or the cycles burnt
+    /// before the fault).
+    pub cycles: u64,
+    /// Why the access aborted, if it did.
+    pub fault: Option<FaultCause>,
+    /// Every reference issued, in program order.
+    pub steps: Vec<WalkStep>,
+}
+
+impl WalkEvent {
+    /// Cycles attributed to steps of the given kind.
+    pub fn cycles_of(&self, kind: StepKind) -> u64 {
+        self.steps
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.cycles)
+            .sum()
+    }
+
+    /// Number of steps of the given kind.
+    pub fn count_of(&self, kind: StepKind) -> usize {
+        self.steps.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// Sum of all step cycles (excludes pipeline overhead).
+    pub fn step_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Check the cycle-attribution invariant.
+    pub fn is_balanced(&self) -> bool {
+        self.pipeline_cycles + self.step_cycles() == self.cycles
+    }
+
+    /// Serialize as a single-line JSON object (the JSONL record format).
+    pub fn to_json(&self) -> String {
+        let paddr = match self.paddr {
+            Some(p) => format!("\"{p:#x}\""),
+            None => "null".to_string(),
+        };
+        let pwc = match self.pwc_level {
+            Some(l) => l.to_string(),
+            None => "null".to_string(),
+        };
+        let pmptw = match self.pmptw {
+            Some(p) => format!("\"{}\"", json_escape(p.label())),
+            None => "null".to_string(),
+        };
+        let fault = match self.fault {
+            Some(f) => format!("\"{}\"", f.label()),
+            None => "null".to_string(),
+        };
+        let steps: Vec<String> = self.steps.iter().map(WalkStep::to_json).collect();
+        format!(
+            "{{\"seq\":{},\"world\":\"{}\",\"op\":\"{}\",\"priv\":\"{}\",\"va\":\"{:#x}\",\
+             \"paddr\":{},\"tlb\":\"{}\",\"pwc_level\":{},\"pmptw\":{},\
+             \"pipeline_cycles\":{},\"cycles\":{},\"fault\":{},\"steps\":[{}]}}",
+            self.seq,
+            self.world.label(),
+            self.op.label(),
+            self.privilege.label(),
+            self.va,
+            paddr,
+            self.tlb.label(),
+            pwc,
+            pmptw,
+            self.pipeline_cycles,
+            self.cycles,
+            fault,
+            steps.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WalkEvent {
+        WalkEvent {
+            seq: 7,
+            world: World::Enclave,
+            op: AccessOp::Write,
+            privilege: PrivLevel::User,
+            va: 0x10_0000,
+            paddr: Some(0x8000_1000),
+            tlb: TlbOutcome::Miss,
+            pwc_level: Some(1),
+            pmptw: Some(PmptwOutcome::RootHit),
+            pipeline_cycles: 2,
+            cycles: 42,
+            fault: None,
+            steps: vec![
+                WalkStep {
+                    kind: StepKind::Pt,
+                    level: Some(0),
+                    addr: 0x8040_0000,
+                    cycles: 14,
+                },
+                WalkStep {
+                    kind: StepKind::PmptLeaf,
+                    level: None,
+                    addr: 0x9000_0000,
+                    cycles: 12,
+                },
+                WalkStep {
+                    kind: StepKind::Data,
+                    level: None,
+                    addr: 0x8000_1000,
+                    cycles: 14,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn balance_checks_the_invariant() {
+        let mut e = sample();
+        assert!(e.is_balanced());
+        e.cycles += 1;
+        assert!(!e.is_balanced());
+    }
+
+    #[test]
+    fn aggregation_helpers() {
+        let e = sample();
+        assert_eq!(e.cycles_of(StepKind::Pt), 14);
+        assert_eq!(e.count_of(StepKind::Data), 1);
+        assert_eq!(e.step_cycles(), 40);
+    }
+
+    #[test]
+    fn json_is_one_line_and_mentions_fields() {
+        let j = sample().to_json();
+        assert!(!j.contains('\n'));
+        for needle in [
+            "\"seq\":7",
+            "\"world\":\"enclave\"",
+            "\"tlb\":\"miss\"",
+            "\"pmpt_leaf\"",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
+    }
+
+    #[test]
+    fn faulting_event_serializes_null_paddr() {
+        let mut e = sample();
+        e.paddr = None;
+        e.fault = Some(FaultCause::PageFault);
+        let j = e.to_json();
+        assert!(j.contains("\"paddr\":null"));
+        assert!(j.contains("\"fault\":\"page_fault\""));
+    }
+}

@@ -1,0 +1,58 @@
+//! Observability layer for the HPMP reproduction.
+//!
+//! The paper's figures are all statements about *where cycles go* during
+//! extra-dimensional page walks — TLB hits vs. Sv39 steps vs. PMP-table
+//! steps vs. PMPTW-Cache hits. This crate provides the three pieces that
+//! make those claims inspectable instead of opaque:
+//!
+//! * [`WalkEvent`] + [`TraceSink`] — a structured per-access event carrying
+//!   the complete step-by-step breakdown of one translated access, and a
+//!   sink trait the simulator is generic over. [`NullSink`] has
+//!   `ENABLED == false` and monomorphizes to nothing; [`RingSink`] keeps the
+//!   last N events in memory; [`JsonlSink`] streams one JSON object per
+//!   line.
+//! * [`MetricsRegistry`] / [`Snapshot`] — hierarchical dotted counter names
+//!   unifying every `*Stats` struct in the workspace behind one exportable,
+//!   diffable, mergeable view.
+//! * [`LatencyHistogram`] — log2-bucketed latency distributions per
+//!   [`AccessClass`], so Fig 10-style breakdowns come from real per-access
+//!   samples rather than means.
+//!
+//! The crate is dependency-free and sits below every other crate in the
+//! workspace: `memsim`, `paging`, `core`, `machine`, `penglai`, `workloads`
+//! and `bench` all link against it.
+//!
+//! # Invariant
+//!
+//! For every event: `pipeline_cycles + Σ step.cycles == cycles`. The
+//! simulator's determinism tests additionally prove that attaching any sink
+//! never changes a cycle result.
+
+mod event;
+mod hist;
+mod metrics;
+mod sink;
+
+pub use event::{
+    AccessOp, FaultCause, PmptwOutcome, PrivLevel, StepKind, TlbOutcome, WalkEvent, WalkStep, World,
+};
+pub use hist::{AccessClass, LatencyHistogram, LatencyHistograms};
+pub use metrics::{MetricsRegistry, Snapshot};
+pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};
+
+/// Escape a string for inclusion in a JSON document.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

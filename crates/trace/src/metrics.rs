@@ -1,0 +1,236 @@
+//! A unified metrics registry with hierarchical counter names.
+//!
+//! Every `*Stats` struct in the workspace exports into a
+//! [`MetricsRegistry`] under a dotted prefix (`machine.tlb.l1_hits`,
+//! `mem.dram.row_misses`, …). A [`Snapshot`] is an immutable copy that can
+//! be diffed against an earlier snapshot (`delta`), merged with a snapshot
+//! from another machine (`merge`), and exported as nested JSON.
+
+use crate::json_escape;
+use std::collections::BTreeMap;
+
+/// A mutable bag of named counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    values: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Set `name` to `value`, creating it if needed.
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Add `delta` to `name`, creating it at zero if needed.
+    pub fn add(&mut self, name: impl Into<String>, delta: u64) {
+        *self.values.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Current value of `name` (0 when absent).
+    pub fn value(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Freeze the current state into an immutable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            values: self.values.clone(),
+        }
+    }
+}
+
+/// An immutable, diffable, mergeable copy of a registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Value of `name`, 0 when absent.
+    pub fn value(&self, name: &str) -> u64 {
+        self.get(name).unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Counter-wise `self - earlier` (saturating; keys are unioned, so a
+    /// counter absent from `earlier` contributes its full value).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = BTreeMap::new();
+        for (k, &v) in &self.values {
+            out.insert(k.clone(), v.saturating_sub(earlier.value(k)));
+        }
+        for k in earlier.values.keys() {
+            out.entry(k.clone()).or_insert(0);
+        }
+        Snapshot { values: out }
+    }
+
+    /// Counter-wise sum of `self` and `other` (e.g. across machines).
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.values.clone();
+        for (k, &v) in &other.values {
+            *out.entry(k.clone()).or_insert(0) += v;
+        }
+        Snapshot { values: out }
+    }
+
+    /// Sum of every counter matching `prefix.` (dotted-subtree total).
+    pub fn subtree_total(&self, prefix: &str) -> u64 {
+        let dotted = format!("{prefix}.");
+        self.values
+            .iter()
+            .filter(|(k, _)| k.starts_with(&dotted) || k.as_str() == prefix)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Export as nested JSON: dotted names become nested objects. A name
+    /// that is both a leaf and an interior node renders its leaf value
+    /// under `"_total"`.
+    pub fn to_json(&self) -> String {
+        #[derive(Default)]
+        struct Node {
+            value: Option<u64>,
+            children: BTreeMap<String, Node>,
+        }
+
+        fn render(node: &Node, out: &mut String) {
+            out.push('{');
+            let mut first = true;
+            if let (Some(v), false) = (node.value, node.children.is_empty()) {
+                out.push_str(&format!("\"_total\":{v}"));
+                first = false;
+            }
+            for (name, child) in &node.children {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{}\":", json_escape(name)));
+                if child.children.is_empty() {
+                    out.push_str(&child.value.unwrap_or(0).to_string());
+                } else {
+                    render(child, out);
+                }
+            }
+            out.push('}');
+        }
+
+        let mut root = Node::default();
+        for (name, &value) in &self.values {
+            let mut node = &mut root;
+            for part in name.split('.') {
+                node = node.children.entry(part.to_string()).or_default();
+            }
+            node.value = Some(value);
+        }
+        let mut out = String::new();
+        render(&root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_and_value() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.accesses", 10);
+        reg.add("machine.accesses", 5);
+        reg.add("machine.walks", 2);
+        assert_eq!(reg.value("machine.accesses"), 15);
+        assert_eq!(reg.value("machine.walks"), 2);
+        assert_eq!(reg.value("absent"), 0);
+    }
+
+    #[test]
+    fn delta_is_counterwise_difference() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("a.x", 10);
+        reg.set("a.y", 3);
+        let before = reg.snapshot();
+        reg.add("a.x", 7);
+        reg.set("a.z", 1);
+        let after = reg.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.value("a.x"), 7);
+        assert_eq!(d.value("a.y"), 0);
+        assert_eq!(d.value("a.z"), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = MetricsRegistry::new();
+        a.set("m.cycles", 100);
+        a.set("m.only_a", 1);
+        let mut b = MetricsRegistry::new();
+        b.set("m.cycles", 50);
+        b.set("m.only_b", 2);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.value("m.cycles"), 150);
+        assert_eq!(merged.value("m.only_a"), 1);
+        assert_eq!(merged.value("m.only_b"), 2);
+    }
+
+    #[test]
+    fn subtree_total_sums_the_prefix() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("tlb.l1_hits", 5);
+        reg.set("tlb.l2_hits", 3);
+        reg.set("tlbx", 100);
+        assert_eq!(reg.snapshot().subtree_total("tlb"), 8);
+    }
+
+    #[test]
+    fn json_nests_dotted_names() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.tlb.l1_hits", 4);
+        reg.set("machine.tlb.misses", 1);
+        reg.set("machine.cycles", 99);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"machine\":{\"cycles\":99,\"tlb\":{\"l1_hits\":4,\"misses\":1}}}"
+        );
+    }
+
+    #[test]
+    fn json_handles_leaf_and_interior_conflict() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("refs", 10);
+        reg.set("refs.pt", 6);
+        let json = reg.snapshot().to_json();
+        assert_eq!(json, "{\"refs\":{\"_total\":10,\"pt\":6}}");
+    }
+}

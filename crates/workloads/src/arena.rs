@@ -8,10 +8,9 @@
 //! property of its pattern, exactly as on the FPGA.
 
 use hpmp_machine::Machine;
-use hpmp_memsim::{AccessKind, VirtAddr, PAGE_SIZE};
+use hpmp_memsim::{AccessKind, SplitMix64, VirtAddr, PAGE_SIZE};
 use hpmp_penglai::{OsError, Pid, SimOs, USER_HEAP_BASE};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hpmp_trace::TraceSink;
 
 /// A process-backed region of user memory.
 #[derive(Clone, Copy, Debug)]
@@ -30,14 +29,18 @@ impl UserArena {
     /// # Errors
     ///
     /// Propagates OS errors (out of frames).
-    pub fn create(
+    pub fn create<S: TraceSink>(
         os: &mut SimOs,
-        machine: &mut Machine,
+        machine: &mut Machine<S>,
         pages: u64,
     ) -> Result<UserArena, OsError> {
         let (pid, _) = os.spawn(machine, 4)?;
         os.mmap(machine, pid, pages)?;
-        Ok(UserArena { pid, base: VirtAddr::new(USER_HEAP_BASE), bytes: pages * PAGE_SIZE })
+        Ok(UserArena {
+            pid,
+            base: VirtAddr::new(USER_HEAP_BASE),
+            bytes: pages * PAGE_SIZE,
+        })
     }
 
     /// The virtual address `offset` bytes into the arena (wrapped).
@@ -62,9 +65,9 @@ pub struct TraceStep {
 /// # Errors
 ///
 /// Propagates access faults.
-pub fn replay(
+pub fn replay<S: TraceSink>(
     os: &mut SimOs,
-    machine: &mut Machine,
+    machine: &mut Machine<S>,
     arena: &UserArena,
     trace: impl IntoIterator<Item = TraceStep>,
 ) -> Result<u64, OsError> {
@@ -85,9 +88,9 @@ pub fn replay(
 /// # Errors
 ///
 /// Propagates access faults.
-pub fn replay_with_code(
+pub fn replay_with_code<S: TraceSink>(
     os: &mut SimOs,
-    machine: &mut Machine,
+    machine: &mut Machine<S>,
     arena: &UserArena,
     code_pages: u64,
     trace: impl IntoIterator<Item = TraceStep>,
@@ -115,13 +118,15 @@ pub fn replay_with_code(
 /// reproducible across schemes (the *same* trace is replayed on each).
 #[derive(Clone, Debug)]
 pub struct Patterns {
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl Patterns {
     /// Creates a generator with a fixed seed.
     pub fn new(seed: u64) -> Patterns {
-        Patterns { rng: SmallRng::seed_from_u64(seed) }
+        Patterns {
+            rng: SplitMix64::seed_from_u64(seed),
+        }
     }
 
     /// Sequential sweep: `n` accesses with the given stride, `write_ratio`
@@ -178,7 +183,11 @@ impl Patterns {
                 } else {
                     self.rng.gen_range(0..ws_bytes.max(8))
                 };
-                TraceStep { offset: offset & !7, kind: self.kind(write_ratio), compute }
+                TraceStep {
+                    offset: offset & !7,
+                    kind: self.kind(write_ratio),
+                    compute,
+                }
             })
             .collect()
     }

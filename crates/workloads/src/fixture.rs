@@ -5,6 +5,7 @@
 use hpmp_machine::{Machine, MachineConfig};
 use hpmp_memsim::{CoreKind, PhysAddr};
 use hpmp_penglai::{DomainId, GmsLabel, PtPlacement, SecureMonitor, SimOs, TeeFlavor};
+use hpmp_trace::{NullSink, TraceSink};
 
 /// RAM region used by every fixture (1 GiB at the canonical RISC-V base).
 pub const RAM_BASE: u64 = 0x8000_0000;
@@ -14,9 +15,9 @@ pub const RAM_SIZE: u64 = 1 << 30;
 /// The full TEE stack: machine + monitor + one enclave domain running the
 /// simulated OS.
 #[derive(Debug)]
-pub struct TeeBench {
+pub struct TeeBench<S: TraceSink = NullSink> {
     /// The simulated SoC.
-    pub machine: Machine,
+    pub machine: Machine<S>,
     /// The secure monitor.
     pub monitor: SecureMonitor,
     /// The OS inside the enclave domain.
@@ -34,11 +35,7 @@ impl TeeBench {
     ///
     /// Panics if monitor or OS boot fails — fixture sizing is static.
     pub fn boot(flavor: TeeFlavor, core: CoreKind) -> TeeBench {
-        let config = match core {
-            CoreKind::Rocket => MachineConfig::rocket(),
-            CoreKind::Boom => MachineConfig::boom(),
-        };
-        Self::boot_with_config(flavor, config)
+        Self::boot_with_config(flavor, config_for(core))
     }
 
     /// Boots with an explicit machine configuration (for PWC/PMPTW-Cache
@@ -48,7 +45,20 @@ impl TeeBench {
     ///
     /// As [`TeeBench::boot`].
     pub fn boot_with_config(flavor: TeeFlavor, config: MachineConfig) -> TeeBench {
-        let mut machine = Machine::new(config);
+        Self::boot_with_sink(flavor, config, NullSink)
+    }
+}
+
+impl<S: TraceSink> TeeBench<S> {
+    /// Boots the stack with a recording trace sink: every access performed
+    /// by the workload produces one `WalkEvent`, tagged with the world the
+    /// monitor last switched into.
+    ///
+    /// # Panics
+    ///
+    /// As [`TeeBench::boot`].
+    pub fn boot_with_sink(flavor: TeeFlavor, config: MachineConfig, sink: S) -> TeeBench<S> {
+        let mut machine = Machine::with_sink(config, sink);
         let ram = hpmp_core::PmpRegion::new(PhysAddr::new(RAM_BASE), RAM_SIZE);
         let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
 
@@ -79,7 +89,12 @@ impl TeeBench {
             (data.base, data.size),
             placement,
         );
-        TeeBench { machine, monitor, os, domain }
+        TeeBench {
+            machine,
+            monitor,
+            os,
+            domain,
+        }
     }
 
     /// Convenience: cold-boot state before a measured run.
@@ -88,9 +103,20 @@ impl TeeBench {
     }
 }
 
+/// The canonical machine configuration for a core kind (Table 1).
+pub fn config_for(core: CoreKind) -> MachineConfig {
+    match core {
+        CoreKind::Rocket => MachineConfig::rocket(),
+        CoreKind::Boom => MachineConfig::boom(),
+    }
+}
+
 /// All three flavours, in the order the figures plot them.
-pub const FLAVORS: [TeeFlavor; 3] =
-    [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp];
+pub const FLAVORS: [TeeFlavor; 3] = [
+    TeeFlavor::PenglaiPmp,
+    TeeFlavor::PenglaiPmpt,
+    TeeFlavor::PenglaiHpmp,
+];
 
 #[cfg(test)]
 mod tests {
@@ -105,8 +131,12 @@ mod tests {
                 let mut tee = TeeBench::boot(flavor, core);
                 let (pid, _) = tee.os.spawn(&mut tee.machine, 2).expect("spawn");
                 tee.os
-                    .user_access(&mut tee.machine, pid, VirtAddr::new(USER_CODE_BASE),
-                                 AccessKind::Read)
+                    .user_access(
+                        &mut tee.machine,
+                        pid,
+                        VirtAddr::new(USER_CODE_BASE),
+                        AccessKind::Read,
+                    )
                     .expect("user access");
             }
         }
@@ -116,7 +146,9 @@ mod tests {
     fn hpmp_fixture_has_fast_pool() {
         let tee = TeeBench::boot(TeeFlavor::PenglaiHpmp, CoreKind::Rocket);
         let regions = tee.monitor.regions_of(tee.domain).unwrap();
-        assert!(regions.iter().any(|g| g.label == hpmp_penglai::GmsLabel::Fast));
+        assert!(regions
+            .iter()
+            .any(|g| g.label == hpmp_penglai::GmsLabel::Fast));
         // Entry 1 should be the fast pool segment.
         let seg = tee.machine.regs().entry_region(1).expect("fast segment");
         let (pool_base, pool_size) = tee.os.pt_pool_region();
@@ -127,14 +159,22 @@ mod tests {
     #[test]
     fn walk_cost_ordering_holds_in_full_stack() {
         let mut cold = Vec::new();
-        for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiHpmp, TeeFlavor::PenglaiPmpt] {
+        for flavor in [
+            TeeFlavor::PenglaiPmp,
+            TeeFlavor::PenglaiHpmp,
+            TeeFlavor::PenglaiPmpt,
+        ] {
             let mut tee = TeeBench::boot(flavor, CoreKind::Rocket);
             let (pid, _) = tee.os.spawn(&mut tee.machine, 1).expect("spawn");
             tee.flush();
             let cycles = tee
                 .os
-                .user_access(&mut tee.machine, pid, VirtAddr::new(USER_CODE_BASE),
-                             AccessKind::Read)
+                .user_access(
+                    &mut tee.machine,
+                    pid,
+                    VirtAddr::new(USER_CODE_BASE),
+                    AccessKind::Read,
+                )
                 .expect("access");
             cold.push((flavor, cycles));
         }

@@ -110,18 +110,14 @@ pub fn measure(
 /// fragmented physical backing under fragmented host virtual pages. The
 /// guest touches [`FRAG_PAGES`] fresh guest pages; `backing` selects how
 /// the hypervisor placed the frames behind them.
-pub fn measure_virt(
-    core: CoreKind,
-    scheme: hpmp_machine::VirtScheme,
-    backing: PaLayout,
-) -> u64 {
+pub fn measure_virt(core: CoreKind, scheme: hpmp_machine::VirtScheme, backing: PaLayout) -> u64 {
     use hpmp_machine::VirtMachine;
     let config = match core {
         CoreKind::Rocket => MachineConfig::rocket(),
         CoreKind::Boom => MachineConfig::boom(),
     };
-    let mut m = VirtMachine::with_options(config, scheme, FRAG_PAGES,
-                                          backing == PaLayout::Fragmented);
+    let mut m =
+        VirtMachine::with_options(config, scheme, FRAG_PAGES, backing == PaLayout::Fragmented);
     m.flush_microarch();
     let mut total = 0;
     for i in 0..FRAG_PAGES {
@@ -141,19 +137,37 @@ mod tests {
 
     #[test]
     fn fragmentation_hurts() {
-        let ideal = measure(CoreKind::Rocket, IsolationScheme::PmpTable, VaLayout::Contiguous,
-                            PaLayout::Contiguous, DISABLED);
-        let worst = measure(CoreKind::Rocket, IsolationScheme::PmpTable, VaLayout::Fragmented,
-                            PaLayout::Fragmented, DISABLED);
-        assert!(worst > ideal, "fragmented {worst} must exceed ideal {ideal}");
+        let ideal = measure(
+            CoreKind::Rocket,
+            IsolationScheme::PmpTable,
+            VaLayout::Contiguous,
+            PaLayout::Contiguous,
+            DISABLED,
+        );
+        let worst = measure(
+            CoreKind::Rocket,
+            IsolationScheme::PmpTable,
+            VaLayout::Fragmented,
+            PaLayout::Fragmented,
+            DISABLED,
+        );
+        assert!(
+            worst > ideal,
+            "fragmented {worst} must exceed ideal {ideal}"
+        );
     }
 
     #[test]
     fn hpmp_beats_pmpt_in_every_layout() {
         for va in [VaLayout::Contiguous, VaLayout::Fragmented] {
             for pa in [PaLayout::Contiguous, PaLayout::Fragmented] {
-                let pmpt =
-                    measure(CoreKind::Rocket, IsolationScheme::PmpTable, va, pa, DISABLED);
+                let pmpt = measure(
+                    CoreKind::Rocket,
+                    IsolationScheme::PmpTable,
+                    va,
+                    pa,
+                    DISABLED,
+                );
                 let hpmp = measure(CoreKind::Rocket, IsolationScheme::Hpmp, va, pa, DISABLED);
                 let pmp = measure(CoreKind::Rocket, IsolationScheme::Pmp, va, pa, DISABLED);
                 assert!(hpmp < pmpt, "{va}/{pa}: HPMP {hpmp} must beat PMPT {pmpt}");
@@ -170,8 +184,10 @@ mod tests {
         for scheme in [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp] {
             let contig = measure_virt(CoreKind::Rocket, scheme, PaLayout::Contiguous);
             let frag = measure_virt(CoreKind::Rocket, scheme, PaLayout::Fragmented);
-            assert!(frag >= contig,
-                    "{scheme}: fragmented backing must not be cheaper ({frag} vs {contig})");
+            assert!(
+                frag >= contig,
+                "{scheme}: fragmented backing must not be cheaper ({frag} vs {contig})"
+            );
         }
         let pmp = measure_virt(CoreKind::Rocket, VirtScheme::Pmp, PaLayout::Fragmented);
         let hpmp = measure_virt(CoreKind::Rocket, VirtScheme::Hpmp, PaLayout::Fragmented);
@@ -183,16 +199,35 @@ mod tests {
     fn pmptw_cache_helps_fragmented_va() {
         // Figure 16: caching reduces PMPT's fragmented-VA latency, and
         // HPMP + cache is the best table-backed configuration.
-        let without = measure(CoreKind::Rocket, IsolationScheme::PmpTable,
-                              VaLayout::Fragmented, PaLayout::Contiguous, DISABLED);
-        let with = measure(CoreKind::Rocket, IsolationScheme::PmpTable, VaLayout::Fragmented,
-                           PaLayout::Contiguous, PmptwCacheConfig::ENABLED_8);
+        let without = measure(
+            CoreKind::Rocket,
+            IsolationScheme::PmpTable,
+            VaLayout::Fragmented,
+            PaLayout::Contiguous,
+            DISABLED,
+        );
+        let with = measure(
+            CoreKind::Rocket,
+            IsolationScheme::PmpTable,
+            VaLayout::Fragmented,
+            PaLayout::Contiguous,
+            PmptwCacheConfig::ENABLED_8,
+        );
         assert!(with < without, "PMPTW-Cache must help: {with} vs {without}");
-        let hpmp_cache = measure(CoreKind::Rocket, IsolationScheme::Hpmp,
-                                 VaLayout::Fragmented, PaLayout::Contiguous,
-                                 PmptwCacheConfig::ENABLED_8);
-        let hpmp_plain = measure(CoreKind::Rocket, IsolationScheme::Hpmp,
-                                 VaLayout::Fragmented, PaLayout::Contiguous, DISABLED);
+        let hpmp_cache = measure(
+            CoreKind::Rocket,
+            IsolationScheme::Hpmp,
+            VaLayout::Fragmented,
+            PaLayout::Contiguous,
+            PmptwCacheConfig::ENABLED_8,
+        );
+        let hpmp_plain = measure(
+            CoreKind::Rocket,
+            IsolationScheme::Hpmp,
+            VaLayout::Fragmented,
+            PaLayout::Contiguous,
+            DISABLED,
+        );
         assert!(hpmp_cache <= hpmp_plain, "HPMP-Cache must not be worse");
         assert!(hpmp_cache < with, "HPMP-Cache beats PMPT-Cache");
     }

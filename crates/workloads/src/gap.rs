@@ -7,10 +7,9 @@
 //! random property-array reads whose footprint is what produces the TLB-miss
 //! profile GAP is known for.
 
-use hpmp_memsim::{AccessKind, CoreKind};
+use hpmp_memsim::{AccessKind, CoreKind, SplitMix64};
 use hpmp_penglai::{OsError, TeeFlavor};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hpmp_trace::TraceSink;
 
 use crate::arena::{replay, TraceStep, UserArena};
 use crate::fixture::TeeBench;
@@ -72,7 +71,7 @@ impl KronGraph {
     /// generators (a few hub vertices attract most edges).
     pub fn generate(scale: u32, degree: u64, seed: u64) -> KronGraph {
         let vertices = 1u64 << scale;
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut adjacency: Vec<Vec<u64>> = vec![Vec::new(); vertices as usize];
         let total_edges = vertices * degree;
         for _ in 0..total_edges {
@@ -80,7 +79,7 @@ impl KronGraph {
             let mut src = 0u64;
             let mut dst = 0u64;
             for bit in (0..scale).rev() {
-                let r: f64 = rng.gen();
+                let r = rng.gen_f64();
                 let (sb, db) = if r < 0.57 {
                     (0, 0)
                 } else if r < 0.76 {
@@ -102,7 +101,11 @@ impl KronGraph {
             edges.extend_from_slice(list);
             offsets.push(edges.len() as u64);
         }
-        KronGraph { vertices, edges, offsets }
+        KronGraph {
+            vertices,
+            edges,
+            offsets,
+        }
     }
 
     /// Total number of edges.
@@ -145,12 +148,7 @@ fn layout(graph: &KronGraph) -> (Layout, u64) {
 /// Emits a breadth-first traversal trace: the frontier drives the visit
 /// order (BFS/SSSP/CC really walk the graph this way, which gives bursts of
 /// locality on hub regions followed by scattered fringe visits).
-fn frontier_trace(
-    graph: &KronGraph,
-    compute: u64,
-    prop_reads: u64,
-    budget: u64,
-) -> Vec<TraceStep> {
+fn frontier_trace(graph: &KronGraph, compute: u64, prop_reads: u64, budget: u64) -> Vec<TraceStep> {
     let (l, _) = layout(graph);
     let mut trace = Vec::new();
     let mut visited = vec![false; graph.vertices as usize];
@@ -248,7 +246,11 @@ fn kernel_trace(graph: &KronGraph, kernel: GapKernel, budget: u64) -> Vec<TraceS
                 for r in 0..prop_reads {
                     // BC's second read models its backward-pass sigma/delta
                     // arrays: a second, differently-indexed random page.
-                    let target = if r == 0 { n } else { (n * 7 + v) % graph.vertices };
+                    let target = if r == 0 {
+                        n
+                    } else {
+                        (n * 7 + v) % graph.vertices
+                    };
                     trace.push(TraceStep {
                         offset: l.props_base + target * PROP_STRIDE,
                         kind: AccessKind::Read,
@@ -284,12 +286,31 @@ pub fn run_gap(
     graph: &KronGraph,
     budget: u64,
 ) -> Result<u64, OsError> {
-    let mut tee = TeeBench::boot(flavor, core);
+    Ok(run_gap_with_sink(flavor, core, kernel, graph, budget, hpmp_trace::NullSink)?.0)
+}
+
+/// As [`run_gap`], recording walk events into `sink` and returning the
+/// machine's metrics snapshot alongside the cycle count.
+///
+/// # Errors
+///
+/// Propagates OS errors.
+pub fn run_gap_with_sink<S: TraceSink>(
+    flavor: TeeFlavor,
+    core: CoreKind,
+    kernel: GapKernel,
+    graph: &KronGraph,
+    budget: u64,
+    sink: S,
+) -> Result<(u64, hpmp_trace::Snapshot), OsError> {
+    let mut tee = TeeBench::boot_with_sink(flavor, crate::fixture::config_for(core), sink);
     let (_, bytes) = layout(graph);
     let pages = bytes.div_ceil(hpmp_memsim::PAGE_SIZE) + 1;
     let arena = UserArena::create(&mut tee.os, &mut tee.machine, pages)?;
     let trace = kernel_trace(graph, kernel, budget);
-    replay(&mut tee.os, &mut tee.machine, &arena, trace)
+    let cycles = replay(&mut tee.os, &mut tee.machine, &arena, trace)?;
+    tee.machine.flush_sink();
+    Ok((cycles, tee.machine.metrics_snapshot()))
 }
 
 /// A default graph for tests and benches: 2^14 vertices, degree 8 (scaled
@@ -318,10 +339,12 @@ mod tests {
     #[test]
     fn degree_distribution_is_skewed() {
         let g = KronGraph::generate(10, 8, 2);
-        let mut degrees: Vec<usize> =
-            (0..g.vertices).map(|v| g.neighbours(v).len()).collect();
+        let mut degrees: Vec<usize> = (0..g.vertices).map(|v| g.neighbours(v).len()).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
-        let top = degrees.iter().take(g.vertices as usize / 100).sum::<usize>();
+        let top = degrees
+            .iter()
+            .take(g.vertices as usize / 100)
+            .sum::<usize>();
         // The top 1% of vertices should hold far more than 1% of edges.
         assert!(top as f64 > 0.05 * g.edge_count() as f64, "top1%={top}");
     }
@@ -349,18 +372,37 @@ mod tests {
         // Small graph, small budget: fast smoke check of Figure 11's shape.
         let g = KronGraph::generate(10, 4, 5);
         let budget = 1500;
-        let pmp = run_gap(TeeFlavor::PenglaiPmp, CoreKind::Rocket, GapKernel::Pr, &g, budget)
-            .unwrap();
-        let pmpt =
-            run_gap(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, GapKernel::Pr, &g, budget)
-                .unwrap();
-        let hpmp =
-            run_gap(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, GapKernel::Pr, &g, budget)
-                .unwrap();
+        let pmp = run_gap(
+            TeeFlavor::PenglaiPmp,
+            CoreKind::Rocket,
+            GapKernel::Pr,
+            &g,
+            budget,
+        )
+        .unwrap();
+        let pmpt = run_gap(
+            TeeFlavor::PenglaiPmpt,
+            CoreKind::Rocket,
+            GapKernel::Pr,
+            &g,
+            budget,
+        )
+        .unwrap();
+        let hpmp = run_gap(
+            TeeFlavor::PenglaiHpmp,
+            CoreKind::Rocket,
+            GapKernel::Pr,
+            &g,
+            budget,
+        )
+        .unwrap();
         let pmpt_over = pmpt as f64 / pmp as f64;
         let hpmp_over = hpmp as f64 / pmp as f64;
         assert!(pmpt_over > 1.0, "PMPT must cost more than PMP: {pmpt_over}");
         assert!(hpmp_over < pmpt_over, "HPMP must recover part of the gap");
-        assert!(pmpt_over < 1.35, "GAP overhead stays small (TLB inlining): {pmpt_over}");
+        assert!(
+            pmpt_over < 1.35,
+            "GAP overhead stays small (TLB inlining): {pmpt_over}"
+        );
     }
 }

@@ -22,8 +22,7 @@ pub enum TestCase {
 }
 
 /// All four cases in presentation order.
-pub const TEST_CASES: [TestCase; 4] =
-    [TestCase::Tc1, TestCase::Tc2, TestCase::Tc3, TestCase::Tc4];
+pub const TEST_CASES: [TestCase; 4] = [TestCase::Tc1, TestCase::Tc2, TestCase::Tc3, TestCase::Tc4];
 
 impl std::fmt::Display for TestCase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -84,13 +83,16 @@ pub fn measure_with_config(
             // Warm the neighbour page: upper PWC levels and caches become
             // hot; the target's leaf PTE and TLB entry stay cold.
             m.flush_microarch();
-            m.access(&sys.space, neighbour, op, s).expect("warm neighbour");
+            m.access(&sys.space, neighbour, op, s)
+                .expect("warm neighbour");
         }
         TestCase::Tc4 => {
             m.access(&sys.space, target, op, s).expect("warm");
         }
     }
-    m.access(&sys.space, target, op, s).expect("measured access").cycles
+    m.access(&sys.space, target, op, s)
+        .expect("measured access")
+        .cycles
 }
 
 /// One row of Figure 10: the latencies for (PMPT, HPMP, PMP).
@@ -186,13 +188,16 @@ pub fn measure_virt(core: CoreKind, scheme: VirtScheme, case: VirtCase) -> u64 {
         }
         VirtCase::Tc3 => {
             m.flush_microarch();
-            m.access(neighbour, AccessKind::Read).expect("warm neighbour");
+            m.access(neighbour, AccessKind::Read)
+                .expect("warm neighbour");
         }
         VirtCase::Tc4 => {
             m.access(target, AccessKind::Read).expect("warm");
         }
     }
-    m.access(target, AccessKind::Read).expect("measured access").cycles
+    m.access(target, AccessKind::Read)
+        .expect("measured access")
+        .cycles
 }
 
 #[cfg(test)]
@@ -206,8 +211,10 @@ mod tests {
                 let pmp = measure(core, IsolationScheme::Pmp, op, TestCase::Tc1);
                 let hpmp = measure(core, IsolationScheme::Hpmp, op, TestCase::Tc1);
                 let pmpt = measure(core, IsolationScheme::PmpTable, op, TestCase::Tc1);
-                assert!(pmp < hpmp && hpmp < pmpt,
-                        "{core} {op}: pmp={pmp} hpmp={hpmp} pmpt={pmpt}");
+                assert!(
+                    pmp < hpmp && hpmp < pmpt,
+                    "{core} {op}: pmp={pmp} hpmp={hpmp} pmpt={pmpt}"
+                );
             }
         }
     }
@@ -217,7 +224,12 @@ mod tests {
         for op in [AccessKind::Read, AccessKind::Write] {
             let pmp = measure(CoreKind::Rocket, IsolationScheme::Pmp, op, TestCase::Tc4);
             let hpmp = measure(CoreKind::Rocket, IsolationScheme::Hpmp, op, TestCase::Tc4);
-            let pmpt = measure(CoreKind::Rocket, IsolationScheme::PmpTable, op, TestCase::Tc4);
+            let pmpt = measure(
+                CoreKind::Rocket,
+                IsolationScheme::PmpTable,
+                op,
+                TestCase::Tc4,
+            );
             assert_eq!(pmp, hpmp);
             assert_eq!(pmp, pmpt);
         }
@@ -227,7 +239,14 @@ mod tests {
     fn cases_get_progressively_warmer() {
         let lat: Vec<u64> = TEST_CASES
             .iter()
-            .map(|&c| measure(CoreKind::Rocket, IsolationScheme::PmpTable, AccessKind::Read, c))
+            .map(|&c| {
+                measure(
+                    CoreKind::Rocket,
+                    IsolationScheme::PmpTable,
+                    AccessKind::Read,
+                    c,
+                )
+            })
             .collect();
         assert!(lat[0] > lat[1], "TC1 > TC2: {lat:?}");
         assert!(lat[1] > lat[2], "TC2 > TC3: {lat:?}");
@@ -246,7 +265,11 @@ mod tests {
                         continue;
                     }
                     let m = row.mitigation();
-                    assert!(m > 0.2 && m <= 1.0, "{core} {op} {}: mitigation {m}", row.case);
+                    assert!(
+                        m > 0.2 && m <= 1.0,
+                        "{core} {op} {}: mitigation {m}",
+                        row.case
+                    );
                 }
             }
         }
@@ -254,31 +277,58 @@ mod tests {
 
     #[test]
     fn sd_pays_more_than_ld_when_walking() {
-        let ld = measure(CoreKind::Boom, IsolationScheme::PmpTable, AccessKind::Read,
-                         TestCase::Tc1);
-        let sd = measure(CoreKind::Boom, IsolationScheme::PmpTable, AccessKind::Write,
-                         TestCase::Tc1);
+        let ld = measure(
+            CoreKind::Boom,
+            IsolationScheme::PmpTable,
+            AccessKind::Read,
+            TestCase::Tc1,
+        );
+        let sd = measure(
+            CoreKind::Boom,
+            IsolationScheme::PmpTable,
+            AccessKind::Write,
+            TestCase::Tc1,
+        );
         assert!(sd > ld);
     }
 
     #[test]
     fn virt_orderings_match_figure_13() {
-        let lat: Vec<u64> = [VirtScheme::Pmp, VirtScheme::HpmpGpt, VirtScheme::Hpmp,
-                             VirtScheme::PmpTable]
-            .iter()
-            .map(|&s| measure_virt(CoreKind::Rocket, s, VirtCase::Tc1))
-            .collect();
-        assert!(lat[0] < lat[1] && lat[1] < lat[2] && lat[2] < lat[3], "{lat:?}");
+        let lat: Vec<u64> = [
+            VirtScheme::Pmp,
+            VirtScheme::HpmpGpt,
+            VirtScheme::Hpmp,
+            VirtScheme::PmpTable,
+        ]
+        .iter()
+        .map(|&s| measure_virt(CoreKind::Rocket, s, VirtCase::Tc1))
+        .collect();
+        assert!(
+            lat[0] < lat[1] && lat[1] < lat[2] && lat[2] < lat[3],
+            "{lat:?}"
+        );
         // hfence.v cheaper than hfence.g for the table scheme.
-        let v = measure_virt(CoreKind::Rocket, VirtScheme::PmpTable, VirtCase::AfterHfenceV);
-        let g = measure_virt(CoreKind::Rocket, VirtScheme::PmpTable, VirtCase::AfterHfenceG);
+        let v = measure_virt(
+            CoreKind::Rocket,
+            VirtScheme::PmpTable,
+            VirtCase::AfterHfenceV,
+        );
+        let g = measure_virt(
+            CoreKind::Rocket,
+            VirtScheme::PmpTable,
+            VirtCase::AfterHfenceG,
+        );
         assert!(v < g, "hfence.v {v} < hfence.g {g}");
         // TC4 equal across schemes.
-        let tc4: Vec<u64> = [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp,
-                             VirtScheme::HpmpGpt]
-            .iter()
-            .map(|&s| measure_virt(CoreKind::Rocket, s, VirtCase::Tc4))
-            .collect();
+        let tc4: Vec<u64> = [
+            VirtScheme::Pmp,
+            VirtScheme::PmpTable,
+            VirtScheme::Hpmp,
+            VirtScheme::HpmpGpt,
+        ]
+        .iter()
+        .map(|&s| measure_virt(CoreKind::Rocket, s, VirtCase::Tc4))
+        .collect();
         assert!(tc4.windows(2).all(|w| w[0] == w[1]), "{tc4:?}");
     }
 }

@@ -8,10 +8,9 @@
 //! ~100% in every scheme; `fork+exec` rebuilds address spaces and lands at
 //! the top of the table.
 
-use hpmp_memsim::{AccessKind, CoreKind, PhysAddr};
+use hpmp_memsim::{AccessKind, CoreKind, PhysAddr, SplitMix64};
 use hpmp_penglai::{OsError, Pid, TeeFlavor};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hpmp_trace::TraceSink;
 
 use crate::fixture::TeeBench;
 
@@ -70,10 +69,10 @@ impl std::fmt::Display for Syscall {
 /// A benchmark context: a TEE stack with one resident process and a seeded
 /// RNG for kernel-structure placement.
 #[derive(Debug)]
-pub struct LmbenchContext {
-    tee: TeeBench,
+pub struct LmbenchContext<S: TraceSink = hpmp_trace::NullSink> {
+    tee: TeeBench<S>,
     proc: Pid,
-    rng: SmallRng,
+    rng: SplitMix64,
     /// Base of the simulated kernel-object area (dentries, inodes, files).
     kernel_objs: PhysAddr,
 }
@@ -85,12 +84,42 @@ impl LmbenchContext {
     ///
     /// Propagates OS boot errors.
     pub fn new(flavor: TeeFlavor, core: CoreKind) -> Result<LmbenchContext, OsError> {
-        let mut tee = TeeBench::boot(flavor, core);
+        LmbenchContext::new_with_sink(flavor, core, hpmp_trace::NullSink)
+    }
+}
+
+impl<S: TraceSink> LmbenchContext<S> {
+    /// The underlying TEE stack (for stats and trace inspection).
+    pub fn tee(&self) -> &TeeBench<S> {
+        &self.tee
+    }
+
+    /// Mutable access to the underlying TEE stack.
+    pub fn tee_mut(&mut self) -> &mut TeeBench<S> {
+        &mut self.tee
+    }
+
+    /// As [`LmbenchContext::new`], recording walk events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS boot errors.
+    pub fn new_with_sink(
+        flavor: TeeFlavor,
+        core: CoreKind,
+        sink: S,
+    ) -> Result<LmbenchContext<S>, OsError> {
+        let mut tee = TeeBench::boot_with_sink(flavor, crate::fixture::config_for(core), sink);
         let (proc, _) = tee.os.spawn(&mut tee.machine, 8)?;
         tee.os.mmap(&mut tee.machine, proc, 8)?;
         // Kernel objects live in the OS's kernel area inside the data GMS.
         let kernel_objs = tee.os.kernel_area().0;
-        Ok(LmbenchContext { tee, proc, rng: SmallRng::seed_from_u64(0xbe9c), kernel_objs })
+        Ok(LmbenchContext {
+            tee,
+            proc,
+            rng: SplitMix64::seed_from_u64(0xbe9c),
+            kernel_objs,
+        })
     }
 
     /// Runs one iteration of `syscall`, returning its cycle cost.
@@ -132,9 +161,15 @@ impl LmbenchContext {
                 cycles += self.kernel_hot(10)?;
                 cycles += self.kernel_objects(12)?;
                 cycles += self.copy(512)?;
-                cycles += self.tee.os.context_switch(&mut self.tee.machine, self.proc)?;
+                cycles += self
+                    .tee
+                    .os
+                    .context_switch(&mut self.tee.machine, self.proc)?;
                 cycles += self.copy(512)?;
-                cycles += self.tee.os.context_switch(&mut self.tee.machine, self.proc)?;
+                cycles += self
+                    .tee
+                    .os
+                    .context_switch(&mut self.tee.machine, self.proc)?;
             }
             Syscall::ForkExit => {
                 let (child, fork) = self.tee.os.fork(&mut self.tee.machine, self.proc)?;
@@ -166,8 +201,10 @@ impl LmbenchContext {
         let hot = PhysAddr::new(base.raw() + size - (1 << 20));
         for i in 0..accesses {
             let pa = PhysAddr::new(hot.raw() + (i % 8) * 64);
-            cycles +=
-                self.tee.os.kernel_access(&mut self.tee.machine, pa, AccessKind::Read)?;
+            cycles += self
+                .tee
+                .os
+                .kernel_access(&mut self.tee.machine, pa, AccessKind::Read)?;
         }
         Ok(cycles)
     }
@@ -180,8 +217,10 @@ impl LmbenchContext {
         for _ in 0..accesses {
             let off = self.rng.gen_range(0..slab) & !63;
             let pa = PhysAddr::new(self.kernel_objs.raw() + off);
-            cycles +=
-                self.tee.os.kernel_access(&mut self.tee.machine, pa, AccessKind::Read)?;
+            cycles += self
+                .tee
+                .os
+                .kernel_access(&mut self.tee.machine, pa, AccessKind::Read)?;
             cycles += self.tee.machine.run_compute(12);
         }
         Ok(cycles)
@@ -193,12 +232,18 @@ impl LmbenchContext {
         let lines = bytes.div_ceil(64);
         for i in 0..lines {
             let user_va = hpmp_memsim::VirtAddr::new(hpmp_penglai::USER_HEAP_BASE + i * 64);
-            cycles += self.tee.os.user_access(&mut self.tee.machine, self.proc, user_va,
-                                              AccessKind::Read)?;
+            cycles += self.tee.os.user_access(
+                &mut self.tee.machine,
+                self.proc,
+                user_va,
+                AccessKind::Read,
+            )?;
             let (base, size) = self.tee.os.kernel_area();
             let pa = PhysAddr::new(base.raw() + size - (2 << 20) + i * 64);
-            cycles +=
-                self.tee.os.kernel_access(&mut self.tee.machine, pa, AccessKind::Write)?;
+            cycles += self
+                .tee
+                .os
+                .kernel_access(&mut self.tee.machine, pa, AccessKind::Write)?;
         }
         Ok(cycles)
     }
@@ -231,28 +276,28 @@ mod tests {
 
     #[test]
     fn null_is_scheme_independent() {
-        let pmp = measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Rocket, Syscall::Null, 20)
-            .unwrap();
+        let pmp =
+            measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Rocket, Syscall::Null, 20).unwrap();
         let pmpt =
-            measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Syscall::Null, 20)
-                .unwrap();
+            measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Syscall::Null, 20).unwrap();
         let ratio = pmpt as f64 / pmp as f64;
         assert!((0.98..1.05).contains(&ratio), "null ratio {ratio}");
     }
 
     #[test]
     fn stat_separates_schemes() {
-        let pmp = measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Rocket, Syscall::Stat, 12)
-            .unwrap();
+        let pmp =
+            measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Rocket, Syscall::Stat, 12).unwrap();
         let pmpt =
-            measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Syscall::Stat, 12)
-                .unwrap();
+            measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Syscall::Stat, 12).unwrap();
         let hpmp =
-            measure_syscall(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, Syscall::Stat, 12)
-                .unwrap();
+            measure_syscall(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, Syscall::Stat, 12).unwrap();
         let pmpt_ratio = pmpt as f64 / pmp as f64;
         let hpmp_ratio = hpmp as f64 / pmp as f64;
-        assert!(pmpt_ratio > 1.05, "stat: PMPT should cost >5%: {pmpt_ratio}");
+        assert!(
+            pmpt_ratio > 1.05,
+            "stat: PMPT should cost >5%: {pmpt_ratio}"
+        );
         assert!(hpmp_ratio < pmpt_ratio, "stat: HPMP must beat PMPT");
     }
 
@@ -261,7 +306,10 @@ mod tests {
         let mut ctx = LmbenchContext::new(TeeFlavor::PenglaiPmpt, CoreKind::Rocket).unwrap();
         let null = ctx.run(Syscall::Null).unwrap();
         let fork_exec = ctx.run(Syscall::ForkExec).unwrap();
-        assert!(fork_exec > 10 * null, "fork+exec {fork_exec} vs null {null}");
+        assert!(
+            fork_exec > 10 * null,
+            "fork+exec {fork_exec} vs null {null}"
+        );
     }
 
     #[test]

@@ -9,11 +9,9 @@
 //! of the evaluation).
 
 use hpmp_core::PmpRegion;
-use hpmp_machine::{Machine, MachineConfig};
-use hpmp_memsim::{AccessKind, CoreKind, PhysAddr, PrivMode};
+use hpmp_machine::Machine;
+use hpmp_memsim::{AccessKind, CoreKind, PhysAddr, PrivMode, SplitMix64};
 use hpmp_penglai::{DomainId, GmsLabel, MonitorError, SecureMonitor, TeeFlavor};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Result of a multi-tenant run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,11 +46,24 @@ pub fn run_tenancy(
     tenants: u32,
     rounds: u32,
 ) -> Result<TenancyOutcome, MonitorError> {
-    let config = match core {
-        CoreKind::Rocket => MachineConfig::rocket(),
-        CoreKind::Boom => MachineConfig::boom(),
-    };
-    let mut machine = Machine::new(config);
+    Ok(run_tenancy_with_sink(flavor, core, tenants, rounds, hpmp_trace::NullSink)?.0)
+}
+
+/// As [`run_tenancy`], recording walk events into `sink` and returning the
+/// machine's metrics snapshot alongside the outcome.
+///
+/// # Errors
+///
+/// As [`run_tenancy`].
+pub fn run_tenancy_with_sink<S: hpmp_trace::TraceSink>(
+    flavor: TeeFlavor,
+    core: CoreKind,
+    tenants: u32,
+    rounds: u32,
+    sink: S,
+) -> Result<(TenancyOutcome, hpmp_trace::Snapshot), MonitorError> {
+    let config = crate::fixture::config_for(core);
+    let mut machine = Machine::with_sink(config, sink);
     let ram = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
     let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
 
@@ -72,7 +83,7 @@ pub fn run_tenancy(
         }
     }
 
-    let mut rng = SmallRng::seed_from_u64(0x7e7a);
+    let mut rng = SplitMix64::seed_from_u64(0x7e7a);
     let mut total_cycles = 0u64;
     let mut requests = 0u64;
     let mut cache = hpmp_core::PmptwCache::disabled();
@@ -85,8 +96,13 @@ pub fn run_tenancy(
             // memory system, since tenants here run flat-physical).
             for _ in 0..8 {
                 let addr = PhysAddr::new(base.raw() + (rng.gen_range(0..64u64) * 64));
-                let out = machine.regs().check(machine.phys(), &mut cache, addr,
-                                               AccessKind::Read, PrivMode::Supervisor);
+                let out = machine.regs().check(
+                    machine.phys(),
+                    &mut cache,
+                    addr,
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                );
                 assert!(out.allowed, "tenant must reach its own memory");
                 total_cycles += 6; // modelled hit latency per touch
             }
@@ -94,12 +110,17 @@ pub fn run_tenancy(
             requests += 1;
         }
     }
-    Ok(TenancyOutcome {
-        tenants: domains.len() as u32,
-        total_cycles,
-        requests,
-        hit_entry_wall,
-    })
+    machine.flush_sink();
+    let snapshot = machine.metrics_snapshot();
+    Ok((
+        TenancyOutcome {
+            tenants: domains.len() as u32,
+            total_cycles,
+            requests,
+            hit_entry_wall,
+        },
+        snapshot,
+    ))
 }
 
 #[cfg(test)]
@@ -124,9 +145,12 @@ mod tests {
         let small = run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 4, 4).unwrap();
         let large = run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 64, 4).unwrap();
         let ratio = large.cycles_per_request() / small.cycles_per_request();
-        assert!((0.9..1.1).contains(&ratio),
-                "per-request cost must be flat: {ratio} ({} vs {})",
-                small.cycles_per_request(), large.cycles_per_request());
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "per-request cost must be flat: {ratio} ({} vs {})",
+            small.cycles_per_request(),
+            large.cycles_per_request()
+        );
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! reported as requests-per-second, so the scheme overhead appears as an
 //! RPS *drop*, largest for pointer-chasing commands like `LRANGE`.
 
-use hpmp_memsim::{AccessKind, CoreKind, PAGE_SIZE};
+use hpmp_memsim::{AccessKind, CoreKind, SplitMix64, PAGE_SIZE};
 use hpmp_penglai::{OsError, TeeFlavor};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hpmp_trace::TraceSink;
 
 use crate::arena::{replay, TraceStep, UserArena};
 use crate::fixture::TeeBench;
@@ -127,10 +126,10 @@ fn shape(cmd: RedisCommand) -> (u64, u64, bool, u64) {
 
 /// A resident Redis server instance.
 #[derive(Debug)]
-pub struct RedisServer {
-    tee: TeeBench,
+pub struct RedisServer<S: TraceSink = hpmp_trace::NullSink> {
+    tee: TeeBench<S>,
     arena: UserArena,
-    rng: SmallRng,
+    rng: SplitMix64,
     dataset_bytes: u64,
 }
 
@@ -146,17 +145,47 @@ impl RedisServer {
         core: CoreKind,
         dataset_pages: u64,
     ) -> Result<RedisServer, OsError> {
-        let mut tee = TeeBench::boot(flavor, core);
+        RedisServer::start_with_sink(flavor, core, dataset_pages, hpmp_trace::NullSink)
+    }
+}
+
+impl<S: TraceSink> RedisServer<S> {
+    /// The underlying TEE stack (for stats and trace inspection).
+    pub fn tee(&self) -> &TeeBench<S> {
+        &self.tee
+    }
+
+    /// Mutable access to the underlying TEE stack.
+    pub fn tee_mut(&mut self) -> &mut TeeBench<S> {
+        &mut self.tee
+    }
+
+    /// As [`RedisServer::start`], recording walk events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS errors.
+    pub fn start_with_sink(
+        flavor: TeeFlavor,
+        core: CoreKind,
+        dataset_pages: u64,
+        sink: S,
+    ) -> Result<RedisServer<S>, OsError> {
+        let mut tee = TeeBench::boot_with_sink(flavor, crate::fixture::config_for(core), sink);
         let arena = UserArena::create(&mut tee.os, &mut tee.machine, dataset_pages)?;
         // Pre-fault every page once.
         let warm: Vec<TraceStep> = (0..dataset_pages)
-            .map(|i| TraceStep { offset: i * PAGE_SIZE, kind: AccessKind::Write, compute: 0 })
+            .map(|i| TraceStep {
+                offset: i * PAGE_SIZE,
+                kind: AccessKind::Write,
+                compute: 0,
+            })
             .collect();
         replay(&mut tee.os, &mut tee.machine, &arena, warm)?;
         Ok(RedisServer {
             tee,
             arena,
-            rng: SmallRng::seed_from_u64(0x7ed1),
+            rng: SplitMix64::seed_from_u64(0x7ed1),
             dataset_bytes: dataset_pages * PAGE_SIZE,
         })
     }
@@ -170,7 +199,11 @@ impl RedisServer {
         let (probes, nodes, writes, parse) = shape(cmd);
         let mut trace = Vec::with_capacity((probes + nodes + 2) as usize);
         // Parse + dispatch over hot server state.
-        trace.push(TraceStep { offset: 0, kind: AccessKind::Read, compute: parse });
+        trace.push(TraceStep {
+            offset: 0,
+            kind: AccessKind::Read,
+            compute: parse,
+        });
         for _ in 0..probes {
             // Hash-table probe: uniform over the dataset.
             trace.push(TraceStep {
@@ -183,7 +216,11 @@ impl RedisServer {
             // Value nodes: allocator-scattered.
             trace.push(TraceStep {
                 offset: self.rng.gen_range(0..self.dataset_bytes) & !7,
-                kind: if writes { AccessKind::Write } else { AccessKind::Read },
+                kind: if writes {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 compute: 4,
             });
         }
@@ -238,7 +275,10 @@ mod tests {
         };
         let lrange = drop(RedisCommand::Lrange100);
         let mset = drop(RedisCommand::Mset);
-        assert!(lrange > mset, "LRANGE_100 drop {lrange} should exceed MSET drop {mset}");
+        assert!(
+            lrange > mset,
+            "LRANGE_100 drop {lrange} should exceed MSET drop {mset}"
+        );
     }
 
     #[test]
@@ -247,7 +287,10 @@ mod tests {
         let pmpt = rps(TeeFlavor::PenglaiPmpt, RedisCommand::PingInline);
         let get = rps(TeeFlavor::PenglaiPmp, RedisCommand::Get);
         assert!(pmp > get, "PING must be faster than GET");
-        assert!((pmp - pmpt).abs() / pmp < 0.12, "PING nearly scheme-independent");
+        assert!(
+            (pmp - pmpt).abs() / pmp < 0.12,
+            "PING nearly scheme-independent"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::{OsError, TeeFlavor};
+use hpmp_trace::TraceSink;
 
 use crate::arena::{replay, Patterns, UserArena};
 use crate::fixture::TeeBench;
@@ -78,28 +79,68 @@ struct Profile {
 fn profile(kernel: Rv8Kernel) -> Profile {
     match kernel {
         // Streaming crypto: sequential buffers, heavy per-byte compute.
-        Rv8Kernel::Aes => Profile { ws: 1 << 20, accesses: 3000, compute: 24,
-                                    write_ratio: 0.5, stride: Some(64) },
+        Rv8Kernel::Aes => Profile {
+            ws: 1 << 20,
+            accesses: 3000,
+            compute: 24,
+            write_ratio: 0.5,
+            stride: Some(64),
+        },
         // NORX streams past the L2-TLB reach; paper's largest RV8 overhead.
-        Rv8Kernel::Norx => Profile { ws: 6 << 20, accesses: 3000, compute: 18,
-                                     write_ratio: 0.5, stride: Some(192) },
+        Rv8Kernel::Norx => Profile {
+            ws: 6 << 20,
+            accesses: 3000,
+            compute: 18,
+            write_ratio: 0.5,
+            stride: Some(192),
+        },
         // Sieve: sequential marks over a medium array.
-        Rv8Kernel::Primes => Profile { ws: 2 << 20, accesses: 2500, compute: 10,
-                                       write_ratio: 0.7, stride: Some(8) },
-        Rv8Kernel::Sha512 => Profile { ws: 1 << 20, accesses: 2500, compute: 30,
-                                       write_ratio: 0.2, stride: Some(64) },
+        Rv8Kernel::Primes => Profile {
+            ws: 2 << 20,
+            accesses: 2500,
+            compute: 10,
+            write_ratio: 0.7,
+            stride: Some(8),
+        },
+        Rv8Kernel::Sha512 => Profile {
+            ws: 1 << 20,
+            accesses: 2500,
+            compute: 30,
+            write_ratio: 0.2,
+            stride: Some(64),
+        },
         // Qsort: random-ish partitioning over a 3 MiB array (fits the L2
         // TLB once warm, like the RV8 input size does on the FPGA).
-        Rv8Kernel::Qsort => Profile { ws: 3 << 20, accesses: 3500, compute: 10,
-                                      write_ratio: 0.45, stride: None },
+        Rv8Kernel::Qsort => Profile {
+            ws: 3 << 20,
+            accesses: 3500,
+            compute: 10,
+            write_ratio: 0.45,
+            stride: None,
+        },
         // Dhrystone: tiny working set, almost pure compute.
-        Rv8Kernel::Dhrystone => Profile { ws: 64 << 10, accesses: 2000, compute: 40,
-                                          write_ratio: 0.3, stride: Some(16) },
-        Rv8Kernel::Miniz => Profile { ws: 5 << 20, accesses: 3000, compute: 16,
-                                      write_ratio: 0.4, stride: Some(160) },
+        Rv8Kernel::Dhrystone => Profile {
+            ws: 64 << 10,
+            accesses: 2000,
+            compute: 40,
+            write_ratio: 0.3,
+            stride: Some(16),
+        },
+        Rv8Kernel::Miniz => Profile {
+            ws: 5 << 20,
+            accesses: 3000,
+            compute: 16,
+            write_ratio: 0.4,
+            stride: Some(160),
+        },
         // Bigint: tiny hot limbs, the paper's 0.0% case.
-        Rv8Kernel::Bigint => Profile { ws: 32 << 10, accesses: 2000, compute: 36,
-                                       write_ratio: 0.5, stride: Some(8) },
+        Rv8Kernel::Bigint => Profile {
+            ws: 32 << 10,
+            accesses: 2000,
+            compute: 36,
+            write_ratio: 0.5,
+            stride: Some(8),
+        },
     }
 }
 
@@ -109,8 +150,23 @@ fn profile(kernel: Rv8Kernel) -> Profile {
 ///
 /// Propagates OS errors.
 pub fn run_rv8(flavor: TeeFlavor, core: CoreKind, kernel: Rv8Kernel) -> Result<u64, OsError> {
+    Ok(run_rv8_with_sink(flavor, core, kernel, hpmp_trace::NullSink)?.0)
+}
+
+/// As [`run_rv8`], recording walk events into `sink` and returning the
+/// machine's metrics snapshot alongside the cycle count.
+///
+/// # Errors
+///
+/// Propagates OS errors.
+pub fn run_rv8_with_sink<S: TraceSink>(
+    flavor: TeeFlavor,
+    core: CoreKind,
+    kernel: Rv8Kernel,
+    sink: S,
+) -> Result<(u64, hpmp_trace::Snapshot), OsError> {
     let p = profile(kernel);
-    let mut tee = TeeBench::boot(flavor, core);
+    let mut tee = TeeBench::boot_with_sink(flavor, crate::fixture::config_for(core), sink);
     let pages = p.ws.div_ceil(hpmp_memsim::PAGE_SIZE);
     let arena = UserArena::create(&mut tee.os, &mut tee.machine, pages)?;
     let mut patterns = Patterns::new(kernel as u64 + 1);
@@ -123,7 +179,9 @@ pub fn run_rv8(flavor: TeeFlavor, core: CoreKind, kernel: Rv8Kernel) -> Result<u
     let warm = patterns.sequential(p.ws / 4096, 4096, 0.0, 0);
     replay(&mut tee.os, &mut tee.machine, &arena, warm)?;
     tee.machine.reset_stats();
-    replay(&mut tee.os, &mut tee.machine, &arena, trace)
+    let cycles = replay(&mut tee.os, &mut tee.machine, &arena, trace)?;
+    tee.machine.flush_sink();
+    Ok((cycles, tee.machine.metrics_snapshot()))
 }
 
 #[cfg(test)]
@@ -139,8 +197,14 @@ mod tests {
             let hpmp = run_rv8(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, kernel).unwrap();
             let pmpt_over = pmpt as f64 / pmp as f64;
             let hpmp_over = hpmp as f64 / pmp as f64;
-            assert!(pmpt_over < 1.12, "{kernel}: PMPT overhead too large: {pmpt_over}");
-            assert!(hpmp_over <= pmpt_over + 1e-9, "{kernel}: HPMP must not exceed PMPT");
+            assert!(
+                pmpt_over < 1.12,
+                "{kernel}: PMPT overhead too large: {pmpt_over}"
+            );
+            assert!(
+                hpmp_over <= pmpt_over + 1e-9,
+                "{kernel}: HPMP must not exceed PMPT"
+            );
         }
     }
 
@@ -148,8 +212,7 @@ mod tests {
     fn compute_bound_kernels_are_insensitive() {
         // Dhrystone/bigint: tiny WS => all TLB hits => near-zero overhead.
         let pmp = run_rv8(TeeFlavor::PenglaiPmp, CoreKind::Rocket, Rv8Kernel::Bigint).unwrap();
-        let pmpt =
-            run_rv8(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Rv8Kernel::Bigint).unwrap();
+        let pmpt = run_rv8(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Rv8Kernel::Bigint).unwrap();
         let over = pmpt as f64 / pmp as f64;
         assert!(over < 1.02, "bigint overhead should be ~0%: {over}");
     }

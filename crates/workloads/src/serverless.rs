@@ -8,6 +8,7 @@
 
 use hpmp_memsim::{AccessKind, CoreKind, PAGE_SIZE};
 use hpmp_penglai::{OsError, TeeFlavor};
+use hpmp_trace::TraceSink;
 
 use crate::arena::{replay, replay_with_code, Patterns, TraceStep, UserArena};
 use crate::fixture::TeeBench;
@@ -74,22 +75,57 @@ struct Profile {
 fn profile(function: Function) -> Profile {
     match function {
         // Template rendering: many small objects, random.
-        Function::Chameleon => Profile { code_pages: 48, heap_pages: 160, accesses: 1600,
-                                         compute: 8, random: true },
+        Function::Chameleon => Profile {
+            code_pages: 48,
+            heap_pages: 160,
+            accesses: 1600,
+            compute: 8,
+            random: true,
+        },
         // dd: streaming copy, low compute.
-        Function::Dd => Profile { code_pages: 16, heap_pages: 256, accesses: 2400,
-                                  compute: 3, random: false },
-        Function::Gzip => Profile { code_pages: 24, heap_pages: 192, accesses: 2200,
-                                    compute: 12, random: false },
+        Function::Dd => Profile {
+            code_pages: 16,
+            heap_pages: 256,
+            accesses: 2400,
+            compute: 3,
+            random: false,
+        },
+        Function::Gzip => Profile {
+            code_pages: 24,
+            heap_pages: 192,
+            accesses: 2200,
+            compute: 12,
+            random: false,
+        },
         // Linpack/Matmul: blocked numeric kernels, good locality, heavy FP.
-        Function::Linpack => Profile { code_pages: 32, heap_pages: 128, accesses: 1800,
-                                       compute: 22, random: false },
-        Function::Matmul => Profile { code_pages: 16, heap_pages: 96, accesses: 1500,
-                                      compute: 26, random: false },
-        Function::PyAes => Profile { code_pages: 40, heap_pages: 64, accesses: 1400,
-                                     compute: 18, random: true },
-        Function::Image => Profile { code_pages: 32, heap_pages: 200, accesses: 2000,
-                                     compute: 9, random: false },
+        Function::Linpack => Profile {
+            code_pages: 32,
+            heap_pages: 128,
+            accesses: 1800,
+            compute: 22,
+            random: false,
+        },
+        Function::Matmul => Profile {
+            code_pages: 16,
+            heap_pages: 96,
+            accesses: 1500,
+            compute: 26,
+            random: false,
+        },
+        Function::PyAes => Profile {
+            code_pages: 40,
+            heap_pages: 64,
+            accesses: 1400,
+            compute: 18,
+            random: true,
+        },
+        Function::Image => Profile {
+            code_pages: 32,
+            heap_pages: 200,
+            accesses: 2000,
+            compute: 9,
+            random: false,
+        },
     }
 }
 
@@ -99,7 +135,11 @@ fn profile(function: Function) -> Profile {
 /// # Errors
 ///
 /// Propagates OS errors.
-pub fn invoke(tee: &mut TeeBench, function: Function, seed: u64) -> Result<u64, OsError> {
+pub fn invoke<S: TraceSink>(
+    tee: &mut TeeBench<S>,
+    function: Function,
+    seed: u64,
+) -> Result<u64, OsError> {
     let p = profile(function);
     let mut cycles = 0;
 
@@ -166,8 +206,8 @@ pub fn measure_function(
 /// # Errors
 ///
 /// Propagates OS errors.
-pub fn measure_function_on(
-    tee: &mut TeeBench,
+pub fn measure_function_on<S: TraceSink>(
+    tee: &mut TeeBench<S>,
     function: Function,
     n: u64,
 ) -> Result<u64, OsError> {
@@ -208,10 +248,16 @@ pub fn image_chain(flavor: TeeFlavor, core: CoreKind, size: u64) -> Result<u64, 
             .flat_map(|i| {
                 let off = (i * 64) % (image_pages * PAGE_SIZE);
                 [
-                    TraceStep { offset: off, kind: AccessKind::Read,
-                                compute: compute_per_px * 16 },
-                    TraceStep { offset: image_pages * PAGE_SIZE + off,
-                                kind: AccessKind::Write, compute: 2 },
+                    TraceStep {
+                        offset: off,
+                        kind: AccessKind::Read,
+                        compute: compute_per_px * 16,
+                    },
+                    TraceStep {
+                        offset: image_pages * PAGE_SIZE + off,
+                        kind: AccessKind::Write,
+                        compute: 2,
+                    },
                 ]
             })
             .collect();
@@ -231,13 +277,16 @@ mod tests {
         // Figure 12: PMPT costs double-digit %, HPMP a few %.
         let pmp =
             measure_function(TeeFlavor::PenglaiPmp, CoreKind::Rocket, Function::Dd, 2).unwrap();
-        let pmpt = measure_function(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Function::Dd, 2)
-            .unwrap();
-        let hpmp = measure_function(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, Function::Dd, 2)
-            .unwrap();
+        let pmpt =
+            measure_function(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, Function::Dd, 2).unwrap();
+        let hpmp =
+            measure_function(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, Function::Dd, 2).unwrap();
         let pmpt_over = pmpt as f64 / pmp as f64;
         let hpmp_over = hpmp as f64 / pmp as f64;
-        assert!(pmpt_over > 1.01, "PMPT must cost >1% on serverless: {pmpt_over}");
+        assert!(
+            pmpt_over > 1.01,
+            "PMPT must cost >1% on serverless: {pmpt_over}"
+        );
         assert!(hpmp_over < pmpt_over, "HPMP must recover the gap");
         assert!(
             (hpmp_over - 1.0) < 0.6 * (pmpt_over - 1.0),
@@ -262,7 +311,10 @@ mod tests {
         };
         let small = over(32);
         let large = over(256);
-        assert!(small > large, "overhead must shrink with size: {small} vs {large}");
+        assert!(
+            small > large,
+            "overhead must shrink with size: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -7,10 +7,8 @@
 //! walk's cost shows up as end-to-end throughput, the way Figure 12 shows
 //! it for the native case.
 
-use hpmp_machine::{MachineConfig, VirtMachine, VirtScheme};
-use hpmp_memsim::{AccessKind, CoreKind, VirtAddr, PAGE_SIZE};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hpmp_machine::{VirtMachine, VirtScheme};
+use hpmp_memsim::{AccessKind, CoreKind, SplitMix64, VirtAddr, PAGE_SIZE};
 
 /// Result of a guest-application run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,11 +40,24 @@ pub fn run_guest_kv(
     dataset_pages: u64,
     requests: u64,
 ) -> VirtAppOutcome {
-    let config = match core {
-        CoreKind::Rocket => MachineConfig::rocket(),
-        CoreKind::Boom => MachineConfig::boom(),
-    };
-    let mut machine = VirtMachine::new(config, scheme, dataset_pages);
+    run_guest_kv_with_sink(core, scheme, dataset_pages, requests, hpmp_trace::NullSink).0
+}
+
+/// As [`run_guest_kv`], recording walk events into `sink` and returning the
+/// guest machine's metrics snapshot alongside the outcome.
+///
+/// # Panics
+///
+/// As [`run_guest_kv`].
+pub fn run_guest_kv_with_sink<S: hpmp_trace::TraceSink>(
+    core: CoreKind,
+    scheme: VirtScheme,
+    dataset_pages: u64,
+    requests: u64,
+    sink: S,
+) -> (VirtAppOutcome, hpmp_trace::Snapshot) {
+    let config = crate::fixture::config_for(core);
+    let mut machine = VirtMachine::with_sink(config, scheme, dataset_pages, sink);
     let base = 0x20_0000u64;
     let bytes = dataset_pages * PAGE_SIZE;
     // Pre-fault the dataset (long-running guest).
@@ -56,7 +67,7 @@ pub fn run_guest_kv(
             .expect("guest dataset page");
     }
 
-    let mut rng = SmallRng::seed_from_u64(0x6e57);
+    let mut rng = SplitMix64::seed_from_u64(0x6e57);
     let mut cycles = 0u64;
     for _ in 0..requests {
         cycles += 120; // parse/dispatch compute in the guest
@@ -73,7 +84,9 @@ pub fn run_guest_kv(
             .expect("update")
             .cycles;
     }
-    VirtAppOutcome { requests, cycles }
+    machine.sink_mut().flush();
+    let snapshot = machine.metrics_snapshot();
+    (VirtAppOutcome { requests, cycles }, snapshot)
 }
 
 /// Dataset size for the default guest workload: large enough that probes
@@ -85,8 +98,7 @@ mod tests {
     use super::*;
 
     fn cpr(scheme: VirtScheme) -> f64 {
-        run_guest_kv(CoreKind::Rocket, scheme, GUEST_DATASET_PAGES, 400)
-            .cycles_per_request()
+        run_guest_kv(CoreKind::Rocket, scheme, GUEST_DATASET_PAGES, 400).cycles_per_request()
     }
 
     #[test]
@@ -104,12 +116,15 @@ mod tests {
     fn small_dataset_closes_the_gap() {
         // A TLB-resident guest dataset makes schemes nearly equal
         // (permission inlining covers the hits).
-        let small_pmp = run_guest_kv(CoreKind::Rocket, VirtScheme::Pmp, 64, 300)
-            .cycles_per_request();
-        let small_pmpt = run_guest_kv(CoreKind::Rocket, VirtScheme::PmpTable, 64, 300)
-            .cycles_per_request();
+        let small_pmp =
+            run_guest_kv(CoreKind::Rocket, VirtScheme::Pmp, 64, 300).cycles_per_request();
+        let small_pmpt =
+            run_guest_kv(CoreKind::Rocket, VirtScheme::PmpTable, 64, 300).cycles_per_request();
         let ratio = small_pmpt / small_pmp;
-        assert!(ratio < 1.05, "TLB-resident guest should be scheme-insensitive: {ratio}");
+        assert!(
+            ratio < 1.05,
+            "TLB-resident guest should be scheme-insensitive: {ratio}"
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@
 use hpmp_suite::core::PmpRegion;
 use hpmp_suite::machine::{Machine, MachineConfig};
 use hpmp_suite::memsim::{PhysAddr, PAGE_SIZE};
-use hpmp_suite::penglai::{
-    Attestor, GmsLabel, IpcTable, MerkleTree, SecureMonitor, TeeFlavor,
-};
+use hpmp_suite::penglai::{Attestor, GmsLabel, IpcTable, MerkleTree, SecureMonitor, TeeFlavor};
 
 fn main() {
     let mut machine = Machine::new(MachineConfig::rocket());
@@ -19,43 +17,60 @@ fn main() {
     let mut attestor = Attestor::new(0x0e11_fa11_ba5e_ba11); // device key from secure boot
 
     // 1. Deploy two enclaves and load some "code" into the first.
-    let (alice, _) = monitor.create_domain(&mut machine, 64 * 1024, GmsLabel::Slow)
+    let (alice, _) = monitor
+        .create_domain(&mut machine, 64 * 1024, GmsLabel::Slow)
         .expect("alice");
-    let (bob, _) = monitor.create_domain(&mut machine, 64 * 1024, GmsLabel::Slow)
+    let (bob, _) = monitor
+        .create_domain(&mut machine, 64 * 1024, GmsLabel::Slow)
         .expect("bob");
     let alice_base = monitor.regions_of(alice).expect("regions")[0].region.base;
     for i in 0..8u64 {
-        machine.phys_mut().write_u64(alice_base + i * 8, 0x1337_0000 + i);
+        machine
+            .phys_mut()
+            .write_u64(alice_base + i * 8, 0x1337_0000 + i);
     }
 
     // 2. Measure and attest.
-    let (measurement, cycles) =
-        attestor.measure(&machine, &monitor, alice).expect("measure");
+    let (measurement, cycles) = attestor
+        .measure(&machine, &monitor, alice)
+        .expect("measure");
     println!("measured {alice_base:?}-owner enclave: {measurement:#018x} ({cycles} cycles)");
     let report = attestor.attest(alice).expect("attest");
-    println!("report: domain={} nonce={} tag={:#018x}", report.domain, report.nonce,
-             report.tag);
+    println!(
+        "report: domain={} nonce={} tag={:#018x}",
+        report.domain, report.nonce, report.tag
+    );
     attestor.verify(&report).expect("genuine report");
     println!("verification: OK");
 
     let mut forged = report;
     forged.measurement ^= 0xff;
-    println!("forged report rejected: {:?}", attestor.verify(&forged).unwrap_err());
+    println!(
+        "forged report rejected: {:?}",
+        attestor.verify(&forged).unwrap_err()
+    );
 
     // 3. Run-time integrity: build a Merkle tree over the enclave, then
     //    simulate a physical attacker flipping a bit behind the CPU's back.
     let mut tree = MerkleTree::build(machine.phys(), alice_base, 16);
     tree.mount(machine.phys(), alice_base).expect("mount");
     tree.verify_page(machine.phys(), alice_base).expect("clean");
-    println!("merkle root: {:#018x} ({} bytes resident metadata)", tree.root(),
-             tree.resident_metadata_bytes());
+    println!(
+        "merkle root: {:#018x} ({} bytes resident metadata)",
+        tree.root(),
+        tree.resident_metadata_bytes()
+    );
     machine.phys_mut().write_u64(alice_base + 0x40, 0xbad);
-    println!("after physical tamper: {:?}",
-             tree.verify_page(machine.phys(), alice_base).unwrap_err());
+    println!(
+        "after physical tamper: {:?}",
+        tree.verify_page(machine.phys(), alice_base).unwrap_err()
+    );
 
     // 4. Inter-enclave IPC through the monitor.
     let mut ipc = IpcTable::new();
-    let (channel, _) = ipc.create(&mut machine, &mut monitor, alice, bob).expect("channel");
+    let (channel, _) = ipc
+        .create(&mut machine, &mut monitor, alice, bob)
+        .expect("channel");
     let send = ipc.send(&mut machine, channel, alice, 512).expect("send");
     let (bytes, recv) = ipc.recv(&mut machine, channel, bob).expect("recv");
     println!("IPC: {bytes} bytes alice->bob ({send} + {recv} cycles)");

@@ -11,10 +11,16 @@ use hpmp_suite::workloads::multi_tenant::run_tenancy;
 
 fn main() {
     println!("Packing 100 tenant enclaves onto one node (Rocket)\n");
-    println!("{:<16}{:>10}{:>16}{:>22}", "flavour", "tenants", "entry wall?",
-             "cycles per request");
+    println!(
+        "{:<16}{:>10}{:>16}{:>22}",
+        "flavour", "tenants", "entry wall?", "cycles per request"
+    );
 
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
         let out = run_tenancy(flavor, CoreKind::Rocket, 100, 2).expect("tenancy run");
         println!(
             "{:<16}{:>10}{:>16}{:>22.0}",

@@ -10,7 +10,11 @@ use hpmp_suite::memsim::{AccessKind, Perms, PrivMode, VirtAddr};
 fn main() {
     println!("HPMP quickstart: one TLB-missing `ld` under each isolation scheme\n");
 
-    for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp] {
+    for scheme in [
+        IsolationScheme::Pmp,
+        IsolationScheme::PmpTable,
+        IsolationScheme::Hpmp,
+    ] {
         // A RocketCore-like SoC with the scheme programmed into the HPMP
         // register file (PMP = all segment entries, PMP Table = one
         // table-mode entry, HPMP = segment over the PT pool + table).
@@ -35,7 +39,20 @@ fn main() {
         println!("  pmpte reads (data page) : {}", out.refs.pmpte_for_data);
         println!("  data reads              : {}", out.refs.data_reads);
         println!("  total memory references : {}", out.refs.total());
-        println!("  latency                 : {} cycles\n", out.cycles);
+        println!("  latency                 : {} cycles", out.cycles);
+
+        // The same numbers via the unified metrics registry: one snapshot
+        // of every counter the machine keeps, addressable by dotted name.
+        let snap = sys.machine.metrics_snapshot();
+        println!(
+            "  snapshot                : {} walks, {} refs, {} cycles, \
+                  tlb miss rate {:.0}%\n",
+            snap.value("machine.walks"),
+            snap.value("machine.mem.accesses"),
+            snap.value("machine.cycles"),
+            100.0 * snap.value("machine.dtlb.misses") as f64
+                / snap.value("machine.dtlb.lookups").max(1) as f64
+        );
     }
 
     println!("A second access hits the TLB (permissions inlined), so every");

@@ -21,8 +21,11 @@ fn main() {
         RedisCommand::Lrange600,
         RedisCommand::Mset,
     ];
-    let flavors =
-        [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp];
+    let flavors = [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ];
 
     // One resident server per flavour, as in the paper's methodology.
     let mut servers: Vec<RedisServer> = flavors
@@ -33,8 +36,10 @@ fn main() {
         })
         .collect();
 
-    println!("{:<14}{:>14}{:>14}{:>14}{:>10}", "command", "PL-PMP", "PL-PMPT", "PL-HPMP",
-             "PMPT loss");
+    println!(
+        "{:<14}{:>14}{:>14}{:>14}{:>10}",
+        "command", "PL-PMP", "PL-PMPT", "PL-HPMP", "PMPT loss"
+    );
     for cmd in commands {
         let rps: Vec<f64> = servers
             .iter_mut()

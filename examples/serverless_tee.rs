@@ -14,10 +14,16 @@ use hpmp_suite::workloads::TeeBench;
 fn main() {
     println!("Cold serverless invocations under the three Penglai flavours (Rocket)\n");
 
-    let flavors =
-        [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp];
+    let flavors = [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ];
 
-    println!("{:<12}{:>14}{:>14}{:>14}", "function", "PL-PMP", "PL-PMPT", "PL-HPMP");
+    println!(
+        "{:<12}{:>14}{:>14}{:>14}",
+        "function", "PL-PMP", "PL-PMPT", "PL-HPMP"
+    );
     for function in FUNCTIONS {
         // Fresh stack per cell so every flavour sees the same cold state;
         // normalise the row to its own Penglai-PMP cell.
@@ -44,9 +50,7 @@ fn main() {
         let stats = tee.machine.stats();
         println!(
             "  {flavor:<14} {cycles:>9} cycles | {:>6} walks | pmpte refs: {} (PT) + {} (data)",
-            stats.walks,
-            stats.refs.pmpte_for_pt,
-            stats.refs.pmpte_for_data,
+            stats.walks, stats.refs.pmpte_for_pt, stats.refs.pmpte_for_data,
         );
     }
     println!("\nUnder HPMP the PT-page pmpte count is zero: page-table pages live in");

@@ -14,13 +14,23 @@ fn main() {
     println!("One cold guest `ld` (hlv.d) through the two-stage walk (Rocket)\n");
     println!(
         "{:<10}{:>6}{:>6}{:>6}{:>12}{:>12}{:>12}{:>8}{:>10}",
-        "scheme", "nPT", "gPT", "data", "pmpte(nPT)", "pmpte(gPT)", "pmpte(data)", "total",
+        "scheme",
+        "nPT",
+        "gPT",
+        "data",
+        "pmpte(nPT)",
+        "pmpte(gPT)",
+        "pmpte(data)",
+        "total",
         "cycles"
     );
 
-    for scheme in [VirtScheme::Pmp, VirtScheme::PmpTable, VirtScheme::Hpmp,
-                   VirtScheme::HpmpGpt]
-    {
+    for scheme in [
+        VirtScheme::Pmp,
+        VirtScheme::PmpTable,
+        VirtScheme::Hpmp,
+        VirtScheme::HpmpGpt,
+    ] {
         let mut machine = VirtMachine::new(MachineConfig::rocket(), scheme, 8);
         machine.flush_microarch();
         let out = machine

@@ -2,61 +2,80 @@
 //! live machine — every memory reference of one TLB-missing load, in order,
 //! labelled the way the paper draws its squares and circles.
 //!
+//! Unlike hand-walking the page table, this drives the *instrumented*
+//! machine: a [`RingSink`] records one [`WalkEvent`] per access, and the
+//! event's step list is the diagram. The same events stream to JSONL with
+//! `hpmpsim --trace-out` / `repro --trace-out`.
+//!
 //! Run with: `cargo run --example walk_trace`
 
-use hpmp_suite::core::PmptwCache;
 use hpmp_suite::machine::{IsolationScheme, MachineConfig, SystemBuilder};
 use hpmp_suite::memsim::{AccessKind, Perms, PrivMode, VirtAddr};
-use hpmp_suite::paging::{walk, WalkCache, WalkCacheConfig};
+use hpmp_suite::trace::{RingSink, StepKind};
 
 fn main() {
     let va = VirtAddr::new(0x10_0000);
-    for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp] {
-        let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme).build();
+    for scheme in [
+        IsolationScheme::Pmp,
+        IsolationScheme::PmpTable,
+        IsolationScheme::Hpmp,
+    ] {
+        // A machine with a small ring buffer as its trace sink: every
+        // access becomes a WalkEvent, oldest events dropped when full.
+        let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme)
+            .sink(RingSink::new(8))
+            .build();
         sys.map_range(va, 1, Perms::RW);
         sys.sync_pt_grants();
+        sys.machine.flush_microarch();
 
         println!("--- {scheme}: one TLB-missing ld at {va} ---");
-        let mut step = 0;
-        let mut pwc = WalkCache::new(WalkCacheConfig { entries: 0, hit_latency: 1 });
-        let result = walk(sys.machine.phys(), &sys.space, &mut pwc, va);
-        let mut cache = PmptwCache::disabled();
+        sys.machine
+            .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+            .expect("the mapping was just created");
 
-        for pt_ref in &result.pt_refs {
-            // The PT-page reference is validated first…
-            let check = sys.machine.regs().check(
-                sys.machine.phys(), &mut cache, pt_ref.addr, AccessKind::Read,
-                PrivMode::Supervisor,
+        let event = sys
+            .machine
+            .sink()
+            .latest()
+            .expect("access was traced")
+            .clone();
+        for (i, step) in event.steps.iter().enumerate() {
+            let label = match (step.kind, step.level) {
+                (StepKind::Pt, Some(level)) => format!("L{level} PTE"),
+                (StepKind::PmptRoot, _) => "root pmpte".into(),
+                (StepKind::PmptLeaf, _) => "leaf pmpte".into(),
+                (StepKind::Data, _) => "data".into(),
+                (kind, _) => kind.label().into(),
+            };
+            println!(
+                "  {:>2}. [{label:<10}] {:#x}  ({} cycles)",
+                i + 1,
+                step.addr,
+                step.cycles
             );
-            for r in &check.refs {
-                step += 1;
-                let kind = if r.is_root { "root pmpte" } else { "leaf pmpte" };
-                println!("  {step:>2}. [{kind:<10}] {}", r.addr);
-            }
-            if check.refs.is_empty() {
-                println!("      (segment check for L{} PTE — no memory reference)",
-                         pt_ref.level);
-            }
-            // …then the PTE itself is read.
-            step += 1;
-            println!("  {step:>2}. [L{} PTE    ] {}", pt_ref.level, pt_ref.addr);
         }
-        let translation = result.translation.expect("mapped");
-        let check = sys.machine.regs().check(
-            sys.machine.phys(), &mut cache, translation.paddr, AccessKind::Read,
-            PrivMode::Supervisor,
+        // The synthetic TLB-L2 probe step (absent on this cold miss) is not
+        // a memory reference, so it never counts toward the figure's totals.
+        let refs = event
+            .steps
+            .iter()
+            .filter(|s| s.kind != StepKind::TlbL2)
+            .count();
+        assert!(event.is_balanced(), "every cycle is attributed to a step");
+        println!("  total memory references: {refs}");
+        println!(
+            "  tlb={} pwc_level={:?} pmptw={:?}",
+            event.tlb.label(),
+            event.pwc_level,
+            event.pmptw.map(|p| p.label())
         );
-        for r in &check.refs {
-            step += 1;
-            let kind = if r.is_root { "root pmpte" } else { "leaf pmpte" };
-            println!("  {step:>2}. [{kind:<10}] {}", r.addr);
-        }
-        if check.refs.is_empty() {
-            println!("      (segment check for the data page — no memory reference)");
-        }
-        step += 1;
-        println!("  {step:>2}. [data      ] {}", translation.paddr);
-        println!("  total memory references: {step}\n");
+        println!(
+            "  latency: {} cycles = {} pipeline + {} in steps\n",
+            event.cycles,
+            event.pipeline_cycles,
+            event.step_cycles()
+        );
     }
     println!("Compare with the paper: PMP = 4, PMP Table = 12 (Figure 2-c's numbered");
     println!("squares and circles), HPMP = 6 (Figure 4).");

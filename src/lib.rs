@@ -11,4 +11,5 @@ pub use hpmp_machine as machine;
 pub use hpmp_memsim as memsim;
 pub use hpmp_paging as paging;
 pub use hpmp_penglai as penglai;
+pub use hpmp_trace as trace;
 pub use hpmp_workloads as workloads;

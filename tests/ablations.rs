@@ -19,18 +19,32 @@ fn contiguous_pt_pool_is_essential() {
         sys.sync_pt_grants();
         sys.machine.flush_microarch();
         sys.machine
-            .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x10_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .expect("mapped")
             .refs
     };
     let adopted = refs_with(true);
-    assert_eq!(adopted.pmpte_for_pt, 0, "contiguous pool: PT pages behind the segment");
+    assert_eq!(
+        adopted.pmpte_for_pt, 0,
+        "contiguous pool: PT pages behind the segment"
+    );
     assert_eq!(adopted.total(), 6);
 
     let stock = refs_with(false);
-    assert_eq!(stock.pmpte_for_pt, 6, "scattered PT pages fall back to the table");
-    assert_eq!(stock.total(), 12, "without the OS change, HPMP == PMP Table");
+    assert_eq!(
+        stock.pmpte_for_pt, 6,
+        "scattered PT pages fall back to the table"
+    );
+    assert_eq!(
+        stock.total(),
+        12,
+        "without the OS change, HPMP == PMP Table"
+    );
 }
 
 /// The extra dimension grows with page-table depth (§2.2: "even more
@@ -47,18 +61,28 @@ fn deeper_tables_widen_the_gap() {
         sys.sync_pt_grants();
         sys.machine.flush_microarch();
         sys.machine
-            .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                    PrivMode::Supervisor)
+            .access(
+                &sys.space,
+                VirtAddr::new(0x10_0000),
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            )
             .expect("mapped")
             .cycles
     };
     let mut last_gap = 0;
-    for mode in [TranslationMode::Sv39, TranslationMode::Sv48, TranslationMode::Sv57] {
+    for mode in [
+        TranslationMode::Sv39,
+        TranslationMode::Sv48,
+        TranslationMode::Sv57,
+    ] {
         let pmpt = cold_cycles(IsolationScheme::PmpTable, mode);
         let hpmp = cold_cycles(IsolationScheme::Hpmp, mode);
         let gap = pmpt - hpmp;
-        assert!(gap > last_gap,
-                "{mode}: HPMP's absolute saving must grow with depth ({gap} vs {last_gap})");
+        assert!(
+            gap > last_gap,
+            "{mode}: HPMP's absolute saving must grow with depth ({gap} vs {last_gap})"
+        );
         last_gap = gap;
     }
 }
@@ -80,8 +104,12 @@ fn pmptw_cache_monotone() {
         for _ in 0..2 {
             for i in 0..8u64 {
                 sys.machine
-                    .access(&sys.space, VirtAddr::new(0x10_0000 + i * 4096),
-                            AccessKind::Read, PrivMode::Supervisor)
+                    .access(
+                        &sys.space,
+                        VirtAddr::new(0x10_0000 + i * 4096),
+                        AccessKind::Read,
+                        PrivMode::Supervisor,
+                    )
                     .expect("mapped");
             }
             sys.machine.sfence_vma_asid(1); // force re-walks, keep PMPTW cache
@@ -91,9 +119,18 @@ fn pmptw_cache_monotone() {
     let r0 = walk_refs(0);
     let r4 = walk_refs(4);
     let r8 = walk_refs(8);
-    assert!(r4 <= r0, "4-entry cache must not add references: {r4} vs {r0}");
-    assert!(r8 <= r4, "8-entry cache must not add references: {r8} vs {r4}");
-    assert!(r8 < r0, "the cache must actually remove references: {r8} vs {r0}");
+    assert!(
+        r4 <= r0,
+        "4-entry cache must not add references: {r4} vs {r0}"
+    );
+    assert!(
+        r8 <= r4,
+        "8-entry cache must not add references: {r8} vs {r4}"
+    );
+    assert!(
+        r8 < r0,
+        "the cache must actually remove references: {r8} vs {r0}"
+    );
 }
 
 /// Flipping one entry's T bit converts a live system between PMP-like and
@@ -108,17 +145,31 @@ fn runtime_mode_switch() {
 
     // Baseline hybrid: 6 references.
     sys.machine.flush_microarch();
-    let hybrid = sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
-        .expect("access").refs.total();
+    let hybrid = sys
+        .machine
+        .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+        .expect("access")
+        .refs
+        .total();
     assert_eq!(hybrid, 6);
 
     // Demote the fast segment (entry 0 in the builder's HPMP layout —
     // entries 1/2 are the table pair) by disabling it: PT-page checks fall
     // back to the table, which covers the pool too (cache-like management).
-    sys.machine.regs_mut().disable(0).expect("disable fast segment");
+    sys.machine
+        .regs_mut()
+        .disable(0)
+        .expect("disable fast segment");
     sys.machine.sfence_vma_all();
     sys.machine.flush_microarch();
-    let demoted = sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
-        .expect("access").refs.total();
-    assert_eq!(demoted, 12, "without the fast segment the walk pays full table cost");
+    let demoted = sys
+        .machine
+        .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+        .expect("access")
+        .refs
+        .total();
+    assert_eq!(
+        demoted, 12,
+        "without the fast segment the walk pays full table cost"
+    );
 }

@@ -18,9 +18,12 @@ fn full_feature_walkthrough() {
     let heap = tee.os.mmap_lazy(pid, 16).expect("lazy mmap");
     for i in 0..16u64 {
         tee.os
-            .user_access_faulting(&mut tee.machine, pid,
-                                  VirtAddr::new(heap.raw() + i * PAGE_SIZE),
-                                  AccessKind::Write)
+            .user_access_faulting(
+                &mut tee.machine,
+                pid,
+                VirtAddr::new(heap.raw() + i * PAGE_SIZE),
+                AccessKind::Write,
+            )
             .expect("demand fault");
     }
 
@@ -34,14 +37,26 @@ fn full_feature_walkthrough() {
     tee.os
         .user_access_faulting(&mut tee.machine, pid, heap, AccessKind::Read)
         .expect("hot access");
-    assert_eq!(tee.machine.stats().refs.pmpte_for_data, 0, "hinted page is segment-backed");
+    assert_eq!(
+        tee.machine.stats().refs.pmpte_for_data,
+        0,
+        "hinted page is segment-backed"
+    );
 
     // 3. Assign a device and DMA into the domain's data region.
     let nic = DeviceId(1);
-    tee.monitor.assign_device(&mut tee.machine, nic, domain).expect("assign");
+    tee.monitor
+        .assign_device(&mut tee.machine, nic, domain)
+        .expect("assign");
     let data_gms = tee.monitor.regions_of(domain).expect("regions")[1].region;
     tee.machine
-        .dma_transfer(tee.monitor.iopmp(), nic, data_gms.base, 4096, AccessKind::Write)
+        .dma_transfer(
+            tee.monitor.iopmp(),
+            nic,
+            data_gms.base,
+            4096,
+            AccessKind::Write,
+        )
         .expect("DMA into own domain");
 
     // 4. Create a second enclave; ecall into it while the first keeps its
@@ -50,19 +65,26 @@ fn full_feature_walkthrough() {
         .monitor
         .create_domain(&mut tee.machine, 1 << 20, GmsLabel::Slow)
         .expect("peer enclave");
-    let mut sdk =
-        EnclaveSdk::bind(&mut tee.machine, &mut tee.monitor, peer).expect("bind");
-    let cycles = sdk.ecall(&mut tee.machine, &mut tee.monitor, 256, 2_000, 128)
+    let mut sdk = EnclaveSdk::bind(&mut tee.machine, &mut tee.monitor, peer).expect("bind");
+    let cycles = sdk
+        .ecall(&mut tee.machine, &mut tee.monitor, 256, 2_000, 128)
         .expect("ecall");
     assert!(cycles > 2_000);
     // The ecall hands control back to the *host*; our OS lives inside the
     // first enclave domain, so schedule it back in before touching it.
-    tee.monitor.switch_to(&mut tee.machine, domain).expect("switch back to OS domain");
+    tee.monitor
+        .switch_to(&mut tee.machine, domain)
+        .expect("switch back to OS domain");
     // The DMA device does not follow into the peer.
-    let peer_page = tee.monitor.regions_of(peer).expect("regions")[0].region.base;
-    assert!(tee.machine
-        .dma_transfer(tee.monitor.iopmp(), nic, peer_page, 64, AccessKind::Read)
-        .is_err(), "device must not reach the peer enclave");
+    let peer_page = tee.monitor.regions_of(peer).expect("regions")[0]
+        .region
+        .base;
+    assert!(
+        tee.machine
+            .dma_transfer(tee.monitor.iopmp(), nic, peer_page, 64, AccessKind::Read)
+            .is_err(),
+        "device must not reach the peer enclave"
+    );
 
     // 5. Tear down: drop the hint, the device and the process. Ordinary
     //    work still runs afterwards.
@@ -70,13 +92,20 @@ fn full_feature_walkthrough() {
         .ioctl_hint_delete(&mut tee.machine, &mut tee.monitor, domain, hint)
         .expect("hint delete");
     tee.monitor.revoke_device(&mut tee.machine, nic);
-    tee.os.munmap(&mut tee.machine, pid, heap, 16).expect("munmap");
+    tee.os
+        .munmap(&mut tee.machine, pid, heap, 16)
+        .expect("munmap");
     tee.os.exit(&mut tee.machine, pid).expect("exit");
 
     let (pid2, _) = tee.os.spawn(&mut tee.machine, 2).expect("respawn");
     tee.os.mmap(&mut tee.machine, pid2, 2).expect("mmap");
     tee.os
-        .user_access(&mut tee.machine, pid2, VirtAddr::new(USER_HEAP_BASE), AccessKind::Write)
+        .user_access(
+            &mut tee.machine,
+            pid2,
+            VirtAddr::new(USER_HEAP_BASE),
+            AccessKind::Write,
+        )
         .expect("fresh process works after teardown");
 }
 
@@ -92,11 +121,16 @@ fn walkthrough_on_baseline_flavours() {
         tee.os
             .user_access_faulting(&mut tee.machine, pid, heap, AccessKind::Write)
             .expect("demand fault");
-        assert!(tee.os
-            .ioctl_hint_create(&mut tee.machine, &mut tee.monitor, domain, pid, heap, 4)
-            .is_err(), "{flavor}: hints are HPMP-only");
+        assert!(
+            tee.os
+                .ioctl_hint_create(&mut tee.machine, &mut tee.monitor, domain, pid, heap, 4)
+                .is_err(),
+            "{flavor}: hints are HPMP-only"
+        );
         let nic = DeviceId(2);
-        tee.monitor.assign_device(&mut tee.machine, nic, domain).expect("assign");
+        tee.monitor
+            .assign_device(&mut tee.machine, nic, domain)
+            .expect("assign");
         let gms = tee.monitor.regions_of(domain).expect("regions")[1].region;
         tee.machine
             .dma_transfer(tee.monitor.iopmp(), nic, gms.base, 128, AccessKind::Read)

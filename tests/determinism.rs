@@ -12,8 +12,18 @@ use hpmp_suite::workloads::{gap, lmbench, multi_tenant, redis, serverless};
 #[test]
 fn microbenchmarks_are_deterministic() {
     for case in [TestCase::Tc1, TestCase::Tc2, TestCase::Tc3, TestCase::Tc4] {
-        let a = measure(CoreKind::Rocket, IsolationScheme::Hpmp, AccessKind::Read, case);
-        let b = measure(CoreKind::Rocket, IsolationScheme::Hpmp, AccessKind::Read, case);
+        let a = measure(
+            CoreKind::Rocket,
+            IsolationScheme::Hpmp,
+            AccessKind::Read,
+            case,
+        );
+        let b = measure(
+            CoreKind::Rocket,
+            IsolationScheme::Hpmp,
+            AccessKind::Read,
+            case,
+        );
         assert_eq!(a, b, "{case}");
     }
     let a = measure_virt(CoreKind::Boom, VirtScheme::PmpTable, VirtCase::Tc1);
@@ -24,28 +34,58 @@ fn microbenchmarks_are_deterministic() {
 #[test]
 fn workloads_are_deterministic() {
     let graph = gap::KronGraph::generate(10, 4, 77);
-    let a = gap::run_gap(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, gap::GapKernel::Pr,
-                         &graph, 1_000).unwrap();
-    let b = gap::run_gap(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, gap::GapKernel::Pr,
-                         &graph, 1_000).unwrap();
+    let a = gap::run_gap(
+        TeeFlavor::PenglaiPmpt,
+        CoreKind::Rocket,
+        gap::GapKernel::Pr,
+        &graph,
+        1_000,
+    )
+    .unwrap();
+    let b = gap::run_gap(
+        TeeFlavor::PenglaiPmpt,
+        CoreKind::Rocket,
+        gap::GapKernel::Pr,
+        &graph,
+        1_000,
+    )
+    .unwrap();
     assert_eq!(a, b, "GAP");
 
-    let a = serverless::measure_function(TeeFlavor::PenglaiHpmp, CoreKind::Rocket,
-                                         serverless::Function::Matmul, 2).unwrap();
-    let b = serverless::measure_function(TeeFlavor::PenglaiHpmp, CoreKind::Rocket,
-                                         serverless::Function::Matmul, 2).unwrap();
+    let a = serverless::measure_function(
+        TeeFlavor::PenglaiHpmp,
+        CoreKind::Rocket,
+        serverless::Function::Matmul,
+        2,
+    )
+    .unwrap();
+    let b = serverless::measure_function(
+        TeeFlavor::PenglaiHpmp,
+        CoreKind::Rocket,
+        serverless::Function::Matmul,
+        2,
+    )
+    .unwrap();
     assert_eq!(a, b, "serverless");
 
-    let a = lmbench::measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Boom,
-                                     lmbench::Syscall::Stat, 5).unwrap();
-    let b = lmbench::measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Boom,
-                                     lmbench::Syscall::Stat, 5).unwrap();
+    let a = lmbench::measure_syscall(
+        TeeFlavor::PenglaiPmp,
+        CoreKind::Boom,
+        lmbench::Syscall::Stat,
+        5,
+    )
+    .unwrap();
+    let b = lmbench::measure_syscall(
+        TeeFlavor::PenglaiPmp,
+        CoreKind::Boom,
+        lmbench::Syscall::Stat,
+        5,
+    )
+    .unwrap();
     assert_eq!(a, b, "lmbench");
 
-    let mut s1 = redis::RedisServer::start(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, 512)
-        .unwrap();
-    let mut s2 = redis::RedisServer::start(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, 512)
-        .unwrap();
+    let mut s1 = redis::RedisServer::start(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, 512).unwrap();
+    let mut s2 = redis::RedisServer::start(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, 512).unwrap();
     for _ in 0..50 {
         assert_eq!(
             s1.serve(redis::RedisCommand::Get).unwrap(),
@@ -54,10 +94,8 @@ fn workloads_are_deterministic() {
         );
     }
 
-    let a = multi_tenant::run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 8, 2)
-        .unwrap();
-    let b = multi_tenant::run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 8, 2)
-        .unwrap();
+    let a = multi_tenant::run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 8, 2).unwrap();
+    let b = multi_tenant::run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 8, 2).unwrap();
     assert_eq!(a, b, "tenancy");
 }
 

@@ -10,14 +10,16 @@ use hpmp_suite::workloads::TeeBench;
 /// The complete stack boots and runs user code for every (flavour, core).
 #[test]
 fn full_stack_matrix() {
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
         for core in [CoreKind::Rocket, CoreKind::Boom] {
             let mut tee = TeeBench::boot(flavor, core);
-            let arena =
-                UserArena::create(&mut tee.os, &mut tee.machine, 16).expect("arena");
+            let arena = UserArena::create(&mut tee.os, &mut tee.machine, 16).expect("arena");
             let trace = Patterns::new(1).sequential(128, 64, 0.3, 2);
-            let cycles =
-                replay(&mut tee.os, &mut tee.machine, &arena, trace).expect("replay");
+            let cycles = replay(&mut tee.os, &mut tee.machine, &arena, trace).expect("replay");
             assert!(cycles > 0, "{flavor}/{core}");
         }
     }
@@ -33,9 +35,12 @@ fn process_churn_is_stable() {
         tee.os.mmap(&mut tee.machine, pid, 16).expect("mmap");
         for i in 0..16u64 {
             tee.os
-                .user_access(&mut tee.machine, pid,
-                             VirtAddr::new(USER_HEAP_BASE + i * PAGE_SIZE),
-                             AccessKind::Write)
+                .user_access(
+                    &mut tee.machine,
+                    pid,
+                    VirtAddr::new(USER_HEAP_BASE + i * PAGE_SIZE),
+                    AccessKind::Write,
+                )
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
         tee.os.exit(&mut tee.machine, pid).expect("exit");
@@ -51,15 +56,26 @@ fn fork_cow_through_full_stack() {
     let (parent, _) = tee.os.spawn(&mut tee.machine, 4).expect("spawn");
     tee.os.mmap(&mut tee.machine, parent, 4).expect("mmap");
     let heap = VirtAddr::new(USER_HEAP_BASE);
-    tee.os.user_access(&mut tee.machine, parent, heap, AccessKind::Write).expect("parent w");
+    tee.os
+        .user_access(&mut tee.machine, parent, heap, AccessKind::Write)
+        .expect("parent w");
 
     let (child, _) = tee.os.fork(&mut tee.machine, parent).expect("fork");
-    tee.os.user_access(&mut tee.machine, child, heap, AccessKind::Read).expect("child r");
-    assert!(tee.os.user_access(&mut tee.machine, child, heap, AccessKind::Write).is_err(),
-            "child writes must COW-fault");
-    tee.os.user_access(&mut tee.machine, parent, heap, AccessKind::Read).expect("parent r");
+    tee.os
+        .user_access(&mut tee.machine, child, heap, AccessKind::Read)
+        .expect("child r");
+    assert!(
+        tee.os
+            .user_access(&mut tee.machine, child, heap, AccessKind::Write)
+            .is_err(),
+        "child writes must COW-fault"
+    );
+    tee.os
+        .user_access(&mut tee.machine, parent, heap, AccessKind::Read)
+        .expect("parent r");
     tee.os.exit(&mut tee.machine, child).expect("child exit");
-    tee.os.user_access(&mut tee.machine, parent, heap, AccessKind::Read)
+    tee.os
+        .user_access(&mut tee.machine, parent, heap, AccessKind::Read)
         .expect("parent survives child exit");
 }
 
@@ -69,7 +85,11 @@ fn fork_cow_through_full_stack() {
 #[test]
 fn hpmp_recovers_most_of_the_table_cost() {
     let mut totals = Vec::new();
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiHpmp, TeeFlavor::PenglaiPmpt] {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiHpmp,
+        TeeFlavor::PenglaiPmpt,
+    ] {
         let mut tee = TeeBench::boot(flavor, CoreKind::Rocket);
         let arena = UserArena::create(&mut tee.os, &mut tee.machine, 2048).expect("arena");
         let mut patterns = Patterns::new(99);
@@ -94,7 +114,10 @@ fn hpmp_recovers_most_of_the_table_cost() {
     let pmpt = totals[2].1 as f64;
     assert!(pmp < hpmp && hpmp < pmpt, "ordering violated: {totals:?}");
     let recovered = (pmpt - hpmp) / (pmpt - pmp);
-    assert!(recovered > 0.5, "HPMP should recover >50% of the table cost: {recovered}");
+    assert!(
+        recovered > 0.5,
+        "HPMP should recover >50% of the table cost: {recovered}"
+    );
 }
 
 /// Monitor operations interleave safely with OS work: relabelling the PT
@@ -105,7 +128,9 @@ fn relabel_mid_run() {
     let mut tee = TeeBench::boot(TeeFlavor::PenglaiHpmp, CoreKind::Rocket);
     let (pid, _) = tee.os.spawn(&mut tee.machine, 4).expect("spawn");
     let code = VirtAddr::new(hpmp_suite::penglai::USER_CODE_BASE);
-    tee.os.user_access(&mut tee.machine, pid, code, AccessKind::Read).expect("before");
+    tee.os
+        .user_access(&mut tee.machine, pid, code, AccessKind::Read)
+        .expect("before");
 
     // Demote the PT pool to slow: still correct, just slower on walks.
     let (pool_base, _) = tee.os.pt_pool_region();
@@ -114,7 +139,9 @@ fn relabel_mid_run() {
         .relabel(&mut tee.machine, domain, pool_base, GmsLabel::Slow)
         .expect("relabel slow");
     tee.machine.flush_microarch();
-    let slow = tee.os.user_access(&mut tee.machine, pid, code, AccessKind::Read)
+    let slow = tee
+        .os
+        .user_access(&mut tee.machine, pid, code, AccessKind::Read)
         .expect("slow access");
 
     // Promote back to fast: the same cold access gets cheaper.
@@ -122,7 +149,12 @@ fn relabel_mid_run() {
         .relabel(&mut tee.machine, domain, pool_base, GmsLabel::Fast)
         .expect("relabel fast");
     tee.machine.flush_microarch();
-    let fast = tee.os.user_access(&mut tee.machine, pid, code, AccessKind::Read)
+    let fast = tee
+        .os
+        .user_access(&mut tee.machine, pid, code, AccessKind::Read)
         .expect("fast access");
-    assert!(fast < slow, "fast GMS must make the cold walk cheaper: {fast} vs {slow}");
+    assert!(
+        fast < slow,
+        "fast GMS must make the cold walk cheaper: {fast} vs {slow}"
+    );
 }

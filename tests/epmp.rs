@@ -28,7 +28,8 @@ fn fill_with_tables(entries: usize) -> (PhysMem, HpmpRegFile, u64) {
         table
             .set_page_perm(&mut mem, &mut frames, base, Perms::RW)
             .expect("grant first page");
-        regs.configure_table(idx, region, table.root(), TableLevels::Two).expect("entry");
+        regs.configure_table(idx, region, table.root(), TableLevels::Two)
+            .expect("entry");
         covered += ROOT_TABLE_SPAN;
         idx += 2;
     }
@@ -58,12 +59,26 @@ fn all_epmp_tables_are_live() {
     // check the first, a middle, and the last region.
     for region_idx in [0u64, 15, covered / ROOT_TABLE_SPAN - 1] {
         let addr = PhysAddr::new(0x100_0000_0000 + region_idx * ROOT_TABLE_SPAN);
-        let out = regs.check(&mem, &mut cache, addr, AccessKind::Read, PrivMode::Supervisor);
-        assert!(out.allowed, "region {region_idx} must be table-checked and granted");
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            addr,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
+        assert!(
+            out.allowed,
+            "region {region_idx} must be table-checked and granted"
+        );
         assert_eq!(out.refs.len(), 2, "2-level walk");
         // An ungranted page in the same region is denied, not unmatched.
-        let deny = regs.check(&mem, &mut cache, addr + PAGE_SIZE, AccessKind::Read,
-                              PrivMode::Supervisor);
+        let deny = regs.check(
+            &mem,
+            &mut cache,
+            addr + PAGE_SIZE,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
         assert!(!deny.allowed);
         assert!(deny.matched_entry.is_some());
     }
@@ -90,6 +105,9 @@ fn epmp_monitor_scales_pmp_flavor() {
         }
         assert!(created < 128);
     }
-    assert!(created > 30, "ePMP should lift the wall well past 16: {created}");
+    assert!(
+        created > 30,
+        "ePMP should lift the wall well past 16: {created}"
+    );
     assert!(created < 64, "but the wall still exists");
 }

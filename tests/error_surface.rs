@@ -8,8 +8,7 @@ use hpmp_suite::machine::Fault;
 use hpmp_suite::memsim::{PhysAddr, VirtAddr};
 use hpmp_suite::paging::MapError;
 use hpmp_suite::penglai::{
-    AttestError, CallError, DomainId, HintId, IntegrityError, IpcError, MonitorError, OsError,
-    Pid,
+    AttestError, CallError, DomainId, HintId, IntegrityError, IpcError, MonitorError, OsError, Pid,
 };
 
 fn assert_error<E: std::error::Error + Send + Sync + 'static>(e: E) {
@@ -83,12 +82,18 @@ fn error_conversions_compose() {
     fn os_level() -> Result<(), OsError> {
         Err(MapError::OutOfPtFrames)?
     }
-    assert!(matches!(os_level(), Err(OsError::Map(MapError::OutOfPtFrames))));
+    assert!(matches!(
+        os_level(),
+        Err(OsError::Map(MapError::OutOfPtFrames))
+    ));
 
     fn ipc_level() -> Result<(), IpcError> {
         Err(MonitorError::OutOfMemory)?
     }
-    assert!(matches!(ipc_level(), Err(IpcError::Monitor(MonitorError::OutOfMemory))));
+    assert!(matches!(
+        ipc_level(),
+        Err(IpcError::Monitor(MonitorError::OutOfMemory))
+    ));
 
     fn call_level() -> Result<(), CallError> {
         Err(IpcError::Busy)?

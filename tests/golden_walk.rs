@@ -26,22 +26,49 @@ fn sequence(scheme: IsolationScheme) -> Vec<(Ref, u64)> {
     sys.sync_pt_grants();
 
     let mut out = Vec::new();
-    let mut pwc = WalkCache::new(WalkCacheConfig { entries: 0, hit_latency: 1 });
+    let mut pwc = WalkCache::new(WalkCacheConfig {
+        entries: 0,
+        hit_latency: 1,
+    });
     let result = walk(sys.machine.phys(), &sys.space, &mut pwc, va);
     let mut cache = PmptwCache::disabled();
     for pt_ref in &result.pt_refs {
-        let check = sys.machine.regs().check(sys.machine.phys(), &mut cache, pt_ref.addr,
-                                             AccessKind::Read, PrivMode::Supervisor);
+        let check = sys.machine.regs().check(
+            sys.machine.phys(),
+            &mut cache,
+            pt_ref.addr,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
         for r in &check.refs {
-            out.push((if r.is_root { Ref::RootPmpte } else { Ref::LeafPmpte }, r.addr.raw()));
+            out.push((
+                if r.is_root {
+                    Ref::RootPmpte
+                } else {
+                    Ref::LeafPmpte
+                },
+                r.addr.raw(),
+            ));
         }
         out.push((Ref::Pte(pt_ref.level), pt_ref.addr.raw()));
     }
     let t = result.translation.expect("mapped");
-    let check = sys.machine.regs().check(sys.machine.phys(), &mut cache, t.paddr,
-                                         AccessKind::Read, PrivMode::Supervisor);
+    let check = sys.machine.regs().check(
+        sys.machine.phys(),
+        &mut cache,
+        t.paddr,
+        AccessKind::Read,
+        PrivMode::Supervisor,
+    );
     for r in &check.refs {
-        out.push((if r.is_root { Ref::RootPmpte } else { Ref::LeafPmpte }, r.addr.raw()));
+        out.push((
+            if r.is_root {
+                Ref::RootPmpte
+            } else {
+                Ref::LeafPmpte
+            },
+            r.addr.raw(),
+        ));
     }
     out.push((Ref::Data, t.paddr.raw()));
     out
@@ -57,17 +84,29 @@ fn pmpt_sequence_matches_figure_2c() {
     assert_eq!(
         kinds,
         vec![
-            Ref::RootPmpte, Ref::LeafPmpte, Ref::Pte(2), // 1,2,3
-            Ref::RootPmpte, Ref::LeafPmpte, Ref::Pte(1), // 4,5,6
-            Ref::RootPmpte, Ref::LeafPmpte, Ref::Pte(0), // 7,8,9
-            Ref::RootPmpte, Ref::LeafPmpte, Ref::Data,   // 10,11,12
+            Ref::RootPmpte,
+            Ref::LeafPmpte,
+            Ref::Pte(2), // 1,2,3
+            Ref::RootPmpte,
+            Ref::LeafPmpte,
+            Ref::Pte(1), // 4,5,6
+            Ref::RootPmpte,
+            Ref::LeafPmpte,
+            Ref::Pte(0), // 7,8,9
+            Ref::RootPmpte,
+            Ref::LeafPmpte,
+            Ref::Data, // 10,11,12
         ],
     );
     // Exact addresses for the fixed builder layout (regression pin):
     // PT pages are the first pool frames; pmptes live in the table area.
     assert_eq!(seq[2].1, 0x8000_0000, "root PT page (pool base)");
     assert_eq!(seq[5].1, 0x8000_1000, "L1 PT page");
-    assert_eq!(seq[8].1, 0x8000_2000 + (0x100 * 8), "L0 PTE slot for vpn0=0x100");
+    assert_eq!(
+        seq[8].1,
+        0x8000_2000 + (0x100 * 8),
+        "L0 PTE slot for vpn0=0x100"
+    );
     assert_eq!(seq[11].1, 0x8200_0000, "first data frame");
     // All three PT-page permission checks hit the same root pmpte (same
     // 32 MiB slice) but distinct walks still re-read it.
@@ -83,8 +122,12 @@ fn hpmp_sequence_matches_figure_4() {
     assert_eq!(
         kinds,
         vec![
-            Ref::Pte(2), Ref::Pte(1), Ref::Pte(0),       // 1,2,3
-            Ref::RootPmpte, Ref::LeafPmpte, Ref::Data,   // 4,5,6
+            Ref::Pte(2),
+            Ref::Pte(1),
+            Ref::Pte(0), // 1,2,3
+            Ref::RootPmpte,
+            Ref::LeafPmpte,
+            Ref::Data, // 4,5,6
         ],
     );
 }
@@ -94,5 +137,8 @@ fn hpmp_sequence_matches_figure_4() {
 fn pmp_sequence_matches_figure_2b() {
     let seq = sequence(IsolationScheme::Pmp);
     let kinds: Vec<Ref> = seq.iter().map(|(k, _)| *k).collect();
-    assert_eq!(kinds, vec![Ref::Pte(2), Ref::Pte(1), Ref::Pte(0), Ref::Data]);
+    assert_eq!(
+        kinds,
+        vec![Ref::Pte(2), Ref::Pte(1), Ref::Pte(0), Ref::Data]
+    );
 }

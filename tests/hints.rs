@@ -33,7 +33,10 @@ fn hint_removes_data_pmpte_refs() {
         .user_access(&mut tee.machine, pid, heap, AccessKind::Read)
         .expect("access");
     let pmpte_before = tee.machine.stats().refs.pmpte_for_data;
-    assert!(pmpte_before >= 1, "table path must be active before the hint");
+    assert!(
+        pmpte_before >= 1,
+        "table path must be active before the hint"
+    );
 
     let (hint, _) = tee
         .os
@@ -47,10 +50,16 @@ fn hint_removes_data_pmpte_refs() {
         .user_access(&mut tee.machine, pid, heap, AccessKind::Read)
         .expect("access");
     let stats = tee.machine.stats();
-    assert_eq!(stats.refs.pmpte_for_data, 0, "hot region must be segment-checked");
+    assert_eq!(
+        stats.refs.pmpte_for_data, 0,
+        "hot region must be segment-checked"
+    );
     assert_eq!(stats.refs.total(), 4, "PMP-class walk for hinted data");
     let _ = pmpte_before;
-    assert!(after < before, "hinted access must be cheaper: {after} vs {before}");
+    assert!(
+        after < before,
+        "hinted access must be cheaper: {after} vs {before}"
+    );
 
     // Delete restores table checking.
     tee.os
@@ -58,9 +67,14 @@ fn hint_removes_data_pmpte_refs() {
         .expect("hint delete");
     tee.machine.flush_microarch();
     tee.machine.reset_stats();
-    tee.os.user_access(&mut tee.machine, pid, heap, AccessKind::Read).expect("access");
-    assert_eq!(tee.machine.stats().refs.pmpte_for_data, pmpte_before,
-               "delete restores the table path");
+    tee.os
+        .user_access(&mut tee.machine, pid, heap, AccessKind::Read)
+        .expect("access");
+    assert_eq!(
+        tee.machine.stats().refs.pmpte_for_data,
+        pmpte_before,
+        "delete restores the table path"
+    );
 }
 
 /// Query lists installed hints; delete removes exactly one.
@@ -70,22 +84,37 @@ fn hint_query_and_delete() {
     let domain = tee.domain;
     let (a, _) = tee
         .os
-        .ioctl_hint_create(&mut tee.machine, &mut tee.monitor, domain, pid,
-                           VirtAddr::new(USER_HEAP_BASE), 4)
+        .ioctl_hint_create(
+            &mut tee.machine,
+            &mut tee.monitor,
+            domain,
+            pid,
+            VirtAddr::new(USER_HEAP_BASE),
+            4,
+        )
         .expect("hint a");
     let (b, _) = tee
         .os
-        .ioctl_hint_create(&mut tee.machine, &mut tee.monitor, domain, pid,
-                           VirtAddr::new(USER_HEAP_BASE + 8 * PAGE_SIZE), 4)
+        .ioctl_hint_create(
+            &mut tee.machine,
+            &mut tee.monitor,
+            domain,
+            pid,
+            VirtAddr::new(USER_HEAP_BASE + 8 * PAGE_SIZE),
+            4,
+        )
         .expect("hint b");
     assert_eq!(tee.os.ioctl_hint_query().len(), 2);
-    tee.os.ioctl_hint_delete(&mut tee.machine, &mut tee.monitor, domain, a).expect("del");
+    tee.os
+        .ioctl_hint_delete(&mut tee.machine, &mut tee.monitor, domain, a)
+        .expect("del");
     let remaining = tee.os.ioctl_hint_query();
     assert_eq!(remaining.len(), 1);
     assert_eq!(remaining[0].id, b);
     // Double delete fails cleanly.
     assert!(matches!(
-        tee.os.ioctl_hint_delete(&mut tee.machine, &mut tee.monitor, domain, a),
+        tee.os
+            .ioctl_hint_delete(&mut tee.machine, &mut tee.monitor, domain, a),
         Err(OsError::NoSuchHint(_))
     ));
 }
@@ -98,8 +127,14 @@ fn hint_validates_range() {
     // Unmapped range.
     let err = tee
         .os
-        .ioctl_hint_create(&mut tee.machine, &mut tee.monitor, domain, pid,
-                           VirtAddr::new(0x7000_0000), 4)
+        .ioctl_hint_create(
+            &mut tee.machine,
+            &mut tee.monitor,
+            domain,
+            pid,
+            VirtAddr::new(0x7000_0000),
+            4,
+        )
         .unwrap_err();
     assert!(matches!(err, OsError::BadHintRange(_)));
 }
@@ -113,8 +148,14 @@ fn hints_require_hpmp_flavor() {
         let domain = tee.domain;
         let err = tee
             .os
-            .ioctl_hint_create(&mut tee.machine, &mut tee.monitor, domain, pid,
-                               VirtAddr::new(USER_HEAP_BASE), 4)
+            .ioctl_hint_create(
+                &mut tee.machine,
+                &mut tee.monitor,
+                domain,
+                pid,
+                VirtAddr::new(USER_HEAP_BASE),
+                4,
+            )
             .unwrap_err();
         assert!(matches!(err, OsError::Monitor(_)), "{flavor}");
     }
@@ -127,18 +168,31 @@ fn hints_eliminate_all_table_traffic() {
     let (mut tee, pid) = boot_with_heap(TeeFlavor::PenglaiHpmp);
     let domain = tee.domain;
     tee.os
-        .ioctl_hint_create(&mut tee.machine, &mut tee.monitor, domain, pid,
-                           VirtAddr::new(USER_HEAP_BASE), 16)
+        .ioctl_hint_create(
+            &mut tee.machine,
+            &mut tee.monitor,
+            domain,
+            pid,
+            VirtAddr::new(USER_HEAP_BASE),
+            16,
+        )
         .expect("hint");
     tee.machine.flush_microarch();
     tee.machine.reset_stats();
     for i in 0..16u64 {
         tee.os
-            .user_access(&mut tee.machine, pid,
-                         VirtAddr::new(USER_HEAP_BASE + i * PAGE_SIZE), AccessKind::Write)
+            .user_access(
+                &mut tee.machine,
+                pid,
+                VirtAddr::new(USER_HEAP_BASE + i * PAGE_SIZE),
+                AccessKind::Write,
+            )
             .expect("access");
     }
     let refs = tee.machine.stats().refs;
-    assert_eq!(refs.pmpte_for_pt + refs.pmpte_for_data, 0,
-               "no permission-table traffic for hinted working sets");
+    assert_eq!(
+        refs.pmpte_for_pt + refs.pmpte_for_data,
+        0,
+        "no permission-table traffic for hinted working sets"
+    );
 }

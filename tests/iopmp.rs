@@ -20,10 +20,20 @@ fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor) {
 #[test]
 fn unassigned_device_denied() {
     let (mut machine, monitor) = boot(TeeFlavor::PenglaiHpmp);
-    let host_page =
-        PhysAddr::new(monitor.regions_of(DomainId::HOST).unwrap()[0].region.base.raw());
+    let host_page = PhysAddr::new(
+        monitor.regions_of(DomainId::HOST).unwrap()[0]
+            .region
+            .base
+            .raw(),
+    );
     let err = machine
-        .dma_transfer(monitor.iopmp(), DeviceId(5), host_page, 4096, AccessKind::Write)
+        .dma_transfer(
+            monitor.iopmp(),
+            DeviceId(5),
+            host_page,
+            4096,
+            AccessKind::Write,
+        )
         .unwrap_err();
     assert!(matches!(err, Fault::IsolationOnData(_)));
 }
@@ -32,18 +42,28 @@ fn unassigned_device_denied() {
 /// is stopped at host memory — and vice versa.
 #[test]
 fn device_scoped_to_owner() {
-    for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
         let (mut machine, mut monitor) = boot(flavor);
-        let (enclave, _) =
-            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("create");
-        let enclave_page =
-            PhysAddr::new(monitor.regions_of(enclave).unwrap()[0].region.base.raw());
+        let (enclave, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .expect("create");
+        let enclave_page = PhysAddr::new(monitor.regions_of(enclave).unwrap()[0].region.base.raw());
         let host_page = PhysAddr::new(
-            monitor.regions_of(DomainId::HOST).unwrap()[0].region.base.raw() + (64 << 20),
+            monitor.regions_of(DomainId::HOST).unwrap()[0]
+                .region
+                .base
+                .raw()
+                + (64 << 20),
         );
 
         let nic = DeviceId(1);
-        monitor.assign_device(&mut machine, nic, enclave).expect("assign");
+        monitor
+            .assign_device(&mut machine, nic, enclave)
+            .expect("assign");
         let cycles = machine
             .dma_transfer(monitor.iopmp(), nic, enclave_page, 4096, AccessKind::Write)
             .unwrap_or_else(|e| panic!("{flavor}: enclave DMA must pass: {e}"));
@@ -55,13 +75,18 @@ fn device_scoped_to_owner() {
 
         // A host-owned device is the mirror image.
         let disk = DeviceId(2);
-        monitor.assign_device(&mut machine, disk, DomainId::HOST).expect("assign");
+        monitor
+            .assign_device(&mut machine, disk, DomainId::HOST)
+            .expect("assign");
         machine
             .dma_transfer(monitor.iopmp(), disk, host_page, 4096, AccessKind::Read)
             .unwrap_or_else(|e| panic!("{flavor}: host DMA must pass: {e}"));
-        assert!(machine
-            .dma_transfer(monitor.iopmp(), disk, enclave_page, 4096, AccessKind::Read)
-            .is_err(), "{flavor}: malicious device stopped at enclave memory");
+        assert!(
+            machine
+                .dma_transfer(monitor.iopmp(), disk, enclave_page, 4096, AccessKind::Read)
+                .is_err(),
+            "{flavor}: malicious device stopped at enclave memory"
+        );
     }
 }
 
@@ -69,23 +94,43 @@ fn device_scoped_to_owner() {
 #[test]
 fn revoke_and_reassign() {
     let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
-    let (a, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("a");
-    let (b, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("b");
+    let (a, _) = monitor
+        .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+        .expect("a");
+    let (b, _) = monitor
+        .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+        .expect("b");
     let page_a = PhysAddr::new(monitor.regions_of(a).unwrap()[0].region.base.raw());
     let page_b = PhysAddr::new(monitor.regions_of(b).unwrap()[0].region.base.raw());
     let dev = DeviceId(7);
 
-    monitor.assign_device(&mut machine, dev, a).expect("assign a");
-    machine.dma_transfer(monitor.iopmp(), dev, page_a, 64, AccessKind::Read).expect("a ok");
+    monitor
+        .assign_device(&mut machine, dev, a)
+        .expect("assign a");
+    machine
+        .dma_transfer(monitor.iopmp(), dev, page_a, 64, AccessKind::Read)
+        .expect("a ok");
 
-    monitor.assign_device(&mut machine, dev, b).expect("reassign b");
-    machine.dma_transfer(monitor.iopmp(), dev, page_b, 64, AccessKind::Read).expect("b ok");
-    assert!(machine.dma_transfer(monitor.iopmp(), dev, page_a, 64, AccessKind::Read)
-        .is_err(), "old owner's memory now out of reach");
+    monitor
+        .assign_device(&mut machine, dev, b)
+        .expect("reassign b");
+    machine
+        .dma_transfer(monitor.iopmp(), dev, page_b, 64, AccessKind::Read)
+        .expect("b ok");
+    assert!(
+        machine
+            .dma_transfer(monitor.iopmp(), dev, page_a, 64, AccessKind::Read)
+            .is_err(),
+        "old owner's memory now out of reach"
+    );
 
     monitor.revoke_device(&mut machine, dev);
-    assert!(machine.dma_transfer(monitor.iopmp(), dev, page_b, 64, AccessKind::Read)
-        .is_err(), "revoked device denied everywhere");
+    assert!(
+        machine
+            .dma_transfer(monitor.iopmp(), dev, page_b, 64, AccessKind::Read)
+            .is_err(),
+        "revoked device denied everywhere"
+    );
 }
 
 /// Device reach tracks region allocation: memory granted to the owning
@@ -93,15 +138,24 @@ fn revoke_and_reassign() {
 #[test]
 fn device_reach_tracks_regions() {
     let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
-    let (enclave, _) =
-        monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("create");
+    let (enclave, _) = monitor
+        .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+        .expect("create");
     let dev = DeviceId(3);
-    monitor.assign_device(&mut machine, dev, enclave).expect("assign");
+    monitor
+        .assign_device(&mut machine, dev, enclave)
+        .expect("assign");
     let (new_region, _) = monitor
         .alloc_region(&mut machine, enclave, 1 << 20, GmsLabel::Slow)
         .expect("grow");
     machine
-        .dma_transfer(monitor.iopmp(), dev, new_region.base, 4096, AccessKind::Write)
+        .dma_transfer(
+            monitor.iopmp(),
+            dev,
+            new_region.base,
+            4096,
+            AccessKind::Write,
+        )
         .expect("newly granted region is DMA-reachable");
 }
 
@@ -109,13 +163,24 @@ fn device_reach_tracks_regions() {
 #[test]
 fn destroy_severs_devices() {
     let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiPmpt);
-    let (enclave, _) =
-        monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("create");
+    let (enclave, _) = monitor
+        .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+        .expect("create");
     let page = PhysAddr::new(monitor.regions_of(enclave).unwrap()[0].region.base.raw());
     let dev = DeviceId(4);
-    monitor.assign_device(&mut machine, dev, enclave).expect("assign");
-    machine.dma_transfer(monitor.iopmp(), dev, page, 64, AccessKind::Read).expect("ok");
-    monitor.destroy_domain(&mut machine, enclave).expect("destroy");
-    assert!(machine.dma_transfer(monitor.iopmp(), dev, page, 64, AccessKind::Read).is_err(),
-            "device loses access when its domain dies");
+    monitor
+        .assign_device(&mut machine, dev, enclave)
+        .expect("assign");
+    machine
+        .dma_transfer(monitor.iopmp(), dev, page, 64, AccessKind::Read)
+        .expect("ok");
+    monitor
+        .destroy_domain(&mut machine, enclave)
+        .expect("destroy");
+    assert!(
+        machine
+            .dma_transfer(monitor.iopmp(), dev, page, 64, AccessKind::Read)
+            .is_err(),
+        "device loses access when its domain dies"
+    );
 }

@@ -3,8 +3,8 @@
 //! caches, OS model, workload generators) that bends a *conclusion* fails
 //! CI, not just a number.
 
-use hpmp_suite::memsim::{AccessKind, CoreKind};
 use hpmp_suite::machine::IsolationScheme;
+use hpmp_suite::memsim::{AccessKind, CoreKind};
 use hpmp_suite::penglai::TeeFlavor;
 use hpmp_suite::workloads::latency::{figure_10_panel, TestCase};
 use hpmp_suite::workloads::{lmbench, serverless};
@@ -39,18 +39,20 @@ fn lmbench_average_ratio_headline() {
     let mut pmpt_over_hpmp = Vec::new();
     let mut hpmp_over_pmp = Vec::new();
     for syscall in lmbench::SYSCALLS {
-        let pmp = lmbench::measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Boom, syscall,
-                                           iters).unwrap();
-        let pmpt = lmbench::measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Boom, syscall,
-                                            iters).unwrap();
-        let hpmp = lmbench::measure_syscall(TeeFlavor::PenglaiHpmp, CoreKind::Boom, syscall,
-                                            iters).unwrap();
+        let pmp = lmbench::measure_syscall(TeeFlavor::PenglaiPmp, CoreKind::Boom, syscall, iters)
+            .unwrap();
+        let pmpt = lmbench::measure_syscall(TeeFlavor::PenglaiPmpt, CoreKind::Boom, syscall, iters)
+            .unwrap();
+        let hpmp = lmbench::measure_syscall(TeeFlavor::PenglaiHpmp, CoreKind::Boom, syscall, iters)
+            .unwrap();
         pmpt_over_hpmp.push(pmpt as f64 / hpmp as f64);
         hpmp_over_pmp.push(hpmp as f64 / pmp as f64);
     }
     let avg = pmpt_over_hpmp.iter().sum::<f64>() / pmpt_over_hpmp.len() as f64;
-    assert!((1.10..1.45).contains(&avg),
-            "Table 3 average PMPT/HPMP ratio out of band: {avg}");
+    assert!(
+        (1.10..1.45).contains(&avg),
+        "Table 3 average PMPT/HPMP ratio out of band: {avg}"
+    );
     let hpmp_avg = hpmp_over_pmp.iter().sum::<f64>() / hpmp_over_pmp.len() as f64;
     assert!(hpmp_avg < 1.12, "HPMP must track PMP closely: {hpmp_avg}");
 }
@@ -61,18 +63,26 @@ fn lmbench_average_ratio_headline() {
 fn serverless_recovery_headline() {
     let n = 2;
     let mut recovery = Vec::new();
-    for function in [serverless::Function::Dd, serverless::Function::Chameleon,
-                     serverless::Function::Image] {
-        let pmp = serverless::measure_function(TeeFlavor::PenglaiPmp, CoreKind::Rocket,
-                                               function, n).unwrap() as f64;
-        let pmpt = serverless::measure_function(TeeFlavor::PenglaiPmpt, CoreKind::Rocket,
-                                                function, n).unwrap() as f64;
-        let hpmp = serverless::measure_function(TeeFlavor::PenglaiHpmp, CoreKind::Rocket,
-                                                function, n).unwrap() as f64;
+    for function in [
+        serverless::Function::Dd,
+        serverless::Function::Chameleon,
+        serverless::Function::Image,
+    ] {
+        let pmp = serverless::measure_function(TeeFlavor::PenglaiPmp, CoreKind::Rocket, function, n)
+            .unwrap() as f64;
+        let pmpt =
+            serverless::measure_function(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, function, n)
+                .unwrap() as f64;
+        let hpmp =
+            serverless::measure_function(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, function, n)
+                .unwrap() as f64;
         recovery.push((pmpt - hpmp) / (pmpt - pmp));
     }
     let avg = recovery.iter().sum::<f64>() / recovery.len() as f64;
-    assert!(avg > 0.6, "HPMP must recover most of the serverless overhead: {avg}");
+    assert!(
+        avg > 0.6,
+        "HPMP must recover most of the serverless overhead: {avg}"
+    );
 }
 
 /// The reference-count identity that generates every other result:
@@ -83,15 +93,23 @@ fn reference_count_identity() {
     use hpmp_suite::memsim::{Perms, PrivMode, VirtAddr};
     for config in [MachineConfig::rocket(), MachineConfig::boom()] {
         let mut totals = Vec::new();
-        for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable,
-                       IsolationScheme::Hpmp] {
+        for scheme in [
+            IsolationScheme::Pmp,
+            IsolationScheme::PmpTable,
+            IsolationScheme::Hpmp,
+        ] {
             let mut sys = SystemBuilder::new(config, scheme).build();
             sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
             sys.sync_pt_grants();
             sys.machine.flush_microarch();
-            let out = sys.machine
-                .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read,
-                        PrivMode::Supervisor)
+            let out = sys
+                .machine
+                .access(
+                    &sys.space,
+                    VirtAddr::new(0x10_0000),
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                )
                 .unwrap();
             totals.push(out.refs.total());
         }

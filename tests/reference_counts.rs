@@ -3,9 +3,7 @@
 //! these counts follow from the RISC-V ISA specification, not from any
 //! microarchitectural model.
 
-use hpmp_suite::machine::{
-    IsolationScheme, MachineConfig, SystemBuilder, VirtMachine, VirtScheme,
-};
+use hpmp_suite::machine::{IsolationScheme, MachineConfig, SystemBuilder, VirtMachine, VirtScheme};
 use hpmp_suite::memsim::{AccessKind, Perms, PrivMode, VirtAddr};
 use hpmp_suite::paging::TranslationMode;
 
@@ -18,9 +16,19 @@ fn cold_refs(scheme: IsolationScheme, mode: TranslationMode) -> (u64, u64, u64, 
     sys.machine.flush_microarch();
     let out = sys
         .machine
-        .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read, PrivMode::Supervisor)
+        .access(
+            &sys.space,
+            VirtAddr::new(0x10_0000),
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        )
         .expect("mapped");
-    (out.refs.pt_reads, out.refs.pmpte_for_pt, out.refs.pmpte_for_data, out.refs.total())
+    (
+        out.refs.pt_reads,
+        out.refs.pmpte_for_pt,
+        out.refs.pmpte_for_data,
+        out.refs.total(),
+    )
 }
 
 /// §2.2: PMP adds zero references — L+1 total for an L-level table.
@@ -107,11 +115,21 @@ fn pwc_reduces_below_isa_counts() {
     sys.sync_pt_grants();
     sys.machine.flush_microarch();
     sys.machine
-        .access(&sys.space, VirtAddr::new(0x10_0000), AccessKind::Read, PrivMode::Supervisor)
+        .access(
+            &sys.space,
+            VirtAddr::new(0x10_0000),
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        )
         .expect("warm");
     let out = sys
         .machine
-        .access(&sys.space, VirtAddr::new(0x10_1000), AccessKind::Read, PrivMode::Supervisor)
+        .access(
+            &sys.space,
+            VirtAddr::new(0x10_1000),
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        )
         .expect("neighbour");
     assert_eq!(out.refs.pt_reads, 1);
     assert_eq!(out.refs.total(), 6);
@@ -127,8 +145,12 @@ fn tlb_inlining_ablation() {
     sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
     sys.sync_pt_grants();
     let va = VirtAddr::new(0x10_0000);
-    sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor).unwrap();
-    let warm = sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+    sys.machine
+        .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+        .unwrap();
+    let warm = sys
+        .machine
+        .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
         .unwrap();
     assert_eq!(warm.refs.total(), 1);
 
@@ -138,8 +160,12 @@ fn tlb_inlining_ablation() {
     let mut sys = SystemBuilder::new(config, IsolationScheme::PmpTable).build();
     sys.map_range(VirtAddr::new(0x10_0000), 1, Perms::RW);
     sys.sync_pt_grants();
-    sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor).unwrap();
-    let warm = sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+    sys.machine
+        .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+        .unwrap();
+    let warm = sys
+        .machine
+        .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
         .unwrap();
     assert_eq!(warm.refs.pmpte_for_data, 2);
     assert_eq!(warm.refs.total(), 3);
@@ -151,11 +177,17 @@ fn tlb_inlining_ablation() {
 #[test]
 fn schemes_share_one_register_file() {
     use hpmp_suite::core::HPMP_ENTRIES;
-    for scheme in [IsolationScheme::Pmp, IsolationScheme::PmpTable, IsolationScheme::Hpmp] {
+    for scheme in [
+        IsolationScheme::Pmp,
+        IsolationScheme::PmpTable,
+        IsolationScheme::Hpmp,
+    ] {
         let sys = SystemBuilder::new(MachineConfig::rocket(), scheme).build();
         // Same 16-entry file in every configuration.
         let regs = sys.machine.regs();
-        let active = (0..HPMP_ENTRIES).filter(|&i| regs.entry_region(i).is_some()).count();
+        let active = (0..HPMP_ENTRIES)
+            .filter(|&i| regs.entry_region(i).is_some())
+            .count();
         assert!(active >= 1, "{scheme}: at least one active entry");
         assert!(active <= HPMP_ENTRIES, "{scheme}");
     }

@@ -19,17 +19,32 @@ fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor) {
 /// while M-mode retains access.
 #[test]
 fn monitor_memory_protected() {
-    for flavor in
-        [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp]
-    {
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
         let (machine, monitor) = boot(flavor);
         let inside = PhysAddr::new(monitor.monitor_region().base.raw() + 0x1000);
         let mut cache = hpmp_suite::core::PmptwCache::disabled();
-        let s_check = machine.regs().check(machine.phys(), &mut cache, inside,
-                                           AccessKind::Read, PrivMode::Supervisor);
-        assert!(!s_check.allowed, "{flavor}: S-mode must not read monitor memory");
-        let m_check = machine.regs().check(machine.phys(), &mut cache, inside,
-                                           AccessKind::Read, PrivMode::Machine);
+        let s_check = machine.regs().check(
+            machine.phys(),
+            &mut cache,
+            inside,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
+        assert!(
+            !s_check.allowed,
+            "{flavor}: S-mode must not read monitor memory"
+        );
+        let m_check = machine.regs().check(
+            machine.phys(),
+            &mut cache,
+            inside,
+            AccessKind::Read,
+            PrivMode::Machine,
+        );
         assert!(m_check.allowed, "{flavor}: M-mode keeps access");
     }
 }
@@ -40,31 +55,59 @@ fn monitor_memory_protected() {
 fn domains_are_mutually_isolated() {
     for flavor in [TeeFlavor::PenglaiPmpt, TeeFlavor::PenglaiHpmp] {
         let (mut machine, mut monitor) = boot(flavor);
-        let (enclave, _) =
-            monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("create");
-        let enclave_page =
-            PhysAddr::new(monitor.regions_of(enclave).unwrap()[0].region.base.raw());
+        let (enclave, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .expect("create");
+        let enclave_page = PhysAddr::new(monitor.regions_of(enclave).unwrap()[0].region.base.raw());
         let host_page = PhysAddr::new(
-            monitor.regions_of(DomainId::HOST).unwrap()[0].region.base.raw() + (64 << 20),
+            monitor.regions_of(DomainId::HOST).unwrap()[0]
+                .region
+                .base
+                .raw()
+                + (64 << 20),
         );
         let mut cache = hpmp_suite::core::PmptwCache::disabled();
 
         // Host running: enclave page denied, host page allowed.
-        monitor.switch_to(&mut machine, DomainId::HOST).expect("switch host");
-        let deny = machine.regs().check(machine.phys(), &mut cache, enclave_page,
-                                        AccessKind::Read, PrivMode::Supervisor);
+        monitor
+            .switch_to(&mut machine, DomainId::HOST)
+            .expect("switch host");
+        let deny = machine.regs().check(
+            machine.phys(),
+            &mut cache,
+            enclave_page,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
         assert!(!deny.allowed, "{flavor}: host must not read enclave memory");
-        let allow = machine.regs().check(machine.phys(), &mut cache, host_page,
-                                         AccessKind::Read, PrivMode::Supervisor);
+        let allow = machine.regs().check(
+            machine.phys(),
+            &mut cache,
+            host_page,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
         assert!(allow.allowed, "{flavor}: host reads its own memory");
 
         // Enclave running: its page allowed, the host page denied.
-        monitor.switch_to(&mut machine, enclave).expect("switch enclave");
-        let allow = machine.regs().check(machine.phys(), &mut cache, enclave_page,
-                                         AccessKind::Read, PrivMode::Supervisor);
+        monitor
+            .switch_to(&mut machine, enclave)
+            .expect("switch enclave");
+        let allow = machine.regs().check(
+            machine.phys(),
+            &mut cache,
+            enclave_page,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
         assert!(allow.allowed, "{flavor}: enclave reads its own memory");
-        let deny = machine.regs().check(machine.phys(), &mut cache, host_page,
-                                        AccessKind::Read, PrivMode::Supervisor);
+        let deny = machine.regs().check(
+            machine.phys(),
+            &mut cache,
+            host_page,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
         assert!(!deny.allowed, "{flavor}: enclave must not read host memory");
     }
 }
@@ -73,18 +116,45 @@ fn domains_are_mutually_isolated() {
 #[test]
 fn destroy_returns_memory() {
     let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
-    let (enclave, _) =
-        monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow).expect("create");
+    let (enclave, _) = monitor
+        .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+        .expect("create");
     let page = PhysAddr::new(monitor.regions_of(enclave).unwrap()[0].region.base.raw());
     let mut cache = hpmp_suite::core::PmptwCache::disabled();
 
-    monitor.switch_to(&mut machine, DomainId::HOST).expect("switch");
-    assert!(!machine.regs().check(machine.phys(), &mut cache, page, AccessKind::Read,
-                                  PrivMode::Supervisor).allowed);
-    monitor.destroy_domain(&mut machine, enclave).expect("destroy");
-    monitor.switch_to(&mut machine, DomainId::HOST).expect("switch");
-    assert!(machine.regs().check(machine.phys(), &mut cache, page, AccessKind::Read,
-                                 PrivMode::Supervisor).allowed);
+    monitor
+        .switch_to(&mut machine, DomainId::HOST)
+        .expect("switch");
+    assert!(
+        !machine
+            .regs()
+            .check(
+                machine.phys(),
+                &mut cache,
+                page,
+                AccessKind::Read,
+                PrivMode::Supervisor
+            )
+            .allowed
+    );
+    monitor
+        .destroy_domain(&mut machine, enclave)
+        .expect("destroy");
+    monitor
+        .switch_to(&mut machine, DomainId::HOST)
+        .expect("switch");
+    assert!(
+        machine
+            .regs()
+            .check(
+                machine.phys(),
+                &mut cache,
+                page,
+                AccessKind::Read,
+                PrivMode::Supervisor
+            )
+            .allowed
+    );
 }
 
 /// Revoking a page in the permission table takes effect after the required
@@ -105,10 +175,17 @@ fn revocation_requires_tlb_flush() {
     // allows the access (this is why the monitor must fence).
     let table = sys.pmp_table.as_mut().expect("table scheme");
     table
-        .set_page_perm(sys.machine.phys_mut(), &mut sys.table_frames, frame, Perms::NONE)
+        .set_page_perm(
+            sys.machine.phys_mut(),
+            &mut sys.table_frames,
+            frame,
+            Perms::NONE,
+        )
         .expect("revoke");
     assert!(
-        sys.machine.access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor).is_ok(),
+        sys.machine
+            .access(&sys.space, va, AccessKind::Read, PrivMode::Supervisor)
+            .is_ok(),
         "stale TLB entry still grants until the fence"
     );
 
@@ -134,7 +211,12 @@ fn pt_page_checks_guard_the_walk() {
     let table = sys.pmp_table.as_mut().expect("table scheme");
     for page in &pt_pages[1..] {
         table
-            .set_page_perm(sys.machine.phys_mut(), &mut sys.table_frames, *page, Perms::NONE)
+            .set_page_perm(
+                sys.machine.phys_mut(),
+                &mut sys.table_frames,
+                *page,
+                Perms::NONE,
+            )
             .expect("revoke PT page");
     }
     sys.machine.sfence_vma_all();
@@ -182,6 +264,8 @@ fn pmp_wall_fails_safely() {
     }
     // All previously created enclaves still switch fine.
     for id in created {
-        monitor.switch_to(&mut machine, id).expect("switch to surviving enclave");
+        monitor
+            .switch_to(&mut machine, id)
+            .expect("switch to surviving enclave");
     }
 }
