@@ -1,0 +1,305 @@
+//! A/B differential reports over versioned artifacts.
+//!
+//! `hpmp-analyze diff a.json b.json` compares two runs — e.g. `hpmp` vs
+//! `pmp-table`, or TLB inlining on vs off — counter by counter, and
+//! reports histogram percentile shifts (p50/p90/p99) recomputed from the
+//! merged-safe bucket counters. Both versioned metrics snapshots
+//! (`--metrics-out`) and bench reports (`--bench-out`) are accepted; the
+//! document's `kind` tag selects the interpretation.
+
+use hpmp_trace::{
+    histograms_in_snapshot, BenchReport, Percentiles, ReadError, Snapshot, BENCH_REPORT_KIND,
+};
+use std::fmt::Write as _;
+
+/// Any versioned document `diff` can consume.
+pub enum Artifact {
+    /// A `--metrics-out` snapshot.
+    Metrics(Snapshot),
+    /// A `--bench-out` perf-trajectory report.
+    Bench(BenchReport),
+}
+
+/// Parse a document by its `kind` tag.
+pub fn load_artifact(text: &str) -> Result<Artifact, ReadError> {
+    let doc = hpmp_trace::json::parse_json(text).map_err(|e| ReadError::Schema {
+        message: format!("artifact is not valid JSON ({e})"),
+    })?;
+    match doc.get("kind").and_then(|k| k.as_str()) {
+        Some(BENCH_REPORT_KIND) => Ok(Artifact::Bench(BenchReport::from_json(text)?)),
+        Some(Snapshot::JSON_KIND) => Ok(Artifact::Metrics(Snapshot::from_json(text)?)),
+        Some(other) => Err(ReadError::Schema {
+            message: format!(
+                "unknown artifact kind \"{other}\" (expected \"{}\" or \"{}\")",
+                Snapshot::JSON_KIND,
+                BENCH_REPORT_KIND
+            ),
+        }),
+        None => Err(ReadError::Schema {
+            message: "artifact has no \"kind\" field — is this a versioned \
+                      --metrics-out / --bench-out document?"
+                .to_string(),
+        }),
+    }
+}
+
+/// One counter's change between two runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterDiff {
+    /// Dotted counter name.
+    pub name: String,
+    /// Value in the first (baseline) run.
+    pub a: u64,
+    /// Value in the second run.
+    pub b: u64,
+}
+
+impl CounterDiff {
+    /// Signed change `b - a`.
+    pub fn delta(&self) -> i128 {
+        self.b as i128 - self.a as i128
+    }
+
+    /// Percent change relative to `a` (`None` when `a` is 0).
+    pub fn pct(&self) -> Option<f64> {
+        (self.a != 0).then(|| 100.0 * self.delta() as f64 / self.a as f64)
+    }
+}
+
+/// One histogram class's percentile shift between two runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PercentileShift {
+    /// Histogram base name (e.g. `machine.latency.read_walk`).
+    pub base: String,
+    /// Percentiles in the first run (`None` when the class is empty there).
+    pub a: Option<Percentiles>,
+    /// Percentiles in the second run.
+    pub b: Option<Percentiles>,
+}
+
+/// All changed counters between two snapshots (union of keys; unchanged
+/// counters are skipped).
+pub fn diff_snapshots(a: &Snapshot, b: &Snapshot) -> Vec<CounterDiff> {
+    let mut names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+    names.extend(b.iter().map(|(k, _)| k));
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let (va, vb) = (a.value(name), b.value(name));
+            (va != vb).then(|| CounterDiff {
+                name: name.to_string(),
+                a: va,
+                b: vb,
+            })
+        })
+        .collect()
+}
+
+/// Percentile shifts for every histogram either snapshot carries.
+pub fn percentile_shifts(a: &Snapshot, b: &Snapshot) -> Vec<PercentileShift> {
+    let ha = histograms_in_snapshot(a);
+    let hb = histograms_in_snapshot(b);
+    let mut bases: Vec<&String> = ha.keys().chain(hb.keys()).collect();
+    bases.sort_unstable();
+    bases.dedup();
+    bases
+        .into_iter()
+        .map(|base| PercentileShift {
+            base: base.clone(),
+            a: ha.get(base).and_then(Percentiles::of),
+            b: hb.get(base).and_then(Percentiles::of),
+        })
+        .collect()
+}
+
+fn render_counter_table(out: &mut String, diffs: &[CounterDiff], limit: usize) {
+    let _ = writeln!(
+        out,
+        "  {:<44} {:>14} {:>14} {:>12} {:>9}",
+        "counter", "a", "b", "delta", "pct"
+    );
+    for d in diffs.iter().take(limit) {
+        let pct = match d.pct() {
+            Some(p) => format!("{p:+.1}%"),
+            None => "new".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>14} {:>14} {:>+12} {:>9}",
+            d.name,
+            d.a,
+            d.b,
+            d.delta(),
+            pct
+        );
+    }
+    if diffs.len() > limit {
+        let _ = writeln!(
+            out,
+            "  ... and {} more changed counters",
+            diffs.len() - limit
+        );
+    }
+}
+
+fn render_shift_table(out: &mut String, shifts: &[PercentileShift]) {
+    let changed: Vec<&PercentileShift> = shifts.iter().filter(|s| s.a != s.b).collect();
+    if changed.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "  latency percentile shifts (cycles):");
+    for s in changed {
+        let fmt = |p: Option<Percentiles>| match p {
+            Some(p) => format!("p50={} p90={} p99={}", p.p50, p.p90, p.p99),
+            None => "(empty)".to_string(),
+        };
+        let _ = writeln!(out, "    {:<40} {}  ->  {}", s.base, fmt(s.a), fmt(s.b));
+    }
+}
+
+/// Render a full differential report between two artifacts of the same
+/// kind.
+pub fn render_diff(
+    label_a: &str,
+    label_b: &str,
+    a: &Artifact,
+    b: &Artifact,
+) -> Result<String, String> {
+    let mut out = String::new();
+    match (a, b) {
+        (Artifact::Metrics(sa), Artifact::Metrics(sb)) => {
+            let _ = writeln!(out, "metrics diff: {label_a} -> {label_b}");
+            let diffs = diff_snapshots(sa, sb);
+            if diffs.is_empty() {
+                let _ = writeln!(out, "  no counter changed");
+            } else {
+                render_counter_table(&mut out, &diffs, 200);
+            }
+            render_shift_table(&mut out, &percentile_shifts(sa, sb));
+        }
+        (Artifact::Bench(ra), Artifact::Bench(rb)) => {
+            let _ = writeln!(out, "bench diff: {label_a} -> {label_b}");
+            for eb in &rb.experiments {
+                let Some(ea) = ra.experiment(&eb.name) else {
+                    let _ = writeln!(out, "\n[{}] only in {label_b}", eb.name);
+                    continue;
+                };
+                let cycles = CounterDiff {
+                    name: "cycles".to_string(),
+                    a: ea.cycles,
+                    b: eb.cycles,
+                };
+                let pct = cycles
+                    .pct()
+                    .map(|p| format!("{p:+.2}%"))
+                    .unwrap_or_else(|| "n/a".to_string());
+                let _ = writeln!(
+                    out,
+                    "\n[{}] cycles: {} -> {} ({pct})",
+                    eb.name, ea.cycles, eb.cycles
+                );
+                let diffs = diff_snapshots(&ea.counters, &eb.counters);
+                if !diffs.is_empty() {
+                    render_counter_table(&mut out, &diffs, 40);
+                }
+                render_shift_table(&mut out, &percentile_shifts(&ea.counters, &eb.counters));
+            }
+            for ea in &ra.experiments {
+                if rb.experiment(&ea.name).is_none() {
+                    let _ = writeln!(out, "\n[{}] only in {label_a}", ea.name);
+                }
+            }
+        }
+        _ => {
+            return Err("cannot diff a metrics snapshot against a bench report — \
+                 pass two artifacts of the same kind"
+                .to_string())
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmp_trace::{AccessClass, ExperimentRecord, LatencyHistograms, MetricsRegistry};
+
+    fn snap(cycles: u64, walk_latency: u64) -> Snapshot {
+        let mut hists = LatencyHistograms::new();
+        for _ in 0..10 {
+            hists.record(AccessClass::ReadWalk, walk_latency);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.cycles", cycles);
+        reg.set("machine.walks", 10);
+        hists.export(&mut reg, "machine.latency");
+        reg.snapshot()
+    }
+
+    #[test]
+    fn diff_reports_changed_counters_only() {
+        let diffs = diff_snapshots(&snap(100, 30), &snap(150, 30));
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].name, "machine.cycles");
+        assert_eq!(diffs[0].delta(), 50);
+        assert_eq!(diffs[0].pct(), Some(50.0));
+    }
+
+    #[test]
+    fn percentile_shifts_detect_latency_change() {
+        let shifts = percentile_shifts(&snap(100, 30), &snap(100, 120));
+        let walk = shifts
+            .iter()
+            .find(|s| s.base == "machine.latency.read_walk")
+            .unwrap();
+        assert_eq!(walk.a.unwrap().p50, 32, "30 cycles -> bucket [16,32)");
+        assert_eq!(walk.b.unwrap().p50, 128, "120 cycles -> bucket [64,128)");
+    }
+
+    #[test]
+    fn load_artifact_sniffs_kind() {
+        let m = snap(1, 2).to_json_versioned();
+        assert!(matches!(load_artifact(&m), Ok(Artifact::Metrics(_))));
+        let mut r = BenchReport::new("repro");
+        r.push(ExperimentRecord::from_snapshot("fig2", 1, snap(1, 2)));
+        assert!(matches!(
+            load_artifact(&r.to_json()),
+            Ok(Artifact::Bench(_))
+        ));
+        assert!(load_artifact("{\"kind\":\"nope\",\"schema\":1}").is_err());
+        assert!(load_artifact("{}").is_err());
+    }
+
+    #[test]
+    fn mixed_kinds_refuse_to_diff() {
+        let m = load_artifact(&snap(1, 2).to_json_versioned()).unwrap();
+        let mut r = BenchReport::new("repro");
+        r.push(ExperimentRecord::from_snapshot("fig2", 1, snap(1, 2)));
+        let b = load_artifact(&r.to_json()).unwrap();
+        assert!(render_diff("a", "b", &m, &b).is_err());
+    }
+
+    #[test]
+    fn bench_diff_renders_per_experiment() {
+        let mut ra = BenchReport::new("repro");
+        ra.push(ExperimentRecord::from_snapshot("fig2", 100, snap(100, 30)));
+        let mut rb = BenchReport::new("repro");
+        rb.push(ExperimentRecord::from_snapshot("fig2", 150, snap(150, 120)));
+        rb.push(ExperimentRecord::from_snapshot("fig13", 7, snap(7, 30)));
+        let text = render_diff(
+            "a.json",
+            "b.json",
+            &Artifact::Bench(ra),
+            &Artifact::Bench(rb),
+        )
+        .unwrap();
+        assert!(
+            text.contains("[fig2] cycles: 100 -> 150 (+50.00%)"),
+            "{text}"
+        );
+        assert!(text.contains("[fig13] only in b.json"), "{text}");
+        assert!(text.contains("percentile shifts"), "{text}");
+    }
+}

@@ -1,0 +1,264 @@
+//! The perf-trajectory regression gate.
+//!
+//! `hpmp-analyze gate --baseline BENCH_seed.json --threshold 5% current.json`
+//! compares a fresh bench report against a committed baseline and fails
+//! (nonzero exit) when any watched metric regressed by more than the
+//! threshold:
+//!
+//! * per-experiment total cycles — the headline trajectory;
+//! * per-experiment walk-reference totals (`*.refs` counters) — the paper's
+//!   core claim is a reference-count reduction, so a change here is a
+//!   correctness smell even when cycles still pass;
+//! * per-class p99 latency — tail regressions hide inside stable means.
+//!
+//! Improvements and experiments new in the current run never fail the
+//! gate; experiments *missing* from the current run do (a shrinking
+//! trajectory silently loses coverage).
+
+use hpmp_trace::BenchReport;
+use std::fmt::Write as _;
+
+/// One metric's comparison against the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Experiment the metric belongs to.
+    pub experiment: String,
+    /// Metric label (`cycles`, a `*.refs*` counter, or `<base>.p99`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Current value.
+    pub current: u64,
+}
+
+impl Finding {
+    /// Percent change relative to the baseline (`None` when baseline is 0
+    /// and current is not — reported as an unbounded regression).
+    pub fn pct(&self) -> Option<f64> {
+        (self.baseline != 0)
+            .then(|| 100.0 * (self.current as f64 - self.baseline as f64) / self.baseline as f64)
+    }
+
+    /// Whether the change exceeds `threshold_pct` in the bad direction.
+    pub fn is_regression(&self, threshold_pct: f64) -> bool {
+        if self.current <= self.baseline {
+            return false;
+        }
+        match self.pct() {
+            Some(p) => p > threshold_pct,
+            // Baseline 0, current nonzero: infinite relative growth.
+            None => true,
+        }
+    }
+}
+
+/// The gate's verdict over a whole report pair.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// Findings exceeding the threshold (the gate fails when non-empty).
+    pub regressions: Vec<Finding>,
+    /// Findings that moved in the good direction past the threshold
+    /// (informational; a candidate for re-baselining).
+    pub improvements: Vec<Finding>,
+    /// Experiments present in the baseline but absent from the current run.
+    pub missing: Vec<String>,
+    /// Number of metric comparisons performed.
+    pub checked: u64,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Render a human-readable verdict.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf gate: {} comparisons at {threshold_pct}% threshold",
+            self.checked
+        );
+        for m in &self.missing {
+            let _ = writeln!(out, "  MISSING experiment \"{m}\" (present in baseline)");
+        }
+        for f in &self.regressions {
+            let pct = f
+                .pct()
+                .map(|p| format!("{p:+.2}%"))
+                .unwrap_or_else(|| "new nonzero".to_string());
+            let _ = writeln!(
+                out,
+                "  REGRESSION [{}] {}: {} -> {} ({pct})",
+                f.experiment, f.metric, f.baseline, f.current
+            );
+        }
+        for f in &self.improvements {
+            let pct = f.pct().map(|p| format!("{p:+.2}%")).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  improvement [{}] {}: {} -> {} ({pct})",
+                f.experiment, f.metric, f.baseline, f.current
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Is this counter part of the walk-reference family the gate watches?
+fn is_refs_counter(name: &str) -> bool {
+    name.ends_with(".refs") || name.contains(".refs.")
+}
+
+/// Compare `current` against `baseline` at `threshold_pct`.
+pub fn gate(current: &BenchReport, baseline: &BenchReport, threshold_pct: f64) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    for base_exp in &baseline.experiments {
+        let Some(cur_exp) = current.experiment(&base_exp.name) else {
+            outcome.missing.push(base_exp.name.clone());
+            continue;
+        };
+        let mut check = |metric: String, baseline: u64, current: u64| {
+            outcome.checked += 1;
+            let f = Finding {
+                experiment: base_exp.name.clone(),
+                metric,
+                baseline,
+                current,
+            };
+            if f.is_regression(threshold_pct) {
+                outcome.regressions.push(f);
+            } else if baseline > current
+                && baseline != 0
+                && 100.0 * (baseline - current) as f64 / baseline as f64 > threshold_pct
+            {
+                outcome.improvements.push(f);
+            }
+        };
+
+        check("cycles".to_string(), base_exp.cycles, cur_exp.cycles);
+        for (name, value) in base_exp.counters.iter() {
+            if is_refs_counter(name) {
+                check(name.to_string(), value, cur_exp.counters.value(name));
+            }
+        }
+        for (base, p) in &base_exp.percentiles {
+            let cur_p99 = cur_exp.percentiles.get(base).map(|c| c.p99).unwrap_or(0);
+            check(format!("{base}.p99"), p.p99, cur_p99);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmp_trace::{AccessClass, ExperimentRecord, LatencyHistograms, MetricsRegistry, Snapshot};
+
+    fn snapshot(cycles: u64, refs: u64, walk_latency: u64) -> Snapshot {
+        let mut hists = LatencyHistograms::new();
+        for _ in 0..10 {
+            hists.record(AccessClass::ReadWalk, walk_latency);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.cycles", cycles);
+        reg.set("machine.refs", refs);
+        reg.set("machine.refs.pt_reads", refs / 2);
+        hists.export(&mut reg, "machine.latency");
+        reg.snapshot()
+    }
+
+    fn report(cycles: u64, refs: u64, walk_latency: u64) -> BenchReport {
+        let mut r = BenchReport::new("repro");
+        r.push(ExperimentRecord::from_snapshot(
+            "fig2",
+            cycles,
+            snapshot(cycles, refs, walk_latency),
+        ));
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let outcome = gate(&report(1000, 60, 30), &report(1000, 60, 30), 5.0);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert!(outcome.checked >= 4, "cycles + refs + refs.pt + p99");
+    }
+
+    #[test]
+    fn small_noise_within_threshold_passes() {
+        let outcome = gate(&report(1040, 60, 30), &report(1000, 60, 30), 5.0);
+        assert!(outcome.passed(), "{outcome:?}");
+    }
+
+    #[test]
+    fn cycle_regression_fails() {
+        // The acceptance criterion: a doctored baseline whose cycles are >5%
+        // lower than the current run must fail the gate.
+        let outcome = gate(&report(1100, 60, 30), &report(1000, 60, 30), 5.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions[0].metric, "cycles");
+        assert!(outcome.render(5.0).contains("FAIL"));
+    }
+
+    #[test]
+    fn refs_regression_fails_even_with_stable_cycles() {
+        let outcome = gate(&report(1000, 80, 30), &report(1000, 60, 30), 5.0);
+        assert!(!outcome.passed());
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|f| f.metric == "machine.refs"));
+    }
+
+    #[test]
+    fn tail_latency_regression_fails() {
+        let outcome = gate(&report(1000, 60, 200), &report(1000, 60, 30), 5.0);
+        assert!(!outcome.passed());
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|f| f.metric == "machine.latency.read_walk.p99"));
+    }
+
+    #[test]
+    fn improvements_do_not_fail() {
+        let outcome = gate(&report(800, 40, 10), &report(1000, 60, 30), 5.0);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert!(!outcome.improvements.is_empty());
+    }
+
+    #[test]
+    fn missing_experiment_fails() {
+        let current = report(1000, 60, 30);
+        let mut baseline = report(1000, 60, 30);
+        baseline.push(ExperimentRecord::from_snapshot("fig13", 5, Snapshot::new()));
+        let outcome = gate(&current, &baseline, 5.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.missing, vec!["fig13".to_string()]);
+    }
+
+    #[test]
+    fn new_experiments_in_current_are_ignored() {
+        let mut current = report(1000, 60, 30);
+        current.push(ExperimentRecord::from_snapshot("extra", 5, Snapshot::new()));
+        assert!(gate(&current, &report(1000, 60, 30), 5.0).passed());
+    }
+
+    #[test]
+    fn zero_baseline_to_nonzero_is_regression() {
+        let f = Finding {
+            experiment: "e".into(),
+            metric: "m".into(),
+            baseline: 0,
+            current: 5,
+        };
+        assert!(f.is_regression(5.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline analytics over the HPMP simulator's observability artifacts.
+//!
+//! The write side (`hpmp-trace` + the bench binaries) emits three versioned
+//! artifact families: JSONL walk-event traces (`--trace-out`), metrics
+//! snapshots (`--metrics-out`), and perf-trajectory bench reports
+//! (`--bench-out`). This crate is the read side — the `hpmp-analyze`
+//! binary plus the library underneath it:
+//!
+//! * [`profile`] — cycle attribution by world × access class × step kind
+//!   with per-level PT/PMPT splits, step-sum invariant verification, and
+//!   the paper's reference-count claims (6 vs 12 native, 12 vs 36
+//!   virtualized) recomputed from event data alone;
+//! * [`diff`] — A/B differential reports: per-counter deltas, percent
+//!   change, and histogram percentile shifts between two runs;
+//! * [`gate`] — the regression gate CI runs against a committed baseline.
+
+pub mod diff;
+pub mod gate;
+pub mod profile;
+
+pub use diff::{diff_snapshots, load_artifact, percentile_shifts, render_diff, Artifact};
+pub use gate::{gate, Finding, GateOutcome};
+pub use profile::{ColdWalk, EventRefs, IsolationShape, WalkProfile};

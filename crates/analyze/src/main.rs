@@ -1,0 +1,177 @@
+//! `hpmp-analyze`: offline analytics over HPMP simulator artifacts.
+//!
+//! ```text
+//! hpmp-analyze profile <trace.jsonl>
+//! hpmp-analyze diff <a.json> <b.json>
+//! hpmp-analyze gate --baseline <BENCH_seed.json> [--threshold 5%]
+//!                   [--report-only] <BENCH_current.json>
+//! ```
+//!
+//! Exit codes: 0 — analysis clean; 1 — the analysis itself found a problem
+//! (invariant violation, claim mismatch, perf regression); 2 — usage,
+//! I/O, or schema error.
+
+use hpmp_analyze::{gate, load_artifact, profile::WalkProfile, render_diff};
+use hpmp_trace::{read_trace_file, BenchReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  hpmp-analyze profile <trace.jsonl>
+      Cycle-attribution profile of a walk-event trace: breakdown by
+      world x access class x step kind, per-level splits, step-sum
+      invariant check, and the paper's reference-count claims.
+
+  hpmp-analyze diff <a.json> <b.json>
+      Differential report between two versioned artifacts of the same
+      kind (--metrics-out snapshots or --bench-out reports): counter
+      deltas, percent change, latency percentile shifts.
+
+  hpmp-analyze gate --baseline <file> [--threshold <pct>%] [--report-only]
+                    <current.json>
+      Compare a --bench-out report against a committed baseline; exit 1
+      on cycle / walk-reference / p99 regression beyond the threshold
+      (default 5%). --report-only prints the verdict but always exits 0.
+";
+
+fn fail_usage(message: &str) -> ExitCode {
+    eprintln!("hpmp-analyze: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn read_to_string(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("hpmp-analyze: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail_usage("profile takes exactly one trace file");
+    };
+    let events = match read_trace_file(path) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("hpmp-analyze: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let profile = WalkProfile::from_events(&events);
+    print!("{}", profile.render());
+    if !profile.is_balanced() {
+        eprintln!("hpmp-analyze: step-sum invariant violated");
+        return ExitCode::from(1);
+    }
+    if !profile.claims_hold() {
+        eprintln!("hpmp-analyze: measured reference counts deviate from the paper");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let [path_a, path_b] = args else {
+        return fail_usage("diff takes exactly two artifact files");
+    };
+    let (text_a, text_b) = match (read_to_string(path_a), read_to_string(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let load = |path: &str, text: &str| {
+        load_artifact(text).map_err(|e| {
+            eprintln!("hpmp-analyze: {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let (a, b) = match (load(path_a, &text_a), load(path_b, &text_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    match render_diff(path_a, path_b, &a, &b) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("hpmp-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_threshold(raw: &str) -> Option<f64> {
+    let trimmed = raw.trim().trim_end_matches('%');
+    let value: f64 = trimmed.parse().ok()?;
+    (value >= 0.0 && value.is_finite()).then_some(value)
+}
+
+fn cmd_gate(args: &[String]) -> ExitCode {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut threshold = 5.0;
+    let mut report_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(path) => baseline_path = Some(path.clone()),
+                None => return fail_usage("--baseline needs a file"),
+            },
+            "--threshold" => match it.next().map(|raw| parse_threshold(raw)) {
+                Some(Some(value)) => threshold = value,
+                _ => return fail_usage("--threshold needs a percentage like 5%"),
+            },
+            "--report-only" => report_only = true,
+            other if !other.starts_with('-') && current_path.is_none() => {
+                current_path = Some(other.to_string());
+            }
+            other => return fail_usage(&format!("unknown gate argument \"{other}\"")),
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        return fail_usage("gate needs --baseline <file>");
+    };
+    let Some(current_path) = current_path else {
+        return fail_usage("gate needs a current bench report");
+    };
+    let load = |path: &str| -> Result<BenchReport, ExitCode> {
+        let text = read_to_string(path)?;
+        BenchReport::from_json(&text).map_err(|e| {
+            eprintln!("hpmp-analyze: {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let outcome = gate(&current, &baseline, threshold);
+    print!("{}", outcome.render(threshold));
+    if outcome.passed() || report_only {
+        if report_only && !outcome.passed() {
+            println!("(report-only mode: not failing the build)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "profile" => cmd_profile(rest),
+            "diff" => cmd_diff(rest),
+            "gate" => cmd_gate(rest),
+            "--help" | "-h" | "help" => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            other => fail_usage(&format!("unknown command \"{other}\"")),
+        },
+        None => fail_usage("no command given"),
+    }
+}

@@ -1,0 +1,178 @@
+//! CLI-level tests of the `hpmp-analyze` binary: argument handling, exit
+//! codes, and the doctored-baseline gate acceptance criterion.
+
+use hpmp_trace::{
+    AccessClass, BenchReport, ExperimentRecord, LatencyHistograms, MetricsRegistry, Snapshot,
+};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hpmp-analyze"))
+}
+
+/// A scratch file under the target-adjacent temp dir, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hpmp-analyze-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn write(name: &str, content: &str) -> PathBuf {
+    let path = scratch(name);
+    std::fs::write(&path, content).expect("write scratch file");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn snapshot(cycles: u64, walk_latency: u64) -> Snapshot {
+    let mut hists = LatencyHistograms::new();
+    for _ in 0..10 {
+        hists.record(AccessClass::ReadWalk, walk_latency);
+    }
+    let mut reg = MetricsRegistry::new();
+    reg.set("machine.cycles", cycles);
+    reg.set("machine.refs", 60);
+    hists.export(&mut reg, "machine.latency");
+    reg.snapshot()
+}
+
+fn bench_report(cycles: u64) -> String {
+    let mut r = BenchReport::new("repro");
+    r.set_config("scheme", "hpmp");
+    r.push(ExperimentRecord::from_snapshot(
+        "fig2",
+        cycles,
+        snapshot(cycles, 30),
+    ));
+    r.to_json()
+}
+
+#[test]
+fn no_args_is_a_usage_error() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hpmp-analyze gate"));
+}
+
+#[test]
+fn profile_rejects_headerless_trace() {
+    let path = write("headerless.jsonl", "{\"seq\":0}\n");
+    let out = run(&["profile", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+}
+
+#[test]
+fn diff_of_identical_metrics_reports_no_change() {
+    let text = snapshot(100, 30).to_json_versioned();
+    let a = write("m_a.json", &text);
+    let b = write("m_b.json", &text);
+    let out = run(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no counter changed"));
+}
+
+#[test]
+fn diff_shows_deltas_and_percentile_shifts() {
+    let a = write("m_old.json", &snapshot(100, 30).to_json_versioned());
+    let b = write("m_new.json", &snapshot(150, 120).to_json_versioned());
+    let out = run(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("machine.cycles"), "{stdout}");
+    assert!(stdout.contains("+50.0%"), "{stdout}");
+    assert!(stdout.contains("percentile shifts"), "{stdout}");
+}
+
+#[test]
+fn gate_passes_against_equal_baseline() {
+    let baseline = write("base_ok.json", &bench_report(1000));
+    let current = write("cur_ok.json", &bench_report(1000));
+    let out = run(&[
+        "gate",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--threshold",
+        "5%",
+        current.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}
+
+#[test]
+fn gate_fails_on_doctored_baseline_with_cycle_regression() {
+    // The acceptance criterion: a baseline doctored to claim the run used
+    // to be >5% faster must make the gate exit nonzero.
+    let baseline = write("base_doctored.json", &bench_report(1000));
+    let current = write("cur_slow.json", &bench_report(1100));
+    let out = run(&[
+        "gate",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--threshold",
+        "5%",
+        current.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "gate must fail the build");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn gate_report_only_never_fails_the_build() {
+    let baseline = write("base_ro.json", &bench_report(1000));
+    let current = write("cur_ro.json", &bench_report(1100));
+    let out = run(&[
+        "gate",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--report-only",
+        current.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "report-only always exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "still reports: {stdout}");
+    assert!(stdout.contains("report-only"), "{stdout}");
+}
+
+#[test]
+fn gate_rejects_unversioned_baseline() {
+    let baseline = write("base_unversioned.json", "{\"experiments\":[]}");
+    let current = write("cur_v.json", &bench_report(1000));
+    let out = run(&[
+        "gate",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        current.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+}
+
+#[test]
+fn gate_rejects_bad_threshold() {
+    let baseline = write("base_t.json", &bench_report(1000));
+    let current = write("cur_t.json", &bench_report(1000));
+    let out = run(&[
+        "gate",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--threshold",
+        "banana",
+        current.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -7,11 +7,14 @@
 //!         [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]
 //!         [--encryption CYCLES] [--epmp]
 //!         [--trace-out walks.jsonl] [--metrics-out metrics.json]
+//!         [--bench-out BENCH_name.json]
 //! ```
 //!
 //! `--trace-out` streams one JSON object per page walk (see
 //! `hpmp_trace::WalkEvent::to_json`); `--metrics-out` writes the unified
-//! metrics snapshot as nested JSON after the run.
+//! metrics snapshot as versioned JSON after the run; `--bench-out` writes a
+//! perf-trajectory [`hpmp_trace::BenchReport`] (one record for the workload:
+//! cycles, counters, latency percentiles) consumable by `hpmp-analyze gate`.
 //!
 //! Unlike `repro` (which regenerates the paper's tables), this is the
 //! kick-the-tires tool: pick a stack, run a workload, read the counters.
@@ -20,7 +23,7 @@ use hpmp_core::PmptwCacheConfig;
 use hpmp_machine::MachineConfig;
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
-use hpmp_trace::{JsonlSink, NullSink, Snapshot, TraceSink};
+use hpmp_trace::{BenchReport, ExperimentRecord, JsonlSink, NullSink, Snapshot, TraceSink};
 use hpmp_workloads::TeeBench;
 
 #[derive(Debug)]
@@ -35,6 +38,7 @@ struct Options {
     epmp: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    bench_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -43,7 +47,8 @@ fn usage() -> ! {
          \x20              [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]\n\
          \x20              [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]\n\
          \x20              [--encryption CYCLES] [--epmp]\n\
-         \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]"
+         \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]\n\
+         \x20              [--bench-out BENCH_name.json]"
     );
     std::process::exit(2);
 }
@@ -60,6 +65,7 @@ fn parse_args() -> Options {
         epmp: false,
         trace_out: None,
         metrics_out: None,
+        bench_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,6 +105,7 @@ fn parse_args() -> Options {
             "--epmp" => options.epmp = true,
             "--trace-out" => options.trace_out = Some(value("--trace-out")),
             "--metrics-out" => options.metrics_out = Some(value("--metrics-out")),
+            "--bench-out" => options.bench_out = Some(value("--bench-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -161,11 +168,27 @@ fn main() {
         None => run_workload(&options, config, NullSink),
     };
     if let Some(path) = &options.metrics_out {
-        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+        if let Err(e) = std::fs::write(path, snapshot.to_json_versioned()) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
         println!("  metrics      : {} counters -> {}", snapshot.len(), path);
+    }
+    if let Some(path) = &options.bench_out {
+        let mut report = BenchReport::new("hpmpsim");
+        report.set_config("flavor", options.flavor.to_string());
+        report.set_config("core", options.core.to_string());
+        report.set_config("workload", options.workload.clone());
+        report.push(ExperimentRecord::from_snapshot(
+            options.workload.clone(),
+            cycles,
+            snapshot.clone(),
+        ));
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  bench report : 1 experiment -> {path}");
     }
 
     let core = hpmp_memsim::CoreModel::for_kind(options.core);

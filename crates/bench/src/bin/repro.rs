@@ -1,15 +1,18 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! Usage: `repro [--serial] [--trace-out <walks.jsonl>] [--metrics-out <m.json>]
-//! [experiment...]` where experiment is one of
+//! [--bench-out <BENCH_name.json>] [experiment...]` where experiment is one of
 //! `table1 fig2 fig3 fig10 table3 fig11 fig12ac fig12de fig13 fig14 fig15
 //! fig16 fig17 table4 svsweep virtapp tenancy encryption all` (default: `all`).
 //!
 //! `--trace-out` streams one JSONL [`hpmp_trace::WalkEvent`] per memory access
 //! for the experiments that drive the instrumented machine directly (fig2,
-//! fig11, fig12de, fig14, fig17, svsweep, virtapp, tenancy, encryption);
-//! `--metrics-out` writes their merged metrics registry snapshot as JSON.
-//! Either flag implies `--serial` so all events land in one file.
+//! fig11, fig12de, fig13, fig14, fig17, svsweep, virtapp, tenancy,
+//! encryption); `--metrics-out` writes their merged metrics registry snapshot
+//! as versioned JSON. `--bench-out` writes a perf-trajectory
+//! [`hpmp_trace::BenchReport`] with one record per traced experiment (cycles,
+//! walk-reference counters, latency percentiles) for `hpmp-analyze gate`.
+//! Any of the three implies `--serial` so all events land in one file.
 //!
 //! Absolute cycle counts come from the simulated SoC, not the authors'
 //! FPGA; the *shapes* (who wins, by what factor, where crossovers are) are
@@ -20,8 +23,10 @@ use hpmp_core::{estimate_resources, HardwareParams, PmptwCacheConfig};
 use hpmp_machine::{IsolationScheme, MachineConfig, VirtScheme};
 use hpmp_memsim::{AccessKind, CoreKind, PhysAddr};
 use hpmp_penglai::{cost, DomainId, GmsLabel, MonitorError, SecureMonitor, TeeFlavor};
-use hpmp_trace::{JsonlSink, NullSink, Snapshot, TraceSink};
-use hpmp_workloads::latency::{figure_10_panel, measure_virt, TestCase, VirtCase, VIRT_CASES};
+use hpmp_trace::{BenchReport, ExperimentRecord, JsonlSink, NullSink, Snapshot, TraceSink};
+use hpmp_workloads::latency::{
+    figure_10_panel, measure_virt_with_sink, TestCase, VirtCase, VIRT_CASES,
+};
 use hpmp_workloads::{frag, gap, lmbench, redis, rv8, serverless};
 
 const SCHEMES: [IsolationScheme; 3] = [
@@ -56,6 +61,7 @@ fn main() {
     let mut serial = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -63,11 +69,13 @@ fn main() {
             "--serial" => serial = true,
             "--trace-out" => trace_out = raw.next(),
             "--metrics-out" => metrics_out = raw.next(),
+            "--bench-out" => bench_out = raw.next(),
             _ => args.push(arg),
         }
     }
-    // A shared trace file only makes sense in one process.
-    let serial = serial || trace_out.is_some() || metrics_out.is_some();
+    // A shared trace file (or per-experiment report) only makes sense in
+    // one process.
+    let serial = serial || trace_out.is_some() || metrics_out.is_some() || bench_out.is_some();
     let wanted: Vec<&str> = if args.is_empty() {
         vec!["all"]
     } else {
@@ -110,7 +118,7 @@ fn main() {
         }
     }
 
-    let snapshot = match &trace_out {
+    let (snapshot, bench) = match &trace_out {
         Some(path) => {
             let mut sink = match JsonlSink::create(path) {
                 Ok(sink) => sink,
@@ -119,33 +127,63 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            let snapshot = run_experiments(&wanted, all, &mut sink);
+            let result = run_experiments(&wanted, all, &mut sink);
             sink.flush();
             eprintln!("repro: trace: {} events -> {}", sink.written(), path);
-            snapshot
+            result
         }
         None => run_experiments(&wanted, all, NullSink),
     };
     if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+        if let Err(e) = std::fs::write(path, snapshot.to_json_versioned()) {
             eprintln!("repro: cannot write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("repro: metrics: {} counters -> {}", snapshot.len(), path);
     }
+    if let Some(path) = &bench_out {
+        if let Err(e) = std::fs::write(path, bench.to_json()) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "repro: bench report: {} experiments -> {}",
+            bench.experiments.len(),
+            path
+        );
+    }
+}
+
+/// Folds one traced experiment's snapshot into both the merged metrics and
+/// the perf-trajectory report. The experiment's cycle total is whatever its
+/// machines accumulated (`machine.cycles` for native, `virt.cycles` for
+/// virtualized runs; both when an experiment drives both kinds).
+fn record(report: &mut BenchReport, metrics: &mut Snapshot, name: &str, snap: Snapshot) {
+    let cycles = snap.value("machine.cycles") + snap.value("virt.cycles");
+    *metrics = metrics.merge(&snap);
+    report.push(ExperimentRecord::from_snapshot(name, cycles, snap));
 }
 
 /// Runs the selected experiments, lending `sink` to the ones that drive the
-/// instrumented machine directly and merging their metrics snapshots.
-fn run_experiments<S: TraceSink>(wanted: &[&str], all: bool, mut sink: S) -> Snapshot {
+/// instrumented machine directly, merging their metrics snapshots, and
+/// recording one [`ExperimentRecord`] per traced experiment.
+fn run_experiments<S: TraceSink>(
+    wanted: &[&str],
+    all: bool,
+    mut sink: S,
+) -> (Snapshot, BenchReport) {
     let want = |name: &str| all || wanted.contains(&name);
     let mut metrics = Snapshot::new();
+    let mut report = BenchReport::new("repro");
+    report.set_config("suite", "hpmp-repro");
+    report.set_config("experiments", wanted.join(","));
 
     if want("table1") {
         table1();
     }
     if want("fig2") {
-        metrics = metrics.merge(&fig2(&mut sink));
+        let snap = fig2(&mut sink);
+        record(&mut report, &mut metrics, "fig2", snap);
     }
     if want("fig10") {
         fig10();
@@ -154,19 +192,23 @@ fn run_experiments<S: TraceSink>(wanted: &[&str], all: bool, mut sink: S) -> Sna
         table3();
     }
     if want("fig11") {
-        metrics = metrics.merge(&fig11(&mut sink));
+        let snap = fig11(&mut sink);
+        record(&mut report, &mut metrics, "fig11", snap);
     }
     if want("fig12ac") {
         fig12ac();
     }
     if want("fig12de") {
-        metrics = metrics.merge(&fig12de(&mut sink));
+        let snap = fig12de(&mut sink);
+        record(&mut report, &mut metrics, "fig12de", snap);
     }
     if want("fig13") {
-        fig13();
+        let snap = fig13(&mut sink);
+        record(&mut report, &mut metrics, "fig13", snap);
     }
     if want("fig14") {
-        metrics = metrics.merge(&fig14(&mut sink));
+        let snap = fig14(&mut sink);
+        record(&mut report, &mut metrics, "fig14", snap);
     }
     if want("fig15") {
         fig15();
@@ -175,7 +217,8 @@ fn run_experiments<S: TraceSink>(wanted: &[&str], all: bool, mut sink: S) -> Sna
         fig16();
     }
     if want("fig17") {
-        metrics = metrics.merge(&fig17(&mut sink));
+        let snap = fig17(&mut sink);
+        record(&mut report, &mut metrics, "fig17", snap);
     }
     if want("table4") {
         table4();
@@ -184,19 +227,23 @@ fn run_experiments<S: TraceSink>(wanted: &[&str], all: bool, mut sink: S) -> Sna
         fig3();
     }
     if want("svsweep") {
-        metrics = metrics.merge(&svsweep(&mut sink));
+        let snap = svsweep(&mut sink);
+        record(&mut report, &mut metrics, "svsweep", snap);
     }
     if want("virtapp") {
-        metrics = metrics.merge(&virtapp(&mut sink));
+        let snap = virtapp(&mut sink);
+        record(&mut report, &mut metrics, "virtapp", snap);
     }
     if want("tenancy") {
-        metrics = metrics.merge(&tenancy(&mut sink));
+        let snap = tenancy(&mut sink);
+        record(&mut report, &mut metrics, "tenancy", snap);
     }
     if want("encryption") {
-        metrics = metrics.merge(&encryption(&mut sink));
+        let snap = encryption(&mut sink);
+        record(&mut report, &mut metrics, "encryption", snap);
     }
     sink.flush();
-    metrics
+    (metrics, report)
 }
 
 /// Table 1: simulation configurations.
@@ -529,7 +576,8 @@ fn fig12de<S: TraceSink>(sink: &mut S) -> Snapshot {
 }
 
 /// Figure 13: virtualized memory access latency (Rocket).
-fn fig13() {
+fn fig13<S: TraceSink>(sink: &mut S) -> Snapshot {
+    let mut metrics = Snapshot::new();
     let mut r = Report::new(
         "Figure 13: virtualized access latency (Rocket), cycles",
         &["Case", "PMPT", "HPMP", "HPMP-GPT", "PMP"],
@@ -542,7 +590,11 @@ fn fig13() {
             VirtScheme::Pmp,
         ]
         .iter()
-        .map(|&s| measure_virt(CoreKind::Rocket, s, case).to_string())
+        .map(|&s| {
+            let (cycles, snap) = measure_virt_with_sink(CoreKind::Rocket, s, case, &mut *sink);
+            metrics = metrics.merge(&snap);
+            cycles.to_string()
+        })
         .collect();
         let mut row = vec![case.to_string()];
         row.extend(cells);
@@ -551,6 +603,7 @@ fn fig13() {
     r.note("paper: HPMP cuts PMPT's extra cost to 29.7%-75.6%; HPMP-GPT to 16.3%-26.8%");
     let _ = VirtCase::Tc1;
     r.print();
+    metrics
 }
 
 /// Figure 14: TEE operation costs.

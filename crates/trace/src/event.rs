@@ -32,6 +32,16 @@ impl World {
             World::Guest => "guest",
         }
     }
+
+    /// Parse a [`World::label`] back into the enum.
+    pub fn from_label(label: &str) -> Option<World> {
+        match label {
+            "host" => Some(World::Host),
+            "enclave" => Some(World::Enclave),
+            "guest" => Some(World::Guest),
+            _ => None,
+        }
+    }
 }
 
 /// The kind of memory operation (mirror of `hpmp_memsim::AccessKind`).
@@ -54,6 +64,16 @@ impl AccessOp {
             AccessOp::Fetch => "fetch",
         }
     }
+
+    /// Parse an [`AccessOp::label`] back into the enum.
+    pub fn from_label(label: &str) -> Option<AccessOp> {
+        match label {
+            "read" => Some(AccessOp::Read),
+            "write" => Some(AccessOp::Write),
+            "fetch" => Some(AccessOp::Fetch),
+            _ => None,
+        }
+    }
 }
 
 /// The privilege level of the access (mirror of `hpmp_memsim::PrivMode`).
@@ -74,6 +94,16 @@ impl PrivLevel {
             PrivLevel::User => "U",
             PrivLevel::Supervisor => "S",
             PrivLevel::Machine => "M",
+        }
+    }
+
+    /// Parse a [`PrivLevel::label`] back into the enum.
+    pub fn from_label(label: &str) -> Option<PrivLevel> {
+        match label {
+            "U" => Some(PrivLevel::User),
+            "S" => Some(PrivLevel::Supervisor),
+            "M" => Some(PrivLevel::Machine),
+            _ => None,
         }
     }
 }
@@ -103,6 +133,16 @@ impl TlbOutcome {
     pub fn is_hit(self) -> bool {
         !matches!(self, TlbOutcome::Miss)
     }
+
+    /// Parse a [`TlbOutcome::label`] back into the enum.
+    pub fn from_label(label: &str) -> Option<TlbOutcome> {
+        match label {
+            "l1_hit" => Some(TlbOutcome::L1Hit),
+            "l2_hit" => Some(TlbOutcome::L2Hit),
+            "miss" => Some(TlbOutcome::Miss),
+            _ => None,
+        }
+    }
 }
 
 /// What the PMPTW-Cache contributed to the isolation checks of this access.
@@ -129,6 +169,17 @@ impl PmptwOutcome {
             PmptwOutcome::Bypass => "bypass",
         }
     }
+
+    /// Parse a [`PmptwOutcome::label`] back into the enum.
+    pub fn from_label(label: &str) -> Option<PmptwOutcome> {
+        match label {
+            "leaf_hit" => Some(PmptwOutcome::LeafHit),
+            "root_hit" => Some(PmptwOutcome::RootHit),
+            "miss" => Some(PmptwOutcome::Miss),
+            "bypass" => Some(PmptwOutcome::Bypass),
+            _ => None,
+        }
+    }
 }
 
 /// The kind of one step taken while resolving an access.
@@ -151,6 +202,17 @@ pub enum StepKind {
 }
 
 impl StepKind {
+    /// Every kind, in display order.
+    pub const ALL: [StepKind; 7] = [
+        StepKind::TlbL2,
+        StepKind::Pt,
+        StepKind::GuestPt,
+        StepKind::NestedPt,
+        StepKind::PmptRoot,
+        StepKind::PmptLeaf,
+        StepKind::Data,
+    ];
+
     /// Stable label used in JSON and metric names.
     pub fn label(self) -> &'static str {
         match self {
@@ -162,6 +224,25 @@ impl StepKind {
             StepKind::PmptLeaf => "pmpt_leaf",
             StepKind::Data => "data",
         }
+    }
+
+    /// Parse a [`StepKind::label`] back into the enum.
+    pub fn from_label(label: &str) -> Option<StepKind> {
+        match label {
+            "tlb_l2" => Some(StepKind::TlbL2),
+            "pt" => Some(StepKind::Pt),
+            "guest_pt" => Some(StepKind::GuestPt),
+            "nested_pt" => Some(StepKind::NestedPt),
+            "pmpt_root" => Some(StepKind::PmptRoot),
+            "pmpt_leaf" => Some(StepKind::PmptLeaf),
+            "data" => Some(StepKind::Data),
+            _ => None,
+        }
+    }
+
+    /// Whether this step is a pmpte reference in the PMP table.
+    pub fn is_pmpte(self) -> bool {
+        matches!(self, StepKind::PmptRoot | StepKind::PmptLeaf)
     }
 }
 
@@ -186,6 +267,17 @@ impl FaultCause {
             FaultCause::PtePermission => "pte_permission",
             FaultCause::IsolationOnPtPage => "isolation_on_pt_page",
             FaultCause::IsolationOnData => "isolation_on_data",
+        }
+    }
+
+    /// Parse a [`FaultCause::label`] back into the enum.
+    pub fn from_label(label: &str) -> Option<FaultCause> {
+        match label {
+            "page_fault" => Some(FaultCause::PageFault),
+            "pte_permission" => Some(FaultCause::PtePermission),
+            "isolation_on_pt_page" => Some(FaultCause::IsolationOnPtPage),
+            "isolation_on_data" => Some(FaultCause::IsolationOnData),
+            _ => None,
         }
     }
 }

@@ -127,11 +127,12 @@ impl LatencyHistogram {
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. The running sum saturates at `u64::MAX` rather
+    /// than overflowing (only reachable with samples near the top bucket).
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_index(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -188,13 +189,41 @@ impl LatencyHistogram {
         Some(Self::bucket_bounds(HIST_BUCKETS - 1).1)
     }
 
+    /// Rebuild a histogram from `(bucket lower bound, count)` pairs plus the
+    /// sample sum, as exported by [`LatencyHistograms::export`] and parsed
+    /// back from a metrics snapshot.
+    ///
+    /// Exact for `count`, `sum`, bucket occupancy and therefore every
+    /// [`LatencyHistogram::percentile`]; `min`/`max` are only known to
+    /// bucket resolution, so they are reconstructed conservatively as the
+    /// bounds of the outermost occupied buckets.
+    pub fn from_bucket_counts(
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+        sum: u64,
+    ) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for (lo, n) in pairs {
+            if n == 0 {
+                continue;
+            }
+            let index = Self::bucket_index(lo);
+            h.buckets[index] += n;
+            h.count += n;
+            let (bucket_lo, bucket_hi) = Self::bucket_bounds(index);
+            h.min = h.min.min(bucket_lo);
+            h.max = h.max.max(bucket_hi - 1);
+        }
+        h.sum = sum;
+        h
+    }
+
     /// Add every sample of `other` into `self`.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *b += o;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -271,13 +300,27 @@ impl LatencyHistograms {
         }
     }
 
-    /// Export summary counters (`<prefix>.<class>.count|cycles`) into a
-    /// registry.
+    /// Export summary counters (`<prefix>.<class>.count|cycles`) plus the
+    /// raw bucket occupancy (`<prefix>.<class>.bucket.<lo>`, keyed by the
+    /// bucket's inclusive lower bound) into a registry.
+    ///
+    /// Bucket counts — unlike percentile values — are plain counters, so
+    /// they stay correct under [`crate::Snapshot::merge`] and
+    /// [`crate::Snapshot::delta`]; analysis tools rebuild the distribution
+    /// with [`LatencyHistogram::from_bucket_counts`] and compute percentiles
+    /// at read time.
     pub fn export(&self, reg: &mut MetricsRegistry, prefix: &str) {
         for class in AccessClass::ALL {
             let h = self.class(class);
             reg.set(format!("{prefix}.{}.count", class.label()), h.count());
             reg.set(format!("{prefix}.{}.cycles", class.label()), h.sum());
+            for i in 0..HIST_BUCKETS {
+                let n = h.bucket(i);
+                if n != 0 {
+                    let lo = LatencyHistogram::bucket_bounds(i).0;
+                    reg.set(format!("{prefix}.{}.bucket.{lo}", class.label()), n);
+                }
+            }
         }
     }
 
@@ -376,5 +419,89 @@ mod tests {
         assert_eq!(reg.value("hist.read_walk.cycles"), 118);
         assert_eq!(set.total_count(), 3);
         assert!(set.to_json().contains("\"read_walk\":{\"count\":2"));
+    }
+
+    #[test]
+    fn export_includes_bucket_occupancy() {
+        let mut set = LatencyHistograms::new();
+        set.record(AccessClass::ReadWalk, 3); // bucket [2,4), lo = 2
+        set.record(AccessClass::ReadWalk, 3);
+        set.record(AccessClass::ReadWalk, 57); // bucket [32,64), lo = 32
+        let mut reg = MetricsRegistry::new();
+        set.export(&mut reg, "hist");
+        assert_eq!(reg.value("hist.read_walk.bucket.2"), 2);
+        assert_eq!(reg.value("hist.read_walk.bucket.32"), 1);
+        assert_eq!(
+            reg.value("hist.read_walk.bucket.4"),
+            0,
+            "empty buckets omitted"
+        );
+    }
+
+    #[test]
+    fn from_bucket_counts_preserves_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 3, 3, 14, 57, 57, 57, 1000] {
+            h.record(v);
+        }
+        let pairs: Vec<(u64, u64)> = (0..HIST_BUCKETS)
+            .filter(|&i| h.bucket(i) != 0)
+            .map(|i| (LatencyHistogram::bucket_bounds(i).0, h.bucket(i)))
+            .collect();
+        let back = LatencyHistogram::from_bucket_counts(pairs, h.sum());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(back.percentile(p), h.percentile(p), "p{p}");
+        }
+    }
+
+    // Satellite: percentile edge cases.
+
+    #[test]
+    fn percentile_single_bucket() {
+        // Every sample in one bucket: every percentile is that bucket's
+        // upper bound.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..17 {
+            h.record(5); // bucket [4,8)
+        }
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(8), "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_saturating_top_bucket() {
+        // Samples in the top bucket [2^63, u64::MAX]: its exclusive upper
+        // bound saturates at u64::MAX instead of wrapping.
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 63);
+        assert_eq!(h.percentile(50.0), Some(u64::MAX));
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn percentile_p0_and_p100() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // bucket 0, upper bound 1
+        for _ in 0..9 {
+            h.record(100); // bucket [64,128)
+        }
+        // p0 clamps its rank to the first sample: the zero bucket.
+        assert_eq!(h.percentile(0.0), Some(1));
+        // p100 is the bucket of the largest sample.
+        assert_eq!(h.percentile(100.0), Some(128));
+    }
+
+    #[test]
+    fn percentile_zero_only_histogram() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(100.0), Some(1));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
     }
 }

@@ -30,15 +30,29 @@
 
 mod event;
 mod hist;
+pub mod json;
 mod metrics;
+mod read;
+mod report;
 mod sink;
 
 pub use event::{
     AccessOp, FaultCause, PmptwOutcome, PrivLevel, StepKind, TlbOutcome, WalkEvent, WalkStep, World,
 };
-pub use hist::{AccessClass, LatencyHistogram, LatencyHistograms};
+pub use hist::{AccessClass, LatencyHistogram, LatencyHistograms, HIST_BUCKETS};
 pub use metrics::{MetricsRegistry, Snapshot};
+pub use read::{
+    check_schema, parse_event, read_trace_file, ReadError, TraceReader, WALK_EVENT_STREAM,
+};
+pub use report::{
+    histograms_in_snapshot, BenchReport, ExperimentRecord, Percentiles, BENCH_REPORT_KIND,
+};
 pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};
+
+/// Version of every on-disk artifact this crate writes (JSONL trace
+/// streams, versioned metrics snapshots, bench reports). Readers reject
+/// any other version; bump it when a format changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// Escape a string for inclusion in a JSON document.
 pub(crate) fn json_escape(s: &str) -> String {

@@ -6,7 +6,9 @@
 //! be diffed against an earlier snapshot (`delta`), merged with a snapshot
 //! from another machine (`merge`), and exported as nested JSON.
 
-use crate::json_escape;
+use crate::json::{parse_json, JsonValue};
+use crate::read::{check_schema, ReadError};
+use crate::{json_escape, SCHEMA_VERSION};
 use std::collections::BTreeMap;
 
 /// A mutable bag of named counters.
@@ -157,6 +159,92 @@ impl Snapshot {
         render(&root, &mut out);
         out
     }
+
+    /// The `kind` tag of a versioned snapshot document.
+    pub const JSON_KIND: &'static str = "hpmp-metrics";
+
+    /// Export as a versioned JSON document:
+    /// `{"schema":1,"kind":"hpmp-metrics","counters":{...}}` with the
+    /// counters nested as in [`Snapshot::to_json`]. This is what
+    /// `--metrics-out` writes and what [`Snapshot::from_json`] reads.
+    pub fn to_json_versioned(&self) -> String {
+        format!(
+            "{{\"schema\":{},\"kind\":\"{}\",\"counters\":{}}}",
+            SCHEMA_VERSION,
+            Self::JSON_KIND,
+            self.to_json()
+        )
+    }
+
+    /// Parse a versioned snapshot document produced by
+    /// [`Snapshot::to_json_versioned`]. Rejects documents with a missing or
+    /// unknown `schema` with a clear error, and re-flattens the nested
+    /// counter tree back into dotted names (`"_total"` members become the
+    /// parent name itself).
+    pub fn from_json(text: &str) -> Result<Snapshot, ReadError> {
+        let doc = parse_json(text).map_err(|e| ReadError::Schema {
+            message: format!("metrics document is not valid JSON ({e})"),
+        })?;
+        check_schema(&doc, "metrics document")?;
+        match doc.get("kind").and_then(JsonValue::as_str) {
+            Some(Self::JSON_KIND) => {}
+            Some(other) => {
+                return Err(ReadError::Schema {
+                    message: format!(
+                        "document kind is \"{other}\", expected \"{}\"",
+                        Self::JSON_KIND
+                    ),
+                })
+            }
+            None => {
+                return Err(ReadError::Schema {
+                    message: "metrics document has no \"kind\" field".to_string(),
+                })
+            }
+        }
+        let counters = doc.get("counters").ok_or_else(|| ReadError::Schema {
+            message: "metrics document has no \"counters\" object".to_string(),
+        })?;
+        let mut values = BTreeMap::new();
+        flatten_counters(counters, String::new(), &mut values)
+            .map_err(|message| ReadError::Parse { line: 1, message })?;
+        Ok(Snapshot { values })
+    }
+}
+
+/// Re-flatten a nested counter tree into dotted names.
+fn flatten_counters(
+    value: &JsonValue,
+    prefix: String,
+    out: &mut BTreeMap<String, u64>,
+) -> Result<(), String> {
+    match value {
+        JsonValue::Object(members) => {
+            for (key, child) in members {
+                if key == "_total" && !prefix.is_empty() {
+                    let v = child
+                        .as_u64()
+                        .ok_or_else(|| format!("counter \"{prefix}\" _total is not a u64"))?;
+                    out.insert(prefix.clone(), v);
+                    continue;
+                }
+                let name = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten_counters(child, name, out)?;
+            }
+            Ok(())
+        }
+        _ => {
+            let v = value
+                .as_u64()
+                .ok_or_else(|| format!("counter \"{prefix}\" is not a u64"))?;
+            out.insert(prefix, v);
+            Ok(())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +320,53 @@ mod tests {
         reg.set("refs.pt", 6);
         let json = reg.snapshot().to_json();
         assert_eq!(json, "{\"refs\":{\"_total\":10,\"pt\":6}}");
+    }
+
+    #[test]
+    fn versioned_json_round_trips() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.tlb.l1_hits", 4);
+        reg.set("machine.cycles", 99);
+        reg.set("refs", 10);
+        reg.set("refs.pt", 6);
+        reg.set("big", u64::MAX);
+        let snap = reg.snapshot();
+        let back = Snapshot::from_json(&snap.to_json_versioned()).unwrap();
+        assert_eq!(back, snap, "flatten(nest(x)) must be identity");
+    }
+
+    #[test]
+    fn delta_survives_json_round_trip() {
+        // The exact pipeline `hpmp-analyze diff` runs: two snapshots, delta,
+        // serialize, parse back.
+        let mut reg = MetricsRegistry::new();
+        reg.set("m.cycles", 1000);
+        reg.set("m.walks", 10);
+        let before = reg.snapshot();
+        reg.add("m.cycles", 250);
+        reg.add("m.walks", 3);
+        reg.set("m.new_counter", 7);
+        let after = reg.snapshot();
+        let d = after.delta(&before);
+        let back = Snapshot::from_json(&d.to_json_versioned()).unwrap();
+        assert_eq!(back.value("m.cycles"), 250);
+        assert_eq!(back.value("m.walks"), 3);
+        assert_eq!(back.value("m.new_counter"), 7);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_schema() {
+        let err = Snapshot::from_json("{\"schema\":42,\"kind\":\"hpmp-metrics\",\"counters\":{}}")
+            .expect_err("must reject");
+        assert!(err.to_string().contains("42"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_schema_and_wrong_kind() {
+        assert!(Snapshot::from_json("{\"counters\":{}}").is_err());
+        let err = Snapshot::from_json("{\"schema\":1,\"kind\":\"other\",\"counters\":{}}")
+            .expect_err("must reject");
+        assert!(err.to_string().contains("other"), "{err}");
     }
 }

@@ -124,6 +124,12 @@ impl TraceSink for RingSink {
 }
 
 /// A streaming sink writing one JSON object per line (JSONL).
+///
+/// The first line of the stream is a schema header,
+/// `{"schema":1,"stream":"hpmp-walk-events"}`, written at construction;
+/// readers ([`crate::TraceReader`]) refuse streams whose header declares a
+/// version they do not understand. The header does not count toward
+/// [`JsonlSink::written`], which tracks events only.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     out: W,
@@ -139,12 +145,20 @@ impl JsonlSink<BufWriter<File>> {
 }
 
 impl<W: Write> JsonlSink<W> {
-    /// Stream events to an arbitrary writer.
-    pub fn new(out: W) -> JsonlSink<W> {
+    /// Stream events to an arbitrary writer (emits the schema header line
+    /// immediately).
+    pub fn new(mut out: W) -> JsonlSink<W> {
+        let header_failed = writeln!(
+            out,
+            "{{\"schema\":{},\"stream\":\"{}\"}}",
+            crate::SCHEMA_VERSION,
+            crate::read::WALK_EVENT_STREAM
+        )
+        .is_err();
         JsonlSink {
             out,
             written: 0,
-            io_errors: 0,
+            io_errors: header_failed as u64,
         }
     }
 
@@ -236,15 +250,21 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_sink_writes_one_line_per_event() {
+    fn jsonl_sink_writes_header_then_one_line_per_event() {
         let mut sink = JsonlSink::new(Vec::new());
         sink.record(&event(0));
         sink.record(&event(1));
-        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.written(), 2, "header must not count as an event");
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
-        assert!(lines[1].contains("\"seq\":1"));
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains("\"schema\":1"),
+            "header first: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("hpmp-walk-events"));
+        assert!(lines[1].starts_with('{') && lines[1].ends_with('}'));
+        assert!(lines[2].contains("\"seq\":1"));
     }
 }

@@ -173,7 +173,18 @@ impl std::fmt::Display for VirtCase {
 
 /// Measures one guest access (the paper uses `hlv.d`) for Figure 13.
 pub fn measure_virt(core: CoreKind, scheme: VirtScheme, case: VirtCase) -> u64 {
-    let mut m = VirtMachine::new(machine_config(core), scheme, 8);
+    measure_virt_with_sink(core, scheme, case, hpmp_trace::NullSink).0
+}
+
+/// As [`measure_virt`], recording walk events into `sink` and returning the
+/// machine's metrics snapshot alongside the measured latency.
+pub fn measure_virt_with_sink<S: hpmp_trace::TraceSink>(
+    core: CoreKind,
+    scheme: VirtScheme,
+    case: VirtCase,
+    sink: S,
+) -> (u64, hpmp_trace::Snapshot) {
+    let mut m = VirtMachine::with_sink(machine_config(core), scheme, 8, sink);
     let target = VirtAddr::new(0x20_0000);
     let neighbour = VirtAddr::new(0x20_0000 + PAGE_SIZE);
     match case {
@@ -195,9 +206,13 @@ pub fn measure_virt(core: CoreKind, scheme: VirtScheme, case: VirtCase) -> u64 {
             m.access(target, AccessKind::Read).expect("warm");
         }
     }
-    m.access(target, AccessKind::Read)
+    let cycles = m
+        .access(target, AccessKind::Read)
         .expect("measured access")
-        .cycles
+        .cycles;
+    m.sink_mut().flush();
+    let snapshot = m.metrics_snapshot();
+    (cycles, snapshot)
 }
 
 #[cfg(test)]

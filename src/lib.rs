@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub use hpmp_analyze as analyze;
 pub use hpmp_core as core;
 pub use hpmp_machine as machine;
 pub use hpmp_memsim as memsim;

@@ -324,8 +324,12 @@ fn jsonl_step_cycles_sum_to_walk_totals() {
 
     let mut event_cycles_sum = 0;
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 48);
-    for line in lines {
+    assert_eq!(lines.len(), 49, "schema header + one line per event");
+    assert!(
+        lines[0].contains("\"schema\":1"),
+        "stream opens with header"
+    );
+    for &line in &lines[1..] {
         assert!(
             line.starts_with('{') && line.ends_with('}'),
             "JSONL object per line"
