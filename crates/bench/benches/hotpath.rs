@@ -1,0 +1,147 @@
+//! Microbenches for the simulator's per-access hot path: flat page-directory
+//! reads/writes, TLB/PWC/PMPTW-cache lookups, and interned-counter bumps.
+//!
+//! These are the operations every simulated memory reference pays, so their
+//! per-op cost bounds full-experiment wall clock. Emit a machine-readable
+//! report for `hpmp-analyze gate` with:
+//!
+//! ```text
+//! cargo bench --bench hotpath -- --bench-out BENCH_hotpath.json
+//! ```
+
+use hpmp_bench::{criterion_group, criterion_main, Criterion};
+use hpmp_core::{LeafPmpte, PmptwCache, PmptwCacheConfig};
+use hpmp_memsim::{Perms, PhysAddr, PhysMem, VirtAddr, PAGE_SIZE};
+use hpmp_paging::{Tlb, TlbConfig, TlbEntry, TranslationMode, WalkCache, WalkCacheConfig};
+use hpmp_trace::MetricsRegistry;
+use std::hint::black_box;
+
+/// Operations per timed iteration, so per-op noise amortises.
+const OPS: u64 = 1024;
+
+const RAM_BASE: u64 = 0x8000_0000;
+
+fn physmem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("physmem");
+    group.sample_size(200);
+
+    // Pages spread over several directory chunks, as a walk's pointer
+    // chases are.
+    let stride = 37 * PAGE_SIZE;
+    let mut mem = PhysMem::new();
+    for i in 0..OPS {
+        mem.write_u64(PhysAddr::new(RAM_BASE + i * stride), i);
+    }
+    group.bench_function("read_u64", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..OPS {
+                sum =
+                    sum.wrapping_add(mem.read_u64(black_box(PhysAddr::new(RAM_BASE + i * stride))));
+            }
+            sum
+        })
+    });
+    group.bench_function("write_u64", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                mem.write_u64(black_box(PhysAddr::new(RAM_BASE + i * stride + 8)), i);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(200);
+
+    let mut tlb = Tlb::new(TlbConfig::default());
+    for vpn in 0..32u64 {
+        tlb.fill(TlbEntry {
+            asid: 1,
+            vpn,
+            frame: PhysAddr::new(RAM_BASE + vpn * PAGE_SIZE),
+            page_perms: Perms::RW,
+            isolation_perms: Perms::RWX,
+            user: false,
+        });
+    }
+    group.bench_function("tlb_hit", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..OPS {
+                let va = VirtAddr::new((i % 32) * PAGE_SIZE);
+                hits += tlb.lookup(1, black_box(va)).is_some() as u64;
+            }
+            hits
+        })
+    });
+
+    let mut pwc = WalkCache::new(WalkCacheConfig::default());
+    for i in 0..8u64 {
+        let va = VirtAddr::new(i << 30);
+        pwc.insert(
+            TranslationMode::Sv39,
+            1,
+            2,
+            va,
+            PhysAddr::new(RAM_BASE + i * PAGE_SIZE),
+        );
+    }
+    group.bench_function("pwc_hit", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..OPS {
+                let va = VirtAddr::new((i % 8) << 30);
+                hits += pwc
+                    .lookup(TranslationMode::Sv39, 1, 2, black_box(va))
+                    .is_some() as u64;
+            }
+            hits
+        })
+    });
+
+    let mut pmptw = PmptwCache::new(PmptwCacheConfig::ENABLED_8);
+    for i in 0..8u64 {
+        pmptw.insert_leaf(0, i << 16, LeafPmpte::splat(Perms::RW));
+    }
+    group.bench_function("pmptw_cache_hit", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..OPS {
+                hits += pmptw.lookup_leaf(0, black_box((i % 8) << 16)).is_some() as u64;
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+    group.sample_size(200);
+
+    let mut reg = MetricsRegistry::new();
+    let id = reg.counter("machine.refs.pt_reads");
+    group.bench_function("bump_interned", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                reg.bump(black_box(id), i & 1);
+            }
+            reg.get(id)
+        })
+    });
+    group.bench_function("add_by_name", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                reg.add(black_box("machine.refs.pt_reads"), i & 1);
+            }
+            reg.get(id)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, physmem, lookups, registry);
+criterion_main!(benches);

@@ -4,11 +4,17 @@
 //! ```text
 //! hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]
 //!         [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]
-//!         [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]
+//!         [--jobs N] [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]
 //!         [--encryption CYCLES] [--epmp]
 //!         [--trace-out walks.jsonl] [--metrics-out metrics.json]
 //!         [--bench-out BENCH_name.json]
 //! ```
+//!
+//! `--workload` accepts a comma-separated list; the workloads run on an
+//! in-process pool of `--jobs N` worker threads (default: available
+//! parallelism), each with its own trace sink and metrics registry.
+//! Outputs are merged in the listed workload order, so they are
+//! byte-identical whatever the thread count.
 //!
 //! `--trace-out` streams one JSON object per page walk (see
 //! `hpmp_trace::WalkEvent::to_json`); `--metrics-out` writes the unified
@@ -19,6 +25,10 @@
 //! Unlike `repro` (which regenerates the paper's tables), this is the
 //! kick-the-tires tool: pick a stack, run a workload, read the counters.
 
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use hpmp_bench::run_ordered;
 use hpmp_core::PmptwCacheConfig;
 use hpmp_machine::MachineConfig;
 use hpmp_memsim::CoreKind;
@@ -31,6 +41,7 @@ struct Options {
     flavor: TeeFlavor,
     core: CoreKind,
     workload: String,
+    jobs: Option<usize>,
     pwc: Option<usize>,
     pmptw_cache: Option<usize>,
     tlb_inlining: bool,
@@ -45,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]\n\
          \x20              [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]\n\
-         \x20              [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]\n\
+         \x20              [--jobs N] [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]\n\
          \x20              [--encryption CYCLES] [--epmp]\n\
          \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]\n\
          \x20              [--bench-out BENCH_name.json]"
@@ -58,6 +69,7 @@ fn parse_args() -> Options {
         flavor: TeeFlavor::PenglaiHpmp,
         core: CoreKind::Rocket,
         workload: "serverless".to_string(),
+        jobs: None,
         pwc: None,
         pmptw_cache: None,
         tlb_inlining: true,
@@ -98,6 +110,13 @@ fn parse_args() -> Options {
                 }
             }
             "--workload" => options.workload = value("--workload"),
+            "--jobs" => match value("--jobs").parse() {
+                Ok(n) => options.jobs = Some(n),
+                Err(_) => {
+                    eprintln!("--jobs needs a positive integer");
+                    usage()
+                }
+            },
             "--pwc" => options.pwc = value("--pwc").parse().ok(),
             "--pmptw-cache" => options.pmptw_cache = value("--pmptw-cache").parse().ok(),
             "--no-tlb-inlining" => options.tlb_inlining = false,
@@ -135,6 +154,17 @@ fn machine_config(options: &Options) -> MachineConfig {
     config
 }
 
+/// Workloads `--workload` understands, validated before the pool starts.
+const WORKLOADS: [&str; 7] = [
+    "serverless",
+    "redis",
+    "gap",
+    "rv8",
+    "lmbench",
+    "virtapp",
+    "tenancy",
+];
+
 fn main() {
     let options = parse_args();
     println!(
@@ -150,23 +180,70 @@ fn main() {
         if options.epmp { 64 } else { 16 },
     );
 
-    let config = machine_config(&options);
-    let (cycles, snapshot) = match &options.trace_out {
-        Some(path) => {
-            let mut sink = JsonlSink::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                std::process::exit(1);
-            });
-            let result = run_workload(&options, config, &mut sink);
-            sink.flush();
-            println!("  trace        : {} events -> {}", sink.written(), path);
-            if sink.io_errors() > 0 {
-                eprintln!("  warning: {} events lost to I/O errors", sink.io_errors());
-            }
-            result
+    let workloads: Vec<&str> = options
+        .workload
+        .split(',')
+        .filter(|w| !w.is_empty())
+        .collect();
+    for workload in &workloads {
+        if !WORKLOADS.contains(workload) {
+            eprintln!("unknown workload {workload}");
+            usage()
         }
-        None => run_workload(&options, config, NullSink),
-    };
+    }
+    if workloads.is_empty() {
+        eprintln!("no workload given");
+        usage()
+    }
+    let jobs = options
+        .jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1);
+
+    // Run the workloads on the worker pool, each with its own sink and
+    // registry; buffered outputs stream in the listed order.
+    let tracing = options.trace_out.is_some();
+    let outputs = run_ordered(
+        workloads.len(),
+        jobs,
+        |i| run_one(&options, workloads[i], tracing),
+        |out| print!("{}", out.stdout),
+    );
+
+    let mut cycles = 0;
+    let mut snapshot = Snapshot::new();
+    for out in &outputs {
+        cycles += out.cycles;
+        snapshot = snapshot.merge(&out.snap);
+    }
+
+    if let Some(path) = &options.trace_out {
+        // One schema header, then each workload's trace bytes in listed
+        // order — identical to a serial shared-sink stream.
+        let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut file = sink.into_inner();
+        let write_err = outputs
+            .iter()
+            .try_for_each(|out| file.write_all(&out.trace))
+            .and_then(|()| file.flush());
+        if let Err(e) = write_err {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        let events: u64 = outputs.iter().map(|o| o.trace_events).sum();
+        println!("  trace        : {events} events -> {path}");
+        let io_errors: u64 = outputs.iter().map(|o| o.trace_io_errors).sum();
+        if io_errors > 0 {
+            eprintln!("  warning: {io_errors} events lost to I/O errors");
+        }
+    }
     if let Some(path) = &options.metrics_out {
         if let Err(e) = std::fs::write(path, snapshot.to_json_versioned()) {
             eprintln!("cannot write {path}: {e}");
@@ -179,16 +256,21 @@ fn main() {
         report.set_config("flavor", options.flavor.to_string());
         report.set_config("core", options.core.to_string());
         report.set_config("workload", options.workload.clone());
-        report.push(ExperimentRecord::from_snapshot(
-            options.workload.clone(),
-            cycles,
-            snapshot.clone(),
-        ));
+        for (workload, out) in workloads.iter().zip(&outputs) {
+            report.push(ExperimentRecord::from_snapshot(
+                workload.to_string(),
+                out.cycles,
+                out.snap.clone(),
+            ));
+        }
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
-        println!("  bench report : 1 experiment -> {path}");
+        println!(
+            "  bench report : {} experiment(s) -> {path}",
+            report.experiments.len()
+        );
     }
 
     let core = hpmp_memsim::CoreModel::for_kind(options.core);
@@ -200,15 +282,63 @@ fn main() {
     );
 }
 
+/// Everything one workload produced, buffered for in-order merging.
+struct WorkloadOutput {
+    /// Per-workload console lines (counters, rates).
+    stdout: String,
+    /// Total simulated cycles.
+    cycles: u64,
+    /// The workload machine's metrics snapshot.
+    snap: Snapshot,
+    /// Headerless JSONL walk-event bytes (empty unless tracing).
+    trace: Vec<u8>,
+    /// Number of trace events in `trace`.
+    trace_events: u64,
+    /// Events lost to I/O errors while tracing.
+    trace_io_errors: u64,
+}
+
+/// Runs one workload with a private sink and registry, buffering its output.
+fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
+    let config = machine_config(options);
+    let mut stdout = String::new();
+    if tracing {
+        let mut sink = JsonlSink::new_headerless(Vec::new());
+        let (cycles, snap) = run_workload(options, workload, config, &mut sink, &mut stdout);
+        sink.flush();
+        WorkloadOutput {
+            stdout,
+            cycles,
+            snap,
+            trace_events: sink.written(),
+            trace_io_errors: sink.io_errors(),
+            trace: sink.into_inner(),
+        }
+    } else {
+        let (cycles, snap) = run_workload(options, workload, config, NullSink, &mut stdout);
+        WorkloadOutput {
+            stdout,
+            cycles,
+            snap,
+            trace: Vec::new(),
+            trace_events: 0,
+            trace_io_errors: 0,
+        }
+    }
+}
+
 /// Runs the selected workload with `sink` attached, returning total cycles
 /// and the unified metrics snapshot of the machine that ran it (merged
-/// across machines for workloads that boot one per kernel).
+/// across machines for workloads that boot one per kernel). Console output
+/// goes to `out` so the pool can order it deterministically.
 fn run_workload<S: TraceSink>(
     options: &Options,
+    workload: &str,
     config: MachineConfig,
     mut sink: S,
+    out: &mut String,
 ) -> (u64, Snapshot) {
-    match options.workload.as_str() {
+    match workload {
         "serverless" => {
             let mut tee = TeeBench::boot_with_sink(options.flavor, config, sink);
             let mut total = 0;
@@ -216,7 +346,7 @@ fn run_workload<S: TraceSink>(
                 total += hpmp_workloads::serverless::invoke(&mut tee, *function, i as u64)
                     .expect("invocation");
             }
-            report_machine(&tee);
+            report_machine(&tee, out);
             tee.machine.flush_sink();
             (total, tee.machine.metrics_snapshot())
         }
@@ -235,7 +365,7 @@ fn run_workload<S: TraceSink>(
                 }
             }
             server.tee_mut().machine.flush_sink();
-            (total, server.tee().machine.metrics_snapshot())
+            (total, server.tee_mut().machine.metrics_snapshot())
         }
         "gap" => {
             let graph = hpmp_workloads::gap::default_graph();
@@ -286,7 +416,7 @@ fn run_workload<S: TraceSink>(
                 }
             }
             ctx.tee_mut().machine.flush_sink();
-            (total, ctx.tee().machine.metrics_snapshot())
+            (total, ctx.tee_mut().machine.metrics_snapshot())
         }
         "virtapp" => {
             let scheme = match options.flavor {
@@ -294,18 +424,18 @@ fn run_workload<S: TraceSink>(
                 TeeFlavor::PenglaiPmpt => hpmp_machine::VirtScheme::PmpTable,
                 TeeFlavor::PenglaiHpmp => hpmp_machine::VirtScheme::Hpmp,
             };
-            let (out, snap) = hpmp_workloads::virt_app::run_guest_kv_with_sink(
+            let (result, snap) = hpmp_workloads::virt_app::run_guest_kv_with_sink(
                 options.core,
                 scheme,
                 hpmp_workloads::virt_app::GUEST_DATASET_PAGES,
                 500,
                 sink,
             );
-            println!("  cycles/request: {:.0}", out.cycles_per_request());
-            (out.cycles, snap)
+            let _ = writeln!(out, "  cycles/request: {:.0}", result.cycles_per_request());
+            (result.cycles, snap)
         }
         "tenancy" => {
-            let (out, snap) = hpmp_workloads::multi_tenant::run_tenancy_with_sink(
+            let (result, snap) = hpmp_workloads::multi_tenant::run_tenancy_with_sink(
                 options.flavor,
                 options.core,
                 100,
@@ -313,37 +443,38 @@ fn run_workload<S: TraceSink>(
                 sink,
             )
             .expect("tenancy");
-            println!(
+            let _ = writeln!(
+                out,
                 "  tenants: {} (entry wall: {})",
-                out.tenants, out.hit_entry_wall
+                result.tenants, result.hit_entry_wall
             );
-            (out.total_cycles, snap)
+            (result.total_cycles, snap)
         }
-        other => {
-            eprintln!("unknown workload {other}");
-            usage()
-        }
+        _ => unreachable!("workloads are validated against WORKLOADS"),
     }
 }
 
-fn report_machine<S: TraceSink>(tee: &TeeBench<S>) {
+fn report_machine<S: TraceSink>(tee: &TeeBench<S>, out: &mut String) {
     let stats = tee.machine.stats();
     let tlb = tee.machine.tlb_stats();
     let mem = tee.machine.mem_stats();
-    println!(
+    let _ = writeln!(
+        out,
         "  accesses     : {} ({} walks, {:.1}% TLB hit)",
         stats.accesses,
         stats.walks,
         tlb.hit_rate() * 100.0
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  references   : {} PT, {} data, {} pmpte(PT), {} pmpte(data)",
         stats.refs.pt_reads,
         stats.refs.data_reads,
         stats.refs.pmpte_for_pt,
         stats.refs.pmpte_for_data,
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  hierarchy    : L1 {:.1}% | L2 {:.1}% | LLC {:.1}% hit; {} DRAM row hits / {} misses",
         mem.l1.hit_rate() * 100.0,
         mem.l2.hit_rate() * 100.0,

@@ -1,9 +1,18 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [--serial] [--trace-out <walks.jsonl>] [--metrics-out <m.json>]
-//! [--bench-out <BENCH_name.json>] [experiment...]` where experiment is one of
-//! `table1 fig2 fig3 fig10 table3 fig11 fig12ac fig12de fig13 fig14 fig15
-//! fig16 fig17 table4 svsweep virtapp tenancy encryption all` (default: `all`).
+//! Usage: `repro [--jobs N] [--serial] [--trace-out <walks.jsonl>]
+//! [--metrics-out <m.json>] [--bench-out <BENCH_name.json>] [experiment...]`
+//! where experiment is one of `table1 fig2 fig3 fig10 table3 fig11 fig12ac
+//! fig12de fig13 fig14 fig15 fig16 fig17 table4 svsweep virtapp tenancy
+//! encryption all` (default: `all`).
+//!
+//! Experiments build independent machines, so they run on an in-process
+//! worker pool (`--jobs N`, default: the machine's available parallelism;
+//! `--serial` is shorthand for `--jobs 1`). Each experiment gets its own
+//! trace sink and metrics registry; report text, metrics snapshots,
+//! [`hpmp_trace::BenchReport`] records and trace bytes are merged in the
+//! fixed presentation order afterwards, so every output is **byte-identical
+//! whatever the thread count**.
 //!
 //! `--trace-out` streams one JSONL [`hpmp_trace::WalkEvent`] per memory access
 //! for the experiments that drive the instrumented machine directly (fig2,
@@ -12,13 +21,14 @@
 //! as versioned JSON. `--bench-out` writes a perf-trajectory
 //! [`hpmp_trace::BenchReport`] with one record per traced experiment (cycles,
 //! walk-reference counters, latency percentiles) for `hpmp-analyze gate`.
-//! Any of the three implies `--serial` so all events land in one file.
 //!
 //! Absolute cycle counts come from the simulated SoC, not the authors'
 //! FPGA; the *shapes* (who wins, by what factor, where crossovers are) are
 //! the reproduction targets — see EXPERIMENTS.md.
 
-use hpmp_bench::{pct, pct_f, Report};
+use std::io::Write as _;
+
+use hpmp_bench::{capture_reports, pct, pct_f, run_ordered, Report};
 use hpmp_core::{estimate_resources, HardwareParams, PmptwCacheConfig};
 use hpmp_machine::{IsolationScheme, MachineConfig, VirtScheme};
 use hpmp_memsim::{AccessKind, CoreKind, PhysAddr};
@@ -58,7 +68,7 @@ const EXPERIMENTS: [&str; 18] = [
 ];
 
 fn main() {
-    let mut serial = false;
+    let mut jobs: Option<usize> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
@@ -66,92 +76,174 @@ fn main() {
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
         match arg.as_str() {
-            "--serial" => serial = true,
+            "--serial" => jobs = Some(1),
+            "--jobs" => match raw.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => jobs = Some(n),
+                _ => {
+                    eprintln!("repro: --jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--trace-out" => trace_out = raw.next(),
             "--metrics-out" => metrics_out = raw.next(),
             "--bench-out" => bench_out = raw.next(),
             _ => args.push(arg),
         }
     }
-    // A shared trace file (or per-experiment report) only makes sense in
-    // one process.
-    let serial = serial || trace_out.is_some() || metrics_out.is_some() || bench_out.is_some();
+    let jobs = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1);
     let wanted: Vec<&str> = if args.is_empty() {
         vec!["all"]
     } else {
         args.iter().map(String::as_str).collect()
     };
     let all = wanted.contains(&"all");
+    let worklist: Vec<&'static str> = EXPERIMENTS
+        .iter()
+        .copied()
+        .filter(|name| all || wanted.contains(name))
+        .collect();
 
-    // `repro all` fans the experiments out as child processes (they build
-    // independent machines, so this is embarrassingly parallel) and prints
-    // their outputs in presentation order. `--serial` keeps one process.
-    if all && !serial {
-        if let Ok(exe) = std::env::current_exe() {
-            let children: Vec<_> = EXPERIMENTS
-                .iter()
-                .map(|name| {
-                    let child = std::process::Command::new(&exe)
-                        .arg(name)
-                        .arg("--serial")
-                        .stdout(std::process::Stdio::piped())
-                        .spawn();
-                    (name, child)
-                })
-                .collect();
-            let mut spawned_all = true;
-            for (name, child) in children {
-                match child.and_then(|c| c.wait_with_output()) {
-                    Ok(output) if output.status.success() => {
-                        print!("{}", String::from_utf8_lossy(&output.stdout));
-                    }
-                    _ => {
-                        eprintln!("experiment {name} failed to run in a child process");
-                        spawned_all = false;
-                    }
-                }
-            }
-            if spawned_all {
-                return;
-            }
-            // Fall through to the serial path on any spawn failure.
+    // Run the selected experiments on the worker pool. Each experiment gets
+    // its own sink and registry; stdout buffers stream out as soon as all
+    // earlier experiments are done, so output order never depends on `jobs`.
+    let tracing = trace_out.is_some();
+    let outputs = run_ordered(
+        worklist.len(),
+        jobs,
+        |i| run_one(worklist[i], tracing),
+        |out| print!("{}", out.stdout),
+    );
+
+    // Merge metrics and bench records in presentation order.
+    let mut metrics = Snapshot::new();
+    let mut report = BenchReport::new("repro");
+    report.set_config("suite", "hpmp-repro");
+    report.set_config("experiments", wanted.join(","));
+    for (name, out) in worklist.iter().zip(&outputs) {
+        if let Some(snap) = &out.snap {
+            record(&mut report, &mut metrics, name, snap.clone());
         }
     }
 
-    let (snapshot, bench) = match &trace_out {
-        Some(path) => {
-            let mut sink = match JsonlSink::create(path) {
-                Ok(sink) => sink,
-                Err(e) => {
-                    eprintln!("repro: cannot create {path}: {e}");
-                    std::process::exit(1);
-                }
-            };
-            let result = run_experiments(&wanted, all, &mut sink);
-            sink.flush();
-            eprintln!("repro: trace: {} events -> {}", sink.written(), path);
-            result
+    if let Some(path) = &trace_out {
+        // One schema header, then each experiment's trace bytes spliced in
+        // presentation order — the same stream a serial shared-sink run
+        // would have produced.
+        let sink = match JsonlSink::create(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("repro: cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut file = sink.into_inner();
+        for out in &outputs {
+            if let Err(e) = file.write_all(&out.trace) {
+                eprintln!("repro: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
         }
-        None => run_experiments(&wanted, all, NullSink),
-    };
-    if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, snapshot.to_json_versioned()) {
+        if let Err(e) = file.flush() {
             eprintln!("repro: cannot write {path}: {e}");
             std::process::exit(1);
         }
-        eprintln!("repro: metrics: {} counters -> {}", snapshot.len(), path);
+        let events: u64 = outputs.iter().map(|o| o.trace_events).sum();
+        eprintln!("repro: trace: {events} events -> {path}");
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, metrics.to_json_versioned()) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("repro: metrics: {} counters -> {}", metrics.len(), path);
     }
     if let Some(path) = &bench_out {
-        if let Err(e) = std::fs::write(path, bench.to_json()) {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("repro: cannot write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!(
             "repro: bench report: {} experiments -> {}",
-            bench.experiments.len(),
+            report.experiments.len(),
             path
         );
     }
+}
+
+/// Everything one experiment produced, buffered so the main thread can
+/// merge outputs in presentation order.
+struct ExperimentOutput {
+    /// The experiment's rendered report tables.
+    stdout: String,
+    /// Its metrics snapshot, for the traced experiments.
+    snap: Option<Snapshot>,
+    /// Headerless JSONL walk-event bytes (empty unless tracing).
+    trace: Vec<u8>,
+    /// Number of trace events in `trace`.
+    trace_events: u64,
+}
+
+/// Runs one experiment with a private sink and registry, capturing its
+/// report output instead of printing it.
+fn run_one(name: &str, tracing: bool) -> ExperimentOutput {
+    if tracing {
+        let mut sink = JsonlSink::new_headerless(Vec::new());
+        let (snap, stdout) = capture_reports(|| dispatch(name, &mut sink));
+        let trace_events = sink.written();
+        ExperimentOutput {
+            stdout,
+            snap,
+            trace: sink.into_inner(),
+            trace_events,
+        }
+    } else {
+        let (snap, stdout) = capture_reports(|| dispatch(name, &mut NullSink));
+        ExperimentOutput {
+            stdout,
+            snap,
+            trace: Vec::new(),
+            trace_events: 0,
+        }
+    }
+}
+
+/// Runs the named experiment, lending `sink` to the ones that drive the
+/// instrumented machine directly and returning their metrics snapshot.
+fn dispatch<S: TraceSink>(name: &str, sink: &mut S) -> Option<Snapshot> {
+    let snap = match name {
+        "table1" => return none_after(table1),
+        "fig2" => fig2(sink),
+        "fig10" => return none_after(fig10),
+        "table3" => return none_after(table3),
+        "fig11" => fig11(sink),
+        "fig12ac" => return none_after(fig12ac),
+        "fig12de" => fig12de(sink),
+        "fig13" => fig13(sink),
+        "fig14" => fig14(sink),
+        "fig15" => return none_after(fig15),
+        "fig16" => return none_after(fig16),
+        "fig17" => fig17(sink),
+        "table4" => return none_after(table4),
+        "fig3" => return none_after(fig3),
+        "svsweep" => svsweep(sink),
+        "virtapp" => virtapp(sink),
+        "tenancy" => tenancy(sink),
+        "encryption" => encryption(sink),
+        _ => unreachable!("worklist is filtered against EXPERIMENTS"),
+    };
+    sink.flush();
+    Some(snap)
+}
+
+fn none_after(experiment: fn()) -> Option<Snapshot> {
+    experiment();
+    None
 }
 
 /// Folds one traced experiment's snapshot into both the merged metrics and
@@ -162,88 +254,6 @@ fn record(report: &mut BenchReport, metrics: &mut Snapshot, name: &str, snap: Sn
     let cycles = snap.value("machine.cycles") + snap.value("virt.cycles");
     *metrics = metrics.merge(&snap);
     report.push(ExperimentRecord::from_snapshot(name, cycles, snap));
-}
-
-/// Runs the selected experiments, lending `sink` to the ones that drive the
-/// instrumented machine directly, merging their metrics snapshots, and
-/// recording one [`ExperimentRecord`] per traced experiment.
-fn run_experiments<S: TraceSink>(
-    wanted: &[&str],
-    all: bool,
-    mut sink: S,
-) -> (Snapshot, BenchReport) {
-    let want = |name: &str| all || wanted.contains(&name);
-    let mut metrics = Snapshot::new();
-    let mut report = BenchReport::new("repro");
-    report.set_config("suite", "hpmp-repro");
-    report.set_config("experiments", wanted.join(","));
-
-    if want("table1") {
-        table1();
-    }
-    if want("fig2") {
-        let snap = fig2(&mut sink);
-        record(&mut report, &mut metrics, "fig2", snap);
-    }
-    if want("fig10") {
-        fig10();
-    }
-    if want("table3") {
-        table3();
-    }
-    if want("fig11") {
-        let snap = fig11(&mut sink);
-        record(&mut report, &mut metrics, "fig11", snap);
-    }
-    if want("fig12ac") {
-        fig12ac();
-    }
-    if want("fig12de") {
-        let snap = fig12de(&mut sink);
-        record(&mut report, &mut metrics, "fig12de", snap);
-    }
-    if want("fig13") {
-        let snap = fig13(&mut sink);
-        record(&mut report, &mut metrics, "fig13", snap);
-    }
-    if want("fig14") {
-        let snap = fig14(&mut sink);
-        record(&mut report, &mut metrics, "fig14", snap);
-    }
-    if want("fig15") {
-        fig15();
-    }
-    if want("fig16") {
-        fig16();
-    }
-    if want("fig17") {
-        let snap = fig17(&mut sink);
-        record(&mut report, &mut metrics, "fig17", snap);
-    }
-    if want("table4") {
-        table4();
-    }
-    if want("fig3") {
-        fig3();
-    }
-    if want("svsweep") {
-        let snap = svsweep(&mut sink);
-        record(&mut report, &mut metrics, "svsweep", snap);
-    }
-    if want("virtapp") {
-        let snap = virtapp(&mut sink);
-        record(&mut report, &mut metrics, "virtapp", snap);
-    }
-    if want("tenancy") {
-        let snap = tenancy(&mut sink);
-        record(&mut report, &mut metrics, "tenancy", snap);
-    }
-    if want("encryption") {
-        let snap = encryption(&mut sink);
-        record(&mut report, &mut metrics, "encryption", snap);
-    }
-    sink.flush();
-    (metrics, report)
 }
 
 /// Table 1: simulation configurations.
@@ -565,9 +575,9 @@ fn fig12de<S: TraceSink>(sink: &mut S) -> Snapshot {
                 pct_f(hpmp / pmp),
             ]);
         }
-        metrics = metrics.merge(&pmp_srv.tee().machine.metrics_snapshot());
-        metrics = metrics.merge(&pmpt_srv.tee().machine.metrics_snapshot());
-        metrics = metrics.merge(&hpmp_srv.tee().machine.metrics_snapshot());
+        metrics = metrics.merge(&pmp_srv.tee_mut().machine.metrics_snapshot());
+        metrics = metrics.merge(&pmpt_srv.tee_mut().machine.metrics_snapshot());
+        metrics = metrics.merge(&hpmp_srv.tee_mut().machine.metrics_snapshot());
         pmp_srv.tee_mut().machine.flush_sink();
         r.note("paper: PMPT loses 5.9%-18.0% (Rocket) / 10.8%-31.8% (BOOM); HPMP ~3-5%");
         r.print();

@@ -9,9 +9,89 @@
 
 mod harness;
 
-pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use harness::{
+    write_bench_report_if_requested, Bencher, BenchmarkGroup, BenchmarkId, Criterion,
+};
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
+
+thread_local! {
+    /// Per-thread redirect target for [`Report::print`]. When set, rendered
+    /// reports append here instead of going to stdout, so the multi-threaded
+    /// experiment runner can emit them later in a deterministic order.
+    static CAPTURE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with every [`Report::print`] on this thread redirected into a
+/// buffer, returning `f`'s result together with the captured text.
+///
+/// Capture is per-thread, so worker threads running independent experiments
+/// each collect their own output. Nesting is not supported: the inner call
+/// would steal the outer buffer.
+pub fn capture_reports<R>(f: impl FnOnce() -> R) -> (R, String) {
+    CAPTURE.with(|slot| *slot.borrow_mut() = Some(String::new()));
+    let result = f();
+    let text = CAPTURE
+        .with(|slot| slot.borrow_mut().take())
+        .unwrap_or_default();
+    (result, text)
+}
+
+/// Runs `count` independent jobs on up to `jobs` worker threads and returns
+/// their outputs **in job-index order**, regardless of completion order.
+///
+/// Workers claim indices from a shared counter, so long jobs never leave a
+/// thread idle while work remains. As soon as every job before index `i` has
+/// finished, `emit` is called with job `i`'s output — callers use this to
+/// stream per-job stdout buffers progressively while preserving a
+/// deterministic order. With `jobs == 1` the single worker claims indices
+/// sequentially, so the run *is* the serial run; with more workers only
+/// wall-clock changes, never output.
+pub fn run_ordered<T: Send>(
+    count: usize,
+    jobs: usize,
+    run: impl Fn(usize) -> T + Sync,
+    mut emit: impl FnMut(&T),
+) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let jobs = jobs.max(1).min(count.max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let run = &run;
+        let next = &next;
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                if tx.send((i, run(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut emitted = 0;
+        for (i, out) in rx {
+            results[i] = Some(out);
+            while let Some(Some(out)) = results.get(emitted) {
+                emit(out);
+                emitted += 1;
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every claimed job sends exactly one result"))
+        .collect()
+}
 
 /// A simple left-aligned text table with a title, printed in the style of
 /// the paper's tables.
@@ -83,9 +163,22 @@ impl Report {
         out
     }
 
-    /// Prints the rendered table to stdout.
+    /// Prints the rendered table to stdout, or into the thread's capture
+    /// buffer inside [`capture_reports`].
     pub fn print(&self) {
-        println!("{}", self.render());
+        let rendered = self.render();
+        let captured = CAPTURE.with(|slot| {
+            if let Some(buf) = slot.borrow_mut().as_mut() {
+                buf.push_str(&rendered);
+                buf.push('\n');
+                true
+            } else {
+                false
+            }
+        });
+        if !captured {
+            println!("{rendered}");
+        }
     }
 }
 
@@ -121,5 +214,39 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(110, 100), "110.0%");
         assert_eq!(pct_f(0.155), "15.5%");
+    }
+
+    #[test]
+    fn run_ordered_preserves_order_and_emits_in_order() {
+        for jobs in [1, 3, 16] {
+            let mut emitted = Vec::new();
+            let results = run_ordered(8, jobs, |i| i * 10, |&v| emitted.push(v));
+            assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+            assert_eq!(emitted, results, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_ordered_with_zero_jobs_or_count() {
+        let results = run_ordered(0, 4, |i| i, |_| panic!("nothing to emit"));
+        assert!(results.is_empty());
+        let results = run_ordered(3, 0, |i| i, |_| {});
+        assert_eq!(results, vec![0, 1, 2], "zero jobs clamps to one worker");
+    }
+
+    #[test]
+    fn capture_redirects_print() {
+        let ((), text) = capture_reports(|| {
+            let mut r = Report::new("captured", &["col"]);
+            r.row(&["v".into()]);
+            r.print();
+        });
+        assert!(text.contains("== captured =="));
+        // `print` appends the same trailing newline `println!` would add.
+        assert!(text.ends_with("\n\n") || text.ends_with('\n'));
+        // Capture ends with the closure: a later print goes to stdout,
+        // which we can at least assert leaves the buffer untouched.
+        let ((), empty) = capture_reports(|| {});
+        assert!(empty.is_empty());
     }
 }

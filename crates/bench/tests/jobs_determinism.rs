@@ -1,0 +1,87 @@
+//! The `--jobs N` thread pool must be invisible in every output: stdout,
+//! the metrics snapshot, the bench report, and the trace stream are merged
+//! in fixed experiment order, so a parallel run is byte-identical to the
+//! serial one. This drives the real `repro` binary on a fast experiment
+//! subset and compares all four artifacts across thread counts.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Fast experiments spanning the three accounting owners: `fig2` (bare
+/// Machine walks), `fig13` (VirtMachine nested walks), `svsweep` (penglai
+/// monitor + machine).
+const SUBSET: [&str; 3] = ["fig2", "fig13", "svsweep"];
+
+struct RunOutput {
+    stdout: Vec<u8>,
+    metrics: Vec<u8>,
+    bench: Vec<u8>,
+    trace: Vec<u8>,
+}
+
+/// Runs `repro` in its own scratch directory with *relative* artifact
+/// paths, so stdout (which echoes the paths) is comparable across runs.
+fn run_repro(jobs: usize) -> RunOutput {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "hpmp-jobs-determinism-{}-j{jobs}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(SUBSET)
+        .args(["--jobs", &jobs.to_string()])
+        .args(["--metrics-out", "metrics.json"])
+        .args(["--bench-out", "bench.json"])
+        .args(["--trace-out", "trace.jsonl"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "repro --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let read = |name: &str| fs::read(dir.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    let result = RunOutput {
+        stdout: output.stdout,
+        metrics: read("metrics.json"),
+        bench: read("bench.json"),
+        trace: read("trace.jsonl"),
+    };
+    let _ = fs::remove_dir_all(&dir);
+    result
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let serial = run_repro(1);
+    assert!(!serial.metrics.is_empty() && !serial.bench.is_empty());
+    assert!(
+        serial.trace.iter().filter(|&&b| b == b'\n').count() > 1,
+        "trace should have a schema header plus events"
+    );
+
+    for jobs in [2, 4] {
+        let parallel = run_repro(jobs);
+        assert_eq!(
+            serial.stdout, parallel.stdout,
+            "stdout differs at --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.metrics, parallel.metrics,
+            "metrics snapshot differs at --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.bench, parallel.bench,
+            "bench report differs at --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.trace, parallel.trace,
+            "trace stream differs at --jobs {jobs}"
+        );
+    }
+}

@@ -48,9 +48,36 @@ pub struct PmptwCacheStats {
 impl PmptwCacheStats {
     /// Publishes the counters into `reg` under `prefix`.
     pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
-        reg.set(format!("{prefix}.leaf_hits"), self.leaf_hits);
-        reg.set(format!("{prefix}.root_hits"), self.root_hits);
-        reg.set(format!("{prefix}.misses"), self.misses);
+        let ids = PmptwCacheStatsIds::wire(reg, prefix);
+        self.store(reg, &ids);
+    }
+
+    /// Publishes the counters through handles wired by
+    /// [`PmptwCacheStatsIds::wire`].
+    pub fn store(&self, reg: &mut hpmp_trace::MetricsRegistry, ids: &PmptwCacheStatsIds) {
+        reg.store(ids.leaf_hits, self.leaf_hits);
+        reg.store(ids.root_hits, self.root_hits);
+        reg.store(ids.misses, self.misses);
+    }
+}
+
+/// Interned counter handles for publishing [`PmptwCacheStats`] repeatedly
+/// without re-formatting names.
+#[derive(Clone, Copy, Debug)]
+pub struct PmptwCacheStatsIds {
+    leaf_hits: hpmp_trace::CounterId,
+    root_hits: hpmp_trace::CounterId,
+    misses: hpmp_trace::CounterId,
+}
+
+impl PmptwCacheStatsIds {
+    /// Intern the counter names under `prefix` once.
+    pub fn wire(reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) -> PmptwCacheStatsIds {
+        PmptwCacheStatsIds {
+            leaf_hits: reg.counter(format!("{prefix}.leaf_hits")),
+            root_hits: reg.counter(format!("{prefix}.root_hits")),
+            misses: reg.counter(format!("{prefix}.misses")),
+        }
     }
 }
 

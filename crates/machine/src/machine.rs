@@ -31,8 +31,9 @@ use hpmp_paging::{
     WalkCacheConfig,
 };
 use hpmp_trace::{
-    AccessClass, AccessOp, FaultCause, LatencyHistograms, MetricsRegistry, NullSink, PmptwOutcome,
-    PrivLevel, Snapshot, StepKind, TlbOutcome, TraceSink, WalkEvent, WalkStep, World,
+    AccessClass, AccessOp, CounterId, FaultCause, LatencyHistograms, LatencyHistogramsWiring,
+    MetricsRegistry, NullSink, PmptwOutcome, PrivLevel, Snapshot, StepKind, TlbOutcome, TraceSink,
+    WalkEvent, WalkStep, World,
 };
 
 /// Why an access failed.
@@ -180,6 +181,72 @@ impl MachineStats {
     }
 }
 
+/// Interned counter handles for everything a [`Machine`] accounts: its own
+/// counters plus every sub-component's, wired once at construction so the
+/// per-access bookkeeping is a `Vec<u64>` index bump — counter names are
+/// only materialized again when [`Machine::metrics_snapshot`] is taken.
+#[derive(Debug)]
+struct MachineWiring {
+    accesses: CounterId,
+    cycles: CounterId,
+    faults: CounterId,
+    walks: CounterId,
+    aborted_refs: CounterId,
+    dma_refs: CounterId,
+    refs_total: CounterId,
+    pt_reads: CounterId,
+    data_reads: CounterId,
+    pmpte_for_pt: CounterId,
+    pmpte_for_data: CounterId,
+    dtlb: hpmp_paging::TlbStatsIds,
+    itlb: hpmp_paging::TlbStatsIds,
+    pwc: hpmp_paging::WalkCacheStatsIds,
+    pmptw_cache: hpmp_core::PmptwCacheStatsIds,
+    mem: hpmp_memsim::MemSystemStatsIds,
+    latency: LatencyHistogramsWiring,
+}
+
+impl MachineWiring {
+    fn wire(reg: &mut MetricsRegistry) -> MachineWiring {
+        MachineWiring {
+            accesses: reg.counter("machine.accesses"),
+            cycles: reg.counter("machine.cycles"),
+            faults: reg.counter("machine.faults"),
+            walks: reg.counter("machine.walks"),
+            aborted_refs: reg.counter("machine.aborted_refs"),
+            dma_refs: reg.counter("machine.dma_refs"),
+            refs_total: reg.counter("machine.refs"),
+            pt_reads: reg.counter("machine.refs.pt_reads"),
+            data_reads: reg.counter("machine.refs.data_reads"),
+            pmpte_for_pt: reg.counter("machine.refs.pmpte_for_pt"),
+            pmpte_for_data: reg.counter("machine.refs.pmpte_for_data"),
+            dtlb: hpmp_paging::TlbStatsIds::wire(reg, "machine.dtlb"),
+            itlb: hpmp_paging::TlbStatsIds::wire(reg, "machine.itlb"),
+            pwc: hpmp_paging::WalkCacheStatsIds::wire(reg, "machine.pwc"),
+            pmptw_cache: hpmp_core::PmptwCacheStatsIds::wire(reg, "machine.pmptw_cache"),
+            mem: hpmp_memsim::MemSystemStatsIds::wire(reg, "machine.mem"),
+            latency: LatencyHistogramsWiring::wire(reg, "machine.latency"),
+        }
+    }
+
+    /// The machine's own counters, for bulk reset.
+    fn own_ids(&self) -> [CounterId; 11] {
+        [
+            self.accesses,
+            self.cycles,
+            self.faults,
+            self.walks,
+            self.aborted_refs,
+            self.dma_refs,
+            self.refs_total,
+            self.pt_reads,
+            self.data_reads,
+            self.pmpte_for_pt,
+            self.pmpte_for_data,
+        ]
+    }
+}
+
 /// Configuration of a [`Machine`].
 #[derive(Clone, Copy, Debug)]
 pub struct MachineConfig {
@@ -251,7 +318,8 @@ pub struct Machine<S: TraceSink = NullSink> {
     pmptw_cache: PmptwCache,
     regs: HpmpRegFile,
     tlb_inlining: bool,
-    stats: MachineStats,
+    metrics: MetricsRegistry,
+    ids: MachineWiring,
     hists: LatencyHistograms,
     sink: S,
     world: World,
@@ -269,6 +337,8 @@ impl Machine {
 impl<S: TraceSink> Machine<S> {
     /// Builds a machine that records a [`WalkEvent`] per access into `sink`.
     pub fn with_sink(config: MachineConfig, sink: S) -> Machine<S> {
+        let mut metrics = MetricsRegistry::new();
+        let ids = MachineWiring::wire(&mut metrics);
         Machine {
             core: config.core,
             mem_sys: MemSystem::new(config.mem),
@@ -279,7 +349,8 @@ impl<S: TraceSink> Machine<S> {
             pmptw_cache: PmptwCache::new(config.pmptw_cache),
             regs: HpmpRegFile::with_entries(config.hpmp_entries),
             tlb_inlining: config.tlb_inlining,
-            stats: MachineStats::default(),
+            metrics,
+            ids,
             hists: LatencyHistograms::new(),
             sink,
             world: World::Host,
@@ -384,9 +455,23 @@ impl<S: TraceSink> Machine<S> {
         self.sfence_vma_all();
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters, reconstructed from the interned registry (the
+    /// live accounting is a `Vec<u64>` behind [`CounterId`] handles).
     pub fn stats(&self) -> MachineStats {
-        self.stats
+        MachineStats {
+            accesses: self.metrics.get(self.ids.accesses),
+            cycles: self.metrics.get(self.ids.cycles),
+            refs: RefBreakdown {
+                pt_reads: self.metrics.get(self.ids.pt_reads),
+                data_reads: self.metrics.get(self.ids.data_reads),
+                pmpte_for_pt: self.metrics.get(self.ids.pmpte_for_pt),
+                pmpte_for_data: self.metrics.get(self.ids.pmpte_for_data),
+            },
+            faults: self.metrics.get(self.ids.faults),
+            walks: self.metrics.get(self.ids.walks),
+            aborted_refs: self.metrics.get(self.ids.aborted_refs),
+            dma_refs: self.metrics.get(self.ids.dma_refs),
+        }
     }
 
     /// D-TLB counters.
@@ -413,18 +498,18 @@ impl<S: TraceSink> Machine<S> {
     /// One snapshot unifying every counter the machine keeps: machine
     /// totals, D-/I-TLB, PWC, PMPTW-Cache, the memory hierarchy, and the
     /// per-class latency summaries, under dotted `machine.*` names.
-    pub fn metrics_snapshot(&self) -> Snapshot {
-        let mut reg = MetricsRegistry::new();
-        self.stats.export(&mut reg, "machine");
-        self.tlb.stats().export(&mut reg, "machine.dtlb");
-        self.itlb.stats().export(&mut reg, "machine.itlb");
-        self.pwc.stats().export(&mut reg, "machine.pwc");
+    pub fn metrics_snapshot(&mut self) -> Snapshot {
+        let refs_total = self.stats().refs.total();
+        self.metrics.store(self.ids.refs_total, refs_total);
+        self.tlb.stats().store(&mut self.metrics, &self.ids.dtlb);
+        self.itlb.stats().store(&mut self.metrics, &self.ids.itlb);
+        self.pwc.stats().store(&mut self.metrics, &self.ids.pwc);
         self.pmptw_cache
             .stats()
-            .export(&mut reg, "machine.pmptw_cache");
-        self.mem_sys.stats().export(&mut reg, "machine.mem");
-        self.hists.export(&mut reg, "machine.latency");
-        reg.snapshot()
+            .store(&mut self.metrics, &self.ids.pmptw_cache);
+        self.mem_sys.stats().store(&mut self.metrics, &self.ids.mem);
+        self.ids.latency.store(&mut self.metrics, &self.hists);
+        self.metrics.snapshot()
     }
 
     /// Checks that every reference the machine claims to have issued is
@@ -437,7 +522,8 @@ impl<S: TraceSink> Machine<S> {
     ///
     /// Returns a description of the mismatch when the counters disagree.
     pub fn verify_accounting(&self) -> Result<(), String> {
-        let claimed = self.stats.issued_refs();
+        let stats = self.stats();
+        let claimed = stats.issued_refs();
         let observed = self.mem_sys.stats().accesses;
         if claimed == observed {
             Ok(())
@@ -445,9 +531,9 @@ impl<S: TraceSink> Machine<S> {
             Err(format!(
                 "machine claims {claimed} references (refs {} + aborted {} + dma {}) but \
                  the memory system observed {observed}",
-                self.stats.refs.total(),
-                self.stats.aborted_refs,
-                self.stats.dma_refs
+                stats.refs.total(),
+                stats.aborted_refs,
+                stats.dma_refs
             ))
         }
     }
@@ -455,7 +541,9 @@ impl<S: TraceSink> Machine<S> {
     /// Clears all counters and histograms (cache contents are untouched;
     /// the event sequence number keeps running).
     pub fn reset_stats(&mut self) {
-        self.stats = MachineStats::default();
+        for id in self.ids.own_ids() {
+            self.metrics.store(id, 0);
+        }
         self.mem_sys.reset_stats();
         self.tlb.reset_stats();
         self.itlb.reset_stats();
@@ -607,8 +695,8 @@ impl<S: TraceSink> Machine<S> {
                 });
             }
             refs.data_reads = 1;
-            self.stats.accesses += 1;
-            self.stats.cycles += cycles;
+            self.metrics.bump(self.ids.accesses, 1);
+            self.metrics.bump(self.ids.cycles, cycles);
             self.accumulate(refs);
             self.hists
                 .record(AccessClass::classify(op_of(kind), true), cycles);
@@ -634,7 +722,7 @@ impl<S: TraceSink> Machine<S> {
 
         // 2. TLB miss: page-table walk. Each PT-page reference is first
         //    validated by the isolation layer, then read.
-        self.stats.walks += 1;
+        self.metrics.bump(self.ids.walks, 1);
         let result = walk(&self.phys, space, &mut self.pwc, va);
         let pwc_level = result.pwc_hit_level.map(|l| l as u8);
         for pt_ref in &result.pt_refs {
@@ -760,8 +848,8 @@ impl<S: TraceSink> Machine<S> {
         }
         refs.data_reads = 1;
 
-        self.stats.accesses += 1;
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.accesses, 1);
+        self.metrics.bump(self.ids.cycles, cycles);
         self.accumulate(refs);
         self.hists
             .record(AccessClass::classify(op_of(kind), false), cycles);
@@ -803,8 +891,8 @@ impl<S: TraceSink> Machine<S> {
         cycles: u64,
         steps: Vec<WalkStep>,
     ) -> Fault {
-        self.stats.faults += 1;
-        self.stats.aborted_refs += refs.total();
+        self.metrics.bump(self.ids.faults, 1);
+        self.metrics.bump(self.ids.aborted_refs, refs.total());
         self.emit(
             kind,
             mode,
@@ -899,17 +987,18 @@ impl<S: TraceSink> Machine<S> {
     }
 
     fn accumulate(&mut self, refs: RefBreakdown) {
-        self.stats.refs.pt_reads += refs.pt_reads;
-        self.stats.refs.data_reads += refs.data_reads;
-        self.stats.refs.pmpte_for_pt += refs.pmpte_for_pt;
-        self.stats.refs.pmpte_for_data += refs.pmpte_for_data;
+        self.metrics.bump(self.ids.pt_reads, refs.pt_reads);
+        self.metrics.bump(self.ids.data_reads, refs.data_reads);
+        self.metrics.bump(self.ids.pmpte_for_pt, refs.pmpte_for_pt);
+        self.metrics
+            .bump(self.ids.pmpte_for_data, refs.pmpte_for_data);
     }
 
     /// Adds pure-compute cycles to the running total (used by workload
     /// models for their non-memory instructions).
     pub fn run_compute(&mut self, instructions: u64) -> u64 {
         let cycles = self.core.alu_cycles(instructions);
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         cycles
     }
 
@@ -939,18 +1028,19 @@ impl<S: TraceSink> Machine<S> {
                 for r in &outcome.refs {
                     cycles += self.mem_sys.access_ptw(r.addr).cycles;
                 }
-                self.stats.dma_refs += outcome.refs.len() as u64;
+                self.metrics
+                    .bump(self.ids.dma_refs, outcome.refs.len() as u64);
                 if !outcome.allowed {
-                    self.stats.faults += 1;
+                    self.metrics.bump(self.ids.faults, 1);
                     return Err(Fault::IsolationOnData(addr));
                 }
                 checked_page = Some(addr.page_number());
             }
             cycles += self.mem_sys.access_ptw(addr).cycles;
-            self.stats.dma_refs += 1;
+            self.metrics.bump(self.ids.dma_refs, 1);
             offset += hpmp_memsim::LINE_SIZE;
         }
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 }

@@ -27,8 +27,9 @@ use hpmp_paging::{
     TlbEntry, TlbHit, TranslationMode, WalkCache,
 };
 use hpmp_trace::{
-    AccessClass, AccessOp, FaultCause, LatencyHistograms, MetricsRegistry, NullSink, PmptwOutcome,
-    PrivLevel, Snapshot, StepKind, TlbOutcome, TraceSink, WalkEvent, WalkStep, World,
+    AccessClass, AccessOp, CounterId, FaultCause, LatencyHistograms, LatencyHistogramsWiring,
+    MetricsRegistry, NullSink, PmptwOutcome, PrivLevel, Snapshot, StepKind, TlbOutcome, TraceSink,
+    WalkEvent, WalkStep, World,
 };
 
 use crate::machine::{Fault, MachineConfig};
@@ -160,6 +161,74 @@ impl VirtMachineStats {
     }
 }
 
+/// Interned counter handles for everything a [`VirtMachine`] accounts,
+/// wired once at construction (mirrors `MachineWiring` with the `virt.*`
+/// prefix and the nested-walk reference breakdown).
+#[derive(Debug)]
+struct VirtWiring {
+    accesses: CounterId,
+    cycles: CounterId,
+    faults: CounterId,
+    walks: CounterId,
+    aborted_refs: CounterId,
+    refs_total: CounterId,
+    npt_reads: CounterId,
+    gpt_reads: CounterId,
+    data_reads: CounterId,
+    pmpte_for_npt: CounterId,
+    pmpte_for_gpt: CounterId,
+    pmpte_for_data: CounterId,
+    tlb: hpmp_paging::TlbStatsIds,
+    gtlb: hpmp_paging::TlbStatsIds,
+    gpwc: hpmp_paging::WalkCacheStatsIds,
+    pmptw_cache: hpmp_core::PmptwCacheStatsIds,
+    mem: hpmp_memsim::MemSystemStatsIds,
+    latency: LatencyHistogramsWiring,
+}
+
+impl VirtWiring {
+    fn wire(reg: &mut MetricsRegistry) -> VirtWiring {
+        VirtWiring {
+            accesses: reg.counter("virt.accesses"),
+            cycles: reg.counter("virt.cycles"),
+            faults: reg.counter("virt.faults"),
+            walks: reg.counter("virt.walks"),
+            aborted_refs: reg.counter("virt.aborted_refs"),
+            refs_total: reg.counter("virt.refs"),
+            npt_reads: reg.counter("virt.refs.npt_reads"),
+            gpt_reads: reg.counter("virt.refs.gpt_reads"),
+            data_reads: reg.counter("virt.refs.data_reads"),
+            pmpte_for_npt: reg.counter("virt.refs.pmpte_for_npt"),
+            pmpte_for_gpt: reg.counter("virt.refs.pmpte_for_gpt"),
+            pmpte_for_data: reg.counter("virt.refs.pmpte_for_data"),
+            tlb: hpmp_paging::TlbStatsIds::wire(reg, "virt.tlb"),
+            gtlb: hpmp_paging::TlbStatsIds::wire(reg, "virt.gtlb"),
+            gpwc: hpmp_paging::WalkCacheStatsIds::wire(reg, "virt.gpwc"),
+            pmptw_cache: hpmp_core::PmptwCacheStatsIds::wire(reg, "virt.pmptw_cache"),
+            mem: hpmp_memsim::MemSystemStatsIds::wire(reg, "virt.mem"),
+            latency: LatencyHistogramsWiring::wire(reg, "virt.latency"),
+        }
+    }
+
+    /// The virtualized machine's own counters, for bulk reset.
+    fn own_ids(&self) -> [CounterId; 12] {
+        [
+            self.accesses,
+            self.cycles,
+            self.faults,
+            self.walks,
+            self.aborted_refs,
+            self.refs_total,
+            self.npt_reads,
+            self.gpt_reads,
+            self.data_reads,
+            self.pmpte_for_npt,
+            self.pmpte_for_gpt,
+            self.pmpte_for_data,
+        ]
+    }
+}
+
 /// A virtualized system: host memory, NPT, one guest, and the isolation
 /// layer programmed per [`VirtScheme`].
 #[derive(Debug)]
@@ -179,7 +248,8 @@ pub struct VirtMachine<S: TraceSink = NullSink> {
     pmptw_cache: hpmp_core::PmptwCache,
     scheme: VirtScheme,
     guest_data_gpa: PhysAddr,
-    stats: VirtMachineStats,
+    metrics: MetricsRegistry,
+    ids: VirtWiring,
     hists: LatencyHistograms,
     sink: S,
     seq: u64,
@@ -348,6 +418,8 @@ impl<S: TraceSink> VirtMachine<S> {
             }
         }
 
+        let mut metrics = MetricsRegistry::new();
+        let ids = VirtWiring::wire(&mut metrics);
         VirtMachine {
             core: config.core,
             mem_sys: MemSystem::new(config.mem),
@@ -361,7 +433,8 @@ impl<S: TraceSink> VirtMachine<S> {
             pmptw_cache: hpmp_core::PmptwCache::new(config.pmptw_cache),
             scheme,
             guest_data_gpa: PhysAddr::new(GPA_DATA),
-            stats: VirtMachineStats::default(),
+            metrics,
+            ids,
             hists: LatencyHistograms::new(),
             sink,
             seq: 0,
@@ -393,9 +466,24 @@ impl<S: TraceSink> VirtMachine<S> {
         self.sink
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters, reconstructed from the interned registry (the
+    /// live accounting is a `Vec<u64>` behind [`CounterId`] handles).
     pub fn stats(&self) -> VirtMachineStats {
-        self.stats
+        VirtMachineStats {
+            accesses: self.metrics.get(self.ids.accesses),
+            cycles: self.metrics.get(self.ids.cycles),
+            faults: self.metrics.get(self.ids.faults),
+            walks: self.metrics.get(self.ids.walks),
+            refs: VirtRefBreakdown {
+                npt_reads: self.metrics.get(self.ids.npt_reads),
+                gpt_reads: self.metrics.get(self.ids.gpt_reads),
+                data_reads: self.metrics.get(self.ids.data_reads),
+                pmpte_for_npt: self.metrics.get(self.ids.pmpte_for_npt),
+                pmpte_for_gpt: self.metrics.get(self.ids.pmpte_for_gpt),
+                pmpte_for_data: self.metrics.get(self.ids.pmpte_for_data),
+            },
+            aborted_refs: self.metrics.get(self.ids.aborted_refs),
+        }
     }
 
     /// Per-access-class latency histograms.
@@ -405,18 +493,18 @@ impl<S: TraceSink> VirtMachine<S> {
 
     /// One snapshot unifying the virtualized machine's counters under
     /// dotted `virt.*` names.
-    pub fn metrics_snapshot(&self) -> Snapshot {
-        let mut reg = MetricsRegistry::new();
-        self.stats.export(&mut reg, "virt");
-        self.tlb.stats().export(&mut reg, "virt.tlb");
-        self.gtlb.stats().export(&mut reg, "virt.gtlb");
-        self.gpwc.stats().export(&mut reg, "virt.gpwc");
+    pub fn metrics_snapshot(&mut self) -> Snapshot {
+        let refs_total = self.stats().refs.total();
+        self.metrics.store(self.ids.refs_total, refs_total);
+        self.tlb.stats().store(&mut self.metrics, &self.ids.tlb);
+        self.gtlb.stats().store(&mut self.metrics, &self.ids.gtlb);
+        self.gpwc.stats().store(&mut self.metrics, &self.ids.gpwc);
         self.pmptw_cache
             .stats()
-            .export(&mut reg, "virt.pmptw_cache");
-        self.mem_sys.stats().export(&mut reg, "virt.mem");
-        self.hists.export(&mut reg, "virt.latency");
-        reg.snapshot()
+            .store(&mut self.metrics, &self.ids.pmptw_cache);
+        self.mem_sys.stats().store(&mut self.metrics, &self.ids.mem);
+        self.ids.latency.store(&mut self.metrics, &self.hists);
+        self.metrics.snapshot()
     }
 
     /// Checks that every reference the machine claims to have issued is
@@ -427,7 +515,8 @@ impl<S: TraceSink> VirtMachine<S> {
     ///
     /// Returns a description of the mismatch when the counters disagree.
     pub fn verify_accounting(&self) -> Result<(), String> {
-        let claimed = self.stats.issued_refs();
+        let stats = self.stats();
+        let claimed = stats.issued_refs();
         let observed = self.mem_sys.stats().accesses;
         if claimed == observed {
             Ok(())
@@ -435,8 +524,8 @@ impl<S: TraceSink> VirtMachine<S> {
             Err(format!(
                 "virt machine claims {claimed} references (refs {} + aborted {}) but \
                  the memory system observed {observed}",
-                self.stats.refs.total(),
-                self.stats.aborted_refs
+                stats.refs.total(),
+                stats.aborted_refs
             ))
         }
     }
@@ -444,7 +533,9 @@ impl<S: TraceSink> VirtMachine<S> {
     /// Clears all counters and histograms (cache contents untouched; the
     /// event sequence number keeps running).
     pub fn reset_stats(&mut self) {
-        self.stats = VirtMachineStats::default();
+        for id in self.ids.own_ids() {
+            self.metrics.store(id, 0);
+        }
         self.mem_sys.reset_stats();
         self.tlb.reset_stats();
         self.gtlb.reset_stats();
@@ -532,8 +623,8 @@ impl<S: TraceSink> VirtMachine<S> {
                 });
             }
             refs.data_reads = 1;
-            self.stats.accesses += 1;
-            self.stats.cycles += cycles;
+            self.metrics.bump(self.ids.accesses, 1);
+            self.metrics.bump(self.ids.cycles, cycles);
             self.accumulate(refs);
             self.hists
                 .record(AccessClass::classify(op_of(kind), true), cycles);
@@ -556,7 +647,7 @@ impl<S: TraceSink> VirtMachine<S> {
         }
 
         // Two-stage walk.
-        self.stats.walks += 1;
+        self.metrics.bump(self.ids.walks, 1);
         let result = nested_walk(
             &self.phys,
             &self.guest,
@@ -691,8 +782,8 @@ impl<S: TraceSink> VirtMachine<S> {
         }
         refs.data_reads = 1;
 
-        self.stats.accesses += 1;
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.accesses, 1);
+        self.metrics.bump(self.ids.cycles, cycles);
         self.accumulate(refs);
         self.hists
             .record(AccessClass::classify(op_of(kind), false), cycles);
@@ -728,8 +819,8 @@ impl<S: TraceSink> VirtMachine<S> {
         cycles: u64,
         steps: Vec<WalkStep>,
     ) -> Fault {
-        self.stats.faults += 1;
-        self.stats.aborted_refs += refs.total();
+        self.metrics.bump(self.ids.faults, 1);
+        self.metrics.bump(self.ids.aborted_refs, refs.total());
         self.emit(
             kind,
             gva,
@@ -780,12 +871,15 @@ impl<S: TraceSink> VirtMachine<S> {
     }
 
     fn accumulate(&mut self, refs: VirtRefBreakdown) {
-        self.stats.refs.npt_reads += refs.npt_reads;
-        self.stats.refs.gpt_reads += refs.gpt_reads;
-        self.stats.refs.data_reads += refs.data_reads;
-        self.stats.refs.pmpte_for_npt += refs.pmpte_for_npt;
-        self.stats.refs.pmpte_for_gpt += refs.pmpte_for_gpt;
-        self.stats.refs.pmpte_for_data += refs.pmpte_for_data;
+        self.metrics.bump(self.ids.npt_reads, refs.npt_reads);
+        self.metrics.bump(self.ids.gpt_reads, refs.gpt_reads);
+        self.metrics.bump(self.ids.data_reads, refs.data_reads);
+        self.metrics
+            .bump(self.ids.pmpte_for_npt, refs.pmpte_for_npt);
+        self.metrics
+            .bump(self.ids.pmpte_for_gpt, refs.pmpte_for_gpt);
+        self.metrics
+            .bump(self.ids.pmpte_for_data, refs.pmpte_for_data);
     }
 
     fn charge_pmpte_refs(

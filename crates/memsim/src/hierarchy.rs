@@ -85,12 +85,45 @@ impl MemSystemStats {
     /// Publishes every counter into `reg` under `prefix` (e.g.
     /// `mem.l1.hits`, `mem.dram.row_misses`, `mem.accesses`).
     pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
-        self.l1.export(reg, &format!("{prefix}.l1"));
-        self.l2.export(reg, &format!("{prefix}.l2"));
-        self.llc.export(reg, &format!("{prefix}.llc"));
-        self.dram.export(reg, &format!("{prefix}.dram"));
-        reg.set(format!("{prefix}.accesses"), self.accesses);
-        reg.set(format!("{prefix}.cycles"), self.cycles);
+        let ids = MemSystemStatsIds::wire(reg, prefix);
+        self.store(reg, &ids);
+    }
+
+    /// Publishes the counters through handles wired by
+    /// [`MemSystemStatsIds::wire`].
+    pub fn store(&self, reg: &mut hpmp_trace::MetricsRegistry, ids: &MemSystemStatsIds) {
+        self.l1.store(reg, &ids.l1);
+        self.l2.store(reg, &ids.l2);
+        self.llc.store(reg, &ids.llc);
+        self.dram.store(reg, &ids.dram);
+        reg.store(ids.accesses, self.accesses);
+        reg.store(ids.cycles, self.cycles);
+    }
+}
+
+/// Interned counter handles for publishing [`MemSystemStats`] repeatedly
+/// without re-formatting names.
+#[derive(Clone, Copy, Debug)]
+pub struct MemSystemStatsIds {
+    l1: crate::cache::CacheStatsIds,
+    l2: crate::cache::CacheStatsIds,
+    llc: crate::cache::CacheStatsIds,
+    dram: crate::dram::DramStatsIds,
+    accesses: hpmp_trace::CounterId,
+    cycles: hpmp_trace::CounterId,
+}
+
+impl MemSystemStatsIds {
+    /// Intern the counter names under `prefix` once.
+    pub fn wire(reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) -> MemSystemStatsIds {
+        MemSystemStatsIds {
+            l1: crate::cache::CacheStatsIds::wire(reg, &format!("{prefix}.l1")),
+            l2: crate::cache::CacheStatsIds::wire(reg, &format!("{prefix}.l2")),
+            llc: crate::cache::CacheStatsIds::wire(reg, &format!("{prefix}.llc")),
+            dram: crate::dram::DramStatsIds::wire(reg, &format!("{prefix}.dram")),
+            accesses: reg.counter(format!("{prefix}.accesses")),
+            cycles: reg.counter(format!("{prefix}.cycles")),
+        }
     }
 }
 

@@ -35,10 +35,12 @@ mod rng;
 mod store;
 
 pub use addr::{PhysAddr, VirtAddr, LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
-pub use cache::{lines_spanned, Cache, CacheConfig, CacheStats};
+pub use cache::{lines_spanned, Cache, CacheConfig, CacheStats, CacheStatsIds};
 pub use config::{CoreKind, CoreModel};
-pub use dram::{Dram, DramConfig, DramStats};
-pub use hierarchy::{HitLevel, MemAccessOutcome, MemSystem, MemSystemConfig, MemSystemStats};
+pub use dram::{Dram, DramConfig, DramStats, DramStatsIds};
+pub use hierarchy::{
+    HitLevel, MemAccessOutcome, MemSystem, MemSystemConfig, MemSystemStats, MemSystemStatsIds,
+};
 pub use perm::{AccessKind, Perms, PrivMode};
 pub use physmem::{FrameAllocator, PhysMem};
 pub use rng::SplitMix64;

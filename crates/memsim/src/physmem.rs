@@ -4,13 +4,47 @@
 //! walks: page tables (read by the PTW) and PMP Tables (read by the PMPTW).
 //! [`PhysMem`] is a sparse, page-granular store of 64-bit words; untouched
 //! pages read as zero, matching DRAM scrubbed at boot.
-
-use std::collections::HashMap;
+//!
+//! Storage is a two-level flat page directory indexed by page frame number
+//! (PFN): the top level is a `Vec` of chunk pointers, each chunk covering
+//! [`CHUNK_PAGES`] consecutive frames. A read is a bounds check plus two
+//! pointer hops — no hashing anywhere on the per-access path.
 
 use crate::addr::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
 
 /// Number of 64-bit words per 4 KiB page.
 const WORDS_PER_PAGE: usize = (PAGE_SIZE / 8) as usize;
+
+/// log2 of the number of pages covered by one directory chunk.
+const CHUNK_SHIFT: u32 = 11;
+
+/// Pages per directory chunk (8 MiB of simulated memory per chunk).
+const CHUNK_PAGES: usize = 1 << CHUNK_SHIFT;
+
+/// Highest supported physical address bit. The directory grows with the
+/// highest frame ever written, so a stray huge address would otherwise
+/// balloon the top level; 1 TiB is far above anything the fixtures map
+/// while keeping the worst-case top level around 1 MiB of pointers.
+const MAX_PHYS_BITS: u32 = 40;
+
+/// Highest valid PFN (exclusive).
+const MAX_PFN: u64 = 1 << (MAX_PHYS_BITS - PAGE_SHIFT);
+
+type Page = Box<[u64; WORDS_PER_PAGE]>;
+
+/// One top-level directory slot: backing for [`CHUNK_PAGES`] frames.
+#[derive(Clone)]
+struct Chunk {
+    slots: [Option<Page>; CHUNK_PAGES],
+}
+
+impl Chunk {
+    fn new() -> Box<Chunk> {
+        Box::new(Chunk {
+            slots: std::array::from_fn(|_| None),
+        })
+    }
+}
 
 /// Sparse word-addressable physical memory.
 ///
@@ -23,7 +57,8 @@ const WORDS_PER_PAGE: usize = (PAGE_SIZE / 8) as usize;
 /// ```
 #[derive(Clone, Default)]
 pub struct PhysMem {
-    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+    dir: Vec<Option<Box<Chunk>>>,
+    resident: usize,
 }
 
 impl PhysMem {
@@ -38,9 +73,16 @@ impl PhysMem {
     ///
     /// Panics if `addr` is not 8-byte aligned; hardware would raise a
     /// misaligned-access exception, which the walkers never do.
+    #[inline]
     pub fn read_u64(&self, addr: PhysAddr) -> u64 {
         assert!(addr.is_aligned(8), "misaligned u64 read at {addr}");
-        match self.pages.get(&addr.page_number()) {
+        let pfn = addr.page_number();
+        match self
+            .dir
+            .get((pfn >> CHUNK_SHIFT) as usize)
+            .and_then(|c| c.as_ref())
+            .and_then(|c| c.slots[(pfn & (CHUNK_PAGES as u64 - 1)) as usize].as_ref())
+        {
             Some(page) => page[Self::word_index(addr)],
             None => 0,
         }
@@ -50,14 +92,31 @@ impl PhysMem {
     ///
     /// # Panics
     ///
-    /// Panics if `addr` is not 8-byte aligned.
+    /// Panics if `addr` is not 8-byte aligned or lies beyond the simulated
+    /// physical address space (1 TiB).
+    #[inline]
     pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
         assert!(addr.is_aligned(8), "misaligned u64 write at {addr}");
-        let page = self
-            .pages
-            .entry(addr.page_number())
-            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]));
+        let page = self.page_mut(addr.page_number());
         page[Self::word_index(addr)] = value;
+    }
+
+    fn page_mut(&mut self, pfn: u64) -> &mut [u64; WORDS_PER_PAGE] {
+        assert!(
+            pfn < MAX_PFN,
+            "write beyond the {MAX_PHYS_BITS}-bit simulated physical address space"
+        );
+        let hi = (pfn >> CHUNK_SHIFT) as usize;
+        let lo = (pfn & (CHUNK_PAGES as u64 - 1)) as usize;
+        if hi >= self.dir.len() {
+            self.dir.resize_with(hi + 1, || None);
+        }
+        let chunk = self.dir[hi].get_or_insert_with(Chunk::new);
+        if chunk.slots[lo].is_none() {
+            chunk.slots[lo] = Some(Box::new([0u64; WORDS_PER_PAGE]));
+            self.resident += 1;
+        }
+        chunk.slots[lo].as_mut().unwrap()
     }
 
     /// Zeroes an entire 4 KiB page.
@@ -67,19 +126,27 @@ impl PhysMem {
     /// Panics if `base` is not page aligned.
     pub fn zero_page(&mut self, base: PhysAddr) {
         assert!(base.is_aligned(PAGE_SIZE), "zero_page of unaligned {base}");
-        self.pages.remove(&base.page_number());
+        let pfn = base.page_number();
+        let hi = (pfn >> CHUNK_SHIFT) as usize;
+        let lo = (pfn & (CHUNK_PAGES as u64 - 1)) as usize;
+        if let Some(Some(chunk)) = self.dir.get_mut(hi) {
+            if chunk.slots[lo].take().is_some() {
+                self.resident -= 1;
+            }
+        }
     }
 
     /// Number of distinct pages that have been written.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     /// Total bytes of simulated memory currently backed by host storage.
     pub fn resident_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.resident as u64 * PAGE_SIZE
     }
 
+    #[inline]
     fn word_index(addr: PhysAddr) -> usize {
         ((addr.raw() & (PAGE_SIZE - 1)) >> 3) as usize
     }
@@ -88,7 +155,7 @@ impl PhysMem {
 impl std::fmt::Debug for PhysMem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PhysMem")
-            .field("resident_pages", &self.pages.len())
+            .field("resident_pages", &self.resident)
             .finish()
     }
 }
@@ -174,6 +241,45 @@ mod tests {
         mem.zero_page(PhysAddr::new(0x1000));
         assert_eq!(mem.read_u64(PhysAddr::new(0x1000)), 0);
         assert_eq!(mem.read_u64(PhysAddr::new(0x2000)), 2);
+    }
+
+    #[test]
+    fn pages_span_directory_chunks() {
+        let mut mem = PhysMem::new();
+        // Two frames in different top-level chunks.
+        let lo = PhysAddr::new(0x8000_0000);
+        let hi = PhysAddr::new(0x8000_0000 + (CHUNK_PAGES as u64 + 3) * PAGE_SIZE);
+        mem.write_u64(lo, 7);
+        mem.write_u64(hi, 9);
+        assert_eq!(mem.resident_pages(), 2);
+        assert_eq!(mem.read_u64(lo), 7);
+        assert_eq!(mem.read_u64(hi), 9);
+        mem.zero_page(hi);
+        assert_eq!(mem.read_u64(hi), 0);
+        assert_eq!(mem.resident_pages(), 1);
+    }
+
+    #[test]
+    fn rewriting_a_page_does_not_double_count() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(PhysAddr::new(0x3000), 1);
+        mem.write_u64(PhysAddr::new(0x3008), 2);
+        assert_eq!(mem.resident_pages(), 1);
+        mem.zero_page(PhysAddr::new(0x3000));
+        mem.zero_page(PhysAddr::new(0x3000)); // double-zero is fine
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn reads_beyond_the_directory_are_zero() {
+        let mem = PhysMem::new();
+        assert_eq!(mem.read_u64(PhysAddr::new((MAX_PFN - 1) << PAGE_SHIFT)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated physical address space")]
+    fn writes_beyond_the_address_space_panic() {
+        PhysMem::new().write_u64(PhysAddr::new(MAX_PFN << PAGE_SHIFT), 1);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub use nested::{
     NestedWalkResult, GSTAGE_VMID,
 };
 pub use pte::Pte;
-pub use pwc::{WalkCache, WalkCacheConfig, WalkCacheStats};
+pub use pwc::{WalkCache, WalkCacheConfig, WalkCacheStats, WalkCacheStatsIds};
 pub use satp::{Hgatp, Satp};
 pub use space::{AddressSpace, MapError, PtFrameSource, Translation};
-pub use tlb::{apply_translation, Tlb, TlbConfig, TlbEntry, TlbHit, TlbStats};
+pub use tlb::{apply_translation, Tlb, TlbConfig, TlbEntry, TlbHit, TlbStats, TlbStatsIds};
 pub use walker::{walk, PtRef, WalkResult};

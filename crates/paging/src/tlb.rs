@@ -67,10 +67,38 @@ impl TlbStats {
 
     /// Publishes the counters into `reg` under `prefix`.
     pub fn export(&self, reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) {
-        reg.set(format!("{prefix}.l1_hits"), self.l1_hits);
-        reg.set(format!("{prefix}.l2_hits"), self.l2_hits);
-        reg.set(format!("{prefix}.misses"), self.misses);
-        reg.set(format!("{prefix}.flushes"), self.flushes);
+        let ids = TlbStatsIds::wire(reg, prefix);
+        self.store(reg, &ids);
+    }
+
+    /// Publishes the counters through handles wired by [`TlbStatsIds::wire`].
+    pub fn store(&self, reg: &mut hpmp_trace::MetricsRegistry, ids: &TlbStatsIds) {
+        reg.store(ids.l1_hits, self.l1_hits);
+        reg.store(ids.l2_hits, self.l2_hits);
+        reg.store(ids.misses, self.misses);
+        reg.store(ids.flushes, self.flushes);
+    }
+}
+
+/// Interned counter handles for publishing [`TlbStats`] repeatedly without
+/// re-formatting names.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbStatsIds {
+    l1_hits: hpmp_trace::CounterId,
+    l2_hits: hpmp_trace::CounterId,
+    misses: hpmp_trace::CounterId,
+    flushes: hpmp_trace::CounterId,
+}
+
+impl TlbStatsIds {
+    /// Intern the counter names under `prefix` once.
+    pub fn wire(reg: &mut hpmp_trace::MetricsRegistry, prefix: &str) -> TlbStatsIds {
+        TlbStatsIds {
+            l1_hits: reg.counter(format!("{prefix}.l1_hits")),
+            l2_hits: reg.counter(format!("{prefix}.l2_hits")),
+            misses: reg.counter(format!("{prefix}.misses")),
+            flushes: reg.counter(format!("{prefix}.flushes")),
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use hpmp_core::{
 };
 use hpmp_machine::Machine;
 use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, PAGE_SIZE};
-use hpmp_trace::{TraceSink, World};
+use hpmp_trace::{CounterId, MetricsRegistry, Snapshot, TraceSink, World};
 
 use crate::gms::{Gms, GmsLabel};
 
@@ -147,6 +147,27 @@ pub struct MonitorStats {
     pub cycles: u64,
 }
 
+/// Interned counter handles for the monitor's activity accounting; wired
+/// once at boot so every bump is a plain `Vec<u64>` index operation.
+#[derive(Debug)]
+struct MonitorWiring {
+    switches: CounterId,
+    csr_writes: CounterId,
+    table_writes: CounterId,
+    cycles: CounterId,
+}
+
+impl MonitorWiring {
+    fn wire(reg: &mut MetricsRegistry) -> MonitorWiring {
+        MonitorWiring {
+            switches: reg.counter("monitor.switches"),
+            csr_writes: reg.counter("monitor.csr_writes"),
+            table_writes: reg.counter("monitor.table_writes"),
+            cycles: reg.counter("monitor.cycles"),
+        }
+    }
+}
+
 /// The secure monitor.
 #[derive(Debug)]
 pub struct SecureMonitor {
@@ -163,7 +184,8 @@ pub struct SecureMonitor {
     next_id: u32,
     iopmp: IoPmp,
     devices: Vec<(DeviceId, DomainId)>,
-    stats: MonitorStats,
+    metrics: MetricsRegistry,
+    ids: MonitorWiring,
 }
 
 impl SecureMonitor {
@@ -193,6 +215,8 @@ impl SecureMonitor {
             .configure_segment(0, monitor_region, Perms::NONE)
             .expect("monitor segment");
 
+        let mut metrics = MetricsRegistry::new();
+        let ids = MonitorWiring::wire(&mut metrics);
         let mut monitor = SecureMonitor {
             flavor,
             ram,
@@ -207,7 +231,8 @@ impl SecureMonitor {
             next_id: 1,
             iopmp: IoPmp::new(),
             devices: Vec::new(),
-            stats: MonitorStats::default(),
+            metrics,
+            ids,
         };
 
         // The host domain starts owning all remaining memory as one slow GMS.
@@ -231,7 +256,7 @@ impl SecureMonitor {
                     FillPolicy::HugeWhenAligned,
                 )
                 .expect("host grant");
-            monitor.stats.table_writes += writes;
+            monitor.metrics.bump(monitor.ids.table_writes, writes);
             host.table = Some(table);
         }
         host.gmss
@@ -264,9 +289,21 @@ impl SecureMonitor {
         self.domains.len()
     }
 
-    /// Activity counters.
+    /// Activity counters, reconstructed from the interned registry (the
+    /// live accounting is a `Vec<u64>` behind [`CounterId`] handles).
     pub fn stats(&self) -> MonitorStats {
-        self.stats
+        MonitorStats {
+            switches: self.metrics.get(self.ids.switches),
+            csr_writes: self.metrics.get(self.ids.csr_writes),
+            table_writes: self.metrics.get(self.ids.table_writes),
+            cycles: self.metrics.get(self.ids.cycles),
+        }
+    }
+
+    /// A point-in-time view of the monitor's activity counters under the
+    /// `monitor.*` prefix, for merging into experiment-level metrics.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
     }
 
     /// GMSs owned by `domain`.
@@ -323,7 +360,7 @@ impl SecureMonitor {
             return Err(MonitorError::OutOfPmpEntries);
         }
 
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok((id, cycles))
     }
 
@@ -356,7 +393,7 @@ impl SecureMonitor {
         if self.current == id {
             cycles += self.switch_to(machine, DomainId::HOST)?;
         }
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
@@ -400,7 +437,8 @@ impl SecureMonitor {
             cycles += self.grant_in_host_table(machine, region, Perms::NONE)?;
         }
         if flavor != TeeFlavor::PenglaiPmp {
-            let stats = &mut self.stats;
+            let table_writes_id = self.ids.table_writes;
+            let metrics = &mut self.metrics;
             let table_frames = &mut self.table_frames;
             let d = self
                 .domains
@@ -420,7 +458,7 @@ impl SecureMonitor {
                     FillPolicy::PerPage
                 },
             )?;
-            stats.table_writes += writes;
+            metrics.bump(table_writes_id, writes);
             cycles += writes * cost::TABLE_ENTRY_WRITE;
         }
 
@@ -440,7 +478,7 @@ impl SecureMonitor {
             machine.sfence_vma_all();
             cycles += cost::FENCE;
         }
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok((region, cycles))
     }
 
@@ -471,7 +509,8 @@ impl SecureMonitor {
 
         if flavor != TeeFlavor::PenglaiPmp {
             // Revoke in the owner's table…
-            let stats = &mut self.stats;
+            let table_writes_id = self.ids.table_writes;
+            let metrics = &mut self.metrics;
             let table_frames = &mut self.table_frames;
             let table = self.domains[d_idx].table.as_mut().expect("table flavour");
             let writes = table.set_range_perm(
@@ -482,7 +521,7 @@ impl SecureMonitor {
                 Perms::NONE,
                 FillPolicy::PerPage,
             )?;
-            stats.table_writes += writes;
+            metrics.bump(table_writes_id, writes);
             cycles += writes * cost::TABLE_ENTRY_WRITE;
             // …and return it to the host.
             if domain != DomainId::HOST {
@@ -494,7 +533,7 @@ impl SecureMonitor {
             machine.sfence_vma_all();
             cycles += cost::FENCE;
         }
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
@@ -528,7 +567,7 @@ impl SecureMonitor {
             machine.sfence_vma_all();
             cycles += cost::FENCE;
         }
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
@@ -566,7 +605,8 @@ impl SecureMonitor {
         region: PmpRegion,
         perms: Perms,
     ) -> Result<u64, MonitorError> {
-        let stats = &mut self.stats;
+        let table_writes_id = self.ids.table_writes;
+        let metrics = &mut self.metrics;
         let table_frames = &mut self.table_frames;
         let d = self
             .domains
@@ -584,7 +624,7 @@ impl SecureMonitor {
             perms,
             FillPolicy::PerPage,
         )?;
-        stats.table_writes += writes;
+        metrics.bump(table_writes_id, writes);
         Ok(writes * cost::TABLE_ENTRY_WRITE)
     }
 
@@ -610,7 +650,7 @@ impl SecureMonitor {
         self.devices.retain(|(d, _)| *d != device);
         self.devices.push((device, domain));
         let cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING + self.sync_iopmp(machine);
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
@@ -622,7 +662,7 @@ impl SecureMonitor {
     ) -> u64 {
         self.devices.retain(|(d, _)| *d != device);
         let cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING + self.sync_iopmp(machine);
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         cycles
     }
 
@@ -730,7 +770,7 @@ impl SecureMonitor {
             machine.sfence_vma_all();
             cycles += cost::FENCE;
         }
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
@@ -762,7 +802,7 @@ impl SecureMonitor {
             machine.sfence_vma_all();
             cycles += cost::FENCE;
         }
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
@@ -790,8 +830,8 @@ impl SecureMonitor {
         cycles += self.program_current(machine)?;
         machine.sfence_vma_all();
         cycles += cost::FENCE;
-        self.stats.switches += 1;
-        self.stats.cycles += cycles;
+        self.metrics.bump(self.ids.switches, 1);
+        self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
@@ -895,7 +935,7 @@ impl SecureMonitor {
         }
 
         let writes = machine.regs().csr_writes() - before;
-        self.stats.csr_writes += writes;
+        self.metrics.bump(self.ids.csr_writes, writes);
         Ok(writes * cost::CSR_WRITE)
     }
 
@@ -906,7 +946,8 @@ impl SecureMonitor {
         region: PmpRegion,
         perms: Perms,
     ) -> Result<u64, MonitorError> {
-        let stats = &mut self.stats;
+        let table_writes_id = self.ids.table_writes;
+        let metrics = &mut self.metrics;
         let table_frames = &mut self.table_frames;
         let host = self
             .domains
@@ -926,7 +967,7 @@ impl SecureMonitor {
             perms,
             FillPolicy::PerPage,
         )?;
-        stats.table_writes += writes;
+        metrics.bump(table_writes_id, writes);
         Ok(writes * cost::TABLE_ENTRY_WRITE)
     }
 

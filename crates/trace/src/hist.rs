@@ -7,7 +7,7 @@
 //! [`AccessClass`] and records every access's cycle cost.
 
 use crate::event::AccessOp;
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{CounterId, MetricsRegistry};
 
 /// The access classes a machine histograms separately: operation kind ×
 /// whether the TLB served it or a walk was needed.
@@ -310,18 +310,8 @@ impl LatencyHistograms {
     /// with [`LatencyHistogram::from_bucket_counts`] and compute percentiles
     /// at read time.
     pub fn export(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        for class in AccessClass::ALL {
-            let h = self.class(class);
-            reg.set(format!("{prefix}.{}.count", class.label()), h.count());
-            reg.set(format!("{prefix}.{}.cycles", class.label()), h.sum());
-            for i in 0..HIST_BUCKETS {
-                let n = h.bucket(i);
-                if n != 0 {
-                    let lo = LatencyHistogram::bucket_bounds(i).0;
-                    reg.set(format!("{prefix}.{}.bucket.{lo}", class.label()), n);
-                }
-            }
-        }
+        let mut wiring = LatencyHistogramsWiring::wire(reg, prefix);
+        wiring.store(reg, self);
     }
 
     /// Export every class as JSON, keyed by class label.
@@ -331,6 +321,85 @@ impl LatencyHistograms {
             .map(|&c| format!("\"{}\":{}", c.label(), self.class(c).to_json()))
             .collect();
         format!("{{{}}}", body.join(","))
+    }
+}
+
+/// Interned counter handles for publishing a [`LatencyHistograms`] into a
+/// [`MetricsRegistry`] repeatedly without re-formatting any names.
+///
+/// The per-class `count`/`cycles` names are interned eagerly at wiring
+/// time. Bucket names stay sparse: a bucket's name is only interned the
+/// first time that bucket is non-zero, and from then on it is stored on
+/// every [`LatencyHistogramsWiring::store`] (so a later reset writes an
+/// explicit zero rather than leaving a stale count behind).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogramsWiring {
+    prefix: String,
+    count: [CounterId; 6],
+    cycles: [CounterId; 6],
+    buckets: Box<[[Option<CounterId>; HIST_BUCKETS]; 6]>,
+}
+
+impl LatencyHistogramsWiring {
+    /// Intern the summary counter names for every class under `prefix`.
+    pub fn wire(reg: &mut MetricsRegistry, prefix: &str) -> LatencyHistogramsWiring {
+        LatencyHistogramsWiring {
+            prefix: prefix.to_string(),
+            count: AccessClass::ALL.map(|c| reg.counter(format!("{prefix}.{}.count", c.label()))),
+            cycles: AccessClass::ALL.map(|c| reg.counter(format!("{prefix}.{}.cycles", c.label()))),
+            buckets: Box::new([[None; HIST_BUCKETS]; 6]),
+        }
+    }
+
+    /// Publish the current state of `hists` through the wired handles.
+    pub fn store(&mut self, reg: &mut MetricsRegistry, hists: &LatencyHistograms) {
+        for class in AccessClass::ALL {
+            let idx = class.index();
+            let h = hists.class(class);
+            reg.store(self.count[idx], h.count());
+            reg.store(self.cycles[idx], h.sum());
+            for i in 0..HIST_BUCKETS {
+                let n = h.bucket(i);
+                match self.buckets[idx][i] {
+                    Some(id) => reg.store(id, n),
+                    None if n != 0 => {
+                        let lo = LatencyHistogram::bucket_bounds(i).0;
+                        let id =
+                            reg.counter(format!("{}.{}.bucket.{lo}", self.prefix, class.label()));
+                        reg.store(id, n);
+                        self.buckets[idx][i] = Some(id);
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod wiring_tests {
+    use super::*;
+
+    #[test]
+    fn wiring_matches_export_and_tracks_resets() {
+        let mut set = LatencyHistograms::new();
+        set.record(AccessClass::ReadWalk, 3);
+        set.record(AccessClass::WriteTlbHit, 100);
+
+        let mut exported = MetricsRegistry::new();
+        set.export(&mut exported, "hist");
+
+        let mut reg = MetricsRegistry::new();
+        let mut wiring = LatencyHistogramsWiring::wire(&mut reg, "hist");
+        wiring.store(&mut reg, &set);
+        assert_eq!(reg.snapshot(), exported.snapshot());
+
+        // After a reset, previously-seen buckets are written as zero.
+        set.reset();
+        wiring.store(&mut reg, &set);
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("hist.read_walk.bucket.2"), 0);
+        assert_eq!(snap.value("hist.read_walk.count"), 0);
     }
 }
 

@@ -39,8 +39,10 @@ mod sink;
 pub use event::{
     AccessOp, FaultCause, PmptwOutcome, PrivLevel, StepKind, TlbOutcome, WalkEvent, WalkStep, World,
 };
-pub use hist::{AccessClass, LatencyHistogram, LatencyHistograms, HIST_BUCKETS};
-pub use metrics::{MetricsRegistry, Snapshot};
+pub use hist::{
+    AccessClass, LatencyHistogram, LatencyHistograms, LatencyHistogramsWiring, HIST_BUCKETS,
+};
+pub use metrics::{CounterId, MetricsRegistry, Snapshot};
 pub use read::{
     check_schema, parse_event, read_trace_file, ReadError, TraceReader, WALK_EVENT_STREAM,
 };

@@ -9,12 +9,31 @@
 use crate::json::{parse_json, JsonValue};
 use crate::read::{check_schema, ReadError};
 use crate::{json_escape, SCHEMA_VERSION};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// A handle to one interned counter in a [`MetricsRegistry`].
+///
+/// Handles are resolved from names once, at wiring time; afterwards every
+/// update through the handle is a plain `Vec<u64>` index bump with no
+/// hashing, comparison, or allocation. A handle is only meaningful for the
+/// registry that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
 
 /// A mutable bag of named counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Counter names are interned: [`MetricsRegistry::counter`] resolves a
+/// dotted name to a [`CounterId`] exactly once, and the hot-path updates
+/// ([`MetricsRegistry::bump`] / [`MetricsRegistry::store`]) index a flat
+/// `Vec<u64>`. String names are only materialized again when a
+/// [`Snapshot`] is taken. The string-keyed `set`/`add`/`value` methods
+/// remain for cold paths and intern on first use.
+#[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
-    values: BTreeMap<String, u64>,
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    values: Vec<u64>,
 }
 
 impl MetricsRegistry {
@@ -23,25 +42,80 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Intern `name`, returning a stable handle for hot-path updates.
+    ///
+    /// Interning an already-known name returns the existing handle (and
+    /// leaves its value untouched); a new name starts at zero.
+    pub fn counter(&mut self, name: impl Into<String>) -> CounterId {
+        let name = name.into();
+        if let Some(&id) = self.index.get(&name) {
+            return CounterId(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("too many counters");
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        self.values.push(0);
+        CounterId(id)
+    }
+
+    /// Add `delta` to the counter behind `id`.
+    #[inline]
+    pub fn bump(&mut self, id: CounterId, delta: u64) {
+        self.values[id.0 as usize] += delta;
+    }
+
+    /// Set the counter behind `id` to `value`.
+    #[inline]
+    pub fn store(&mut self, id: CounterId, value: u64) {
+        self.values[id.0 as usize] = value;
+    }
+
+    /// Current value of the counter behind `id`.
+    #[inline]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
     /// Set `name` to `value`, creating it if needed.
     pub fn set(&mut self, name: impl Into<String>, value: u64) {
-        self.values.insert(name.into(), value);
+        let id = self.counter(name);
+        self.store(id, value);
     }
 
     /// Add `delta` to `name`, creating it at zero if needed.
     pub fn add(&mut self, name: impl Into<String>, delta: u64) {
-        *self.values.entry(name.into()).or_insert(0) += delta;
+        let id = self.counter(name);
+        self.bump(id, delta);
     }
 
     /// Current value of `name` (0 when absent).
     pub fn value(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        match self.index.get(name) {
+            Some(&id) => self.values[id as usize],
+            None => 0,
+        }
     }
 
-    /// Freeze the current state into an immutable snapshot.
+    /// Number of interned counters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no counters have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Freeze the current state into an immutable snapshot. This is the
+    /// point where counter names are materialized (sorted) again.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            values: self.values.clone(),
+            values: self
+                .names
+                .iter()
+                .zip(&self.values)
+                .map(|(name, &value)| (name.clone(), value))
+                .collect(),
         }
     }
 }
@@ -106,11 +180,15 @@ impl Snapshot {
     }
 
     /// Sum of every counter matching `prefix.` (dotted-subtree total).
+    ///
+    /// Walks only the contiguous key range that can match — no dotted
+    /// prefix string is rebuilt and nothing is allocated per call.
     pub fn subtree_total(&self, prefix: &str) -> u64 {
-        let dotted = format!("{prefix}.");
+        use std::ops::Bound;
         self.values
-            .iter()
-            .filter(|(k, _)| k.starts_with(&dotted) || k.as_str() == prefix)
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter(|(k, _)| k.len() == prefix.len() || k.as_bytes()[prefix.len()] == b'.')
             .map(|(_, &v)| v)
             .sum()
     }
@@ -129,7 +207,7 @@ impl Snapshot {
             out.push('{');
             let mut first = true;
             if let (Some(v), false) = (node.value, node.children.is_empty()) {
-                out.push_str(&format!("\"_total\":{v}"));
+                let _ = write!(out, "\"_total\":{v}");
                 first = false;
             }
             for (name, child) in &node.children {
@@ -137,9 +215,9 @@ impl Snapshot {
                     out.push(',');
                 }
                 first = false;
-                out.push_str(&format!("\"{}\":", json_escape(name)));
+                let _ = write!(out, "\"{}\":", json_escape(name));
                 if child.children.is_empty() {
-                    out.push_str(&child.value.unwrap_or(0).to_string());
+                    let _ = write!(out, "{}", child.value.unwrap_or(0));
                 } else {
                     render(child, out);
                 }
@@ -260,6 +338,36 @@ mod tests {
         assert_eq!(reg.value("machine.accesses"), 15);
         assert_eq!(reg.value("machine.walks"), 2);
         assert_eq!(reg.value("absent"), 0);
+    }
+
+    #[test]
+    fn interned_counters_bump_and_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("machine.walks");
+        let b = reg.counter("machine.cycles");
+        assert_eq!(reg.counter("machine.walks"), a, "interning is idempotent");
+        reg.bump(a, 3);
+        reg.bump(a, 4);
+        reg.store(b, 100);
+        assert_eq!(reg.get(a), 7);
+        assert_eq!(reg.value("machine.walks"), 7);
+        // The string API shares the same slot as the interned handle.
+        reg.add("machine.walks", 1);
+        assert_eq!(reg.get(a), 8);
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("machine.walks"), 8);
+        assert_eq!(snap.value("machine.cycles"), 100);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn subtree_total_ignores_sibling_with_prefix_name() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("tlb", 2);
+        reg.set("tlb.l1_hits", 5);
+        reg.set("tlbx", 100);
+        reg.set("tla", 100);
+        assert_eq!(reg.snapshot().subtree_total("tlb"), 7);
     }
 
     #[test]

@@ -130,9 +130,14 @@ impl TraceSink for RingSink {
 /// readers ([`crate::TraceReader`]) refuse streams whose header declares a
 /// version they do not understand. The header does not count toward
 /// [`JsonlSink::written`], which tracks events only.
+///
+/// Output is buffered by the writer ([`JsonlSink::create`] wraps the file
+/// in a [`BufWriter`]) and explicitly flushed when the sink is dropped, so
+/// per-event tracing does not issue one small write per [`WalkEvent`] and
+/// no tail of events is lost if the owner forgets to flush.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    out: W,
+    out: Option<W>,
     written: u64,
     io_errors: u64,
 }
@@ -156,9 +161,22 @@ impl<W: Write> JsonlSink<W> {
         )
         .is_err();
         JsonlSink {
-            out,
+            out: Some(out),
             written: 0,
             io_errors: header_failed as u64,
+        }
+    }
+
+    /// Stream events to `out` *without* the schema header line.
+    ///
+    /// For writers whose output will be spliced into a stream that already
+    /// carries a header — e.g. per-worker trace buffers concatenated in
+    /// experiment order by the multi-threaded runner.
+    pub fn new_headerless(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out: Some(out),
+            written: 0,
+            io_errors: 0,
         }
     }
 
@@ -175,21 +193,33 @@ impl<W: Write> JsonlSink<W> {
 
     /// Flush and return the underlying writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+        let mut out = self.out.take().expect("writer already taken");
+        let _ = out.flush();
+        out
     }
 }
 
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn record(&mut self, event: &WalkEvent) {
-        match writeln!(self.out, "{}", event.to_json()) {
+        let Some(out) = self.out.as_mut() else { return };
+        match writeln!(out, "{}", event.to_json()) {
             Ok(()) => self.written += 1,
             Err(_) => self.io_errors += 1,
         }
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -247,6 +277,41 @@ mod tests {
         ring.record(&event(0));
         assert!(ring.is_empty());
         assert_eq!(ring.overwritten(), 1);
+    }
+
+    #[test]
+    fn headerless_sink_emits_no_header() {
+        let mut sink = JsonlSink::new_headerless(Vec::new());
+        sink.record(&event(5));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "no schema header line");
+        assert!(lines[0].contains("\"seq\":5"));
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct FlushProbe(Rc<Cell<bool>>);
+        impl Write for FlushProbe {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.0.set(true);
+                Ok(())
+            }
+        }
+
+        let flushed = Rc::new(Cell::new(false));
+        {
+            let mut sink = JsonlSink::new(FlushProbe(Rc::clone(&flushed)));
+            sink.record(&event(0));
+            assert!(!flushed.get(), "no eager flush while the sink is live");
+        }
+        assert!(flushed.get(), "drop must flush buffered output");
     }
 
     #[test]

@@ -145,7 +145,7 @@ fn registry_snapshot_reconciles_with_legacy_stats() {
         IsolationScheme::PmpTable,
         IsolationScheme::Hpmp,
     ] {
-        let sys = drive(scheme, NullSink, 16, 48);
+        let mut sys = drive(scheme, NullSink, 16, 48);
         let snap = sys.machine.metrics_snapshot();
         let stats = sys.machine.stats();
         let mem = sys.machine.mem_stats();
@@ -281,8 +281,8 @@ fn ring_sink_overflow_on_a_live_machine() {
 fn tracing_is_deterministic_null_vs_jsonl() {
     // The same workload under the zero-cost sink and the JSONL sink must
     // produce byte-identical simulation results: tracing cannot perturb.
-    let null_sys = drive(IsolationScheme::PmpTable, NullSink, 16, 48);
-    let json_sys = drive(
+    let mut null_sys = drive(IsolationScheme::PmpTable, NullSink, 16, 48);
+    let mut json_sys = drive(
         IsolationScheme::PmpTable,
         JsonlSink::new(Vec::new()),
         16,
