@@ -1,0 +1,265 @@
+//! Offline analysis of fault-campaign artifacts (`--campaign-out`).
+//!
+//! A campaign file is JSONL: one object per fault trial (keyed by
+//! `"class"`) followed by one summary object (keyed by `"spec"`). The
+//! analyzer re-tallies the trial records, cross-checks the embedded
+//! summary against the recount, and renders a per-class table. The
+//! verdict is fail-closed: any silent violation, failed recovery, or
+//! summary/record mismatch fails the analysis.
+
+use std::collections::BTreeMap;
+
+use hpmp_trace::json::{parse_json, JsonValue};
+
+/// Per-fault-class tallies recounted from trial records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassTally {
+    /// Trials that actually injected a fault of this class.
+    pub injected: u64,
+    /// Injected faults that were detected (denial, repair, or quarantine).
+    pub detected: u64,
+    /// Silent-violation count attributed to this class's trials.
+    pub silent: u64,
+    /// Trials skipped before injection (environment refused the fault).
+    pub skipped: u64,
+}
+
+/// The recounted view of one campaign artifact.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignAnalysis {
+    /// Trial records seen.
+    pub trials: u64,
+    /// Tallies keyed by class name, in lexical order.
+    pub classes: BTreeMap<String, ClassTally>,
+    /// Total fast-path grants the oracle denied.
+    pub silent: u64,
+    /// Total spurious denials (graceful degradation).
+    pub degraded: u64,
+    /// Total recovery paths that failed to restore service.
+    pub recovery_failures: u64,
+    /// Total TLB lookups rejected by the isolation epoch.
+    pub stale_rejects: u64,
+    /// The summary object's raw `pass` flag, if a summary line was present.
+    pub summary_pass: Option<bool>,
+    /// Mismatches between the summary object and the recount.
+    pub mismatches: Vec<String>,
+}
+
+impl CampaignAnalysis {
+    /// Parses a campaign JSONL artifact.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unparseable lines or records missing required fields —
+    /// schema errors, distinct from a failing campaign.
+    pub fn from_jsonl(text: &str) -> Result<CampaignAnalysis, String> {
+        let mut analysis = CampaignAnalysis::default();
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = parse_json(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+            let JsonValue::Object(obj) = value else {
+                return Err(format!("line {}: expected a JSON object", n + 1));
+            };
+            if obj.contains_key("class") {
+                analysis.absorb_trial(&obj, n + 1)?;
+            } else if obj.contains_key("spec") {
+                analysis.check_summary(&obj);
+            } else {
+                return Err(format!(
+                    "line {}: neither a trial record nor a summary",
+                    n + 1
+                ));
+            }
+        }
+        if analysis.trials == 0 {
+            return Err("no trial records found".into());
+        }
+        Ok(analysis)
+    }
+
+    fn absorb_trial(
+        &mut self,
+        obj: &BTreeMap<String, JsonValue>,
+        line: usize,
+    ) -> Result<(), String> {
+        let class = obj
+            .get("class")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {line}: class must be a string"))?
+            .to_string();
+        let flag = |key: &str| -> Result<bool, String> {
+            match obj.get(key) {
+                Some(JsonValue::Bool(b)) => Ok(*b),
+                _ => Err(format!("line {line}: {key} must be a boolean")),
+            }
+        };
+        let count = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("line {line}: {key} must be a u64"))
+        };
+        let injected = flag("injected")?;
+        let detected = flag("detected")?;
+        let silent = count("silent")?;
+        let tally = self.classes.entry(class).or_default();
+        if injected {
+            tally.injected += 1;
+            tally.detected += u64::from(detected);
+        } else {
+            tally.skipped += 1;
+        }
+        tally.silent += silent;
+        self.trials += 1;
+        self.silent += silent;
+        self.degraded += count("degraded")?;
+        self.stale_rejects += count("stale_rejects")?;
+        self.recovery_failures += u64::from(flag("recovery_failed")?);
+        Ok(())
+    }
+
+    fn check_summary(&mut self, obj: &BTreeMap<String, JsonValue>) {
+        if let Some(JsonValue::Bool(pass)) = obj.get("pass") {
+            self.summary_pass = Some(*pass);
+        }
+        let mut check = |name: &str, recounted: u64| {
+            if let Some(claimed) = obj.get(name).and_then(JsonValue::as_u64) {
+                if claimed != recounted {
+                    self.mismatches.push(format!(
+                        "summary claims {name}={claimed} but records tally {recounted}"
+                    ));
+                }
+            }
+        };
+        check("trials", self.trials);
+        check("silent", self.silent);
+        check("degraded", self.degraded);
+        check("recovery_failures", self.recovery_failures);
+        check("stale_rejects", self.stale_rejects);
+        if let Some(JsonValue::Object(injected)) = obj.get("injected") {
+            for (class, tally) in &self.classes {
+                if let Some(claimed) = injected.get(class.as_str()).and_then(JsonValue::as_u64) {
+                    if claimed != tally.injected {
+                        self.mismatches.push(format!(
+                            "summary claims injected.{class}={claimed} \
+                             but records tally {}",
+                            tally.injected
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fail-closed verdict over the recount: zero silent violations,
+    /// zero failed recoveries, no summary mismatch, and no summary that
+    /// itself says `pass: false`.
+    pub fn passed(&self) -> bool {
+        self.silent == 0
+            && self.recovery_failures == 0
+            && self.mismatches.is_empty()
+            && self.summary_pass != Some(false)
+    }
+
+    /// Renders the per-class table and verdict.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fault campaign: {} trials, {} classes",
+            self.trials,
+            self.classes.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>9} {:>9} {:>8} {:>7}",
+            "class", "injected", "detected", "skipped", "silent"
+        );
+        for (class, tally) in &self.classes {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>9} {:>9} {:>8} {:>7}",
+                class, tally.injected, tally.detected, tally.skipped, tally.silent
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  degraded accesses: {}, stale TLB rejects: {}, recovery failures: {}",
+            self.degraded, self.stale_rejects, self.recovery_failures
+        );
+        for mismatch in &self.mismatches {
+            let _ = writeln!(out, "  MISMATCH: {mismatch}");
+        }
+        let _ = writeln!(
+            out,
+            "  verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(class: &str, injected: bool, detected: bool, silent: u64) -> String {
+        format!(
+            "{{\"shard\":0,\"trial\":0,\"class\":\"{class}\",\"victim\":\"host\",\
+             \"detail\":\"d\",\"injected\":{injected},\"detected\":{detected},\
+             \"silent\":{silent},\"degraded\":0,\"stale_rejects\":1,\
+             \"recovery_failed\":false}}\n"
+        )
+    }
+
+    #[test]
+    fn tallies_and_passes_clean_campaign() {
+        let mut text = String::new();
+        text.push_str(&record("pmpte", true, true, 0));
+        text.push_str(&record("stale", true, true, 0));
+        text.push_str(&record("stale", false, false, 0));
+        text.push_str(
+            "{\"spec\":\"x\",\"seed\":1,\"shards\":1,\"trials\":3,\
+             \"injected\":{\"pmpte\":1,\"stale\":1,\"total\":2},\
+             \"detected\":{\"pmpte\":1,\"stale\":1},\"silent\":0,\"degraded\":0,\
+             \"recovery_failures\":0,\"stale_rejects\":3,\"pass\":true}\n",
+        );
+        let analysis = CampaignAnalysis::from_jsonl(&text).expect("parse");
+        assert!(analysis.passed(), "{}", analysis.render());
+        assert_eq!(analysis.trials, 3);
+        assert_eq!(analysis.classes["pmpte"].injected, 1);
+        assert_eq!(analysis.classes["stale"].skipped, 1);
+        assert!(analysis.render().contains("PASS"));
+    }
+
+    #[test]
+    fn silent_violation_fails() {
+        let text = record("regs", true, false, 1);
+        let analysis = CampaignAnalysis::from_jsonl(&text).expect("parse");
+        assert!(!analysis.passed());
+        assert!(analysis.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn summary_mismatch_fails() {
+        let mut text = record("regs", true, true, 0);
+        text.push_str(
+            "{\"spec\":\"x\",\"trials\":1,\"silent\":5,\"degraded\":0,\
+             \"recovery_failures\":0,\"stale_rejects\":1,\"pass\":true}\n",
+        );
+        let analysis = CampaignAnalysis::from_jsonl(&text).expect("parse");
+        assert!(!analysis.mismatches.is_empty());
+        assert!(!analysis.passed());
+    }
+
+    #[test]
+    fn schema_errors_are_reported() {
+        assert!(CampaignAnalysis::from_jsonl("").is_err());
+        assert!(CampaignAnalysis::from_jsonl("not json\n").is_err());
+        assert!(CampaignAnalysis::from_jsonl("{\"weird\":1}\n").is_err());
+        let missing = "{\"class\":\"regs\",\"injected\":true}\n";
+        assert!(CampaignAnalysis::from_jsonl(missing).is_err());
+    }
+}

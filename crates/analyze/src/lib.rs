@@ -12,12 +12,17 @@
 //!   virtualized) recomputed from event data alone;
 //! * [`diff`] — A/B differential reports: per-counter deltas, percent
 //!   change, and histogram percentile shifts between two runs;
-//! * [`gate`] — the regression gate CI runs against a committed baseline.
+//! * [`gate`] — the regression gate CI runs against a committed baseline;
+//! * [`campaign`] — fault-campaign artifact analysis (`--campaign-out`):
+//!   per-class injected/detected/silent tallies recounted from trial
+//!   records and cross-checked against the embedded summary.
 
+pub mod campaign;
 pub mod diff;
 pub mod gate;
 pub mod profile;
 
+pub use campaign::{CampaignAnalysis, ClassTally};
 pub use diff::{diff_snapshots, load_artifact, percentile_shifts, render_diff, Artifact};
 pub use gate::{gate, Finding, GateOutcome};
 pub use profile::{ColdWalk, EventRefs, IsolationShape, WalkProfile};

@@ -5,13 +5,14 @@
 //! hpmp-analyze diff <a.json> <b.json>
 //! hpmp-analyze gate --baseline <BENCH_seed.json> [--threshold 5%]
 //!                   [--report-only] <BENCH_current.json>
+//! hpmp-analyze campaign <campaign.jsonl>
 //! ```
 //!
 //! Exit codes: 0 — analysis clean; 1 — the analysis itself found a problem
 //! (invariant violation, claim mismatch, perf regression); 2 — usage,
 //! I/O, or schema error.
 
-use hpmp_analyze::{gate, load_artifact, profile::WalkProfile, render_diff};
+use hpmp_analyze::{gate, load_artifact, profile::WalkProfile, render_diff, CampaignAnalysis};
 use hpmp_trace::{read_trace_file, BenchReport};
 use std::process::ExitCode;
 
@@ -32,6 +33,12 @@ usage:
       Compare a --bench-out report against a committed baseline; exit 1
       on cycle / walk-reference / p99 regression beyond the threshold
       (default 5%). --report-only prints the verdict but always exits 0.
+
+  hpmp-analyze campaign <campaign.jsonl>
+      Analyze a fault-campaign artifact (hpmpsim --campaign-out):
+      per-class injected/detected/silent table recounted from the trial
+      records and cross-checked against the embedded summary; exit 1 on
+      any silent violation, recovery failure, or summary mismatch.
 ";
 
 fn fail_usage(message: &str) -> ExitCode {
@@ -159,6 +166,30 @@ fn cmd_gate(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail_usage("campaign takes exactly one campaign artifact");
+    };
+    let text = match read_to_string(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let analysis = match CampaignAnalysis::from_jsonl(&text) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            eprintln!("hpmp-analyze: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", analysis.render());
+    if analysis.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hpmp-analyze: campaign failed the fail-closed invariant");
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -166,6 +197,7 @@ fn main() -> ExitCode {
             "profile" => cmd_profile(rest),
             "diff" => cmd_diff(rest),
             "gate" => cmd_gate(rest),
+            "campaign" => cmd_campaign(rest),
             "--help" | "-h" | "help" => {
                 print!("{USAGE}");
                 ExitCode::SUCCESS

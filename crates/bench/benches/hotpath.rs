@@ -65,6 +65,7 @@ fn lookups(c: &mut Criterion) {
             page_perms: Perms::RW,
             isolation_perms: Perms::RWX,
             user: false,
+            epoch: 0,
         });
     }
     group.bench_function("tlb_hit", |b| {

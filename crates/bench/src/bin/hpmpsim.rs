@@ -8,6 +8,7 @@
 //!         [--encryption CYCLES] [--epmp]
 //!         [--trace-out walks.jsonl] [--metrics-out metrics.json]
 //!         [--bench-out BENCH_name.json]
+//!         [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]
 //! ```
 //!
 //! `--workload` accepts a comma-separated list; the workloads run on an
@@ -15,6 +16,16 @@
 //! parallelism), each with its own trace sink and metrics registry.
 //! Outputs are merged in the listed workload order, so they are
 //! byte-identical whatever the thread count.
+//!
+//! `--fault-campaign` switches to fault-injection mode instead of running a
+//! workload: the campaign's shards (part of the spec, not derived from
+//! `--jobs`) fan out over the same worker pool, each injecting seeded
+//! faults and checking every probed access against the monitor's lockstep
+//! permission oracle. The exit status is non-zero if any fast-path grant
+//! contradicted the oracle (`silent > 0`) or a recovery path failed.
+//! `--campaign-out` writes one JSON record per trial plus a final summary
+//! object; for a fixed `--fault-seed` the file and stdout are
+//! byte-identical at any `--jobs` level.
 //!
 //! `--trace-out` streams one JSON object per page walk (see
 //! `hpmp_trace::WalkEvent::to_json`); `--metrics-out` writes the unified
@@ -30,6 +41,7 @@ use std::io::Write as _;
 
 use hpmp_bench::run_ordered;
 use hpmp_core::PmptwCacheConfig;
+use hpmp_faults::{run_shard, CampaignReport, CampaignSpec};
 use hpmp_machine::MachineConfig;
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
@@ -50,6 +62,9 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     bench_out: Option<String>,
+    fault_campaign: Option<String>,
+    fault_seed: u64,
+    campaign_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -59,7 +74,10 @@ fn usage() -> ! {
          \x20              [--jobs N] [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]\n\
          \x20              [--encryption CYCLES] [--epmp]\n\
          \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]\n\
-         \x20              [--bench-out BENCH_name.json]"
+         \x20              [--bench-out BENCH_name.json]\n\
+         \x20              [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]\n\
+         SPEC: comma-separated key=value pairs, e.g.\n\
+         \x20    faults=1000,classes=pmpte+regs+stale+interpose,flavor=hpmp,domains=2,shards=8"
     );
     std::process::exit(2);
 }
@@ -78,6 +96,9 @@ fn parse_args() -> Options {
         trace_out: None,
         metrics_out: None,
         bench_out: None,
+        fault_campaign: None,
+        fault_seed: 0,
+        campaign_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -125,6 +146,15 @@ fn parse_args() -> Options {
             "--trace-out" => options.trace_out = Some(value("--trace-out")),
             "--metrics-out" => options.metrics_out = Some(value("--metrics-out")),
             "--bench-out" => options.bench_out = Some(value("--bench-out")),
+            "--fault-campaign" => options.fault_campaign = Some(value("--fault-campaign")),
+            "--fault-seed" => match value("--fault-seed").parse() {
+                Ok(n) => options.fault_seed = n,
+                Err(_) => {
+                    eprintln!("--fault-seed needs an unsigned integer");
+                    usage()
+                }
+            },
+            "--campaign-out" => options.campaign_out = Some(value("--campaign-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -167,6 +197,9 @@ const WORKLOADS: [&str; 7] = [
 
 fn main() {
     let options = parse_args();
+    if options.fault_campaign.is_some() {
+        run_fault_campaign(&options);
+    }
     println!(
         "hpmpsim: {} on {} running '{}' (pwc={:?}, pmptw-cache={:?}, inlining={}, \
          encryption={}c, entries={})",
@@ -280,6 +313,98 @@ fn main() {
         core.cycles_to_ns(cycles) / 1e6,
         core.clock_mhz
     );
+}
+
+/// Drives a fault-injection campaign over the worker pool and exits.
+///
+/// The shard count comes from the spec, not `--jobs`, and every shard is
+/// an independent seeded world, so the merged report (stdout and
+/// `--campaign-out` bytes) is identical at any parallelism.
+fn run_fault_campaign(options: &Options) -> ! {
+    let spec_text = options.fault_campaign.as_deref().unwrap_or_default();
+    let mut spec = CampaignSpec::parse(spec_text).unwrap_or_else(|e| {
+        eprintln!("bad --fault-campaign: {e}");
+        usage()
+    });
+    // `--flavor` applies unless the spec itself picked one.
+    if !spec_text.contains("flavor=") {
+        spec.flavor = options.flavor;
+    }
+    let jobs = options
+        .jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1);
+    println!(
+        "hpmpsim: fault campaign {} seed {} ({} shards over {} jobs)",
+        spec.canonical(),
+        options.fault_seed,
+        spec.shards,
+        jobs
+    );
+
+    let seed = options.fault_seed;
+    let shard_results = run_ordered(
+        spec.shards as usize,
+        jobs,
+        |i| run_shard(&spec, seed, i as u64),
+        |_| {},
+    );
+    let mut shards = Vec::new();
+    for result in shard_results {
+        match result {
+            Ok(report) => shards.push(report),
+            Err(e) => {
+                eprintln!("shard setup failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let report = CampaignReport::merge(&spec, seed, &shards);
+
+    if let Some(path) = &options.campaign_out {
+        let mut bytes = report.records.clone().into_bytes();
+        bytes.extend_from_slice(report.summary_json().as_bytes());
+        bytes.push(b'\n');
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  records      : {} trials -> {path}", report.trials);
+    }
+    if let Some(path) = &options.metrics_out {
+        let mut registry = hpmp_trace::MetricsRegistry::new();
+        report.export(&mut registry);
+        if let Err(e) = std::fs::write(path, registry.snapshot().to_json_versioned()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  metrics      : -> {path}");
+    }
+    println!(
+        "  injected     : {} faults over {} trials",
+        report.total_injected(),
+        report.trials
+    );
+    println!(
+        "  detected     : {} (degraded accesses: {}, stale TLB rejects: {})",
+        report.detected.iter().sum::<u64>(),
+        report.degraded,
+        report.stale_rejects
+    );
+    println!(
+        "  silent       : {} (recovery failures: {})",
+        report.silent, report.recovery_failures
+    );
+    println!("  summary      : {}", report.summary_json());
+    println!(
+        "  verdict      : {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    std::process::exit(if report.passed() { 0 } else { 1 });
 }
 
 /// Everything one workload produced, buffered for in-order merging.

@@ -678,7 +678,8 @@ fn fig14<S: TraceSink>(sink: &mut S) -> Snapshot {
     for &mib in &[1u64, 2, 4, 8, 16, 32, 64] {
         let mut machine = hpmp_machine::Machine::with_sink(MachineConfig::rocket(), &mut *sink);
         let ram = hpmp_core::PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
-        let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, ram);
+        let mut monitor =
+            SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, ram).expect("monitor boots");
         let (_, cycles) = monitor
             .alloc_region(&mut machine, DomainId::HOST, mib << 20, GmsLabel::Slow)
             .expect("alloc");
@@ -697,7 +698,7 @@ fn switch_cost<S: TraceSink>(
 ) -> Result<u64, MonitorError> {
     let mut machine = hpmp_machine::Machine::with_sink(MachineConfig::rocket(), sink);
     let ram = hpmp_core::PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
-    let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
+    let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram).expect("monitor boots");
     let mut first = None;
     for _ in 0..domains.saturating_sub(1) {
         let (id, _) = monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow)?;
@@ -716,7 +717,7 @@ fn region_cycle_series<S: TraceSink>(
 ) -> (Vec<u64>, Vec<u64>) {
     let mut machine = hpmp_machine::Machine::with_sink(MachineConfig::rocket(), sink);
     let ram = hpmp_core::PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
-    let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
+    let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram).expect("monitor boots");
     let mut allocs = Vec::new();
     let mut bases = Vec::new();
     for _ in 0..count {

@@ -60,6 +60,10 @@ pub enum HpmpError {
     RegionTooLarge,
     /// The successor entry is in use as a matching entry.
     PointerSlotBusy(usize),
+    /// Entry `idx` holds an encoding a legal WARL write could never have
+    /// produced (corrupted register state, reserved table-pointer mode, or
+    /// table mode on the last entry).
+    MalformedEntry(usize),
 }
 
 impl std::fmt::Display for HpmpError {
@@ -72,6 +76,9 @@ impl std::fmt::Display for HpmpError {
             HpmpError::RegionTooLarge => f.write_str("region exceeds PMP-table reach"),
             HpmpError::PointerSlotBusy(i) => {
                 write!(f, "entry {i} needed as table pointer but is active")
+            }
+            HpmpError::MalformedEntry(i) => {
+                write!(f, "HPMP entry {i} holds a malformed encoding")
             }
         }
     }
@@ -96,6 +103,10 @@ pub struct CheckOutcome {
     /// `Bypass` when a table walk ran with the cache disabled or at a
     /// depth it does not cover.
     pub pmptw: Option<PmptwOutcome>,
+    /// `true` if the check decoded a malformed encoding — a corrupt pmpte,
+    /// a reserved table-pointer mode, a corrupt config register — and
+    /// therefore failed closed (`allowed` is then always `false`).
+    pub malformed: bool,
 }
 
 impl CheckOutcome {
@@ -106,6 +117,15 @@ impl CheckOutcome {
             matched_entry: None,
             refs: Vec::new(),
             pmptw: None,
+            malformed: false,
+        }
+    }
+
+    fn denied_malformed(entry: usize) -> CheckOutcome {
+        CheckOutcome {
+            matched_entry: Some(entry),
+            malformed: true,
+            ..CheckOutcome::denied()
         }
     }
 }
@@ -242,6 +262,20 @@ impl HpmpRegFile {
         self.cfg[idx] = cfg;
         self.csr_writes += 1;
         Ok(())
+    }
+
+    /// Restores an entry to known-good register values, ignoring the lock
+    /// bit — the monitor's corruption-recovery path. A physically corrupted
+    /// config byte can have a spurious `L` set, which would wedge the
+    /// ordinary WARL writes; recovery must be able to overwrite it anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn force_restore(&mut self, idx: usize, addr: u64, cfg: PmpConfig) {
+        self.addr[idx] = addr;
+        self.cfg[idx] = cfg;
+        self.csr_writes += 2;
     }
 
     /// Configures entry `idx` as a segment covering `region` with `perms`.
@@ -383,6 +417,11 @@ impl HpmpRegFile {
             }
             // Lowest-numbered matching entry decides.
             let cfg = self.cfg[idx];
+            if cfg.is_malformed() {
+                // A legal WARL write can never set the reserved bit; this is
+                // physically corrupted register state. Fail closed.
+                return CheckOutcome::denied_malformed(idx);
+            }
             if mode == PrivMode::Machine && !cfg.locked() {
                 return CheckOutcome {
                     allowed: true,
@@ -390,6 +429,7 @@ impl HpmpRegFile {
                     matched_entry: Some(idx),
                     refs: Vec::new(),
                     pmptw: None,
+                    malformed: false,
                 };
             }
             if !cfg.table_mode() {
@@ -400,14 +440,21 @@ impl HpmpRegFile {
                     matched_entry: Some(idx),
                     refs: Vec::new(),
                     pmptw: None,
+                    malformed: false,
                 };
+            }
+            if idx == self.len() - 1 {
+                // Table mode on the last entry has no pointer slot: only
+                // register corruption can produce it. Fail closed.
+                return CheckOutcome::denied_malformed(idx);
             }
             // Table mode: walk the PMP Table via the next entry's pointer.
             let Some((root, levels)) = table_pointer_decode(self.addr[idx + 1]) else {
-                return CheckOutcome::denied();
+                // The reserved `Mode` encoding: malformed pointer register.
+                return CheckOutcome::denied_malformed(idx);
             };
             let offset = addr.offset_from(region.base);
-            let (perms, refs, pmptw) =
+            let (perms, refs, pmptw, malformed) =
                 walk_with_cache(mem, cache, idx, root, levels, region.base, addr, offset);
             let perms = perms.unwrap_or(Perms::NONE);
             return CheckOutcome {
@@ -416,6 +463,7 @@ impl HpmpRegFile {
                 matched_entry: Some(idx),
                 refs,
                 pmptw: Some(pmptw),
+                malformed,
             };
         }
         // No entry matched: M-mode has default full access, S/U none.
@@ -426,10 +474,57 @@ impl HpmpRegFile {
                 matched_entry: None,
                 refs: Vec::new(),
                 pmptw: None,
+                malformed: false,
             }
         } else {
             CheckOutcome::denied()
         }
+    }
+
+    /// Validates every entry against the WARL invariants a legal
+    /// configuration respects, returning the first violation: a reserved
+    /// config bit, table mode on the last entry, or a reserved
+    /// table-pointer `Mode`. The monitor scrubs with this after suspected
+    /// register corruption.
+    pub fn validate(&self) -> Result<(), HpmpError> {
+        for idx in 0..self.len() {
+            let cfg = self.cfg[idx];
+            if cfg.is_malformed() {
+                return Err(HpmpError::MalformedEntry(idx));
+            }
+            if cfg.table_mode() {
+                if idx == self.len() - 1 {
+                    return Err(HpmpError::MalformedEntry(idx));
+                }
+                if cfg.address_mode() != AddressMode::Off
+                    && table_pointer_decode(self.addr[idx + 1]).is_none()
+                {
+                    return Err(HpmpError::MalformedEntry(idx + 1));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// XORs `mask` into address register `idx`, bypassing every WARL and
+    /// lock check — fault injection's model of a physical register upset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn corrupt_addr(&mut self, idx: usize, mask: u64) {
+        self.addr[idx] ^= mask;
+    }
+
+    /// XORs `mask` into config register `idx`, bypassing every WARL and
+    /// lock check (including the reserved bit 6 and the last-entry T-bit
+    /// rule) — fault injection's model of a physical register upset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn corrupt_cfg(&mut self, idx: usize, mask: u8) {
+        self.cfg[idx] = PmpConfig::from_raw_bits(self.cfg[idx].to_bits() ^ mask);
     }
 }
 
@@ -444,7 +539,7 @@ fn walk_with_cache(
     region_base: PhysAddr,
     addr: PhysAddr,
     offset: u64,
-) -> (Option<Perms>, Vec<PmptRef>, PmptwOutcome) {
+) -> (Option<Perms>, Vec<PmptRef>, PmptwOutcome, bool) {
     let cache_covers = !cache.is_disabled() && levels == TableLevels::Two;
     if cache_covers {
         // Fast path: leaf pmpte cached => zero references.
@@ -453,35 +548,47 @@ fn walk_with_cache(
                 (!perms.is_empty()).then_some(perms),
                 Vec::new(),
                 PmptwOutcome::LeafHit,
+                false,
             );
         }
         // Root pmpte cached => one reference (the leaf read).
         if let Some(root_pmpte) = cache.lookup_root(entry_idx, offset) {
             if !root_pmpte.is_valid() {
-                return (None, Vec::new(), PmptwOutcome::RootHit);
+                return (None, Vec::new(), PmptwOutcome::RootHit, false);
             }
             if root_pmpte.is_huge() {
-                return (Some(root_pmpte.perms()), Vec::new(), PmptwOutcome::RootHit);
+                return (
+                    Some(root_pmpte.perms()),
+                    Vec::new(),
+                    PmptwOutcome::RootHit,
+                    false,
+                );
             }
             let split = TableOffset::split(offset);
             let leaf_slot = PhysAddr::new(root_pmpte.leaf_table().raw() + split.off0 * 8);
-            let leaf = LeafPmpte::from_bits(mem.read_u64(leaf_slot));
+            let leaf_ref = vec![PmptRef {
+                is_root: false,
+                addr: leaf_slot,
+            }];
+            let Ok(leaf) = LeafPmpte::decode(mem.read_u64(leaf_slot)) else {
+                // Corrupt leaf behind a cached root: fail closed, uncached.
+                return (None, leaf_ref, PmptwOutcome::RootHit, true);
+            };
             cache.insert_leaf(entry_idx, offset, leaf);
             let perms = leaf.perm(split.page_index);
             return (
                 (!perms.is_empty()).then_some(perms),
-                vec![PmptRef {
-                    is_root: false,
-                    addr: leaf_slot,
-                }],
+                leaf_ref,
                 PmptwOutcome::RootHit,
+                false,
             );
         }
         cache.record_miss();
     }
     let walk = table::walk_from_root(mem, root, levels, region_base, addr, offset);
-    // Refill the cache from the full walk.
-    if cache_covers {
+    // Refill the cache from the full walk — but never cache a malformed
+    // walk's entries: a corrupt pmpte must stay visible to every re-check.
+    if cache_covers && !walk.malformed {
         for r in &walk.refs {
             if r.is_root {
                 cache.insert_root(
@@ -503,7 +610,7 @@ fn walk_with_cache(
     } else {
         PmptwOutcome::Bypass
     };
-    (walk.perms, walk.refs, outcome)
+    (walk.perms, walk.refs, outcome, walk.malformed)
 }
 
 #[cfg(test)]
@@ -742,6 +849,112 @@ mod tests {
         );
         assert_eq!(near.refs.len(), 1);
         assert_eq!(near.pmptw, Some(PmptwOutcome::RootHit));
+    }
+
+    #[test]
+    fn corrupt_config_register_fails_closed() {
+        let mut regs = HpmpRegFile::new();
+        regs.configure_segment(
+            0,
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000),
+            Perms::RWX,
+        )
+        .unwrap();
+        assert!(regs.validate().is_ok());
+        // Flip the reserved bit: a state no WARL write can reach.
+        regs.corrupt_cfg(0, 1 << 6);
+        assert_eq!(regs.validate(), Err(HpmpError::MalformedEntry(0)));
+        let mem = PhysMem::new();
+        let mut cache = PmptwCache::disabled();
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x8000_0800),
+            AccessKind::Read,
+            S,
+        );
+        assert!(!out.allowed && out.malformed);
+        // Flipping it back restores the entry.
+        regs.corrupt_cfg(0, 1 << 6);
+        assert!(regs.validate().is_ok());
+    }
+
+    #[test]
+    fn table_mode_on_last_entry_fails_closed() {
+        let mut regs = HpmpRegFile::new();
+        regs.configure_segment(
+            15,
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000),
+            Perms::RWX,
+        )
+        .unwrap();
+        regs.corrupt_cfg(15, 1 << 5); // force the T bit the WARL path forbids
+        assert_eq!(regs.validate(), Err(HpmpError::MalformedEntry(15)));
+        let mem = PhysMem::new();
+        let mut cache = PmptwCache::disabled();
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x8000_0800),
+            AccessKind::Read,
+            S,
+        );
+        assert!(
+            !out.allowed && out.malformed,
+            "must not index past the file"
+        );
+    }
+
+    #[test]
+    fn reserved_pointer_mode_fails_closed() {
+        let (mem, _table, mut regs) = table_fixture();
+        // Corrupt the pointer register's Mode field to the reserved encoding.
+        let mode = regs.addr_reg(1) >> 62;
+        regs.corrupt_addr(1, (mode ^ 3) << 62);
+        assert_eq!(regs.addr_reg(1) >> 62, 3);
+        assert_eq!(regs.validate(), Err(HpmpError::MalformedEntry(1)));
+        let mut cache = PmptwCache::disabled();
+        let out = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9000_2000),
+            AccessKind::Read,
+            S,
+        );
+        assert!(!out.allowed && out.malformed);
+    }
+
+    #[test]
+    fn corrupt_pmpte_fails_closed_even_behind_cached_root() {
+        let (mut mem, table, regs) = table_fixture();
+        let mut cache = PmptwCache::new(PmptwCacheConfig::ENABLED_8);
+        let addr = PhysAddr::new(0x9000_2abc);
+        let cold = regs.check(&mem, &mut cache, addr, AccessKind::Read, S);
+        assert!(cold.allowed);
+        let leaf_slot = cold.refs[1].addr;
+        // Corrupt the leaf pmpte in DRAM, then look at a *different* page of
+        // the same 32 MiB slice so the root stays cached but the leaf is
+        // re-read from memory.
+        mem.write_u64(leaf_slot, mem.read_u64(leaf_slot) ^ (1 << 9));
+        cache.flush_all();
+        let warm = regs.check(&mem, &mut cache, addr, AccessKind::Read, S);
+        assert!(!warm.allowed && warm.malformed, "uncached path");
+        // Prime the root again via a clean sibling span, then hit the
+        // corrupt leaf through the root-hit path.
+        let sibling = regs.check(
+            &mem,
+            &mut cache,
+            PhysAddr::new(0x9001_2000),
+            AccessKind::Read,
+            S,
+        );
+        assert!(!sibling.allowed); // unmapped sibling, but primes the root
+        let via_root = regs.check(&mem, &mut cache, addr, AccessKind::Read, S);
+        assert!(
+            !via_root.allowed && via_root.malformed,
+            "root-hit path must validate the leaf read"
+        );
+        let _ = table;
     }
 
     #[test]

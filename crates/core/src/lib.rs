@@ -46,6 +46,7 @@ pub use iopmp::{DeviceId, IoCheckOutcome, IoPmp, IoPmpEntry, IoPmpMode};
 pub use pmp::{napot_decode, napot_encode, AddressMode, PmpConfig, PmpRegion};
 pub use ptw_cache::{PmptwCache, PmptwCacheConfig, PmptwCacheStats, PmptwCacheStatsIds};
 pub use table::{
-    FillPolicy, LeafPmpte, PmpTable, PmptRef, RootPmpte, TableError, TableFrameSource, TableLevels,
-    TableOffset, TableWalk, LEAF_PMPTE_SPAN, LEAF_TABLE_SPAN, ROOT_TABLE_SPAN,
+    FillPolicy, LeafPmpte, MalformedPmpte, PmpTable, PmptRef, RootPmpte, TableError,
+    TableFrameSource, TableLevels, TableOffset, TableWalk, LEAF_PMPTE_SPAN, LEAF_TABLE_SPAN,
+    ROOT_TABLE_SPAN,
 };

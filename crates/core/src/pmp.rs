@@ -79,6 +79,19 @@ impl PmpConfig {
         }
     }
 
+    /// Decodes a raw config byte **without** the WARL masking of the
+    /// reserved bit — how fault injection plants physically corrupted
+    /// register state that [`PmpConfig::is_malformed`] then flags.
+    pub const fn from_raw_bits(bits: u8) -> PmpConfig {
+        PmpConfig { bits }
+    }
+
+    /// True if the encoding could not have been produced by a legal WARL
+    /// write (the reserved bit 6 reads non-zero).
+    pub const fn is_malformed(self) -> bool {
+        self.bits & (1 << 6) != 0
+    }
+
     /// Raw byte encoding.
     pub const fn to_bits(self) -> u8 {
         self.bits

@@ -9,6 +9,12 @@
 //! The cache is *disabled by default* (entries = 0), matching the paper's
 //! methodology ("We disable PMPTW-Cache by default, and will analyze the
 //! benefits of caching in §8.9").
+//!
+//! Every cached pmpte is stamped with the **isolation epoch** current at
+//! insert time. The monitor bumps the epoch as part of committing any
+//! permission change, *before* issuing the (droppable) flush, so an entry
+//! surviving a suppressed invalidation can never satisfy a lookup: a stale
+//! stamp reads as a miss and forces a fresh walk.
 
 use hpmp_memsim::Perms;
 
@@ -43,6 +49,9 @@ pub struct PmptwCacheStats {
     pub root_hits: u64,
     /// Checks that found nothing cached.
     pub misses: u64,
+    /// Lookups that matched an entry from a previous isolation epoch — a
+    /// dropped invalidation caught by the epoch stamp.
+    pub stale: u64,
 }
 
 impl PmptwCacheStats {
@@ -58,6 +67,7 @@ impl PmptwCacheStats {
         reg.store(ids.leaf_hits, self.leaf_hits);
         reg.store(ids.root_hits, self.root_hits);
         reg.store(ids.misses, self.misses);
+        reg.store(ids.stale, self.stale);
     }
 }
 
@@ -68,6 +78,7 @@ pub struct PmptwCacheStatsIds {
     leaf_hits: hpmp_trace::CounterId,
     root_hits: hpmp_trace::CounterId,
     misses: hpmp_trace::CounterId,
+    stale: hpmp_trace::CounterId,
 }
 
 impl PmptwCacheStatsIds {
@@ -77,6 +88,7 @@ impl PmptwCacheStatsIds {
             leaf_hits: reg.counter(format!("{prefix}.leaf_hits")),
             root_hits: reg.counter(format!("{prefix}.root_hits")),
             misses: reg.counter(format!("{prefix}.misses")),
+            stale: reg.counter(format!("{prefix}.stale")),
         }
     }
 }
@@ -99,6 +111,8 @@ enum CachedEntry {
 struct Slot {
     entry: CachedEntry,
     lru: u64,
+    /// Isolation epoch at insert time; entries from older epochs never hit.
+    epoch: u64,
 }
 
 /// The PMPTW-Cache.
@@ -110,6 +124,7 @@ pub struct PmptwCache {
     config: PmptwCacheConfig,
     slots: Vec<Slot>,
     clock: u64,
+    epoch: u64,
     stats: PmptwCacheStats,
 }
 
@@ -120,6 +135,7 @@ impl PmptwCache {
             config,
             slots: Vec::with_capacity(config.entries),
             clock: 0,
+            epoch: 0,
             stats: PmptwCacheStats::default(),
         }
     }
@@ -146,10 +162,15 @@ impl PmptwCache {
         let page_index = ((offset >> 12) & 0xf) as usize;
         self.clock += 1;
         let clock = self.clock;
+        let epoch = self.epoch;
         let slot = self.slots.iter_mut().find(|s| {
             matches!(s.entry,
                 CachedEntry::Leaf { entry_idx: e, span: sp, .. } if e == entry_idx && sp == span)
         })?;
+        if slot.epoch != epoch {
+            self.stats.stale += 1;
+            return None;
+        }
         slot.lru = clock;
         let CachedEntry::Leaf { pmpte, .. } = slot.entry else {
             unreachable!()
@@ -163,10 +184,15 @@ impl PmptwCache {
         let slice = offset >> 25;
         self.clock += 1;
         let clock = self.clock;
+        let epoch = self.epoch;
         let slot = self.slots.iter_mut().find(|s| {
             matches!(s.entry,
                 CachedEntry::Root { entry_idx: e, slice: sl, .. } if e == entry_idx && sl == slice)
         })?;
+        if slot.epoch != epoch {
+            self.stats.stale += 1;
+            return None;
+        }
         slot.lru = clock;
         let CachedEntry::Root { pmpte, .. } = slot.entry else {
             unreachable!()
@@ -201,6 +227,19 @@ impl PmptwCache {
     /// Drops everything (on any PMP-Table or HPMP-register update).
     pub fn flush_all(&mut self) {
         self.slots.clear();
+    }
+
+    /// Advances the isolation epoch: every currently cached pmpte becomes
+    /// unhittable even if the subsequent flush is dropped by a fault. The
+    /// monitor calls this as part of *committing* a permission change, the
+    /// flush being only the cleanup half.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The current isolation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Hit/miss counters.
@@ -247,12 +286,18 @@ impl PmptwCache {
             ) => a == c && b == d,
             _ => false,
         };
+        let epoch = self.epoch;
         if let Some(slot) = self.slots.iter_mut().find(|s| same_key(&s.entry)) {
             slot.entry = entry;
             slot.lru = clock;
+            slot.epoch = epoch;
             return;
         }
-        let slot = Slot { entry, lru: clock };
+        let slot = Slot {
+            entry,
+            lru: clock,
+            epoch,
+        };
         if self.slots.len() < self.config.entries {
             self.slots.push(slot);
         } else {
@@ -333,6 +378,23 @@ mod tests {
         assert_eq!(s.misses, 1);
         c.reset_stats();
         assert_eq!(c.stats(), PmptwCacheStats::default());
+    }
+
+    #[test]
+    fn stale_epoch_entries_never_hit() {
+        let mut c = PmptwCache::new(PmptwCacheConfig::ENABLED_8);
+        c.insert_leaf(0, 0, LeafPmpte::splat(Perms::RW));
+        c.insert_root(1, 0, RootPmpte::huge(Perms::RW));
+        // Epoch bump with the flush dropped: entries survive physically but
+        // must read as misses.
+        c.advance_epoch();
+        assert_eq!(c.lookup_leaf(0, 0), None);
+        assert_eq!(c.lookup_root(1, 0), None);
+        assert_eq!(c.stats().stale, 2);
+        // Re-inserting under the new epoch hits again.
+        c.insert_leaf(0, 0, LeafPmpte::splat(Perms::READ));
+        assert_eq!(c.lookup_leaf(0, 0), Some(Perms::READ));
+        assert_eq!(c.epoch(), 1);
     }
 
     #[test]

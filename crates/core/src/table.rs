@@ -14,6 +14,20 @@
 //! paper's sizing argument. The offset split (Figure 6-e) is
 //! `OFF[1] = offset[33:25]`, `OFF[0] = offset[24:16]`,
 //! `PageIndex = offset[15:12]`, `PageOffset = offset[11:0]`.
+//!
+//! ## Integrity encoding
+//!
+//! pmptes live in attacker-adjacent DRAM, so both formats dedicate their
+//! reserved bits to an even-parity code the walker checks on every decode:
+//!
+//! * each leaf nibble's bit 3 is the parity of its three permission bits,
+//!   so every nibble has even parity;
+//! * a root pmpte's bit 63 is the parity of bits 0–62, and the remaining
+//!   reserved bits (4–12 and 49–62) must read zero.
+//!
+//! The all-zero encoding stays valid (an invalid/deny-all entry), and any
+//! single-bit corruption of a stored pmpte is guaranteed to decode as
+//! [`MalformedPmpte`] — the walker then fails closed instead of granting.
 
 use hpmp_memsim::{Perms, PhysAddr, WordStore, PAGE_SHIFT, PAGE_SIZE};
 
@@ -90,11 +104,37 @@ impl TableLevels {
     }
 }
 
+/// Why a raw pmpte failed validation (see the module-level integrity
+/// encoding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MalformedPmpte {
+    /// Reserved bits of a root pmpte read non-zero.
+    ReservedBits(u64),
+    /// The parity code does not match the payload bits.
+    ParityMismatch(u64),
+}
+
+impl std::fmt::Display for MalformedPmpte {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MalformedPmpte::ReservedBits(bits) => {
+                write!(f, "pmpte {bits:#018x} has reserved bits set")
+            }
+            MalformedPmpte::ParityMismatch(bits) => {
+                write!(f, "pmpte {bits:#018x} fails its parity check")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MalformedPmpte {}
+
 /// A decoded root pmpte (Figure 6-c).
 ///
 /// `V = 0` means invalid (access fails). With `V = 1`, all-zero R/W/X makes
 /// the entry a pointer to a leaf table; otherwise the R/W/X bits are the
-/// final ("huge") permission for the whole 32 MiB slice.
+/// final ("huge") permission for the whole 32 MiB slice. Bit 63 carries the
+/// parity of bits 0–62; bits 4–12 and 49–62 are reserved-zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct RootPmpte {
     bits: u64,
@@ -107,13 +147,40 @@ impl RootPmpte {
     const X: u64 = 1 << 3;
     const PPN_SHIFT: u32 = 13;
     const PPN_MASK: u64 = (1 << 36) - 1;
+    const PARITY: u64 = 1 << 63;
+    /// Bits 4–12 and 49–62: neither flag, PPN, nor parity.
+    const RESERVED: u64 = !(Self::V
+        | Self::R
+        | Self::W
+        | Self::X
+        | (Self::PPN_MASK << Self::PPN_SHIFT)
+        | Self::PARITY);
 
     /// The invalid entry.
     pub const INVALID: RootPmpte = RootPmpte { bits: 0 };
 
-    /// Decodes a raw entry.
+    /// Decodes a raw entry without validation (hardware never stores a
+    /// malformed pmpte; use [`RootPmpte::decode`] for bits read back from
+    /// DRAM).
     pub const fn from_bits(bits: u64) -> RootPmpte {
         RootPmpte { bits }
+    }
+
+    /// Decodes and validates a raw entry read from memory, rejecting
+    /// reserved-bit and parity violations.
+    pub const fn decode(bits: u64) -> Result<RootPmpte, MalformedPmpte> {
+        if bits & Self::RESERVED != 0 {
+            return Err(MalformedPmpte::ReservedBits(bits));
+        }
+        if bits.count_ones() & 1 != 0 {
+            return Err(MalformedPmpte::ParityMismatch(bits));
+        }
+        Ok(RootPmpte { bits })
+    }
+
+    /// True if the raw encoding violates the integrity code.
+    pub const fn is_malformed(self) -> bool {
+        self.bits & Self::RESERVED != 0 || self.bits.count_ones() & 1 != 0
     }
 
     /// Raw encoding.
@@ -121,10 +188,17 @@ impl RootPmpte {
         self.bits
     }
 
+    /// Sets bit 63 so the whole word has even parity.
+    const fn sealed(bits: u64) -> u64 {
+        bits | (((bits & !Self::PARITY).count_ones() as u64 & 1) << 63)
+    }
+
     /// Builds a pointer to the leaf table page at `leaf`.
     pub fn pointer(leaf: PhysAddr) -> RootPmpte {
         RootPmpte {
-            bits: Self::V | ((leaf.page_number() & Self::PPN_MASK) << Self::PPN_SHIFT),
+            bits: Self::sealed(
+                Self::V | ((leaf.page_number() & Self::PPN_MASK) << Self::PPN_SHIFT),
+            ),
         }
     }
 
@@ -148,7 +222,9 @@ impl RootPmpte {
         if perms.can_exec() {
             bits |= Self::X;
         }
-        RootPmpte { bits }
+        RootPmpte {
+            bits: Self::sealed(bits),
+        }
     }
 
     /// True if the V bit is set.
@@ -183,15 +259,41 @@ impl RootPmpte {
 }
 
 /// A decoded leaf pmpte (Figure 6-d): sixteen 4-bit permission nibbles.
+/// Each nibble's bit 3 is the parity of its three permission bits.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct LeafPmpte {
     bits: u64,
 }
 
 impl LeafPmpte {
-    /// Decodes a raw entry.
+    /// Encodes one permission nibble with its parity bit.
+    const fn nibble(perms: Perms) -> u64 {
+        let p = perms.bits() as u64;
+        p | (((p ^ (p >> 1) ^ (p >> 2)) & 1) << 3)
+    }
+
+    /// Decodes a raw entry without validation (use [`LeafPmpte::decode`]
+    /// for bits read back from DRAM).
     pub const fn from_bits(bits: u64) -> LeafPmpte {
         LeafPmpte { bits }
+    }
+
+    /// Decodes and validates a raw entry read from memory: every nibble
+    /// must have even parity.
+    pub const fn decode(bits: u64) -> Result<LeafPmpte, MalformedPmpte> {
+        let entry = LeafPmpte { bits };
+        if entry.is_malformed() {
+            return Err(MalformedPmpte::ParityMismatch(bits));
+        }
+        Ok(entry)
+    }
+
+    /// True if any nibble violates its parity bit.
+    pub const fn is_malformed(self) -> bool {
+        // Fold each nibble onto its own low bit: a nibble with odd parity
+        // leaves a 1 behind.
+        let folded = self.bits ^ (self.bits >> 1) ^ (self.bits >> 2) ^ (self.bits >> 3);
+        folded & 0x1111_1111_1111_1111 != 0
     }
 
     /// Raw encoding.
@@ -218,13 +320,13 @@ impl LeafPmpte {
         assert!(index < 16, "leaf pmpte holds 16 page permissions");
         let shift = index * 4;
         LeafPmpte {
-            bits: (self.bits & !(0xf << shift)) | ((perms.bits() as u64) << shift),
+            bits: (self.bits & !(0xf << shift)) | (Self::nibble(perms) << shift),
         }
     }
 
     /// Builds a pmpte with the same permission for all 16 pages.
     pub fn splat(perms: Perms) -> LeafPmpte {
-        let nibble = perms.bits() as u64;
+        let nibble = Self::nibble(perms);
         let mut bits = 0;
         for i in 0..16 {
             bits |= nibble << (i * 4);
@@ -288,6 +390,9 @@ pub enum TableError {
     Misaligned(PhysAddr),
     /// The address is outside the region the table protects.
     OutsideRegion(PhysAddr),
+    /// A pmpte read back from DRAM failed its integrity check; the address
+    /// is the corrupt slot.
+    CorruptEntry(PhysAddr),
 }
 
 impl std::fmt::Display for TableError {
@@ -302,6 +407,9 @@ impl std::fmt::Display for TableError {
             TableError::OutOfTableFrames => f.write_str("out of PMP-table frames"),
             TableError::Misaligned(pa) => write!(f, "address {pa} not page aligned"),
             TableError::OutsideRegion(pa) => write!(f, "address {pa} outside protected region"),
+            TableError::CorruptEntry(pa) => {
+                write!(f, "pmpte at {pa} failed its integrity check")
+            }
         }
     }
 }
@@ -324,6 +432,9 @@ pub struct TableWalk {
     pub refs: Vec<PmptRef>,
     /// The permission found, or `None` if the walk hit an invalid entry.
     pub perms: Option<Perms>,
+    /// `true` if the walk read a pmpte that failed its integrity check
+    /// (`perms` is then `None`: the walker fails closed).
+    pub malformed: bool,
 }
 
 /// A 2-level PMP Table protecting one contiguous region.
@@ -437,7 +548,8 @@ impl PmpTable {
         for level in (1..self.levels.depth()).rev() {
             let idx = (offset >> TableLevels::index_shift(level)) & 0x1ff;
             let slot = PhysAddr::new(table.raw() + idx * 8);
-            let entry = RootPmpte::from_bits(mem.read_u64(slot));
+            let entry = RootPmpte::decode(mem.read_u64(slot))
+                .map_err(|_| TableError::CorruptEntry(slot))?;
             table = if entry.is_pointer() {
                 entry.leaf_table()
             } else {
@@ -462,7 +574,8 @@ impl PmpTable {
             };
         }
         let leaf_slot = PhysAddr::new(table.raw() + split.off0 * 8);
-        let leaf = LeafPmpte::from_bits(mem.read_u64(leaf_slot));
+        let leaf = LeafPmpte::decode(mem.read_u64(leaf_slot))
+            .map_err(|_| TableError::CorruptEntry(leaf_slot))?;
         mem.write_u64(leaf_slot, leaf.with_perm(split.page_index, perms).to_bits());
         Ok(())
     }
@@ -496,7 +609,8 @@ impl PmpTable {
         for level in (2..self.levels.depth()).rev() {
             let idx = (offset >> TableLevels::index_shift(level)) & 0x1ff;
             let slot = PhysAddr::new(table.raw() + idx * 8);
-            let entry = RootPmpte::from_bits(mem.read_u64(slot));
+            let entry = RootPmpte::decode(mem.read_u64(slot))
+                .map_err(|_| TableError::CorruptEntry(slot))?;
             table = if entry.is_pointer() {
                 entry.leaf_table()
             } else {
@@ -574,6 +688,7 @@ impl PmpTable {
             return TableWalk {
                 refs: Vec::new(),
                 perms: None,
+                malformed: false,
             };
         }
         let offset = addr.offset_from(self.region.base);
@@ -608,14 +723,28 @@ pub(crate) fn walk_from_root(
             is_root: true,
             addr: slot,
         });
-        let entry = RootPmpte::from_bits(mem.read_u64(slot));
+        let entry = match RootPmpte::decode(mem.read_u64(slot)) {
+            Ok(entry) => entry,
+            Err(_) => {
+                return TableWalk {
+                    refs,
+                    perms: None,
+                    malformed: true,
+                }
+            }
+        };
         if !entry.is_valid() {
-            return TableWalk { refs, perms: None };
+            return TableWalk {
+                refs,
+                perms: None,
+                malformed: false,
+            };
         }
         if entry.is_huge() {
             return TableWalk {
                 refs,
                 perms: Some(entry.perms()),
+                malformed: false,
             };
         }
         table = entry.leaf_table();
@@ -625,11 +754,21 @@ pub(crate) fn walk_from_root(
         is_root: false,
         addr: leaf_slot,
     });
-    let leaf = LeafPmpte::from_bits(mem.read_u64(leaf_slot));
+    let leaf = match LeafPmpte::decode(mem.read_u64(leaf_slot)) {
+        Ok(leaf) => leaf,
+        Err(_) => {
+            return TableWalk {
+                refs,
+                perms: None,
+                malformed: true,
+            }
+        }
+    };
     let perms = leaf.perm(split.page_index);
     TableWalk {
         refs,
         perms: if perms.is_empty() { None } else { Some(perms) },
+        malformed: false,
     }
 }
 
@@ -682,6 +821,102 @@ mod tests {
         for i in 0..16 {
             assert_eq!(splat.perm(i), Perms::RX);
         }
+    }
+
+    #[test]
+    fn pmpte_decode_accepts_well_formed_entries() {
+        for bits in [
+            0u64,
+            RootPmpte::pointer(PhysAddr::new(0x8000_3000)).to_bits(),
+            RootPmpte::huge(Perms::RW).to_bits(),
+            RootPmpte::huge(Perms::RWX).to_bits(),
+        ] {
+            assert_eq!(RootPmpte::decode(bits), Ok(RootPmpte::from_bits(bits)));
+        }
+        for perms in [Perms::NONE, Perms::READ, Perms::RW, Perms::RX, Perms::RWX] {
+            let leaf = LeafPmpte::splat(perms);
+            assert_eq!(LeafPmpte::decode(leaf.to_bits()), Ok(leaf));
+            assert_eq!(leaf.perm(3), perms, "parity bit must not leak into perms");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        for base in [
+            RootPmpte::INVALID.to_bits(),
+            RootPmpte::pointer(PhysAddr::new(0x8000_3000)).to_bits(),
+            RootPmpte::huge(Perms::RX).to_bits(),
+        ] {
+            for bit in 0..64 {
+                let corrupt = base ^ (1u64 << bit);
+                assert!(
+                    RootPmpte::decode(corrupt).is_err(),
+                    "root {base:#x} flip bit {bit} went undetected"
+                );
+                assert!(RootPmpte::from_bits(corrupt).is_malformed());
+            }
+        }
+        for base in [
+            LeafPmpte::default().to_bits(),
+            LeafPmpte::splat(Perms::RW).to_bits(),
+            LeafPmpte::splat(Perms::RWX)
+                .with_perm(5, Perms::READ)
+                .to_bits(),
+        ] {
+            for bit in 0..64 {
+                let corrupt = base ^ (1u64 << bit);
+                assert!(
+                    LeafPmpte::decode(corrupt).is_err(),
+                    "leaf {base:#x} flip bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_root_encodings_rejected() {
+        // Reserved bits between the flags and the PPN field, and above it.
+        for bits in [
+            1u64 << 4,
+            1 << 12,
+            1 << 49,
+            1 << 62,
+            // Reserved bit set *and* parity patched to be even: still caught.
+            (1 << 4) | (1 << 5),
+            // Valid-looking pointer with a reserved bit and fixed parity.
+            RootPmpte::pointer(PhysAddr::new(0x8000_3000)).to_bits() ^ (1 << 49) ^ (1 << 63),
+        ] {
+            assert!(matches!(
+                RootPmpte::decode(bits),
+                Err(MalformedPmpte::ReservedBits(_))
+            ));
+        }
+        // Parity-only violation: legal fields, odd popcount.
+        let odd = RootPmpte::huge(Perms::RW).to_bits() ^ (1 << 1);
+        assert!(matches!(
+            RootPmpte::decode(odd),
+            Err(MalformedPmpte::ParityMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_table_page_surfaces_as_typed_error() {
+        let (mut mem, mut frames, mut table) = fixture(1 << 30);
+        let page = PhysAddr::new(0x9000_5000);
+        table
+            .set_page_perm(&mut mem, &mut frames, page, Perms::RW)
+            .unwrap();
+        // Flip one bit of the root pmpte covering the page.
+        let walk = table.walk(&mem, page);
+        let root_slot = walk.refs[0].addr;
+        mem.write_u64(root_slot, mem.read_u64(root_slot) ^ (1 << 17));
+        let walk = table.walk(&mem, page);
+        assert!(walk.malformed, "corrupt root must flag the walk");
+        assert_eq!(walk.perms, None, "corrupt root must fail closed");
+        assert_eq!(
+            table.set_page_perm(&mut mem, &mut frames, page, Perms::RWX),
+            Err(TableError::CorruptEntry(root_slot))
+        );
     }
 
     #[test]

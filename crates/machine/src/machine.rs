@@ -47,6 +47,12 @@ pub enum Fault {
     IsolationOnPtPage(PhysAddr),
     /// The isolation layer denied the data reference.
     IsolationOnData(PhysAddr),
+    /// A pmpte read during the permission walk failed its integrity check
+    /// (reserved bits set or parity mismatch). The checker fails closed:
+    /// the access is denied and the corruption is surfaced as its own
+    /// fault cause so the monitor can quarantine and rebuild rather than
+    /// treat it as a policy denial.
+    CorruptPmpte(PhysAddr),
 }
 
 impl Fault {
@@ -57,6 +63,7 @@ impl Fault {
             Fault::PtePermission(_) => FaultCause::PtePermission,
             Fault::IsolationOnPtPage(_) => FaultCause::IsolationOnPtPage,
             Fault::IsolationOnData(_) => FaultCause::IsolationOnData,
+            Fault::CorruptPmpte(_) => FaultCause::CorruptPmpte,
         }
     }
 }
@@ -70,6 +77,9 @@ impl std::fmt::Display for Fault {
                 write!(f, "isolation fault on PT page at {pa}")
             }
             Fault::IsolationOnData(pa) => write!(f, "isolation fault on data at {pa}"),
+            Fault::CorruptPmpte(pa) => {
+                write!(f, "corrupt pmpte encountered checking {pa}")
+            }
         }
     }
 }
@@ -318,6 +328,7 @@ pub struct Machine<S: TraceSink = NullSink> {
     pmptw_cache: PmptwCache,
     regs: HpmpRegFile,
     tlb_inlining: bool,
+    suppress_fences: bool,
     metrics: MetricsRegistry,
     ids: MachineWiring,
     hists: LatencyHistograms,
@@ -349,6 +360,7 @@ impl<S: TraceSink> Machine<S> {
             pmptw_cache: PmptwCache::new(config.pmptw_cache),
             regs: HpmpRegFile::with_entries(config.hpmp_entries),
             tlb_inlining: config.tlb_inlining,
+            suppress_fences: false,
             metrics,
             ids,
             hists: LatencyHistograms::new(),
@@ -430,6 +442,40 @@ impl<S: TraceSink> Machine<S> {
         self.itlb.flush_all();
         self.pwc.flush_all();
         self.pmptw_cache.flush_all();
+    }
+
+    /// Invalidates all cached isolation decisions after an HPMP
+    /// reconfiguration (remap, relabel, domain teardown).
+    ///
+    /// Two halves make this robust against dropped fences. The *commit*
+    /// half advances the isolation epoch on both TLBs and the PMPTW-Cache —
+    /// modelling a hardware generation tag bumped by the register-file
+    /// write itself — so any entry filled before the reconfiguration can
+    /// never hit again, only force a re-walk (counted in the caches'
+    /// `stale` stats). The *flush* half is the ordinary software fence,
+    /// which fault campaigns may suppress via
+    /// [`Machine::set_fence_suppression`]; dropping it degrades to extra
+    /// walks, never to a stale grant.
+    pub fn invalidate_isolation(&mut self) {
+        self.tlb.advance_epoch();
+        self.itlb.advance_epoch();
+        self.pmptw_cache.advance_epoch();
+        if !self.suppress_fences {
+            self.sfence_vma_all();
+        }
+    }
+
+    /// Suppresses (or restores) the flush half of
+    /// [`Machine::invalidate_isolation`] — the fault injector's model of a
+    /// monitor whose invalidation path was interposed. The epoch half
+    /// cannot be suppressed; it is what keeps suppression graceful.
+    pub fn set_fence_suppression(&mut self, suppress: bool) {
+        self.suppress_fences = suppress;
+    }
+
+    /// Whether the flush half of invalidation is currently suppressed.
+    pub fn fence_suppressed(&self) -> bool {
+        self.suppress_fences
     }
 
     /// Flushes translation state for one ASID (`sfence.vma` with ASID).
@@ -656,8 +702,13 @@ impl<S: TraceSink> Machine<S> {
                 cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
                 pmptw = check.pmptw.or(pmptw);
                 if !check.allowed {
+                    let fault = if check.malformed {
+                        Fault::CorruptPmpte(paddr)
+                    } else {
+                        Fault::IsolationOnData(paddr)
+                    };
                     return Err(self.abort(
-                        Fault::IsolationOnData(paddr),
+                        fault,
                         refs,
                         kind,
                         mode,
@@ -737,8 +788,13 @@ impl<S: TraceSink> Machine<S> {
             cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
             pmptw = check.pmptw.or(pmptw);
             if !check.allowed {
+                let fault = if check.malformed {
+                    Fault::CorruptPmpte(pt_ref.addr)
+                } else {
+                    Fault::IsolationOnPtPage(pt_ref.addr)
+                };
                 return Err(self.abort(
-                    Fault::IsolationOnPtPage(pt_ref.addr),
+                    fault,
                     refs,
                     kind,
                     mode,
@@ -806,8 +862,13 @@ impl<S: TraceSink> Machine<S> {
         cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
         pmptw = check.pmptw.or(pmptw);
         if !check.allowed {
+            let fault = if check.malformed {
+                Fault::CorruptPmpte(translation.paddr)
+            } else {
+                Fault::IsolationOnData(translation.paddr)
+            };
             return Err(self.abort(
-                Fault::IsolationOnData(translation.paddr),
+                fault,
                 refs,
                 kind,
                 mode,
@@ -835,6 +896,7 @@ impl<S: TraceSink> Machine<S> {
             page_perms: translation.perms,
             isolation_perms: check.perms,
             user: translation.user,
+            epoch: 0,
         });
         let data_cycles = self.data_ref(translation.paddr, kind);
         cycles += data_cycles;
@@ -1048,7 +1110,7 @@ impl<S: TraceSink> Machine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpmp_core::PmpRegion;
+    use hpmp_core::{PmpRegion, PmpTable, TableLevels};
     use hpmp_memsim::{FrameAllocator, Perms, PAGE_SIZE};
     use hpmp_paging::TranslationMode;
     use hpmp_trace::RingSink;
@@ -1203,6 +1265,116 @@ mod tests {
             assert_eq!(a.cycles, b.cycles, "cycles diverge at va {va:#x}");
             assert_eq!(a.refs, b.refs, "refs diverge at va {va:#x}");
         }
+    }
+
+    #[test]
+    fn suppressed_fence_cannot_grant_stale_isolation() {
+        let (mut machine, space) = flat_machine();
+        let va = VirtAddr::new(0x2000);
+        machine
+            .access(&space, va, AccessKind::Read, PrivMode::User)
+            .expect("warm access fills the TLB");
+        // The TLB entry now carries the old RWX isolation permission.
+        // Reconfigure the HPMP so the data page is no longer covered, with
+        // the software fence suppressed: only the epoch stops the stale
+        // entry from granting.
+        machine.set_fence_suppression(true);
+        machine.regs_mut().disable(0).expect("disable");
+        machine
+            .regs_mut()
+            .configure_segment(
+                0,
+                PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 20),
+                Perms::RWX,
+            )
+            .expect("narrow segment");
+        machine.invalidate_isolation();
+        let err = machine
+            .access(&space, va, AccessKind::Read, PrivMode::User)
+            .expect_err("stale TLB entry must not grant");
+        assert!(matches!(
+            err,
+            Fault::IsolationOnPtPage(_) | Fault::IsolationOnData(_)
+        ));
+        assert!(
+            machine.tlb_stats().stale > 0,
+            "the stale entry must be epoch-rejected, not hit"
+        );
+    }
+
+    #[test]
+    fn corrupt_leaf_pmpte_faults_and_recovers() {
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let region = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 28);
+        // PMP table pages live outside the protected region; PT and data
+        // pages inside it.
+        let mut table_frames = FrameAllocator::new(PhysAddr::new(0x9800_0000), 64 * PAGE_SIZE);
+        let mut table =
+            PmpTable::new(region, machine.phys_mut(), &mut table_frames).expect("table");
+        let mut space_frames = FrameAllocator::new(PhysAddr::new(0x8000_0000), 64 * PAGE_SIZE);
+        for i in 0..64u64 {
+            table
+                .set_page_perm(
+                    machine.phys_mut(),
+                    &mut table_frames,
+                    PhysAddr::new(0x8000_0000 + i * PAGE_SIZE),
+                    Perms::RWX,
+                )
+                .expect("PT page perm");
+        }
+        let data_pa = PhysAddr::new(0x8010_0000);
+        table
+            .set_page_perm(machine.phys_mut(), &mut table_frames, data_pa, Perms::RW)
+            .expect("data page perm");
+        machine
+            .regs_mut()
+            .configure_table(0, region, table.root(), TableLevels::Two)
+            .expect("table mode");
+        let mut space = AddressSpace::new(
+            TranslationMode::Sv39,
+            1,
+            machine.phys_mut(),
+            &mut space_frames,
+        )
+        .expect("space");
+        let va = VirtAddr::new(0x2000);
+        space
+            .map_page(
+                machine.phys_mut(),
+                &mut space_frames,
+                va,
+                data_pa,
+                Perms::RW,
+                true,
+            )
+            .expect("map");
+        machine
+            .access(&space, va, AccessKind::Read, PrivMode::User)
+            .expect("intact table allows the read");
+        // Locate the leaf pmpte the check reads, then flip one bit of it.
+        let leaf_addr = {
+            let check = machine.regs().check(
+                machine.phys(),
+                &mut PmptwCache::disabled(),
+                data_pa,
+                AccessKind::Read,
+                PrivMode::User,
+            );
+            check.refs.last().expect("table walk has refs").addr
+        };
+        let raw = machine.phys().read_u64(leaf_addr);
+        machine.phys_mut().write_u64(leaf_addr, raw ^ 1);
+        machine.sfence_vma_all();
+        let err = machine
+            .access(&space, va, AccessKind::Read, PrivMode::User)
+            .expect_err("corrupt pmpte must deny");
+        assert!(matches!(err, Fault::CorruptPmpte(_)), "got {err:?}");
+        // Restoring the bit restores service — fail-closed, not wedged.
+        machine.phys_mut().write_u64(leaf_addr, raw);
+        machine.sfence_vma_all();
+        machine
+            .access(&space, va, AccessKind::Read, PrivMode::User)
+            .expect("restored table allows the read again");
     }
 
     #[test]

@@ -769,6 +769,7 @@ impl<S: TraceSink> VirtMachine<S> {
             page_perms: translation.perms,
             isolation_perms: check.perms,
             user: translation.user,
+            epoch: 0,
         });
         let data_cycles = self.data_ref(translation.paddr, kind);
         cycles += data_cycles;

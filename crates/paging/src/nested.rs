@@ -324,6 +324,7 @@ pub fn nested_walk(
             page_perms: hpmp_memsim::Perms::RWX,
             isolation_perms: hpmp_memsim::Perms::RWX,
             user: true,
+            epoch: 0,
         });
         Some(hpa)
     };

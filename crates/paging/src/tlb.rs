@@ -25,6 +25,11 @@ pub struct TlbEntry {
     pub isolation_perms: Perms,
     /// Whether the mapping is user-accessible.
     pub user: bool,
+    /// Isolation epoch at fill time. [`Tlb::fill`] stamps this with the
+    /// TLB's current epoch (callers pass 0); entries from older epochs read
+    /// as misses, so a dropped invalidation degrades to a re-walk rather
+    /// than a stale grant.
+    pub epoch: u64,
 }
 
 /// Where a TLB lookup hit.
@@ -47,6 +52,9 @@ pub struct TlbStats {
     pub misses: u64,
     /// Flush operations performed.
     pub flushes: u64,
+    /// Lookups that matched an entry from a previous isolation epoch — a
+    /// dropped invalidation caught by the epoch stamp.
+    pub stale: u64,
 }
 
 impl TlbStats {
@@ -77,6 +85,7 @@ impl TlbStats {
         reg.store(ids.l2_hits, self.l2_hits);
         reg.store(ids.misses, self.misses);
         reg.store(ids.flushes, self.flushes);
+        reg.store(ids.stale, self.stale);
     }
 }
 
@@ -88,6 +97,7 @@ pub struct TlbStatsIds {
     l2_hits: hpmp_trace::CounterId,
     misses: hpmp_trace::CounterId,
     flushes: hpmp_trace::CounterId,
+    stale: hpmp_trace::CounterId,
 }
 
 impl TlbStatsIds {
@@ -98,6 +108,7 @@ impl TlbStatsIds {
             l2_hits: reg.counter(format!("{prefix}.l2_hits")),
             misses: reg.counter(format!("{prefix}.misses")),
             flushes: reg.counter(format!("{prefix}.flushes")),
+            stale: reg.counter(format!("{prefix}.stale")),
         }
     }
 }
@@ -140,6 +151,7 @@ struct L1Slot {
 /// tlb.fill(TlbEntry {
 ///     asid: 1, vpn: 1, frame: PhysAddr::new(0x8000_0000),
 ///     page_perms: Perms::RW, isolation_perms: Perms::RWX, user: true,
+///     epoch: 0,
 /// });
 /// assert!(tlb.lookup(1, VirtAddr::new(0x1abc)).is_some());
 /// ```
@@ -149,6 +161,7 @@ pub struct Tlb {
     l1: Vec<L1Slot>,
     l2: Vec<Option<TlbEntry>>,
     clock: u64,
+    epoch: u64,
     stats: TlbStats,
 }
 
@@ -169,6 +182,7 @@ impl Tlb {
             l1: Vec::with_capacity(config.l1_entries),
             l2: vec![None; config.l2_entries],
             clock: 0,
+            epoch: 0,
             stats: TlbStats::default(),
         }
     }
@@ -179,15 +193,22 @@ impl Tlb {
     }
 
     /// Looks up `(asid, va)`; on an L2 hit the entry is promoted to L1.
+    /// Entries stamped with an older isolation epoch read as misses.
     pub fn lookup(&mut self, asid: u16, va: VirtAddr) -> Option<(TlbEntry, TlbHit)> {
         let vpn = va.page_number();
         self.clock += 1;
         let clock = self.clock;
+        let epoch = self.epoch;
         if let Some(slot) = self
             .l1
             .iter_mut()
             .find(|s| s.entry.asid == asid && s.entry.vpn == vpn)
         {
+            if slot.entry.epoch != epoch {
+                self.stats.stale += 1;
+                self.stats.misses += 1;
+                return None;
+            }
             slot.lru = clock;
             self.stats.l1_hits += 1;
             return Some((slot.entry, TlbHit::L1));
@@ -195,6 +216,11 @@ impl Tlb {
         let idx = self.l2_index(asid, vpn);
         if let Some(entry) = self.l2[idx] {
             if entry.asid == asid && entry.vpn == vpn {
+                if entry.epoch != epoch {
+                    self.stats.stale += 1;
+                    self.stats.misses += 1;
+                    return None;
+                }
                 self.stats.l2_hits += 1;
                 self.insert_l1(entry);
                 return Some((entry, TlbHit::L2));
@@ -204,11 +230,29 @@ impl Tlb {
         None
     }
 
-    /// Installs a translation in both levels (as a PTW refill does).
+    /// Installs a translation in both levels (as a PTW refill does),
+    /// stamping it with the current isolation epoch.
     pub fn fill(&mut self, entry: TlbEntry) {
+        let entry = TlbEntry {
+            epoch: self.epoch,
+            ..entry
+        };
         let idx = self.l2_index(entry.asid, entry.vpn);
         self.l2[idx] = Some(entry);
         self.insert_l1(entry);
+    }
+
+    /// Advances the isolation epoch: every current entry becomes unhittable
+    /// even if the subsequent flush is dropped by a fault. The monitor calls
+    /// this as part of *committing* a permission change, the flush being
+    /// only the cleanup half.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The current isolation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// `sfence.vma` with no arguments / HPMP reconfiguration: drop everything.
@@ -303,6 +347,7 @@ mod tests {
             page_perms: Perms::RW,
             isolation_perms: Perms::RWX,
             user: true,
+            epoch: 0,
         }
     }
 
@@ -374,6 +419,33 @@ mod tests {
         tlb.flush_all();
         assert!(tlb.lookup(2, VirtAddr::new(0x3000)).is_none());
         assert_eq!(tlb.stats().flushes, 3);
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_without_flush() {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        tlb.fill(entry(1, 1));
+        // Simulate a dropped invalidation: the epoch advances (part of the
+        // permission-change commit) but no flush ever runs.
+        tlb.advance_epoch();
+        assert!(tlb.lookup(1, VirtAddr::new(0x1000)).is_none());
+        assert_eq!(tlb.stats().stale, 1);
+        // A refill under the new epoch hits again.
+        tlb.fill(entry(1, 1));
+        assert!(tlb.lookup(1, VirtAddr::new(0x1000)).is_some());
+        assert_eq!(tlb.epoch(), 1);
+        // The L2 copy of the old entry is equally unhittable: evict the L1
+        // copy and check.
+        let mut tlb = Tlb::new(TlbConfig {
+            l1_entries: 1,
+            l2_entries: 16,
+            l2_hit_latency: 4,
+        });
+        tlb.fill(entry(1, 1));
+        tlb.advance_epoch();
+        tlb.fill(entry(1, 2)); // evicts vpn=1 from the 1-entry L1
+        assert!(tlb.lookup(1, VirtAddr::new(0x1000)).is_none());
+        assert!(tlb.stats().stale >= 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn entry(asid: u16, vpn: u64) -> TlbEntry {
         page_perms: Perms::RW,
         isolation_perms: Perms::RWX,
         user: true,
+        epoch: 0,
     }
 }
 

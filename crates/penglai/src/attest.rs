@@ -176,7 +176,8 @@ mod tests {
 
     fn boot() -> (Machine, SecureMonitor, Attestor, DomainId) {
         let mut machine = Machine::new(MachineConfig::rocket());
-        let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM);
+        let mut monitor =
+            SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM).expect("monitor boots");
         let (domain, _) = monitor
             .create_domain(&mut machine, 64 * 1024, GmsLabel::Slow)
             .unwrap();

@@ -259,7 +259,8 @@ mod tests {
 
     fn boot() -> (Machine, SecureMonitor, IpcTable, DomainId, DomainId) {
         let mut machine = Machine::new(MachineConfig::rocket());
-        let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM);
+        let mut monitor =
+            SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM).expect("monitor boots");
         let (a, _) = monitor
             .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
             .unwrap();

@@ -23,7 +23,9 @@ pub use attest::{AttestError, AttestationReport, Attestor};
 pub use gms::{Gms, GmsLabel};
 pub use ipc::{Channel, ChannelId, IpcError, IpcTable};
 pub use merkle::{IntegrityError, MerkleTree, SUBTREE_PAGES};
-pub use monitor::{cost, DomainId, MonitorError, MonitorStats, SecureMonitor, TeeFlavor};
+pub use monitor::{
+    cost, DomainId, MonitorError, MonitorStats, ScrubReport, SecureMonitor, TeeFlavor,
+};
 pub use os::{
     HintId, OsError, OsStats, Pid, PtPlacement, RegionHint, SimOs, KERNEL_DIRECT_MAP,
     USER_CODE_BASE, USER_HEAP_BASE,

@@ -22,7 +22,7 @@ use hpmp_core::{
     DeviceId, FillPolicy, IoPmp, IoPmpEntry, IoPmpMode, PmpRegion, PmpTable, TableLevels,
 };
 use hpmp_machine::Machine;
-use hpmp_memsim::{FrameAllocator, Perms, PhysAddr, PAGE_SIZE};
+use hpmp_memsim::{AccessKind, FrameAllocator, Perms, PhysAddr, PAGE_SIZE};
 use hpmp_trace::{CounterId, MetricsRegistry, Snapshot, TraceSink, World};
 
 use crate::gms::{Gms, GmsLabel};
@@ -82,6 +82,13 @@ pub enum MonitorError {
     Hpmp(hpmp_core::HpmpError),
     /// Underlying table programming failed.
     Table(hpmp_core::TableError),
+    /// Boot parameters are unusable (RAM not NAPOT or too small).
+    BadBootRam(&'static str),
+    /// The monitor's authoritative state for a domain no longer matches
+    /// the hardware-visible state (corrupt permission table, missing table
+    /// root, …). The domain is quarantined until
+    /// [`SecureMonitor::rebuild_domain_table`] reconstructs it.
+    IntegrityLost(DomainId),
 }
 
 impl std::fmt::Display for MonitorError {
@@ -93,6 +100,10 @@ impl std::fmt::Display for MonitorError {
             MonitorError::NotOwned => f.write_str("region not owned by domain"),
             MonitorError::Hpmp(e) => write!(f, "HPMP programming failed: {e}"),
             MonitorError::Table(e) => write!(f, "PMP-table programming failed: {e}"),
+            MonitorError::BadBootRam(why) => write!(f, "unusable RAM region: {why}"),
+            MonitorError::IntegrityLost(id) => {
+                write!(f, "integrity lost for {id}; domain quarantined")
+            }
         }
     }
 }
@@ -186,6 +197,30 @@ pub struct SecureMonitor {
     devices: Vec<(DeviceId, DomainId)>,
     metrics: MetricsRegistry,
     ids: MonitorWiring,
+    /// Monitor-private copy of the register values it last programmed —
+    /// `(addr, cfg)` per entry. [`SecureMonitor::scrub`] compares the live
+    /// file against this and force-restores any divergence, so register
+    /// corruption (bit flips, interposed CSR writes) is bounded by one
+    /// scrub period instead of persisting silently.
+    shadow_regs: Vec<(u64, hpmp_core::PmpConfig)>,
+}
+
+/// What one [`SecureMonitor::scrub`] pass found and repaired.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Register-file entries whose live value diverged from the shadow and
+    /// were force-restored.
+    pub repaired_registers: u64,
+    /// Domains whose permission table failed its integrity sampling; each
+    /// is quarantined until [`SecureMonitor::rebuild_domain_table`] runs.
+    pub corrupt_domains: Vec<DomainId>,
+}
+
+impl ScrubReport {
+    /// True when the pass found nothing to repair.
+    pub fn clean(&self) -> bool {
+        self.repaired_registers == 0 && self.corrupt_domains.is_empty()
+    }
 }
 
 impl SecureMonitor {
@@ -194,16 +229,21 @@ impl SecureMonitor {
     ///
     /// Layout: `[monitor 4 MiB][tables 60 MiB][domain regions ...]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ram` is not NAPOT-encodable or smaller than 128 MiB.
+    /// Fails if `ram` is not NAPOT-encodable or smaller than 128 MiB, or if
+    /// the initial HPMP/table programming cannot be expressed.
     pub fn boot<S: TraceSink>(
         machine: &mut Machine<S>,
         flavor: TeeFlavor,
         ram: PmpRegion,
-    ) -> SecureMonitor {
-        assert!(ram.is_napot(), "RAM must be NAPOT-encodable");
-        assert!(ram.size >= 128 << 20, "need at least 128 MiB of RAM");
+    ) -> Result<SecureMonitor, MonitorError> {
+        if !ram.is_napot() {
+            return Err(MonitorError::BadBootRam("RAM must be NAPOT-encodable"));
+        }
+        if ram.size < 128 << 20 {
+            return Err(MonitorError::BadBootRam("need at least 128 MiB of RAM"));
+        }
         let monitor_region = PmpRegion::new(ram.base, 4 << 20);
         let tables_base = PhysAddr::new(ram.base.raw() + (4 << 20));
         let tables_size = 60u64 << 20;
@@ -212,8 +252,7 @@ impl SecureMonitor {
         // Entry 0: the monitor's own memory — matched first, no S/U perms.
         machine
             .regs_mut()
-            .configure_segment(0, monitor_region, Perms::NONE)
-            .expect("monitor segment");
+            .configure_segment(0, monitor_region, Perms::NONE)?;
 
         let mut metrics = MetricsRegistry::new();
         let ids = MonitorWiring::wire(&mut metrics);
@@ -233,6 +272,7 @@ impl SecureMonitor {
             devices: Vec::new(),
             metrics,
             ids,
+            shadow_regs: Vec::new(),
         };
 
         // The host domain starts owning all remaining memory as one slow GMS.
@@ -245,17 +285,15 @@ impl SecureMonitor {
         if flavor != TeeFlavor::PenglaiPmp {
             let mut table =
                 PmpTable::new(monitor.ram, machine.phys_mut(), &mut monitor.table_frames)
-                    .expect("host table");
-            let writes = table
-                .set_range_perm(
-                    machine.phys_mut(),
-                    &mut monitor.table_frames,
-                    host_region.base,
-                    host_region.size,
-                    Perms::RWX,
-                    FillPolicy::HugeWhenAligned,
-                )
-                .expect("host grant");
+                    .map_err(|_| MonitorError::OutOfMemory)?;
+            let writes = table.set_range_perm(
+                machine.phys_mut(),
+                &mut monitor.table_frames,
+                host_region.base,
+                host_region.size,
+                Perms::RWX,
+                FillPolicy::HugeWhenAligned,
+            )?;
             monitor.metrics.bump(monitor.ids.table_writes, writes);
             host.table = Some(table);
         }
@@ -263,10 +301,8 @@ impl SecureMonitor {
             .push(Gms::new(host_region, Perms::RWX, GmsLabel::Slow));
         monitor.domains.push(host);
 
-        monitor
-            .program_current(machine)
-            .expect("initial programming");
-        monitor
+        monitor.program_current(machine)?;
+        Ok(monitor)
     }
 
     /// The flavour this monitor implements.
@@ -392,6 +428,12 @@ impl SecureMonitor {
         }
         if self.current == id {
             cycles += self.switch_to(machine, DomainId::HOST)?;
+        } else if self.image_depends_on(id) {
+            // PMP flavour, host running: drop the destroyed enclave's deny
+            // entries so the host regains the returned memory immediately.
+            cycles += self.program_current(machine)?;
+            machine.invalidate_isolation();
+            cycles += cost::FENCE;
         }
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
@@ -430,6 +472,17 @@ impl SecureMonitor {
             if d.gmss.len() + 2 > machine.regs().len() {
                 return Err(MonitorError::OutOfPmpEntries);
             }
+            // The host's Keystone-style image must also keep fitting:
+            // monitor entry + one deny per enclave region + the host's own
+            // allow entries. Checked before any bookkeeping mutates so a
+            // failed alloc leaves the monitor's state untouched.
+            let host_allows =
+                self.domain(DomainId::HOST)?.gmss.len() + usize::from(domain == DomainId::HOST);
+            let enclave_denies =
+                self.enclave_region_count() + usize::from(domain != DomainId::HOST);
+            if 1 + enclave_denies + host_allows > machine.regs().len() {
+                return Err(MonitorError::OutOfPmpEntries);
+            }
         }
 
         // Revoke from the host's table, grant in the owner's table.
@@ -445,7 +498,10 @@ impl SecureMonitor {
                 .iter_mut()
                 .find(|d| d.id == domain)
                 .ok_or(MonitorError::NoSuchDomain(domain))?;
-            let table = d.table.as_mut().expect("table flavours have tables");
+            let table = d
+                .table
+                .as_mut()
+                .ok_or(MonitorError::IntegrityLost(domain))?;
             let writes = table.set_range_perm(
                 machine.phys_mut(),
                 table_frames,
@@ -472,10 +528,12 @@ impl SecureMonitor {
             cycles += self.sync_iopmp(machine);
         }
 
-        // If the affected domain is running, reprogram and fence.
-        if self.current == domain {
+        // If the running image depends on this domain's holdings (the
+        // domain itself, or the PMP host's deny entries), reprogram and
+        // fence.
+        if self.image_depends_on(domain) {
             cycles += self.program_current(machine)?;
-            machine.sfence_vma_all();
+            machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
         self.metrics.bump(self.ids.cycles, cycles);
@@ -512,7 +570,10 @@ impl SecureMonitor {
             let table_writes_id = self.ids.table_writes;
             let metrics = &mut self.metrics;
             let table_frames = &mut self.table_frames;
-            let table = self.domains[d_idx].table.as_mut().expect("table flavour");
+            let table = self.domains[d_idx]
+                .table
+                .as_mut()
+                .ok_or(MonitorError::IntegrityLost(domain))?;
             let writes = table.set_range_perm(
                 machine.phys_mut(),
                 table_frames,
@@ -528,9 +589,9 @@ impl SecureMonitor {
                 cycles += self.grant_in_host_table(machine, gms.region, Perms::RWX)?;
             }
         }
-        if self.current == domain {
+        if self.image_depends_on(domain) {
             cycles += self.program_current(machine)?;
-            machine.sfence_vma_all();
+            machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
         self.metrics.bump(self.ids.cycles, cycles);
@@ -564,7 +625,7 @@ impl SecureMonitor {
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
         if self.current == domain {
             cycles += self.program_current(machine)?;
-            machine.sfence_vma_all();
+            machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
         self.metrics.bump(self.ids.cycles, cycles);
@@ -765,9 +826,9 @@ impl SecureMonitor {
         }
         d.gmss.push(Gms::new(region, parent.perms, label));
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
-        if self.current == domain {
+        if self.image_depends_on(domain) {
             cycles += self.program_current(machine)?;
-            machine.sfence_vma_all();
+            machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
         self.metrics.bump(self.ids.cycles, cycles);
@@ -797,9 +858,9 @@ impl SecureMonitor {
             .ok_or(MonitorError::NotOwned)?;
         d.gmss.remove(idx);
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
-        if self.current == domain {
+        if self.image_depends_on(domain) {
             cycles += self.program_current(machine)?;
-            machine.sfence_vma_all();
+            machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
         self.metrics.bump(self.ids.cycles, cycles);
@@ -828,11 +889,201 @@ impl SecureMonitor {
         });
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
         cycles += self.program_current(machine)?;
-        machine.sfence_vma_all();
+        machine.invalidate_isolation();
         cycles += cost::FENCE;
         self.metrics.bump(self.ids.switches, 1);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
+    }
+
+    /// One integrity-scrub pass, the monitor's periodic corruption sweep:
+    /// compares the live register file against the monitor's shadow copy
+    /// (force-restoring any divergence, lock bit included) and samples the
+    /// first and last page of every GMS in every domain's permission table
+    /// for malformed pmptes. Sampling bounds the pass's cost; pmptes it
+    /// does not visit are still caught at access time by the parity check.
+    /// Never panics: corruption is repaired where possible and reported
+    /// for quarantine otherwise.
+    pub fn scrub<S: TraceSink>(&mut self, machine: &mut Machine<S>) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for (idx, &(addr, cfg)) in self.shadow_regs.iter().enumerate() {
+            let live_addr = machine.regs().addr_reg(idx);
+            let live_cfg = machine.regs().cfg_reg(idx);
+            if live_addr != addr || live_cfg.to_bits() != cfg.to_bits() {
+                machine.regs_mut().force_restore(idx, addr, cfg);
+                report.repaired_registers += 1;
+            }
+        }
+        if report.repaired_registers > 0 {
+            // Stale TLB entries may inline permissions derived from the
+            // corrupted registers.
+            machine.invalidate_isolation();
+        }
+        for d in &self.domains {
+            let Some(table) = d.table.as_ref() else {
+                continue;
+            };
+            let corrupt = d.gmss.iter().any(|gms| {
+                let last_page = PhysAddr::new(gms.region.end().raw() - PAGE_SIZE);
+                table.walk(machine.phys(), gms.region.base).malformed
+                    || table.walk(machine.phys(), last_page).malformed
+            });
+            if corrupt {
+                report.corrupt_domains.push(d.id);
+            }
+        }
+        let cycles = cost::BOOKKEEPING + report.repaired_registers * 2 * cost::CSR_WRITE;
+        self.metrics.bump(self.ids.cycles, cycles);
+        report
+    }
+
+    /// Quarantine recovery: discards `domain`'s (possibly corrupt)
+    /// permission table and rebuilds it from the monitor's authoritative
+    /// GMS bookkeeping. Grants made outside the GMS list (shared IPC
+    /// buffers) are conservatively dropped — fail-closed — and must be
+    /// re-granted by their owners. Returns the modelled cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains, for the PMP flavour (which has no
+    /// tables to rebuild), or when table memory is exhausted.
+    pub fn rebuild_domain_table<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        domain: DomainId,
+    ) -> Result<u64, MonitorError> {
+        if self.flavor == TeeFlavor::PenglaiPmp {
+            return Err(MonitorError::IntegrityLost(domain));
+        }
+        let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
+        let mut table = PmpTable::new(self.ram, machine.phys_mut(), &mut self.table_frames)
+            .map_err(|_| MonitorError::OutOfMemory)?;
+        let fill = if self.flavor == TeeFlavor::PenglaiHpmp {
+            FillPolicy::HugeWhenAligned
+        } else {
+            FillPolicy::PerPage
+        };
+        let grants: Vec<(PmpRegion, Perms)> = self
+            .domain(domain)?
+            .gmss
+            .iter()
+            .map(|g| (g.region, g.perms))
+            .collect();
+        let mut writes = 0u64;
+        for (region, perms) in grants {
+            writes += table.set_range_perm(
+                machine.phys_mut(),
+                &mut self.table_frames,
+                region.base,
+                region.size,
+                perms,
+                fill,
+            )?;
+        }
+        if domain == DomainId::HOST {
+            let holes: Vec<PmpRegion> = self
+                .domains
+                .iter()
+                .filter(|d| d.id != DomainId::HOST)
+                .flat_map(|d| d.gmss.iter().map(|g| g.region))
+                .collect();
+            for hole in holes {
+                writes += table.set_range_perm(
+                    machine.phys_mut(),
+                    &mut self.table_frames,
+                    hole.base,
+                    hole.size,
+                    Perms::NONE,
+                    FillPolicy::PerPage,
+                )?;
+            }
+        }
+        let d = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        d.table = Some(table);
+        self.metrics.bump(self.ids.table_writes, writes);
+        cycles += writes * cost::TABLE_ENTRY_WRITE;
+        // IOPMP entries may reference the replaced table root.
+        cycles += self.sync_iopmp(machine);
+        if self.current == domain {
+            cycles += self.program_current(machine)?;
+            machine.invalidate_isolation();
+            cycles += cost::FENCE;
+        }
+        self.metrics.bump(self.ids.cycles, cycles);
+        Ok(cycles)
+    }
+
+    /// The reference permission oracle: re-derives the access decision for
+    /// the *current* domain's S/U-mode accesses from the monitor's own
+    /// bookkeeping — no registers, no DRAM-resident tables, no caches. The
+    /// fast path may deny an access the oracle would allow (graceful
+    /// degradation under faults), but any access the fast path grants and
+    /// the oracle denies is an isolation violation; fault campaigns fail
+    /// on that invariant.
+    pub fn oracle_check(&self, addr: PhysAddr, kind: AccessKind) -> bool {
+        self.oracle_check_for(self.current, addr, kind)
+    }
+
+    /// [`SecureMonitor::oracle_check`], for an arbitrary domain.
+    pub fn oracle_check_for(&self, domain: DomainId, addr: PhysAddr, kind: AccessKind) -> bool {
+        let Ok(d) = self.domain(domain) else {
+            return false;
+        };
+        if self.monitor_region.contains(addr) {
+            return false;
+        }
+        // The PMP flavour programs the smallest NAPOT superset of each
+        // region, so its *intended* policy is the widened one.
+        let widen = self.flavor == TeeFlavor::PenglaiPmp;
+        let covered = |region: PmpRegion| {
+            let region = if widen {
+                napot_superset(region)
+            } else {
+                region
+            };
+            region.contains(addr)
+        };
+        if !d
+            .gmss
+            .iter()
+            .any(|g| covered(g.region) && g.perms.allows(kind))
+        {
+            return false;
+        }
+        // Enclave carve-outs override the host's whole-memory GMS: they
+        // are deny entries (PMP flavour) or host-table revocations.
+        if domain == DomainId::HOST {
+            let carved = self
+                .domains
+                .iter()
+                .filter(|other| other.id != DomainId::HOST)
+                .any(|other| other.gmss.iter().any(|g| covered(g.region)));
+            if carved {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if changing `domain`'s region holdings invalidates the image
+    /// programmed for the *currently running* domain: either `domain`
+    /// itself is running, or the PMP flavour's host is — the Keystone-style
+    /// host image carries one deny entry per enclave region, so any
+    /// enclave's holdings are part of it. (The table flavours revoke
+    /// through the host's permission table instead, which the fast path
+    /// re-walks, so they never need this.) Caught by the oracle-lockstep
+    /// fuzzer: without the host-image reprogram, the window between an
+    /// enclave alloc and the next domain switch left the running host with
+    /// a stale image granting it the enclave's new region.
+    fn image_depends_on(&self, domain: DomainId) -> bool {
+        self.current == domain
+            || (self.flavor == TeeFlavor::PenglaiPmp
+                && self.current == DomainId::HOST
+                && domain != DomainId::HOST)
     }
 
     /// Reprograms the register file for the current domain. Returns cycles.
@@ -914,7 +1165,11 @@ impl SecureMonitor {
                     .iter()
                     .find(|d| d.id == current)
                     .ok_or(MonitorError::NoSuchDomain(current))?;
-                let root = d.table.as_ref().expect("table flavour").root();
+                let root = d
+                    .table
+                    .as_ref()
+                    .ok_or(MonitorError::IntegrityLost(current))?
+                    .root();
                 let mut next = 1;
                 if flavor == TeeFlavor::PenglaiHpmp {
                     // Fast GMSs become segments, lowest entries first.
@@ -936,6 +1191,11 @@ impl SecureMonitor {
 
         let writes = machine.regs().csr_writes() - before;
         self.metrics.bump(self.ids.csr_writes, writes);
+        // Refresh the shadow copy scrub compares against.
+        let regs = machine.regs();
+        self.shadow_regs = (0..regs.len())
+            .map(|idx| (regs.addr_reg(idx), regs.cfg_reg(idx)))
+            .collect();
         Ok(writes * cost::CSR_WRITE)
     }
 
@@ -953,7 +1213,7 @@ impl SecureMonitor {
             .domains
             .iter_mut()
             .find(|d| d.id == DomainId::HOST)
-            .expect("host always exists");
+            .ok_or(MonitorError::NoSuchDomain(DomainId::HOST))?;
         // The PMP flavour has no host table: region return is a pure
         // bookkeeping operation there (segments reprogram on switch).
         let Some(table) = host.table.as_mut() else {
@@ -1010,7 +1270,7 @@ mod tests {
 
     fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor) {
         let mut machine = Machine::new(MachineConfig::rocket());
-        let monitor = SecureMonitor::boot(&mut machine, flavor, RAM);
+        let monitor = SecureMonitor::boot(&mut machine, flavor, RAM).expect("monitor boots");
         (machine, monitor)
     }
 
@@ -1189,6 +1449,159 @@ mod tests {
         // And the fast GMS now occupies a segment entry.
         let seg = machine.regs().entry_region(1);
         assert_eq!(seg.map(|r| r.base), Some(region.base));
+    }
+
+    #[test]
+    fn scrub_repairs_corrupted_registers() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        // Flip bits in entry 1's config (the table entry) and entry 0's
+        // address — including a spurious lock bit.
+        machine.regs_mut().corrupt_cfg(1, 0b1000_0001);
+        machine.regs_mut().corrupt_addr(0, 1 << 20);
+        let report = monitor.scrub(&mut machine);
+        assert_eq!(report.repaired_registers, 2);
+        assert!(report.corrupt_domains.is_empty());
+        let clean = monitor.scrub(&mut machine);
+        assert!(clean.clean(), "second pass finds nothing: {clean:?}");
+        // The monitor segment is intact again.
+        let region = machine.regs().entry_region(0).unwrap();
+        assert_eq!(region.base, RAM.base);
+    }
+
+    #[test]
+    fn rebuild_recovers_corrupt_table() {
+        use hpmp_core::PmptwCache;
+        use hpmp_memsim::{AccessKind, PrivMode};
+
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let probe = monitor.regions_of(DomainId::HOST).unwrap()[0].region.base;
+        // Find the pmpte the check reads for the probe address and flip a
+        // bit in it.
+        let pmpte_addr = {
+            let check = machine.regs().check(
+                machine.phys(),
+                &mut PmptwCache::disabled(),
+                probe,
+                AccessKind::Read,
+                PrivMode::Supervisor,
+            );
+            assert!(check.allowed, "healthy table grants the host base");
+            check.refs.last().expect("table walk has refs").addr
+        };
+        let raw = machine.phys().read_u64(pmpte_addr);
+        machine.phys_mut().write_u64(pmpte_addr, raw ^ (1 << 1));
+        let report = monitor.scrub(&mut machine);
+        assert_eq!(report.corrupt_domains, vec![DomainId::HOST]);
+        monitor
+            .rebuild_domain_table(&mut machine, DomainId::HOST)
+            .expect("rebuild");
+        assert!(monitor.scrub(&mut machine).clean());
+        let check = machine.regs().check(
+            machine.phys(),
+            &mut PmptwCache::disabled(),
+            probe,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
+        assert!(check.allowed, "rebuilt table serves the host again");
+    }
+
+    #[test]
+    fn oracle_never_grants_less_than_it_should() {
+        use hpmp_core::PmptwCache;
+        use hpmp_memsim::{AccessKind, PrivMode};
+
+        for flavor in [
+            TeeFlavor::PenglaiPmp,
+            TeeFlavor::PenglaiPmpt,
+            TeeFlavor::PenglaiHpmp,
+        ] {
+            let (mut machine, mut monitor) = boot(flavor);
+            let (id, _) = monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .unwrap();
+            let enclave_base = monitor.regions_of(id).unwrap()[0].region.base;
+            let host_base = monitor.regions_of(DomainId::HOST).unwrap()[0].region.base;
+            for current in [DomainId::HOST, id] {
+                monitor.switch_to(&mut machine, current).unwrap();
+                for probe in [
+                    RAM.base,
+                    host_base,
+                    enclave_base,
+                    PhysAddr::new(RAM.end().raw() - PAGE_SIZE),
+                ] {
+                    let fast = machine
+                        .regs()
+                        .check(
+                            machine.phys(),
+                            &mut PmptwCache::disabled(),
+                            probe,
+                            AccessKind::Read,
+                            PrivMode::Supervisor,
+                        )
+                        .allowed;
+                    let oracle = monitor.oracle_check(probe, AccessKind::Read);
+                    assert!(
+                        !fast || oracle,
+                        "{flavor}: fast path grants {probe} in {current} but oracle denies"
+                    );
+                }
+            }
+            // The oracle always denies the monitor's own memory.
+            assert!(!monitor.oracle_check(RAM.base, AccessKind::Read));
+            assert!(!monitor.oracle_check_for(id, host_base, AccessKind::Write));
+        }
+    }
+
+    /// Regression (found by the oracle-lockstep fuzzer): in the PMP
+    /// flavour, creating an enclave while the host runs must immediately
+    /// install the Keystone-style deny entry in the *running* host image —
+    /// not wait for the next switch — and destroying the enclave must drop
+    /// it again.
+    #[test]
+    fn pmp_host_image_tracks_enclave_lifecycle() {
+        use hpmp_core::PmptwCache;
+        use hpmp_memsim::{AccessKind, PrivMode};
+
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiPmp);
+        let (id, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let enclave_base = monitor.regions_of(id).unwrap()[0].region.base;
+        let host_probe = |machine: &Machine| {
+            machine
+                .regs()
+                .check(
+                    machine.phys(),
+                    &mut PmptwCache::disabled(),
+                    enclave_base,
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                )
+                .allowed
+        };
+        assert_eq!(monitor.current(), DomainId::HOST);
+        assert!(
+            !host_probe(&machine),
+            "running host must lose the enclave region at create time"
+        );
+        // A further region allocated to the enclave is denied too.
+        let (extra, _) = monitor
+            .alloc_region(&mut machine, id, 1 << 16, GmsLabel::Slow)
+            .unwrap();
+        let extra_check = machine.regs().check(
+            machine.phys(),
+            &mut PmptwCache::disabled(),
+            extra.base,
+            AccessKind::Read,
+            PrivMode::Supervisor,
+        );
+        assert!(!extra_check.allowed, "running host sees new enclave allocs");
+        monitor.destroy_domain(&mut machine, id).unwrap();
+        assert!(
+            host_probe(&machine),
+            "destroy must return the region to the running host"
+        );
     }
 
     #[test]

@@ -177,7 +177,7 @@ mod tests {
 
     fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor, DomainId) {
         let mut machine = Machine::new(MachineConfig::rocket());
-        let mut monitor = SecureMonitor::boot(&mut machine, flavor, RAM);
+        let mut monitor = SecureMonitor::boot(&mut machine, flavor, RAM).expect("monitor boots");
         let (enclave, _) = monitor
             .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
             .unwrap();

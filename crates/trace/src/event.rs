@@ -257,6 +257,9 @@ pub enum FaultCause {
     IsolationOnPtPage,
     /// The isolation layer denied the data reference.
     IsolationOnData,
+    /// A pmpte failed its integrity check (reserved bits set or parity
+    /// mismatch) — the checker fails closed and the access is denied.
+    CorruptPmpte,
 }
 
 impl FaultCause {
@@ -267,6 +270,7 @@ impl FaultCause {
             FaultCause::PtePermission => "pte_permission",
             FaultCause::IsolationOnPtPage => "isolation_on_pt_page",
             FaultCause::IsolationOnData => "isolation_on_data",
+            FaultCause::CorruptPmpte => "corrupt_pmpte",
         }
     }
 
@@ -277,6 +281,7 @@ impl FaultCause {
             "pte_permission" => Some(FaultCause::PtePermission),
             "isolation_on_pt_page" => Some(FaultCause::IsolationOnPtPage),
             "isolation_on_data" => Some(FaultCause::IsolationOnData),
+            "corrupt_pmpte" => Some(FaultCause::CorruptPmpte),
             _ => None,
         }
     }

@@ -60,7 +60,7 @@ impl<S: TraceSink> TeeBench<S> {
     pub fn boot_with_sink(flavor: TeeFlavor, config: MachineConfig, sink: S) -> TeeBench<S> {
         let mut machine = Machine::with_sink(config, sink);
         let ram = hpmp_core::PmpRegion::new(PhysAddr::new(RAM_BASE), RAM_SIZE);
-        let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
+        let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram).expect("monitor boots");
 
         // One enclave domain with a PT pool and a data region.
         let pool_label = if flavor == TeeFlavor::PenglaiHpmp {

@@ -65,7 +65,7 @@ pub fn run_tenancy_with_sink<S: hpmp_trace::TraceSink>(
     let config = crate::fixture::config_for(core);
     let mut machine = Machine::with_sink(config, sink);
     let ram = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
-    let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram);
+    let mut monitor = SecureMonitor::boot(&mut machine, flavor, ram).expect("monitor boots");
 
     let mut domains: Vec<(DomainId, PhysAddr)> = Vec::new();
     let mut hit_entry_wall = false;

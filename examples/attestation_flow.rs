@@ -13,7 +13,8 @@ use hpmp_suite::penglai::{Attestor, GmsLabel, IpcTable, MerkleTree, SecureMonito
 fn main() {
     let mut machine = Machine::new(MachineConfig::rocket());
     let ram = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
-    let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, ram);
+    let mut monitor =
+        SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, ram).expect("monitor boots");
     let mut attestor = Attestor::new(0x0e11_fa11_ba5e_ba11); // device key from secure boot
 
     // 1. Deploy two enclaves and load some "code" into the first.

@@ -95,7 +95,8 @@ fn epmp_monitor_scales_pmp_flavor() {
     config.hpmp_entries = EPMP_ENTRIES;
     let mut machine = Machine::new(config);
     let ram = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
-    let mut monitor = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiPmp, ram);
+    let mut monitor =
+        SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiPmp, ram).expect("monitor boots");
     let mut created = 0;
     loop {
         match monitor.create_domain(&mut machine, 1 << 20, GmsLabel::Slow) {

@@ -12,7 +12,7 @@ const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
 
 fn boot(flavor: TeeFlavor) -> (Machine, SecureMonitor) {
     let mut machine = Machine::new(MachineConfig::rocket());
-    let monitor = SecureMonitor::boot(&mut machine, flavor, RAM);
+    let monitor = SecureMonitor::boot(&mut machine, flavor, RAM).expect("monitor boots");
     (machine, monitor)
 }
 
