@@ -190,6 +190,9 @@ pub struct WalkProfile {
     pub pipeline_cycles: u64,
     /// Sequence numbers of events violating the step-sum invariant.
     pub unbalanced: Vec<u64>,
+    /// Events and cycles per hart. Single-hart traces collapse to one
+    /// entry for hart 0.
+    pub harts: BTreeMap<u16, Cell>,
     /// Cycles and counts by `world × access class × step kind` (labels).
     pub breakdown: BTreeMap<(&'static str, &'static str, &'static str), Cell>,
     /// Per-level split of leveled steps: `(world, step kind) → level → cell`.
@@ -222,6 +225,7 @@ impl WalkProfile {
         if !event.is_balanced() {
             self.unbalanced.push(event.seq);
         }
+        self.harts.entry(event.hart).or_default().add(event.cycles);
 
         let world = event.world.label();
         let class = hpmp_trace::AccessClass::classify(event.op, event.tlb.is_hit()).label();
@@ -389,6 +393,22 @@ impl WalkProfile {
             );
         }
 
+        // Per-hart attribution, shown only for traces that are actually
+        // multi-hart so single-hart reports keep their historical shape.
+        if self.harts.len() > 1 || self.harts.keys().next().is_some_and(|&h| h != 0) {
+            let _ = writeln!(out, "\ncycles by hart:");
+            for (&hart, cell) in &self.harts {
+                let _ = writeln!(
+                    out,
+                    "  hart {:<4} {:>10} events {:>12} cycles {:>6.1}%",
+                    hart,
+                    cell.count,
+                    cell.cycles,
+                    pct(cell.cycles, self.total_cycles)
+                );
+            }
+        }
+
         let _ = writeln!(out, "\ncycles by world x access class x step kind:");
         let _ = writeln!(
             out,
@@ -480,6 +500,7 @@ mod tests {
         let step_cycles: u64 = steps.iter().map(|s| s.cycles).sum();
         WalkEvent {
             seq,
+            hart: 0,
             world,
             op: AccessOp::Read,
             privilege: PrivLevel::Supervisor,
@@ -601,6 +622,21 @@ mod tests {
         assert!(p.claims_hold(), "claims: {:?}", p.claims());
         let rendered = p.render();
         assert!(rendered.contains("3-D references"), "{rendered}");
+    }
+
+    #[test]
+    fn per_hart_section_appears_only_for_multihart_traces() {
+        let single = WalkProfile::from_events(&[hpmp_native_walk(0)]);
+        assert!(!single.render().contains("cycles by hart"));
+        assert_eq!(single.harts[&0].count, 1);
+
+        let mut remote = hpmp_native_walk(1);
+        remote.hart = 3;
+        let multi = WalkProfile::from_events(&[hpmp_native_walk(0), remote]);
+        let rendered = multi.render();
+        assert!(rendered.contains("cycles by hart"), "{rendered}");
+        assert!(rendered.contains("hart 3"), "{rendered}");
+        assert_eq!(multi.harts[&3].cycles, multi.harts[&0].cycles);
     }
 
     #[test]

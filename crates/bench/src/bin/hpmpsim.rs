@@ -4,8 +4,8 @@
 //! ```text
 //! hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]
 //!         [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]
-//!         [--jobs N] [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]
-//!         [--encryption CYCLES] [--epmp]
+//!         [--harts N] [--jobs N] [--pwc N] [--pmptw-cache N]
+//!         [--no-tlb-inlining] [--encryption CYCLES] [--epmp]
 //!         [--trace-out walks.jsonl] [--metrics-out metrics.json]
 //!         [--bench-out BENCH_name.json]
 //!         [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]
@@ -16,6 +16,14 @@
 //! parallelism), each with its own trace sink and metrics registry.
 //! Outputs are merged in the listed workload order, so they are
 //! byte-identical whatever the thread count.
+//!
+//! `--harts N` (N > 1) runs each workload's SMP shape instead: one tenant
+//! enclave per hart over a shared [`hpmp_penglai::SmpSystem`], with
+//! cross-hart TLB/PMP shootdowns on every GMS change and domain switch.
+//! The hart interleaving is seeded and the run is single-threaded
+//! internally, so artifacts stay byte-identical at any `--jobs`; trace
+//! events carry a `hart` field and the metrics snapshot gains per-hart
+//! `hart.<i>.*` shootdown/fence counters plus `smp.*` totals.
 //!
 //! `--fault-campaign` switches to fault-injection mode instead of running a
 //! workload: the campaign's shards (part of the spec, not derived from
@@ -53,6 +61,7 @@ struct Options {
     flavor: TeeFlavor,
     core: CoreKind,
     workload: String,
+    harts: usize,
     jobs: Option<usize>,
     pwc: Option<usize>,
     pmptw_cache: Option<usize>,
@@ -71,8 +80,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]\n\
          \x20              [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]\n\
-         \x20              [--jobs N] [--pwc N] [--pmptw-cache N] [--no-tlb-inlining]\n\
-         \x20              [--encryption CYCLES] [--epmp]\n\
+         \x20              [--harts N] [--jobs N] [--pwc N] [--pmptw-cache N]\n\
+         \x20              [--no-tlb-inlining] [--encryption CYCLES] [--epmp]\n\
          \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]\n\
          \x20              [--bench-out BENCH_name.json]\n\
          \x20              [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]\n\
@@ -87,6 +96,7 @@ fn parse_args() -> Options {
         flavor: TeeFlavor::PenglaiHpmp,
         core: CoreKind::Rocket,
         workload: "serverless".to_string(),
+        harts: 1,
         jobs: None,
         pwc: None,
         pmptw_cache: None,
@@ -131,6 +141,13 @@ fn parse_args() -> Options {
                 }
             }
             "--workload" => options.workload = value("--workload"),
+            "--harts" => match value("--harts").parse() {
+                Ok(n) if n >= 1 => options.harts = n,
+                _ => {
+                    eprintln!("--harts needs a positive integer");
+                    usage()
+                }
+            },
             "--jobs" => match value("--jobs").parse() {
                 Ok(n) => options.jobs = Some(n),
                 Err(_) => {
@@ -212,6 +229,14 @@ fn main() {
         options.encryption,
         if options.epmp { 64 } else { 16 },
     );
+    // Only printed for SMP runs so single-hart output stays byte-identical
+    // with pre-SMP builds.
+    if options.harts > 1 {
+        println!(
+            "  harts        : {} (seed {SMP_SEED}, cross-hart shootdowns on)",
+            options.harts
+        );
+    }
 
     let workloads: Vec<&str> = options
         .workload
@@ -289,6 +314,9 @@ fn main() {
         report.set_config("flavor", options.flavor.to_string());
         report.set_config("core", options.core.to_string());
         report.set_config("workload", options.workload.clone());
+        if options.harts > 1 {
+            report.set_config("harts", options.harts.to_string());
+        }
         for (workload, out) in workloads.iter().zip(&outputs) {
             report.push(ExperimentRecord::from_snapshot(
                 workload.to_string(),
@@ -423,8 +451,16 @@ struct WorkloadOutput {
     trace_io_errors: u64,
 }
 
+/// Seed for the SMP interleaver and per-hart access streams. Fixed so
+/// `--harts N` runs are reproducible without another knob; the streams are
+/// already decorrelated per hart.
+const SMP_SEED: u64 = 0x4850_4d50;
+
 /// Runs one workload with a private sink and registry, buffering its output.
 fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
+    if options.harts > 1 {
+        return run_one_smp(options, workload, tracing);
+    }
     let config = machine_config(options);
     let mut stdout = String::new();
     if tracing {
@@ -449,6 +485,84 @@ fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
             trace_events: 0,
             trace_io_errors: 0,
         }
+    }
+}
+
+/// Runs one workload's SMP shape on `--harts` harts: per-hart machines
+/// (each with its own headerless sink when tracing) over one shared
+/// monitor and physical memory. Per-hart trace bytes are spliced in hart
+/// order — events carry their hart id, so analysis does not depend on the
+/// global interleaving order.
+fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
+    let config = machine_config(options);
+    let spec =
+        hpmp_workloads::smp::spec_for(workload).expect("every hpmpsim workload has an SMP shape");
+    let mut stdout = String::new();
+    if tracing {
+        let machines = (0..options.harts)
+            .map(|_| {
+                hpmp_machine::Machine::with_sink(config, JsonlSink::new_headerless(Vec::new()))
+            })
+            .collect();
+        let (outcome, snap, sinks) =
+            hpmp_workloads::smp::run_smp_machines(machines, options.flavor, SMP_SEED, spec)
+                .expect("SMP workload");
+        report_smp(&outcome, &snap, &mut stdout);
+        let mut trace = Vec::new();
+        let mut trace_events = 0;
+        let mut trace_io_errors = 0;
+        for sink in sinks {
+            trace_events += sink.written();
+            trace_io_errors += sink.io_errors();
+            trace.extend_from_slice(&sink.into_inner());
+        }
+        WorkloadOutput {
+            stdout,
+            cycles: outcome.total_cycles,
+            snap,
+            trace,
+            trace_events,
+            trace_io_errors,
+        }
+    } else {
+        let machines = (0..options.harts)
+            .map(|_| hpmp_machine::Machine::new(config))
+            .collect();
+        let (outcome, snap, _) =
+            hpmp_workloads::smp::run_smp_machines(machines, options.flavor, SMP_SEED, spec)
+                .expect("SMP workload");
+        report_smp(&outcome, &snap, &mut stdout);
+        WorkloadOutput {
+            stdout,
+            cycles: outcome.total_cycles,
+            snap,
+            trace: Vec::new(),
+            trace_events: 0,
+            trace_io_errors: 0,
+        }
+    }
+}
+
+/// Per-hart console lines for an SMP run: who got shot down, who stalled.
+fn report_smp(outcome: &hpmp_workloads::smp::SmpOutcome, snap: &Snapshot, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "  smp          : {} accesses on {} harts; {} IPIs sent, {} delivered, {} merged",
+        outcome.accesses,
+        outcome.harts,
+        snap.value("smp.ipis_sent"),
+        snap.value("smp.ipis_delivered"),
+        snap.value("smp.ipis_merged"),
+    );
+    for hart in 0..outcome.harts {
+        let _ = writeln!(
+            out,
+            "  hart {hart}       : {} cycles, {} shootdowns ({} cyc), {} fence-stall cyc",
+            snap.value(&format!("hart.{hart}.machine.cycles")),
+            snap.value(&format!("hart.{hart}.shootdowns")),
+            snap.value(&format!("hart.{hart}.shootdown_cycles")),
+            snap.value(&format!("hart.{hart}.fence_stall_cycles")),
+        );
     }
 }
 

@@ -4,7 +4,7 @@
 //! [--metrics-out <m.json>] [--bench-out <BENCH_name.json>] [experiment...]`
 //! where experiment is one of `table1 fig2 fig3 fig10 table3 fig11 fig12ac
 //! fig12de fig13 fig14 fig15 fig16 fig17 table4 svsweep virtapp tenancy
-//! encryption all` (default: `all`).
+//! encryption multihart all` (default: `all`).
 //!
 //! Experiments build independent machines, so they run on an in-process
 //! worker pool (`--jobs N`, default: the machine's available parallelism;
@@ -46,7 +46,7 @@ const SCHEMES: [IsolationScheme; 3] = [
 ];
 
 /// Every experiment, in presentation order.
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "table1",
     "fig2",
     "fig10",
@@ -65,6 +65,7 @@ const EXPERIMENTS: [&str; 18] = [
     "virtapp",
     "tenancy",
     "encryption",
+    "multihart",
 ];
 
 fn main() {
@@ -235,6 +236,7 @@ fn dispatch<S: TraceSink>(name: &str, sink: &mut S) -> Option<Snapshot> {
         "virtapp" => virtapp(sink),
         "tenancy" => tenancy(sink),
         "encryption" => encryption(sink),
+        "multihart" => multihart(),
         _ => unreachable!("worklist is filtered against EXPERIMENTS"),
     };
     sink.flush();
@@ -249,9 +251,11 @@ fn none_after(experiment: fn()) -> Option<Snapshot> {
 /// Folds one traced experiment's snapshot into both the merged metrics and
 /// the perf-trajectory report. The experiment's cycle total is whatever its
 /// machines accumulated (`machine.cycles` for native, `virt.cycles` for
-/// virtualized runs; both when an experiment drives both kinds).
+/// virtualized runs, `smp.cycles` for multi-hart runs whose per-hart
+/// counters live under `hart.<i>.machine.*` instead).
 fn record(report: &mut BenchReport, metrics: &mut Snapshot, name: &str, snap: Snapshot) {
-    let cycles = snap.value("machine.cycles") + snap.value("virt.cycles");
+    let cycles =
+        snap.value("machine.cycles") + snap.value("virt.cycles") + snap.value("smp.cycles");
     *metrics = metrics.merge(&snap);
     report.push(ExperimentRecord::from_snapshot(name, cycles, snap));
 }
@@ -1074,6 +1078,51 @@ fn tenancy<S: TraceSink>(sink: &mut S) -> Snapshot {
         ]);
     }
     r.note("intro claim: >100 instances per node; PMP walls below 16 domains");
+    r.print();
+    metrics
+}
+
+/// Extension experiment X9: multi-hart scaling. One tenant enclave per
+/// hart over a shared monitor, the churny `tenancy` SMP shape, swept over
+/// 1/2/4/8 harts — every GMS change on one hart shoots down all the
+/// others, so the interesting number is how much of the total the remote
+/// fence/reprogram stalls eat as the hart count grows. Untraced: the run
+/// is single-threaded and seeded, so it is deterministic regardless.
+fn multihart() -> Snapshot {
+    use hpmp_workloads::smp::{run_smp, spec_for};
+    let spec = spec_for("tenancy").expect("tenancy has an SMP shape");
+    let seed = 0xA11CE;
+    let mut metrics = Snapshot::new();
+    let mut r = Report::new(
+        "SMP scaling (Rocket): tenancy shape, cross-hart shootdown overhead",
+        &[
+            "Harts",
+            "PMPT cycles",
+            "HPMP cycles",
+            "HPMP IPIs",
+            "HPMP stall cyc",
+            "stall share",
+        ],
+    );
+    for harts in [1usize, 2, 4, 8] {
+        let (pmpt, _) =
+            run_smp(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, harts, seed, spec).expect("pmpt");
+        let (hpmp, snap) =
+            run_smp(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, harts, seed, spec).expect("hpmp");
+        let stall: u64 = (0..harts)
+            .map(|h| snap.value(&format!("hart.{h}.fence_stall_cycles")))
+            .sum();
+        metrics = metrics.merge(&snap);
+        r.row(&[
+            harts.to_string(),
+            pmpt.total_cycles.to_string(),
+            hpmp.total_cycles.to_string(),
+            hpmp.ipis_delivered.to_string(),
+            stall.to_string(),
+            pct_f(stall as f64 / hpmp.total_cycles as f64),
+        ]);
+    }
+    r.note("IPIs grow ~quadratically with harts, but cheap segment reprograms cap the stall share");
     r.print();
     metrics
 }

@@ -56,6 +56,83 @@ fn run_repro(jobs: usize) -> RunOutput {
     result
 }
 
+/// Runs `hpmpsim --harts 4` over two workloads with all artifact outputs,
+/// in a scratch directory with relative paths.
+fn run_hpmpsim_smp(jobs: usize) -> RunOutput {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "hpmp-smp-determinism-{}-j{jobs}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_hpmpsim"))
+        .args(["--harts", "4"])
+        .args(["--workload", "tenancy,lmbench"])
+        .args(["--flavor", "hpmp"])
+        .args(["--jobs", &jobs.to_string()])
+        .args(["--metrics-out", "metrics.json"])
+        .args(["--bench-out", "bench.json"])
+        .args(["--trace-out", "trace.jsonl"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn hpmpsim");
+    assert!(
+        output.status.success(),
+        "hpmpsim --harts 4 --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let read = |name: &str| fs::read(dir.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    let result = RunOutput {
+        stdout: output.stdout,
+        metrics: read("metrics.json"),
+        bench: read("bench.json"),
+        trace: read("trace.jsonl"),
+    };
+    let _ = fs::remove_dir_all(&dir);
+    result
+}
+
+/// The multi-hart path adds a second source of would-be nondeterminism —
+/// the hart interleaving — on top of the worker pool. Both are seeded, so
+/// `hpmpsim --harts 4` must produce byte-identical stdout, metrics, bench
+/// report and trace at any `--jobs` level (the acceptance bar for the SMP
+/// runner).
+#[test]
+fn multihart_run_is_byte_identical_across_jobs() {
+    let serial = run_hpmpsim_smp(1);
+    let stdout = String::from_utf8_lossy(&serial.stdout);
+    assert!(stdout.contains("harts        : 4"), "{stdout}");
+    assert!(
+        stdout.contains("hart 3"),
+        "per-hart lines missing: {stdout}"
+    );
+    // Per-hart shootdown counters made it into the metrics export (the
+    // versioned JSON nests the dot-separated `hart.<i>.*` paths).
+    let metrics = String::from_utf8_lossy(&serial.metrics);
+    for counter in [
+        "\"hart\"",
+        "\"smp\"",
+        "\"ipis_sent\"",
+        "\"ipis_received\"",
+        "\"shootdown_cycles\"",
+        "\"fence_stall_cycles\"",
+        "\"ipis_delivered\"",
+    ] {
+        assert!(metrics.contains(counter), "{counter} missing from metrics");
+    }
+    // Trace events are hart-stamped.
+    let trace = String::from_utf8_lossy(&serial.trace);
+    assert!(trace.contains("\"hart\":3"), "hart 3 events missing");
+
+    let parallel = run_hpmpsim_smp(2);
+    assert_eq!(serial.stdout, parallel.stdout, "stdout differs");
+    assert_eq!(serial.metrics, parallel.metrics, "metrics differ");
+    assert_eq!(serial.bench, parallel.bench, "bench report differs");
+    assert_eq!(serial.trace, parallel.trace, "trace stream differs");
+}
+
 #[test]
 fn parallel_run_is_byte_identical_to_serial() {
     let serial = run_repro(1);

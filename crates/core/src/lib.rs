@@ -34,6 +34,7 @@ mod hpmp;
 mod iopmp;
 mod pmp;
 mod ptw_cache;
+mod shootdown;
 mod table;
 
 pub use cost::{estimate_resources, HardwareParams, ResourceReport};
@@ -45,6 +46,7 @@ pub use hpmp_trace::PmptwOutcome;
 pub use iopmp::{DeviceId, IoCheckOutcome, IoPmp, IoPmpEntry, IoPmpMode};
 pub use pmp::{napot_decode, napot_encode, AddressMode, PmpConfig, PmpRegion};
 pub use ptw_cache::{PmptwCache, PmptwCacheConfig, PmptwCacheStats, PmptwCacheStatsIds};
+pub use shootdown::{Ipi, IpiFabric, IpiKind, ShootdownCost};
 pub use table::{
     FillPolicy, LeafPmpte, MalformedPmpte, PmpTable, PmptRef, RootPmpte, TableError,
     TableFrameSource, TableLevels, TableOffset, TableWalk, LEAF_PMPTE_SPAN, LEAF_TABLE_SPAN,

@@ -24,9 +24,11 @@
 #![warn(missing_debug_implementations)]
 
 mod machine;
+mod multihart;
 mod setup;
 mod virt;
 
 pub use machine::{AccessOutcome, Fault, Machine, MachineConfig, MachineStats, RefBreakdown};
+pub use multihart::{HartScheduler, MultiHartMachine};
 pub use setup::{IsolationScheme, ScatteredPtFrames, System, SystemBuilder};
 pub use virt::{VirtAccessOutcome, VirtMachine, VirtRefBreakdown, VirtScheme};

@@ -335,6 +335,7 @@ pub struct Machine<S: TraceSink = NullSink> {
     sink: S,
     world: World,
     seq: u64,
+    hart_id: u16,
 }
 
 impl Machine {
@@ -367,7 +368,26 @@ impl<S: TraceSink> Machine<S> {
             sink,
             world: World::Host,
             seq: 0,
+            hart_id: 0,
         }
+    }
+
+    /// The hart id stamped on emitted events (0 on single-hart machines).
+    pub fn hart_id(&self) -> u16 {
+        self.hart_id
+    }
+
+    /// Sets the hart id stamped on emitted events. The multi-hart driver
+    /// calls this once per hart at construction.
+    pub fn set_hart_id(&mut self, hart: u16) {
+        self.hart_id = hart;
+    }
+
+    /// Charges cycles that were spent outside the walk path — IPI traps,
+    /// remote reprogramming, fence stalls — into this machine's cycle
+    /// counter so per-hart totals include synchronization overhead.
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        self.metrics.bump(self.ids.cycles, cycles);
     }
 
     /// The core timing model.
@@ -991,6 +1011,7 @@ impl<S: TraceSink> Machine<S> {
         }
         let event = WalkEvent {
             seq: self.seq,
+            hart: self.hart_id,
             world: self.world,
             op: op_of(kind),
             privilege: priv_of(mode),

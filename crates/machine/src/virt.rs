@@ -854,6 +854,8 @@ impl<S: TraceSink> VirtMachine<S> {
         }
         let event = WalkEvent {
             seq: self.seq,
+            // The virtualized stack is only driven single-hart.
+            hart: 0,
             world: World::Guest,
             op: op_of(kind),
             privilege: PrivLevel::Supervisor,

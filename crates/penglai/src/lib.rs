@@ -18,6 +18,7 @@ mod merkle;
 mod monitor;
 mod os;
 mod sdk;
+mod smp;
 
 pub use attest::{AttestError, AttestationReport, Attestor};
 pub use gms::{Gms, GmsLabel};
@@ -31,3 +32,4 @@ pub use os::{
     USER_CODE_BASE, USER_HEAP_BASE,
 };
 pub use sdk::{CallError, EnclaveSdk};
+pub use smp::SmpSystem;

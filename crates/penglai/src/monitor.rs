@@ -89,6 +89,10 @@ pub enum MonitorError {
     /// root, …). The domain is quarantined until
     /// [`SecureMonitor::rebuild_domain_table`] reconstructs it.
     IntegrityLost(DomainId),
+    /// The domain is already scheduled on another hart. An enclave's
+    /// register image exists on at most one hart at a time; running it
+    /// twice would let two harts race the same private memory.
+    AlreadyScheduled(DomainId),
 }
 
 impl std::fmt::Display for MonitorError {
@@ -103,6 +107,9 @@ impl std::fmt::Display for MonitorError {
             MonitorError::BadBootRam(why) => write!(f, "unusable RAM region: {why}"),
             MonitorError::IntegrityLost(id) => {
                 write!(f, "integrity lost for {id}; domain quarantined")
+            }
+            MonitorError::AlreadyScheduled(id) => {
+                write!(f, "{id} is already scheduled on another hart")
             }
         }
     }
@@ -203,6 +210,12 @@ pub struct SecureMonitor {
     /// corruption (bit flips, interposed CSR writes) is bounded by one
     /// scrub period instead of persisting silently.
     shadow_regs: Vec<(u64, hpmp_core::PmpConfig)>,
+    /// The last domain whose *holdings* changed (grant, revoke, teardown,
+    /// relabel, rebuild) — the cross-hart shootdown obligation. Single-hart
+    /// callers never look at it (the machine the op ran on was fenced
+    /// inline); the SMP layer drains it after every op via
+    /// [`SecureMonitor::take_shootdown`] and converts it into IPIs.
+    pending_shootdown: Option<DomainId>,
 }
 
 /// What one [`SecureMonitor::scrub`] pass found and repaired.
@@ -273,6 +286,7 @@ impl SecureMonitor {
             metrics,
             ids,
             shadow_regs: Vec::new(),
+            pending_shootdown: None,
         };
 
         // The host domain starts owning all remaining memory as one slow GMS.
@@ -435,6 +449,7 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
+        self.pending_shootdown = Some(id);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
@@ -536,6 +551,7 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
+        self.pending_shootdown = Some(domain);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok((region, cycles))
     }
@@ -594,6 +610,7 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
+        self.pending_shootdown = Some(domain);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
@@ -628,6 +645,7 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
+        self.pending_shootdown = Some(domain);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
@@ -1013,6 +1031,7 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
+        self.pending_shootdown = Some(domain);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
@@ -1080,14 +1099,39 @@ impl SecureMonitor {
     /// enclave alloc and the next domain switch left the running host with
     /// a stale image granting it the enclave's new region.
     fn image_depends_on(&self, domain: DomainId) -> bool {
-        self.current == domain
+        self.image_depends(self.current, domain)
+    }
+
+    /// The hart-generic form of [`SecureMonitor::image_depends_on`]: does a
+    /// hart whose scheduled domain is `scheduled` carry `changed`'s
+    /// holdings in its register image? True when the changed domain itself
+    /// is scheduled there, or when the PMP flavour's host is — its
+    /// Keystone-style image holds one deny entry per enclave region, so
+    /// *any* enclave's holdings are part of every host image.
+    pub(crate) fn image_depends(&self, scheduled: DomainId, changed: DomainId) -> bool {
+        scheduled == changed
             || (self.flavor == TeeFlavor::PenglaiPmp
-                && self.current == DomainId::HOST
-                && domain != DomainId::HOST)
+                && scheduled == DomainId::HOST
+                && changed != DomainId::HOST)
+    }
+
+    /// Takes the pending cross-hart shootdown obligation, if any. See the
+    /// field docs; the SMP layer calls this after every monitor op.
+    pub fn take_shootdown(&mut self) -> Option<DomainId> {
+        self.pending_shootdown.take()
+    }
+
+    /// Re-points `current` without reprogramming anything. The SMP layer
+    /// uses this to bank the monitor's notion of "the running domain" to
+    /// whichever hart an op (or a remote reprogram) is being performed on;
+    /// every register write still goes through
+    /// [`SecureMonitor::program_current`].
+    pub(crate) fn set_current_unchecked(&mut self, id: DomainId) {
+        self.current = id;
     }
 
     /// Reprograms the register file for the current domain. Returns cycles.
-    fn program_current<S: TraceSink>(
+    pub(crate) fn program_current<S: TraceSink>(
         &mut self,
         machine: &mut Machine<S>,
     ) -> Result<u64, MonitorError> {

@@ -1,0 +1,479 @@
+//! The SMP face of the secure monitor: one [`SecureMonitor`] serving N
+//! harts, each with its own PMP/HPMP register image and permission caches,
+//! synchronized by the cross-hart shootdown protocol.
+//!
+//! ## The protocol
+//!
+//! The single-hart monitor already fences *the machine it runs on* inside
+//! every mutating op. What it cannot do alone is reach the other harts: a
+//! grant, revoke, teardown or relabel on hart A leaves every other hart
+//! with (a) possibly stale TLB/PMPTW-Cache entries — permissions are
+//! inlined in TLB entries, so a stale entry is a stale *grant* — and (b) a
+//! possibly stale register image, when that hart's scheduled domain's
+//! holdings include the changed domain ([`SecureMonitor::image_depends`]).
+//!
+//! [`SmpSystem`] closes both: after every monitor op it drains the
+//! monitor's pending-shootdown note and delivers one IPI per remote hart —
+//! `Reprogram` where the image depends on the change, `FenceOnly`
+//! elsewhere. Delivery is synchronous, as in Penglai and CoVE's TSM: the
+//! sender stalls until the slowest receiver has trapped, reprogrammed or
+//! fenced, and acked. The stall is charged to the sender
+//! (`hart.<i>.fence_stall_cycles`), the handler work to each receiver
+//! (`hart.<i>.shootdown_cycles`), so `hpmp-analyze` can attribute
+//! shootdown overhead per hart.
+//!
+//! Fault campaigns re-open the stale window deliberately:
+//! [`SmpSystem::set_shootdown_suppression`] skips delivery entirely,
+//! which — unlike the single-hart fence suppression, whose epoch half
+//! still kills stale entries — leaves remote TLBs *genuinely* stale. The
+//! shootdown property test uses this to prove it can observe the bug class
+//! it guards against.
+//!
+//! ## Scheduling discipline
+//!
+//! `monitor.current` is a single-hart notion; here every hart has its own
+//! scheduled domain. Before running an op on hart A the system banks
+//! `current` to `scheduled[A]`; after the op it reads `current` back (ops
+//! like `destroy_domain` switch internally). An enclave may be scheduled
+//! on at most one hart at a time — its image and private memory exist
+//! once — while the host may run on any number of harts.
+
+use crate::gms::GmsLabel;
+use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor, TeeFlavor};
+use hpmp_core::{IpiKind, PmpRegion};
+use hpmp_machine::{Machine, MachineConfig, MultiHartMachine};
+use hpmp_memsim::{AccessKind, PhysAddr};
+use hpmp_trace::{NullSink, Snapshot, TraceSink};
+
+/// N harts, one secure monitor, one physical memory.
+#[derive(Debug)]
+pub struct SmpSystem<S: TraceSink = NullSink> {
+    mh: MultiHartMachine<S>,
+    monitor: SecureMonitor,
+    /// Which domain each hart is running. Kept by this layer; the
+    /// monitor's own `current` is banked to `scheduled[hart]` around every
+    /// op.
+    scheduled: Vec<DomainId>,
+    /// Fault-injection switch: when set, shootdown IPIs are never
+    /// delivered and remote harts keep stale cached grants.
+    suppress_shootdowns: bool,
+}
+
+impl SmpSystem {
+    /// Boots a monitor over `harts` identical untraced machines.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::boot`].
+    pub fn boot(
+        config: MachineConfig,
+        flavor: TeeFlavor,
+        ram: PmpRegion,
+        harts: usize,
+    ) -> Result<SmpSystem, MonitorError> {
+        SmpSystem::boot_machines(
+            (0..harts).map(|_| Machine::new(config)).collect(),
+            flavor,
+            ram,
+        )
+    }
+}
+
+impl<S: TraceSink> SmpSystem<S> {
+    /// Boots a monitor over pre-built machines (e.g. each with its own
+    /// trace sink). Hart 0 boots the monitor; every other hart receives
+    /// the monitor's entry-0 segment and the host image, exactly as
+    /// secondary harts do on real hardware before the host OS starts.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::boot`].
+    pub fn boot_machines(
+        machines: Vec<Machine<S>>,
+        flavor: TeeFlavor,
+        ram: PmpRegion,
+    ) -> Result<SmpSystem<S>, MonitorError> {
+        let mut mh = MultiHartMachine::from_machines(machines);
+        let mut monitor = SecureMonitor::boot(mh.machine(0), flavor, ram)?;
+        let harts = mh.harts();
+        for hart in 1..harts as u16 {
+            let m = mh.machine(hart);
+            m.regs_mut().configure_segment(
+                0,
+                monitor.monitor_region(),
+                hpmp_memsim::Perms::NONE,
+            )?;
+            monitor.program_current(m)?;
+        }
+        // Boot-time table builds note a shootdown; nobody was running yet.
+        let _ = monitor.take_shootdown();
+        Ok(SmpSystem {
+            mh,
+            monitor,
+            scheduled: vec![DomainId::HOST; harts],
+            suppress_shootdowns: false,
+        })
+    }
+
+    /// Number of harts.
+    pub fn harts(&self) -> usize {
+        self.mh.harts()
+    }
+
+    /// The monitor, read-only. All mutation must go through the `*_on`
+    /// ops so the shootdown protocol runs.
+    pub fn monitor(&self) -> &SecureMonitor {
+        &self.monitor
+    }
+
+    /// The multi-hart machine, for scheduling-neutral inspection (per-hart
+    /// sinks, IPI counters).
+    pub fn machines(&self) -> &MultiHartMachine<S> {
+        &self.mh
+    }
+
+    /// Activates and returns `hart`'s machine, for running accesses on it.
+    pub fn machine(&mut self, hart: u16) -> &mut Machine<S> {
+        self.mh.machine(hart)
+    }
+
+    /// The domain scheduled on `hart`.
+    pub fn scheduled(&self, hart: u16) -> DomainId {
+        self.scheduled[usize::from(hart)]
+    }
+
+    /// The cache-free permission oracle, asked from `hart`'s point of
+    /// view: may `hart`'s scheduled domain access `addr`?
+    pub fn oracle_check_on(&self, hart: u16, addr: PhysAddr, kind: AccessKind) -> bool {
+        self.monitor
+            .oracle_check_for(self.scheduled(hart), addr, kind)
+    }
+
+    /// Suppresses (or restores) shootdown delivery. Unlike single-hart
+    /// fence suppression — whose unsuppressable epoch half still
+    /// invalidates stale entries — suppressed shootdowns never reach the
+    /// remote hart at all, so its TLB keeps stale grants. Strictly a
+    /// fault-injection hook.
+    pub fn set_shootdown_suppression(&mut self, suppress: bool) {
+        self.suppress_shootdowns = suppress;
+    }
+
+    /// Schedules `target` on `hart` (a domain switch on that hart),
+    /// broadcasting a fence-only shootdown to the other harts. Returns
+    /// modelled cycles (switch + sender-side stall).
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::AlreadyScheduled`] if `target` is an enclave
+    /// already scheduled on a different hart; otherwise as
+    /// [`SecureMonitor::switch_to`].
+    pub fn switch_on(&mut self, hart: u16, target: DomainId) -> Result<u64, MonitorError> {
+        if target != DomainId::HOST {
+            let elsewhere = self
+                .scheduled
+                .iter()
+                .enumerate()
+                .any(|(h, &d)| d == target && h != usize::from(hart));
+            if elsewhere {
+                return Err(MonitorError::AlreadyScheduled(target));
+            }
+        }
+        self.monitor.set_current_unchecked(self.scheduled(hart));
+        let cycles = self.monitor.switch_to(self.mh.machine(hart), target)?;
+        self.scheduled[usize::from(hart)] = target;
+        // A switch changes no holdings, but remote harts may hold TLB
+        // entries tagged with the switched hart's old world; Penglai
+        // broadcasts a fence on switch, and so do we.
+        let stall = self.deliver(hart, None)?;
+        Ok(cycles + stall)
+    }
+
+    /// Creates an enclave domain, driven from `hart`. Returns
+    /// `(id, cycles)` including the shootdown stall.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::create_domain`].
+    pub fn create_domain_on(
+        &mut self,
+        hart: u16,
+        initial_size: u64,
+        label: GmsLabel,
+    ) -> Result<(DomainId, u64), MonitorError> {
+        self.op(hart, |mon, m| mon.create_domain(m, initial_size, label))
+    }
+
+    /// Destroys a domain, driven from `hart`. If the domain was scheduled
+    /// on another hart, that hart's reprogram IPI reschedules it to the
+    /// host — the model of "kill an enclave out from under its core".
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::destroy_domain`].
+    pub fn destroy_domain_on(&mut self, hart: u16, id: DomainId) -> Result<u64, MonitorError> {
+        let ((), cycles) = self.op(hart, |mon, m| mon.destroy_domain(m, id).map(|c| ((), c)))?;
+        Ok(cycles)
+    }
+
+    /// Allocates a region for `domain`, driven from `hart`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::alloc_region`].
+    pub fn alloc_on(
+        &mut self,
+        hart: u16,
+        domain: DomainId,
+        size: u64,
+        label: GmsLabel,
+    ) -> Result<(PmpRegion, u64), MonitorError> {
+        self.op(hart, |mon, m| mon.alloc_region(m, domain, size, label))
+    }
+
+    /// Frees `domain`'s region at `base`, driven from `hart`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::free_region`].
+    pub fn free_on(
+        &mut self,
+        hart: u16,
+        domain: DomainId,
+        base: PhysAddr,
+    ) -> Result<u64, MonitorError> {
+        let ((), cycles) = self.op(hart, |mon, m| {
+            mon.free_region(m, domain, base).map(|c| ((), c))
+        })?;
+        Ok(cycles)
+    }
+
+    /// Relabels `domain`'s region at `base`, driven from `hart`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::relabel`].
+    pub fn relabel_on(
+        &mut self,
+        hart: u16,
+        domain: DomainId,
+        base: PhysAddr,
+        label: GmsLabel,
+    ) -> Result<u64, MonitorError> {
+        let ((), cycles) = self.op(hart, |mon, m| {
+            mon.relabel(m, domain, base, label).map(|c| ((), c))
+        })?;
+        Ok(cycles)
+    }
+
+    /// Runs one monitor op on `hart` with `current` banked to that hart's
+    /// scheduled domain, then drains and delivers the shootdown. The
+    /// returned cycle count includes the sender-side stall.
+    fn op<R>(
+        &mut self,
+        hart: u16,
+        f: impl FnOnce(&mut SecureMonitor, &mut Machine<S>) -> Result<(R, u64), MonitorError>,
+    ) -> Result<(R, u64), MonitorError> {
+        self.monitor.set_current_unchecked(self.scheduled(hart));
+        let out = f(&mut self.monitor, self.mh.machine(hart));
+        // Ops may have switched domains internally (destroy of the running
+        // domain falls back to the host).
+        self.scheduled[usize::from(hart)] = self.monitor.current();
+        let (r, mut cycles) = out?;
+        let changed = self.monitor.take_shootdown();
+        cycles += self.deliver(hart, changed)?;
+        Ok((r, cycles))
+    }
+
+    /// Delivers a shootdown from `hart` to every other hart and returns
+    /// the sender's stall cycles. `changed` picks reprogram targets; a
+    /// plain fence broadcast passes `None`.
+    fn deliver(&mut self, from: u16, changed: Option<DomainId>) -> Result<u64, MonitorError> {
+        if self.suppress_shootdowns || self.mh.harts() == 1 {
+            return Ok(0);
+        }
+        let mut sender_cycles = 0;
+        let mut slowest_ack = 0;
+        for hart in 0..self.mh.harts() as u16 {
+            if hart == from {
+                continue;
+            }
+            let kind = match changed {
+                Some(d) if self.monitor.image_depends(self.scheduled(hart), d) => {
+                    IpiKind::Reprogram
+                }
+                _ => IpiKind::FenceOnly,
+            };
+            sender_cycles += self.mh.post_ipi(from, hart, kind);
+            // Delivery is synchronous: the receiver traps immediately.
+            let ipi = self.mh.take_ipi(hart).expect("IPI just posted");
+            let mut handler = cost::TRAP_ROUND_TRIP;
+            if ipi.kind == IpiKind::Reprogram {
+                // The scheduled domain may be the one just destroyed; a
+                // real handler finds its domain gone and parks the hart in
+                // the host.
+                let mut sched = self.scheduled(hart);
+                if self.monitor.regions_of(sched).is_err() {
+                    sched = DomainId::HOST;
+                    self.scheduled[usize::from(hart)] = sched;
+                }
+                self.monitor.set_current_unchecked(sched);
+                handler += self.monitor.program_current(self.mh.machine(hart))?;
+            }
+            self.mh.machine(hart).invalidate_isolation();
+            handler += cost::FENCE;
+            self.mh.charge_shootdown(hart, handler);
+            slowest_ack = slowest_ack.max(handler);
+        }
+        // Restore the banked current to the initiating hart.
+        self.monitor.set_current_unchecked(self.scheduled(from));
+        let stall = self.mh.shootdown_cost().ipi_latency + slowest_ack;
+        self.mh.charge_fence_stall(from, stall);
+        Ok(sender_cycles + stall)
+    }
+
+    /// One merged snapshot: the multi-hart machine's `hart.<i>.*` and
+    /// `smp.*` counters plus the monitor's `monitor.*` counters.
+    pub fn metrics_snapshot(&mut self) -> Snapshot {
+        self.mh
+            .metrics_snapshot()
+            .merge(&self.monitor.metrics_snapshot())
+    }
+
+    /// Flushes every hart's trace sink.
+    pub fn flush_sinks(&mut self) {
+        self.mh.flush_sinks();
+    }
+
+    /// Consumes the system, returning each hart's sink in hart order.
+    pub fn into_sinks(self) -> Vec<S> {
+        self.mh.into_sinks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+    fn boot(flavor: TeeFlavor, harts: usize) -> SmpSystem {
+        SmpSystem::boot(MachineConfig::rocket(), flavor, RAM, harts).unwrap()
+    }
+
+    #[test]
+    fn secondary_harts_boot_with_the_host_image() {
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 4);
+        let monitor_region = smp.monitor().monitor_region();
+        for hart in 0..4 {
+            assert_eq!(smp.scheduled(hart), DomainId::HOST);
+            // Every hart's entry 0 protects the monitor.
+            let m = smp.machine(hart);
+            assert_eq!(m.regs().entry_region(0), Some(monitor_region));
+        }
+    }
+
+    #[test]
+    fn enclave_schedulable_on_one_hart_only() {
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 2);
+        let (id, _) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+        smp.switch_on(0, id).unwrap();
+        assert_eq!(
+            smp.switch_on(1, id),
+            Err(MonitorError::AlreadyScheduled(id))
+        );
+        // The host can run anywhere, including alongside itself.
+        smp.switch_on(1, DomainId::HOST).unwrap();
+        // Once hart 0 leaves the enclave, hart 1 may enter it.
+        smp.switch_on(0, DomainId::HOST).unwrap();
+        smp.switch_on(1, id).unwrap();
+    }
+
+    #[test]
+    fn alloc_reprograms_the_hart_running_the_domain() {
+        // Domain runs on hart 1; a grant driven from hart 0 must land in
+        // hart 1's register image via the Reprogram IPI.
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 2);
+        let (id, _) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+        smp.switch_on(1, id).unwrap();
+        let (region, _) = smp.alloc_on(0, id, 1 << 20, GmsLabel::Fast).unwrap();
+        // A Fast GMS becomes a segment in the running image under HPMP:
+        // hart 1 must now carry it.
+        let carries =
+            |m: &Machine| (0..m.regs().len()).any(|i| m.regs().entry_region(i) == Some(region));
+        assert!(
+            carries(smp.mh.peek(1)),
+            "remote hart's image missed the reprogram IPI"
+        );
+        assert!(
+            !carries(smp.mh.peek(0)),
+            "host hart must not carry the enclave's segment"
+        );
+        let snap = smp.metrics_snapshot();
+        assert!(snap.value("hart.1.shootdowns") >= 1);
+        assert!(snap.value("hart.0.fence_stall_cycles") > 0);
+    }
+
+    #[test]
+    fn destroy_while_scheduled_elsewhere_parks_that_hart_in_the_host() {
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 2);
+        let (id, _) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+        smp.switch_on(1, id).unwrap();
+        smp.destroy_domain_on(0, id).unwrap();
+        assert_eq!(smp.scheduled(1), DomainId::HOST);
+        // And the parked hart's oracle answer is the host's.
+        let probe = PhysAddr::new(RAM.base.raw() + (1 << 29));
+        assert!(smp.oracle_check_on(1, probe, AccessKind::Read));
+    }
+
+    #[test]
+    fn suppressed_shootdowns_leave_remote_images_stale() {
+        let mut smp = boot(TeeFlavor::PenglaiPmp, 2);
+        let before: Vec<_> = {
+            let m = smp.mh.peek(1);
+            (0..m.regs().len()).map(|i| m.regs().addr_reg(i)).collect()
+        };
+        smp.set_shootdown_suppression(true);
+        // A new enclave region must appear as a deny entry in every
+        // PMP-flavour host image — but the IPI never arrives.
+        smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+        let after: Vec<_> = {
+            let m = smp.mh.peek(1);
+            (0..m.regs().len()).map(|i| m.regs().addr_reg(i)).collect()
+        };
+        assert_eq!(before, after, "suppression must freeze the remote image");
+        let snap = smp.metrics_snapshot();
+        assert_eq!(snap.value("hart.1.ipis_received"), 0);
+    }
+
+    #[test]
+    fn single_hart_smp_matches_plain_monitor_costs() {
+        // With one hart there is nobody to shoot down: op costs must equal
+        // the single-hart monitor's exactly.
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 1);
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let mut mon = SecureMonitor::boot(&mut machine, TeeFlavor::PenglaiHpmp, RAM).unwrap();
+
+        let (id_smp, c_smp) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+        let (id_mon, c_mon) = mon
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        assert_eq!(id_smp, id_mon);
+        assert_eq!(c_smp, c_mon);
+        assert_eq!(
+            smp.switch_on(0, id_smp).unwrap(),
+            mon.switch_to(&mut machine, id_mon).unwrap()
+        );
+    }
+
+    #[test]
+    fn host_memory_is_shared_across_harts() {
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 3);
+        let addr = PhysAddr::new(RAM.base.raw() + (1 << 28));
+        smp.machine(0).phys_mut().write_u64(addr, 0xabcd);
+        assert_eq!(smp.machine(2).phys().read_u64(addr), 0xabcd);
+        // Permission answer agrees everywhere while all run the host.
+        for hart in 0..3 {
+            assert!(smp.oracle_check_on(hart, addr, AccessKind::Write));
+        }
+    }
+}

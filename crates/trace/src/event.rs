@@ -328,6 +328,9 @@ impl WalkStep {
 pub struct WalkEvent {
     /// Monotonic per-machine sequence number.
     pub seq: u64,
+    /// The hart (hardware thread) that issued the access; 0 on
+    /// single-hart machines.
+    pub hart: u16,
     /// Which world issued the access.
     pub world: World,
     /// Load / store / fetch.
@@ -402,10 +405,11 @@ impl WalkEvent {
         };
         let steps: Vec<String> = self.steps.iter().map(WalkStep::to_json).collect();
         format!(
-            "{{\"seq\":{},\"world\":\"{}\",\"op\":\"{}\",\"priv\":\"{}\",\"va\":\"{:#x}\",\
+            "{{\"seq\":{},\"hart\":{},\"world\":\"{}\",\"op\":\"{}\",\"priv\":\"{}\",\"va\":\"{:#x}\",\
              \"paddr\":{},\"tlb\":\"{}\",\"pwc_level\":{},\"pmptw\":{},\
              \"pipeline_cycles\":{},\"cycles\":{},\"fault\":{},\"steps\":[{}]}}",
             self.seq,
+            self.hart,
             self.world.label(),
             self.op.label(),
             self.privilege.label(),
@@ -429,6 +433,7 @@ mod tests {
     fn sample() -> WalkEvent {
         WalkEvent {
             seq: 7,
+            hart: 0,
             world: World::Enclave,
             op: AccessOp::Write,
             privilege: PrivLevel::User,
@@ -485,6 +490,7 @@ mod tests {
         assert!(!j.contains('\n'));
         for needle in [
             "\"seq\":7",
+            "\"hart\":0",
             "\"world\":\"enclave\"",
             "\"tlb\":\"miss\"",
             "\"pmpt_leaf\"",

@@ -240,6 +240,15 @@ pub fn parse_event(value: &JsonValue) -> Result<WalkEvent, String> {
         .collect::<Result<Vec<_>, _>>()?;
     Ok(WalkEvent {
         seq: u64_field(value, "seq")?,
+        // Absent in traces written before multi-hart support; those are
+        // single-hart streams, so hart 0 is exact, not a guess.
+        hart: match value.get("hart") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .and_then(|h| u16::try_from(h).ok())
+                .ok_or("field \"hart\" is not a small integer")?,
+        },
         world: label_field(value, "world", World::from_label)?,
         op: label_field(value, "op", AccessOp::from_label)?,
         privilege: label_field(value, "priv", PrivLevel::from_label)?,
@@ -283,6 +292,7 @@ mod tests {
     fn sample_event(seq: u64) -> WalkEvent {
         WalkEvent {
             seq,
+            hart: 2,
             world: World::Enclave,
             op: AccessOp::Write,
             privilege: PrivLevel::User,
@@ -344,6 +354,16 @@ mod tests {
             .read_all()
             .unwrap();
         assert_eq!(back, vec![e]);
+    }
+
+    #[test]
+    fn pre_multihart_event_parses_as_hart_zero() {
+        // A line written before the `hart` field existed must still parse.
+        let legacy = sample_event(5).to_json().replacen("\"hart\":2,", "", 1);
+        let value = crate::json::parse_json(&legacy).expect("valid JSON");
+        let event = parse_event(&value).expect("parses without hart");
+        assert_eq!(event.hart, 0);
+        assert_eq!(event.seq, 5);
     }
 
     #[test]

@@ -231,6 +231,7 @@ mod tests {
     fn event(seq: u64) -> WalkEvent {
         WalkEvent {
             seq,
+            hart: 0,
             world: World::Host,
             op: AccessOp::Read,
             privilege: PrivLevel::Supervisor,

@@ -24,6 +24,7 @@ pub mod multi_tenant;
 pub mod redis;
 pub mod rv8;
 pub mod serverless;
+pub mod smp;
 pub mod virt_app;
 
 pub use fixture::{TeeBench, FLAVORS, RAM_BASE, RAM_SIZE};

@@ -7,6 +7,7 @@ use hpmp_suite::machine::{IsolationScheme, VirtScheme};
 use hpmp_suite::memsim::{AccessKind, CoreKind};
 use hpmp_suite::penglai::TeeFlavor;
 use hpmp_suite::workloads::latency::{measure, measure_virt, TestCase, VirtCase};
+use hpmp_suite::workloads::smp::{run_smp, spec_for};
 use hpmp_suite::workloads::{gap, lmbench, multi_tenant, redis, serverless};
 
 #[test]
@@ -97,6 +98,38 @@ fn workloads_are_deterministic() {
     let a = multi_tenant::run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 8, 2).unwrap();
     let b = multi_tenant::run_tenancy(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 8, 2).unwrap();
     assert_eq!(a, b, "tenancy");
+}
+
+/// The SMP runner is single-threaded behind a seeded interleaver, so its
+/// outcome, metrics snapshot and per-hart counters must be byte-stable for
+/// a fixed (seed, harts) pair — at every hart count, across all flavours.
+/// This is the invariant that makes `hpmpsim --harts N` artifacts
+/// identical whatever `--jobs` is.
+#[test]
+fn smp_runs_are_deterministic_at_every_hart_count() {
+    let spec = spec_for("tenancy").expect("tenancy has an SMP shape");
+    for flavor in [
+        TeeFlavor::PenglaiPmp,
+        TeeFlavor::PenglaiPmpt,
+        TeeFlavor::PenglaiHpmp,
+    ] {
+        for harts in [1usize, 2, 4] {
+            let (a, snap_a) = run_smp(flavor, CoreKind::Rocket, harts, 0xd5, spec).unwrap();
+            let (b, snap_b) = run_smp(flavor, CoreKind::Rocket, harts, 0xd5, spec).unwrap();
+            assert_eq!(a, b, "{flavor} outcome at {harts} harts");
+            assert_eq!(
+                snap_a.to_json(),
+                snap_b.to_json(),
+                "{flavor} snapshot at {harts} harts"
+            );
+        }
+    }
+    // Different seeds and hart counts must actually change the run.
+    let (one, _) = run_smp(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 2, 0xd5, spec).unwrap();
+    let (other_seed, _) = run_smp(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 2, 0xd6, spec).unwrap();
+    assert_ne!(one.total_cycles, other_seed.total_cycles);
+    let (more_harts, _) = run_smp(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, 4, 0xd5, spec).unwrap();
+    assert_ne!(one.total_cycles, more_harts.total_cycles);
 }
 
 #[test]

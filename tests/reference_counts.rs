@@ -6,6 +6,7 @@
 use hpmp_suite::machine::{IsolationScheme, MachineConfig, SystemBuilder, VirtMachine, VirtScheme};
 use hpmp_suite::memsim::{AccessKind, Perms, PrivMode, VirtAddr};
 use hpmp_suite::paging::TranslationMode;
+use hpmp_suite::penglai::{SmpSystem, TeeFlavor};
 
 fn cold_refs(scheme: IsolationScheme, mode: TranslationMode) -> (u64, u64, u64, u64) {
     let mut sys = SystemBuilder::new(MachineConfig::rocket(), scheme)
@@ -169,6 +170,62 @@ fn tlb_inlining_ablation() {
         .unwrap();
     assert_eq!(warm.refs.pmpte_for_data, 2);
     assert_eq!(warm.refs.total(), 3);
+}
+
+/// The §2–§3 arithmetic must survive SMP: on a 2-hart system with one
+/// tenant enclave per hart, each hart's *own* cold miss walk still costs
+/// exactly the paper's counts — 4 (PMP), 12 (PMPT), 6 (HPMP) — because a
+/// walk runs entirely on the hart that issues it. If per-hart accounting
+/// double-counted shared steps (or a remote hart's caches bled in), these
+/// exact equalities would break.
+#[test]
+fn reference_formulas_hold_per_hart_under_smp() {
+    use hpmp_suite::core::PmpRegion;
+    use hpmp_suite::memsim::PhysAddr;
+    use hpmp_suite::workloads::smp::setup_tenants;
+
+    let ram = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+    for (flavor, expected_total, expected_for_pt) in [
+        (TeeFlavor::PenglaiPmp, 4u64, 0u64),
+        (TeeFlavor::PenglaiPmpt, 12, 6),
+        (TeeFlavor::PenglaiHpmp, 6, 0),
+    ] {
+        let mut smp =
+            SmpSystem::boot(MachineConfig::rocket(), flavor, ram, 2).expect("SMP system boots");
+        let tenants = setup_tenants(&mut smp, 4).expect("tenants boot");
+        for hart in 0..2u16 {
+            let tenant = &tenants[usize::from(hart)];
+            let machine = smp.machine(hart);
+            machine.flush_microarch();
+            let out = machine
+                .access(
+                    &tenant.space,
+                    tenant.va_base,
+                    AccessKind::Read,
+                    PrivMode::User,
+                )
+                .expect("tenant reaches its own page");
+            assert_eq!(out.refs.pt_reads, 3, "{flavor} hart {hart}: Sv39 PT reads");
+            assert_eq!(
+                out.refs.pmpte_for_pt, expected_for_pt,
+                "{flavor} hart {hart}: pmpte refs guarding PT pages"
+            );
+            assert_eq!(
+                out.refs.total(),
+                expected_total,
+                "{flavor} hart {hart}: total walk references"
+            );
+        }
+        // The per-hart counters saw exactly the per-hart work: both harts
+        // walked, neither inherited the other's references.
+        let snap = smp.metrics_snapshot();
+        for hart in 0..2 {
+            assert!(
+                snap.value(&format!("hart.{hart}.machine.accesses")) >= 1,
+                "{flavor} hart {hart} accesses"
+            );
+        }
+    }
 }
 
 /// The three schemes are one register file: flipping the T bit (plus the

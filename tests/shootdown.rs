@@ -1,0 +1,296 @@
+//! Cross-hart shootdown conformance: under randomized multi-hart
+//! schedules of domain switches, GMS grants/revokes and teardowns, every
+//! hart's fast-path permission answer must stay consistent with the
+//! monitor's cache-free lockstep oracle — a stale grant on *any* hart is a
+//! silent isolation failure.
+//!
+//! The battery has three parts:
+//!
+//! 1. A property test: 1000 seeded random schedules across 2–4 harts and
+//!    all three flavours, with the fail-closed invariant (`fast grant ⇒
+//!    oracle grant`) checked on every hart after every op.
+//! 2. A meta-test proving the property is *observable*: with shootdown
+//!    delivery suppressed, a remote hart's inlined-TLB grant survives the
+//!    revoke and contradicts the oracle; with delivery on, the same
+//!    schedule revokes it.
+//! 3. A regression for the hole the SMP layer actually closes: destroying
+//!    a domain scheduled on another hart must park that hart in the host,
+//!    not leave it running a corpse's image.
+
+use hpmp_suite::core::{PmpRegion, PmptwCache};
+use hpmp_suite::memsim::{
+    AccessKind, FrameAllocator, PhysAddr, PrivMode, SplitMix64, VirtAddr, PAGE_SIZE,
+};
+use hpmp_suite::paging::{AddressSpace, TranslationMode};
+use hpmp_suite::penglai::{DomainId, GmsLabel, MonitorError, SmpSystem, TeeFlavor};
+use hpmp_suite::trace::NullSink;
+
+const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+const FLAVORS: [TeeFlavor; 3] = [
+    TeeFlavor::PenglaiPmp,
+    TeeFlavor::PenglaiPmpt,
+    TeeFlavor::PenglaiHpmp,
+];
+
+fn boot(flavor: TeeFlavor, harts: usize) -> SmpSystem {
+    SmpSystem::boot(
+        hpmp_suite::machine::MachineConfig::rocket(),
+        flavor,
+        RAM,
+        harts,
+    )
+    .expect("SMP system boots")
+}
+
+/// Every hart's register-image answer for `addr`, checked against the
+/// oracle's answer for that hart's scheduled domain. Fail-closed: the fast
+/// path may deny what the oracle would grant (a stale *revoke* is safe),
+/// never grant what the oracle denies.
+fn assert_no_divergence(smp: &mut SmpSystem<NullSink>, probes: &[PhysAddr], context: &str) {
+    for hart in 0..smp.harts() as u16 {
+        for &pa in probes {
+            let fast = {
+                let m = smp.machine(hart);
+                let mut cache = PmptwCache::disabled();
+                m.regs()
+                    .check(
+                        m.phys(),
+                        &mut cache,
+                        pa,
+                        AccessKind::Read,
+                        PrivMode::Supervisor,
+                    )
+                    .allowed
+            };
+            let oracle = smp.oracle_check_on(hart, pa, AccessKind::Read);
+            assert!(
+                !fast || oracle,
+                "{context}: hart {hart} fast path grants {pa} to {:?} but the oracle denies it",
+                smp.scheduled(hart)
+            );
+        }
+    }
+}
+
+/// The probe set: the monitor's own memory plus every live domain's first
+/// region base.
+fn probes(smp: &SmpSystem<NullSink>, live: &[DomainId]) -> Vec<PhysAddr> {
+    let mut probes = vec![PhysAddr::new(
+        smp.monitor().monitor_region().base.raw() + 0x800,
+    )];
+    for &d in live {
+        if let Ok(regions) = smp.monitor().regions_of(d) {
+            if let Some(g) = regions.first() {
+                probes.push(g.region.base);
+            }
+        }
+    }
+    probes
+}
+
+#[test]
+fn randomized_schedules_never_diverge_from_the_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0x5100_7d01);
+    for case in 0..1000u32 {
+        let flavor = FLAVORS[rng.gen_range(0..3) as usize];
+        let harts = 2 + rng.gen_range(0..3) as usize; // 2..=4
+        let mut smp = boot(flavor, harts);
+        let mut live: Vec<DomainId> = vec![DomainId::HOST];
+        // Regions allocated during the schedule, free/relabel candidates.
+        let mut grants: Vec<(DomainId, PhysAddr)> = Vec::new();
+
+        let n_ops = 3 + rng.gen_range(0..6) as usize;
+        for step in 0..n_ops {
+            let hart = rng.gen_range(0..harts as u64) as u16;
+            match rng.gen_range(0..6) {
+                0 => match smp.create_domain_on(hart, 256 * 1024, GmsLabel::Slow) {
+                    Ok((id, _)) => live.push(id),
+                    Err(MonitorError::OutOfPmpEntries | MonitorError::OutOfMemory) => {}
+                    Err(e) => panic!("create failed: {e}"),
+                },
+                1 => {
+                    let enclaves: Vec<DomainId> = live
+                        .iter()
+                        .copied()
+                        .filter(|&d| d != DomainId::HOST)
+                        .collect();
+                    if enclaves.is_empty() {
+                        continue;
+                    }
+                    let victim = enclaves[rng.gen_range(0..enclaves.len() as u64) as usize];
+                    smp.destroy_domain_on(hart, victim).expect("destroy");
+                    live.retain(|&d| d != victim);
+                    grants.retain(|&(d, _)| d != victim);
+                }
+                2 => {
+                    let target = live[rng.gen_range(0..live.len() as u64) as usize];
+                    let size = 64 * 1024 * rng.gen_range(1..5);
+                    match smp.alloc_on(hart, target, size, GmsLabel::Slow) {
+                        Ok((region, _)) => grants.push((target, region.base)),
+                        Err(MonitorError::OutOfPmpEntries | MonitorError::OutOfMemory) => {}
+                        Err(e) => panic!("alloc failed: {e}"),
+                    }
+                }
+                3 => {
+                    if grants.is_empty() {
+                        continue;
+                    }
+                    let (domain, base) =
+                        grants.swap_remove(rng.gen_range(0..grants.len() as u64) as usize);
+                    if !live.contains(&domain) {
+                        continue;
+                    }
+                    smp.free_on(hart, domain, base).expect("free");
+                }
+                4 => {
+                    let target = live[rng.gen_range(0..live.len() as u64) as usize];
+                    match smp.switch_on(hart, target) {
+                        Ok(_) => {}
+                        Err(MonitorError::AlreadyScheduled(_) | MonitorError::OutOfPmpEntries) => {}
+                        Err(e) => panic!("switch failed: {e}"),
+                    }
+                }
+                _ => {
+                    if grants.is_empty() {
+                        continue;
+                    }
+                    let (domain, base) = grants[rng.gen_range(0..grants.len() as u64) as usize];
+                    if !live.contains(&domain) {
+                        continue;
+                    }
+                    let label = if rng.gen_range(0..2) == 0 {
+                        GmsLabel::Fast
+                    } else {
+                        GmsLabel::Slow
+                    };
+                    match smp.relabel_on(hart, domain, base, label) {
+                        Ok(_) => {}
+                        Err(MonitorError::OutOfPmpEntries | MonitorError::OutOfMemory) => {}
+                        Err(e) => panic!("relabel failed: {e}"),
+                    }
+                }
+            }
+            let probes = probes(&smp, &live);
+            assert_no_divergence(
+                &mut smp,
+                &probes,
+                &format!("case {case} ({flavor}, {harts} harts) step {step}"),
+            );
+        }
+    }
+}
+
+/// Boots a 2-hart system with one enclave scheduled on hart 1, its data
+/// region mapped at `va` in an address space hart 1 can walk. Returns the
+/// system, the enclave id, the data region, and the space.
+fn enclave_on_hart1(
+    flavor: TeeFlavor,
+) -> (
+    SmpSystem<NullSink>,
+    DomainId,
+    PmpRegion,
+    AddressSpace,
+    VirtAddr,
+) {
+    let mut smp = boot(flavor, 2);
+    let (id, _) = smp
+        .create_domain_on(0, 256 * 1024, GmsLabel::Slow)
+        .expect("create");
+    let pool = smp.monitor().regions_of(id).expect("live")[0].region;
+    let (data, _) = smp
+        .alloc_on(0, id, 16 * PAGE_SIZE, GmsLabel::Slow)
+        .expect("alloc");
+    smp.switch_on(1, id).expect("schedule on hart 1");
+
+    let mut frames = FrameAllocator::new(pool.base, pool.size);
+    let machine = smp.machine(1);
+    let mut space = AddressSpace::new(TranslationMode::Sv39, 1, machine.phys_mut(), &mut frames)
+        .expect("space");
+    let va = VirtAddr::new(0x10_0000);
+    space
+        .map_page(
+            machine.phys_mut(),
+            &mut frames,
+            va,
+            data.base,
+            hpmp_suite::memsim::Perms::RW,
+            true,
+        )
+        .expect("map");
+    (smp, id, data, space, va)
+}
+
+/// The meta-test: the divergence the property test guards against is real
+/// and observable. Permissions are inlined in TLB entries, so a hart that
+/// never receives the shootdown keeps *granting* — the register image and
+/// the TLB both go stale, and only the IPI closes them.
+#[test]
+fn suppressed_shootdown_leaves_a_stale_grant_on_the_remote_hart() {
+    let (mut smp, id, data, space, va) = enclave_on_hart1(TeeFlavor::PenglaiHpmp);
+
+    // Warm hart 1's TLB with the enclave mapping: permission now inlined.
+    smp.machine(1)
+        .access(&space, va, AccessKind::Read, PrivMode::User)
+        .expect("enclave reaches its own data");
+
+    // Revoke the data region from hart 0 with delivery suppressed.
+    smp.set_shootdown_suppression(true);
+    smp.free_on(0, id, data.base).expect("revoke");
+
+    // The oracle says no; the remote hart still says yes. This is exactly
+    // the divergence `assert_no_divergence` exists to catch.
+    assert!(
+        !smp.oracle_check_on(1, data.base, AccessKind::Read),
+        "oracle must deny the freed region"
+    );
+    let stale = smp
+        .machine(1)
+        .access(&space, va, AccessKind::Read, PrivMode::User);
+    assert!(
+        stale.is_ok(),
+        "suppressed shootdown must leave the stale TLB grant observable"
+    );
+}
+
+/// The same schedule with delivery on: the remote fence kills the inlined
+/// grant and the next access faults on the re-walk.
+#[test]
+fn delivered_shootdown_revokes_the_remote_grant() {
+    let (mut smp, id, data, space, va) = enclave_on_hart1(TeeFlavor::PenglaiHpmp);
+    smp.machine(1)
+        .access(&space, va, AccessKind::Read, PrivMode::User)
+        .expect("enclave reaches its own data");
+
+    smp.free_on(0, id, data.base).expect("revoke");
+
+    assert!(
+        smp.machine(1)
+            .access(&space, va, AccessKind::Read, PrivMode::User)
+            .is_err(),
+        "the shootdown fence must kill the inlined grant"
+    );
+    // And the fast path agrees with the oracle again.
+    let probes = [data.base];
+    assert_no_divergence(&mut smp, &probes, "post-shootdown");
+}
+
+/// Regression: destroying a domain that is scheduled on a different hart.
+/// The reprogram IPI's handler finds its domain gone and must park that
+/// hart in the host — the original implementation hole was resolving the
+/// dead domain's regions during reprogramming.
+#[test]
+fn destroy_under_a_running_hart_parks_it_in_the_host() {
+    for flavor in FLAVORS {
+        let mut smp = boot(flavor, 3);
+        let (id, _) = smp
+            .create_domain_on(0, 256 * 1024, GmsLabel::Slow)
+            .expect("create");
+        smp.switch_on(2, id).expect("schedule on hart 2");
+        smp.destroy_domain_on(0, id).expect("destroy from hart 0");
+        assert_eq!(smp.scheduled(2), DomainId::HOST, "{flavor}");
+        // The parked hart answers as the host, with no divergence.
+        let probes = probes(&smp, &[DomainId::HOST]);
+        assert_no_divergence(&mut smp, &probes, &format!("{flavor} post-destroy"));
+    }
+}
