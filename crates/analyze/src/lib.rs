@@ -15,14 +15,20 @@
 //! * [`gate`] — the regression gate CI runs against a committed baseline;
 //! * [`campaign`] — fault-campaign artifact analysis (`--campaign-out`):
 //!   per-class injected/detected/silent tallies recounted from trial
-//!   records and cross-checked against the embedded summary.
+//!   records and cross-checked against the embedded summary;
+//! * [`timeline`] — time-resolved analysis of `--snapshot-interval` /
+//!   `--spans-out` artifacts: per-slice activity rates, cumulative
+//!   latency-percentile drift, and span-based critical-path attribution
+//!   of cross-hart shootdown stalls.
 
 pub mod campaign;
 pub mod diff;
 pub mod gate;
 pub mod profile;
+pub mod timeline;
 
 pub use campaign::{CampaignAnalysis, ClassTally};
 pub use diff::{diff_snapshots, load_artifact, percentile_shifts, render_diff, Artifact};
 pub use gate::{gate, Finding, GateOutcome};
 pub use profile::{ColdWalk, EventRefs, IsolationShape, WalkProfile};
+pub use timeline::{analyze_timeline, Attribution, DriftRow, SliceRow, TimelineAnalysis};

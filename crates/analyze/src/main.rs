@@ -6,14 +6,19 @@
 //! hpmp-analyze gate --baseline <BENCH_seed.json> [--threshold 5%]
 //!                   [--report-only] <BENCH_current.json>
 //! hpmp-analyze campaign <campaign.jsonl>
+//! hpmp-analyze timeline <timeline.jsonl> [--spans <spans.jsonl>]
+//!                       [--final <metrics.json>] [--threshold 95%]
+//!                       [--report-out <report.json>]
 //! ```
 //!
 //! Exit codes: 0 — analysis clean; 1 — the analysis itself found a problem
 //! (invariant violation, claim mismatch, perf regression); 2 — usage,
 //! I/O, or schema error.
 
-use hpmp_analyze::{gate, load_artifact, profile::WalkProfile, render_diff, CampaignAnalysis};
-use hpmp_trace::{read_trace_file, BenchReport};
+use hpmp_analyze::{
+    analyze_timeline, gate, load_artifact, profile::WalkProfile, render_diff, CampaignAnalysis,
+};
+use hpmp_trace::{read_trace_file, BenchReport, Snapshot, SpanStream, Timeline};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -39,6 +44,18 @@ usage:
       per-class injected/detected/silent table recounted from the trial
       records and cross-checked against the embedded summary; exit 1 on
       any silent violation, recovery failure, or summary mismatch.
+
+  hpmp-analyze timeline <timeline.jsonl> [--spans <spans.jsonl>]
+                        [--final <metrics.json>] [--threshold <pct>%]
+                        [--report-out <report.json>]
+      Time-resolved analysis of an SMP run's --snapshot-interval /
+      --spans-out artifacts: per-slice activity rates, cumulative latency
+      percentile drift, and shootdown critical-path attribution from the
+      causally linked spans. --final re-sums the slices and byte-compares
+      against the run's --metrics-out snapshot. Exit 1 on a structural
+      violation or when the named receiver-side spans explain less than
+      --threshold (default 95%) of the counted sender stall cycles.
+      --report-out writes a gate-compatible bench report.
 ";
 
 fn fail_usage(message: &str) -> ExitCode {
@@ -190,6 +207,90 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    let mut timeline_path: Option<String> = None;
+    let mut spans_path: Option<String> = None;
+    let mut final_path: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut threshold = 95.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spans" => match it.next() {
+                Some(path) => spans_path = Some(path.clone()),
+                None => return fail_usage("--spans needs a file"),
+            },
+            "--final" => match it.next() {
+                Some(path) => final_path = Some(path.clone()),
+                None => return fail_usage("--final needs a file"),
+            },
+            "--threshold" => match it.next().map(|raw| parse_threshold(raw)) {
+                Some(Some(value)) => threshold = value,
+                _ => return fail_usage("--threshold needs a percentage like 95%"),
+            },
+            "--report-out" => match it.next() {
+                Some(path) => report_out = Some(path.clone()),
+                None => return fail_usage("--report-out needs a file"),
+            },
+            other if !other.starts_with('-') && timeline_path.is_none() => {
+                timeline_path = Some(other.to_string());
+            }
+            other => return fail_usage(&format!("unknown timeline argument \"{other}\"")),
+        }
+    }
+    let Some(timeline_path) = timeline_path else {
+        return fail_usage("timeline needs a timeline artifact");
+    };
+    let timeline = match Timeline::read_file(&timeline_path) {
+        Ok(timeline) => timeline,
+        Err(e) => {
+            eprintln!("hpmp-analyze: {timeline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spans = match &spans_path {
+        Some(path) => match SpanStream::read_file(path) {
+            Ok(spans) => Some(spans),
+            Err(e) => {
+                eprintln!("hpmp-analyze: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let final_snapshot = match &final_path {
+        Some(path) => {
+            let text = match read_to_string(path) {
+                Ok(text) => text,
+                Err(code) => return code,
+            };
+            match Snapshot::from_json(&text) {
+                Ok(snap) => Some(snap),
+                Err(e) => {
+                    eprintln!("hpmp-analyze: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+    let analysis = analyze_timeline(&timeline, spans.as_ref(), final_snapshot.as_ref());
+    print!("{}", analysis.render());
+    if let Some(path) = &report_out {
+        if let Err(e) = std::fs::write(path, analysis.to_bench_report().to_json()) {
+            eprintln!("hpmp-analyze: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("report -> {path}");
+    }
+    if analysis.passed(threshold) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hpmp-analyze: timeline analysis failed (threshold {threshold}%)");
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -198,6 +299,7 @@ fn main() -> ExitCode {
             "diff" => cmd_diff(rest),
             "gate" => cmd_gate(rest),
             "campaign" => cmd_campaign(rest),
+            "timeline" => cmd_timeline(rest),
             "--help" | "-h" | "help" => {
                 print!("{USAGE}");
                 ExitCode::SUCCESS

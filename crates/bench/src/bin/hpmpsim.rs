@@ -8,6 +8,8 @@
 //!         [--no-tlb-inlining] [--encryption CYCLES] [--epmp]
 //!         [--trace-out walks.jsonl] [--metrics-out metrics.json]
 //!         [--bench-out BENCH_name.json]
+//!         [--snapshot-interval CYCLES] [--timeline-out timeline.jsonl]
+//!         [--spans-out spans.jsonl]
 //!         [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]
 //! ```
 //!
@@ -24,6 +26,17 @@
 //! internally, so artifacts stay byte-identical at any `--jobs`; trace
 //! events carry a `hart` field and the metrics snapshot gains per-hart
 //! `hart.<i>.*` shootdown/fence counters plus `smp.*` totals.
+//!
+//! SMP runs can also record *time-resolved* telemetry (both require
+//! `--harts` ≥ 2 and a single workload): `--snapshot-interval N` cuts a
+//! timeline slice — a delta of the unified metrics snapshot — every N
+//! global simulated cycles and streams them to `--timeline-out` (default
+//! `timeline.jsonl`); re-summing the slices reproduces `--metrics-out`
+//! byte-for-byte. `--spans-out` records monitor-operation spans: every
+//! `*_on` op opens a span, and every shootdown it triggers emits per-
+//! receiver IPI-send/trap/reprogram/fence child spans causally linked to
+//! the op. Both artifacts live on the simulated clock, so they are
+//! byte-identical at any `--jobs`. Feed them to `hpmp-analyze timeline`.
 //!
 //! `--fault-campaign` switches to fault-injection mode instead of running a
 //! workload: the campaign's shards (part of the spec, not derived from
@@ -71,6 +84,9 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     bench_out: Option<String>,
+    snapshot_interval: Option<u64>,
+    timeline_out: Option<String>,
+    spans_out: Option<String>,
     fault_campaign: Option<String>,
     fault_seed: u64,
     campaign_out: Option<String>,
@@ -84,6 +100,8 @@ fn usage() -> ! {
          \x20              [--no-tlb-inlining] [--encryption CYCLES] [--epmp]\n\
          \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]\n\
          \x20              [--bench-out BENCH_name.json]\n\
+         \x20              [--snapshot-interval CYCLES] [--timeline-out timeline.jsonl]\n\
+         \x20              [--spans-out spans.jsonl]\n\
          \x20              [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]\n\
          SPEC: comma-separated key=value pairs, e.g.\n\
          \x20    faults=1000,classes=pmpte+regs+stale+interpose,flavor=hpmp,domains=2,shards=8"
@@ -106,6 +124,9 @@ fn parse_args() -> Options {
         trace_out: None,
         metrics_out: None,
         bench_out: None,
+        snapshot_interval: None,
+        timeline_out: None,
+        spans_out: None,
         fault_campaign: None,
         fault_seed: 0,
         campaign_out: None,
@@ -163,6 +184,15 @@ fn parse_args() -> Options {
             "--trace-out" => options.trace_out = Some(value("--trace-out")),
             "--metrics-out" => options.metrics_out = Some(value("--metrics-out")),
             "--bench-out" => options.bench_out = Some(value("--bench-out")),
+            "--snapshot-interval" => match value("--snapshot-interval").parse() {
+                Ok(n) if n >= 1 => options.snapshot_interval = Some(n),
+                _ => {
+                    eprintln!("--snapshot-interval needs a positive cycle count");
+                    usage()
+                }
+            },
+            "--timeline-out" => options.timeline_out = Some(value("--timeline-out")),
+            "--spans-out" => options.spans_out = Some(value("--spans-out")),
             "--fault-campaign" => options.fault_campaign = Some(value("--fault-campaign")),
             "--fault-seed" => match value("--fault-seed").parse() {
                 Ok(n) => options.fault_seed = n,
@@ -253,6 +283,26 @@ fn main() {
         eprintln!("no workload given");
         usage()
     }
+    let telemetry_requested = options.snapshot_interval.is_some()
+        || options.timeline_out.is_some()
+        || options.spans_out.is_some();
+    if telemetry_requested {
+        // The timeline/span clock is the SMP global simulated clock, so
+        // time-resolved telemetry only exists for multi-hart runs; one
+        // artifact file covers one run, so one workload.
+        if options.harts < 2 {
+            eprintln!("--snapshot-interval/--timeline-out/--spans-out need --harts >= 2");
+            usage()
+        }
+        if workloads.len() != 1 {
+            eprintln!("telemetry outputs cover one run; pass a single --workload");
+            usage()
+        }
+        if options.timeline_out.is_some() && options.snapshot_interval.is_none() {
+            eprintln!("--timeline-out needs --snapshot-interval");
+            usage()
+        }
+    }
     let jobs = options
         .jobs
         .unwrap_or_else(|| {
@@ -308,6 +358,35 @@ fn main() {
             std::process::exit(1);
         }
         println!("  metrics      : {} counters -> {}", snapshot.len(), path);
+    }
+    if let Some(interval) = options.snapshot_interval {
+        let path = options.timeline_out.as_deref().unwrap_or("timeline.jsonl");
+        let telemetry = &outputs[0].telemetry;
+        if let Err(e) = std::fs::write(path, &telemetry.timeline) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "  timeline     : {} slice(s) every {interval} cycles -> {path}",
+            telemetry.slices
+        );
+        if telemetry.dropped_boundaries > 0 {
+            eprintln!(
+                "  warning: {} slice boundaries folded into the tail (max slices reached)",
+                telemetry.dropped_boundaries
+            );
+        }
+    }
+    if let Some(path) = &options.spans_out {
+        let telemetry = &outputs[0].telemetry;
+        if let Err(e) = std::fs::write(path, &telemetry.spans) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "  spans        : {} span(s) ({} dropped) -> {path}",
+            telemetry.spans_emitted, telemetry.spans_dropped
+        );
     }
     if let Some(path) = &options.bench_out {
         let mut report = BenchReport::new("hpmpsim");
@@ -449,6 +528,48 @@ struct WorkloadOutput {
     trace_events: u64,
     /// Events lost to I/O errors while tracing.
     trace_io_errors: u64,
+    /// Buffered time-resolved artifacts (empty unless requested).
+    telemetry: TelemetryOutput,
+}
+
+/// Serialized timeline/span artifacts of one SMP run, buffered so the
+/// `--jobs` pool stays byte-deterministic.
+#[derive(Default)]
+struct TelemetryOutput {
+    /// `hpmp-timeline` JSONL bytes (header, slices, footer).
+    timeline: Vec<u8>,
+    /// Slices cut.
+    slices: u64,
+    /// Boundaries folded into the tail slice by the retention bound.
+    dropped_boundaries: u64,
+    /// `hpmp-span-events` JSONL bytes.
+    spans: Vec<u8>,
+    /// Spans retained.
+    spans_emitted: u64,
+    /// Spans dropped by the collector's capacity bound.
+    spans_dropped: u64,
+}
+
+impl TelemetryOutput {
+    /// Buffers the artifacts `run_smp_telemetry` produced.
+    fn from_run(telemetry: &hpmp_workloads::smp::SmpTelemetry) -> TelemetryOutput {
+        let mut out = TelemetryOutput::default();
+        if let Some(timeline) = &telemetry.timeline {
+            timeline
+                .write_jsonl(&mut out.timeline)
+                .expect("Vec writes cannot fail");
+            out.slices = timeline.slices().len() as u64;
+            out.dropped_boundaries = timeline.dropped_boundaries();
+        }
+        if let Some(spans) = &telemetry.spans {
+            spans
+                .write_jsonl(&mut out.spans)
+                .expect("Vec writes cannot fail");
+            out.spans_emitted = spans.len() as u64;
+            out.spans_dropped = spans.dropped();
+        }
+        out
+    }
 }
 
 /// Seed for the SMP interleaver and per-hart access streams. Fixed so
@@ -474,6 +595,7 @@ fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
             trace_events: sink.written(),
             trace_io_errors: sink.io_errors(),
             trace: sink.into_inner(),
+            telemetry: TelemetryOutput::default(),
         }
     } else {
         let (cycles, snap) = run_workload(options, workload, config, NullSink, &mut stdout);
@@ -484,6 +606,7 @@ fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
             trace: Vec::new(),
             trace_events: 0,
             trace_io_errors: 0,
+            telemetry: TelemetryOutput::default(),
         }
     }
 }
@@ -497,6 +620,13 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
     let config = machine_config(options);
     let spec =
         hpmp_workloads::smp::spec_for(workload).expect("every hpmpsim workload has an SMP shape");
+    let telemetry_spec = hpmp_workloads::smp::SmpTelemetrySpec {
+        snapshot_interval: options.snapshot_interval,
+        span_capacity: options
+            .spans_out
+            .as_ref()
+            .map(|_| hpmp_workloads::smp::SmpTelemetrySpec::DEFAULT_SPAN_CAPACITY),
+    };
     let mut stdout = String::new();
     if tracing {
         let machines = (0..options.harts)
@@ -504,9 +634,14 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
                 hpmp_machine::Machine::with_sink(config, JsonlSink::new_headerless(Vec::new()))
             })
             .collect();
-        let (outcome, snap, sinks) =
-            hpmp_workloads::smp::run_smp_machines(machines, options.flavor, SMP_SEED, spec)
-                .expect("SMP workload");
+        let (outcome, snap, sinks, telemetry) = hpmp_workloads::smp::run_smp_telemetry(
+            machines,
+            options.flavor,
+            SMP_SEED,
+            spec,
+            telemetry_spec,
+        )
+        .expect("SMP workload");
         report_smp(&outcome, &snap, &mut stdout);
         let mut trace = Vec::new();
         let mut trace_events = 0;
@@ -523,14 +658,20 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
             trace,
             trace_events,
             trace_io_errors,
+            telemetry: TelemetryOutput::from_run(&telemetry),
         }
     } else {
         let machines = (0..options.harts)
             .map(|_| hpmp_machine::Machine::new(config))
             .collect();
-        let (outcome, snap, _) =
-            hpmp_workloads::smp::run_smp_machines(machines, options.flavor, SMP_SEED, spec)
-                .expect("SMP workload");
+        let (outcome, snap, _, telemetry) = hpmp_workloads::smp::run_smp_telemetry(
+            machines,
+            options.flavor,
+            SMP_SEED,
+            spec,
+            telemetry_spec,
+        )
+        .expect("SMP workload");
         report_smp(&outcome, &snap, &mut stdout);
         WorkloadOutput {
             stdout,
@@ -539,6 +680,7 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
             trace: Vec::new(),
             trace_events: 0,
             trace_io_errors: 0,
+            telemetry: TelemetryOutput::from_run(&telemetry),
         }
     }
 }

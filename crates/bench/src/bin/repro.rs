@@ -73,6 +73,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut telemetry = TelemetryOptions::default();
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -88,8 +89,21 @@ fn main() {
             "--trace-out" => trace_out = raw.next(),
             "--metrics-out" => metrics_out = raw.next(),
             "--bench-out" => bench_out = raw.next(),
+            "--snapshot-interval" => match raw.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n >= 1 => telemetry.snapshot_interval = Some(n),
+                _ => {
+                    eprintln!("repro: --snapshot-interval needs a positive cycle count");
+                    std::process::exit(2);
+                }
+            },
+            "--timeline-out" => telemetry.timeline_out = raw.next(),
+            "--spans-out" => telemetry.spans_out = raw.next(),
             _ => args.push(arg),
         }
+    }
+    if telemetry.timeline_out.is_some() && telemetry.snapshot_interval.is_none() {
+        eprintln!("repro: --timeline-out needs --snapshot-interval");
+        std::process::exit(2);
     }
     let jobs = jobs
         .unwrap_or_else(|| {
@@ -117,7 +131,7 @@ fn main() {
     let outputs = run_ordered(
         worklist.len(),
         jobs,
-        |i| run_one(worklist[i], tracing),
+        |i| run_one(worklist[i], tracing, &telemetry),
         |out| print!("{}", out.stdout),
     );
 
@@ -190,12 +204,30 @@ struct ExperimentOutput {
     trace_events: u64,
 }
 
+/// Time-resolved telemetry outputs, recorded by the one experiment with a
+/// global simulated clock (`multihart`, on its 4-hart HPMP run).
+#[derive(Default)]
+struct TelemetryOptions {
+    /// Cut a timeline slice every N global simulated cycles.
+    snapshot_interval: Option<u64>,
+    /// Where the timeline JSONL goes (default `timeline.jsonl`).
+    timeline_out: Option<String>,
+    /// Where the monitor-operation span JSONL goes.
+    spans_out: Option<String>,
+}
+
+impl TelemetryOptions {
+    fn requested(&self) -> bool {
+        self.snapshot_interval.is_some() || self.spans_out.is_some()
+    }
+}
+
 /// Runs one experiment with a private sink and registry, capturing its
 /// report output instead of printing it.
-fn run_one(name: &str, tracing: bool) -> ExperimentOutput {
+fn run_one(name: &str, tracing: bool, telemetry: &TelemetryOptions) -> ExperimentOutput {
     if tracing {
         let mut sink = JsonlSink::new_headerless(Vec::new());
-        let (snap, stdout) = capture_reports(|| dispatch(name, &mut sink));
+        let (snap, stdout) = capture_reports(|| dispatch(name, &mut sink, telemetry));
         let trace_events = sink.written();
         ExperimentOutput {
             stdout,
@@ -204,7 +236,7 @@ fn run_one(name: &str, tracing: bool) -> ExperimentOutput {
             trace_events,
         }
     } else {
-        let (snap, stdout) = capture_reports(|| dispatch(name, &mut NullSink));
+        let (snap, stdout) = capture_reports(|| dispatch(name, &mut NullSink, telemetry));
         ExperimentOutput {
             stdout,
             snap,
@@ -216,7 +248,11 @@ fn run_one(name: &str, tracing: bool) -> ExperimentOutput {
 
 /// Runs the named experiment, lending `sink` to the ones that drive the
 /// instrumented machine directly and returning their metrics snapshot.
-fn dispatch<S: TraceSink>(name: &str, sink: &mut S) -> Option<Snapshot> {
+fn dispatch<S: TraceSink>(
+    name: &str,
+    sink: &mut S,
+    telemetry: &TelemetryOptions,
+) -> Option<Snapshot> {
     let snap = match name {
         "table1" => return none_after(table1),
         "fig2" => fig2(sink),
@@ -236,7 +272,7 @@ fn dispatch<S: TraceSink>(name: &str, sink: &mut S) -> Option<Snapshot> {
         "virtapp" => virtapp(sink),
         "tenancy" => tenancy(sink),
         "encryption" => encryption(sink),
-        "multihart" => multihart(),
+        "multihart" => multihart(telemetry),
         _ => unreachable!("worklist is filtered against EXPERIMENTS"),
     };
     sink.flush();
@@ -1088,8 +1124,13 @@ fn tenancy<S: TraceSink>(sink: &mut S) -> Snapshot {
 /// others, so the interesting number is how much of the total the remote
 /// fence/reprogram stalls eat as the hart count grows. Untraced: the run
 /// is single-threaded and seeded, so it is deterministic regardless.
-fn multihart() -> Snapshot {
-    use hpmp_workloads::smp::{run_smp, spec_for};
+///
+/// When `--snapshot-interval`/`--spans-out` are given, the 4-hart HPMP
+/// run additionally records time-resolved telemetry — timeline slices and
+/// monitor-operation spans — written directly to the requested paths (the
+/// run is internally deterministic, so the bytes don't depend on `--jobs`).
+fn multihart(telemetry: &TelemetryOptions) -> Snapshot {
+    use hpmp_workloads::smp::{run_smp, run_smp_telemetry, spec_for, SmpTelemetrySpec};
     let spec = spec_for("tenancy").expect("tenancy has an SMP shape");
     let seed = 0xA11CE;
     let mut metrics = Snapshot::new();
@@ -1107,8 +1148,57 @@ fn multihart() -> Snapshot {
     for harts in [1usize, 2, 4, 8] {
         let (pmpt, _) =
             run_smp(TeeFlavor::PenglaiPmpt, CoreKind::Rocket, harts, seed, spec).expect("pmpt");
-        let (hpmp, snap) =
-            run_smp(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, harts, seed, spec).expect("hpmp");
+        let (hpmp, snap) = if harts == 4 && telemetry.requested() {
+            let machines = (0..harts)
+                .map(|_| {
+                    hpmp_machine::Machine::new(hpmp_workloads::fixture::config_for(
+                        CoreKind::Rocket,
+                    ))
+                })
+                .collect();
+            let telemetry_spec = SmpTelemetrySpec {
+                snapshot_interval: telemetry.snapshot_interval,
+                span_capacity: telemetry
+                    .spans_out
+                    .as_ref()
+                    .map(|_| SmpTelemetrySpec::DEFAULT_SPAN_CAPACITY),
+            };
+            let (outcome, snap, _, recorded) =
+                run_smp_telemetry(machines, TeeFlavor::PenglaiHpmp, seed, spec, telemetry_spec)
+                    .expect("hpmp");
+            if let (Some(timeline), Some(interval)) =
+                (&recorded.timeline, telemetry.snapshot_interval)
+            {
+                let path = telemetry
+                    .timeline_out
+                    .as_deref()
+                    .unwrap_or("timeline.jsonl");
+                let mut bytes = Vec::new();
+                timeline
+                    .write_jsonl(&mut bytes)
+                    .expect("Vec writes cannot fail");
+                std::fs::write(path, bytes).expect("timeline artifact");
+                eprintln!(
+                    "repro: timeline: {} slice(s) every {interval} cycles (4-hart HPMP) -> {path}",
+                    timeline.slices().len()
+                );
+            }
+            if let (Some(spans), Some(path)) = (&recorded.spans, &telemetry.spans_out) {
+                let mut bytes = Vec::new();
+                spans
+                    .write_jsonl(&mut bytes)
+                    .expect("Vec writes cannot fail");
+                std::fs::write(path, bytes).expect("span artifact");
+                eprintln!(
+                    "repro: spans: {} span(s) ({} dropped, 4-hart HPMP) -> {path}",
+                    spans.len(),
+                    spans.dropped()
+                );
+            }
+            (outcome, snap)
+        } else {
+            run_smp(TeeFlavor::PenglaiHpmp, CoreKind::Rocket, harts, seed, spec).expect("hpmp")
+        };
         let stall: u64 = (0..harts)
             .map(|h| snap.value(&format!("hart.{h}.fence_stall_cycles")))
             .sum();

@@ -567,6 +567,10 @@ impl<S: TraceSink> Machine<S> {
     pub fn metrics_snapshot(&mut self) -> Snapshot {
         let refs_total = self.stats().refs.total();
         self.metrics.store(self.ids.refs_total, refs_total);
+        // Lossy sinks (ring eviction, I/O failure) surface here instead of
+        // dropping events silently.
+        let trace_dropped = self.sink.dropped();
+        self.metrics.set("machine.trace.dropped", trace_dropped);
         self.tlb.stats().store(&mut self.metrics, &self.ids.dtlb);
         self.itlb.stats().store(&mut self.metrics, &self.ids.itlb);
         self.pwc.stats().store(&mut self.metrics, &self.ids.pwc);

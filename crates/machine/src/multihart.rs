@@ -201,6 +201,13 @@ impl<S: TraceSink> MultiHartMachine<S> {
         self.fabric.pending(hart)
     }
 
+    /// Total machine cycles across all harts. Monotone and cheap (no
+    /// snapshot allocation), this is the machine half of the global
+    /// simulated clock that timeline slices and spans are stamped with.
+    pub fn total_machine_cycles(&self) -> u64 {
+        self.harts.iter().map(|m| m.stats().cycles).sum()
+    }
+
     /// One merged snapshot: this driver's `hart.<i>.*` shootdown/fence
     /// counters, each hart's full machine registry re-prefixed under
     /// `hart.<i>.`, and `smp.*` aggregates (`smp.harts`, `smp.cycles` =

@@ -43,7 +43,9 @@ use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor, TeeFlavor};
 use hpmp_core::{IpiKind, PmpRegion};
 use hpmp_machine::{Machine, MachineConfig, MultiHartMachine};
 use hpmp_memsim::{AccessKind, PhysAddr};
-use hpmp_trace::{NullSink, Snapshot, TraceSink};
+use hpmp_trace::{
+    MetricsRegistry, NullSink, Snapshot, SpanCollector, SpanEvent, SpanKind, TraceSink,
+};
 
 /// N harts, one secure monitor, one physical memory.
 #[derive(Debug)]
@@ -57,6 +59,10 @@ pub struct SmpSystem<S: TraceSink = NullSink> {
     /// Fault-injection switch: when set, shootdown IPIs are never
     /// delivered and remote harts keep stale cached grants.
     suppress_shootdowns: bool,
+    /// Span producer: every `*_on` op opens a span; shootdown deliveries
+    /// emit per-receiver child spans causally linked to it. Disabled (and
+    /// zero-cost) unless [`SmpSystem::enable_spans`] was called.
+    spans: SpanCollector,
 }
 
 impl SmpSystem {
@@ -112,6 +118,7 @@ impl<S: TraceSink> SmpSystem<S> {
             monitor,
             scheduled: vec![DomainId::HOST; harts],
             suppress_shootdowns: false,
+            spans: SpanCollector::disabled(),
         })
     }
 
@@ -149,6 +156,33 @@ impl<S: TraceSink> SmpSystem<S> {
             .oracle_check_for(self.scheduled(hart), addr, kind)
     }
 
+    /// The global simulated clock spans and timeline slices are stamped
+    /// with: total machine cycles across all harts plus the monitor's own
+    /// cycles. Every input only ever accumulates, so the clock is
+    /// monotone, and it advances identically at any `--jobs` because the
+    /// whole SMP run is single-threaded and seed-interleaved.
+    pub fn global_cycles(&self) -> u64 {
+        self.mh.total_machine_cycles() + self.monitor.stats().cycles
+    }
+
+    /// Enables span collection, retaining at most `capacity` spans
+    /// (overflow is counted, not silently discarded — see
+    /// `trace.dropped.spans` in snapshots).
+    pub fn enable_spans(&mut self, capacity: usize) {
+        self.spans = SpanCollector::bounded(capacity);
+    }
+
+    /// The span collector (disabled unless [`SmpSystem::enable_spans`]
+    /// was called).
+    pub fn spans(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// Takes the span collector out, leaving a disabled one behind.
+    pub fn take_spans(&mut self) -> SpanCollector {
+        std::mem::take(&mut self.spans)
+    }
+
     /// Suppresses (or restores) shootdown delivery. Unlike single-hart
     /// fence suppression — whose unsuppressable epoch half still
     /// invalidates stale entries — suppressed shootdowns never reach the
@@ -179,12 +213,25 @@ impl<S: TraceSink> SmpSystem<S> {
             }
         }
         self.monitor.set_current_unchecked(self.scheduled(hart));
+        let begin = self.spans.is_enabled().then(|| self.global_cycles());
+        let span = self.spans.reserve();
         let cycles = self.monitor.switch_to(self.mh.machine(hart), target)?;
         self.scheduled[usize::from(hart)] = target;
         // A switch changes no holdings, but remote harts may hold TLB
         // entries tagged with the switched hart's old world; Penglai
         // broadcasts a fence on switch, and so do we.
-        let stall = self.deliver(hart, None)?;
+        let stall = self.deliver(hart, None, span)?;
+        if let (Some(id), Some(t0)) = (span, begin) {
+            self.spans.emit_reserved(SpanEvent {
+                id,
+                parent: None,
+                kind: SpanKind::Switch,
+                hart,
+                domain: Some(target.0),
+                begin: t0,
+                end: t0 + cycles + stall,
+            });
+        }
         Ok(cycles + stall)
     }
 
@@ -200,7 +247,12 @@ impl<S: TraceSink> SmpSystem<S> {
         initial_size: u64,
         label: GmsLabel,
     ) -> Result<(DomainId, u64), MonitorError> {
-        self.op(hart, |mon, m| mon.create_domain(m, initial_size, label))
+        self.op(
+            hart,
+            SpanKind::CreateDomain,
+            |id: &DomainId| Some(id.0),
+            |mon, m| mon.create_domain(m, initial_size, label),
+        )
     }
 
     /// Destroys a domain, driven from `hart`. If the domain was scheduled
@@ -211,7 +263,12 @@ impl<S: TraceSink> SmpSystem<S> {
     ///
     /// As [`SecureMonitor::destroy_domain`].
     pub fn destroy_domain_on(&mut self, hart: u16, id: DomainId) -> Result<u64, MonitorError> {
-        let ((), cycles) = self.op(hart, |mon, m| mon.destroy_domain(m, id).map(|c| ((), c)))?;
+        let ((), cycles) = self.op(
+            hart,
+            SpanKind::DestroyDomain,
+            |_: &()| Some(id.0),
+            |mon, m| mon.destroy_domain(m, id).map(|c| ((), c)),
+        )?;
         Ok(cycles)
     }
 
@@ -227,7 +284,12 @@ impl<S: TraceSink> SmpSystem<S> {
         size: u64,
         label: GmsLabel,
     ) -> Result<(PmpRegion, u64), MonitorError> {
-        self.op(hart, |mon, m| mon.alloc_region(m, domain, size, label))
+        self.op(
+            hart,
+            SpanKind::Alloc,
+            |_: &PmpRegion| Some(domain.0),
+            |mon, m| mon.alloc_region(m, domain, size, label),
+        )
     }
 
     /// Frees `domain`'s region at `base`, driven from `hart`.
@@ -241,9 +303,12 @@ impl<S: TraceSink> SmpSystem<S> {
         domain: DomainId,
         base: PhysAddr,
     ) -> Result<u64, MonitorError> {
-        let ((), cycles) = self.op(hart, |mon, m| {
-            mon.free_region(m, domain, base).map(|c| ((), c))
-        })?;
+        let ((), cycles) = self.op(
+            hart,
+            SpanKind::Free,
+            |_: &()| Some(domain.0),
+            |mon, m| mon.free_region(m, domain, base).map(|c| ((), c)),
+        )?;
         Ok(cycles)
     }
 
@@ -259,38 +324,85 @@ impl<S: TraceSink> SmpSystem<S> {
         base: PhysAddr,
         label: GmsLabel,
     ) -> Result<u64, MonitorError> {
-        let ((), cycles) = self.op(hart, |mon, m| {
-            mon.relabel(m, domain, base, label).map(|c| ((), c))
-        })?;
+        let ((), cycles) = self.op(
+            hart,
+            SpanKind::Relabel,
+            |_: &()| Some(domain.0),
+            |mon, m| mon.relabel(m, domain, base, label).map(|c| ((), c)),
+        )?;
         Ok(cycles)
     }
 
     /// Runs one monitor op on `hart` with `current` banked to that hart's
     /// scheduled domain, then drains and delivers the shootdown. The
     /// returned cycle count includes the sender-side stall.
+    ///
+    /// When spans are enabled the op gets a span of `kind` covering its
+    /// whole interval (monitor work + stall), and the delivery's child
+    /// spans hang off it causally. `domain_of` names the domain the op
+    /// was about, given its result.
     fn op<R>(
         &mut self,
         hart: u16,
+        kind: SpanKind,
+        domain_of: impl FnOnce(&R) -> Option<u32>,
         f: impl FnOnce(&mut SecureMonitor, &mut Machine<S>) -> Result<(R, u64), MonitorError>,
     ) -> Result<(R, u64), MonitorError> {
         self.monitor.set_current_unchecked(self.scheduled(hart));
+        let begin = self.spans.is_enabled().then(|| self.global_cycles());
+        let span = self.spans.reserve();
         let out = f(&mut self.monitor, self.mh.machine(hart));
         // Ops may have switched domains internally (destroy of the running
         // domain falls back to the host).
         self.scheduled[usize::from(hart)] = self.monitor.current();
         let (r, mut cycles) = out?;
         let changed = self.monitor.take_shootdown();
-        cycles += self.deliver(hart, changed)?;
+        cycles += self.deliver(hart, changed, span)?;
+        if let (Some(id), Some(t0)) = (span, begin) {
+            self.spans.emit_reserved(SpanEvent {
+                id,
+                parent: None,
+                kind,
+                hart,
+                domain: domain_of(&r),
+                begin: t0,
+                end: t0 + cycles,
+            });
+        }
         Ok((r, cycles))
     }
 
     /// Delivers a shootdown from `hart` to every other hart and returns
     /// the sender's stall cycles. `changed` picks reprogram targets; a
     /// plain fence broadcast passes `None`.
-    fn deliver(&mut self, from: u16, changed: Option<DomainId>) -> Result<u64, MonitorError> {
+    ///
+    /// When spans are enabled, each receiver gets a child span chain under
+    /// `parent`: an `ipi_send` on the sender (the doorbell write, charged
+    /// to the sender but *not* part of its stall), then a
+    /// `shootdown_recv` umbrella per receiver covering interconnect
+    /// flight + trap + optional reprogram + fence, with those phases as
+    /// its own children. The sender's stall is exactly the slowest
+    /// receiver's umbrella (`ipi_latency + slowest ack`), which is what
+    /// lets `hpmp-analyze timeline` attribute stall cycles to named
+    /// receiver-side spans.
+    fn deliver(
+        &mut self,
+        from: u16,
+        changed: Option<DomainId>,
+        parent: Option<u64>,
+    ) -> Result<u64, MonitorError> {
         if self.suppress_shootdowns || self.mh.harts() == 1 {
             return Ok(0);
         }
+        let spans_on = self.spans.is_enabled();
+        let t0 = if spans_on { self.global_cycles() } else { 0 };
+        let ipi_post = self.mh.shootdown_cost().ipi_post;
+        let ipi_latency = self.mh.shootdown_cost().ipi_latency;
+        // All doorbells are written before the first receiver's flight
+        // completes; receivers then handle concurrently.
+        let t_sent = t0 + (self.mh.harts() as u64 - 1) * ipi_post;
+        let domain = changed.map(|d| d.0);
+        let mut posted = 0u64;
         let mut sender_cycles = 0;
         let mut slowest_ack = 0;
         for hart in 0..self.mh.harts() as u16 {
@@ -304,9 +416,16 @@ impl<S: TraceSink> SmpSystem<S> {
                 _ => IpiKind::FenceOnly,
             };
             sender_cycles += self.mh.post_ipi(from, hart, kind);
+            if spans_on {
+                let t = t0 + posted * ipi_post;
+                self.spans
+                    .emit(SpanKind::IpiSend, from, domain, parent, t, t + ipi_post);
+            }
+            posted += 1;
             // Delivery is synchronous: the receiver traps immediately.
             let ipi = self.mh.take_ipi(hart).expect("IPI just posted");
             let mut handler = cost::TRAP_ROUND_TRIP;
+            let mut reprogram_cycles = 0;
             if ipi.kind == IpiKind::Reprogram {
                 // The scheduled domain may be the one just destroyed; a
                 // real handler finds its domain gone and parks the hart in
@@ -317,26 +436,119 @@ impl<S: TraceSink> SmpSystem<S> {
                     self.scheduled[usize::from(hart)] = sched;
                 }
                 self.monitor.set_current_unchecked(sched);
-                handler += self.monitor.program_current(self.mh.machine(hart))?;
+                reprogram_cycles = self.monitor.program_current(self.mh.machine(hart))?;
+                handler += reprogram_cycles;
             }
             self.mh.machine(hart).invalidate_isolation();
             handler += cost::FENCE;
             self.mh.charge_shootdown(hart, handler);
             slowest_ack = slowest_ack.max(handler);
+            if spans_on {
+                // The umbrella's width is ipi_latency + this receiver's
+                // ack; the slowest sibling equals the sender's stall.
+                let recv = self.spans.emit(
+                    SpanKind::ShootdownRecv,
+                    hart,
+                    domain,
+                    parent,
+                    t_sent,
+                    t_sent + ipi_latency + handler,
+                );
+                let mut t = t_sent + ipi_latency;
+                self.spans.emit(
+                    SpanKind::Trap,
+                    hart,
+                    domain,
+                    recv,
+                    t,
+                    t + cost::TRAP_ROUND_TRIP,
+                );
+                t += cost::TRAP_ROUND_TRIP;
+                if reprogram_cycles > 0 {
+                    self.spans.emit(
+                        SpanKind::Reprogram,
+                        hart,
+                        domain,
+                        recv,
+                        t,
+                        t + reprogram_cycles,
+                    );
+                    t += reprogram_cycles;
+                }
+                self.spans
+                    .emit(SpanKind::Fence, hart, domain, recv, t, t + cost::FENCE);
+            }
         }
         // Restore the banked current to the initiating hart.
         self.monitor.set_current_unchecked(self.scheduled(from));
-        let stall = self.mh.shootdown_cost().ipi_latency + slowest_ack;
+        let stall = ipi_latency + slowest_ack;
         self.mh.charge_fence_stall(from, stall);
         Ok(sender_cycles + stall)
     }
 
     /// One merged snapshot: the multi-hart machine's `hart.<i>.*` and
-    /// `smp.*` counters plus the monitor's `monitor.*` counters.
+    /// `smp.*` counters, the monitor's `monitor.*` counters, and the
+    /// telemetry layer's own `trace.*` accounting (spans retained and
+    /// dropped — overflow is visible, never silent).
     pub fn metrics_snapshot(&mut self) -> Snapshot {
+        let mut trace = MetricsRegistry::new();
+        trace.set("trace.spans", self.spans.len() as u64);
+        trace.set("trace.dropped.spans", self.spans.dropped());
         self.mh
             .metrics_snapshot()
             .merge(&self.monitor.metrics_snapshot())
+            .merge(&trace.snapshot())
+    }
+
+    /// Cross-layer accounting check, the SMP analogue of
+    /// [`hpmp_machine::Machine::verify_accounting`]: every hart's own
+    /// machine invariant must hold, every per-hart counter must reappear
+    /// unchanged under `hart.<i>.*` in the merged snapshot, and the
+    /// `smp.*` aggregates must equal the per-hart sums.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatch found.
+    pub fn verify_accounting(&mut self) -> Result<(), String> {
+        let merged = self.metrics_snapshot();
+        let mut cycles = 0u64;
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        for hart in 0..self.mh.harts() as u16 {
+            self.mh
+                .peek(hart)
+                .verify_accounting()
+                .map_err(|e| format!("hart {hart}: {e}"))?;
+            let own = self.mh.peek_mut(hart).metrics_snapshot();
+            for (name, value) in own.iter() {
+                let merged_name = format!("hart.{hart}.{name}");
+                let got = merged.value(&merged_name);
+                if got != value {
+                    return Err(format!(
+                        "merged snapshot says {merged_name} = {got} but hart {hart}'s \
+                         own registry says {value}"
+                    ));
+                }
+            }
+            cycles += own.value("machine.cycles");
+            sent += merged.value(&format!("hart.{hart}.ipis_sent"));
+            received += merged.value(&format!("hart.{hart}.ipis_received"));
+        }
+        let checks = [
+            ("smp.cycles", cycles),
+            ("smp.ipis_sent", sent),
+            ("smp.ipis_delivered", received),
+            ("monitor.cycles", self.monitor.stats().cycles),
+        ];
+        for (name, want) in checks {
+            let got = merged.value(name);
+            if got != want {
+                return Err(format!(
+                    "merged snapshot says {name} = {got} but the per-hart sum is {want}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Flushes every hart's trace sink.
@@ -463,6 +675,93 @@ mod tests {
             smp.switch_on(0, id_smp).unwrap(),
             mon.switch_to(&mut machine, id_mon).unwrap()
         );
+    }
+
+    #[test]
+    fn ops_emit_causally_linked_shootdown_spans() {
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 3);
+        smp.enable_spans(1 << 16);
+        let (id, cycles) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+
+        let spans = smp.spans().spans().to_vec();
+        let root = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::CreateDomain)
+            .expect("op span emitted");
+        assert_eq!(root.hart, 0);
+        assert_eq!(root.domain, Some(id.0));
+        assert_eq!(root.cycles(), cycles, "op span covers the whole op");
+        let recv: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::ShootdownRecv && s.parent == Some(root.id))
+            .collect();
+        assert_eq!(recv.len(), 2, "one umbrella per remote hart");
+        // The sender's stall is exactly the slowest receiver umbrella.
+        let snap = smp.metrics_snapshot();
+        let slowest = recv.iter().map(|s| s.cycles()).max().unwrap();
+        assert_eq!(snap.value("hart.0.fence_stall_cycles"), slowest);
+        // Each umbrella decomposes into trap + fence (+ reprogram), and
+        // the phase children sum to the umbrella minus the flight.
+        for r in &recv {
+            let phases: u64 = spans
+                .iter()
+                .filter(|s| s.parent == Some(r.id))
+                .map(|s| s.cycles())
+                .sum();
+            assert_eq!(
+                phases,
+                r.cycles() - smp.machines().shootdown_cost().ipi_latency,
+                "umbrella = flight + its phases"
+            );
+        }
+        assert_eq!(snap.value("trace.dropped.spans"), 0);
+        assert_eq!(snap.value("trace.spans"), spans.len() as u64);
+    }
+
+    #[test]
+    fn span_overflow_is_counted_in_snapshots() {
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 2);
+        smp.enable_spans(1);
+        smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+        let snap = smp.metrics_snapshot();
+        assert_eq!(snap.value("trace.spans"), 1);
+        assert!(snap.value("trace.dropped.spans") > 0, "overflow must count");
+    }
+
+    #[test]
+    fn spans_do_not_perturb_costs_or_counters() {
+        let run = |spans: bool| {
+            let mut smp = boot(TeeFlavor::PenglaiHpmp, 2);
+            if spans {
+                smp.enable_spans(1 << 16);
+            }
+            let (id, c1) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+            let c2 = smp.switch_on(1, id).unwrap();
+            let (_, c3) = smp.alloc_on(0, id, 1 << 20, GmsLabel::Fast).unwrap();
+            (c1 + c2 + c3, smp.metrics_snapshot())
+        };
+        let (cycles_off, snap_off) = run(false);
+        let (cycles_on, snap_on) = run(true);
+        assert_eq!(cycles_off, cycles_on, "observation must not change costs");
+        // Everything except the telemetry layer's own trace.* accounting
+        // must be identical.
+        let strip = |s: &Snapshot| -> Vec<(String, u64)> {
+            s.iter()
+                .filter(|(k, _)| !k.starts_with("trace."))
+                .map(|(k, v)| (k.to_string(), v))
+                .collect()
+        };
+        assert_eq!(strip(&snap_off), strip(&snap_on));
+    }
+
+    #[test]
+    fn verify_accounting_holds_after_churn() {
+        let mut smp = boot(TeeFlavor::PenglaiHpmp, 3);
+        let (id, _) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+        smp.switch_on(1, id).unwrap();
+        let (region, _) = smp.alloc_on(0, id, 1 << 20, GmsLabel::Fast).unwrap();
+        smp.free_on(0, id, region.base).unwrap();
+        smp.verify_accounting().expect("counters must reconcile");
     }
 
     #[test]

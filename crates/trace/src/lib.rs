@@ -17,6 +17,11 @@
 //! * [`LatencyHistogram`] — log2-bucketed latency distributions per
 //!   [`AccessClass`], so Fig 10-style breakdowns come from real per-access
 //!   samples rather than means.
+//! * [`SpanEvent`] + [`SpanCollector`] and [`TimelineSink`] — the time
+//!   axis: causally linked monitor-operation/shootdown spans, and periodic
+//!   snapshot slices whose deltas telescope back to the end-of-run
+//!   snapshot exactly. Both are bounded and count what they drop
+//!   (`trace.dropped.*`), so hour-scale sampling is lossy but honest.
 //!
 //! The crate is dependency-free and sits below every other crate in the
 //! workspace: `memsim`, `paging`, `core`, `machine`, `penglai`, `workloads`
@@ -35,6 +40,8 @@ mod metrics;
 mod read;
 mod report;
 mod sink;
+mod span;
+mod timeline;
 
 pub use event::{
     AccessOp, FaultCause, PmptwOutcome, PrivLevel, StepKind, TlbOutcome, WalkEvent, WalkStep, World,
@@ -50,6 +57,10 @@ pub use report::{
     histograms_in_snapshot, BenchReport, ExperimentRecord, Percentiles, BENCH_REPORT_KIND,
 };
 pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};
+pub use span::{parse_span, SpanCollector, SpanEvent, SpanKind, SpanStream, SPAN_EVENT_STREAM};
+pub use timeline::{
+    resum, Timeline, TimelineSink, TimelineSlice, DEFAULT_MAX_SLICES, TIMELINE_STREAM,
+};
 
 /// Version of every on-disk artifact this crate writes (JSONL trace
 /// streams, versioned metrics snapshots, bench reports). Readers reject

@@ -288,6 +288,19 @@ impl Snapshot {
             .map_err(|message| ReadError::Parse { line: 1, message })?;
         Ok(Snapshot { values })
     }
+
+    /// Re-flatten a bare nested counter tree (the `"counters"` member of a
+    /// versioned metrics document, or of a timeline slice) back into a
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first non-`u64` leaf encountered.
+    pub fn from_counters(counters: &JsonValue) -> Result<Snapshot, String> {
+        let mut values = BTreeMap::new();
+        flatten_counters(counters, String::new(), &mut values)?;
+        Ok(Snapshot { values })
+    }
 }
 
 /// Re-flatten a nested counter tree into dotted names.

@@ -24,6 +24,13 @@ pub trait TraceSink {
 
     /// Flush any buffered output.
     fn flush(&mut self) {}
+
+    /// Events this sink has lost — ring evictions, I/O failures. The
+    /// machine exports this as the `machine.trace.dropped` counter so
+    /// lossy sampling shows up in snapshots instead of being silent.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// A mutable borrow of a sink is itself a sink, so a caller can lend its
@@ -38,6 +45,10 @@ impl<S: TraceSink> TraceSink for &mut S {
 
     fn flush(&mut self) {
         (**self).flush();
+    }
+
+    fn dropped(&self) -> u64 {
+        (**self).dropped()
     }
 }
 
@@ -121,6 +132,10 @@ impl TraceSink for RingSink {
         }
         self.buf.push_back(event.clone());
     }
+
+    fn dropped(&self) -> u64 {
+        self.overwritten
+    }
 }
 
 /// A streaming sink writing one JSON object per line (JSONL).
@@ -135,6 +150,14 @@ impl TraceSink for RingSink {
 /// in a [`BufWriter`]) and explicitly flushed when the sink is dropped, so
 /// per-event tracing does not issue one small write per [`WalkEvent`] and
 /// no tail of events is lost if the owner forgets to flush.
+///
+/// Interrupted runs leave *parseable* artifacts: the `Drop` flush runs
+/// during panic unwinding too, and every record — header included — is
+/// pushed to the writer as one `write_all` of a complete
+/// newline-terminated line, never as split fragments from this layer. A
+/// truncated stream is therefore truncated at a line boundary (modulo the
+/// OS cutting a single buffered block, which no userspace writer can
+/// prevent) and stays valid JSONL up to the cut.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     out: Option<W>,
@@ -153,13 +176,12 @@ impl<W: Write> JsonlSink<W> {
     /// Stream events to an arbitrary writer (emits the schema header line
     /// immediately).
     pub fn new(mut out: W) -> JsonlSink<W> {
-        let header_failed = writeln!(
-            out,
-            "{{\"schema\":{},\"stream\":\"{}\"}}",
+        let header = format!(
+            "{{\"schema\":{},\"stream\":\"{}\"}}\n",
             crate::SCHEMA_VERSION,
             crate::read::WALK_EVENT_STREAM
-        )
-        .is_err();
+        );
+        let header_failed = out.write_all(header.as_bytes()).is_err();
         JsonlSink {
             out: Some(out),
             written: 0,
@@ -202,7 +224,11 @@ impl<W: Write> JsonlSink<W> {
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn record(&mut self, event: &WalkEvent) {
         let Some(out) = self.out.as_mut() else { return };
-        match writeln!(out, "{}", event.to_json()) {
+        // One write_all per complete line: a panicking or killed run
+        // truncates at a line boundary, never mid-record.
+        let mut line = event.to_json();
+        line.push('\n');
+        match out.write_all(line.as_bytes()) {
             Ok(()) => self.written += 1,
             Err(_) => self.io_errors += 1,
         }
@@ -212,6 +238,10 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         if let Some(out) = self.out.as_mut() {
             let _ = out.flush();
         }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.io_errors
     }
 }
 
@@ -313,6 +343,48 @@ mod tests {
             assert!(!flushed.get(), "no eager flush while the sink is live");
         }
         assert!(flushed.get(), "drop must flush buffered output");
+    }
+
+    #[test]
+    fn ring_sink_reports_drops_through_the_trait() {
+        let mut ring = RingSink::new(1);
+        ring.record(&event(0));
+        ring.record(&event(1));
+        assert_eq!(TraceSink::dropped(&ring), 1);
+        assert_eq!(TraceSink::dropped(&NullSink), 0);
+    }
+
+    #[test]
+    fn panicking_run_leaves_a_parseable_stream() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut sink = JsonlSink::new(BufWriter::new(Shared(Arc::clone(&bytes))));
+            sink.record(&event(0));
+            sink.record(&event(1));
+            panic!("simulated mid-run abort");
+        }));
+        assert!(result.is_err(), "the run must actually panic");
+        let text = bytes.lock().unwrap().clone();
+        let back = crate::TraceReader::new(text.as_slice())
+            .expect("header survives the abort")
+            .read_all()
+            .expect("stream is truncated-but-valid JSONL");
+        assert_eq!(back.len(), 2, "unwind must flush the buffered tail");
     }
 
     #[test]

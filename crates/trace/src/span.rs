@@ -1,0 +1,515 @@
+//! Monitor-operation spans: time-resolved, causally linked events.
+//!
+//! A [`WalkEvent`](crate::WalkEvent) describes one translated access; a
+//! [`SpanEvent`] describes one *interval* of monitor or synchronization
+//! work — a domain switch, a GMS grant, a shootdown delivery — on the
+//! simulated cycle axis. Spans carry a causal `parent` id, so a shootdown
+//! decomposes into per-receiver child spans (IPI flight → trap →
+//! reprogram → fence) hanging off the monitor operation that triggered
+//! it, and `hpmp-analyze timeline` can attribute the sender's stall to
+//! the slowest receiver instead of a flat counter.
+//!
+//! Spans are collected by a [`SpanCollector`] — bounded, so hour-scale
+//! runs cannot grow without limit, and honest about it: evicted spans are
+//! counted in [`SpanCollector::dropped`], which the SMP layer exports as
+//! the `trace.dropped.spans` counter. The on-disk form is JSONL behind
+//! the same schema-versioned header discipline as walk-event traces,
+//! under the stream tag [`SPAN_EVENT_STREAM`].
+
+use crate::json::{parse_json, JsonValue};
+use crate::read::{check_schema, ReadError};
+use crate::SCHEMA_VERSION;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// The `stream` tag a span-event JSONL header carries.
+pub const SPAN_EVENT_STREAM: &str = "hpmp-span-events";
+
+/// What a span's interval was spent on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A domain switch (`switch_on`), including its fence broadcast.
+    Switch,
+    /// Domain creation (`create_domain_on`).
+    CreateDomain,
+    /// A GMS region grant (`alloc_on`).
+    Alloc,
+    /// A GMS region revoke (`free_on`).
+    Free,
+    /// A GMS relabel (`relabel_on`).
+    Relabel,
+    /// Domain teardown (`destroy_domain_on`).
+    DestroyDomain,
+    /// Sender-side doorbell write posting one IPI (charged to the sender,
+    /// *not* part of its stall).
+    IpiSend,
+    /// One receiver's whole shootdown delivery: interconnect flight
+    /// through ack. The parent operation's sender stall equals the
+    /// slowest sibling of this kind.
+    ShootdownRecv,
+    /// Receiver trap entry + return (child of [`SpanKind::ShootdownRecv`]).
+    Trap,
+    /// Receiver register-image reprogramming (child of
+    /// [`SpanKind::ShootdownRecv`]; absent for fence-only deliveries).
+    Reprogram,
+    /// Receiver-side fence killing stale TLB/PMPTW-Cache entries (child
+    /// of [`SpanKind::ShootdownRecv`]).
+    Fence,
+}
+
+impl SpanKind {
+    /// Every kind, in a fixed report order.
+    pub const ALL: [SpanKind; 11] = [
+        SpanKind::Switch,
+        SpanKind::CreateDomain,
+        SpanKind::Alloc,
+        SpanKind::Free,
+        SpanKind::Relabel,
+        SpanKind::DestroyDomain,
+        SpanKind::IpiSend,
+        SpanKind::ShootdownRecv,
+        SpanKind::Trap,
+        SpanKind::Reprogram,
+        SpanKind::Fence,
+    ];
+
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Switch => "switch",
+            SpanKind::CreateDomain => "create_domain",
+            SpanKind::Alloc => "alloc",
+            SpanKind::Free => "free",
+            SpanKind::Relabel => "relabel",
+            SpanKind::DestroyDomain => "destroy_domain",
+            SpanKind::IpiSend => "ipi_send",
+            SpanKind::ShootdownRecv => "shootdown_recv",
+            SpanKind::Trap => "trap",
+            SpanKind::Reprogram => "reprogram",
+            SpanKind::Fence => "fence",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn from_label(label: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
+    /// Whether this kind is a root monitor operation (as opposed to a
+    /// shootdown child).
+    pub fn is_operation(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Switch
+                | SpanKind::CreateDomain
+                | SpanKind::Alloc
+                | SpanKind::Free
+                | SpanKind::Relabel
+                | SpanKind::DestroyDomain
+        )
+    }
+}
+
+impl std::fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One interval of monitor/synchronization work on the simulated cycle
+/// axis, causally linked to the span that caused it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Collector-unique id (1-based; 0 is never issued).
+    pub id: u64,
+    /// The causally enclosing span, if any.
+    pub parent: Option<u64>,
+    /// What the interval was spent on.
+    pub kind: SpanKind,
+    /// The hart the cycles were charged to.
+    pub hart: u16,
+    /// The domain the work was about, when one is identifiable.
+    pub domain: Option<u32>,
+    /// First cycle of the interval (global simulated clock).
+    pub begin: u64,
+    /// One past the last cycle of the interval; `end - begin` is the cost.
+    pub end: u64,
+}
+
+impl SpanEvent {
+    /// The interval's length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end.saturating_sub(self.begin)
+    }
+
+    /// One-line JSON object (the per-line payload of the span stream).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"id\":{}", self.id);
+        match self.parent {
+            Some(p) => {
+                let _ = write!(out, ",\"parent\":{p}");
+            }
+            None => out.push_str(",\"parent\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"kind\":\"{}\",\"hart\":{}",
+            self.kind.label(),
+            self.hart
+        );
+        match self.domain {
+            Some(d) => {
+                let _ = write!(out, ",\"domain\":{d}");
+            }
+            None => out.push_str(",\"domain\":null"),
+        }
+        let _ = write!(out, ",\"begin\":{},\"end\":{}}}", self.begin, self.end);
+        out
+    }
+}
+
+/// Parse one span object (the per-line payload of the span stream).
+pub fn parse_span(value: &JsonValue) -> Result<SpanEvent, String> {
+    let u64_field = |key: &str| -> Result<u64, String> {
+        value
+            .get(key)
+            .ok_or_else(|| format!("missing field \"{key}\""))?
+            .as_u64()
+            .ok_or_else(|| format!("field \"{key}\" is not a u64"))
+    };
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("field \"kind\" is not a string")?;
+    Ok(SpanEvent {
+        id: u64_field("id")?,
+        parent: match value.get("parent") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or("field \"parent\" is not a u64")?),
+        },
+        kind: SpanKind::from_label(kind)
+            .ok_or_else(|| format!("field \"kind\" has unknown label \"{kind}\""))?,
+        hart: u64_field("hart")?
+            .try_into()
+            .map_err(|_| "field \"hart\" is not a small integer".to_string())?,
+        domain: match value.get("domain") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .and_then(|d| u32::try_from(d).ok())
+                    .ok_or("field \"domain\" is not a u32")?,
+            ),
+        },
+        begin: u64_field("begin")?,
+        end: u64_field("end")?,
+    })
+}
+
+/// A bounded, drop-counting collector of [`SpanEvent`]s.
+///
+/// Emission allocates ids monotonically even past capacity, so causal
+/// links stay stable; spans beyond `capacity` are discarded and counted
+/// in [`SpanCollector::dropped`] — lossy but honest, exactly like
+/// [`RingSink`](crate::RingSink) overflow.
+#[derive(Clone, Debug, Default)]
+pub struct SpanCollector {
+    spans: Vec<SpanEvent>,
+    capacity: usize,
+    enabled: bool,
+    next_id: u64,
+    dropped: u64,
+}
+
+impl SpanCollector {
+    /// A disabled collector: emission is a no-op returning no id.
+    pub fn disabled() -> SpanCollector {
+        SpanCollector::default()
+    }
+
+    /// An enabled collector retaining at most `capacity` spans.
+    pub fn bounded(capacity: usize) -> SpanCollector {
+        SpanCollector {
+            spans: Vec::new(),
+            capacity,
+            enabled: true,
+            next_id: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether emission records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one completed span, returning its id for use as a child's
+    /// `parent`. Returns `None` when the collector is disabled.
+    pub fn emit(
+        &mut self,
+        kind: SpanKind,
+        hart: u16,
+        domain: Option<u32>,
+        parent: Option<u64>,
+        begin: u64,
+        end: u64,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        self.push(SpanEvent {
+            id,
+            parent,
+            kind,
+            hart,
+            domain,
+            begin,
+            end,
+        });
+        Some(id)
+    }
+
+    /// Reserve the next id without recording anything — for a parent span
+    /// whose `end` is only known after its children were emitted. Pair
+    /// with [`SpanCollector::emit_reserved`]; an abandoned reservation
+    /// (the operation errored) just leaves an id gap.
+    pub fn reserve(&mut self) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        self.next_id += 1;
+        Some(self.next_id)
+    }
+
+    /// Record a completed span whose `id` came from
+    /// [`SpanCollector::reserve`]. Children may therefore precede their
+    /// parent in emission order; readers only rely on the id link.
+    pub fn emit_reserved(&mut self, span: SpanEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.push(span);
+    }
+
+    fn push(&mut self, span: SpanEvent) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained spans, in emission order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans discarded because the collector was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Spans emitted in total (retained + dropped).
+    pub fn emitted(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Write the collected spans as a schema-versioned JSONL stream
+    /// (header line + one span per line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
+        writeln!(
+            out,
+            "{{\"schema\":{SCHEMA_VERSION},\"stream\":\"{SPAN_EVENT_STREAM}\",\"dropped\":{}}}",
+            self.dropped
+        )?;
+        for span in &self.spans {
+            writeln!(out, "{}", span.to_json())?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed span stream: the header's drop count plus every span.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStream {
+    /// Spans the producer discarded at capacity (from the header).
+    pub dropped: u64,
+    /// The retained spans, in emission order.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl SpanStream {
+    /// Parse a span stream produced by [`SpanCollector::write_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a missing/foreign header or a malformed span line.
+    pub fn parse<R: BufRead>(mut input: R) -> Result<SpanStream, ReadError> {
+        let mut header = String::new();
+        if input.read_line(&mut header)? == 0 {
+            return Err(ReadError::Schema {
+                message: format!(
+                    "span stream is empty: expected a header line like \
+                     {{\"schema\":1,\"stream\":\"{SPAN_EVENT_STREAM}\"}}"
+                ),
+            });
+        }
+        let value = parse_json(header.trim_end()).map_err(|e| ReadError::Schema {
+            message: format!("span header line is not valid JSON ({e})"),
+        })?;
+        check_schema(&value, "span stream header")?;
+        match value.get("stream").and_then(JsonValue::as_str) {
+            Some(SPAN_EVENT_STREAM) => {}
+            Some(other) => {
+                return Err(ReadError::Schema {
+                    message: format!("stream is \"{other}\", expected \"{SPAN_EVENT_STREAM}\""),
+                })
+            }
+            None => {
+                return Err(ReadError::Schema {
+                    message: "span header has no \"stream\" field".to_string(),
+                })
+            }
+        }
+        let dropped = value
+            .get("dropped")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let mut spans = Vec::new();
+        let mut line_no = 1;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if input.read_line(&mut buf)? == 0 {
+                break;
+            }
+            line_no += 1;
+            let line = buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let value = parse_json(line).map_err(|e| ReadError::Parse {
+                line: line_no,
+                message: format!("not valid JSON ({e})"),
+            })?;
+            spans.push(parse_span(&value).map_err(|message| ReadError::Parse {
+                line: line_no,
+                message,
+            })?);
+        }
+        Ok(SpanStream { dropped, spans })
+    }
+
+    /// Open and parse a span-stream file.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpanStream::parse`], plus I/O failures opening the file.
+    pub fn read_file<P: AsRef<Path>>(path: P) -> Result<SpanStream, ReadError> {
+        SpanStream::parse(BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, kind: SpanKind) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent,
+            kind,
+            hart: 1,
+            domain: Some(3),
+            begin: 100,
+            end: 480,
+        }
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_label("nonesuch"), None);
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        for s in [
+            span(1, None, SpanKind::Alloc),
+            span(2, Some(1), SpanKind::ShootdownRecv),
+            SpanEvent {
+                domain: None,
+                ..span(3, Some(2), SpanKind::Fence)
+            },
+        ] {
+            let value = parse_json(&s.to_json()).expect("valid JSON");
+            assert_eq!(parse_span(&value).expect("parses"), s);
+        }
+    }
+
+    #[test]
+    fn collector_caps_and_counts_drops() {
+        let mut c = SpanCollector::bounded(2);
+        let a = c.emit(SpanKind::Switch, 0, None, None, 0, 10).unwrap();
+        let b = c.emit(SpanKind::Fence, 1, None, Some(a), 5, 10).unwrap();
+        let d = c.emit(SpanKind::Trap, 1, None, Some(a), 5, 9).unwrap();
+        assert_eq!((a, b, d), (1, 2, 3), "ids keep advancing past capacity");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dropped(), 1);
+        assert_eq!(c.emitted(), 3);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let mut c = SpanCollector::disabled();
+        assert_eq!(c.emit(SpanKind::Switch, 0, None, None, 0, 10), None);
+        assert!(c.is_empty());
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn stream_round_trips_including_drop_count() {
+        let mut c = SpanCollector::bounded(2);
+        c.emit(SpanKind::Alloc, 0, Some(1), None, 0, 90);
+        c.emit(SpanKind::ShootdownRecv, 1, Some(1), Some(1), 40, 480);
+        c.emit(SpanKind::Fence, 1, Some(1), Some(2), 300, 420);
+        let mut bytes = Vec::new();
+        c.write_jsonl(&mut bytes).unwrap();
+        let stream = SpanStream::parse(bytes.as_slice()).expect("parses");
+        assert_eq!(stream.dropped, 1);
+        assert_eq!(stream.spans, c.spans());
+    }
+
+    #[test]
+    fn foreign_stream_tag_is_rejected() {
+        let raw = "{\"schema\":1,\"stream\":\"hpmp-walk-events\"}\n";
+        let err = SpanStream::parse(raw.as_bytes()).expect_err("must reject");
+        assert!(err.to_string().contains("hpmp-walk-events"), "{err}");
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let raw = "{\"schema\":9,\"stream\":\"hpmp-span-events\"}\n";
+        assert!(SpanStream::parse(raw.as_bytes()).is_err());
+    }
+}

@@ -22,7 +22,7 @@ use hpmp_memsim::{
 };
 use hpmp_paging::{AddressSpace, TranslationMode};
 use hpmp_penglai::{DomainId, GmsLabel, MonitorError, SmpSystem, TeeFlavor};
-use hpmp_trace::{Snapshot, TraceSink};
+use hpmp_trace::{Snapshot, SpanCollector, TimelineSink, TraceSink};
 
 use crate::fixture::{config_for, RAM_BASE, RAM_SIZE};
 
@@ -189,6 +189,32 @@ pub fn run_smp(
     Ok((outcome, snapshot))
 }
 
+/// What an SMP run should record beyond counters. The default records
+/// nothing and is exactly the untraced path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SmpTelemetrySpec {
+    /// Cut a timeline slice every N global simulated cycles.
+    pub snapshot_interval: Option<u64>,
+    /// Collect monitor-operation/shootdown spans, retaining at most this
+    /// many (overflow is counted in `trace.dropped.spans`).
+    pub span_capacity: Option<usize>,
+}
+
+impl SmpTelemetrySpec {
+    /// Default bound on retained spans when only an output path was given.
+    pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+}
+
+/// The time-resolved artifacts of one SMP run.
+#[derive(Clone, Debug, Default)]
+pub struct SmpTelemetry {
+    /// Periodic snapshot slices (present iff an interval was requested).
+    /// Already finished: its slices re-sum to the returned snapshot.
+    pub timeline: Option<TimelineSink>,
+    /// Collected spans (present iff a capacity was requested).
+    pub spans: Option<SpanCollector>,
+}
+
 /// Runs `spec` over pre-built machines (one per hart, e.g. each with its
 /// own trace sink). Returns the outcome, the merged metrics snapshot
 /// (`hart.<i>.*`, `smp.*`, `monitor.*`), and the per-hart sinks in hart
@@ -203,9 +229,37 @@ pub fn run_smp_machines<S: TraceSink>(
     seed: u64,
     spec: SmpWorkloadSpec,
 ) -> Result<(SmpOutcome, Snapshot, Vec<S>), MonitorError> {
+    let (outcome, snapshot, sinks, _) =
+        run_smp_telemetry(machines, flavor, seed, spec, SmpTelemetrySpec::default())?;
+    Ok((outcome, snapshot, sinks))
+}
+
+/// As [`run_smp_machines`], additionally recording time-resolved
+/// telemetry: timeline slices cut on the global simulated clock and
+/// monitor-operation/shootdown spans. Telemetry is pure observation — the
+/// outcome and snapshot are identical to the untraced run (modulo the
+/// `trace.*` accounting counters), and both artifacts are byte-identical
+/// at any `--jobs` because boundaries live on the simulated clock.
+///
+/// # Errors
+///
+/// Propagates monitor errors.
+pub fn run_smp_telemetry<S: TraceSink>(
+    machines: Vec<Machine<S>>,
+    flavor: TeeFlavor,
+    seed: u64,
+    spec: SmpWorkloadSpec,
+    telemetry: SmpTelemetrySpec,
+) -> Result<(SmpOutcome, Snapshot, Vec<S>, SmpTelemetry), MonitorError> {
     let harts = machines.len();
     let ram = hpmp_core::PmpRegion::new(PhysAddr::new(RAM_BASE), RAM_SIZE);
     let mut smp = SmpSystem::boot_machines(machines, flavor, ram)?;
+    if let Some(capacity) = telemetry.span_capacity {
+        // Enabled before tenant setup so the boot-phase ops are spanned
+        // too — the paper's boot → churn → steady-state story needs them.
+        smp.enable_spans(capacity);
+    }
+    let mut timeline = telemetry.snapshot_interval.map(TimelineSink::new);
     let tenants = setup_tenants(&mut smp, spec.footprint_pages)?;
 
     // Per-hart access streams, decorrelated from the interleaver and from
@@ -252,17 +306,37 @@ pub fn run_smp_machines<S: TraceSink>(
             total_cycles += smp.switch_on(hart, DomainId::HOST)?;
             total_cycles += smp.switch_on(hart, tenant.domain)?;
         }
+        if let Some(tl) = timeline.as_mut() {
+            // Boundaries are checked on the deterministic simulated clock
+            // at round granularity: slices are ≥ interval wide, and
+            // byte-identical at any `--jobs`/interleaving seed.
+            let now = smp.global_cycles();
+            if tl.due(now) {
+                tl.record(now, &smp.metrics_snapshot());
+            }
+        }
     }
 
     smp.flush_sinks();
     let snapshot = smp.metrics_snapshot();
+    if let Some(tl) = timeline.as_mut() {
+        // The tail slice closes against the exact snapshot returned below,
+        // so re-summing every slice reproduces it byte-for-byte.
+        tl.finish(smp.global_cycles(), &snapshot);
+    }
+    let spans = telemetry.span_capacity.map(|_| smp.take_spans());
     let outcome = SmpOutcome {
         harts: harts as u32,
         total_cycles,
         accesses,
         ipis_delivered: snapshot.value("smp.ipis_delivered"),
     };
-    Ok((outcome, snapshot, smp.into_sinks()))
+    Ok((
+        outcome,
+        snapshot,
+        smp.into_sinks(),
+        SmpTelemetry { timeline, spans },
+    ))
 }
 
 /// As [`run_smp`] but with one sink per hart, returning the sinks.
@@ -333,6 +407,70 @@ mod tests {
         for hart in 0..4 {
             assert!(snap.value(&format!("hart.{hart}.machine.accesses")) > 0);
         }
+    }
+
+    #[test]
+    fn telemetry_slices_resum_to_the_final_snapshot() {
+        use hpmp_machine::MachineConfig;
+
+        let spec = spec_for("tenancy").unwrap();
+        let telemetry = SmpTelemetrySpec {
+            snapshot_interval: Some(20_000),
+            span_capacity: Some(1 << 16),
+        };
+        let machines = (0..2)
+            .map(|_| Machine::new(MachineConfig::rocket()))
+            .collect();
+        let (_, snapshot, _, out) =
+            run_smp_telemetry(machines, TeeFlavor::PenglaiHpmp, 42, spec, telemetry).unwrap();
+        let timeline = out.timeline.expect("requested");
+        assert!(timeline.slices().len() > 1, "run spans several slices");
+        assert_eq!(
+            timeline.resum().to_json_versioned(),
+            snapshot.to_json_versioned(),
+            "slice deltas must re-sum to the final snapshot byte-for-byte"
+        );
+        let spans = out.spans.expect("requested");
+        assert!(!spans.is_empty(), "tenancy churns: ops must be spanned");
+        assert_eq!(spans.dropped(), 0);
+    }
+
+    #[test]
+    fn telemetry_is_pure_observation_and_deterministic() {
+        use hpmp_machine::MachineConfig;
+
+        let spec = spec_for("tenancy").unwrap();
+        let run = |telemetry| {
+            let machines = (0..2)
+                .map(|_| Machine::new(MachineConfig::rocket()))
+                .collect();
+            run_smp_telemetry(machines, TeeFlavor::PenglaiHpmp, 42, spec, telemetry).unwrap()
+        };
+        let telemetry = SmpTelemetrySpec {
+            snapshot_interval: Some(25_000),
+            span_capacity: Some(1 << 16),
+        };
+        let (out_plain, _, _, _) = run(SmpTelemetrySpec::default());
+        let (out_a, _, _, tel_a) = run(telemetry);
+        let (out_b, _, _, tel_b) = run(telemetry);
+        assert_eq!(out_plain, out_a, "telemetry must not perturb the run");
+
+        let render = |tel: &SmpTelemetry| {
+            let mut bytes = Vec::new();
+            tel.timeline
+                .as_ref()
+                .unwrap()
+                .write_jsonl(&mut bytes)
+                .unwrap();
+            tel.spans.as_ref().unwrap().write_jsonl(&mut bytes).unwrap();
+            bytes
+        };
+        assert_eq!(out_a, out_b);
+        assert_eq!(
+            render(&tel_a),
+            render(&tel_b),
+            "telemetry artifacts must be byte-identical across runs"
+        );
     }
 
     #[test]

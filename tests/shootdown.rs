@@ -178,6 +178,11 @@ fn randomized_schedules_never_diverge_from_the_oracle() {
                 &format!("case {case} ({flavor}, {harts} harts) step {step}"),
             );
         }
+        // Cycle and IPI accounting must also have stayed coherent across
+        // the schedule — a shootdown delivered but not charged (or vice
+        // versa) is an observability failure even when permissions agree.
+        smp.verify_accounting()
+            .unwrap_or_else(|e| panic!("case {case} ({flavor}, {harts} harts): {e}"));
     }
 }
 
@@ -270,9 +275,11 @@ fn delivered_shootdown_revokes_the_remote_grant() {
             .is_err(),
         "the shootdown fence must kill the inlined grant"
     );
-    // And the fast path agrees with the oracle again.
+    // And the fast path agrees with the oracle again, with every cycle of
+    // the shootdown charged consistently across harts and monitor.
     let probes = [data.base];
     assert_no_divergence(&mut smp, &probes, "post-shootdown");
+    smp.verify_accounting().expect("accounting stays coherent");
 }
 
 /// Regression: destroying a domain that is scheduled on a different hart.
@@ -292,5 +299,7 @@ fn destroy_under_a_running_hart_parks_it_in_the_host() {
         // The parked hart answers as the host, with no divergence.
         let probes = probes(&smp, &[DomainId::HOST]);
         assert_no_divergence(&mut smp, &probes, &format!("{flavor} post-destroy"));
+        smp.verify_accounting()
+            .unwrap_or_else(|e| panic!("{flavor}: {e}"));
     }
 }
