@@ -19,16 +19,33 @@
 //! * [`timeline`] — time-resolved analysis of `--snapshot-interval` /
 //!   `--spans-out` artifacts: per-slice activity rates, cumulative
 //!   latency-percentile drift, and span-based critical-path attribution
-//!   of cross-hart shootdown stalls.
+//!   of cross-hart shootdown stalls;
+//! * [`export`] — converters into industry-standard viewer formats:
+//!   Chrome Trace Event JSON (Perfetto / `chrome://tracing`) from span
+//!   streams, and collapsed stacks (flamegraph.pl / inferno) from
+//!   walk-event traces, each with a round-trip validator re-summing the
+//!   exported durations against the run's metrics snapshot;
+//! * [`trend`] — bench-history trend tracking over the committed
+//!   `ci/BENCH_history.jsonl`: per-series step-change detection of the
+//!   deterministic cycle totals, report-only until history exists.
 
 pub mod campaign;
 pub mod diff;
+pub mod export;
 pub mod gate;
 pub mod profile;
 pub mod timeline;
+pub mod trend;
 
 pub use campaign::{CampaignAnalysis, ClassTally};
 pub use diff::{diff_snapshots, load_artifact, percentile_shifts, render_diff, Artifact};
+pub use export::{
+    chrome_trace, collapsed_stacks, render_collapsed, verify_collapsed, verify_span_export,
+};
 pub use gate::{gate, Finding, GateOutcome};
 pub use profile::{ColdWalk, EventRefs, IsolationShape, WalkProfile};
 pub use timeline::{analyze_timeline, Attribution, DriftRow, SliceRow, TimelineAnalysis};
+pub use trend::{
+    analyze_trend, parse_history, read_history_file, HistoryEntry, HistoryPoint, SeriesVerdict,
+    TrendReport, BENCH_HISTORY_STREAM,
+};

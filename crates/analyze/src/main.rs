@@ -9,6 +9,11 @@
 //! hpmp-analyze timeline <timeline.jsonl> [--spans <spans.jsonl>]
 //!                       [--final <metrics.json>] [--threshold 95%]
 //!                       [--report-out <report.json>]
+//! hpmp-analyze export [--spans <spans.jsonl>] [--timeline <t.jsonl>]
+//!                     [--trace <walks.jsonl>] [--final <metrics.json>]
+//!                     [--chrome <trace.json>] [--collapsed <stacks.txt>]
+//! hpmp-analyze trend <history.jsonl> [--threshold 10%] [--window N]
+//!                    [--append <BENCH.json> --label <label>] [--report-only]
 //! ```
 //!
 //! Exit codes: 0 — analysis clean; 1 — the analysis itself found a problem
@@ -16,7 +21,9 @@
 //! I/O, or schema error.
 
 use hpmp_analyze::{
-    analyze_timeline, gate, load_artifact, profile::WalkProfile, render_diff, CampaignAnalysis,
+    analyze_timeline, analyze_trend, chrome_trace, collapsed_stacks, gate, load_artifact,
+    profile::WalkProfile, read_history_file, render_collapsed, render_diff, verify_collapsed,
+    verify_span_export, CampaignAnalysis, HistoryEntry,
 };
 use hpmp_trace::{read_trace_file, BenchReport, Snapshot, SpanStream, Timeline};
 use std::process::ExitCode;
@@ -56,6 +63,31 @@ usage:
       violation or when the named receiver-side spans explain less than
       --threshold (default 95%) of the counted sender stall cycles.
       --report-out writes a gate-compatible bench report.
+
+  hpmp-analyze export [--spans <spans.jsonl>] [--timeline <timeline.jsonl>]
+                      [--trace <walks.jsonl>] [--final <metrics.json>]
+                      [--chrome <trace.json>] [--collapsed <stacks.txt>]
+      Convert simulator artifacts into industry-standard viewer formats.
+      --chrome (needs --spans; --timeline adds counter tracks) writes
+      Chrome Trace Event JSON loadable in Perfetto or chrome://tracing:
+      per-hart tracks, one slice per span, causal flow arrows from the
+      parent ids. --collapsed (needs --trace) writes collapsed stacks
+      (world;class;step cycles) for flamegraph.pl / inferno. With
+      --final, each projection is re-summed against the run's metrics
+      snapshot — receiver handler spans against hart.<i>.shootdown
+      counters, per-class stack totals against the latency cycle
+      counters — and a mismatch exits 1 instead of rendering a lie.
+
+  hpmp-analyze trend <history.jsonl> [--threshold <pct>%] [--window N]
+                     [--append <BENCH.json> --label <label>] [--report-only]
+      Drift detection over the committed bench history (one
+      self-describing JSON line per CI run). --append first distills a
+      --bench-out report into a new history line under --label. Then
+      every (label, experiment) series is judged: the last point's
+      cycles against the median of its predecessors (the last --window
+      points; default 20). A step change beyond --threshold (default
+      10%) exits 1; series with fewer than two points are baselines and
+      never fail, so CI is report-only until history exists.
 ";
 
 fn fail_usage(message: &str) -> ExitCode {
@@ -291,6 +323,233 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_export(args: &[String]) -> ExitCode {
+    let mut spans_path: Option<String> = None;
+    let mut timeline_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut final_path: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
+    let mut collapsed_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_value = |name: &str| match it.next() {
+            Some(path) => Ok(path.clone()),
+            None => Err(format!("{name} needs a file")),
+        };
+        let result = match arg.as_str() {
+            "--spans" => path_value("--spans").map(|p| spans_path = Some(p)),
+            "--timeline" => path_value("--timeline").map(|p| timeline_path = Some(p)),
+            "--trace" => path_value("--trace").map(|p| trace_path = Some(p)),
+            "--final" => path_value("--final").map(|p| final_path = Some(p)),
+            "--chrome" => path_value("--chrome").map(|p| chrome_out = Some(p)),
+            "--collapsed" => path_value("--collapsed").map(|p| collapsed_out = Some(p)),
+            other => Err(format!("unknown export argument \"{other}\"")),
+        };
+        if let Err(message) = result {
+            return fail_usage(&message);
+        }
+    }
+    if chrome_out.is_none() && collapsed_out.is_none() {
+        return fail_usage("export needs at least one of --chrome / --collapsed");
+    }
+    if chrome_out.is_some() && spans_path.is_none() {
+        return fail_usage("--chrome needs --spans");
+    }
+    if collapsed_out.is_some() && trace_path.is_none() {
+        return fail_usage("--collapsed needs --trace");
+    }
+
+    let final_snapshot = match &final_path {
+        Some(path) => {
+            let text = match read_to_string(path) {
+                Ok(text) => text,
+                Err(code) => return code,
+            };
+            match Snapshot::from_json(&text) {
+                Ok(snap) => Some(snap),
+                Err(e) => {
+                    eprintln!("hpmp-analyze: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    let mut violations = Vec::new();
+    if let Some(out_path) = &chrome_out {
+        let spans_path = spans_path.as_deref().expect("checked above");
+        let spans = match SpanStream::read_file(spans_path) {
+            Ok(spans) => spans,
+            Err(e) => {
+                eprintln!("hpmp-analyze: {spans_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let timeline = match &timeline_path {
+            Some(path) => match Timeline::read_file(path) {
+                Ok(timeline) => Some(timeline),
+                Err(e) => {
+                    eprintln!("hpmp-analyze: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => None,
+        };
+        if let Some(snap) = &final_snapshot {
+            violations.extend(verify_span_export(&spans, snap));
+        }
+        if let Err(e) = std::fs::write(out_path, chrome_trace(&spans, timeline.as_ref())) {
+            eprintln!("hpmp-analyze: cannot write {out_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "chrome trace: {} span(s){} -> {out_path}",
+            spans.spans.len(),
+            timeline
+                .as_ref()
+                .map(|t| format!(" + {} slice(s)", t.slices.len()))
+                .unwrap_or_default()
+        );
+    }
+    if let Some(out_path) = &collapsed_out {
+        let trace_path = trace_path.as_deref().expect("checked above");
+        let events = match read_trace_file(trace_path) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("hpmp-analyze: {trace_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(snap) = &final_snapshot {
+            violations.extend(verify_collapsed(&events, snap));
+        }
+        let stacks = collapsed_stacks(&events);
+        if let Err(e) = std::fs::write(out_path, render_collapsed(&stacks)) {
+            eprintln!("hpmp-analyze: cannot write {out_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "collapsed stacks: {} stack(s) from {} event(s) -> {out_path}",
+            stacks.len(),
+            events.len()
+        );
+    }
+    if violations.is_empty() {
+        if final_snapshot.is_some() {
+            println!("round trip: exported durations re-derive the snapshot counters");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("hpmp-analyze: round-trip violation: {violation}");
+        }
+        eprintln!(
+            "hpmp-analyze: export does not re-derive the snapshot counters \
+             ({} violation(s))",
+            violations.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_trend(args: &[String]) -> ExitCode {
+    let mut history_path: Option<String> = None;
+    let mut append_path: Option<String> = None;
+    let mut label: Option<String> = None;
+    let mut threshold = 10.0;
+    let mut window = 20usize;
+    let mut report_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--append" => match it.next() {
+                Some(path) => append_path = Some(path.clone()),
+                None => return fail_usage("--append needs a bench report file"),
+            },
+            "--label" => match it.next() {
+                Some(value) => label = Some(value.clone()),
+                None => return fail_usage("--label needs a name"),
+            },
+            "--threshold" => match it.next().map(|raw| parse_threshold(raw)) {
+                Some(Some(value)) => threshold = value,
+                _ => return fail_usage("--threshold needs a percentage like 10%"),
+            },
+            "--window" => match it.next().map(|raw| raw.parse()) {
+                Some(Ok(n)) => window = n,
+                _ => return fail_usage("--window needs an entry count (0 = unlimited)"),
+            },
+            "--report-only" => report_only = true,
+            other if !other.starts_with('-') && history_path.is_none() => {
+                history_path = Some(other.to_string());
+            }
+            other => return fail_usage(&format!("unknown trend argument \"{other}\"")),
+        }
+    }
+    let Some(history_path) = history_path else {
+        return fail_usage("trend needs a history file");
+    };
+    if append_path.is_some() != label.is_some() {
+        return fail_usage("--append and --label go together");
+    }
+
+    if let (Some(bench_path), Some(label)) = (&append_path, &label) {
+        let text = match read_to_string(bench_path) {
+            Ok(text) => text,
+            Err(code) => return code,
+        };
+        let report = match BenchReport::from_json(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("hpmp-analyze: {bench_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let line = HistoryEntry::from_report(label.clone(), &report).to_json_line();
+        let mut existing = match std::fs::read_to_string(&history_path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                eprintln!("hpmp-analyze: cannot read {history_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !existing.is_empty() && !existing.ends_with('\n') {
+            existing.push('\n');
+        }
+        existing.push_str(&line);
+        existing.push('\n');
+        if let Err(e) = std::fs::write(&history_path, existing) {
+            eprintln!("hpmp-analyze: cannot write {history_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("appended {label} entry from {bench_path} -> {history_path}");
+    }
+
+    let entries = match read_history_file(&history_path) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("hpmp-analyze: {history_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = analyze_trend(&entries, threshold, window);
+    print!("{}", report.render(threshold));
+    if report.passed() || report_only {
+        if report_only && !report.passed() {
+            println!("(report-only mode: not failing the build)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "hpmp-analyze: bench history regressed beyond {threshold}% \
+             ({} series)",
+            report.regressions
+        );
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -300,6 +559,8 @@ fn main() -> ExitCode {
             "gate" => cmd_gate(rest),
             "campaign" => cmd_campaign(rest),
             "timeline" => cmd_timeline(rest),
+            "export" => cmd_export(rest),
+            "trend" => cmd_trend(rest),
             "--help" | "-h" | "help" => {
                 print!("{USAGE}");
                 ExitCode::SUCCESS

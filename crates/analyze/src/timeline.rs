@@ -136,7 +136,7 @@ pub struct TimelineAnalysis {
 
 /// Sum of every counter matching `name` — the bare name or any
 /// `hart.<i>.`-prefixed copy of it.
-fn sum_over_harts(snap: &Snapshot, name: &str) -> u64 {
+pub(crate) fn sum_over_harts(snap: &Snapshot, name: &str) -> u64 {
     let suffix = format!(".{name}");
     snap.iter()
         .filter(|(key, _)| *key == name || (key.starts_with("hart.") && key.ends_with(&suffix)))

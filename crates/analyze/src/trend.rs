@@ -1,0 +1,483 @@
+//! Bench-history trend tracking: a committed JSONL trajectory of every
+//! CI run's headline numbers, and drift detection over it.
+//!
+//! `ci/BENCH_history.jsonl` accumulates one line per (labelled) bench
+//! run: the deterministic `cycles` and `walks` of each experiment,
+//! distilled from the full `--bench-out` report. Unlike the other JSONL
+//! artifacts (header line + records), every history line is a complete,
+//! self-describing document — append-only files written by many CI runs
+//! over months cannot share a header — so each line carries its own
+//! `schema` and `stream` tag and is validated independently.
+//!
+//! [`analyze_trend`] then walks each `(label, experiment)` series in
+//! file order: with fewer than two points a series is a baseline (never
+//! a failure — CI stays report-only until history exists); with more,
+//! the last point is compared against the median of its predecessors,
+//! and a step change beyond the threshold is a regression. Walk-count
+//! changes are reported (the workload itself changed) but never fail
+//! the build on their own: walks are deterministic, so a change is a
+//! deliberate PR effect, not drift.
+
+use hpmp_trace::json::{parse_json, JsonValue};
+use hpmp_trace::{BenchReport, ReadError, SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The `stream` tag carried by every history line.
+pub const BENCH_HISTORY_STREAM: &str = "hpmp-bench-history";
+
+/// One experiment's headline numbers inside a history entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistoryPoint {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total simulated page walks.
+    pub walks: u64,
+}
+
+/// One appended bench run: a label naming the configuration (e.g.
+/// `seed`, `multihart`) plus per-experiment points.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Configuration label; series are keyed by `(label, experiment)`.
+    pub label: String,
+    /// Name of the report the entry was distilled from (e.g. `repro`).
+    pub report: String,
+    /// Headline numbers per experiment.
+    pub experiments: BTreeMap<String, HistoryPoint>,
+}
+
+impl HistoryEntry {
+    /// Distill a full bench report into a history entry.
+    pub fn from_report(label: impl Into<String>, report: &BenchReport) -> HistoryEntry {
+        HistoryEntry {
+            label: label.into(),
+            report: report.name.clone(),
+            experiments: report
+                .experiments
+                .iter()
+                .map(|e| {
+                    (
+                        e.name.clone(),
+                        HistoryPoint {
+                            cycles: e.cycles,
+                            walks: e.walks,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize as one self-describing JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let experiments: Vec<String> = self
+            .experiments
+            .iter()
+            .map(|(name, p)| {
+                format!(
+                    "\"{}\":{{\"cycles\":{},\"walks\":{}}}",
+                    escape(name),
+                    p.cycles,
+                    p.walks
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":{},\"stream\":\"{}\",\"label\":\"{}\",\"report\":\"{}\",\
+             \"experiments\":{{{}}}}}",
+            SCHEMA_VERSION,
+            BENCH_HISTORY_STREAM,
+            escape(&self.label),
+            escape(&self.report),
+            experiments.join(",")
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a history file: one self-describing entry per non-empty line,
+/// each validated for schema version and stream tag independently.
+pub fn parse_history(text: &str) -> Result<Vec<HistoryEntry>, ReadError> {
+    let mut entries = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = parse_json(line).map_err(|e| ReadError::Parse {
+            line: line_no,
+            message: format!("history line is not valid JSON ({e})"),
+        })?;
+        match doc.get("schema").and_then(JsonValue::as_u64) {
+            Some(v) if v == u64::from(SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(ReadError::Schema {
+                    message: format!(
+                        "history line {line_no} declares schema version {v}, but this \
+                         reader only understands version {SCHEMA_VERSION}"
+                    ),
+                })
+            }
+            None => {
+                return Err(ReadError::Schema {
+                    message: format!("history line {line_no} has no \"schema\" field"),
+                })
+            }
+        }
+        match doc.get("stream").and_then(JsonValue::as_str) {
+            Some(BENCH_HISTORY_STREAM) => {}
+            Some(other) => {
+                return Err(ReadError::Schema {
+                    message: format!(
+                        "history line {line_no} is stream \"{other}\", expected \
+                         \"{BENCH_HISTORY_STREAM}\""
+                    ),
+                })
+            }
+            None => {
+                return Err(ReadError::Schema {
+                    message: format!("history line {line_no} has no \"stream\" field"),
+                })
+            }
+        }
+        let label = doc
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        let report = doc
+            .get("report")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        let mut experiments = BTreeMap::new();
+        if let Some(members) = doc.get("experiments").and_then(JsonValue::as_object) {
+            for (name, p) in members {
+                let field = |k: &str| {
+                    p.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| ReadError::Parse {
+                            line: line_no,
+                            message: format!("experiment \"{name}\" has no u64 \"{k}\""),
+                        })
+                };
+                experiments.insert(
+                    name.clone(),
+                    HistoryPoint {
+                        cycles: field("cycles")?,
+                        walks: field("walks")?,
+                    },
+                );
+            }
+        }
+        entries.push(HistoryEntry {
+            label,
+            report,
+            experiments,
+        });
+    }
+    Ok(entries)
+}
+
+/// Read and parse a history file from disk.
+pub fn read_history_file(path: &str) -> Result<Vec<HistoryEntry>, ReadError> {
+    parse_history(&std::fs::read_to_string(path)?)
+}
+
+/// The verdict on one `(label, experiment)` series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesVerdict {
+    /// Configuration label.
+    pub label: String,
+    /// Experiment name.
+    pub experiment: String,
+    /// Points considered (after windowing).
+    pub n: usize,
+    /// Median cycles of the points before the last (0 when `n < 2`).
+    pub baseline_cycles: u64,
+    /// The last point's cycles.
+    pub last_cycles: u64,
+    /// Percent change of the last point vs. the baseline median.
+    pub delta_pct: f64,
+    /// Step change beyond the threshold.
+    pub regressed: bool,
+    /// The last point's walk count differs from its predecessor's: the
+    /// workload itself changed (reported, never a failure by itself).
+    pub walks_changed: bool,
+}
+
+/// The full drift report over a history file.
+#[derive(Clone, Debug, Default)]
+pub struct TrendReport {
+    /// One verdict per series, sorted by `(label, experiment)`.
+    pub series: Vec<SeriesVerdict>,
+    /// Series with fewer than two points (no judgement possible).
+    pub baselines: usize,
+    /// Series whose last point regressed beyond the threshold.
+    pub regressions: usize,
+}
+
+impl TrendReport {
+    /// Whether no series regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+
+    /// Render as a text report.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-history trend: {} series, {} baseline-only, threshold {threshold}%",
+            self.series.len(),
+            self.baselines
+        );
+        for s in &self.series {
+            if s.n < 2 {
+                let _ = writeln!(
+                    out,
+                    "  {}/{:<12} n={} BASELINE ({} cycles; need 2+ entries to judge)",
+                    s.label, s.experiment, s.n, s.last_cycles
+                );
+                continue;
+            }
+            let verdict = if s.regressed { "REGRESSION" } else { "ok" };
+            let walks = if s.walks_changed {
+                " [walks changed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {}/{:<12} n={} median {} -> last {} ({:+.1}%) {verdict}{walks}",
+                s.label, s.experiment, s.n, s.baseline_cycles, s.last_cycles, s.delta_pct
+            );
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.passed() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL ({} regressed series)", self.regressions)
+            }
+        );
+        out
+    }
+}
+
+/// Analyze drift: for each `(label, experiment)` series (windowed to the
+/// last `window` points, in file order), compare the last point against
+/// the median cycles of its predecessors. A step change above
+/// `threshold_pct` percent is a regression; faster-than-baseline never
+/// fails.
+pub fn analyze_trend(entries: &[HistoryEntry], threshold_pct: f64, window: usize) -> TrendReport {
+    let mut series: BTreeMap<(String, String), Vec<HistoryPoint>> = BTreeMap::new();
+    for entry in entries {
+        for (experiment, point) in &entry.experiments {
+            series
+                .entry((entry.label.clone(), experiment.clone()))
+                .or_default()
+                .push(*point);
+        }
+    }
+    let mut report = TrendReport::default();
+    for ((label, experiment), mut points) in series {
+        if window > 0 && points.len() > window {
+            points.drain(..points.len() - window);
+        }
+        let n = points.len();
+        let last = points[n - 1];
+        if n < 2 {
+            report.baselines += 1;
+            report.series.push(SeriesVerdict {
+                label,
+                experiment,
+                n,
+                baseline_cycles: 0,
+                last_cycles: last.cycles,
+                delta_pct: 0.0,
+                regressed: false,
+                walks_changed: false,
+            });
+            continue;
+        }
+        let mut prior_cycles: Vec<u64> = points[..n - 1].iter().map(|p| p.cycles).collect();
+        prior_cycles.sort_unstable();
+        let baseline = prior_cycles[prior_cycles.len() / 2];
+        let delta_pct = if baseline == 0 {
+            0.0
+        } else {
+            100.0 * (last.cycles as f64 - baseline as f64) / baseline as f64
+        };
+        let regressed = delta_pct > threshold_pct;
+        if regressed {
+            report.regressions += 1;
+        }
+        report.series.push(SeriesVerdict {
+            label,
+            experiment,
+            n,
+            baseline_cycles: baseline,
+            last_cycles: last.cycles,
+            delta_pct,
+            regressed,
+            walks_changed: last.walks != points[n - 2].walks,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmp_trace::{ExperimentRecord, MetricsRegistry};
+
+    fn entry(label: &str, cycles: u64, walks: u64) -> HistoryEntry {
+        HistoryEntry {
+            label: label.to_string(),
+            report: "repro".to_string(),
+            experiments: [("fig2".to_string(), HistoryPoint { cycles, walks })]
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_jsonl() {
+        let entries = vec![entry("seed", 1000, 50), entry("seed", 1010, 50)];
+        let text: String = entries
+            .iter()
+            .map(|e| format!("{}\n", e.to_json_line()))
+            .collect();
+        assert_eq!(parse_history(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn from_report_distills_cycles_and_walks() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.walks", 42);
+        let mut report = BenchReport::new("repro");
+        report.push(ExperimentRecord::from_snapshot(
+            "fig2",
+            1270,
+            reg.snapshot(),
+        ));
+        let e = HistoryEntry::from_report("seed", &report);
+        assert_eq!(e.report, "repro");
+        assert_eq!(e.experiments["fig2"].cycles, 1270);
+        assert_eq!(e.experiments["fig2"].walks, 42);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected_with_version_and_line() {
+        let good = entry("seed", 1, 1).to_json_line();
+        let bad = good.replacen("\"schema\":1", "\"schema\":6", 1);
+        let err = parse_history(&format!("{good}\n{bad}\n")).expect_err("must reject");
+        let msg = err.to_string();
+        assert!(msg.contains('6'), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_stream_is_rejected() {
+        let bad = entry("seed", 1, 1).to_json_line().replacen(
+            BENCH_HISTORY_STREAM,
+            "hpmp-walk-events",
+            1,
+        );
+        let err = parse_history(&bad).expect_err("must reject");
+        assert!(err.to_string().contains("hpmp-walk-events"), "{err}");
+    }
+
+    #[test]
+    fn single_entry_series_is_baseline_only() {
+        let report = analyze_trend(&[entry("seed", 1000, 50)], 5.0, 0);
+        assert_eq!(report.baselines, 1);
+        assert!(report.passed());
+        assert!(report.render(5.0).contains("BASELINE"));
+    }
+
+    #[test]
+    fn stable_series_passes() {
+        let entries = vec![
+            entry("seed", 1000, 50),
+            entry("seed", 1002, 50),
+            entry("seed", 1001, 50),
+        ];
+        let report = analyze_trend(&entries, 5.0, 0);
+        assert!(report.passed(), "{}", report.render(5.0));
+        assert_eq!(report.series[0].baseline_cycles, 1000);
+    }
+
+    #[test]
+    fn step_change_beyond_threshold_regresses() {
+        let entries = vec![
+            entry("seed", 1000, 50),
+            entry("seed", 1001, 50),
+            entry("seed", 1100, 50),
+        ];
+        let report = analyze_trend(&entries, 5.0, 0);
+        assert!(!report.passed());
+        assert_eq!(report.regressions, 1);
+        assert!(report.render(5.0).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let entries = vec![entry("seed", 1000, 50), entry("seed", 500, 50)];
+        let report = analyze_trend(&entries, 5.0, 0);
+        assert!(report.passed());
+        assert!(report.series[0].delta_pct < 0.0);
+    }
+
+    #[test]
+    fn walk_changes_are_reported_not_failed() {
+        let entries = vec![entry("seed", 1000, 50), entry("seed", 1000, 60)];
+        let report = analyze_trend(&entries, 5.0, 0);
+        assert!(report.passed());
+        assert!(report.series[0].walks_changed);
+        assert!(report.render(5.0).contains("walks changed"));
+    }
+
+    #[test]
+    fn window_limits_the_series() {
+        // Old slow history outside the window must not mask a recent
+        // regression baseline.
+        let mut entries: Vec<HistoryEntry> = (0..10).map(|_| entry("seed", 2000, 50)).collect();
+        entries.extend((0..5).map(|_| entry("seed", 1000, 50)));
+        entries.push(entry("seed", 1100, 50));
+        let windowed = analyze_trend(&entries, 5.0, 6);
+        assert!(!windowed.passed(), "window of 6: baseline is 1000");
+        let unwindowed = analyze_trend(&entries, 5.0, 0);
+        assert!(unwindowed.passed(), "full history: median is 2000");
+    }
+
+    #[test]
+    fn series_are_keyed_by_label() {
+        let entries = vec![
+            entry("seed", 1000, 50),
+            entry("multihart", 9000, 500),
+            entry("seed", 1001, 50),
+            entry("multihart", 9001, 500),
+        ];
+        let report = analyze_trend(&entries, 5.0, 0);
+        assert_eq!(report.series.len(), 2);
+        assert!(report.passed());
+    }
+}

@@ -3,6 +3,7 @@
 
 use hpmp_trace::{
     AccessClass, BenchReport, ExperimentRecord, LatencyHistograms, MetricsRegistry, Snapshot,
+    SpanCollector, SpanEvent, SpanKind,
 };
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -49,6 +50,189 @@ fn bench_report(cycles: u64) -> String {
         snapshot(cycles, 30),
     ));
     r.to_json()
+}
+
+/// A tiny span stream — one op on hart 0, one shootdown delivery on
+/// hart 1 — serialized as the JSONL artifact, plus the snapshot its
+/// handler spans re-derive.
+fn span_artifact(name: &str) -> (PathBuf, Snapshot) {
+    let mut c = SpanCollector::bounded(64);
+    let op = c.reserve().expect("capacity");
+    let recv = c
+        .emit(SpanKind::ShootdownRecv, 1, Some(7), Some(op), 100, 180)
+        .expect("capacity");
+    c.emit(SpanKind::Trap, 1, Some(7), Some(recv), 110, 140);
+    c.emit(SpanKind::Reprogram, 1, Some(7), Some(recv), 140, 165);
+    c.emit(SpanKind::Fence, 1, Some(7), Some(recv), 165, 180);
+    c.emit_reserved(SpanEvent {
+        id: op,
+        parent: None,
+        kind: SpanKind::Free,
+        hart: 0,
+        domain: Some(7),
+        begin: 90,
+        end: 200,
+    });
+    let mut bytes = Vec::new();
+    c.write_jsonl(&mut bytes).expect("Vec writes cannot fail");
+    let path = scratch(name);
+    std::fs::write(&path, bytes).expect("write span artifact");
+
+    let mut reg = MetricsRegistry::new();
+    reg.set("hart.1.shootdown_cycles", 70); // trap 30 + reprogram 25 + fence 15
+    reg.set("hart.1.shootdowns", 1);
+    reg.set("hart.0.shootdown_cycles", 0);
+    reg.set("hart.0.shootdowns", 0);
+    (path, reg.snapshot())
+}
+
+#[test]
+fn export_needs_an_output() {
+    let out = run(&["export"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chrome"));
+}
+
+#[test]
+fn export_chrome_needs_spans() {
+    let chrome = scratch("orphan.chrome.json");
+    let out = run(&["export", "--chrome", chrome.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spans"));
+}
+
+#[test]
+fn export_writes_chrome_trace_and_verifies_the_round_trip() {
+    let (spans, snapshot) = span_artifact("export_ok.spans.jsonl");
+    let final_path = write("export_ok.final.json", &snapshot.to_json_versioned());
+    let chrome = scratch("export_ok.chrome.json");
+    let out = run(&[
+        "export",
+        "--spans",
+        spans.to_str().unwrap(),
+        "--final",
+        final_path.to_str().unwrap(),
+        "--chrome",
+        chrome.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("round trip"), "{stdout}");
+    let doc = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    assert!(doc.contains("\"traceEvents\""), "{doc}");
+    assert!(doc.contains("\"ph\":\"X\""), "{doc}");
+}
+
+#[test]
+fn export_fails_when_durations_do_not_re_derive_the_counters() {
+    let (spans, _) = span_artifact("export_bad.spans.jsonl");
+    let mut reg = MetricsRegistry::new();
+    reg.set("hart.1.shootdown_cycles", 71); // off by one
+    reg.set("hart.1.shootdowns", 1);
+    let final_path = write("export_bad.final.json", &reg.snapshot().to_json_versioned());
+    let chrome = scratch("export_bad.chrome.json");
+    let out = run(&[
+        "export",
+        "--spans",
+        spans.to_str().unwrap(),
+        "--final",
+        final_path.to_str().unwrap(),
+        "--chrome",
+        chrome.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "round-trip violations fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("violation"));
+}
+
+#[test]
+fn trend_single_entry_is_baseline_and_passes() {
+    let history = scratch("trend_baseline.jsonl");
+    let _ = std::fs::remove_file(&history);
+    let report = write("trend_baseline.bench.json", &bench_report(1000));
+    let out = run(&[
+        "trend",
+        history.to_str().unwrap(),
+        "--append",
+        report.to_str().unwrap(),
+        "--label",
+        "seed",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("BASELINE"), "{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+}
+
+#[test]
+fn trend_detects_an_injected_regression() {
+    let history = scratch("trend_regress.jsonl");
+    let _ = std::fs::remove_file(&history);
+    for cycles in [1000, 1005] {
+        let report = write("trend_regress.bench.json", &bench_report(cycles));
+        let out = run(&[
+            "trend",
+            history.to_str().unwrap(),
+            "--append",
+            report.to_str().unwrap(),
+            "--label",
+            "seed",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "stable history passes");
+    }
+    // Inject a +30% cycle regression (threshold defaults to 10%).
+    let slow = write("trend_regress.slow.json", &bench_report(1300));
+    let out = run(&[
+        "trend",
+        history.to_str().unwrap(),
+        "--append",
+        slow.to_str().unwrap(),
+        "--label",
+        "seed",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "regression must fail the build");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+
+    // --report-only downgrades the same verdict to exit 0.
+    let out = run(&["trend", history.to_str().unwrap(), "--report-only"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("report-only"));
+}
+
+#[test]
+fn trend_append_requires_a_label() {
+    let history = scratch("trend_nolabel.jsonl");
+    let report = write("trend_nolabel.bench.json", &bench_report(1000));
+    let out = run(&[
+        "trend",
+        history.to_str().unwrap(),
+        "--append",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--label"));
+}
+
+#[test]
+fn trend_rejects_alien_history_schema() {
+    let history = write(
+        "trend_alien.jsonl",
+        "{\"schema\":99,\"stream\":\"hpmp-bench-history\",\"label\":\"x\",\
+         \"report\":\"r\",\"experiments\":{}}\n",
+    );
+    let out = run(&["trend", history.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("99"), "{stderr}");
 }
 
 #[test]

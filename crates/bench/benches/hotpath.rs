@@ -1,5 +1,8 @@
 //! Microbenches for the simulator's per-access hot path: flat page-directory
-//! reads/writes, TLB/PWC/PMPTW-cache lookups, and interned-counter bumps.
+//! reads/writes, TLB/PWC/PMPTW-cache lookups, and interned-counter bumps —
+//! plus an end-to-end page-walk sweep whose throughput declaration turns
+//! the timing into the suite's walks-per-second headline (printed to
+//! stderr after the run).
 //!
 //! These are the operations every simulated memory reference pays, so their
 //! per-op cost bounds full-experiment wall clock. Emit a machine-readable
@@ -9,11 +12,12 @@
 //! cargo bench --bench hotpath -- --bench-out BENCH_hotpath.json
 //! ```
 
-use hpmp_bench::{criterion_group, criterion_main, Criterion};
+use hpmp_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use hpmp_core::{LeafPmpte, PmptwCache, PmptwCacheConfig};
-use hpmp_memsim::{Perms, PhysAddr, PhysMem, VirtAddr, PAGE_SIZE};
+use hpmp_machine::{IsolationScheme, MachineConfig, SystemBuilder};
+use hpmp_memsim::{AccessKind, Perms, PhysAddr, PhysMem, PrivMode, VirtAddr, PAGE_SIZE};
 use hpmp_paging::{Tlb, TlbConfig, TlbEntry, TranslationMode, WalkCache, WalkCacheConfig};
-use hpmp_trace::MetricsRegistry;
+use hpmp_trace::{walks_in_snapshot, MetricsRegistry};
 use std::hint::black_box;
 
 /// Operations per timed iteration, so per-op noise amortises.
@@ -144,5 +148,48 @@ fn registry(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, physmem, lookups, registry);
+/// End-to-end page walks through a full HPMP machine: a cyclic read sweep
+/// over 1024 mapped pages — 32× the TLB — so every access misses and pays
+/// the whole walker + isolation-check pipeline. The group declares its
+/// measured walk count as throughput, so this benchmark carries the
+/// suite's walks-per-second headline.
+fn walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk");
+    group.sample_size(50);
+
+    let base = 0x10_0000u64;
+    let mut sys = SystemBuilder::new(MachineConfig::rocket(), IsolationScheme::Hpmp).build();
+    sys.map_range(VirtAddr::new(base), OPS, Perms::RW);
+    sys.sync_pt_grants();
+
+    let sweep = |sys: &mut hpmp_machine::System| {
+        let mut hits = 0u64;
+        for i in 0..OPS {
+            let va = VirtAddr::new(base + i * PAGE_SIZE);
+            hits += sys
+                .machine
+                .access(
+                    &sys.space,
+                    black_box(va),
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                )
+                .is_ok() as u64;
+        }
+        hits
+    };
+
+    // Calibrate the throughput declaration against the machine's own walk
+    // counter rather than assuming one walk per access.
+    let before = walks_in_snapshot(&sys.machine.metrics_snapshot());
+    assert_eq!(sweep(&mut sys), OPS, "sweep must stay fault-free");
+    let walks = walks_in_snapshot(&sys.machine.metrics_snapshot()) - before;
+    assert!(walks > 0, "the sweep must page-walk");
+    group.throughput(Throughput::Elements(walks));
+
+    group.bench_function("hpmp_read_sweep", |b| b.iter(|| sweep(&mut sys)));
+    group.finish();
+}
+
+criterion_group!(benches, physmem, lookups, registry, walks);
 criterion_main!(benches);

@@ -11,6 +11,7 @@
 //!         [--snapshot-interval CYCLES] [--timeline-out timeline.jsonl]
 //!         [--spans-out spans.jsonl]
 //!         [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]
+//!         [--host-profile-out FILE]
 //! ```
 //!
 //! `--workload` accepts a comma-separated list; the workloads run on an
@@ -52,7 +53,15 @@
 //! `hpmp_trace::WalkEvent::to_json`); `--metrics-out` writes the unified
 //! metrics snapshot as versioned JSON after the run; `--bench-out` writes a
 //! perf-trajectory [`hpmp_trace::BenchReport`] (one record for the workload:
-//! cycles, counters, latency percentiles) consumable by `hpmp-analyze gate`.
+//! cycles, walks, counters, latency percentiles) consumable by
+//! `hpmp-analyze gate`.
+//!
+//! `--host-profile-out` writes a [`hpmp_trace::HostProfile`]: *wall-clock*
+//! phase timers, per-workload host time, and the walks-per-second
+//! headline (also printed to stderr). Host-clock data is nondeterministic,
+//! so it lives in its own artifact and never touches stdout or the
+//! simulated artifacts above — those stay byte-identical whether or not
+//! profiling is on (see DESIGN.md §10, the dual-clock quarantine).
 //!
 //! Unlike `repro` (which regenerates the paper's tables), this is the
 //! kick-the-tires tool: pick a stack, run a workload, read the counters.
@@ -66,7 +75,10 @@ use hpmp_faults::{run_shard, CampaignReport, CampaignSpec};
 use hpmp_machine::MachineConfig;
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
-use hpmp_trace::{BenchReport, ExperimentRecord, JsonlSink, NullSink, Snapshot, TraceSink};
+use hpmp_trace::{
+    walks_in_snapshot, BenchReport, ExperimentRecord, HostProfiler, JsonlSink, NullSink, Snapshot,
+    TraceSink,
+};
 use hpmp_workloads::TeeBench;
 
 #[derive(Debug)]
@@ -90,6 +102,7 @@ struct Options {
     fault_campaign: Option<String>,
     fault_seed: u64,
     campaign_out: Option<String>,
+    host_profile_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -103,6 +116,7 @@ fn usage() -> ! {
          \x20              [--snapshot-interval CYCLES] [--timeline-out timeline.jsonl]\n\
          \x20              [--spans-out spans.jsonl]\n\
          \x20              [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]\n\
+         \x20              [--host-profile-out FILE]\n\
          SPEC: comma-separated key=value pairs, e.g.\n\
          \x20    faults=1000,classes=pmpte+regs+stale+interpose,flavor=hpmp,domains=2,shards=8"
     );
@@ -130,6 +144,7 @@ fn parse_args() -> Options {
         fault_campaign: None,
         fault_seed: 0,
         campaign_out: None,
+        host_profile_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -202,6 +217,7 @@ fn parse_args() -> Options {
                 }
             },
             "--campaign-out" => options.campaign_out = Some(value("--campaign-out")),
+            "--host-profile-out" => options.host_profile_out = Some(value("--host-profile-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -313,14 +329,24 @@ fn main() {
         .max(1);
 
     // Run the workloads on the worker pool, each with its own sink and
-    // registry; buffered outputs stream in the listed order.
+    // registry; buffered outputs stream in the listed order. The profiler
+    // is host-clock only: its measurements go to `--host-profile-out` and
+    // stderr, never into stdout or the simulated artifacts.
+    let mut profiler = HostProfiler::new("hpmpsim");
     let tracing = options.trace_out.is_some();
+    profiler.begin_phase("run");
     let outputs = run_ordered(
         workloads.len(),
         jobs,
-        |i| run_one(&options, workloads[i], tracing),
+        |i| {
+            let started = std::time::Instant::now();
+            let mut out = run_one(&options, workloads[i], tracing);
+            out.wall = started.elapsed();
+            out
+        },
         |out| print!("{}", out.stdout),
     );
+    profiler.begin_phase("write");
 
     let mut cycles = 0;
     let mut snapshot = Snapshot::new();
@@ -420,6 +446,22 @@ fn main() {
         core.cycles_to_ns(cycles) / 1e6,
         core.clock_mhz
     );
+
+    // Host-clock epilogue: everything below writes to stderr or the
+    // dedicated profile artifact, so the simulated outputs above are
+    // byte-identical whether or not profiling is on.
+    for (workload, out) in workloads.iter().zip(&outputs) {
+        profiler.record_experiment(*workload, out.wall, walks_in_snapshot(&out.snap));
+    }
+    let profile = profiler.finish();
+    if let Some(path) = &options.host_profile_out {
+        if let Err(e) = std::fs::write(path, profile.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("  host profile : -> {path}");
+    }
+    eprintln!("{}", profile.headline());
 }
 
 /// Drives a fault-injection campaign over the worker pool and exits.
@@ -530,6 +572,9 @@ struct WorkloadOutput {
     trace_io_errors: u64,
     /// Buffered time-resolved artifacts (empty unless requested).
     telemetry: TelemetryOutput,
+    /// Host wall-clock time the workload took; feeds only the host
+    /// profile, never a simulated artifact.
+    wall: std::time::Duration,
 }
 
 /// Serialized timeline/span artifacts of one SMP run, buffered so the
@@ -596,6 +641,7 @@ fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
             trace_io_errors: sink.io_errors(),
             trace: sink.into_inner(),
             telemetry: TelemetryOutput::default(),
+            wall: std::time::Duration::ZERO,
         }
     } else {
         let (cycles, snap) = run_workload(options, workload, config, NullSink, &mut stdout);
@@ -607,6 +653,7 @@ fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
             trace_events: 0,
             trace_io_errors: 0,
             telemetry: TelemetryOutput::default(),
+            wall: std::time::Duration::ZERO,
         }
     }
 }
@@ -659,6 +706,7 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
             trace_events,
             trace_io_errors,
             telemetry: TelemetryOutput::from_run(&telemetry),
+            wall: std::time::Duration::ZERO,
         }
     } else {
         let machines = (0..options.harts)
@@ -681,6 +729,7 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
             trace_events: 0,
             trace_io_errors: 0,
             telemetry: TelemetryOutput::from_run(&telemetry),
+            wall: std::time::Duration::ZERO,
         }
     }
 }

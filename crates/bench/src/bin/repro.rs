@@ -1,10 +1,14 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! Usage: `repro [--jobs N] [--serial] [--trace-out <walks.jsonl>]
-//! [--metrics-out <m.json>] [--bench-out <BENCH_name.json>] [experiment...]`
-//! where experiment is one of `table1 fig2 fig3 fig10 table3 fig11 fig12ac
-//! fig12de fig13 fig14 fig15 fig16 fig17 table4 svsweep virtapp tenancy
-//! encryption multihart all` (default: `all`).
+//! [--metrics-out <m.json>] [--bench-out <BENCH_name.json>]
+//! [--snapshot-interval <cycles>] [--timeline-out <timeline.jsonl>]
+//! [--spans-out <spans.jsonl>] [--host-profile-out <host.json>]
+//! [experiment...]` where experiment is one of `table1 fig2 fig3 fig10
+//! table3 fig11 fig12ac fig12de fig13 fig14 fig15 fig16 fig17 table4
+//! svsweep virtapp tenancy encryption multihart all` (default: `all`).
+//! Unknown flags and experiment names are rejected (exit 2) — see
+//! `--help`.
 //!
 //! Experiments build independent machines, so they run on an in-process
 //! worker pool (`--jobs N`, default: the machine's available parallelism;
@@ -20,7 +24,15 @@
 //! encryption); `--metrics-out` writes their merged metrics registry snapshot
 //! as versioned JSON. `--bench-out` writes a perf-trajectory
 //! [`hpmp_trace::BenchReport`] with one record per traced experiment (cycles,
-//! walk-reference counters, latency percentiles) for `hpmp-analyze gate`.
+//! walks, walk-reference counters, latency percentiles) for
+//! `hpmp-analyze gate`.
+//!
+//! `--host-profile-out` writes a [`hpmp_trace::HostProfile`]: *wall-clock*
+//! phase timers and per-experiment host time, with the walks-per-second
+//! headline printed to stderr. Host-clock data is nondeterministic, so it
+//! never touches stdout or the simulated artifacts above — those stay
+//! byte-identical whether or not profiling is on (see DESIGN.md §10, the
+//! dual-clock quarantine).
 //!
 //! Absolute cycle counts come from the simulated SoC, not the authors'
 //! FPGA; the *shapes* (who wins, by what factor, where crossovers are) are
@@ -33,7 +45,10 @@ use hpmp_core::{estimate_resources, HardwareParams, PmptwCacheConfig};
 use hpmp_machine::{IsolationScheme, MachineConfig, VirtScheme};
 use hpmp_memsim::{AccessKind, CoreKind, PhysAddr};
 use hpmp_penglai::{cost, DomainId, GmsLabel, MonitorError, SecureMonitor, TeeFlavor};
-use hpmp_trace::{BenchReport, ExperimentRecord, JsonlSink, NullSink, Snapshot, TraceSink};
+use hpmp_trace::{
+    walks_in_snapshot, BenchReport, ExperimentRecord, HostProfiler, JsonlSink, NullSink, Snapshot,
+    TraceSink,
+};
 use hpmp_workloads::latency::{
     figure_10_panel, measure_virt_with_sink, TestCase, VirtCase, VIRT_CASES,
 };
@@ -68,11 +83,29 @@ const EXPERIMENTS: [&str; 19] = [
     "multihart",
 ];
 
+/// Prints the full flag/experiment reference and exits. Every flag the
+/// parser accepts must appear here — pinned by the help-coverage test.
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--jobs N | --serial]\n\
+         \x20            [--trace-out walks.jsonl] [--metrics-out metrics.json]\n\
+         \x20            [--bench-out BENCH_name.json]\n\
+         \x20            [--snapshot-interval CYCLES] [--timeline-out timeline.jsonl]\n\
+         \x20            [--spans-out spans.jsonl]\n\
+         \x20            [--host-profile-out host.json]\n\
+         \x20            [experiment...]\n\
+         experiments (default: all): {}",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let mut jobs: Option<usize> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut host_profile_out: Option<String> = None;
     let mut telemetry = TelemetryOptions::default();
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
@@ -98,7 +131,19 @@ fn main() {
             },
             "--timeline-out" => telemetry.timeline_out = raw.next(),
             "--spans-out" => telemetry.spans_out = raw.next(),
+            "--host-profile-out" => host_profile_out = raw.next(),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("repro: unknown flag {other}");
+                usage()
+            }
             _ => args.push(arg),
+        }
+    }
+    for name in &args {
+        if name != "all" && !EXPERIMENTS.contains(&name.as_str()) {
+            eprintln!("repro: unknown experiment {name}");
+            usage()
         }
     }
     if telemetry.timeline_out.is_some() && telemetry.snapshot_interval.is_none() {
@@ -127,13 +172,24 @@ fn main() {
     // Run the selected experiments on the worker pool. Each experiment gets
     // its own sink and registry; stdout buffers stream out as soon as all
     // earlier experiments are done, so output order never depends on `jobs`.
+    // The profiler is host-clock only: its measurements go to
+    // `--host-profile-out` and stderr, never into stdout or the simulated
+    // artifacts.
+    let mut profiler = HostProfiler::new("repro");
     let tracing = trace_out.is_some();
+    profiler.begin_phase("run");
     let outputs = run_ordered(
         worklist.len(),
         jobs,
-        |i| run_one(worklist[i], tracing, &telemetry),
+        |i| {
+            let started = std::time::Instant::now();
+            let mut out = run_one(worklist[i], tracing, &telemetry);
+            out.wall = started.elapsed();
+            out
+        },
         |out| print!("{}", out.stdout),
     );
+    profiler.begin_phase("write");
 
     // Merge metrics and bench records in presentation order.
     let mut metrics = Snapshot::new();
@@ -189,6 +245,23 @@ fn main() {
             path
         );
     }
+
+    // Host-clock epilogue: stderr and the dedicated profile artifact only,
+    // so the simulated outputs above are byte-identical whether or not
+    // profiling is on.
+    for (name, out) in worklist.iter().zip(&outputs) {
+        let walks = out.snap.as_ref().map(walks_in_snapshot).unwrap_or(0);
+        profiler.record_experiment(*name, out.wall, walks);
+    }
+    let profile = profiler.finish();
+    if let Some(path) = &host_profile_out {
+        if let Err(e) = std::fs::write(path, profile.to_json()) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("repro: host profile -> {path}");
+    }
+    eprintln!("{}", profile.headline());
 }
 
 /// Everything one experiment produced, buffered so the main thread can
@@ -202,6 +275,9 @@ struct ExperimentOutput {
     trace: Vec<u8>,
     /// Number of trace events in `trace`.
     trace_events: u64,
+    /// Host wall-clock time the experiment took; feeds only the host
+    /// profile, never a simulated artifact.
+    wall: std::time::Duration,
 }
 
 /// Time-resolved telemetry outputs, recorded by the one experiment with a
@@ -234,6 +310,7 @@ fn run_one(name: &str, tracing: bool, telemetry: &TelemetryOptions) -> Experimen
             snap,
             trace: sink.into_inner(),
             trace_events,
+            wall: std::time::Duration::ZERO,
         }
     } else {
         let (snap, stdout) = capture_reports(|| dispatch(name, &mut NullSink, telemetry));
@@ -242,6 +319,7 @@ fn run_one(name: &str, tracing: bool, telemetry: &TelemetryOptions) -> Experimen
             snap,
             trace: Vec::new(),
             trace_events: 0,
+            wall: std::time::Duration::ZERO,
         }
     }
 }

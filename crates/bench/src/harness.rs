@@ -13,12 +13,24 @@ use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// One finished benchmark: `group/function/parameter` plus its mean timing.
+/// Declared per-iteration work, for throughput reporting (mirrors
+/// `criterion::Throughput`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per timed iteration — here, page walks, so a
+    /// benchmark that declares it gets a walks-per-second rate.
+    Elements(u64),
+}
+
+/// One finished benchmark: `group/function/parameter` plus its mean timing
+/// and, when the group declared throughput, its per-iteration element
+/// (walk) count.
 #[derive(Clone, Debug)]
 struct BenchResult {
     name: String,
     ns_per_iter: u64,
     iters: u64,
+    elements: Option<u64>,
 }
 
 /// Results accumulated across every group in the process, so
@@ -63,11 +75,19 @@ pub fn write_bench_report_if_requested() {
         let mut reg = hpmp_trace::MetricsRegistry::new();
         reg.set("ns_per_iter", result.ns_per_iter);
         reg.set("iters", result.iters);
-        report.push(hpmp_trace::ExperimentRecord::from_snapshot(
+        let mut record = hpmp_trace::ExperimentRecord::from_snapshot(
             result.name.clone(),
             result.ns_per_iter,
             reg.snapshot(),
-        ));
+        );
+        if let Some(elements) = result.elements {
+            // Throughput benches carry their walk count and the measured
+            // host-clock rate; both are wall-clock data and only ever
+            // appear in bench reports, never in simulated artifacts.
+            record.walks = elements;
+            record.walks_per_sec = hpmp_trace::walks_per_sec(elements, result.ns_per_iter);
+        }
+        report.push(record);
     }
     if let Err(e) = std::fs::write(&path, report.to_json()) {
         eprintln!("bench: cannot write {path}: {e}");
@@ -77,6 +97,30 @@ pub fn write_bench_report_if_requested() {
         "bench: report: {} benchmarks -> {path}",
         report.experiments.len()
     );
+}
+
+/// Prints the walks-per-second headline to **stderr** — the aggregate over
+/// every throughput-declaring benchmark that ran (total walks retired over
+/// total timed host seconds). Silent when no benchmark declared
+/// throughput. Called by the [`criterion_main!`] expansion; stderr keeps
+/// the rate out of any byte-compared stdout stream.
+pub fn print_walks_headline() {
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut walks: u64 = 0;
+    let mut wall_ns: u64 = 0;
+    for result in results.iter() {
+        if let Some(elements) = result.elements {
+            walks = walks.saturating_add(elements.saturating_mul(result.iters));
+            wall_ns = wall_ns.saturating_add(result.ns_per_iter.saturating_mul(result.iters));
+        }
+    }
+    if walks > 0 {
+        eprintln!(
+            "bench: {walks} walks in {:.3} s host time -> {} walks/sec",
+            wall_ns as f64 / 1e9,
+            hpmp_trace::walks_per_sec(walks, wall_ns)
+        );
+    }
 }
 
 /// A `function_name/parameter` benchmark identifier.
@@ -148,12 +192,21 @@ impl Bencher {
 pub struct BenchmarkGroup {
     name: String,
     sample_size: u64,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup {
     /// Number of timed iterations per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
         self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declare how much work one timed iteration performs; subsequent
+    /// benchmarks in the group report a walks-per-second rate alongside
+    /// ns/iter, in console output and the `--bench-out` report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut BenchmarkGroup {
+        self.throughput = Some(t);
         self
     }
 
@@ -206,15 +259,25 @@ impl BenchmarkGroup {
 
     fn report(&self, id: &BenchmarkId, b: &Bencher) {
         let per_iter = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
-        println!(
-            "bench {}/{id}: {per_iter} ns/iter ({} iters)",
-            self.name, b.iters
-        );
+        let elements = self.throughput.map(|Throughput::Elements(n)| n);
+        match elements {
+            Some(n) => println!(
+                "bench {}/{id}: {per_iter} ns/iter ({} iters, {} walks/sec)",
+                self.name,
+                b.iters,
+                hpmp_trace::walks_per_sec(n, per_iter as u64),
+            ),
+            None => println!(
+                "bench {}/{id}: {per_iter} ns/iter ({} iters)",
+                self.name, b.iters
+            ),
+        }
         if let Ok(mut results) = RESULTS.lock() {
             results.push(BenchResult {
                 name: format!("{}/{id}", self.name),
                 ns_per_iter: per_iter as u64,
                 iters: b.iters,
+                elements,
             });
         }
     }
@@ -230,6 +293,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            throughput: None,
         }
     }
 }
@@ -253,6 +317,7 @@ macro_rules! criterion_main {
         fn main() {
             $($group();)+
             $crate::write_bench_report_if_requested();
+            $crate::print_walks_headline();
         }
     };
 }

@@ -10,7 +10,8 @@
 mod harness;
 
 pub use harness::{
-    write_bench_report_if_requested, Bencher, BenchmarkGroup, BenchmarkId, Criterion,
+    print_walks_headline, write_bench_report_if_requested, Bencher, BenchmarkGroup, BenchmarkId,
+    Criterion, Throughput,
 };
 
 use std::cell::RefCell;

@@ -1,0 +1,126 @@
+//! Usage-text drift guard: every flag a binary's parser accepts must
+//! appear in its `--help` output, and unknown flags/experiments must be
+//! rejected loudly (exit 2) instead of being silently swallowed — the
+//! failure mode that let the usage text rot behind the parsers in the
+//! first place.
+
+use std::process::Command;
+
+/// Run a binary with `args`, returning (exit code, stderr).
+fn run(bin: &str, args: &[&str]) -> (i32, String) {
+    let output = Command::new(bin).args(args).output().expect("spawn binary");
+    (
+        output.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// Every flag `hpmpsim`'s parser matches on. Adding a parser arm without
+/// updating `usage()` (or this list) fails the test.
+const HPMPSIM_FLAGS: [&str; 20] = [
+    "--flavor",
+    "--core",
+    "--workload",
+    "--harts",
+    "--jobs",
+    "--pwc",
+    "--pmptw-cache",
+    "--no-tlb-inlining",
+    "--encryption",
+    "--epmp",
+    "--trace-out",
+    "--metrics-out",
+    "--bench-out",
+    "--snapshot-interval",
+    "--timeline-out",
+    "--spans-out",
+    "--fault-campaign",
+    "--fault-seed",
+    "--campaign-out",
+    "--host-profile-out",
+];
+
+/// Every flag `repro`'s parser matches on.
+const REPRO_FLAGS: [&str; 9] = [
+    "--serial",
+    "--jobs",
+    "--trace-out",
+    "--metrics-out",
+    "--bench-out",
+    "--snapshot-interval",
+    "--timeline-out",
+    "--spans-out",
+    "--host-profile-out",
+];
+
+/// Every experiment `repro` dispatches on (sans the `all` alias).
+const REPRO_EXPERIMENTS: [&str; 19] = [
+    "table1",
+    "fig2",
+    "fig10",
+    "table3",
+    "fig11",
+    "fig12ac",
+    "fig12de",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table4",
+    "fig3",
+    "svsweep",
+    "virtapp",
+    "tenancy",
+    "encryption",
+    "multihart",
+];
+
+#[test]
+fn hpmpsim_help_lists_every_flag() {
+    let (code, help) = run(env!("CARGO_BIN_EXE_hpmpsim"), &["--help"]);
+    assert_eq!(code, 2, "--help exits with the usage status");
+    for flag in HPMPSIM_FLAGS {
+        assert!(help.contains(flag), "{flag} missing from hpmpsim --help");
+    }
+}
+
+#[test]
+fn repro_help_lists_every_flag_and_experiment() {
+    let (code, help) = run(env!("CARGO_BIN_EXE_repro"), &["--help"]);
+    assert_eq!(code, 2, "--help exits with the usage status");
+    for flag in REPRO_FLAGS {
+        assert!(help.contains(flag), "{flag} missing from repro --help");
+    }
+    for experiment in REPRO_EXPERIMENTS {
+        assert!(
+            help.contains(experiment),
+            "{experiment} missing from repro --help"
+        );
+    }
+    assert!(help.contains("all"), "the all alias must be documented");
+}
+
+#[test]
+fn hpmpsim_rejects_unknown_flags() {
+    let (code, err) = run(env!("CARGO_BIN_EXE_hpmpsim"), &["--no-such-flag"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn repro_rejects_unknown_flags() {
+    let (code, err) = run(env!("CARGO_BIN_EXE_repro"), &["--no-such-flag"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--no-such-flag"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn repro_rejects_unknown_experiments() {
+    // Before the usage fix a typo here silently ran *nothing* — it has to
+    // be a hard error.
+    let (code, err) = run(env!("CARGO_BIN_EXE_repro"), &["fig99"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("fig99"), "{err}");
+}

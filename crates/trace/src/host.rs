@@ -1,0 +1,444 @@
+//! Wall-clock self-profiling of the *simulator*, quarantined from the
+//! simulated clock.
+//!
+//! Everything else in this crate measures the machine being simulated;
+//! this module measures the process doing the simulating: how much host
+//! time each phase (boot, run, snapshot) took, how long each experiment
+//! ran on the wall clock, how many simulated page walks were retired per
+//! host second (the throughput headline ROADMAP item 2 tracks), and —
+//! behind the `count-allocs` feature — how many heap allocations the run
+//! performed.
+//!
+//! # The quarantine rule
+//!
+//! Host-clock numbers are nondeterministic by nature, so they must never
+//! leak into a simulated artifact: traces, metrics snapshots, timelines,
+//! spans and `--bench-out` reports are byte-identical across `--jobs`
+//! levels, machines and reruns, and stay that way. A [`HostProfile`] is
+//! therefore written to its *own* artifact (`--host-profile-out`), with
+//! its own `kind` tag, and the harnesses print the walks/sec headline to
+//! stderr only. Determinism tests byte-compare every simulated artifact
+//! with profiling on vs. off to prove the quarantine holds.
+
+use crate::json::{parse_json, JsonValue};
+use crate::read::{check_schema, ReadError};
+use crate::{json_escape, SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// The `kind` tag of a host-profile document.
+pub const HOST_PROFILE_KIND: &str = "hpmp-host-profile";
+
+/// Heap-allocation counts recorded by the counting global allocator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of allocations performed so far.
+    pub allocations: u64,
+    /// Total bytes requested so far.
+    pub bytes: u64,
+}
+
+#[cfg(feature = "count-allocs")]
+mod counting {
+    //! A counting wrapper around the system allocator, registered as the
+    //! global allocator only when the `count-allocs` feature is on so the
+    //! default build pays nothing.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    pub(super) static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAllocator;
+
+    // SAFETY: defers every allocation to `System` unchanged; the counters
+    // are monotonic atomics with no allocation of their own.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}
+
+/// Allocation counts since process start, or `None` when the binary was
+/// built without the `count-allocs` feature.
+pub fn alloc_stats() -> Option<AllocStats> {
+    #[cfg(feature = "count-allocs")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        Some(AllocStats {
+            allocations: counting::ALLOCATIONS.load(Relaxed),
+            bytes: counting::BYTES.load(Relaxed),
+        })
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    None
+}
+
+/// One experiment's wall-clock row in a host profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HostExperiment {
+    /// Experiment name (e.g. `fig2`, `tenancy`).
+    pub name: String,
+    /// Host nanoseconds the experiment took.
+    pub wall_ns: u64,
+    /// Simulated page walks it retired (deterministic, from the
+    /// experiment's snapshot).
+    pub walks: u64,
+}
+
+impl HostExperiment {
+    /// Simulated walks per host second, rounded down (0 when unmeasured
+    /// or instantaneous).
+    pub fn walks_per_sec(&self) -> u64 {
+        walks_per_sec(self.walks, self.wall_ns)
+    }
+}
+
+/// Walks-per-host-second from a walk count and a wall-clock duration.
+pub fn walks_per_sec(walks: u64, wall_ns: u64) -> u64 {
+    if wall_ns == 0 {
+        return 0;
+    }
+    u64::try_from((walks as u128 * 1_000_000_000) / wall_ns as u128).unwrap_or(u64::MAX)
+}
+
+/// A finished wall-clock profile of one harness run: the host-clock twin
+/// of a [`crate::BenchReport`], written to a separate artifact so the
+/// deterministic ones never carry host time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HostProfile {
+    /// Which harness produced the profile (e.g. `repro`, `hpmpsim`).
+    pub name: String,
+    /// Host nanoseconds per named phase (`boot`, `run`, `snapshot`, …),
+    /// in first-seen order of no significance (serialized sorted).
+    pub phases: BTreeMap<String, u64>,
+    /// Per-experiment wall times and walk counts, in run order.
+    pub experiments: Vec<HostExperiment>,
+    /// Allocation counts, when the binary was built with `count-allocs`.
+    pub alloc: Option<AllocStats>,
+}
+
+impl HostProfile {
+    /// Total host nanoseconds across all phases.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.phases.values().sum()
+    }
+
+    /// Total simulated walks across all experiments.
+    pub fn total_walks(&self) -> u64 {
+        self.experiments.iter().map(|e| e.walks).sum()
+    }
+
+    /// The headline: total simulated walks per host second over the
+    /// experiments' summed wall time (phases like boot and snapshot are
+    /// excluded — they retire no walks).
+    pub fn walks_per_sec(&self) -> u64 {
+        let wall: u64 = self.experiments.iter().map(|e| e.wall_ns).sum();
+        walks_per_sec(self.total_walks(), wall)
+    }
+
+    /// The one-line human headline the harnesses print to stderr.
+    pub fn headline(&self) -> String {
+        let wall: u64 = self.experiments.iter().map(|e| e.wall_ns).sum();
+        format!(
+            "{}: {} walks in {:.3} s host time -> {} walks/sec",
+            self.name,
+            self.total_walks(),
+            wall as f64 / 1e9,
+            self.walks_per_sec()
+        )
+    }
+
+    /// Serialize as the versioned on-disk document.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(name, ns)| format!("\"{}\":{}", json_escape(name), ns))
+            .collect();
+        let experiments: Vec<String> = self
+            .experiments
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"name\":\"{}\",\"wall_ns\":{},\"walks\":{},\"walks_per_sec\":{}}}",
+                    json_escape(&e.name),
+                    e.wall_ns,
+                    e.walks,
+                    e.walks_per_sec()
+                )
+            })
+            .collect();
+        let alloc = match &self.alloc {
+            Some(a) => format!(
+                ",\"alloc\":{{\"allocations\":{},\"bytes\":{}}}",
+                a.allocations, a.bytes
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"schema\":{},\"kind\":\"{}\",\"name\":\"{}\",\"walks\":{},\
+             \"walks_per_sec\":{},\"phases\":{{{}}},\"experiments\":[{}]{}}}",
+            SCHEMA_VERSION,
+            HOST_PROFILE_KIND,
+            json_escape(&self.name),
+            self.total_walks(),
+            self.walks_per_sec(),
+            phases.join(","),
+            experiments.join(","),
+            alloc
+        )
+    }
+
+    /// Parse a versioned host-profile document; rejects missing/unknown
+    /// schema versions and wrong `kind` tags.
+    pub fn from_json(text: &str) -> Result<HostProfile, ReadError> {
+        let doc = parse_json(text).map_err(|e| ReadError::Schema {
+            message: format!("host profile is not valid JSON ({e})"),
+        })?;
+        check_schema(&doc, "host profile")?;
+        match doc.get("kind").and_then(JsonValue::as_str) {
+            Some(HOST_PROFILE_KIND) => {}
+            Some(other) => {
+                return Err(ReadError::Schema {
+                    message: format!(
+                        "document kind is \"{other}\", expected \"{HOST_PROFILE_KIND}\""
+                    ),
+                })
+            }
+            None => {
+                return Err(ReadError::Schema {
+                    message: "host profile has no \"kind\" field".to_string(),
+                })
+            }
+        }
+        let name = doc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        let mut phases = BTreeMap::new();
+        if let Some(members) = doc.get("phases").and_then(JsonValue::as_object) {
+            for (phase, ns) in members {
+                let ns = ns.as_u64().ok_or_else(|| ReadError::Parse {
+                    line: 1,
+                    message: format!("phase \"{phase}\" is not a u64"),
+                })?;
+                phases.insert(phase.clone(), ns);
+            }
+        }
+        let mut experiments = Vec::new();
+        if let Some(rows) = doc.get("experiments").and_then(JsonValue::as_array) {
+            for row in rows {
+                let name = row
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ReadError::Parse {
+                        line: 1,
+                        message: "host experiment has no \"name\"".to_string(),
+                    })?
+                    .to_string();
+                let field = |k: &str| {
+                    row.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| ReadError::Parse {
+                            line: 1,
+                            message: format!("host experiment \"{name}\" has no u64 \"{k}\""),
+                        })
+                };
+                experiments.push(HostExperiment {
+                    wall_ns: field("wall_ns")?,
+                    walks: field("walks")?,
+                    name,
+                });
+            }
+        }
+        let alloc = doc
+            .get("alloc")
+            .filter(|a| !a.is_null())
+            .map(|a| -> Result<AllocStats, ReadError> {
+                let field = |k: &str| {
+                    a.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| ReadError::Parse {
+                            line: 1,
+                            message: format!("alloc stats have no u64 \"{k}\""),
+                        })
+                };
+                Ok(AllocStats {
+                    allocations: field("allocations")?,
+                    bytes: field("bytes")?,
+                })
+            })
+            .transpose()?;
+        Ok(HostProfile {
+            name,
+            phases,
+            experiments,
+            alloc,
+        })
+    }
+}
+
+/// Accumulates a [`HostProfile`] while a harness runs: named phase timers
+/// plus per-experiment wall clocks. All measurement is host-clock
+/// (`Instant`); nothing here may ever feed back into simulated state.
+#[derive(Debug)]
+pub struct HostProfiler {
+    profile: HostProfile,
+    phase: Option<(String, Instant)>,
+}
+
+impl HostProfiler {
+    /// A fresh profiler for harness `name`, with no phase running.
+    pub fn new(name: impl Into<String>) -> HostProfiler {
+        HostProfiler {
+            profile: HostProfile {
+                name: name.into(),
+                ..HostProfile::default()
+            },
+            phase: None,
+        }
+    }
+
+    /// Start (or switch to) the named phase, closing any phase currently
+    /// running. Re-entering a name accumulates into the same row.
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        self.end_phase();
+        self.phase = Some((name.into(), Instant::now()));
+    }
+
+    /// Close the running phase, if any, charging its elapsed time.
+    pub fn end_phase(&mut self) {
+        if let Some((name, started)) = self.phase.take() {
+            *self.profile.phases.entry(name).or_insert(0) += duration_ns(started.elapsed());
+        }
+    }
+
+    /// Record one experiment's measured wall time and deterministic walk
+    /// count.
+    pub fn record_experiment(&mut self, name: impl Into<String>, wall: Duration, walks: u64) {
+        self.profile.experiments.push(HostExperiment {
+            name: name.into(),
+            wall_ns: duration_ns(wall),
+            walks,
+        });
+    }
+
+    /// Close any running phase, capture allocation stats (when compiled
+    /// in), and return the finished profile.
+    pub fn finish(mut self) -> HostProfile {
+        self.end_phase();
+        self.profile.alloc = alloc_stats();
+        self.profile
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HostProfile {
+        HostProfile {
+            name: "hpmpsim".to_string(),
+            phases: [("boot".to_string(), 1_000), ("run".to_string(), 4_000_000)]
+                .into_iter()
+                .collect(),
+            experiments: vec![
+                HostExperiment {
+                    name: "tenancy".to_string(),
+                    wall_ns: 2_000_000,
+                    walks: 5_000,
+                },
+                HostExperiment {
+                    name: "lmbench".to_string(),
+                    wall_ns: 2_000_000,
+                    walks: 3_000,
+                },
+            ],
+            alloc: None,
+        }
+    }
+
+    #[test]
+    fn walks_per_sec_arithmetic() {
+        assert_eq!(walks_per_sec(1_000, 1_000_000_000), 1_000);
+        assert_eq!(walks_per_sec(1, 2_000_000_000), 0, "rounds down");
+        assert_eq!(walks_per_sec(10, 0), 0, "no division by zero");
+        // Absurd rates saturate instead of wrapping: 10^12 walks in 1 ns
+        // is 10^21/s, beyond u64.
+        assert_eq!(walks_per_sec(1_000_000_000_000, 1), u64::MAX);
+    }
+
+    #[test]
+    fn profile_round_trips() {
+        let p = sample();
+        assert_eq!(p.total_walks(), 8_000);
+        assert_eq!(p.walks_per_sec(), 2_000_000, "8000 walks / 4 ms");
+        let back = HostProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn alloc_stats_round_trip_when_present() {
+        let mut p = sample();
+        p.alloc = Some(AllocStats {
+            allocations: 123,
+            bytes: 4_567,
+        });
+        let json = p.to_json();
+        assert!(json.contains("\"allocations\":123"), "{json}");
+        assert_eq!(HostProfile::from_json(&json).unwrap(), p);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected_with_version() {
+        let doctored = sample()
+            .to_json()
+            .replacen("\"schema\":1", "\"schema\":9", 1);
+        let err = HostProfile::from_json(&doctored).expect_err("must reject");
+        assert!(err.to_string().contains('9'), "{err}");
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let doctored = sample()
+            .to_json()
+            .replacen(HOST_PROFILE_KIND, "hpmp-bench-report", 1);
+        let err = HostProfile::from_json(&doctored).expect_err("must reject");
+        assert!(err.to_string().contains("hpmp-bench-report"), "{err}");
+    }
+
+    #[test]
+    fn profiler_accumulates_phases_and_experiments() {
+        let mut prof = HostProfiler::new("test");
+        prof.begin_phase("boot");
+        prof.begin_phase("run"); // implicitly ends boot
+        prof.record_experiment("fig2", Duration::from_millis(2), 1_000);
+        prof.begin_phase("boot"); // re-entry accumulates
+        let profile = prof.finish();
+        assert_eq!(profile.phases.len(), 2);
+        assert!(profile.phases.contains_key("boot"));
+        assert!(profile.phases.contains_key("run"));
+        assert_eq!(profile.experiments.len(), 1);
+        assert_eq!(profile.experiments[0].walks_per_sec(), 500_000);
+        assert_eq!(profile.alloc.is_some(), cfg!(feature = "count-allocs"));
+        let headline = profile.headline();
+        assert!(headline.contains("walks/sec"), "{headline}");
+    }
+}

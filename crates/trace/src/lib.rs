@@ -35,6 +35,7 @@
 
 mod event;
 mod hist;
+mod host;
 pub mod json;
 mod metrics;
 mod read;
@@ -49,12 +50,17 @@ pub use event::{
 pub use hist::{
     AccessClass, LatencyHistogram, LatencyHistograms, LatencyHistogramsWiring, HIST_BUCKETS,
 };
+pub use host::{
+    alloc_stats, walks_per_sec, AllocStats, HostExperiment, HostProfile, HostProfiler,
+    HOST_PROFILE_KIND,
+};
 pub use metrics::{CounterId, MetricsRegistry, Snapshot};
 pub use read::{
     check_schema, parse_event, read_trace_file, ReadError, TraceReader, WALK_EVENT_STREAM,
 };
 pub use report::{
-    histograms_in_snapshot, BenchReport, ExperimentRecord, Percentiles, BENCH_REPORT_KIND,
+    histograms_in_snapshot, walks_in_snapshot, BenchReport, ExperimentRecord, Percentiles,
+    BENCH_REPORT_KIND,
 };
 pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};
 pub use span::{parse_span, SpanCollector, SpanEvent, SpanKind, SpanStream, SPAN_EVENT_STREAM};

@@ -80,6 +80,20 @@ pub fn histograms_in_snapshot(snap: &Snapshot) -> BTreeMap<String, LatencyHistog
         .collect()
 }
 
+/// Sum of every page-walk counter in a snapshot: the bare `machine.walks`
+/// of a single-hart run, or the `hart.<i>.machine.walks` copies of an SMP
+/// merge (never both — merged SMP snapshots carry only the per-hart
+/// names).
+pub fn walks_in_snapshot(snap: &Snapshot) -> u64 {
+    snap.iter()
+        .filter(|(name, _)| {
+            *name == "machine.walks"
+                || (name.starts_with("hart.") && name.ends_with(".machine.walks"))
+        })
+        .map(|(_, v)| v)
+        .sum()
+}
+
 /// One experiment's row in a bench report.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExperimentRecord {
@@ -87,6 +101,16 @@ pub struct ExperimentRecord {
     pub name: String,
     /// Total cycles attributed to the experiment.
     pub cycles: u64,
+    /// Page walks the experiment performed, summed over harts.
+    /// Simulated-clock data: deterministic for a given seed.
+    pub walks: u64,
+    /// Simulated page walks retired per host-clock second while the
+    /// experiment ran, or 0 when unmeasured. Host-clock data: the
+    /// deterministic harness paths (`repro`/`hpmpsim` `--bench-out`)
+    /// never set it, only wall-clock contexts (the criterion shim, host
+    /// profiles) do, so byte-compared artifacts stay reproducible. Zero
+    /// is omitted from the serialized form.
+    pub walks_per_sec: u64,
     /// Latency percentiles per histogram base name (e.g.
     /// `machine.latency.read_walk`), derived from the bucket counters at
     /// record time.
@@ -98,7 +122,8 @@ pub struct ExperimentRecord {
 
 impl ExperimentRecord {
     /// Build a record from an experiment's merged snapshot, deriving the
-    /// percentile table from the snapshot's histogram bucket counters.
+    /// percentile table from the snapshot's histogram bucket counters and
+    /// the walk total from its `machine.walks` counters.
     pub fn from_snapshot(name: impl Into<String>, cycles: u64, counters: Snapshot) -> Self {
         let percentiles = histograms_in_snapshot(&counters)
             .iter()
@@ -107,6 +132,8 @@ impl ExperimentRecord {
         ExperimentRecord {
             name: name.into(),
             cycles,
+            walks: walks_in_snapshot(&counters),
+            walks_per_sec: 0,
             percentiles,
             counters,
         }
@@ -131,10 +158,18 @@ impl ExperimentRecord {
             .iter()
             .map(|(name, value)| format!("\"{}\":{}", json_escape(name), value))
             .collect();
+        let walks_per_sec = if self.walks_per_sec > 0 {
+            format!(",\"walks_per_sec\":{}", self.walks_per_sec)
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"name\":\"{}\",\"cycles\":{},\"percentiles\":{{{}}},\"counters\":{{{}}}}}",
+            "{{\"name\":\"{}\",\"cycles\":{},\"walks\":{}{},\"percentiles\":{{{}}},\
+             \"counters\":{{{}}}}}",
             json_escape(&self.name),
             self.cycles,
+            self.walks,
+            walks_per_sec,
             percentiles.join(","),
             counters.join(",")
         )
@@ -179,11 +214,24 @@ impl ExperimentRecord {
                 .ok_or_else(|| format!("counter \"{counter}\" is not a u64"))?;
             reg.set(counter.clone(), v);
         }
+        let counters = reg.snapshot();
+        // Reports written before the walks field existed derive it from
+        // their counters; the field wins when present.
+        let walks = value
+            .get("walks")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| walks_in_snapshot(&counters));
+        let walks_per_sec = value
+            .get("walks_per_sec")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
         Ok(ExperimentRecord {
             name,
             cycles,
+            walks,
+            walks_per_sec,
             percentiles,
-            counters: reg.snapshot(),
+            counters,
         })
     }
 }
@@ -349,6 +397,67 @@ mod tests {
         assert_eq!(h.count(), 10);
         assert_eq!(h.sum(), 1000);
         assert_eq!(h.percentile(50.0), Some(128));
+    }
+
+    #[test]
+    fn walks_sum_over_harts_or_bare() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.walks", 7);
+        assert_eq!(walks_in_snapshot(&reg.snapshot()), 7);
+
+        let mut reg = MetricsRegistry::new();
+        reg.set("hart.0.machine.walks", 3);
+        reg.set("hart.1.machine.walks", 4);
+        reg.set("hart.1.machine.cycles", 999); // not a walk counter
+        assert_eq!(walks_in_snapshot(&reg.snapshot()), 7);
+    }
+
+    #[test]
+    fn record_carries_walks_and_round_trips() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("machine.cycles", 1270);
+        reg.set("machine.walks", 42);
+        let rec = ExperimentRecord::from_snapshot("fig2", 1270, reg.snapshot());
+        assert_eq!(rec.walks, 42);
+        assert_eq!(rec.walks_per_sec, 0, "simulated paths never set it");
+
+        let mut report = BenchReport::new("repro");
+        report.push(rec);
+        let json = report.to_json();
+        assert!(json.contains("\"walks\":42"), "{json}");
+        assert!(
+            !json.contains("walks_per_sec"),
+            "zero walks/sec must be omitted so deterministic artifacts \
+             never carry host-clock fields: {json}"
+        );
+        assert_eq!(BenchReport::from_json(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn walks_per_sec_survives_round_trip_when_set() {
+        let mut rec = ExperimentRecord::from_snapshot("hot", 10, Snapshot::new());
+        rec.walks = 1000;
+        rec.walks_per_sec = 250_000;
+        let mut report = BenchReport::new("hotpath");
+        report.push(rec);
+        let json = report.to_json();
+        assert!(json.contains("\"walks_per_sec\":250000"), "{json}");
+        assert_eq!(BenchReport::from_json(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn walks_is_derived_for_pre_walks_reports() {
+        // A report serialized before the walks field existed: strip it
+        // from the wire form and check the reader falls back to the
+        // counters.
+        let mut reg = MetricsRegistry::new();
+        reg.set("hart.0.machine.walks", 5);
+        reg.set("hart.2.machine.walks", 6);
+        let mut report = BenchReport::new("repro");
+        report.push(ExperimentRecord::from_snapshot("fig2", 1, reg.snapshot()));
+        let legacy = report.to_json().replacen("\"walks\":11,", "", 1);
+        let back = BenchReport::from_json(&legacy).unwrap();
+        assert_eq!(back.experiments[0].walks, 11);
     }
 
     #[test]
