@@ -191,5 +191,54 @@ fn walks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, physmem, lookups, registry, walks);
+/// End-to-end SMP walk throughput per execution backend: the fixed-seed
+/// tenancy shape at 4 harts, once on the deterministic interleaver and
+/// once on the threaded backend. Both runs are observably identical (the
+/// conformance battery byte-compares their snapshots), so one calibration
+/// run fixes the walk count for both throughput declarations, and the
+/// `walks_per_sec` ratio between the two records is exactly the threaded
+/// backend's speedup. Wall-clock ratio depends on host core count: on a
+/// single-core host the hart threads timeslice and the ratio is ~1x or
+/// below (thread overhead); the speedup shows from ~4 cores up.
+fn smp_backends(c: &mut Criterion) {
+    use hpmp_machine::ExecBackend;
+    use hpmp_memsim::CoreKind;
+    use hpmp_penglai::TeeFlavor;
+    use hpmp_workloads::smp::{run_smp_backend, spec_for};
+
+    /// The `hpmpsim` SMP seed, so the bench measures the same run the
+    /// conformance battery verifies.
+    const SMP_SEED: u64 = 0x4850_4d50;
+    const HARTS: usize = 4;
+
+    let mut group = c.benchmark_group("smp");
+    group.sample_size(20);
+    let spec = spec_for("tenancy").expect("tenancy has an SMP shape");
+    let run = |backend| {
+        run_smp_backend(
+            TeeFlavor::PenglaiHpmp,
+            CoreKind::Rocket,
+            HARTS,
+            SMP_SEED,
+            spec,
+            backend,
+        )
+        .expect("tenancy runs clean")
+    };
+
+    let (_, snap) = run(ExecBackend::Deterministic);
+    let walks = walks_in_snapshot(&snap);
+    assert!(walks > 0, "the SMP sweep must page-walk");
+    group.throughput(Throughput::Elements(walks));
+
+    group.bench_function("tenancy_x4_deterministic", |b| {
+        b.iter(|| black_box(run(ExecBackend::Deterministic)).0.accesses)
+    });
+    group.bench_function("tenancy_x4_threaded", |b| {
+        b.iter(|| black_box(run(ExecBackend::Threaded)).0.accesses)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, physmem, lookups, registry, walks, smp_backends);
 criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! ```text
 //! hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]
 //!         [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]
-//!         [--harts N] [--jobs N] [--pwc N] [--pmptw-cache N]
+//!         [--harts N] [--backend deterministic|threaded]
+//!         [--jobs N] [--pwc N] [--pmptw-cache N]
 //!         [--no-tlb-inlining] [--encryption CYCLES] [--epmp]
 //!         [--trace-out walks.jsonl] [--metrics-out metrics.json]
 //!         [--bench-out BENCH_name.json]
@@ -27,6 +28,15 @@
 //! internally, so artifacts stay byte-identical at any `--jobs`; trace
 //! events carry a `hart` field and the metrics snapshot gains per-hart
 //! `hart.<i>.*` shootdown/fence counters plus `smp.*` totals.
+//!
+//! `--backend threaded` (with `--harts` >= 2) runs the same SMP shape on
+//! the threaded execution backend: one OS thread per hart between monitor
+//! operations, sharded physical memory, per-hart metric arenas, and
+//! mailbox shootdown delivery. Outcomes and metric snapshots are
+//! byte-identical to the default `deterministic` backend (the conformance
+//! battery enforces this) — only wall-clock changes. Time-resolved
+//! telemetry (`--snapshot-interval`/`--timeline-out`/`--spans-out`)
+//! requires the deterministic backend.
 //!
 //! SMP runs can also record *time-resolved* telemetry (both require
 //! `--harts` ≥ 2 and a single workload): `--snapshot-interval N` cuts a
@@ -72,7 +82,7 @@ use std::io::Write as _;
 use hpmp_bench::run_ordered;
 use hpmp_core::PmptwCacheConfig;
 use hpmp_faults::{run_shard, CampaignReport, CampaignSpec};
-use hpmp_machine::MachineConfig;
+use hpmp_machine::{ExecBackend, MachineConfig};
 use hpmp_memsim::CoreKind;
 use hpmp_penglai::TeeFlavor;
 use hpmp_trace::{
@@ -87,6 +97,7 @@ struct Options {
     core: CoreKind,
     workload: String,
     harts: usize,
+    backend: ExecBackend,
     jobs: Option<usize>,
     pwc: Option<usize>,
     pmptw_cache: Option<usize>,
@@ -109,7 +120,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]\n\
          \x20              [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]\n\
-         \x20              [--harts N] [--jobs N] [--pwc N] [--pmptw-cache N]\n\
+         \x20              [--harts N] [--backend deterministic|threaded]\n\
+         \x20              [--jobs N] [--pwc N] [--pmptw-cache N]\n\
          \x20              [--no-tlb-inlining] [--encryption CYCLES] [--epmp]\n\
          \x20              [--trace-out walks.jsonl] [--metrics-out metrics.json]\n\
          \x20              [--bench-out BENCH_name.json]\n\
@@ -129,6 +141,7 @@ fn parse_args() -> Options {
         core: CoreKind::Rocket,
         workload: "serverless".to_string(),
         harts: 1,
+        backend: ExecBackend::Deterministic,
         jobs: None,
         pwc: None,
         pmptw_cache: None,
@@ -181,6 +194,13 @@ fn parse_args() -> Options {
                 Ok(n) if n >= 1 => options.harts = n,
                 _ => {
                     eprintln!("--harts needs a positive integer");
+                    usage()
+                }
+            },
+            "--backend" => match value("--backend").parse() {
+                Ok(backend) => options.backend = backend,
+                Err(e) => {
+                    eprintln!("{e}");
                     usage()
                 }
             },
@@ -282,6 +302,9 @@ fn main() {
             "  harts        : {} (seed {SMP_SEED}, cross-hart shootdowns on)",
             options.harts
         );
+        if options.backend == ExecBackend::Threaded {
+            println!("  backend      : threaded (per-hart OS threads between monitor ops)");
+        }
     }
 
     let workloads: Vec<&str> = options
@@ -299,10 +322,20 @@ fn main() {
         eprintln!("no workload given");
         usage()
     }
+    if options.backend == ExecBackend::Threaded && options.harts < 2 {
+        eprintln!("--backend threaded needs --harts >= 2");
+        usage()
+    }
     let telemetry_requested = options.snapshot_interval.is_some()
         || options.timeline_out.is_some()
         || options.spans_out.is_some();
     if telemetry_requested {
+        if options.backend == ExecBackend::Threaded {
+            // Timeline slices and spans live on the global simulated
+            // clock, which only advances serially.
+            eprintln!("time-resolved telemetry requires --backend deterministic");
+            usage()
+        }
         // The timeline/span clock is the SMP global simulated clock, so
         // time-resolved telemetry only exists for multi-hart runs; one
         // artifact file covers one run, so one workload.
@@ -663,6 +696,42 @@ fn run_one(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
 /// monitor and physical memory. Per-hart trace bytes are spliced in hart
 /// order — events carry their hart id, so analysis does not depend on the
 /// global interleaving order.
+/// Runs one SMP workload on the selected backend. The threaded backend
+/// takes no telemetry spec — telemetry flags were rejected at parse time.
+fn run_smp_dispatch<S: TraceSink + Send>(
+    options: &Options,
+    machines: Vec<hpmp_machine::Machine<S>>,
+    spec: hpmp_workloads::smp::SmpWorkloadSpec,
+    telemetry_spec: hpmp_workloads::smp::SmpTelemetrySpec,
+) -> (
+    hpmp_workloads::smp::SmpOutcome,
+    Snapshot,
+    Vec<S>,
+    hpmp_workloads::smp::SmpTelemetry,
+) {
+    match options.backend {
+        ExecBackend::Deterministic => hpmp_workloads::smp::run_smp_telemetry(
+            machines,
+            options.flavor,
+            SMP_SEED,
+            spec,
+            telemetry_spec,
+        )
+        .expect("SMP workload"),
+        ExecBackend::Threaded => {
+            let (outcome, snap, sinks) =
+                hpmp_workloads::smp::run_smp_threaded(machines, options.flavor, SMP_SEED, spec)
+                    .expect("SMP workload");
+            (
+                outcome,
+                snap,
+                sinks,
+                hpmp_workloads::smp::SmpTelemetry::default(),
+            )
+        }
+    }
+}
+
 fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutput {
     let config = machine_config(options);
     let spec =
@@ -681,14 +750,8 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
                 hpmp_machine::Machine::with_sink(config, JsonlSink::new_headerless(Vec::new()))
             })
             .collect();
-        let (outcome, snap, sinks, telemetry) = hpmp_workloads::smp::run_smp_telemetry(
-            machines,
-            options.flavor,
-            SMP_SEED,
-            spec,
-            telemetry_spec,
-        )
-        .expect("SMP workload");
+        let (outcome, snap, sinks, telemetry) =
+            run_smp_dispatch(options, machines, spec, telemetry_spec);
         report_smp(&outcome, &snap, &mut stdout);
         let mut trace = Vec::new();
         let mut trace_events = 0;
@@ -712,14 +775,8 @@ fn run_one_smp(options: &Options, workload: &str, tracing: bool) -> WorkloadOutp
         let machines = (0..options.harts)
             .map(|_| hpmp_machine::Machine::new(config))
             .collect();
-        let (outcome, snap, _, telemetry) = hpmp_workloads::smp::run_smp_telemetry(
-            machines,
-            options.flavor,
-            SMP_SEED,
-            spec,
-            telemetry_spec,
-        )
-        .expect("SMP workload");
+        let (outcome, snap, _, telemetry) =
+            run_smp_dispatch(options, machines, spec, telemetry_spec);
         report_smp(&outcome, &snap, &mut stdout);
         WorkloadOutput {
             stdout,

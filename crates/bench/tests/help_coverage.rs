@@ -17,11 +17,12 @@ fn run(bin: &str, args: &[&str]) -> (i32, String) {
 
 /// Every flag `hpmpsim`'s parser matches on. Adding a parser arm without
 /// updating `usage()` (or this list) fails the test.
-const HPMPSIM_FLAGS: [&str; 20] = [
+const HPMPSIM_FLAGS: [&str; 21] = [
     "--flavor",
     "--core",
     "--workload",
     "--harts",
+    "--backend",
     "--jobs",
     "--pwc",
     "--pmptw-cache",
@@ -41,9 +42,10 @@ const HPMPSIM_FLAGS: [&str; 20] = [
 ];
 
 /// Every flag `repro`'s parser matches on.
-const REPRO_FLAGS: [&str; 9] = [
+const REPRO_FLAGS: [&str; 10] = [
     "--serial",
     "--jobs",
+    "--backend",
     "--trace-out",
     "--metrics-out",
     "--bench-out",
@@ -99,6 +101,51 @@ fn repro_help_lists_every_flag_and_experiment() {
         );
     }
     assert!(help.contains("all"), "the all alias must be documented");
+}
+
+#[test]
+fn hpmpsim_rejects_unknown_backends() {
+    let (code, err) = run(
+        env!("CARGO_BIN_EXE_hpmpsim"),
+        &["--harts", "2", "--backend", "bogus"],
+    );
+    assert_eq!(code, 2);
+    assert!(err.contains("bogus"), "{err}");
+    assert!(
+        err.contains("threaded"),
+        "accepted names must be listed: {err}"
+    );
+}
+
+#[test]
+fn hpmpsim_rejects_threaded_telemetry_and_single_hart() {
+    // Timelines and spans live on the serial simulated clock.
+    let (code, err) = run(
+        env!("CARGO_BIN_EXE_hpmpsim"),
+        &[
+            "--harts",
+            "2",
+            "--backend",
+            "threaded",
+            "--workload",
+            "tenancy",
+            "--snapshot-interval",
+            "1000",
+        ],
+    );
+    assert_eq!(code, 2);
+    assert!(err.contains("deterministic"), "{err}");
+    // The threaded backend needs something to parallelize over.
+    let (code, err) = run(env!("CARGO_BIN_EXE_hpmpsim"), &["--backend", "threaded"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--harts"), "{err}");
+}
+
+#[test]
+fn repro_rejects_unknown_backends() {
+    let (code, err) = run(env!("CARGO_BIN_EXE_repro"), &["--backend", "bogus"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("bogus"), "{err}");
 }
 
 #[test]

@@ -153,6 +153,12 @@ pub struct HpmpRegFile {
     cfg: Vec<PmpConfig>,
     /// CSR writes performed (the monitor's domain-switch cost metric).
     csr_writes: u64,
+    /// Bumped on *every* register mutation — WARL writes, forced restores
+    /// and fault-injected corruption alike — so a cached [`EntryPlan`]
+    /// knows when its pre-decoded view of the file is stale. Unlike
+    /// `csr_writes` this is not an architectural cost metric and is never
+    /// reset.
+    generation: u64,
 }
 
 impl Default for HpmpRegFile {
@@ -183,7 +189,16 @@ impl HpmpRegFile {
             addr: vec![0; entries],
             cfg: vec![PmpConfig::default(); entries],
             csr_writes: 0,
+            generation: 0,
         }
+    }
+
+    /// Mutation stamp for plan caching: changes whenever any register
+    /// changes (including forced restores and injected corruption). A
+    /// cached [`EntryPlan`] is valid exactly while this value matches
+    /// [`EntryPlan::generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of entries in this register file.
@@ -240,6 +255,7 @@ impl HpmpRegFile {
         }
         self.addr[idx] = value;
         self.csr_writes += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -261,6 +277,7 @@ impl HpmpRegFile {
         }
         self.cfg[idx] = cfg;
         self.csr_writes += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -276,6 +293,7 @@ impl HpmpRegFile {
         self.addr[idx] = addr;
         self.cfg[idx] = cfg;
         self.csr_writes += 2;
+        self.generation += 1;
     }
 
     /// Configures entry `idx` as a segment covering `region` with `perms`.
@@ -514,6 +532,7 @@ impl HpmpRegFile {
     /// Panics if `idx >= self.len()`.
     pub fn corrupt_addr(&mut self, idx: usize, mask: u64) {
         self.addr[idx] ^= mask;
+        self.generation += 1;
     }
 
     /// XORs `mask` into config register `idx`, bypassing every WARL and
@@ -525,6 +544,7 @@ impl HpmpRegFile {
     /// Panics if `idx >= self.len()`.
     pub fn corrupt_cfg(&mut self, idx: usize, mask: u8) {
         self.cfg[idx] = PmpConfig::from_raw_bits(self.cfg[idx].to_bits() ^ mask);
+        self.generation += 1;
     }
 }
 
@@ -613,6 +633,179 @@ fn walk_with_cache(
     (walk.perms, walk.refs, outcome, walk.malformed)
 }
 
+/// How a planned entry decides an access that its region matched, with
+/// everything decodable ahead of time already decoded.
+#[derive(Clone, Copy, Debug)]
+enum PlannedKind {
+    /// Config register holds a malformed encoding: fail closed.
+    Malformed,
+    /// Segment mode: the pre-decoded static permission decides.
+    Segment(Perms),
+    /// Table mode with a well-formed pointer: walk from `root`.
+    Table(PhysAddr, TableLevels),
+    /// Table mode whose pointer cannot exist (last entry) or decodes to
+    /// the reserved `Mode`: fail closed (after the M-mode bypass, exactly
+    /// as the architectural checker orders it).
+    BadTablePointer,
+}
+
+/// One active, pre-decoded HPMP entry in priority order.
+#[derive(Clone, Copy, Debug)]
+struct PlannedEntry {
+    /// Architectural entry index (for `matched_entry` and cache tags).
+    idx: usize,
+    /// The matched region, already decoded from NAPOT/NA4/TOR encoding.
+    region: PmpRegion,
+    /// Lock bit (controls the M-mode bypass).
+    locked: bool,
+    kind: PlannedKind,
+}
+
+/// A batched, pre-decoded permission checker over an [`HpmpRegFile`].
+///
+/// [`HpmpRegFile::check`] re-decodes every entry — address mode, NAPOT
+/// mask, pointer-slot skipping, table-pointer fields — on every single
+/// check, even though the register file only changes on CSR writes. A
+/// plan performs that decode once: it keeps only the active, matchable
+/// entries in priority order with their regions and table roots already
+/// extracted, so the per-access work is one pass over the matching
+/// entries (a bounds compare and a dispatch each). Register mutations are
+/// detected through [`HpmpRegFile::generation`]; a stale plan must be
+/// rebuilt with [`HpmpRegFile::plan`] before use.
+///
+/// [`EntryPlan::check`] is observably identical to
+/// [`HpmpRegFile::check`] — same outcome, same pmpte references, same
+/// PMPTW-Cache effects — which the equivalence property test pins.
+#[derive(Clone, Debug, Default)]
+pub struct EntryPlan {
+    generation: u64,
+    entries: Vec<PlannedEntry>,
+}
+
+impl HpmpRegFile {
+    /// Pre-decodes the register file into an [`EntryPlan`] stamped with
+    /// the current [`HpmpRegFile::generation`].
+    pub fn plan(&self) -> EntryPlan {
+        let mut entries = Vec::new();
+        for idx in 0..self.len() {
+            if self.is_pointer_slot(idx) {
+                continue;
+            }
+            let Some(region) = self.entry_region(idx) else {
+                continue;
+            };
+            let cfg = self.cfg[idx];
+            let kind = if cfg.is_malformed() {
+                PlannedKind::Malformed
+            } else if !cfg.table_mode() {
+                PlannedKind::Segment(cfg.perms())
+            } else if idx == self.len() - 1 {
+                PlannedKind::BadTablePointer
+            } else {
+                match table_pointer_decode(self.addr[idx + 1]) {
+                    Some((root, levels)) => PlannedKind::Table(root, levels),
+                    None => PlannedKind::BadTablePointer,
+                }
+            };
+            entries.push(PlannedEntry {
+                idx,
+                region,
+                locked: cfg.locked(),
+                kind,
+            });
+        }
+        EntryPlan {
+            generation: self.generation,
+            entries,
+        }
+    }
+}
+
+impl EntryPlan {
+    /// The [`HpmpRegFile::generation`] this plan was built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// As [`HpmpRegFile::check`], over the pre-decoded entries.
+    pub fn check(
+        &self,
+        mem: &dyn WordStore,
+        cache: &mut PmptwCache,
+        addr: PhysAddr,
+        kind: AccessKind,
+        mode: PrivMode,
+    ) -> CheckOutcome {
+        for entry in &self.entries {
+            if !entry.region.contains(addr) {
+                continue;
+            }
+            // Lowest-numbered matching entry decides; the dispatch order
+            // (malformed, M-mode bypass, then mode) mirrors the
+            // architectural checker exactly.
+            if matches!(entry.kind, PlannedKind::Malformed) {
+                return CheckOutcome::denied_malformed(entry.idx);
+            }
+            if mode == PrivMode::Machine && !entry.locked {
+                return CheckOutcome {
+                    allowed: true,
+                    perms: Perms::RWX,
+                    matched_entry: Some(entry.idx),
+                    refs: Vec::new(),
+                    pmptw: None,
+                    malformed: false,
+                };
+            }
+            return match entry.kind {
+                PlannedKind::Malformed => unreachable!("handled above"),
+                PlannedKind::Segment(perms) => CheckOutcome {
+                    allowed: perms.allows(kind),
+                    perms,
+                    matched_entry: Some(entry.idx),
+                    refs: Vec::new(),
+                    pmptw: None,
+                    malformed: false,
+                },
+                PlannedKind::BadTablePointer => CheckOutcome::denied_malformed(entry.idx),
+                PlannedKind::Table(root, levels) => {
+                    let offset = addr.offset_from(entry.region.base);
+                    let (perms, refs, pmptw, malformed) = walk_with_cache(
+                        mem,
+                        cache,
+                        entry.idx,
+                        root,
+                        levels,
+                        entry.region.base,
+                        addr,
+                        offset,
+                    );
+                    let perms = perms.unwrap_or(Perms::NONE);
+                    CheckOutcome {
+                        allowed: perms.allows(kind),
+                        perms,
+                        matched_entry: Some(entry.idx),
+                        refs,
+                        pmptw: Some(pmptw),
+                        malformed,
+                    }
+                }
+            };
+        }
+        if mode == PrivMode::Machine {
+            CheckOutcome {
+                allowed: true,
+                perms: Perms::RWX,
+                matched_entry: None,
+                refs: Vec::new(),
+                pmptw: None,
+                malformed: false,
+            }
+        } else {
+            CheckOutcome::denied()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +827,95 @@ mod tests {
         regs.configure_table(0, region, table.root(), TableLevels::Two)
             .unwrap();
         (mem, table, regs)
+    }
+
+    /// The pre-decoded [`EntryPlan`] must be observably indistinguishable
+    /// from the architectural checker: same outcome, same pmpte refs,
+    /// same PMPTW-Cache evolution — across segment/table/malformed
+    /// entries, all access kinds and privilege modes, and through
+    /// fault-injected register corruption (which only the generation
+    /// stamp can make the plan notice).
+    #[test]
+    fn plan_check_matches_reference_check_exactly() {
+        use hpmp_memsim::SplitMix64;
+
+        let (mem, _table, mut regs) = table_fixture();
+        regs.configure_segment(
+            2,
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000_0000),
+            Perms::RW,
+        )
+        .unwrap();
+        regs.configure_segment(
+            3,
+            PmpRegion::new(PhysAddr::new(0x4000_0000), 0x1000),
+            Perms::RX,
+        )
+        .unwrap();
+
+        let mut rng = SplitMix64::seed_from_u64(0xE9_7A5);
+        let mut ref_cache = PmptwCache::new(PmptwCacheConfig::ENABLED_8);
+        let mut plan_cache = PmptwCache::new(PmptwCacheConfig::ENABLED_8);
+        let mut plan = regs.plan();
+        let kinds = [AccessKind::Read, AccessKind::Write, AccessKind::Fetch];
+        let modes = [PrivMode::User, PrivMode::Supervisor, PrivMode::Machine];
+        for step in 0..4096u64 {
+            if step % 97 == 0 {
+                let idx = rng.gen_range(0..regs.len() as u64) as usize;
+                regs.corrupt_cfg(idx, rng.gen_range(1..256) as u8);
+            }
+            if step % 193 == 0 {
+                let idx = rng.gen_range(0..regs.len() as u64) as usize;
+                regs.corrupt_addr(idx, rng.next_u64());
+            }
+            if step % 611 == 0 {
+                // Recover: scrub back to a known-good file, as the monitor
+                // does, exercising force_restore invalidation too.
+                let (m, _t, fresh) = table_fixture();
+                drop(m);
+                for idx in 0..regs.len() {
+                    regs.force_restore(idx, fresh.addr_reg(idx), fresh.cfg_reg(idx));
+                }
+                regs.configure_segment(
+                    2,
+                    PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000_0000),
+                    Perms::RW,
+                )
+                .unwrap();
+            }
+            if plan.generation() != regs.generation() {
+                plan = regs.plan();
+            }
+            let addr = match step % 4 {
+                0 => PhysAddr::new(0x9000_0000 + (rng.gen_range(0..1 << 16) << 12)),
+                1 => PhysAddr::new(0x8000_0000 + (rng.gen_range(0..4096) << 12)),
+                2 => PhysAddr::new(0x4000_0000 + rng.gen_range(0..0x2000 / 8) * 8),
+                _ => PhysAddr::new(rng.gen_range(0..1 << 28) << 8),
+            };
+            let kind = kinds[(rng.next_u64() % 3) as usize];
+            let mode = modes[(rng.next_u64() % 3) as usize];
+            let reference = regs.check(&mem, &mut ref_cache, addr, kind, mode);
+            let planned = plan.check(&mem, &mut plan_cache, addr, kind, mode);
+            assert_eq!(reference, planned, "divergence at step {step} for {addr}");
+        }
+    }
+
+    #[test]
+    fn stale_plan_is_detected_by_generation() {
+        let mut regs = HpmpRegFile::new();
+        regs.configure_segment(
+            0,
+            PmpRegion::new(PhysAddr::new(0x8000_0000), 0x1000),
+            Perms::RW,
+        )
+        .unwrap();
+        let plan = regs.plan();
+        assert_eq!(plan.generation(), regs.generation());
+        // Corruption bypasses the WARL counters but must still stamp.
+        regs.corrupt_cfg(0, 0x01);
+        assert_ne!(plan.generation(), regs.generation());
+        regs.plan(); // rebuilding resynchronizes
+        assert_eq!(regs.plan().generation(), regs.generation());
     }
 
     #[test]

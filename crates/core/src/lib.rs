@@ -39,14 +39,14 @@ mod table;
 
 pub use cost::{estimate_resources, HardwareParams, ResourceReport};
 pub use hpmp::{
-    table_pointer_decode, table_pointer_encode, CheckOutcome, HpmpError, HpmpRegFile, EPMP_ENTRIES,
-    HPMP_ENTRIES,
+    table_pointer_decode, table_pointer_encode, CheckOutcome, EntryPlan, HpmpError, HpmpRegFile,
+    EPMP_ENTRIES, HPMP_ENTRIES,
 };
 pub use hpmp_trace::PmptwOutcome;
 pub use iopmp::{DeviceId, IoCheckOutcome, IoPmp, IoPmpEntry, IoPmpMode};
 pub use pmp::{napot_decode, napot_encode, AddressMode, PmpConfig, PmpRegion};
 pub use ptw_cache::{PmptwCache, PmptwCacheConfig, PmptwCacheStats, PmptwCacheStatsIds};
-pub use shootdown::{Ipi, IpiFabric, IpiKind, ShootdownCost};
+pub use shootdown::{DeferredShootdown, Ipi, IpiFabric, IpiKind, ShootdownCost};
 pub use table::{
     FillPolicy, LeafPmpte, MalformedPmpte, PmpTable, PmptRef, RootPmpte, TableError,
     TableFrameSource, TableLevels, TableOffset, TableWalk, LEAF_PMPTE_SPAN, LEAF_TABLE_SPAN,

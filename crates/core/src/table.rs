@@ -243,12 +243,12 @@ impl RootPmpte {
     }
 
     /// The huge permission (meaningful when [`RootPmpte::is_huge`]).
-    pub fn perms(self) -> Perms {
-        Perms::new(
-            self.bits & Self::R != 0,
-            self.bits & Self::W != 0,
-            self.bits & Self::X != 0,
-        )
+    ///
+    /// The R/W/X field (bits 3:1) uses the same bit order as
+    /// [`Perms`], so decode is a single shift-and-mask — no per-bit
+    /// branching on the permission-check hot path.
+    pub const fn perms(self) -> Perms {
+        Perms::from_bits_truncate((self.bits >> 1) as u8)
     }
 
     /// Base address of the leaf table (meaningful when
@@ -301,6 +301,19 @@ impl LeafPmpte {
         self.bits
     }
 
+    /// Nibble-value → permission lookup table: strips the parity bit
+    /// without any per-bit matching, so leaf decode on the hot path is a
+    /// shift, a mask and one indexed load.
+    const NIBBLE_PERMS: [Perms; 16] = {
+        let mut table = [Perms::NONE; 16];
+        let mut nibble = 0u8;
+        while nibble < 16 {
+            table[nibble as usize] = Perms::from_bits_truncate(nibble);
+            nibble += 1;
+        }
+        table
+    };
+
     /// Permission of page `index` (0–15) within this pmpte's 64 KiB span.
     ///
     /// # Panics
@@ -308,7 +321,7 @@ impl LeafPmpte {
     /// Panics if `index >= 16`.
     pub fn perm(self, index: usize) -> Perms {
         assert!(index < 16, "leaf pmpte holds 16 page permissions");
-        Perms::from_bits_truncate(((self.bits >> (index * 4)) & 0xf) as u8)
+        Self::NIBBLE_PERMS[((self.bits >> (index * 4)) & 0xf) as usize]
     }
 
     /// Returns a copy with page `index`'s permission replaced.

@@ -21,7 +21,7 @@
 //! per-step cycles sum exactly to the access's cycle count. Tracing never
 //! changes a cycle result.
 
-use hpmp_core::{HpmpRegFile, PmptwCache, PmptwCacheConfig};
+use hpmp_core::{EntryPlan, HpmpRegFile, PmptwCache, PmptwCacheConfig};
 use hpmp_memsim::{
     AccessKind, CoreModel, HitLevel, MemSystem, MemSystemConfig, PhysAddr, PhysMem, PrivMode,
     VirtAddr,
@@ -327,6 +327,12 @@ pub struct Machine<S: TraceSink = NullSink> {
     pwc: WalkCache,
     pmptw_cache: PmptwCache,
     regs: HpmpRegFile,
+    /// Pre-decoded permission-check plan over `regs`, rebuilt lazily
+    /// whenever the register file's generation stamp moves. All hot-path
+    /// isolation checks go through this plan so a whole walk's per-step
+    /// checks are one pass over pre-decoded matching entries instead of
+    /// re-decoding every register each time.
+    check_plan: EntryPlan,
     tlb_inlining: bool,
     suppress_fences: bool,
     metrics: MetricsRegistry,
@@ -360,6 +366,7 @@ impl<S: TraceSink> Machine<S> {
             pwc: WalkCache::new(config.pwc),
             pmptw_cache: PmptwCache::new(config.pmptw_cache),
             regs: HpmpRegFile::with_entries(config.hpmp_entries),
+            check_plan: EntryPlan::default(),
             tlb_inlining: config.tlb_inlining,
             suppress_fences: false,
             metrics,
@@ -388,6 +395,24 @@ impl<S: TraceSink> Machine<S> {
     /// counter so per-hart totals include synchronization overhead.
     pub fn charge_cycles(&mut self, cycles: u64) {
         self.metrics.bump(self.ids.cycles, cycles);
+    }
+
+    /// The hot-path isolation check: runs against the cached
+    /// [`EntryPlan`], rebuilding it first iff any register mutated since
+    /// the plan was decoded (CSR writes are orders of magnitude rarer
+    /// than checks). Observably identical to `self.regs.check(...)`.
+    #[inline]
+    fn planned_check(
+        &mut self,
+        addr: PhysAddr,
+        kind: AccessKind,
+        mode: PrivMode,
+    ) -> hpmp_core::CheckOutcome {
+        if self.check_plan.generation() != self.regs.generation() {
+            self.check_plan = self.regs.plan();
+        }
+        self.check_plan
+            .check(&self.phys, &mut self.pmptw_cache, addr, kind, mode)
     }
 
     /// The core timing model.
@@ -719,9 +744,7 @@ impl<S: TraceSink> Machine<S> {
                 }
             } else {
                 // Ablation: no inlining — every access re-checks.
-                let check = self
-                    .regs
-                    .check(&self.phys, &mut self.pmptw_cache, paddr, kind, mode);
+                let check = self.planned_check(paddr, kind, mode);
                 refs.pmpte_for_data += check.refs.len() as u64;
                 cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
                 pmptw = check.pmptw.or(pmptw);
@@ -801,13 +824,7 @@ impl<S: TraceSink> Machine<S> {
         let result = walk(&self.phys, space, &mut self.pwc, va);
         let pwc_level = result.pwc_hit_level.map(|l| l as u8);
         for pt_ref in &result.pt_refs {
-            let check = self.regs.check(
-                &self.phys,
-                &mut self.pmptw_cache,
-                pt_ref.addr,
-                AccessKind::Read,
-                mode,
-            );
+            let check = self.planned_check(pt_ref.addr, AccessKind::Read, mode);
             refs.pmpte_for_pt += check.refs.len() as u64;
             cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
             pmptw = check.pmptw.or(pmptw);
@@ -875,13 +892,7 @@ impl<S: TraceSink> Machine<S> {
         }
 
         // 3. Isolation check for the data page.
-        let check = self.regs.check(
-            &self.phys,
-            &mut self.pmptw_cache,
-            translation.paddr,
-            kind,
-            mode,
-        );
+        let check = self.planned_check(translation.paddr, kind, mode);
         refs.pmpte_for_data += check.refs.len() as u64;
         cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
         pmptw = check.pmptw.or(pmptw);

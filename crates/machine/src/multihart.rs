@@ -38,11 +38,11 @@ use hpmp_trace::{CounterId, MetricsRegistry, NullSink, Snapshot, TraceSink};
 
 /// Per-hart counter ids in the [`MultiHartMachine`]'s own registry.
 #[derive(Clone, Copy, Debug)]
-struct HartWiring {
+pub(crate) struct HartWiring {
     ipis_sent: CounterId,
     ipis_received: CounterId,
-    shootdowns: CounterId,
-    shootdown_cycles: CounterId,
+    pub(crate) shootdowns: CounterId,
+    pub(crate) shootdown_cycles: CounterId,
     fence_stall_cycles: CounterId,
 }
 
@@ -62,13 +62,18 @@ impl HartWiring {
 /// ownership discipline.
 #[derive(Debug)]
 pub struct MultiHartMachine<S: TraceSink = NullSink> {
-    harts: Vec<Machine<S>>,
-    /// Which hart currently owns the real `PhysMem`.
-    active: usize,
+    pub(crate) harts: Vec<Machine<S>>,
+    /// Which hart currently owns the real `PhysMem` (the canonical copy,
+    /// under the threaded backend).
+    pub(crate) active: usize,
     fabric: IpiFabric,
     cost: ShootdownCost,
-    metrics: MetricsRegistry,
-    ids: Vec<HartWiring>,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) ids: Vec<HartWiring>,
+    /// Threaded-backend state (per-hart shootdown mailboxes and metric
+    /// arenas); `None` under the deterministic interleaver. See
+    /// [`crate::threaded`].
+    pub(crate) threaded: Option<crate::threaded::ThreadedState>,
 }
 
 impl MultiHartMachine {
@@ -104,6 +109,7 @@ impl<S: TraceSink> MultiHartMachine<S> {
             cost: ShootdownCost::DEFAULT,
             metrics,
             ids,
+            threaded: None,
         }
     }
 

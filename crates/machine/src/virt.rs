@@ -246,6 +246,8 @@ pub struct VirtMachine<S: TraceSink = NullSink> {
     gpwc: WalkCache,
     regs: hpmp_core::HpmpRegFile,
     pmptw_cache: hpmp_core::PmptwCache,
+    /// Pre-decoded check plan over `regs` (see `Machine::planned_check`).
+    check_plan: hpmp_core::EntryPlan,
     scheme: VirtScheme,
     guest_data_gpa: PhysAddr,
     metrics: MetricsRegistry,
@@ -431,6 +433,7 @@ impl<S: TraceSink> VirtMachine<S> {
             gpwc: WalkCache::new(config.pwc),
             regs,
             pmptw_cache: hpmp_core::PmptwCache::new(config.pmptw_cache),
+            check_plan: hpmp_core::EntryPlan::default(),
             scheme,
             guest_data_gpa: PhysAddr::new(GPA_DATA),
             metrics,
@@ -657,13 +660,7 @@ impl<S: TraceSink> VirtMachine<S> {
             gva,
         );
         for r in &result.refs {
-            let check = self.regs.check(
-                &self.phys,
-                &mut self.pmptw_cache,
-                r.addr,
-                AccessKind::Read,
-                mode,
-            );
+            let check = self.planned_check(r.addr, AccessKind::Read, mode);
             let pmpte_count = check.refs.len() as u64;
             cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
             pmptw = check.pmptw.or(pmptw);
@@ -739,13 +736,7 @@ impl<S: TraceSink> VirtMachine<S> {
         }
 
         // Data-page permission check + TLB refill + data reference.
-        let check = self.regs.check(
-            &self.phys,
-            &mut self.pmptw_cache,
-            translation.paddr,
-            kind,
-            mode,
-        );
+        let check = self.planned_check(translation.paddr, kind, mode);
         refs.pmpte_for_data += check.refs.len() as u64;
         cycles += self.charge_pmpte_refs(&check.refs, &mut steps);
         pmptw = check.pmptw.or(pmptw);
@@ -883,6 +874,22 @@ impl<S: TraceSink> VirtMachine<S> {
             .bump(self.ids.pmpte_for_gpt, refs.pmpte_for_gpt);
         self.metrics
             .bump(self.ids.pmpte_for_data, refs.pmpte_for_data);
+    }
+
+    /// Isolation check through the cached pre-decoded plan, rebuilt iff
+    /// the register file mutated (see `Machine::planned_check`).
+    #[inline]
+    fn planned_check(
+        &mut self,
+        addr: PhysAddr,
+        kind: AccessKind,
+        mode: PrivMode,
+    ) -> hpmp_core::CheckOutcome {
+        if self.check_plan.generation() != self.regs.generation() {
+            self.check_plan = self.regs.plan();
+        }
+        self.check_plan
+            .check(&self.phys, &mut self.pmptw_cache, addr, kind, mode)
     }
 
     fn charge_pmpte_refs(

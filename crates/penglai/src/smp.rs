@@ -40,7 +40,7 @@
 
 use crate::gms::GmsLabel;
 use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor, TeeFlavor};
-use hpmp_core::{IpiKind, PmpRegion};
+use hpmp_core::{DeferredShootdown, IpiKind, PmpRegion};
 use hpmp_machine::{Machine, MachineConfig, MultiHartMachine};
 use hpmp_memsim::{AccessKind, PhysAddr};
 use hpmp_trace::{
@@ -394,7 +394,15 @@ impl<S: TraceSink> SmpSystem<S> {
         if self.suppress_shootdowns || self.mh.harts() == 1 {
             return Ok(0);
         }
-        let spans_on = self.spans.is_enabled();
+        // Under the threaded backend the hart-local handler half
+        // (invalidate + cycle charge) is deferred to the receiver's own
+        // thread via its mailbox; everything that needs the monitor's
+        // state — kind selection, reprogramming the register image — still
+        // runs serially here, and the sender's stall is charged
+        // identically. Receiver-side spans are skipped: the threaded
+        // backend runs with spans disabled.
+        let deferred = self.mh.threaded();
+        let spans_on = self.spans.is_enabled() && !deferred;
         let t0 = if spans_on { self.global_cycles() } else { 0 };
         let ipi_post = self.mh.shootdown_cost().ipi_post;
         let ipi_latency = self.mh.shootdown_cost().ipi_latency;
@@ -439,9 +447,19 @@ impl<S: TraceSink> SmpSystem<S> {
                 reprogram_cycles = self.monitor.program_current(self.mh.machine(hart))?;
                 handler += reprogram_cycles;
             }
-            self.mh.machine(hart).invalidate_isolation();
             handler += cost::FENCE;
-            self.mh.charge_shootdown(hart, handler);
+            if deferred {
+                self.mh.defer_shootdown(
+                    hart,
+                    DeferredShootdown {
+                        kind: ipi.kind,
+                        handler_cycles: handler,
+                    },
+                );
+            } else {
+                self.mh.machine(hart).invalidate_isolation();
+                self.mh.charge_shootdown(hart, handler);
+            }
             slowest_ack = slowest_ack.max(handler);
             if spans_on {
                 // The umbrella's width is ipi_latency + this receiver's
@@ -481,9 +499,51 @@ impl<S: TraceSink> SmpSystem<S> {
         }
         // Restore the banked current to the initiating hart.
         self.monitor.set_current_unchecked(self.scheduled(from));
-        let stall = ipi_latency + slowest_ack;
+        let stall = self.mh.shootdown_cost().sender_stall(slowest_ack);
         self.mh.charge_fence_stall(from, stall);
         Ok(sender_cycles + stall)
+    }
+
+    /// Switches the system to the threaded execution backend. Call after
+    /// all tenant setup; see
+    /// [`hpmp_machine::MultiHartMachine::enable_threaded`]. Shootdowns
+    /// posted by later ops are deferred to per-hart mailboxes and drained
+    /// at epoch starts (or at [`SmpSystem::quiesce`]).
+    pub fn enable_threaded(&mut self) {
+        assert!(
+            !self.spans.is_enabled(),
+            "span collection requires the deterministic backend"
+        );
+        self.mh.enable_threaded();
+    }
+
+    /// Whether the threaded backend is active.
+    pub fn threaded(&self) -> bool {
+        self.mh.threaded()
+    }
+
+    /// Runs one parallel epoch across all harts; see
+    /// [`hpmp_machine::MultiHartMachine::parallel_epoch`]. `body` must only
+    /// run accesses/compute on its own machine — monitor ops stay in the
+    /// serial phases between epochs.
+    pub fn parallel_epoch<E, R>(
+        &mut self,
+        extras: &mut [E],
+        body: impl Fn(u16, &mut Machine<S>, &mut E) -> R + Sync,
+    ) -> Vec<R>
+    where
+        S: Send,
+        E: Send,
+        R: Send,
+    {
+        self.mh.parallel_epoch(extras, body)
+    }
+
+    /// Drains any still-deferred shootdowns and folds per-hart arenas into
+    /// the shared registry, so a following [`SmpSystem::metrics_snapshot`]
+    /// is complete. No-op under the deterministic backend.
+    pub fn quiesce(&mut self) {
+        self.mh.quiesce_threaded();
     }
 
     /// One merged snapshot: the multi-hart machine's `hart.<i>.*` and

@@ -1,0 +1,88 @@
+//! Cross-backend conformance battery: the threaded SMP backend must be
+//! observably identical to the deterministic interleaver — same
+//! [`SmpOutcome`], and byte-identical merged counter snapshots — on
+//! fixed-seed workloads across hart counts.
+//!
+//! This is the contract that lets the threaded backend's wall-clock
+//! speedup be claimed for free: if the merged snapshot (every `hart.<i>.*`
+//! machine counter, the `smp.*` aggregates, the `monitor.*` costs) is the
+//! same byte string, nothing the simulation *models* changed — only how
+//! long it took to compute.
+
+use hpmp_machine::ExecBackend;
+use hpmp_memsim::CoreKind;
+use hpmp_penglai::TeeFlavor;
+use hpmp_trace::Snapshot;
+use hpmp_workloads::smp::{run_smp_backend, spec_for, SmpOutcome};
+
+/// The fixed seed every conformance run uses (same as `hpmpsim`'s).
+const SMP_SEED: u64 = 0x4850_4d50;
+
+fn run(
+    workload: &str,
+    harts: usize,
+    backend: ExecBackend,
+    flavor: TeeFlavor,
+) -> (SmpOutcome, Snapshot) {
+    let spec = spec_for(workload).expect("workload has an SMP shape");
+    run_smp_backend(flavor, CoreKind::Rocket, harts, SMP_SEED, spec, backend)
+        .expect("workload runs clean")
+}
+
+fn assert_conformant(workload: &str, harts: usize, flavor: TeeFlavor) {
+    let (det, det_snap) = run(workload, harts, ExecBackend::Deterministic, flavor);
+    let (thr, thr_snap) = run(workload, harts, ExecBackend::Threaded, flavor);
+    assert_eq!(
+        det, thr,
+        "{workload}@{harts}: outcome diverged between backends"
+    );
+    assert_eq!(
+        det_snap.to_json_versioned(),
+        thr_snap.to_json_versioned(),
+        "{workload}@{harts}: merged counter snapshots are not byte-identical"
+    );
+}
+
+/// The shootdown stress case: continual allocs, frees and switches, so
+/// every epoch is short and the mailbox path is exercised hard.
+#[test]
+fn tenancy_conforms_across_hart_counts() {
+    for harts in [2, 4, 8] {
+        assert_conformant("tenancy", harts, TeeFlavor::PenglaiHpmp);
+    }
+}
+
+/// Switch-heavy but churn-free: epochs end on domain switches only, so
+/// every deferred shootdown is a `FenceOnly`.
+#[test]
+fn lmbench_conforms_across_hart_counts() {
+    for harts in [2, 4, 8] {
+        assert_conformant("lmbench", harts, TeeFlavor::PenglaiHpmp);
+    }
+}
+
+/// No monitor traffic after setup: the whole run is one epoch, the purest
+/// parallel case (and the one where a shard-sync bug would hide longest).
+#[test]
+fn gap_conforms_across_hart_counts() {
+    for harts in [2, 4, 8] {
+        assert_conformant("gap", harts, TeeFlavor::PenglaiHpmp);
+    }
+}
+
+/// The PMP baseline flavor reprograms remote images on churn, driving the
+/// `Reprogram` mailbox path rather than `FenceOnly`.
+#[test]
+fn tenancy_conforms_under_pmp_baseline() {
+    assert_conformant("tenancy", 4, TeeFlavor::PenglaiPmp);
+}
+
+/// The threaded backend itself must be run-to-run deterministic: thread
+/// scheduling may not leak into outcomes or snapshots.
+#[test]
+fn threaded_backend_is_run_to_run_deterministic() {
+    let (a, snap_a) = run("tenancy", 4, ExecBackend::Threaded, TeeFlavor::PenglaiHpmp);
+    let (b, snap_b) = run("tenancy", 4, ExecBackend::Threaded, TeeFlavor::PenglaiHpmp);
+    assert_eq!(a, b);
+    assert_eq!(snap_a.to_json_versioned(), snap_b.to_json_versioned());
+}
