@@ -1,7 +1,7 @@
 //! `hpmp-analyze`: offline analytics over HPMP simulator artifacts.
 //!
 //! ```text
-//! hpmp-analyze profile <trace.jsonl>
+//! hpmp-analyze profile [<trace.jsonl>] [--spans <spans.jsonl>]
 //! hpmp-analyze diff <a.json> <b.json>
 //! hpmp-analyze gate --baseline <BENCH_seed.json> [--threshold 5%]
 //!                   [--report-only] <BENCH_current.json>
@@ -22,18 +22,22 @@
 
 use hpmp_analyze::{
     analyze_timeline, analyze_trend, chrome_trace, collapsed_stacks, gate, load_artifact,
-    profile::WalkProfile, read_history_file, render_collapsed, render_diff, verify_collapsed,
-    verify_span_export, CampaignAnalysis, HistoryEntry,
+    profile::{SpanProfile, WalkProfile},
+    read_history_file, render_collapsed, render_diff, verify_collapsed, verify_span_export,
+    CampaignAnalysis, HistoryEntry,
 };
 use hpmp_trace::{read_trace_file, BenchReport, Snapshot, SpanStream, Timeline};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
-  hpmp-analyze profile <trace.jsonl>
+  hpmp-analyze profile [<trace.jsonl>] [--spans <spans.jsonl>]
       Cycle-attribution profile of a walk-event trace: breakdown by
       world x access class x step kind, per-level splits, step-sum
-      invariant check, and the paper's reference-count claims.
+      invariant check, and the paper's reference-count claims. --spans
+      adds (or, alone, substitutes) monitor-operation attribution from a
+      --spans-out artifact: cycles per span kind and the share of
+      operation cycles spent in degradation-ladder segment compaction.
 
   hpmp-analyze diff <a.json> <b.json>
       Differential report between two versioned artifacts of the same
@@ -104,25 +108,55 @@ fn read_to_string(path: &str) -> Result<String, ExitCode> {
 }
 
 fn cmd_profile(args: &[String]) -> ExitCode {
-    let [path] = args else {
-        return fail_usage("profile takes exactly one trace file");
-    };
-    let events = match read_trace_file(path) {
-        Ok(events) => events,
-        Err(e) => {
-            eprintln!("hpmp-analyze: {path}: {e}");
-            return ExitCode::from(2);
+    let mut trace_path: Option<String> = None;
+    let mut spans_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spans" => match it.next() {
+                Some(path) => spans_path = Some(path.clone()),
+                None => return fail_usage("--spans needs a file"),
+            },
+            other if !other.starts_with('-') && trace_path.is_none() => {
+                trace_path = Some(other.to_string());
+            }
+            other => return fail_usage(&format!("unknown profile argument \"{other}\"")),
         }
-    };
-    let profile = WalkProfile::from_events(&events);
-    print!("{}", profile.render());
-    if !profile.is_balanced() {
-        eprintln!("hpmp-analyze: step-sum invariant violated");
-        return ExitCode::from(1);
     }
-    if !profile.claims_hold() {
-        eprintln!("hpmp-analyze: measured reference counts deviate from the paper");
-        return ExitCode::from(1);
+    if trace_path.is_none() && spans_path.is_none() {
+        return fail_usage("profile needs a trace file and/or --spans");
+    }
+    if let Some(path) = &trace_path {
+        let events = match read_trace_file(path) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("hpmp-analyze: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let profile = WalkProfile::from_events(&events);
+        print!("{}", profile.render());
+        if !profile.is_balanced() {
+            eprintln!("hpmp-analyze: step-sum invariant violated");
+            return ExitCode::from(1);
+        }
+        if !profile.claims_hold() {
+            eprintln!("hpmp-analyze: measured reference counts deviate from the paper");
+            return ExitCode::from(1);
+        }
+    }
+    if let Some(path) = &spans_path {
+        let stream = match SpanStream::read_file(path) {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("hpmp-analyze: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if trace_path.is_some() {
+            println!();
+        }
+        print!("{}", SpanProfile::from_stream(&stream).render());
     }
     ExitCode::SUCCESS
 }

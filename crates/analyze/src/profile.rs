@@ -20,8 +20,9 @@
 //! from event data alone, and with it the scheme *shape* of each event:
 //! segment-only, full permission table, or the paper's hybrid.
 
-use hpmp_trace::{StepKind, TlbOutcome, WalkEvent};
+use hpmp_trace::{SpanKind, SpanStream, StepKind, TlbOutcome, WalkEvent};
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// What the isolation layer's reference pattern looks like in one event.
@@ -474,6 +475,108 @@ impl WalkProfile {
     }
 }
 
+/// Monitor-operation cycle attribution over a span stream: where monitor
+/// time went per [`SpanKind`], and how much of it was segment compaction —
+/// the degradation-ladder stall the aging scenario is built to surface.
+///
+/// Compact spans are children of the operation span whose allocation
+/// triggered the pass, so their cycles are *contained in* the root
+/// operation totals; [`SpanProfile::compact_share`] reports that
+/// containment as a percentage rather than double-counting it.
+#[derive(Clone, Debug, Default)]
+pub struct SpanProfile {
+    /// Spans profiled (retained in the stream).
+    pub spans: u64,
+    /// Spans the producer dropped at its capacity bound.
+    pub dropped: u64,
+    /// Count and cycles per span kind, in [`SpanKind::ALL`] order.
+    pub by_kind: BTreeMap<&'static str, Cell>,
+    /// Cycles inside root monitor-operation spans.
+    pub op_cycles: u64,
+    /// Cycles inside compaction spans (a subset of `op_cycles`).
+    pub compact_cycles: u64,
+    /// Root operations that triggered at least one compaction pass.
+    pub compacted_ops: u64,
+}
+
+impl SpanProfile {
+    /// Profile a parsed span stream.
+    pub fn from_stream(stream: &SpanStream) -> SpanProfile {
+        let mut p = SpanProfile {
+            spans: stream.spans.len() as u64,
+            dropped: stream.dropped,
+            ..SpanProfile::default()
+        };
+        let mut compact_parents = BTreeSet::new();
+        for span in &stream.spans {
+            p.by_kind
+                .entry(span.kind.label())
+                .or_default()
+                .add(span.cycles());
+            if span.kind.is_operation() {
+                p.op_cycles += span.cycles();
+            }
+            if span.kind == SpanKind::Compact {
+                p.compact_cycles += span.cycles();
+                if let Some(parent) = span.parent {
+                    compact_parents.insert(parent);
+                }
+            }
+        }
+        p.compacted_ops = compact_parents.len() as u64;
+        p
+    }
+
+    /// Share of monitor-operation cycles spent compacting, as a
+    /// percentage of `op_cycles`.
+    pub fn compact_share(&self) -> f64 {
+        pct(self.compact_cycles, self.op_cycles)
+    }
+
+    /// Render the span attribution as a text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "span profile: {} span(s), {} dropped at capacity",
+            self.spans, self.dropped
+        );
+        let _ = writeln!(out, "\ncycles by span kind:");
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} {:>12} {:>7}",
+            "kind", "count", "cycles", "share"
+        );
+        // Fixed kind order, skipping kinds the stream never saw.
+        for kind in SpanKind::ALL {
+            let Some(cell) = self.by_kind.get(kind.label()) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>12} {:>6.1}%",
+                kind.label(),
+                cell.count,
+                cell.cycles,
+                pct(cell.cycles, self.op_cycles)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ndegradation attribution: {} compaction pass(es) inside {} op(s), \
+             {} of {} op cycles ({:.1}%) spent compacting",
+            self.by_kind
+                .get(SpanKind::Compact.label())
+                .map_or(0, |c| c.count),
+            self.compacted_ops,
+            self.compact_cycles,
+            self.op_cycles,
+            self.compact_share()
+        );
+        out
+    }
+}
+
 fn pct(part: u64, whole: u64) -> f64 {
     if whole == 0 {
         0.0
@@ -658,6 +761,49 @@ mod tests {
         let levels = &p.levels[&("enclave", "pt")];
         assert_eq!(levels.len(), 3);
         assert_eq!(levels[&0].count, 1);
+    }
+
+    #[test]
+    fn span_profile_attributes_compaction_inside_ops() {
+        use hpmp_trace::{SpanEvent, SpanStream};
+        let span = |id, parent, kind, begin, end| SpanEvent {
+            id,
+            parent,
+            kind,
+            hart: 0,
+            domain: Some(1),
+            begin,
+            end,
+        };
+        let stream = SpanStream {
+            dropped: 2,
+            spans: vec![
+                // An alloc that compacted for 300 of its 500 cycles.
+                span(1, None, SpanKind::Alloc, 0, 500),
+                span(2, Some(1), SpanKind::Compact, 50, 350),
+                // A plain switch, plus its shootdown child.
+                span(3, None, SpanKind::Switch, 500, 600),
+                span(4, Some(3), SpanKind::ShootdownRecv, 520, 580),
+            ],
+        };
+        let p = SpanProfile::from_stream(&stream);
+        assert_eq!(p.spans, 4);
+        assert_eq!(p.dropped, 2);
+        assert_eq!(p.op_cycles, 600);
+        assert_eq!(p.compact_cycles, 300);
+        assert_eq!(p.compacted_ops, 1);
+        assert_eq!(p.compact_share(), 50.0);
+        let rendered = p.render();
+        assert!(rendered.contains("degradation attribution"), "{rendered}");
+        assert!(rendered.contains("(50.0%)"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_span_stream_profiles_to_zeroes() {
+        let p = SpanProfile::from_stream(&hpmp_trace::SpanStream::default());
+        assert_eq!(p.op_cycles, 0);
+        assert_eq!(p.compact_share(), 0.0);
+        assert!(p.render().contains("0 span(s)"));
     }
 
     #[test]

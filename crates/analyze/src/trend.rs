@@ -319,7 +319,9 @@ pub fn analyze_trend(entries: &[HistoryEntry], threshold_pct: f64, window: usize
         }
         let mut prior_cycles: Vec<u64> = points[..n - 1].iter().map(|p| p.cycles).collect();
         prior_cycles.sort_unstable();
-        let baseline = prior_cycles[prior_cycles.len() / 2];
+        // Lower median: for an even prior count, the smaller middle value —
+        // the stricter baseline (a smaller denominator inflates the delta).
+        let baseline = prior_cycles[(prior_cycles.len() - 1) / 2];
         let delta_pct = if baseline == 0 {
             0.0
         } else {

@@ -4,6 +4,7 @@
 //! ```text
 //! hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]
 //!         [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]
+//!         [--scenario aging] [--churn-ops N]
 //!         [--harts N] [--backend deterministic|threaded]
 //!         [--jobs N] [--pwc N] [--pmptw-cache N]
 //!         [--no-tlb-inlining] [--encryption CYCLES] [--epmp]
@@ -48,6 +49,18 @@
 //! receiver IPI-send/trap/reprogram/fence child spans causally linked to
 //! the op. Both artifacts live on the simulated clock, so they are
 //! byte-identical at any `--jobs`. Feed them to `hpmp-analyze timeline`.
+//!
+//! `--scenario aging` switches to the fleet-churn aging campaign instead of
+//! a workload run: `--churn-ops N` enclave lifecycles (default 1200) over a
+//! deliberately small 128 MiB arena, pushing the monitor down its staged
+//! degradation ladder (normal → compacting → table-only → admission
+//! control). The run honours `--flavor`, `--core`, `--harts` and
+//! `--backend`, uses the fixed SMP seed, and is byte-identical at any
+//! `--jobs` and on either backend. `--metrics-out`/`--bench-out` work as
+//! usual. Exit status: 0 normally, 1 if a robustness invariant broke
+//! (canary loss or a fast-path/oracle disagreement), and **3** if the run
+//! *ended* inside stage-3 admission control — a distinct, non-panicking
+//! signal that the modelled fleet saturated its arena.
 //!
 //! `--fault-campaign` switches to fault-injection mode instead of running a
 //! workload: the campaign's shards (part of the spec, not derived from
@@ -96,6 +109,8 @@ struct Options {
     flavor: TeeFlavor,
     core: CoreKind,
     workload: String,
+    scenario: Option<String>,
+    churn_ops: Option<u32>,
     harts: usize,
     backend: ExecBackend,
     jobs: Option<usize>,
@@ -120,6 +135,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hpmpsim [--flavor pmp|pmpt|hpmp] [--core rocket|boom]\n\
          \x20              [--workload redis|serverless|gap|rv8|lmbench|tenancy|virtapp]\n\
+         \x20              [--scenario aging] [--churn-ops N]\n\
          \x20              [--harts N] [--backend deterministic|threaded]\n\
          \x20              [--jobs N] [--pwc N] [--pmptw-cache N]\n\
          \x20              [--no-tlb-inlining] [--encryption CYCLES] [--epmp]\n\
@@ -130,7 +146,9 @@ fn usage() -> ! {
          \x20              [--fault-campaign SPEC] [--fault-seed N] [--campaign-out FILE]\n\
          \x20              [--host-profile-out FILE]\n\
          SPEC: comma-separated key=value pairs, e.g.\n\
-         \x20    faults=1000,classes=pmpte+regs+stale+interpose,flavor=hpmp,domains=2,shards=8"
+         \x20    faults=1000,classes=pmpte+regs+stale+interpose,flavor=hpmp,domains=2,shards=8\n\
+         exit codes: 0 ok, 1 failed invariant, 2 usage,\n\
+         \x20           3 aging scenario ended in stage-3 admission control"
     );
     std::process::exit(2);
 }
@@ -140,6 +158,8 @@ fn parse_args() -> Options {
         flavor: TeeFlavor::PenglaiHpmp,
         core: CoreKind::Rocket,
         workload: "serverless".to_string(),
+        scenario: None,
+        churn_ops: None,
         harts: 1,
         backend: ExecBackend::Deterministic,
         jobs: None,
@@ -190,6 +210,20 @@ fn parse_args() -> Options {
                 }
             }
             "--workload" => options.workload = value("--workload"),
+            "--scenario" => match value("--scenario").as_str() {
+                "aging" => options.scenario = Some("aging".to_string()),
+                other => {
+                    eprintln!("unknown scenario {other}");
+                    usage()
+                }
+            },
+            "--churn-ops" => match value("--churn-ops").parse() {
+                Ok(n) if n >= 1 => options.churn_ops = Some(n),
+                _ => {
+                    eprintln!("--churn-ops needs a positive integer");
+                    usage()
+                }
+            },
             "--harts" => match value("--harts").parse() {
                 Ok(n) if n >= 1 => options.harts = n,
                 _ => {
@@ -245,6 +279,10 @@ fn parse_args() -> Options {
             }
         }
     }
+    if options.churn_ops.is_some() && options.scenario.is_none() {
+        eprintln!("--churn-ops needs --scenario aging");
+        usage()
+    }
     options
 }
 
@@ -282,6 +320,9 @@ fn main() {
     let options = parse_args();
     if options.fault_campaign.is_some() {
         run_fault_campaign(&options);
+    }
+    if options.scenario.is_some() {
+        run_aging_scenario(&options);
     }
     println!(
         "hpmpsim: {} on {} running '{}' (pwc={:?}, pmptw-cache={:?}, inlining={}, \
@@ -587,6 +628,163 @@ fn run_fault_campaign(options: &Options) -> ! {
         if report.passed() { "PASS" } else { "FAIL" }
     );
     std::process::exit(if report.passed() { 0 } else { 1 });
+}
+
+/// Drives the fleet-churn aging scenario and exits.
+///
+/// The run is single-threaded internally (`--jobs` only sizes the unused
+/// worker pool), so stdout and every artifact are byte-identical at any
+/// parallelism and on either backend. Exit codes: 0 for a clean run, 1 if
+/// a canary or the permission oracle was violated, 3 if the run *ended*
+/// inside stage-3 admission control.
+fn run_aging_scenario(options: &Options) -> ! {
+    if options.backend == ExecBackend::Threaded && options.harts < 2 {
+        eprintln!("--backend threaded needs --harts >= 2");
+        usage()
+    }
+    if options.trace_out.is_some()
+        || options.snapshot_interval.is_some()
+        || options.timeline_out.is_some()
+    {
+        eprintln!("--scenario aging supports --metrics-out/--bench-out/--spans-out, not trace/timeline flags");
+        usage()
+    }
+    if options.spans_out.is_some() && options.backend == ExecBackend::Threaded {
+        // Spans live on the serial simulated clock.
+        eprintln!("--spans-out with --scenario aging requires --backend deterministic");
+        usage()
+    }
+    let churn_ops = options
+        .churn_ops
+        .unwrap_or(hpmp_workloads::aging::DEFAULT_CHURN_OPS);
+    let spec = hpmp_workloads::aging::AgingSpec::with_ops(churn_ops);
+    println!(
+        "hpmpsim: aging scenario on {} / {} ({} hart(s), {} churn ops, seed {SMP_SEED}, \
+         backend {})",
+        options.flavor,
+        options.core,
+        options.harts,
+        churn_ops,
+        options.backend.name(),
+    );
+    let boot_failed = |e: hpmp_penglai::MonitorError| -> ! {
+        eprintln!("aging scenario failed to boot: {e}");
+        std::process::exit(1);
+    };
+    let mut span_artifact: Option<(Vec<u8>, u64, u64)> = None;
+    let (outcome, snap) = if options.spans_out.is_some() {
+        let machines = (0..options.harts)
+            .map(|_| hpmp_machine::Machine::new(machine_config(options)))
+            .collect();
+        let (outcome, snap, spans, _) = hpmp_workloads::aging::run_aging_spans(
+            machines,
+            options.flavor,
+            SMP_SEED,
+            spec,
+            hpmp_workloads::smp::SmpTelemetrySpec::DEFAULT_SPAN_CAPACITY,
+        )
+        .unwrap_or_else(|e| boot_failed(e));
+        let mut bytes = Vec::new();
+        spans
+            .write_jsonl(&mut bytes)
+            .expect("Vec writes cannot fail");
+        span_artifact = Some((bytes, spans.len() as u64, spans.dropped()));
+        (outcome, snap)
+    } else {
+        hpmp_workloads::aging::run_aging(
+            options.flavor,
+            options.core,
+            options.harts,
+            SMP_SEED,
+            spec,
+            options.backend,
+        )
+        .unwrap_or_else(|e| boot_failed(e))
+    };
+
+    // The path starts with the boot-time (op 0, stage 0) entry.
+    let stages = outcome
+        .stage_path
+        .iter()
+        .map(|(op, stage)| format!("{stage}@op{op}"))
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    println!(
+        "  stages       : {stages} (max {}, final {})",
+        outcome.max_stage, outcome.final_stage
+    );
+    println!(
+        "  churn        : {} creates, {} destroys, {} reliefs, {} live at end",
+        outcome.creates, outcome.destroys, outcome.reliefs, outcome.live_at_end
+    );
+    println!(
+        "  backpressure : {} rejected (stage 3), {} entry-wall hits",
+        outcome.rejected, outcome.entry_wall_hits
+    );
+    println!(
+        "  compaction   : {} passes, {} regions / {} pages moved, {} slow allocs, \
+         {} repromotions",
+        snap.value("monitor.compact.passes"),
+        snap.value("monitor.compact.moved_regions"),
+        snap.value("monitor.compact.moved_pages"),
+        snap.value("monitor.degrade.slow_allocs"),
+        snap.value("monitor.degrade.repromotions"),
+    );
+    println!(
+        "  integrity    : {} canary failures, {} oracle violations",
+        outcome.canary_failures, outcome.oracle_violations
+    );
+    println!(
+        "  smp          : {} accesses on {} harts, {} IPIs delivered",
+        outcome.accesses, outcome.harts, outcome.ipis_delivered
+    );
+    if let Some(path) = &options.metrics_out {
+        if let Err(e) = std::fs::write(path, snap.to_json_versioned()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("  metrics      : {} counters -> {}", snap.len(), path);
+    }
+    if let Some(path) = &options.spans_out {
+        let (bytes, retained, dropped) = span_artifact.expect("spans collected when requested");
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("  spans        : {retained} span(s) ({dropped} dropped) -> {path}");
+    }
+    if let Some(path) = &options.bench_out {
+        let mut report = BenchReport::new("hpmpsim-aging");
+        report.set_config("flavor", options.flavor.to_string());
+        report.set_config("core", options.core.to_string());
+        report.set_config("scenario", "aging".to_string());
+        report.set_config("harts", options.harts.to_string());
+        report.set_config("churn_ops", churn_ops.to_string());
+        report.push(ExperimentRecord::from_snapshot(
+            "aging".to_string(),
+            outcome.total_cycles,
+            snap.clone(),
+        ));
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  bench report : {} experiment(s) -> {path}",
+            report.experiments.len()
+        );
+    }
+    println!("  total cycles : {}", outcome.total_cycles);
+    if outcome.canary_failures > 0 || outcome.oracle_violations > 0 {
+        println!("  verdict      : FAIL (enclave bytes or oracle integrity lost)");
+        std::process::exit(1);
+    }
+    if outcome.final_stage == 3 {
+        println!("  verdict      : SATURATED (run ended in stage-3 admission control)");
+        std::process::exit(3);
+    }
+    println!("  verdict      : PASS");
+    std::process::exit(0);
 }
 
 /// Everything one workload produced, buffered for in-order merging.

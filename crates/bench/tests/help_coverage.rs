@@ -17,10 +17,12 @@ fn run(bin: &str, args: &[&str]) -> (i32, String) {
 
 /// Every flag `hpmpsim`'s parser matches on. Adding a parser arm without
 /// updating `usage()` (or this list) fails the test.
-const HPMPSIM_FLAGS: [&str; 21] = [
+const HPMPSIM_FLAGS: [&str; 23] = [
     "--flavor",
     "--core",
     "--workload",
+    "--scenario",
+    "--churn-ops",
     "--harts",
     "--backend",
     "--jobs",
@@ -139,6 +141,47 @@ fn hpmpsim_rejects_threaded_telemetry_and_single_hart() {
     let (code, err) = run(env!("CARGO_BIN_EXE_hpmpsim"), &["--backend", "threaded"]);
     assert_eq!(code, 2);
     assert!(err.contains("--harts"), "{err}");
+}
+
+#[test]
+fn hpmpsim_rejects_bad_scenario_combinations() {
+    let (code, err) = run(env!("CARGO_BIN_EXE_hpmpsim"), &["--scenario", "bogus"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("bogus"), "{err}");
+    // --churn-ops only means something inside the aging scenario.
+    let (code, err) = run(env!("CARGO_BIN_EXE_hpmpsim"), &["--churn-ops", "10"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--scenario"), "{err}");
+    // Timeline artifacts live on the workload path, not the scenario path.
+    let (code, err) = run(
+        env!("CARGO_BIN_EXE_hpmpsim"),
+        &[
+            "--scenario",
+            "aging",
+            "--harts",
+            "2",
+            "--snapshot-interval",
+            "1000",
+        ],
+    );
+    assert_eq!(code, 2);
+    assert!(err.contains("aging"), "{err}");
+    // Span attribution needs the serial simulated clock.
+    let (code, err) = run(
+        env!("CARGO_BIN_EXE_hpmpsim"),
+        &[
+            "--scenario",
+            "aging",
+            "--harts",
+            "2",
+            "--backend",
+            "threaded",
+            "--spans-out",
+            "s.jsonl",
+        ],
+    );
+    assert_eq!(code, 2);
+    assert!(err.contains("deterministic"), "{err}");
 }
 
 #[test]

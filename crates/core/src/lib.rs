@@ -46,7 +46,7 @@ pub use hpmp_trace::PmptwOutcome;
 pub use iopmp::{DeviceId, IoCheckOutcome, IoPmp, IoPmpEntry, IoPmpMode};
 pub use pmp::{napot_decode, napot_encode, AddressMode, PmpConfig, PmpRegion};
 pub use ptw_cache::{PmptwCache, PmptwCacheConfig, PmptwCacheStats, PmptwCacheStatsIds};
-pub use shootdown::{DeferredShootdown, Ipi, IpiFabric, IpiKind, ShootdownCost};
+pub use shootdown::{CopyCost, DeferredShootdown, Ipi, IpiFabric, IpiKind, ShootdownCost};
 pub use table::{
     FillPolicy, LeafPmpte, MalformedPmpte, PmpTable, PmptRef, RootPmpte, TableError,
     TableFrameSource, TableLevels, TableOffset, TableWalk, LEAF_PMPTE_SPAN, LEAF_TABLE_SPAN,

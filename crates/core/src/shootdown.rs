@@ -60,6 +60,41 @@ impl Default for ShootdownCost {
     }
 }
 
+/// Cycle costs of relocating memory during segment compaction, calibrated
+/// against the same clock as [`ShootdownCost`]. When the monitor runs out
+/// of NAPOT-aligned free space it slides movable GMS regions downward to
+/// merge the holes between them; each moved page is a 4 KiB M-mode memcpy
+/// plus the cache traffic it drags along.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyCost {
+    /// Fixed per-relocation setup: source/destination range checks and the
+    /// copy-loop prologue.
+    pub setup: u64,
+    /// Cycles to copy one 4 KiB page (load/store pairs at cache-line
+    /// granularity, ~16 bytes per cycle sustained).
+    pub per_page: u64,
+}
+
+impl CopyCost {
+    /// The default calibration for the ~1 GHz in-order core the rest of
+    /// the model assumes.
+    pub const DEFAULT: CopyCost = CopyCost {
+        setup: 120,
+        per_page: 256,
+    };
+
+    /// Total cycles to relocate `pages` contiguous pages.
+    pub fn relocation(&self, pages: u64) -> u64 {
+        self.setup + pages * self.per_page
+    }
+}
+
+impl Default for CopyCost {
+    fn default() -> CopyCost {
+        CopyCost::DEFAULT
+    }
+}
+
 /// A pending IPI: the sending hart and why it was sent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Ipi {

@@ -13,7 +13,7 @@ use hpmp_memsim::{
     AccessKind, FrameAllocator, Perms, PhysAddr, PrivMode, SplitMix64, VirtAddr, PAGE_SIZE,
 };
 use hpmp_paging::{AddressSpace, TranslationMode};
-use hpmp_penglai::{DomainId, GmsLabel, SecureMonitor};
+use hpmp_penglai::{DomainId, GmsLabel, SecureMonitor, TeeFlavor};
 use hpmp_trace::MetricsRegistry;
 
 use crate::spec::{CampaignSpec, FaultClass};
@@ -101,10 +101,10 @@ pub struct ShardReport {
     /// Trials executed (including skipped ones).
     pub trials: u64,
     /// Faults injected, indexed by [`FaultClass::ALL`] position.
-    pub injected: [u64; 4],
+    pub injected: [u64; 5],
     /// Faults detected (fail-closed denial, scrub repair, or quarantine),
     /// indexed like `injected`.
-    pub detected: [u64; 4],
+    pub detected: [u64; 5],
     /// Fast-path grants the oracle denied — must be zero for a pass.
     pub silent: u64,
     /// Spurious denials (graceful degradation; informational).
@@ -162,9 +162,9 @@ pub struct CampaignReport {
     /// Total trials executed.
     pub trials: u64,
     /// Per-class injection counts, indexed by [`FaultClass::ALL`] position.
-    pub injected: [u64; 4],
+    pub injected: [u64; 5],
     /// Per-class detection counts, indexed like `injected`.
-    pub detected: [u64; 4],
+    pub detected: [u64; 5],
     /// Total silent violations (pass requires zero).
     pub silent: u64,
     /// Total spurious denials.
@@ -187,8 +187,8 @@ impl CampaignReport {
             seed,
             shards: shards.len() as u64,
             trials: 0,
-            injected: [0; 4],
-            detected: [0; 4],
+            injected: [0; 5],
+            detected: [0; 5],
             silent: 0,
             degraded: 0,
             recovery_failures: 0,
@@ -197,7 +197,7 @@ impl CampaignReport {
         };
         for s in shards {
             report.trials += s.trials;
-            for i in 0..4 {
+            for i in 0..FaultClass::ALL.len() {
                 report.injected[i] += s.injected[i];
                 report.detected[i] += s.detected[i];
             }
@@ -681,6 +681,160 @@ impl Env {
             recovery_failed: !probes.own_read_ok,
         }
     }
+
+    /// Class (e): a fault lands *mid-compaction* — one region already
+    /// relocated, the rest of the pass pending. Whatever the fault hits
+    /// (a pmpte under table flavours, a PMP register under the PMP
+    /// flavour), the pass must either complete or fail closed, the
+    /// scrub/rebuild path must restore service, and the relocated
+    /// region's bytes must survive — a canary written before the first
+    /// move is asserted from the region's final base.
+    fn trial_compact_race(&mut self, rng: &mut SplitMix64) -> TrialResult {
+        const SCRATCH: u64 = 64 * 1024;
+        let enclaves = self.domains.len() - 1;
+        let v = 1 + (rng.next_u64() % enclaves as u64) as usize;
+        let victim = self.victim_name(v);
+        if let Err(e) = self.switch(v) {
+            return TrialResult::skipped(FaultClass::CompactRace, victim, e);
+        }
+        // Two scratch regions; freeing the lower leaves a hole the upper
+        // can slide into.
+        let mut scratch = || {
+            self.monitor
+                .alloc_region(&mut self.machine, self.domains[v], SCRATCH, GmsLabel::Slow)
+                .map(|(r, _)| r)
+        };
+        let (a, b) = match (scratch(), scratch()) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                return TrialResult::skipped(FaultClass::CompactRace, victim, format!("alloc: {e}"))
+            }
+        };
+        let (low, high) = if a.base < b.base { (a, b) } else { (b, a) };
+        let canary = rng.next_u64();
+        self.machine.phys_mut().write_u64(high.base, canary);
+        if let Err(e) = self
+            .monitor
+            .free_region(&mut self.machine, self.domains[v], low.base)
+        {
+            return TrialResult::skipped(FaultClass::CompactRace, victim, format!("free: {e}"));
+        }
+        let first = match self.monitor.compact(&mut self.machine, Some(1)) {
+            Ok(report) => report,
+            Err(e) => {
+                return TrialResult::skipped(FaultClass::CompactRace, victim, format!("pass: {e}"))
+            }
+        };
+        if first.moved_regions == 0 {
+            let _ = self
+                .monitor
+                .free_region(&mut self.machine, self.domains[v], high.base);
+            return TrialResult::skipped(FaultClass::CompactRace, victim, "nothing movable".into());
+        }
+
+        // The injection, between the first move and the rest of the pass.
+        let detail = if self.monitor.flavor() == TeeFlavor::PenglaiPmp {
+            let idx = (rng.next_u64() % self.machine.regs().len() as u64) as usize;
+            let bit = rng.gen_range(0..64) as u32;
+            self.machine.regs_mut().corrupt_addr(idx, 1u64 << bit);
+            format!("mid-compaction addr[{idx}]^bit{bit}")
+        } else {
+            let moved = self.scratch_base(v, SCRATCH);
+            let mut cache = PmptwCache::disabled();
+            let refs = self
+                .machine
+                .regs()
+                .check(
+                    self.machine.phys(),
+                    &mut cache,
+                    moved,
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                )
+                .refs;
+            if refs.is_empty() {
+                return TrialResult::skipped(
+                    FaultClass::CompactRace,
+                    victim,
+                    "no pmpte on moved path".into(),
+                );
+            }
+            let target = refs[(rng.next_u64() % refs.len() as u64) as usize].addr;
+            let bit = rng.gen_range(0..64) as u32;
+            let before = self.machine.phys().read_u64(target);
+            self.machine
+                .phys_mut()
+                .write_u64(target, before ^ (1u64 << bit));
+            self.machine.sfence_vma_all();
+            format!("mid-compaction pmpte@{target}^bit{bit}")
+        };
+
+        // Resume: either the pass completes over the fault, or it fails
+        // closed — both are acceptable, silence is not.
+        let mut detected = self.monitor.compact(&mut self.machine, None).is_err();
+        let probes = self.probe_all();
+        detected |= probes.corrupt > 0;
+
+        let scrub = self.monitor.scrub(&mut self.machine);
+        detected |= !scrub.corrupt_domains.is_empty() || scrub.repaired_registers > 0;
+        let mut recovery_failed = false;
+        for &d in &scrub.corrupt_domains {
+            if self
+                .monitor
+                .rebuild_domain_table(&mut self.machine, d)
+                .is_err()
+            {
+                recovery_failed = true;
+            }
+        }
+        // Any remaining holes must still be compactable after recovery.
+        if self.monitor.compact(&mut self.machine, None).is_err() {
+            recovery_failed = true;
+        }
+
+        // The moved region's bytes must have followed it.
+        let survived = self.machine.phys().read_u64(self.scratch_base(v, SCRATCH)) == canary;
+        let restored = self
+            .machine
+            .access(
+                &self.spaces[v],
+                VirtAddr::new(OWN_VA),
+                AccessKind::Read,
+                PrivMode::User,
+            )
+            .is_ok();
+        recovery_failed |= !survived || !restored;
+        let cleanup_base = self.scratch_base(v, SCRATCH);
+        recovery_failed |= self
+            .monitor
+            .free_region(&mut self.machine, self.domains[v], cleanup_base)
+            .is_err();
+
+        TrialResult {
+            class: FaultClass::CompactRace,
+            victim,
+            detail: format!("{detail} canary_survived={survived}"),
+            injected: true,
+            detected,
+            silent: probes.silent,
+            degraded: probes.degraded,
+            stale_rejects: 0,
+            recovery_failed,
+        }
+    }
+
+    /// Current base of domain `v`'s scratch region (it moves during the
+    /// compact-race trial).
+    fn scratch_base(&self, v: usize, size: u64) -> PhysAddr {
+        self.monitor
+            .regions_of(self.domains[v])
+            .expect("victim exists")
+            .iter()
+            .find(|g| g.region.size == size)
+            .expect("scratch region live")
+            .region
+            .base
+    }
 }
 
 /// Runs one shard of a campaign to completion.
@@ -713,6 +867,7 @@ pub fn run_shard(
             FaultClass::RegCorrupt => env.trial_reg_corrupt(&mut rng),
             FaultClass::StaleCache => env.trial_stale(&mut rng),
             FaultClass::Interpose => env.trial_interpose(&mut rng),
+            FaultClass::CompactRace => env.trial_compact_race(&mut rng),
         };
         report.absorb(trial, &result);
     }

@@ -17,15 +17,21 @@ pub enum FaultClass {
     /// A monitor interposition point that fires but whose register
     /// reprogramming is lost (dropped CSR writes on a domain switch).
     Interpose,
+    /// A fault landing in the middle of a segment-compaction pass: one
+    /// region already relocated, the rest pending, and then a pmpte flip
+    /// (table flavours) or register corruption (PMP flavour) hits before
+    /// the pass resumes.
+    CompactRace,
 }
 
 impl FaultClass {
     /// Every class, in canonical order.
-    pub const ALL: [FaultClass; 4] = [
+    pub const ALL: [FaultClass; 5] = [
         FaultClass::PmpteFlip,
         FaultClass::RegCorrupt,
         FaultClass::StaleCache,
         FaultClass::Interpose,
+        FaultClass::CompactRace,
     ];
 
     /// Stable short key used in spec strings, counters and JSONL records.
@@ -35,6 +41,7 @@ impl FaultClass {
             FaultClass::RegCorrupt => "regs",
             FaultClass::StaleCache => "stale",
             FaultClass::Interpose => "interpose",
+            FaultClass::CompactRace => "compact",
         }
     }
 
@@ -255,7 +262,7 @@ mod tests {
     fn pmp_flavor_drops_pmpte_class() {
         let spec = CampaignSpec::parse("flavor=pmp").expect("spec");
         assert!(!spec.effective_classes().contains(&FaultClass::PmpteFlip));
-        assert_eq!(spec.effective_classes().len(), 3);
+        assert_eq!(spec.effective_classes().len(), 4);
     }
 
     #[test]

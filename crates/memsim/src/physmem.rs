@@ -163,6 +163,34 @@ impl PhysMem {
         pfns
     }
 
+    /// Copies one 4 KiB page within this memory, from `src` to `dst` (both
+    /// page aligned). An unbacked source zeroes the destination. The
+    /// destination lands in the write log like any other mutation, so a
+    /// sharded copy of this memory picks the moved page up at the next
+    /// broadcast — which is what keeps the monitor's segment compaction
+    /// coherent under the threaded SMP backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either address is not page aligned.
+    pub fn copy_page_within(&mut self, src: PhysAddr, dst: PhysAddr) {
+        assert!(src.is_aligned(PAGE_SIZE), "copy_page_within from {src}");
+        assert!(dst.is_aligned(PAGE_SIZE), "copy_page_within to {dst}");
+        let src_pfn = src.page_number();
+        let hi = (src_pfn >> CHUNK_SHIFT) as usize;
+        let lo = (src_pfn & (CHUNK_PAGES as u64 - 1)) as usize;
+        let words = self
+            .dir
+            .get(hi)
+            .and_then(|c| c.as_ref())
+            .and_then(|c| c.slots[lo].as_ref())
+            .map(|page| **page);
+        match words {
+            Some(words) => *self.page_mut(dst.page_number()) = words,
+            None => self.zero_page(dst),
+        }
+    }
+
     /// Makes this memory's view of `pfn` identical to `src`'s: copies the
     /// backing page if `src` has one, otherwise drops ours (so the frame
     /// reads as zero again). Used to propagate dirty pages from a
@@ -205,15 +233,22 @@ impl std::fmt::Debug for PhysMem {
     }
 }
 
-/// A bump allocator handing out page frames from a physical range.
+/// A bump allocator handing out page frames from a physical range, with a
+/// LIFO recycling list so released frames are reused before the bump
+/// cursor advances — long-lived churn (domain tables built and torn down
+/// thousands of times) stays inside a bounded footprint.
 ///
 /// This is *not* the OS page allocator (which lives in `hpmp-penglai`); it is
 /// a low-level frame source used when constructing test fixtures and the
 /// monitor's own private pools.
 #[derive(Clone, Debug)]
 pub struct FrameAllocator {
+    base: PhysAddr,
     next: PhysAddr,
     end: PhysAddr,
+    /// Frames handed back via [`FrameAllocator::release`], reused LIFO so
+    /// allocation order stays deterministic.
+    released: Vec<PhysAddr>,
 }
 
 impl FrameAllocator {
@@ -230,19 +265,43 @@ impl FrameAllocator {
             "allocator length not page-multiple"
         );
         FrameAllocator {
+            base,
             next: base,
             end: base + len,
+            released: Vec::new(),
         }
     }
 
-    /// Allocates one 4 KiB frame, or `None` when exhausted.
+    /// Allocates one 4 KiB frame, or `None` when exhausted. Recycled
+    /// frames are handed out (most recently released first) before the
+    /// bump cursor advances.
     pub fn alloc(&mut self) -> Option<PhysAddr> {
+        if let Some(frame) = self.released.pop() {
+            return Some(frame);
+        }
         if self.next >= self.end {
             return None;
         }
         let frame = self.next;
         self.next += PAGE_SIZE;
         Some(frame)
+    }
+
+    /// Returns a frame to the allocator for reuse. The caller is
+    /// responsible for scrubbing its contents first (a recycled table
+    /// frame full of stale pmptes would otherwise decode as live grants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is unaligned or was never part of this
+    /// allocator's range.
+    pub fn release(&mut self, frame: PhysAddr) {
+        assert!(frame.is_aligned(PAGE_SIZE), "release of unaligned {frame}");
+        assert!(
+            frame >= self.base && frame < self.next,
+            "release of foreign frame {frame}"
+        );
+        self.released.push(frame);
     }
 
     /// Allocates `n` physically contiguous frames, returning the base.
@@ -256,9 +315,9 @@ impl FrameAllocator {
         Some(base)
     }
 
-    /// Number of frames still available.
+    /// Number of frames still available (untouched plus recycled).
     pub fn remaining(&self) -> u64 {
-        (self.end.raw() - self.next.raw()) >> PAGE_SHIFT
+        ((self.end.raw() - self.next.raw()) >> PAGE_SHIFT) + self.released.len() as u64
     }
 }
 
@@ -364,6 +423,43 @@ mod tests {
         assert_eq!(fa.alloc(), Some(PhysAddr::new(0x8000_1000)));
         assert_eq!(fa.alloc(), Some(PhysAddr::new(0x8000_2000)));
         assert_eq!(fa.alloc(), None);
+    }
+
+    #[test]
+    fn frame_allocator_recycles_released_frames() {
+        let mut fa = FrameAllocator::new(PhysAddr::new(0x8000_0000), 2 * PAGE_SIZE);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        assert_eq!(fa.alloc(), None);
+        fa.release(a);
+        fa.release(b);
+        assert_eq!(fa.remaining(), 2);
+        // LIFO: the most recently released frame comes back first.
+        assert_eq!(fa.alloc(), Some(b));
+        assert_eq!(fa.alloc(), Some(a));
+        assert_eq!(fa.alloc(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign frame")]
+    fn frame_allocator_rejects_foreign_release() {
+        let mut fa = FrameAllocator::new(PhysAddr::new(0x8000_0000), 2 * PAGE_SIZE);
+        fa.release(PhysAddr::new(0x9000_0000));
+    }
+
+    #[test]
+    fn copy_page_within_moves_bytes_and_logs_destination() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(PhysAddr::new(0x1000), 0x11);
+        mem.write_u64(PhysAddr::new(0x1ff8), 0x22);
+        mem.set_write_log(true);
+        mem.copy_page_within(PhysAddr::new(0x1000), PhysAddr::new(0x4000));
+        assert_eq!(mem.read_u64(PhysAddr::new(0x4000)), 0x11);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x4ff8)), 0x22);
+        // Unbacked source zeroes the destination.
+        mem.copy_page_within(PhysAddr::new(0x7000), PhysAddr::new(0x4000));
+        assert_eq!(mem.read_u64(PhysAddr::new(0x4000)), 0);
+        assert_eq!(mem.take_dirty_pfns(), vec![4], "destination pfn logged");
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Staged degradation under GMS exhaustion.
+//!
+//! The monitor's allocation path runs a four-stage state machine instead
+//! of failing outright when the fast path runs dry (DESIGN.md §12):
+//!
+//! * **Stage 0 — normal.** NAPOT-aligned first-fit from the region pool;
+//!   the label the caller asked for is honoured.
+//! * **Stage 1 — compacting.** A NAPOT fit failed: relocate movable GMS
+//!   regions downward to merge free holes (with modeled copy costs and
+//!   cross-hart shootdowns), then retry.
+//! * **Stage 2 — table-only.** Compaction could not produce an aligned
+//!   hole: new allocations degrade to exact-fit, page-aligned, forcibly
+//!   [`crate::gms::GmsLabel::Slow`] regions that only the permission table
+//!   backs. The table flavours lose speed, never correctness; the PMP
+//!   flavour has no table to fall back on and skips this stage.
+//! * **Stage 3 — admission control.** Even exact-fit failed: allocation
+//!   returns the typed backpressure error
+//!   [`crate::monitor::MonitorError::ResourceExhausted`] telling callers
+//!   how long to back off, instead of a dead monitor.
+//!
+//! Recovery is hysteresis-based: once the pool's largest free range has
+//! stayed above [`DegradationPolicy::healthy_free`] for
+//! [`DegradationPolicy::promote_after`] consecutive settled operations,
+//! the stage steps down by one. A successful exact-fit under stage 3 also
+//! steps straight back to stage 2 (the monitor is serving again).
+
+/// The degradation stage the monitor is currently in. Ordered: a higher
+/// stage is strictly more degraded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeStage {
+    /// Fast NAPOT allocation (stage 0).
+    #[default]
+    Normal,
+    /// Allocation failures trigger segment compaction (stage 1).
+    Compacting,
+    /// New allocations degrade to exact-fit table-only regions (stage 2).
+    TableOnly,
+    /// Admission control: allocations are refused with backpressure
+    /// (stage 3).
+    Admission,
+}
+
+impl DegradeStage {
+    /// The stage as the small integer used in counters and stdout.
+    pub fn level(self) -> u8 {
+        match self {
+            DegradeStage::Normal => 0,
+            DegradeStage::Compacting => 1,
+            DegradeStage::TableOnly => 2,
+            DegradeStage::Admission => 3,
+        }
+    }
+
+    fn from_level(level: u8) -> DegradeStage {
+        match level {
+            0 => DegradeStage::Normal,
+            1 => DegradeStage::Compacting,
+            2 => DegradeStage::TableOnly,
+            _ => DegradeStage::Admission,
+        }
+    }
+}
+
+impl std::fmt::Display for DegradeStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradeStage::Normal => "normal",
+            DegradeStage::Compacting => "compacting",
+            DegradeStage::TableOnly => "table-only",
+            DegradeStage::Admission => "admission",
+        })
+    }
+}
+
+/// Tunable thresholds of the degradation state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Consecutive healthy settled operations required before the stage
+    /// steps down by one.
+    pub promote_after: u32,
+    /// The pool's largest free range must be at least this large for an
+    /// operation to count as healthy.
+    pub healthy_free: u64,
+    /// Advertised backoff carried by
+    /// [`crate::monitor::MonitorError::ResourceExhausted`]: callers should
+    /// retry after roughly this many operations of churn.
+    pub retry_after_ops: u64,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> DegradationPolicy {
+        DegradationPolicy {
+            promote_after: 24,
+            healthy_free: 4 << 20,
+            retry_after_ops: 16,
+        }
+    }
+}
+
+/// The live state machine: current stage plus the hysteresis streak.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DegradeState {
+    stage: DegradeStage,
+    healthy_streak: u32,
+    pub(crate) policy: DegradationPolicy,
+}
+
+impl DegradeState {
+    pub(crate) fn new(policy: DegradationPolicy) -> DegradeState {
+        DegradeState {
+            stage: DegradeStage::Normal,
+            healthy_streak: 0,
+            policy,
+        }
+    }
+
+    pub(crate) fn stage(&self) -> DegradeStage {
+        self.stage
+    }
+
+    /// Raises the stage to `to` if it is currently lower. Returns true
+    /// when this was a genuine transition (for counting stage entries).
+    pub(crate) fn escalate(&mut self, to: DegradeStage) -> bool {
+        if self.stage >= to {
+            return false;
+        }
+        self.stage = to;
+        self.healthy_streak = 0;
+        true
+    }
+
+    /// Drops the stage to `to` if it is currently higher (stage-3 exit via
+    /// a successful exact-fit). Returns true on a genuine transition.
+    pub(crate) fn recover_to(&mut self, to: DegradeStage) -> bool {
+        if self.stage <= to {
+            return false;
+        }
+        self.stage = to;
+        self.healthy_streak = 0;
+        true
+    }
+
+    /// Feeds one settled operation into the hysteresis: `largest_free` is
+    /// the pool's current largest free range. Returns true when the streak
+    /// just promoted the monitor one stage back toward normal.
+    pub(crate) fn settle(&mut self, largest_free: u64) -> bool {
+        if self.stage == DegradeStage::Normal {
+            self.healthy_streak = 0;
+            return false;
+        }
+        if largest_free < self.policy.healthy_free {
+            self.healthy_streak = 0;
+            return false;
+        }
+        self.healthy_streak += 1;
+        if self.healthy_streak < self.policy.promote_after {
+            return false;
+        }
+        self.stage = DegradeStage::from_level(self.stage.level() - 1);
+        self.healthy_streak = 0;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_ordered_and_level_round_trips() {
+        let all = [
+            DegradeStage::Normal,
+            DegradeStage::Compacting,
+            DegradeStage::TableOnly,
+            DegradeStage::Admission,
+        ];
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.level(), i as u8);
+            assert_eq!(DegradeStage::from_level(i as u8), *s);
+        }
+        assert!(DegradeStage::Normal < DegradeStage::Admission);
+    }
+
+    #[test]
+    fn escalate_only_raises() {
+        let mut d = DegradeState::new(DegradationPolicy::default());
+        assert!(d.escalate(DegradeStage::TableOnly));
+        assert!(!d.escalate(DegradeStage::Compacting), "never lowers");
+        assert!(!d.escalate(DegradeStage::TableOnly), "no re-entry count");
+        assert!(d.escalate(DegradeStage::Admission));
+        assert_eq!(d.stage(), DegradeStage::Admission);
+    }
+
+    #[test]
+    fn hysteresis_promotes_one_stage_per_streak() {
+        let policy = DegradationPolicy {
+            promote_after: 3,
+            healthy_free: 1 << 20,
+            retry_after_ops: 8,
+        };
+        let mut d = DegradeState::new(policy);
+        d.escalate(DegradeStage::TableOnly);
+        // Two healthy ops then a lean one: streak resets.
+        assert!(!d.settle(2 << 20));
+        assert!(!d.settle(2 << 20));
+        assert!(!d.settle(0));
+        assert_eq!(d.stage(), DegradeStage::TableOnly);
+        // Three healthy ops in a row: one step down, not two.
+        assert!(!d.settle(2 << 20));
+        assert!(!d.settle(2 << 20));
+        assert!(d.settle(2 << 20));
+        assert_eq!(d.stage(), DegradeStage::Compacting);
+        assert!(!d.settle(2 << 20));
+        assert!(!d.settle(2 << 20));
+        assert!(d.settle(2 << 20));
+        assert_eq!(d.stage(), DegradeStage::Normal);
+        // At normal the streak is moot.
+        assert!(!d.settle(2 << 20));
+    }
+
+    #[test]
+    fn recover_to_models_stage3_exit() {
+        let mut d = DegradeState::new(DegradationPolicy::default());
+        d.escalate(DegradeStage::Admission);
+        assert!(d.recover_to(DegradeStage::TableOnly));
+        assert!(!d.recover_to(DegradeStage::TableOnly));
+        assert_eq!(d.stage(), DegradeStage::TableOnly);
+    }
+}

@@ -12,24 +12,29 @@
 #![warn(missing_debug_implementations)]
 
 mod attest;
+mod degrade;
 mod gms;
 mod ipc;
 mod merkle;
 mod monitor;
 mod os;
+mod pool;
 mod sdk;
 mod smp;
 
 pub use attest::{AttestError, AttestationReport, Attestor};
+pub use degrade::{DegradationPolicy, DegradeStage};
 pub use gms::{Gms, GmsLabel};
 pub use ipc::{Channel, ChannelId, IpcError, IpcTable};
 pub use merkle::{IntegrityError, MerkleTree, SUBTREE_PAGES};
 pub use monitor::{
-    cost, DomainId, MonitorError, MonitorStats, ScrubReport, SecureMonitor, TeeFlavor,
+    cost, CompactNote, CompactReport, DomainId, MonitorError, MonitorStats, ScrubReport,
+    SecureMonitor, TeeFlavor,
 };
 pub use os::{
     HintId, OsError, OsStats, Pid, PtPlacement, RegionHint, SimOs, KERNEL_DIRECT_MAP,
     USER_CODE_BASE, USER_HEAP_BASE,
 };
+pub use pool::RegionPool;
 pub use sdk::{CallError, EnclaveSdk};
 pub use smp::SmpSystem;

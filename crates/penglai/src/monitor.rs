@@ -19,13 +19,15 @@
 //! measures.
 
 use hpmp_core::{
-    DeviceId, FillPolicy, IoPmp, IoPmpEntry, IoPmpMode, PmpRegion, PmpTable, TableLevels,
+    CopyCost, DeviceId, FillPolicy, IoPmp, IoPmpEntry, IoPmpMode, PmpRegion, PmpTable, TableLevels,
 };
 use hpmp_machine::Machine;
 use hpmp_memsim::{AccessKind, FrameAllocator, Perms, PhysAddr, PAGE_SIZE};
 use hpmp_trace::{CounterId, MetricsRegistry, Snapshot, TraceSink, World};
 
+use crate::degrade::{DegradationPolicy, DegradeStage, DegradeState};
 use crate::gms::{Gms, GmsLabel};
+use crate::pool::RegionPool;
 
 /// Identifier of a domain. The host is always [`DomainId::HOST`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,6 +95,16 @@ pub enum MonitorError {
     /// register image exists on at most one hart at a time; running it
     /// twice would let two harts race the same private memory.
     AlreadyScheduled(DomainId),
+    /// Admission control (degradation stage 3): the monitor is out of
+    /// region memory even after compaction and the table-mode fallback.
+    /// Unlike [`MonitorError::OutOfMemory`] this is *backpressure*, not a
+    /// dead end — the caller should retry after roughly `retry_after_ops`
+    /// further operations of churn (frees and destroys re-open capacity
+    /// and step the monitor back down the degradation ladder).
+    ResourceExhausted {
+        /// Advertised backoff, in monitor operations.
+        retry_after_ops: u64,
+    },
 }
 
 impl std::fmt::Display for MonitorError {
@@ -111,11 +123,26 @@ impl std::fmt::Display for MonitorError {
             MonitorError::AlreadyScheduled(id) => {
                 write!(f, "{id} is already scheduled on another hart")
             }
+            MonitorError::ResourceExhausted { retry_after_ops } => {
+                write!(
+                    f,
+                    "region memory exhausted (admission control); retry after \
+                     ~{retry_after_ops} ops"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for MonitorError {}
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MonitorError::Hpmp(e) => Some(e),
+            MonitorError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<hpmp_core::HpmpError> for MonitorError {
     fn from(e: hpmp_core::HpmpError) -> MonitorError {
@@ -173,6 +200,20 @@ struct MonitorWiring {
     csr_writes: CounterId,
     table_writes: CounterId,
     cycles: CounterId,
+    /// Current degradation stage (a gauge: set, not bumped).
+    degrade_stage: CounterId,
+    /// First entries into stages 1..=3, one counter each.
+    degrade_enter: [CounterId; 3],
+    /// Hysteresis promotions back toward normal.
+    degrade_repromotions: CounterId,
+    /// Allocations forcibly degraded to table-only `Slow` regions.
+    degrade_slow_allocs: CounterId,
+    /// Allocations refused with `ResourceExhausted` backpressure.
+    degrade_rejected: CounterId,
+    compact_passes: CounterId,
+    compact_moved_regions: CounterId,
+    compact_moved_pages: CounterId,
+    compact_cycles: CounterId,
 }
 
 impl MonitorWiring {
@@ -182,8 +223,47 @@ impl MonitorWiring {
             csr_writes: reg.counter("monitor.csr_writes"),
             table_writes: reg.counter("monitor.table_writes"),
             cycles: reg.counter("monitor.cycles"),
+            degrade_stage: reg.counter("monitor.degrade.stage"),
+            degrade_enter: [
+                reg.counter("monitor.degrade.enter_stage1"),
+                reg.counter("monitor.degrade.enter_stage2"),
+                reg.counter("monitor.degrade.enter_stage3"),
+            ],
+            degrade_repromotions: reg.counter("monitor.degrade.repromotions"),
+            degrade_slow_allocs: reg.counter("monitor.degrade.slow_allocs"),
+            degrade_rejected: reg.counter("monitor.degrade.rejected"),
+            compact_passes: reg.counter("monitor.compact.passes"),
+            compact_moved_regions: reg.counter("monitor.compact.moved_regions"),
+            compact_moved_pages: reg.counter("monitor.compact.moved_pages"),
+            compact_cycles: reg.counter("monitor.compact.cycles"),
         }
     }
+}
+
+/// What one [`SecureMonitor::compact`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// GMS regions relocated downward.
+    pub moved_regions: u64,
+    /// 4 KiB pages copied.
+    pub moved_pages: u64,
+    /// Modelled cycles the pass cost (copies, table rewrites, fences).
+    pub cycles: u64,
+    /// Movable regions that could still slide down when the pass stopped —
+    /// nonzero only when a `max_moves` budget cut the pass short.
+    pub remaining: u64,
+}
+
+/// Where inside an allocation's cycle interval its compaction pass sat, so
+/// the SMP layer can emit a `compact` child span under the op span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactNote {
+    /// Cycles into the op when compaction began.
+    pub offset: u64,
+    /// The pass's own cycles.
+    pub cycles: u64,
+    /// Regions it moved.
+    pub moved_regions: u64,
 }
 
 /// The secure monitor.
@@ -192,9 +272,23 @@ pub struct SecureMonitor {
     flavor: TeeFlavor,
     ram: PmpRegion,
     monitor_region: PmpRegion,
-    /// Bump allocator for domain regions.
-    region_cursor: PhysAddr,
-    region_end: PhysAddr,
+    /// Free-list allocator over the region arena. Freed top-level GMSs
+    /// are returned and coalesced, so churn no longer leaks the arena.
+    pool: RegionPool,
+    /// The host's boot-time whole-arena GMS. It overlaps everything the
+    /// pool ever hands out (enclave carve-outs punch holes in it through
+    /// the host table / deny entries, not through the GMS list), so it is
+    /// excluded from every reclamation-overlap check.
+    host_backdrop: PmpRegion,
+    /// The degradation state machine (DESIGN.md §12).
+    degrade: DegradeState,
+    /// Domains whose memory must not be relocated by compaction — their
+    /// owners hold live guest-physical mappings into it (page tables the
+    /// monitor does not rewrite).
+    pinned: Vec<DomainId>,
+    /// Span breadcrumb for the most recent compaction pass; drained by the
+    /// SMP layer after every op.
+    compaction_note: Option<CompactNote>,
     /// Frames for per-domain permission tables.
     table_frames: FrameAllocator,
     domains: Vec<Domain>,
@@ -210,12 +304,15 @@ pub struct SecureMonitor {
     /// corruption (bit flips, interposed CSR writes) is bounded by one
     /// scrub period instead of persisting silently.
     shadow_regs: Vec<(u64, hpmp_core::PmpConfig)>,
-    /// The last domain whose *holdings* changed (grant, revoke, teardown,
-    /// relabel, rebuild) — the cross-hart shootdown obligation. Single-hart
-    /// callers never look at it (the machine the op ran on was fenced
-    /// inline); the SMP layer drains it after every op via
-    /// [`SecureMonitor::take_shootdown`] and converts it into IPIs.
-    pending_shootdown: Option<DomainId>,
+    /// Domains whose *holdings* changed during the current op (grant,
+    /// revoke, teardown, relabel, rebuild, compaction move) — the
+    /// cross-hart shootdown obligations. Single-hart callers never look at
+    /// it (the machine the op ran on was fenced inline); the SMP layer
+    /// drains it after every op via [`SecureMonitor::take_shootdowns`] and
+    /// converts it into one coalesced IPI round. A compaction pass can
+    /// touch several domains in one allocation, which is why this is a
+    /// list rather than the single slot it used to be.
+    pending_shootdowns: Vec<DomainId>,
 }
 
 /// What one [`SecureMonitor::scrub`] pass found and repaired.
@@ -269,14 +366,18 @@ impl SecureMonitor {
 
         let mut metrics = MetricsRegistry::new();
         let ids = MonitorWiring::wire(&mut metrics);
+        let host_region = PmpRegion::new(region_base, ram.end().raw() - region_base.raw());
         let mut monitor = SecureMonitor {
             flavor,
             ram,
             monitor_region,
             // Offset by one page so no allocated region shares a base with
             // the host's whole-memory GMS.
-            region_cursor: PhysAddr::new(region_base.raw() + PAGE_SIZE),
-            region_end: ram.end(),
+            pool: RegionPool::new(PhysAddr::new(region_base.raw() + PAGE_SIZE), ram.end()),
+            host_backdrop: host_region,
+            degrade: DegradeState::new(DegradationPolicy::default()),
+            pinned: Vec::new(),
+            compaction_note: None,
             table_frames: FrameAllocator::new(tables_base, tables_size),
             domains: Vec::new(),
             current: DomainId::HOST,
@@ -286,11 +387,10 @@ impl SecureMonitor {
             metrics,
             ids,
             shadow_regs: Vec::new(),
-            pending_shootdown: None,
+            pending_shootdowns: Vec::new(),
         };
 
         // The host domain starts owning all remaining memory as one slow GMS.
-        let host_region = PmpRegion::new(region_base, ram.end().raw() - region_base.raw());
         let mut host = Domain {
             id: DomainId::HOST,
             gmss: Vec::new(),
@@ -394,8 +494,16 @@ impl SecureMonitor {
         self.domains.push(domain);
         self.next_id += 1;
 
-        let (_, alloc_cycles) = self.alloc_region(machine, id, initial_size, label)?;
-        cycles += alloc_cycles;
+        match self.alloc_region(machine, id, initial_size, label) {
+            Ok((_, alloc_cycles)) => cycles += alloc_cycles,
+            Err(e) => {
+                // Roll back the half-created domain — without this, every
+                // failed create leaked an empty domain *and* its table
+                // frames, so exhaustion could never recover.
+                self.rollback_created_domain(machine, id);
+                return Err(e);
+            }
+        }
 
         // For the PMP flavour, verify the host can still be expressed: when
         // the host runs, every enclave region needs a higher-priority deny
@@ -404,14 +512,66 @@ impl SecureMonitor {
         if self.flavor == TeeFlavor::PenglaiPmp
             && self.enclave_region_count() + 2 > machine.regs().len()
         {
-            // Roll back.
-            self.domains.pop();
-            self.next_id -= 1;
+            self.rollback_created_domain(machine, id);
             return Err(MonitorError::OutOfPmpEntries);
         }
 
         self.metrics.bump(self.ids.cycles, cycles);
         Ok((id, cycles))
+    }
+
+    /// Unwinds a domain pushed by [`SecureMonitor::create_domain`] whose
+    /// creation then failed: removes it, reclaims any region it was
+    /// granted, and recycles its table frames (scrubbed, so a later table
+    /// build cannot decode stale pmptes).
+    fn rollback_created_domain<S: TraceSink>(&mut self, machine: &mut Machine<S>, id: DomainId) {
+        let Some(idx) = self.domains.iter().position(|d| d.id == id) else {
+            return;
+        };
+        let domain = self.domains.remove(idx);
+        self.next_id -= 1;
+        for gms in &domain.gmss {
+            // A just-created domain has no sub-GMSs; every region is
+            // top-level and pool-owned.
+            let _ = self.grant_in_host_table(machine, gms.region, Perms::RWX);
+            self.reclaim_region(gms.region);
+        }
+        self.recycle_table(machine, domain.table);
+    }
+
+    /// Scrubs and releases a retired permission table's frames back to the
+    /// table-frame allocator.
+    fn recycle_table<S: TraceSink>(&mut self, machine: &mut Machine<S>, table: Option<PmpTable>) {
+        let Some(table) = table else {
+            return;
+        };
+        for &frame in table.table_pages() {
+            machine.phys_mut().zero_page(frame);
+            self.table_frames.release(frame);
+        }
+    }
+
+    /// Returns `region` to the pool unless something still references it:
+    /// the host's whole-arena backdrop is never pool-owned, and a range
+    /// still overlapped by any live GMS (a parent with a labelled sub-GMS,
+    /// or vice versa) must stay allocated or the pool would hand out
+    /// aliased memory.
+    fn reclaim_region(&mut self, region: PmpRegion) {
+        if region == self.host_backdrop {
+            return;
+        }
+        let overlaps = |g: PmpRegion| {
+            g != self.host_backdrop && g.base < region.end() && region.base < g.end()
+        };
+        if self
+            .domains
+            .iter()
+            .flat_map(|d| d.gmss.iter())
+            .any(|g| overlaps(g.region))
+        {
+            return;
+        }
+        self.pool.free(region.base, region.size);
     }
 
     /// Destroys an enclave domain, returning its memory to the host.
@@ -432,14 +592,25 @@ impl SecureMonitor {
             .iter()
             .position(|d| d.id == id)
             .ok_or(MonitorError::NoSuchDomain(id))?;
-        let domain = self.domains.remove(idx);
+        let mut domain = self.domains.remove(idx);
         self.devices.retain(|(_, owner)| *owner != id);
+        self.pinned.retain(|p| *p != id);
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
         cycles += self.sync_iopmp(machine);
         // Return regions to the host's table (scrub + grant).
         for gms in &domain.gmss {
             cycles += self.grant_in_host_table(machine, gms.region, Perms::RWX)?;
         }
+        // Hand the domain's top-level regions back to the pool. Sub-GMSs
+        // alias a slice of their parent's range, so freeing them as well
+        // would double-free it — this was the leak's twin bug: before PR 9
+        // *nothing* was returned, so churn bled the arena dry.
+        for gms in &domain.gmss {
+            if is_top_level(&domain.gmss, gms.region) {
+                self.reclaim_region(gms.region);
+            }
+        }
+        self.recycle_table(machine, domain.table.take());
         if self.current == id {
             cycles += self.switch_to(machine, DomainId::HOST)?;
         } else if self.image_depends_on(id) {
@@ -449,7 +620,8 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
-        self.pending_shootdown = Some(id);
+        self.note_shootdown(id);
+        self.settle_degradation();
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
@@ -468,18 +640,12 @@ impl SecureMonitor {
         size: u64,
         label: GmsLabel,
     ) -> Result<(PmpRegion, u64), MonitorError> {
-        let size = size.next_power_of_two().max(PAGE_SIZE);
-        let base = self.region_cursor.align_up(size);
-        if base.raw() + size > self.region_end.raw() {
-            return Err(MonitorError::OutOfMemory);
-        }
-        self.region_cursor = PhysAddr::new(base.raw() + size);
-        let region = PmpRegion::new(base, size);
-
         let mut cycles = cost::TRAP_ROUND_TRIP + cost::BOOKKEEPING;
         let flavor = self.flavor;
 
         // PMP flavour: each region consumes a segment entry when active.
+        // Checked before any placement so a failed alloc leaves the
+        // monitor's state (pool included) untouched.
         if flavor == TeeFlavor::PenglaiPmp {
             let d = self.domain(domain)?;
             // Entry 0 is the monitor; a region list longer than the file
@@ -489,8 +655,7 @@ impl SecureMonitor {
             }
             // The host's Keystone-style image must also keep fitting:
             // monitor entry + one deny per enclave region + the host's own
-            // allow entries. Checked before any bookkeeping mutates so a
-            // failed alloc leaves the monitor's state untouched.
+            // allow entries.
             let host_allows =
                 self.domain(DomainId::HOST)?.gmss.len() + usize::from(domain == DomainId::HOST);
             let enclave_denies =
@@ -498,7 +663,11 @@ impl SecureMonitor {
             if 1 + enclave_denies + host_allows > machine.regs().len() {
                 return Err(MonitorError::OutOfPmpEntries);
             }
+        } else {
+            self.domain(domain)?;
         }
+
+        let (region, label) = self.place_region(machine, size, label, &mut cycles)?;
 
         // Revoke from the host's table, grant in the owner's table.
         if flavor != TeeFlavor::PenglaiPmp && domain != DomainId::HOST {
@@ -551,7 +720,8 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
-        self.pending_shootdown = Some(domain);
+        self.note_shootdown(domain);
+        self.settle_degradation();
         self.metrics.bump(self.ids.cycles, cycles);
         Ok((region, cycles))
     }
@@ -610,7 +780,9 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
-        self.pending_shootdown = Some(domain);
+        self.reclaim_region(gms.region);
+        self.note_shootdown(domain);
+        self.settle_degradation();
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
@@ -645,13 +817,14 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
-        self.pending_shootdown = Some(domain);
+        self.note_shootdown(domain);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
 
     /// Carves a monitor-owned buffer (not a domain GMS) from the region
-    /// area. Returns `(region, cycles)`.
+    /// area. Returns `(region, cycles)`. Monitor buffers are permanent:
+    /// they are never returned to the pool.
     ///
     /// # Errors
     ///
@@ -661,12 +834,406 @@ impl SecureMonitor {
         len: u64,
     ) -> Result<(PmpRegion, u64), MonitorError> {
         let size = len.next_power_of_two().max(PAGE_SIZE);
-        let base = self.region_cursor.align_up(size);
-        if base.raw() + size > self.region_end.raw() {
-            return Err(MonitorError::OutOfMemory);
-        }
-        self.region_cursor = PhysAddr::new(base.raw() + size);
+        let base = self
+            .pool
+            .alloc_aligned(size, size)
+            .ok_or(MonitorError::OutOfMemory)?;
         Ok((PmpRegion::new(base, size), cost::BOOKKEEPING))
+    }
+
+    /// Chooses where a new region lands under the degradation state machine
+    /// (DESIGN.md §12), escalating through compaction, the table-only
+    /// fallback and admission control as the pool runs dry. Returns the
+    /// placed region and the (possibly downgraded) label.
+    fn place_region<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        size: u64,
+        label: GmsLabel,
+        cycles: &mut u64,
+    ) -> Result<(PmpRegion, GmsLabel), MonitorError> {
+        let napot = size.next_power_of_two().max(PAGE_SIZE);
+        // The PMP flavour has no permission table to fall back on, so it
+        // never enters the table-only stage: its ladder is 0 → 1 → 3.
+        let fast_eligible =
+            self.flavor == TeeFlavor::PenglaiPmp || self.degrade.stage() < DegradeStage::TableOnly;
+        if fast_eligible {
+            if let Some(base) = self.pool.alloc_aligned(napot, napot) {
+                // A PMP-flavour monitor in admission control just served a
+                // fast allocation again: step off stage 3.
+                if self.degrade.recover_to(DegradeStage::Compacting) {
+                    self.store_stage_gauge();
+                }
+                return Ok((PmpRegion::new(base, napot), label));
+            }
+            // Stage 1: compact the arena and retry the fast path.
+            self.enter_stage(DegradeStage::Compacting);
+            *cycles += self.compact_pass(machine, None, *cycles)?.cycles;
+            if let Some(base) = self.pool.alloc_aligned(napot, napot) {
+                return Ok((PmpRegion::new(base, napot), label));
+            }
+            if self.flavor == TeeFlavor::PenglaiPmp {
+                return self.refuse_admission();
+            }
+            self.enter_stage(DegradeStage::TableOnly);
+        }
+        // Stage 2/3: exact-fit, page-aligned, table-backed, forcibly slow —
+        // the table flavours lose speed, never correctness.
+        let exact = size.next_multiple_of(PAGE_SIZE).max(PAGE_SIZE);
+        let placed = match self.pool.alloc_aligned(exact, PAGE_SIZE) {
+            Some(base) => Some(base),
+            None => {
+                // One more compaction attempt before refusing admission.
+                *cycles += self.compact_pass(machine, None, *cycles)?.cycles;
+                self.pool.alloc_aligned(exact, PAGE_SIZE)
+            }
+        };
+        match placed {
+            Some(base) => {
+                // A successful exact-fit under admission control means the
+                // monitor is serving again: step straight back to stage 2.
+                if self.degrade.recover_to(DegradeStage::TableOnly) {
+                    self.store_stage_gauge();
+                }
+                self.metrics.bump(self.ids.degrade_slow_allocs, 1);
+                Ok((PmpRegion::new(base, exact), GmsLabel::Slow))
+            }
+            None => self.refuse_admission(),
+        }
+    }
+
+    /// Stage 3: refuses the allocation with typed backpressure instead of a
+    /// hard failure.
+    fn refuse_admission<T>(&mut self) -> Result<T, MonitorError> {
+        self.enter_stage(DegradeStage::Admission);
+        self.metrics.bump(self.ids.degrade_rejected, 1);
+        Err(MonitorError::ResourceExhausted {
+            retry_after_ops: self.degrade.policy.retry_after_ops,
+        })
+    }
+
+    /// Records a genuine escalation in the stage-entry counters and gauge.
+    fn enter_stage(&mut self, to: DegradeStage) {
+        if self.degrade.escalate(to) {
+            self.metrics
+                .bump(self.ids.degrade_enter[usize::from(to.level() - 1)], 1);
+            self.store_stage_gauge();
+        }
+    }
+
+    fn store_stage_gauge(&mut self) {
+        self.metrics.store(
+            self.ids.degrade_stage,
+            u64::from(self.degrade.stage().level()),
+        );
+    }
+
+    /// Feeds the pool's recovery signal into the hysteresis after every
+    /// capacity-changing operation.
+    fn settle_degradation(&mut self) {
+        if self.degrade.settle(self.pool.largest_free()) {
+            self.metrics.bump(self.ids.degrade_repromotions, 1);
+            self.store_stage_gauge();
+        }
+    }
+
+    /// The degradation stage the monitor is currently in.
+    pub fn degrade_stage(&self) -> DegradeStage {
+        self.degrade.stage()
+    }
+
+    /// Replaces the degradation policy's thresholds; the current stage and
+    /// hysteresis streak are kept.
+    pub fn set_degradation_policy(&mut self, policy: DegradationPolicy) {
+        self.degrade.policy = policy;
+    }
+
+    /// Excludes `domain`'s memory from compaction: its owner holds live
+    /// guest-physical mappings into it (page tables the monitor does not
+    /// rewrite), so relocating it would tear them.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown domains.
+    pub fn pin_domain(&mut self, domain: DomainId) -> Result<(), MonitorError> {
+        self.domain(domain)?;
+        if !self.pinned.contains(&domain) {
+            self.pinned.push(domain);
+        }
+        Ok(())
+    }
+
+    /// Makes `domain`'s memory movable by compaction again.
+    pub fn unpin_domain(&mut self, domain: DomainId) {
+        self.pinned.retain(|d| *d != domain);
+    }
+
+    /// Takes the span breadcrumb of the most recent compaction pass; the
+    /// SMP layer drains this after every op to emit a `compact` child span.
+    pub fn take_compaction_note(&mut self) -> Option<CompactNote> {
+        self.compaction_note.take()
+    }
+
+    /// Size of the region arena's largest free range.
+    pub fn arena_largest_free(&self) -> u64 {
+        self.pool.largest_free()
+    }
+
+    /// Total free bytes in the region arena.
+    pub fn arena_total_free(&self) -> u64 {
+        self.pool.total_free()
+    }
+
+    /// Number of disjoint free ranges in the arena (fragmentation signal).
+    pub fn arena_fragments(&self) -> usize {
+        self.pool.fragments()
+    }
+
+    /// Runs segment compaction explicitly (outside an allocation): slides
+    /// movable GMS regions downward to merge free holes. `max_moves` bounds
+    /// the pass, letting callers — fault campaigns especially — stop
+    /// mid-compaction, interleave other work, and resume. Returns what the
+    /// pass did, including the trap overhead of invoking it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relocation failures (the affected domain is quarantined).
+    pub fn compact<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        max_moves: Option<u64>,
+    ) -> Result<CompactReport, MonitorError> {
+        let pre = cost::TRAP_ROUND_TRIP;
+        let mut report = self.compact_pass(machine, max_moves, pre)?;
+        report.cycles += pre;
+        self.metrics.bump(self.ids.cycles, report.cycles);
+        Ok(report)
+    }
+
+    /// One compaction pass: repeatedly slides the lowest movable GMS region
+    /// into the lowest free hole below it until nothing moves (or the
+    /// `max_moves` budget runs out). `note_offset` records where inside the
+    /// surrounding operation the pass began, for span attribution. Callers
+    /// fold the returned cycles into their own accounting.
+    fn compact_pass<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        max_moves: Option<u64>,
+        note_offset: u64,
+    ) -> Result<CompactReport, MonitorError> {
+        let mut report = CompactReport {
+            cycles: cost::BOOKKEEPING,
+            ..CompactReport::default()
+        };
+        while max_moves.is_none_or(|m| report.moved_regions < m) {
+            let Some((domain, old, new_base)) = self.next_compaction_move() else {
+                break;
+            };
+            report.cycles += self.relocate_region(machine, domain, old, new_base)?;
+            report.moved_regions += 1;
+            report.moved_pages += old.size / PAGE_SIZE;
+        }
+        report.remaining = self.compaction_candidates().len() as u64;
+        self.metrics.bump(self.ids.compact_passes, 1);
+        self.metrics
+            .bump(self.ids.compact_moved_regions, report.moved_regions);
+        self.metrics
+            .bump(self.ids.compact_moved_pages, report.moved_pages);
+        self.metrics.bump(self.ids.compact_cycles, report.cycles);
+        self.compaction_note = Some(CompactNote {
+            offset: note_offset,
+            cycles: report.cycles,
+            moved_regions: report.moved_regions,
+        });
+        Ok(report)
+    }
+
+    /// Every `(domain, region, destination)` triple compaction could move
+    /// right now: top-level, unpinned, non-host GMS regions with a free
+    /// hole strictly below their current base that fits their alignment
+    /// (NAPOT regions keep size-alignment so segment backing and the PMP
+    /// flavour's encoding survive the move).
+    fn compaction_candidates(&self) -> Vec<(DomainId, PmpRegion, PhysAddr)> {
+        let mut out = Vec::new();
+        for d in &self.domains {
+            if d.id == DomainId::HOST || self.pinned.contains(&d.id) {
+                continue;
+            }
+            for g in &d.gmss {
+                if !is_top_level(&d.gmss, g.region) {
+                    continue;
+                }
+                let align = if g.region.is_napot() {
+                    g.region.size
+                } else {
+                    PAGE_SIZE
+                };
+                let Some(fit) = self.pool.lowest_fit(g.region.size, align) else {
+                    continue;
+                };
+                if fit.raw() < g.region.base.raw() {
+                    out.push((d.id, g.region, fit));
+                }
+            }
+        }
+        out
+    }
+
+    fn next_compaction_move(&self) -> Option<(DomainId, PmpRegion, PhysAddr)> {
+        self.compaction_candidates()
+            .into_iter()
+            .min_by_key(|&(_, region, _)| region.base)
+    }
+
+    /// Relocates one of `domain`'s top-level GMS regions from `old` to the
+    /// already-chosen destination base `new_base`: copies its pages and
+    /// rewrites every affected permission structure, fail-closed — the
+    /// destination is revoked from the host *before* the owner gains it, so
+    /// at no point can both reach the range. Returns the modelled cycles.
+    fn relocate_region<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine<S>,
+        domain: DomainId,
+        old: PmpRegion,
+        new_base: PhysAddr,
+    ) -> Result<u64, MonitorError> {
+        let flavor = self.flavor;
+        let new = PmpRegion::new(new_base, old.size);
+        assert!(
+            self.pool.alloc_at(new_base, old.size),
+            "compaction destination vanished"
+        );
+        let pages = old.size / PAGE_SIZE;
+        let mut cycles = 0u64;
+
+        // 1. The destination leaves the host's reach first.
+        cycles += self.grant_in_host_table(machine, new, Perms::NONE)?;
+
+        // 2. The owner's table gains the new range with the moved GMS's
+        //    permissions and loses the old one. (Sub-GMSs alias slices of
+        //    the parent's range, so one grant covers them.)
+        let perms = self
+            .domain(domain)?
+            .gmss
+            .iter()
+            .find(|g| g.region == old)
+            .ok_or(MonitorError::NotOwned)?
+            .perms;
+        if flavor != TeeFlavor::PenglaiPmp {
+            let table_writes_id = self.ids.table_writes;
+            let table_frames = &mut self.table_frames;
+            let d = self
+                .domains
+                .iter_mut()
+                .find(|d| d.id == domain)
+                .ok_or(MonitorError::NoSuchDomain(domain))?;
+            let table = d
+                .table
+                .as_mut()
+                .ok_or(MonitorError::IntegrityLost(domain))?;
+            let mut writes = table.set_range_perm(
+                machine.phys_mut(),
+                table_frames,
+                new.base,
+                new.size,
+                perms,
+                if flavor == TeeFlavor::PenglaiHpmp {
+                    FillPolicy::HugeWhenAligned
+                } else {
+                    FillPolicy::PerPage
+                },
+            )?;
+            writes += table.set_range_perm(
+                machine.phys_mut(),
+                table_frames,
+                old.base,
+                old.size,
+                Perms::NONE,
+                FillPolicy::PerPage,
+            )?;
+            self.metrics.bump(table_writes_id, writes);
+            cycles += writes * cost::TABLE_ENTRY_WRITE;
+        }
+
+        // 3. The M-mode memcpy.
+        for page in 0..pages {
+            machine.phys_mut().copy_page_within(
+                PhysAddr::new(old.base.raw() + page * PAGE_SIZE),
+                PhysAddr::new(new.base.raw() + page * PAGE_SIZE),
+            );
+        }
+        cycles += CopyCost::DEFAULT.relocation(pages);
+
+        // 4. The vacated range returns to the host.
+        cycles += self.grant_in_host_table(machine, old, Perms::RWX)?;
+
+        // 5. Bookkeeping: slide the GMS — and every sub-GMS inside it — down
+        //    by the same delta, then free the vacated range.
+        let delta = old.base.raw() - new.base.raw();
+        let d = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .ok_or(MonitorError::NoSuchDomain(domain))?;
+        for g in d.gmss.iter_mut() {
+            if old.base <= g.region.base && g.region.end() <= old.end() {
+                g.region =
+                    PmpRegion::new(PhysAddr::new(g.region.base.raw() - delta), g.region.size);
+            }
+        }
+        self.pool.free(old.base, old.size);
+
+        if self.devices.iter().any(|(_, owner)| *owner == domain) {
+            cycles += self.sync_iopmp(machine);
+        }
+        if self.image_depends_on(domain) {
+            cycles += self.program_current(machine)?;
+            machine.invalidate_isolation();
+            cycles += cost::FENCE;
+        }
+        self.note_shootdown(domain);
+        self.verify_relocation(machine, domain, new, old.base)?;
+        Ok(cycles)
+    }
+
+    /// Fail-closed post-condition of a relocation: the hardware-visible
+    /// fast path must agree with the oracle at the moved range's edges and
+    /// at the vacated base, for both the owner and the host. Any
+    /// disagreement quarantines the domain rather than risking a silent
+    /// grant of memory its owner no longer holds.
+    fn verify_relocation<S: TraceSink>(
+        &self,
+        machine: &Machine<S>,
+        domain: DomainId,
+        new: PmpRegion,
+        old_base: PhysAddr,
+    ) -> Result<(), MonitorError> {
+        if self.flavor == TeeFlavor::PenglaiPmp {
+            // No tables: the only hardware-visible state is the register
+            // image, rebuilt above when the running image depends on the
+            // move and on the next switch otherwise; the oracle-lockstep
+            // harnesses keep probing it afterwards.
+            return Ok(());
+        }
+        let probes = [
+            new.base,
+            PhysAddr::new(new.end().raw() - PAGE_SIZE),
+            old_base,
+        ];
+        for who in [domain, DomainId::HOST] {
+            let d = self.domain(who)?;
+            let table = d.table.as_ref().ok_or(MonitorError::IntegrityLost(who))?;
+            for probe in probes {
+                let fast = table
+                    .lookup(machine.phys(), probe)
+                    .is_some_and(|p| p.allows(AccessKind::Read));
+                let oracle = self.oracle_check_for(who, probe, AccessKind::Read);
+                if fast != oracle {
+                    return Err(MonitorError::IntegrityLost(who));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Grants `region` with `perms` in `domain`'s permission table without
@@ -1031,7 +1598,7 @@ impl SecureMonitor {
             machine.invalidate_isolation();
             cycles += cost::FENCE;
         }
-        self.pending_shootdown = Some(domain);
+        self.note_shootdown(domain);
         self.metrics.bump(self.ids.cycles, cycles);
         Ok(cycles)
     }
@@ -1115,10 +1682,20 @@ impl SecureMonitor {
                 && changed != DomainId::HOST)
     }
 
-    /// Takes the pending cross-hart shootdown obligation, if any. See the
-    /// field docs; the SMP layer calls this after every monitor op.
-    pub fn take_shootdown(&mut self) -> Option<DomainId> {
-        self.pending_shootdown.take()
+    /// Takes the pending cross-hart shootdown obligations. See the field
+    /// docs; the SMP layer calls this after every monitor op. A plain
+    /// allocation yields at most one domain; an allocation that triggered
+    /// compaction yields every domain whose memory moved.
+    pub fn take_shootdowns(&mut self) -> Vec<DomainId> {
+        std::mem::take(&mut self.pending_shootdowns)
+    }
+
+    /// Notes a cross-hart shootdown obligation for `domain` (deduplicated —
+    /// one IPI round covers all changes of one op).
+    fn note_shootdown(&mut self, domain: DomainId) {
+        if !self.pending_shootdowns.contains(&domain) {
+            self.pending_shootdowns.push(domain);
+        }
     }
 
     /// Re-points `current` without reprogramming anything. The SMP layer
@@ -1291,6 +1868,15 @@ impl SecureMonitor {
             .find(|d| d.id == id)
             .ok_or(MonitorError::NoSuchDomain(id))
     }
+}
+
+/// True when `region` is not strictly contained in another GMS of the same
+/// domain — i.e. it owns its physical range rather than aliasing a slice of
+/// a parent's.
+fn is_top_level(gmss: &[Gms], region: PmpRegion) -> bool {
+    !gmss.iter().any(|o| {
+        o.region != region && o.region.base <= region.base && o.region.end() >= region.end()
+    })
 }
 
 /// Smallest NAPOT region containing `region`.
@@ -1646,6 +2232,319 @@ mod tests {
             host_probe(&machine),
             "destroy must return the region to the running host"
         );
+    }
+
+    /// Regression (satellite of PR 9): before the region pool, freed and
+    /// destroyed regions were never returned to the arena, so repeated
+    /// create/destroy of large domains bled it dry. Max-size churn must
+    /// reach a fixed point instead.
+    #[test]
+    fn create_destroy_churn_of_max_size_domains_never_leaks() {
+        for flavor in [
+            TeeFlavor::PenglaiPmp,
+            TeeFlavor::PenglaiPmpt,
+            TeeFlavor::PenglaiHpmp,
+        ] {
+            let (mut machine, mut monitor) = boot(flavor);
+            let free0 = monitor.arena_total_free();
+            // 256 MiB is the largest NAPOT size that can align inside the
+            // 1 GiB test arena more than once.
+            for round in 0..20 {
+                let (id, _) = monitor
+                    .create_domain(&mut machine, 256 << 20, GmsLabel::Slow)
+                    .unwrap_or_else(|e| panic!("{flavor} leaked by round {round}: {e}"));
+                monitor.destroy_domain(&mut machine, id).unwrap();
+                assert_eq!(monitor.arena_total_free(), free0, "{flavor} round {round}");
+            }
+            assert_eq!(monitor.degrade_stage(), DegradeStage::Normal);
+        }
+    }
+
+    /// Table frames are recycled on destroy: table-flavour churn must not
+    /// exhaust the 60 MiB table arena either.
+    #[test]
+    fn destroy_recycles_table_frames() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiPmpt);
+        for _ in 0..200 {
+            let (id, _) = monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .expect("table frames must recycle");
+            monitor.destroy_domain(&mut machine, id).unwrap();
+        }
+    }
+
+    fn small_boot(flavor: TeeFlavor) -> (Machine, SecureMonitor) {
+        // 128 MiB RAM → a 64 MiB region arena: small enough to exhaust.
+        let ram = PmpRegion::new(PhysAddr::new(0x8000_0000), 128 << 20);
+        let mut machine = Machine::new(MachineConfig::rocket());
+        let monitor = SecureMonitor::boot(&mut machine, flavor, ram).expect("monitor boots");
+        (machine, monitor)
+    }
+
+    #[test]
+    fn exhaustion_walks_the_degradation_ladder_for_table_flavours() {
+        let (mut machine, mut monitor) = small_boot(TeeFlavor::PenglaiHpmp);
+        // Three 16 MiB NAPOT allocations fill everything above the first
+        // (unaligned, just-under-16 MiB) gap.
+        for _ in 0..3 {
+            monitor
+                .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+                .unwrap();
+        }
+        assert_eq!(monitor.degrade_stage(), DegradeStage::Normal);
+        // A fourth 16 MiB request: no NAPOT fit, compaction can't move the
+        // host's own regions, exact-fit needs 16 MiB and the gap is 4 KiB
+        // short — admission control.
+        let err = monitor
+            .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+            .unwrap_err();
+        assert!(
+            matches!(err, MonitorError::ResourceExhausted { retry_after_ops } if retry_after_ops > 0),
+            "want backpressure, got {err:?}"
+        );
+        assert_eq!(monitor.degrade_stage(), DegradeStage::Admission);
+        let snap = monitor.metrics_snapshot();
+        assert_eq!(snap.get("monitor.degrade.stage"), Some(3));
+        assert_eq!(snap.get("monitor.degrade.enter_stage1"), Some(1));
+        assert_eq!(snap.get("monitor.degrade.enter_stage2"), Some(1));
+        assert_eq!(snap.get("monitor.degrade.enter_stage3"), Some(1));
+        assert_eq!(snap.get("monitor.degrade.rejected"), Some(1));
+        // An 8 MiB request fits the gap exactly-fit: served Slow under
+        // stage 3, which steps the monitor back to stage 2 — and the label
+        // downgrade is forced even when the caller asked for Fast.
+        let (region, _) = monitor
+            .alloc_region(&mut machine, DomainId::HOST, 8 << 20, GmsLabel::Fast)
+            .unwrap();
+        assert_eq!(monitor.degrade_stage(), DegradeStage::TableOnly);
+        let gms = monitor
+            .regions_of(DomainId::HOST)
+            .unwrap()
+            .iter()
+            .find(|g| g.region == region)
+            .copied()
+            .unwrap();
+        assert_eq!(gms.label, GmsLabel::Slow, "stage 2 forces table mode");
+        assert_eq!(
+            monitor
+                .metrics_snapshot()
+                .get("monitor.degrade.slow_allocs"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn hysteresis_repromotes_after_recovery() {
+        let (mut machine, mut monitor) = small_boot(TeeFlavor::PenglaiHpmp);
+        monitor.set_degradation_policy(DegradationPolicy {
+            promote_after: 2,
+            healthy_free: 4 << 20,
+            retry_after_ops: 16,
+        });
+        let mut bases = Vec::new();
+        for _ in 0..3 {
+            let (r, _) = monitor
+                .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+                .unwrap();
+            bases.push(r.base);
+        }
+        monitor
+            .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+            .unwrap_err();
+        assert_eq!(monitor.degrade_stage(), DegradeStage::Admission);
+        // Capacity comes back: each free is one healthy settled op.
+        for base in bases {
+            monitor
+                .free_region(&mut machine, DomainId::HOST, base)
+                .unwrap();
+        }
+        // 3 frees at promote_after=2: stage 3 → 2 after the second. Two
+        // more no-op settles (allocs) walk it back to normal.
+        for _ in 0..4 {
+            let (r, _) = monitor
+                .alloc_region(&mut machine, DomainId::HOST, 1 << 20, GmsLabel::Slow)
+                .unwrap();
+            monitor
+                .free_region(&mut machine, DomainId::HOST, r.base)
+                .unwrap();
+        }
+        assert_eq!(monitor.degrade_stage(), DegradeStage::Normal);
+        assert!(
+            monitor
+                .metrics_snapshot()
+                .get("monitor.degrade.repromotions")
+                .unwrap_or(0)
+                >= 3
+        );
+    }
+
+    #[test]
+    fn pmp_flavour_skips_the_table_stage() {
+        let (mut machine, mut monitor) = small_boot(TeeFlavor::PenglaiPmp);
+        for _ in 0..3 {
+            monitor
+                .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+                .unwrap();
+        }
+        let err = monitor
+            .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::ResourceExhausted { .. }));
+        assert_eq!(monitor.degrade_stage(), DegradeStage::Admission);
+        let snap = monitor.metrics_snapshot();
+        assert_eq!(
+            snap.get("monitor.degrade.enter_stage2"),
+            Some(0),
+            "no table to fall back on"
+        );
+        // A freed region re-opens the fast path even under stage 3.
+        let victim = monitor.regions_of(DomainId::HOST).unwrap()[1].region.base;
+        monitor
+            .free_region(&mut machine, DomainId::HOST, victim)
+            .unwrap();
+        monitor
+            .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+            .unwrap();
+        assert!(monitor.degrade_stage() < DegradeStage::Admission);
+    }
+
+    #[test]
+    fn compaction_relocates_enclaves_and_preserves_their_bytes() {
+        use hpmp_core::PmptwCache;
+        use hpmp_memsim::PrivMode;
+
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        // Equal sizes: lowest-fit would otherwise tuck a smaller region
+        // into the alignment gap *below* the first one.
+        let (low, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let (high, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let old = monitor.regions_of(high).unwrap()[0].region;
+        // A canary in the enclave's memory, and a hole below it.
+        machine
+            .phys_mut()
+            .write_u64(old.base, 0xFEED_F00D_CAFE_0001);
+        monitor.destroy_domain(&mut machine, low).unwrap();
+        let report = monitor.compact(&mut machine, None).unwrap();
+        assert_eq!(report.moved_regions, 1);
+        assert_eq!(report.moved_pages, (1 << 20) / PAGE_SIZE);
+        assert_eq!(report.remaining, 0);
+        assert!(report.cycles > CopyCost::DEFAULT.relocation(report.moved_pages));
+        let new = monitor.regions_of(high).unwrap()[0].region;
+        assert!(new.base < old.base, "slid down: {new:?} vs {old:?}");
+        assert_eq!(new.size, old.size);
+        assert_eq!(
+            machine.phys().read_u64(new.base),
+            0xFEED_F00D_CAFE_0001,
+            "bytes moved with the region"
+        );
+        // The fast path agrees with the oracle at both ends of the move.
+        monitor.switch_to(&mut machine, high).unwrap();
+        for (addr, want) in [(new.base, true), (old.base, false)] {
+            let fast = machine
+                .regs()
+                .check(
+                    machine.phys(),
+                    &mut PmptwCache::disabled(),
+                    addr,
+                    AccessKind::Read,
+                    PrivMode::Supervisor,
+                )
+                .allowed;
+            assert_eq!(fast, want, "fast path at {addr}");
+            assert_eq!(monitor.oracle_check(addr, AccessKind::Read), want);
+        }
+        // Idempotent once compacted.
+        let again = monitor.compact(&mut machine, None).unwrap();
+        assert_eq!(again.moved_regions, 0);
+    }
+
+    #[test]
+    fn compaction_shifts_sub_gms_with_their_parent() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (low, _) = monitor
+            .create_domain(&mut machine, 4 << 20, GmsLabel::Slow)
+            .unwrap();
+        let (id, _) = monitor
+            .create_domain(&mut machine, 4 << 20, GmsLabel::Slow)
+            .unwrap();
+        let parent = monitor.regions_of(id).unwrap()[0].region;
+        let sub = PmpRegion::new(PhysAddr::new(parent.base.raw() + (1 << 20)), 1 << 20);
+        monitor
+            .label_subregion(&mut machine, id, sub, GmsLabel::Fast)
+            .unwrap();
+        monitor.destroy_domain(&mut machine, low).unwrap();
+        let moved = monitor.compact(&mut machine, None).unwrap();
+        assert_eq!(moved.moved_regions, 1, "one top-level move covers both");
+        let gmss = monitor.regions_of(id).unwrap();
+        let new_parent = gmss[0].region;
+        let new_sub = gmss[1].region;
+        assert!(new_parent.base < parent.base);
+        assert_eq!(
+            new_sub.base.raw() - new_parent.base.raw(),
+            1 << 20,
+            "sub-GMS keeps its offset inside the parent"
+        );
+    }
+
+    #[test]
+    fn pinned_domains_are_not_moved() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (low, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let (high, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        monitor.pin_domain(high).unwrap();
+        monitor.destroy_domain(&mut machine, low).unwrap();
+        assert_eq!(
+            monitor.compact(&mut machine, None).unwrap().moved_regions,
+            0
+        );
+        monitor.unpin_domain(high);
+        assert_eq!(
+            monitor.compact(&mut machine, None).unwrap().moved_regions,
+            1
+        );
+    }
+
+    #[test]
+    fn budgeted_compaction_stops_mid_pass_and_resumes() {
+        let (mut machine, mut monitor) = boot(TeeFlavor::PenglaiHpmp);
+        let (low, _) = monitor
+            .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+            .unwrap();
+        let mut movers = Vec::new();
+        for _ in 0..3 {
+            let (id, _) = monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .unwrap();
+            movers.push(id);
+        }
+        monitor.destroy_domain(&mut machine, low).unwrap();
+        let first = monitor.compact(&mut machine, Some(1)).unwrap();
+        assert_eq!(first.moved_regions, 1);
+        assert!(first.remaining > 0, "budget left work behind");
+        let rest = monitor.compact(&mut machine, None).unwrap();
+        assert!(rest.moved_regions >= 1);
+        assert_eq!(rest.remaining, 0);
+    }
+
+    #[test]
+    fn monitor_error_sources_chain_to_causes() {
+        use std::error::Error;
+
+        let hpmp: MonitorError = hpmp_core::HpmpError::Locked(3).into();
+        assert!(hpmp.source().is_some());
+        let table: MonitorError = hpmp_core::TableError::OutOfTableFrames.into();
+        assert!(table.source().is_some());
+        assert!(MonitorError::OutOfMemory.source().is_none());
+        assert!(MonitorError::ResourceExhausted { retry_after_ops: 8 }
+            .source()
+            .is_none());
     }
 
     #[test]

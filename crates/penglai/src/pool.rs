@@ -1,0 +1,210 @@
+//! The monitor's region-arena allocator.
+//!
+//! Until PR 9 the arena was a bump cursor: freed regions were never reused,
+//! so any long-uptime churn run leaked its way to `OutOfMemory` regardless
+//! of how much memory was actually live. This pool replaces it with a
+//! sorted, coalescing free list:
+//!
+//! * `alloc_aligned` is lowest-aligned-first-fit: fully deterministic, and
+//!   unlike the bump cursor it also reuses the *alignment gaps* the cursor
+//!   left behind whenever a large NAPOT size followed a small one.
+//! * `free` coalesces with both neighbours, so destroy/create churn of
+//!   equal-sized domains reaches a fixed point instead of fragmenting.
+//! * `alloc_at` carves an exact range, which is how segment compaction
+//!   reserves a relocation destination it already chose.
+//!
+//! The pool tracks *free space only*; it holds no ownership information.
+//! The monitor's GMS bookkeeping decides what may be returned (top-level
+//! GMSs; never sub-GMS aliases of a still-live parent).
+
+use hpmp_memsim::PhysAddr;
+
+/// A sorted, coalescing free list over the monitor's region arena.
+#[derive(Clone, Debug)]
+pub struct RegionPool {
+    /// Disjoint, coalesced `(base, size)` free ranges, sorted by base.
+    free: Vec<(u64, u64)>,
+}
+
+impl RegionPool {
+    /// A pool whose free space is the single range `[base, end)`.
+    pub fn new(base: PhysAddr, end: PhysAddr) -> RegionPool {
+        assert!(base.raw() <= end.raw(), "inverted pool range");
+        let mut free = Vec::new();
+        if end.raw() > base.raw() {
+            free.push((base.raw(), end.raw() - base.raw()));
+        }
+        RegionPool { free }
+    }
+
+    /// Lowest base at which `size` bytes fit with `align` alignment, or
+    /// `None`. Does not carve; see [`RegionPool::alloc_aligned`].
+    pub fn lowest_fit(&self, size: u64, align: u64) -> Option<PhysAddr> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        for &(base, len) in &self.free {
+            let aligned = base.next_multiple_of(align);
+            if aligned + size <= base + len {
+                return Some(PhysAddr::new(aligned));
+            }
+        }
+        None
+    }
+
+    /// Carves `size` bytes at the lowest aligned fit, returning the base.
+    pub fn alloc_aligned(&mut self, size: u64, align: u64) -> Option<PhysAddr> {
+        let base = self.lowest_fit(size, align)?;
+        assert!(self.alloc_at(base, size), "lowest_fit returned a bad fit");
+        Some(base)
+    }
+
+    /// Carves the exact range `[base, base + size)` out of the free list.
+    /// Returns false (and changes nothing) when the range is not entirely
+    /// free.
+    pub fn alloc_at(&mut self, base: PhysAddr, size: u64) -> bool {
+        let (start, end) = (base.raw(), base.raw() + size);
+        let Some(idx) = self
+            .free
+            .iter()
+            .position(|&(b, l)| b <= start && end <= b + l)
+        else {
+            return false;
+        };
+        let (b, l) = self.free[idx];
+        self.free.remove(idx);
+        if end < b + l {
+            self.free.insert(idx, (end, b + l - end));
+        }
+        if b < start {
+            self.free.insert(idx, (b, start - b));
+        }
+        true
+    }
+
+    /// Returns `[base, base + size)` to the free list, coalescing with both
+    /// neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the range overlaps existing free space —
+    /// that is a double free, and the monitor's ownership bookkeeping is
+    /// supposed to make it impossible.
+    pub fn free(&mut self, base: PhysAddr, size: u64) {
+        if size == 0 {
+            return;
+        }
+        let (start, end) = (base.raw(), base.raw() + size);
+        let idx = self.free.partition_point(|&(b, _)| b < start);
+        debug_assert!(
+            self.free.get(idx).is_none_or(|&(b, _)| end <= b)
+                && (idx == 0 || {
+                    let (b, l) = self.free[idx - 1];
+                    b + l <= start
+                }),
+            "double free of [{start:#x}, {end:#x})"
+        );
+        self.free.insert(idx, (start, size));
+        // Coalesce with the right neighbour, then the left.
+        if idx + 1 < self.free.len() && self.free[idx].0 + self.free[idx].1 == self.free[idx + 1].0
+        {
+            self.free[idx].1 += self.free[idx + 1].1;
+            self.free.remove(idx + 1);
+        }
+        if idx > 0 && self.free[idx - 1].0 + self.free[idx - 1].1 == self.free[idx].0 {
+            self.free[idx - 1].1 += self.free[idx].1;
+            self.free.remove(idx);
+        }
+    }
+
+    /// Size of the largest free range — the degradation policy's health
+    /// signal.
+    pub fn largest_free(&self) -> u64 {
+        self.free.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// Total free bytes across all ranges.
+    pub fn total_free(&self) -> u64 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Number of disjoint free ranges (a fragmentation signal).
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(base: u64, len: u64) -> RegionPool {
+        RegionPool::new(PhysAddr::new(base), PhysAddr::new(base + len))
+    }
+
+    #[test]
+    fn alloc_is_lowest_fit_and_reuses_alignment_gaps() {
+        let mut p = pool(0x1000, 1 << 20);
+        assert_eq!(p.alloc_aligned(0x1000, 0x1000), Some(PhysAddr::new(0x1000)));
+        // 0x8000-alignment skips over [0x2000, 0x8000)…
+        assert_eq!(p.alloc_aligned(0x8000, 0x8000), Some(PhysAddr::new(0x8000)));
+        // …but that gap is not leaked (the bump cursor leaked it): the next
+        // allocation it can hold lands there.
+        assert_eq!(p.alloc_aligned(0x2000, 0x2000), Some(PhysAddr::new(0x2000)));
+        assert_eq!(
+            p.alloc_aligned(0x4_0000, 0x4_0000),
+            Some(PhysAddr::new(0x4_0000))
+        );
+        assert_eq!(p.alloc_aligned(0x1000, 0x1000), Some(PhysAddr::new(0x4000)));
+    }
+
+    #[test]
+    fn free_coalesces_both_neighbours() {
+        let mut p = pool(0x0, 0x4000);
+        let a = p.alloc_aligned(0x1000, 0x1000).unwrap();
+        let b = p.alloc_aligned(0x1000, 0x1000).unwrap();
+        let c = p.alloc_aligned(0x1000, 0x1000).unwrap();
+        let d = p.alloc_aligned(0x1000, 0x1000).unwrap();
+        assert_eq!(p.total_free(), 0);
+        p.free(a, 0x1000);
+        p.free(c, 0x1000);
+        assert_eq!(p.fragments(), 2);
+        p.free(b, 0x1000); // merges with both a and c
+        assert_eq!(p.fragments(), 1);
+        p.free(d, 0x1000);
+        assert_eq!(p.fragments(), 1);
+        assert_eq!(p.largest_free(), 0x4000);
+    }
+
+    #[test]
+    fn churn_of_equal_sizes_reaches_a_fixed_point() {
+        let mut p = pool(0x10_0000, 1 << 20);
+        for _ in 0..10_000 {
+            let r = p.alloc_aligned(0x1_0000, 0x1_0000).expect("no leak");
+            p.free(r, 0x1_0000);
+        }
+        assert_eq!(p.total_free(), 1 << 20);
+        assert_eq!(p.fragments(), 1);
+    }
+
+    #[test]
+    fn alloc_at_carves_exact_ranges() {
+        let mut p = pool(0x0, 0x10000);
+        assert!(p.alloc_at(PhysAddr::new(0x4000), 0x2000));
+        assert!(!p.alloc_at(PhysAddr::new(0x4000), 0x1000), "already taken");
+        assert_eq!(p.fragments(), 2);
+        assert_eq!(p.lowest_fit(0x4000, 0x4000), Some(PhysAddr::new(0x0)));
+        // Page-aligned fits can land where NAPOT alignment cannot.
+        assert_eq!(p.lowest_fit(0x8000, 0x8000), Some(PhysAddr::new(0x8000)));
+        assert_eq!(p.lowest_fit(0x6000, 0x1000), Some(PhysAddr::new(0x6000)));
+        p.free(PhysAddr::new(0x4000), 0x2000);
+        assert_eq!(p.fragments(), 1);
+        assert_eq!(p.largest_free(), 0x10000);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut p = pool(0x0, 0x4000);
+        assert!(p.alloc_aligned(0x4000, 0x4000).is_some());
+        assert_eq!(p.alloc_aligned(0x1000, 0x1000), None);
+        assert_eq!(p.largest_free(), 0);
+    }
+}

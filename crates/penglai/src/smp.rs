@@ -38,6 +38,7 @@
 //! on at most one hart at a time — its image and private memory exist
 //! once — while the host may run on any number of harts.
 
+use crate::degrade::DegradationPolicy;
 use crate::gms::GmsLabel;
 use crate::monitor::{cost, DomainId, MonitorError, SecureMonitor, TeeFlavor};
 use hpmp_core::{DeferredShootdown, IpiKind, PmpRegion};
@@ -111,8 +112,8 @@ impl<S: TraceSink> SmpSystem<S> {
             )?;
             monitor.program_current(m)?;
         }
-        // Boot-time table builds note a shootdown; nobody was running yet.
-        let _ = monitor.take_shootdown();
+        // Boot-time table builds note shootdowns; nobody was running yet.
+        let _ = monitor.take_shootdowns();
         Ok(SmpSystem {
             mh,
             monitor,
@@ -220,7 +221,7 @@ impl<S: TraceSink> SmpSystem<S> {
         // A switch changes no holdings, but remote harts may hold TLB
         // entries tagged with the switched hart's old world; Penglai
         // broadcasts a fence on switch, and so do we.
-        let stall = self.deliver(hart, None, span)?;
+        let stall = self.deliver(hart, &[], span)?;
         if let (Some(id), Some(t0)) = (span, begin) {
             self.spans.emit_reserved(SpanEvent {
                 id,
@@ -333,6 +334,27 @@ impl<S: TraceSink> SmpSystem<S> {
         Ok(cycles)
     }
 
+    /// Pins `domain` against compaction; see
+    /// [`SecureMonitor::pin_domain`]. Pure bookkeeping — no permission
+    /// changes, so no shootdown round.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureMonitor::pin_domain`].
+    pub fn pin_domain(&mut self, domain: DomainId) -> Result<(), MonitorError> {
+        self.monitor.pin_domain(domain)
+    }
+
+    /// Unpins `domain`; see [`SecureMonitor::unpin_domain`].
+    pub fn unpin_domain(&mut self, domain: DomainId) {
+        self.monitor.unpin_domain(domain);
+    }
+
+    /// Replaces the monitor's degradation policy. Pure bookkeeping.
+    pub fn set_degradation_policy(&mut self, policy: DegradationPolicy) {
+        self.monitor.set_degradation_policy(policy);
+    }
+
     /// Runs one monitor op on `hart` with `current` banked to that hart's
     /// scheduled domain, then drains and delivers the shootdown. The
     /// returned cycle count includes the sender-side stall.
@@ -355,10 +377,32 @@ impl<S: TraceSink> SmpSystem<S> {
         // Ops may have switched domains internally (destroy of the running
         // domain falls back to the host).
         self.scheduled[usize::from(hart)] = self.monitor.current();
-        let (r, mut cycles) = out?;
-        let changed = self.monitor.take_shootdown();
-        cycles += self.deliver(hart, changed, span)?;
+        // Drain the shootdown list and the compaction breadcrumb even when
+        // the op failed: an allocation that escalated through compaction
+        // before being refused still *moved memory*, and remote harts must
+        // observe that before anything else runs.
+        let changed = self.monitor.take_shootdowns();
+        let note = self.monitor.take_compaction_note();
+        let (r, mut cycles) = match out {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.deliver(hart, &changed, None)?;
+                return Err(e);
+            }
+        };
+        cycles += self.deliver(hart, &changed, span)?;
         if let (Some(id), Some(t0)) = (span, begin) {
+            if let Some(n) = note {
+                // The compaction stall, attributable inside the op span.
+                self.spans.emit(
+                    SpanKind::Compact,
+                    hart,
+                    changed.first().map(|d| d.0),
+                    Some(id),
+                    t0 + n.offset,
+                    t0 + n.offset + n.cycles,
+                );
+            }
             self.spans.emit_reserved(SpanEvent {
                 id,
                 parent: None,
@@ -373,8 +417,9 @@ impl<S: TraceSink> SmpSystem<S> {
     }
 
     /// Delivers a shootdown from `hart` to every other hart and returns
-    /// the sender's stall cycles. `changed` picks reprogram targets; a
-    /// plain fence broadcast passes `None`.
+    /// the sender's stall cycles. `changed` lists every domain whose
+    /// holdings the op touched (several, when compaction ran) and picks
+    /// reprogram targets; a plain fence broadcast passes an empty slice.
     ///
     /// When spans are enabled, each receiver gets a child span chain under
     /// `parent`: an `ipi_send` on the sender (the doorbell write, charged
@@ -388,7 +433,7 @@ impl<S: TraceSink> SmpSystem<S> {
     fn deliver(
         &mut self,
         from: u16,
-        changed: Option<DomainId>,
+        changed: &[DomainId],
         parent: Option<u64>,
     ) -> Result<u64, MonitorError> {
         if self.suppress_shootdowns || self.mh.harts() == 1 {
@@ -409,7 +454,7 @@ impl<S: TraceSink> SmpSystem<S> {
         // All doorbells are written before the first receiver's flight
         // completes; receivers then handle concurrently.
         let t_sent = t0 + (self.mh.harts() as u64 - 1) * ipi_post;
-        let domain = changed.map(|d| d.0);
+        let domain = changed.first().map(|d| d.0);
         let mut posted = 0u64;
         let mut sender_cycles = 0;
         let mut slowest_ack = 0;
@@ -417,11 +462,13 @@ impl<S: TraceSink> SmpSystem<S> {
             if hart == from {
                 continue;
             }
-            let kind = match changed {
-                Some(d) if self.monitor.image_depends(self.scheduled(hart), d) => {
-                    IpiKind::Reprogram
-                }
-                _ => IpiKind::FenceOnly,
+            let kind = if changed
+                .iter()
+                .any(|&d| self.monitor.image_depends(self.scheduled(hart), d))
+            {
+                IpiKind::Reprogram
+            } else {
+                IpiKind::FenceOnly
             };
             sender_cycles += self.mh.post_ipi(from, hart, kind);
             if spans_on {

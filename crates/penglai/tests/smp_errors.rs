@@ -1,0 +1,103 @@
+//! Error paths under multi-hart operation: the PMP entry wall and the
+//! one-hart-per-enclave scheduling rule, both exercised through
+//! [`SmpSystem`] so the failing operation still drains and delivers the
+//! cross-hart shootdowns it owes, and the system stays fully usable
+//! afterwards.
+
+use hpmp_core::PmpRegion;
+use hpmp_machine::MachineConfig;
+use hpmp_memsim::PhysAddr;
+use hpmp_penglai::{DomainId, GmsLabel, MonitorError, SmpSystem, TeeFlavor};
+
+const RAM: PmpRegion = PmpRegion::new(PhysAddr::new(0x8000_0000), 1 << 30);
+
+fn boot(flavor: TeeFlavor, harts: usize) -> SmpSystem {
+    SmpSystem::boot(MachineConfig::rocket(), flavor, RAM, harts).unwrap()
+}
+
+#[test]
+fn pmp_entry_wall_is_typed_and_survivable_under_smp() {
+    let mut smp = boot(TeeFlavor::PenglaiPmp, 4);
+    // Fill the register file: segment-per-region PMP runs out of entries
+    // long before it runs out of memory.
+    let mut domains = Vec::new();
+    let wall = loop {
+        match smp.create_domain_on(0, 1 << 20, GmsLabel::Fast) {
+            Ok((id, _)) => domains.push(id),
+            Err(e) => break e,
+        }
+        assert!(domains.len() <= 64, "entry wall never hit");
+    };
+    assert_eq!(wall, MonitorError::OutOfPmpEntries);
+    assert!(!domains.is_empty());
+
+    // The failed create must not have wedged the system: every hart still
+    // schedules, and remote harts keep receiving shootdowns.
+    for hart in 0..4 {
+        assert_eq!(smp.scheduled(hart), DomainId::HOST);
+    }
+    smp.switch_on(3, domains[0]).unwrap();
+    smp.switch_on(3, DomainId::HOST).unwrap();
+
+    // Destroying one domain re-opens exactly the entries it held; a
+    // create driven from a *different* hart then succeeds.
+    let victim = domains.pop().unwrap();
+    smp.destroy_domain_on(0, victim).unwrap();
+    let (replacement, _) = smp.create_domain_on(2, 1 << 20, GmsLabel::Fast).unwrap();
+    smp.switch_on(1, replacement).unwrap();
+    smp.verify_accounting().expect("accounting after the wall");
+}
+
+#[test]
+fn already_scheduled_is_raced_across_three_harts() {
+    let mut smp = boot(TeeFlavor::PenglaiHpmp, 3);
+    let (id, _) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+    smp.switch_on(0, id).unwrap();
+
+    // Both other harts lose the race with a typed, non-wedging error.
+    for hart in [1u16, 2] {
+        assert_eq!(
+            smp.switch_on(hart, id),
+            Err(MonitorError::AlreadyScheduled(id))
+        );
+        assert_eq!(smp.scheduled(hart), DomainId::HOST, "loser must stay put");
+    }
+
+    // Handoff: once hart 0 leaves, exactly one other hart may enter.
+    smp.switch_on(0, DomainId::HOST).unwrap();
+    smp.switch_on(2, id).unwrap();
+    assert_eq!(
+        smp.switch_on(1, id),
+        Err(MonitorError::AlreadyScheduled(id))
+    );
+
+    // The error path still participates in shootdown bookkeeping: a later
+    // grant from the host hart reaches the hart actually running it.
+    let before = smp.metrics_snapshot().value("hart.2.shootdowns");
+    smp.alloc_on(0, id, 1 << 20, GmsLabel::Slow).unwrap();
+    let after = smp.metrics_snapshot().value("hart.2.shootdowns");
+    assert!(after > before, "running hart missed the grant shootdown");
+    smp.verify_accounting().expect("accounting after the races");
+}
+
+#[test]
+fn destroying_a_scheduled_enclaves_domain_still_fences_everyone() {
+    // Mixed error/success sequence: errors in the middle of a shootdown-
+    // heavy workload must not desynchronize any hart's register image.
+    let mut smp = boot(TeeFlavor::PenglaiHpmp, 2);
+    let (a, _) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+    let (b, _) = smp.create_domain_on(0, 1 << 20, GmsLabel::Slow).unwrap();
+    smp.switch_on(1, a).unwrap();
+    assert_eq!(smp.switch_on(0, a), Err(MonitorError::AlreadyScheduled(a)));
+    smp.switch_on(0, b).unwrap();
+    smp.switch_on(0, DomainId::HOST).unwrap();
+    smp.switch_on(1, DomainId::HOST).unwrap();
+    smp.destroy_domain_on(0, a).unwrap();
+    assert_eq!(
+        smp.switch_on(1, a),
+        Err(MonitorError::NoSuchDomain(a)),
+        "destroyed domain must be unschedulable everywhere"
+    );
+    smp.destroy_domain_on(1, b).unwrap();
+    smp.verify_accounting().expect("clean final state");
+}

@@ -57,11 +57,15 @@ pub enum SpanKind {
     /// Receiver-side fence killing stale TLB/PMPTW-Cache entries (child
     /// of [`SpanKind::ShootdownRecv`]).
     Fence,
+    /// A segment-compaction pass inside an allocation (degradation stage
+    /// 1+): region copies, table rewrites, and reprogramming. Child of the
+    /// op span that triggered it.
+    Compact,
 }
 
 impl SpanKind {
     /// Every kind, in a fixed report order.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::Switch,
         SpanKind::CreateDomain,
         SpanKind::Alloc,
@@ -73,6 +77,7 @@ impl SpanKind {
         SpanKind::Trap,
         SpanKind::Reprogram,
         SpanKind::Fence,
+        SpanKind::Compact,
     ];
 
     /// Stable wire label.
@@ -89,6 +94,7 @@ impl SpanKind {
             SpanKind::Trap => "trap",
             SpanKind::Reprogram => "reprogram",
             SpanKind::Fence => "fence",
+            SpanKind::Compact => "compact",
         }
     }
 

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod aging;
 pub mod arena;
 pub mod fixture;
 pub mod frag;
