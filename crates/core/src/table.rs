@@ -465,7 +465,7 @@ pub struct TableWalk {
 /// assert_eq!(walk.perms, Some(Perms::RW));
 /// assert_eq!(walk.refs.len(), 2); // root pmpte + leaf pmpte
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PmpTable {
     region: PmpRegion,
     root: PhysAddr,

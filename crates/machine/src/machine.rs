@@ -195,7 +195,7 @@ impl MachineStats {
 /// counters plus every sub-component's, wired once at construction so the
 /// per-access bookkeeping is a `Vec<u64>` index bump — counter names are
 /// only materialized again when [`Machine::metrics_snapshot`] is taken.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct MachineWiring {
     accesses: CounterId,
     cycles: CounterId,
@@ -317,7 +317,7 @@ impl MachineConfig {
 /// The `S` parameter selects the trace sink. The default [`NullSink`]
 /// machine ([`Machine::new`]) records nothing and pays nothing; a machine
 /// built with [`Machine::with_sink`] emits one [`WalkEvent`] per access.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Machine<S: TraceSink = NullSink> {
     core: CoreModel,
     mem_sys: MemSystem,

@@ -252,6 +252,31 @@ impl<S: TraceSink> MultiHartMachine<S> {
     }
 }
 
+/// Snapshot support for the bounded model checker: a clone is an
+/// independent fork of the whole multi-hart state (harts, registers,
+/// caches, the shared `PhysMem`, IPI fabric, counters) that the DFS can
+/// mutate and discard without touching the original.
+///
+/// Only the deterministic backend can be forked — the threaded backend
+/// owns OS threads and per-hart mailboxes that have no meaningful copy.
+impl<S: TraceSink + Clone> Clone for MultiHartMachine<S> {
+    fn clone(&self) -> MultiHartMachine<S> {
+        assert!(
+            self.threaded.is_none(),
+            "cannot fork a MultiHartMachine while the threaded backend is active"
+        );
+        MultiHartMachine {
+            harts: self.harts.clone(),
+            active: self.active,
+            fabric: self.fabric.clone(),
+            cost: self.cost,
+            metrics: self.metrics.clone(),
+            ids: self.ids.clone(),
+            threaded: None,
+        }
+    }
+}
+
 /// A deterministic hart interleaver: seeded, weighted, wall-clock-free.
 ///
 /// Each call to [`HartScheduler::next`] picks a hart with probability

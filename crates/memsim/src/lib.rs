@@ -28,6 +28,7 @@ mod addr;
 mod cache;
 mod config;
 mod dram;
+mod hash;
 mod hierarchy;
 mod perm;
 mod physmem;
@@ -38,6 +39,7 @@ pub use addr::{PhysAddr, VirtAddr, LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE}
 pub use cache::{lines_spanned, Cache, CacheConfig, CacheStats, CacheStatsIds};
 pub use config::{CoreKind, CoreModel};
 pub use dram::{Dram, DramConfig, DramStats, DramStatsIds};
+pub use hash::Fnv1a;
 pub use hierarchy::{
     HitLevel, MemAccessOutcome, MemSystem, MemSystemConfig, MemSystemStats, MemSystemStatsIds,
 };

@@ -287,6 +287,19 @@ impl FrameAllocator {
         Some(frame)
     }
 
+    /// Feeds the allocator's logical state (bump cursor and recycled-frame
+    /// stack) into a state fingerprint. Two allocators hashing equal will
+    /// hand out identical frame sequences forever.
+    pub fn hash_into<H: std::hash::Hasher>(&self, h: &mut H) {
+        h.write_u64(self.base.raw());
+        h.write_u64(self.next.raw());
+        h.write_u64(self.end.raw());
+        h.write_usize(self.released.len());
+        for frame in &self.released {
+            h.write_u64(frame.raw());
+        }
+    }
+
     /// Returns a frame to the allocator for reuse. The caller is
     /// responsible for scrubbing its contents first (a recycled table
     /// frame full of stale pmptes would otherwise decode as live grants).

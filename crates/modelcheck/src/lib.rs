@@ -1,0 +1,31 @@
+//! # hpmp-modelcheck
+//!
+//! Exhaustive small-scope verification of the secure monitor, promoting
+//! the shootdown battery's sampled fail-closed property ("held on 1000
+//! random schedules") to a bounded guarantee ("holds on **all** schedules
+//! of up to k ops across n harts"), in the spirit of Cheang et al.,
+//! "Verifying RISC-V Physical Memory Protection".
+//!
+//! Three pieces:
+//!
+//! * [`bmc`] — the bounded model checker: explicit-state DFS over forked
+//!   [`hpmp_penglai::SmpSystem`]s with fingerprint-canonicalized pruning
+//!   and a lockstep fail-closed check against the cache-free oracle.
+//! * [`schedule`] — the replayable counterexample format, shared with the
+//!   pinned regression cases in `tests/shootdown.rs`.
+//! * [`fuzz`] — the differential fuzz bodies behind the three cargo-fuzz
+//!   targets in `fuzz/`, plus a deterministic, dependency-free corpus
+//!   smoke driver for stable-toolchain CI.
+//!
+//! The `hpmp-verify` binary fronts all of it.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bmc;
+pub mod fuzz;
+pub mod schedule;
+
+pub use bmc::{fail_closed_violation, run_bmc, BmcConfig, BmcReport, Counterexample, Plant};
+pub use fuzz::{smoke, SmokeReport};
+pub use schedule::{MonitorOp, Schedule, ScheduledOp, PRESSURE_REGION, SMALL_REGION};

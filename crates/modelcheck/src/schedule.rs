@@ -1,0 +1,342 @@
+//! Replayable op schedules: the counterexample exchange format.
+//!
+//! A [`Schedule`] is an explicit, totally ordered sequence of monitor ops,
+//! each tagged with the hart that drives it. The bounded model checker
+//! emits counterexamples in this form; `tests/shootdown.rs` pins them as
+//! regression cases and replays them with [`Schedule::run`]. The text
+//! format round-trips through [`Schedule::parse`] and `Display`, e.g.:
+//!
+//! ```text
+//! h0:create h1:switch(1) h0:alloc(1,fast) h1:free(1,0)
+//! ```
+//!
+//! Domain ids in a schedule are the monitor's own deterministic ids
+//! (`create` assigns 1, 2, … in order), so a schedule replayed against a
+//! fresh boot resolves identically to the search run that produced it.
+
+use hpmp_penglai::{DomainId, GmsLabel, MonitorError, SmpSystem};
+use hpmp_trace::TraceSink;
+
+/// Region size for plain `create`/`alloc` ops: 1 MiB.
+pub const SMALL_REGION: u64 = 1 << 20;
+/// Region size for pressure (`big`) allocations: 16 MiB. Three of these
+/// exhaust the 64 MiB arena of a 128 MiB boot, which is what drives the
+/// monitor through its compaction/table-only/admission ladder inside a
+/// small op bound.
+pub const PRESSURE_REGION: u64 = 16 << 20;
+
+/// One monitor operation, hart-agnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorOp {
+    /// `create` — create an enclave with a [`SMALL_REGION`] initial
+    /// region, [`GmsLabel::Slow`].
+    Create,
+    /// `destroy(d)` — destroy enclave `d`.
+    Destroy(u32),
+    /// `alloc(d,label[,big])` — allocate a region for `d`;
+    /// [`PRESSURE_REGION`] bytes when `big`, else [`SMALL_REGION`].
+    Alloc {
+        /// Owning domain id.
+        domain: u32,
+        /// Requested placement label.
+        label: GmsLabel,
+        /// Pressure-sized allocation (compaction-triggering).
+        pressure: bool,
+    },
+    /// `free(d,slot)` — free the `slot`-th region of `d`'s GMS list.
+    Free {
+        /// Owning domain id.
+        domain: u32,
+        /// Index into the domain's GMS list at issue time.
+        slot: usize,
+    },
+    /// `relabel(d,slot,label)` — relabel the `slot`-th region of `d`.
+    Relabel {
+        /// Owning domain id.
+        domain: u32,
+        /// Index into the domain's GMS list at issue time.
+        slot: usize,
+        /// The new label.
+        label: GmsLabel,
+    },
+    /// `switch(d)` / `switch(host)` — schedule domain `d` on the hart.
+    Switch(u32),
+}
+
+/// A [`MonitorOp`] driven from a specific hart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// The hart the op runs on.
+    pub hart: u16,
+    /// The operation.
+    pub op: MonitorOp,
+}
+
+/// An explicit interleaving of monitor ops across harts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule(pub Vec<ScheduledOp>);
+
+fn label_key(label: GmsLabel) -> &'static str {
+    match label {
+        GmsLabel::Fast => "fast",
+        GmsLabel::Slow => "slow",
+    }
+}
+
+fn parse_label(s: &str) -> Result<GmsLabel, String> {
+    match s {
+        "fast" => Ok(GmsLabel::Fast),
+        "slow" => Ok(GmsLabel::Slow),
+        other => Err(format!("unknown label `{other}`")),
+    }
+}
+
+impl std::fmt::Display for MonitorOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MonitorOp::Create => f.write_str("create"),
+            MonitorOp::Destroy(d) => write!(f, "destroy({d})"),
+            MonitorOp::Alloc {
+                domain,
+                label,
+                pressure,
+            } => {
+                write!(f, "alloc({domain},{}", label_key(label))?;
+                if pressure {
+                    f.write_str(",big")?;
+                }
+                f.write_str(")")
+            }
+            MonitorOp::Free { domain, slot } => write!(f, "free({domain},{slot})"),
+            MonitorOp::Relabel {
+                domain,
+                slot,
+                label,
+            } => write!(f, "relabel({domain},{slot},{})", label_key(label)),
+            MonitorOp::Switch(d) => {
+                if d == DomainId::HOST.0 {
+                    f.write_str("switch(host)")
+                } else {
+                    write!(f, "switch({d})")
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduledOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}:{}", self.hart, self.op)
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, op) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ScheduledOp {
+    fn parse(tok: &str) -> Result<ScheduledOp, String> {
+        let (hart_part, op_part) = tok
+            .split_once(':')
+            .ok_or_else(|| format!("expected h<hart>:<op>, got `{tok}`"))?;
+        let hart: u16 = hart_part
+            .strip_prefix('h')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("bad hart tag `{hart_part}`"))?;
+        let (name, args) = match op_part.split_once('(') {
+            None => (op_part, Vec::new()),
+            Some((name, rest)) => {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed args in `{op_part}`"))?;
+                (name, inner.split(',').map(str::trim).collect())
+            }
+        };
+        let domain = |idx: usize| -> Result<u32, String> {
+            let raw = *args
+                .get(idx)
+                .ok_or_else(|| format!("`{op_part}` is missing argument {idx}"))?;
+            if raw == "host" {
+                return Ok(DomainId::HOST.0);
+            }
+            raw.parse()
+                .map_err(|_| format!("bad domain id `{raw}` in `{op_part}`"))
+        };
+        let slot = |idx: usize| -> Result<usize, String> {
+            args.get(idx)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad slot in `{op_part}`"))
+        };
+        let op = match name {
+            "create" => MonitorOp::Create,
+            "destroy" => MonitorOp::Destroy(domain(0)?),
+            "alloc" => MonitorOp::Alloc {
+                domain: domain(0)?,
+                label: parse_label(args.get(1).copied().unwrap_or(""))?,
+                pressure: match args.get(2) {
+                    None => false,
+                    Some(&"big") => true,
+                    Some(other) => return Err(format!("unknown alloc flag `{other}`")),
+                },
+            },
+            "free" => MonitorOp::Free {
+                domain: domain(0)?,
+                slot: slot(1)?,
+            },
+            "relabel" => MonitorOp::Relabel {
+                domain: domain(0)?,
+                slot: slot(1)?,
+                label: parse_label(args.get(2).copied().unwrap_or(""))?,
+            },
+            "switch" => MonitorOp::Switch(domain(0)?),
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        Ok(ScheduledOp { hart, op })
+    }
+}
+
+impl Schedule {
+    /// Parses the whitespace-separated text form. Empty input is the empty
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first malformed token.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        text.split_whitespace()
+            .map(ScheduledOp::parse)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Schedule)
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the schedule has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Applies every op in order to `smp`, returning each op's outcome.
+    ///
+    /// Monitor errors ([`MonitorError::OutOfMemory`],
+    /// [`MonitorError::ResourceExhausted`], …) are *outcomes*, not replay
+    /// failures: a refused allocation is a legitimate transition (it may
+    /// still have compacted memory and shot down remote harts), so replay
+    /// records it and continues.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when an op cannot be *issued* at all — it names a domain
+    /// or region slot that does not exist at that point, meaning the
+    /// schedule is being replayed against a different boot state than the
+    /// one that produced it.
+    pub fn run<S: TraceSink>(
+        &self,
+        smp: &mut SmpSystem<S>,
+    ) -> Result<Vec<Result<(), MonitorError>>, String> {
+        self.0.iter().map(|s| apply(smp, *s)).collect()
+    }
+}
+
+/// Applies one scheduled op; see [`Schedule::run`] for the error contract.
+pub fn apply<S: TraceSink>(
+    smp: &mut SmpSystem<S>,
+    s: ScheduledOp,
+) -> Result<Result<(), MonitorError>, String> {
+    let region_base = |smp: &SmpSystem<S>, domain: u32, slot: usize| {
+        let gmss = smp
+            .monitor()
+            .regions_of(DomainId(domain))
+            .map_err(|e| format!("op `{s}` names a dead domain: {e}"))?;
+        gmss.get(slot).map(|g| g.region.base).ok_or_else(|| {
+            format!(
+                "op `{s}` names slot {slot} but the domain has {} regions",
+                gmss.len()
+            )
+        })
+    };
+    let out = match s.op {
+        MonitorOp::Create => smp
+            .create_domain_on(s.hart, SMALL_REGION, GmsLabel::Slow)
+            .map(|_| ()),
+        MonitorOp::Destroy(d) => smp.destroy_domain_on(s.hart, DomainId(d)).map(|_| ()),
+        MonitorOp::Alloc {
+            domain,
+            label,
+            pressure,
+        } => {
+            let size = if pressure {
+                PRESSURE_REGION
+            } else {
+                SMALL_REGION
+            };
+            smp.alloc_on(s.hart, DomainId(domain), size, label)
+                .map(|_| ())
+        }
+        MonitorOp::Free { domain, slot } => {
+            let base = region_base(smp, domain, slot)?;
+            smp.free_on(s.hart, DomainId(domain), base).map(|_| ())
+        }
+        MonitorOp::Relabel {
+            domain,
+            slot,
+            label,
+        } => {
+            let base = region_base(smp, domain, slot)?;
+            smp.relabel_on(s.hart, DomainId(domain), base, label)
+                .map(|_| ())
+        }
+        MonitorOp::Switch(d) => smp.switch_on(s.hart, DomainId(d)).map(|_| ()),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_form_round_trips() {
+        let text = "h0:create h1:switch(1) h0:alloc(1,fast) h0:alloc(1,slow,big) \
+                    h1:free(1,0) h0:relabel(1,1,slow) h1:destroy(1) h0:switch(host)";
+        let sched = Schedule::parse(text).expect("parse");
+        assert_eq!(sched.len(), 8);
+        assert_eq!(Schedule::parse(&sched.to_string()).expect("reparse"), sched);
+        assert_eq!(sched.0[1].op, MonitorOp::Switch(1));
+        assert_eq!(sched.0[7].op, MonitorOp::Switch(DomainId::HOST.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in [
+            "create",           // missing hart tag
+            "h0:alloc(1",       // unclosed args
+            "h0:alloc(1,warm)", // unknown label
+            "h0:alloc(1,fast,huge)",
+            "hx:create",
+            "h0:frob(1)",
+            "h0:destroy(q)",
+            "h0:free(1)", // missing slot
+        ] {
+            assert!(Schedule::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        let sched = Schedule::parse("  \n ").expect("whitespace only");
+        assert!(sched.is_empty());
+        assert_eq!(sched.to_string(), "");
+    }
+}

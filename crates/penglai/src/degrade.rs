@@ -118,6 +118,14 @@ impl DegradeState {
         self.stage
     }
 
+    /// The current hysteresis streak, for state fingerprinting: two
+    /// monitors at the same stage but different streaks are *not*
+    /// equivalent (one is closer to promotion), so the model checker must
+    /// distinguish them.
+    pub(crate) fn healthy_streak(&self) -> u32 {
+        self.healthy_streak
+    }
+
     /// Raises the stage to `to` if it is currently lower. Returns true
     /// when this was a genuine transition (for counting stage entries).
     pub(crate) fn escalate(&mut self, to: DegradeStage) -> bool {
@@ -216,6 +224,109 @@ mod tests {
         assert_eq!(d.stage(), DegradeStage::Normal);
         // At normal the streak is moot.
         assert!(!d.settle(2 << 20));
+    }
+
+    /// Boundary: `healthy_free` is inclusive. A pool whose largest hole is
+    /// exactly the threshold counts as healthy; one byte less resets the
+    /// streak to zero (not merely pauses it).
+    #[test]
+    fn healthy_free_boundary_is_inclusive() {
+        let policy = DegradationPolicy {
+            promote_after: 2,
+            healthy_free: 1 << 20,
+            retry_after_ops: 8,
+        };
+        let mut d = DegradeState::new(policy);
+        d.escalate(DegradeStage::Compacting);
+        // One byte short is never healthy, no matter how often.
+        for _ in 0..5 {
+            assert!(!d.settle((1 << 20) - 1));
+        }
+        assert_eq!(d.stage(), DegradeStage::Compacting);
+        assert_eq!(d.healthy_streak(), 0, "lean settles must reset, not pause");
+        // Exactly at the threshold is healthy.
+        assert!(!d.settle(1 << 20));
+        assert_eq!(d.healthy_streak(), 1);
+        // A lean op in between throws the whole streak away…
+        assert!(!d.settle((1 << 20) - 1));
+        assert_eq!(d.healthy_streak(), 0);
+        // …so promotion needs the full count again.
+        assert!(!d.settle(1 << 20));
+        assert!(d.settle(1 << 20));
+        assert_eq!(d.stage(), DegradeStage::Normal);
+    }
+
+    /// Boundary: `promote_after` is an exact count — `promote_after - 1`
+    /// healthy ops do nothing, the `promote_after`-th promotes, and the
+    /// streak restarts from zero for the next stage.
+    #[test]
+    fn promote_after_is_an_exact_count() {
+        let policy = DegradationPolicy {
+            promote_after: 5,
+            healthy_free: 4096,
+            retry_after_ops: 8,
+        };
+        let mut d = DegradeState::new(policy);
+        d.escalate(DegradeStage::Admission);
+        for i in 0..4 {
+            assert!(!d.settle(8192), "op {i} promoted one short of the count");
+        }
+        assert_eq!(d.stage(), DegradeStage::Admission);
+        assert!(d.settle(8192), "the promote_after-th op must promote");
+        assert_eq!(d.stage(), DegradeStage::TableOnly);
+        // The streak restarted: four more ops are again not enough.
+        for _ in 0..4 {
+            assert!(!d.settle(8192));
+        }
+        assert_eq!(d.stage(), DegradeStage::TableOnly);
+        assert!(d.settle(8192));
+        assert_eq!(d.stage(), DegradeStage::Compacting);
+    }
+
+    /// Boundary: escalation zeroes a built streak — progress toward
+    /// promotion at one stage must not carry into a deeper stage.
+    #[test]
+    fn a_streak_does_not_survive_escalation() {
+        let policy = DegradationPolicy {
+            promote_after: 3,
+            healthy_free: 4096,
+            retry_after_ops: 8,
+        };
+        let mut d = DegradeState::new(policy);
+        d.escalate(DegradeStage::Compacting);
+        assert!(!d.settle(8192));
+        assert!(!d.settle(8192));
+        assert_eq!(d.healthy_streak(), 2);
+        d.escalate(DegradeStage::Admission);
+        assert_eq!(d.healthy_streak(), 0, "escalation must zero the streak");
+        // Two healthy ops (the would-be third of the old streak) are no
+        // longer enough.
+        assert!(!d.settle(8192));
+        assert!(!d.settle(8192));
+        assert_eq!(d.stage(), DegradeStage::Admission);
+        assert!(d.settle(8192));
+        assert_eq!(d.stage(), DegradeStage::TableOnly);
+    }
+
+    /// Degenerate boundary: `promote_after = 1` promotes one stage per
+    /// healthy settle, never more — and at normal, settles stay no-ops.
+    #[test]
+    fn promote_after_one_steps_one_stage_per_settle() {
+        let policy = DegradationPolicy {
+            promote_after: 1,
+            healthy_free: 4096,
+            retry_after_ops: 8,
+        };
+        let mut d = DegradeState::new(policy);
+        d.escalate(DegradeStage::Admission);
+        assert!(d.settle(8192));
+        assert_eq!(d.stage(), DegradeStage::TableOnly);
+        assert!(d.settle(8192));
+        assert_eq!(d.stage(), DegradeStage::Compacting);
+        assert!(d.settle(8192));
+        assert_eq!(d.stage(), DegradeStage::Normal);
+        assert!(!d.settle(8192), "no promotion below normal");
+        assert_eq!(d.stage(), DegradeStage::Normal);
     }
 
     #[test]

@@ -171,7 +171,7 @@ pub mod cost {
     pub const BOOKKEEPING: u64 = 90;
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Domain {
     id: DomainId,
     gmss: Vec<Gms>,
@@ -194,7 +194,7 @@ pub struct MonitorStats {
 
 /// Interned counter handles for the monitor's activity accounting; wired
 /// once at boot so every bump is a plain `Vec<u64>` index operation.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct MonitorWiring {
     switches: CounterId,
     csr_writes: CounterId,
@@ -267,7 +267,7 @@ pub struct CompactNote {
 }
 
 /// The secure monitor.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SecureMonitor {
     flavor: TeeFlavor,
     ram: PmpRegion,
@@ -439,6 +439,13 @@ impl SecureMonitor {
         self.domains.len()
     }
 
+    /// Ids of every live domain, host first, in creation order. The model
+    /// checker enumerates its op menu from this list, so the order must be
+    /// deterministic (and it is: `domains` is append-ordered).
+    pub fn domain_ids(&self) -> Vec<DomainId> {
+        self.domains.iter().map(|d| d.id).collect()
+    }
+
     /// Activity counters, reconstructed from the interned registry (the
     /// live accounting is a `Vec<u64>` behind [`CounterId`] handles).
     pub fn stats(&self) -> MonitorStats {
@@ -463,6 +470,89 @@ impl SecureMonitor {
     /// Fails for unknown domains.
     pub fn regions_of(&self, domain: DomainId) -> Result<&[Gms], MonitorError> {
         self.domain(domain).map(|d| d.gmss.as_slice())
+    }
+
+    /// Feeds the monitor's *logical* state into a fingerprint hasher, for
+    /// the bounded model checker's convergence pruning.
+    ///
+    /// Covered: everything the monitor's op transition functions read —
+    /// flavour, layout, the pool free list, degradation stage + hysteresis
+    /// streak + policy, pins, the table-frame allocator, every domain's id
+    /// and GMS list and table shape, scheduling state, id allocation,
+    /// device assignments, the register shadow, and undrained shootdown
+    /// obligations. Excluded: cycle counters and metrics (pure accounting —
+    /// two states differing only there behave identically forever), and
+    /// table *contents* in simulated DRAM, which are a deterministic
+    /// function of the covered state (tables are only ever written by
+    /// monitor ops, and the frame allocator's hash pins frame assignment).
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        h.write_u8(match self.flavor {
+            TeeFlavor::PenglaiPmp => 0,
+            TeeFlavor::PenglaiPmpt => 1,
+            TeeFlavor::PenglaiHpmp => 2,
+        });
+        for region in [self.ram, self.monitor_region, self.host_backdrop] {
+            h.write_u64(region.base.raw());
+            h.write_u64(region.size);
+        }
+        h.write_usize(self.pool.free_ranges().len());
+        for &(base, size) in self.pool.free_ranges() {
+            h.write_u64(base);
+            h.write_u64(size);
+        }
+        h.write_u8(self.degrade.stage().level());
+        h.write_u32(self.degrade.healthy_streak());
+        h.write_u32(self.degrade.policy.promote_after);
+        h.write_u64(self.degrade.policy.healthy_free);
+        h.write_u64(self.degrade.policy.retry_after_ops);
+        h.write_usize(self.pinned.len());
+        for d in &self.pinned {
+            h.write_u32(d.0);
+        }
+        self.table_frames.hash_into(h);
+        h.write_usize(self.domains.len());
+        for d in &self.domains {
+            h.write_u32(d.id.0);
+            h.write_usize(d.gmss.len());
+            for gms in &d.gmss {
+                h.write_u64(gms.region.base.raw());
+                h.write_u64(gms.region.size);
+                h.write_u8(gms.perms.bits());
+                h.write_u8(match gms.label {
+                    GmsLabel::Fast => 0,
+                    GmsLabel::Slow => 1,
+                });
+            }
+            match &d.table {
+                None => h.write_u8(0),
+                Some(t) => {
+                    h.write_u8(1);
+                    h.write_u64(t.root().raw());
+                    h.write_u64(t.region().base.raw());
+                    h.write_u64(t.region().size);
+                    h.write_usize(t.table_pages().len());
+                    for page in t.table_pages() {
+                        h.write_u64(page.raw());
+                    }
+                }
+            }
+        }
+        h.write_u32(self.current.0);
+        h.write_u32(self.next_id);
+        h.write_usize(self.devices.len());
+        for &(dev, owner) in &self.devices {
+            h.write_u8(dev.0);
+            h.write_u32(owner.0);
+        }
+        h.write_usize(self.shadow_regs.len());
+        for &(addr, cfg) in &self.shadow_regs {
+            h.write_u64(addr);
+            h.write_u8(cfg.to_bits());
+        }
+        h.write_usize(self.pending_shootdowns.len());
+        for d in &self.pending_shootdowns {
+            h.write_u32(d.0);
+        }
     }
 
     /// Creates an enclave domain with one initial private region of
@@ -932,6 +1022,12 @@ impl SecureMonitor {
     /// capacity-changing operation.
     fn settle_degradation(&mut self) {
         if self.degrade.settle(self.pool.largest_free()) {
+            // The PMP flavour's ladder has no table-only rung (0 → 1 → 3),
+            // so a repromotion out of admission lands on compaction
+            // directly — stage 2 must never be observable on PMP.
+            if self.flavor == TeeFlavor::PenglaiPmp {
+                self.degrade.recover_to(DegradeStage::Compacting);
+            }
             self.metrics.bump(self.ids.degrade_repromotions, 1);
             self.store_stage_gauge();
         }
@@ -2405,6 +2501,127 @@ mod tests {
             .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
             .unwrap();
         assert!(monitor.degrade_stage() < DegradeStage::Admission);
+    }
+
+    /// Hysteresis boundary: the repromotion step out of admission control
+    /// lands on the next rung *of the flavour's own ladder* — table-only
+    /// for the table flavours, straight to compacting for PMP (which has
+    /// no table-only rung in either direction).
+    #[test]
+    fn repromotion_out_of_admission_respects_the_flavour_ladder() {
+        for (flavor, expect) in [
+            (TeeFlavor::PenglaiPmp, DegradeStage::Compacting),
+            (TeeFlavor::PenglaiPmpt, DegradeStage::TableOnly),
+            (TeeFlavor::PenglaiHpmp, DegradeStage::TableOnly),
+        ] {
+            let (mut machine, mut monitor) = small_boot(flavor);
+            let mut bases = Vec::new();
+            for _ in 0..3 {
+                let (r, _) = monitor
+                    .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+                    .unwrap();
+                bases.push(r.base);
+            }
+            monitor
+                .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+                .unwrap_err();
+            assert_eq!(monitor.degrade_stage(), DegradeStage::Admission, "{flavor}");
+            // One healthy settled op promotes immediately…
+            monitor.set_degradation_policy(DegradationPolicy {
+                promote_after: 1,
+                healthy_free: 1 << 20,
+                retry_after_ops: 16,
+            });
+            monitor
+                .free_region(&mut machine, DomainId::HOST, bases[0])
+                .unwrap();
+            // …and must land on the flavour's own next rung.
+            assert_eq!(monitor.degrade_stage(), expect, "{flavor}");
+        }
+    }
+
+    /// Hysteresis boundary: `healthy_free` is inclusive at the monitor
+    /// level — a pool whose largest hole is *exactly* the threshold counts
+    /// as healthy, one byte less resets the streak. Checked on both a PMP
+    /// and a table flavour, since they settle through different
+    /// reprogramming paths.
+    #[test]
+    fn healthy_free_threshold_is_inclusive_for_both_flavours() {
+        for flavor in [TeeFlavor::PenglaiPmp, TeeFlavor::PenglaiHpmp] {
+            let (mut machine, mut monitor) = small_boot(flavor);
+            let mut bases = Vec::new();
+            for _ in 0..3 {
+                let (r, _) = monitor
+                    .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+                    .unwrap();
+                bases.push(r.base);
+            }
+            monitor
+                .alloc_region(&mut machine, DomainId::HOST, 16 << 20, GmsLabel::Slow)
+                .unwrap_err();
+            assert_eq!(monitor.degrade_stage(), DegradeStage::Admission, "{flavor}");
+            // Walk back to the compacting stage, where a successful
+            // allocation no longer moves the stage by itself (at admission
+            // any served request recovers, which would mask the settle
+            // signal under test).
+            monitor.set_degradation_policy(DegradationPolicy {
+                promote_after: 1,
+                healthy_free: 1 << 20,
+                retry_after_ops: 16,
+            });
+            monitor
+                .free_region(&mut machine, DomainId::HOST, bases[0])
+                .unwrap();
+            if flavor != TeeFlavor::PenglaiPmp {
+                // The table flavours land on table-only first; one more
+                // healthy settle steps them to compacting.
+                monitor
+                    .free_region(&mut machine, DomainId::HOST, bases[1])
+                    .unwrap();
+            }
+            assert_eq!(
+                monitor.degrade_stage(),
+                DegradeStage::Compacting,
+                "{flavor}"
+            );
+            let largest = monitor.arena_largest_free();
+            assert!(largest >= 16 << 20);
+
+            // Threshold one byte above the actual largest hole: every
+            // settle sees an unhealthy pool, so even promote_after=1 never
+            // promotes.
+            monitor.set_degradation_policy(DegradationPolicy {
+                promote_after: 1,
+                healthy_free: largest + 1,
+                retry_after_ops: 16,
+            });
+            let (id, _) = monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .unwrap();
+            monitor.destroy_domain(&mut machine, id).unwrap();
+            assert_eq!(
+                monitor.degrade_stage(),
+                DegradeStage::Compacting,
+                "{flavor}: threshold {largest}+1 must not count as healthy"
+            );
+
+            // Exactly at the threshold: the destroy's settle (pool fully
+            // restored) is healthy and promotes back to normal.
+            monitor.set_degradation_policy(DegradationPolicy {
+                promote_after: 1,
+                healthy_free: largest,
+                retry_after_ops: 16,
+            });
+            let (id, _) = monitor
+                .create_domain(&mut machine, 1 << 20, GmsLabel::Slow)
+                .unwrap();
+            monitor.destroy_domain(&mut machine, id).unwrap();
+            assert_eq!(
+                monitor.degrade_stage(),
+                DegradeStage::Normal,
+                "{flavor}: the exact threshold must count as healthy"
+            );
+        }
     }
 
     #[test]

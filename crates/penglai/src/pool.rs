@@ -130,6 +130,13 @@ impl RegionPool {
     pub fn fragments(&self) -> usize {
         self.free.len()
     }
+
+    /// The coalesced `(base, size)` free ranges, sorted by base. The free
+    /// list is canonical (disjoint, coalesced, sorted), so it can be fed
+    /// directly into a state fingerprint.
+    pub fn free_ranges(&self) -> &[(u64, u64)] {
+        &self.free
+    }
 }
 
 #[cfg(test)]

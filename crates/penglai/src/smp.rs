@@ -49,7 +49,13 @@ use hpmp_trace::{
 };
 
 /// N harts, one secure monitor, one physical memory.
-#[derive(Debug)]
+///
+/// `Clone` forks the whole system — monitor, every hart's registers and
+/// caches, the shared physical memory — into an independent copy, which is
+/// what lets the bounded model checker (`hpmp-modelcheck`) backtrack: apply
+/// an op to a fork, explore, discard. Forking panics if the threaded
+/// backend is active (see [`hpmp_machine::MultiHartMachine`]'s `Clone`).
+#[derive(Clone, Debug)]
 pub struct SmpSystem<S: TraceSink = NullSink> {
     mh: MultiHartMachine<S>,
     monitor: SecureMonitor,
@@ -155,6 +161,36 @@ impl<S: TraceSink> SmpSystem<S> {
     pub fn oracle_check_on(&self, hart: u16, addr: PhysAddr, kind: AccessKind) -> bool {
         self.monitor
             .oracle_check_for(self.scheduled(hart), addr, kind)
+    }
+
+    /// A deterministic 64-bit fingerprint of the system's *logical* state:
+    /// every hart's register image, the per-hart scheduling assignment, the
+    /// suppression switch, and the monitor's own state hash
+    /// ([`SecureMonitor::hash_state`]). Cycle counters, metrics and spans
+    /// are deliberately excluded — two states that differ only in
+    /// accounting behave identically under every future op sequence, which
+    /// is exactly the convergence the model checker prunes on.
+    ///
+    /// Stable across runs and platforms (FNV-1a over explicit
+    /// little-endian words), so explored/pruned counts are reproducible.
+    pub fn state_fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = hpmp_memsim::Fnv1a::new();
+        h.write_usize(self.mh.harts());
+        for hart in 0..self.mh.harts() as u16 {
+            let regs = self.mh.peek(hart).regs();
+            h.write_usize(regs.len());
+            for i in 0..regs.len() {
+                h.write_u64(regs.addr_reg(i));
+                h.write_u8(regs.cfg_reg(i).to_bits());
+            }
+        }
+        for d in &self.scheduled {
+            h.write_u32(d.0);
+        }
+        h.write_u8(u8::from(self.suppress_shootdowns));
+        self.monitor.hash_state(&mut h);
+        h.finish()
     }
 
     /// The global simulated clock spans and timeline slices are stamped

@@ -1,0 +1,12 @@
+//! Fuzz target: `CampaignSpec` parse → canonical → parse must be the
+//! identity, and derived shard splits must cover the total. The body
+//! lives in `hpmp_modelcheck::fuzz` so stable-toolchain CI can run it
+//! too.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    hpmp_modelcheck::fuzz::fuzz_campaign_spec(data);
+});

@@ -1,0 +1,11 @@
+//! Fuzz target: every versioned JSON reader must reject arbitrary bytes
+//! with a typed error, never a panic. The body lives in
+//! `hpmp_modelcheck::fuzz` so stable-toolchain CI can run it too.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    hpmp_modelcheck::fuzz::fuzz_json_readers(data);
+});

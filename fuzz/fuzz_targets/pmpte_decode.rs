@@ -1,0 +1,11 @@
+//! Differential fuzz target: pmpte decode must agree with the
+//! parity-checked reference or reject fail-closed. The body lives in
+//! `hpmp_modelcheck::fuzz` so stable-toolchain CI can run it too.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    hpmp_modelcheck::fuzz::fuzz_pmpte_decode(data);
+});

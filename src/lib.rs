@@ -10,6 +10,7 @@ pub use hpmp_analyze as analyze;
 pub use hpmp_core as core;
 pub use hpmp_machine as machine;
 pub use hpmp_memsim as memsim;
+pub use hpmp_modelcheck as modelcheck;
 pub use hpmp_paging as paging;
 pub use hpmp_penglai as penglai;
 pub use hpmp_trace as trace;

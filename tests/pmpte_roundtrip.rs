@@ -1,0 +1,155 @@
+//! Pmpte encode/decode round-trip properties, randomized over the in-repo
+//! [`SplitMix64`] PRNG: every *legal* `RootPmpte`/`LeafPmpte` encoding
+//! must survive encode → decode as the identity, and every *illegal* word
+//! must be rejected fail-closed — decode returns a typed error and
+//! `from_bits(..).is_malformed()` agrees, so a flipped bit can never be
+//! silently reinterpreted as a different grant.
+//!
+//! These are the properties behind the `pmpte_decode` differential fuzz
+//! target; the committed seed corpus in `fuzz/corpus/pmpte_decode/` is
+//! checked through the same body at the end, so the corpus can't rot.
+
+use hpmp_suite::core::{LeafPmpte, MalformedPmpte, RootPmpte};
+use hpmp_suite::memsim::{Perms, PhysAddr, SplitMix64};
+use hpmp_suite::modelcheck::fuzz::fuzz_pmpte_decode;
+
+/// Bits 4–12 and 49–62 of a root pmpte are reserved-zero (Figure 6-c).
+const ROOT_RESERVED: u64 = (0x1ff << 4) | (0x3fff << 49);
+
+fn random_perms(rng: &mut SplitMix64) -> Perms {
+    Perms::from_bits_truncate(rng.gen_range(0..8) as u8)
+}
+
+/// A random legal root pmpte: invalid, a pointer to a random page-aligned
+/// leaf table, or a huge grant with a random non-empty permission set.
+fn random_legal_root(rng: &mut SplitMix64) -> RootPmpte {
+    match rng.gen_range(0..3) {
+        0 => RootPmpte::INVALID,
+        1 => RootPmpte::pointer(PhysAddr::new(rng.gen_range(0..1 << 48) & !0xfff)),
+        _ => RootPmpte::huge(Perms::from_bits_truncate(rng.gen_range(1..8) as u8)),
+    }
+}
+
+/// A random legal leaf pmpte: a splat refined by a handful of per-page
+/// rewrites.
+fn random_legal_leaf(rng: &mut SplitMix64) -> LeafPmpte {
+    let mut leaf = LeafPmpte::splat(random_perms(rng));
+    for _ in 0..rng.gen_range(0..6) {
+        let page = rng.gen_range(0..16) as usize;
+        leaf = leaf.with_perm(page, random_perms(rng));
+    }
+    leaf
+}
+
+#[test]
+fn legal_root_pmptes_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x0071_f00d);
+    for _ in 0..2000 {
+        let entry = random_legal_root(&mut rng);
+        let bits = entry.to_bits();
+        assert_eq!(bits & ROOT_RESERVED, 0, "encoder set reserved bits");
+        assert_eq!(bits.count_ones() % 2, 0, "encoder broke word parity");
+        let back = RootPmpte::decode(bits)
+            .unwrap_or_else(|e| panic!("legal encoding {bits:#018x} rejected: {e:?}"));
+        assert_eq!(back, entry, "decode is not the inverse of encode");
+        assert!(!back.is_malformed());
+        assert_eq!(back.is_valid(), entry.is_valid());
+        assert_eq!(back.is_pointer(), entry.is_pointer());
+        assert_eq!(back.is_huge(), entry.is_huge());
+    }
+}
+
+#[test]
+fn legal_leaf_pmptes_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x1eaf_f00d);
+    for _ in 0..2000 {
+        let entry = random_legal_leaf(&mut rng);
+        let bits = entry.to_bits();
+        let back = LeafPmpte::decode(bits)
+            .unwrap_or_else(|e| panic!("legal encoding {bits:#018x} rejected: {e:?}"));
+        assert_eq!(back, entry, "decode is not the inverse of encode");
+        assert!(!back.is_malformed());
+        for page in 0..16 {
+            assert_eq!(back.perm(page), entry.perm(page));
+        }
+    }
+}
+
+/// Reserved bits reject with the reserved-bits error specifically, before
+/// the parity check can mask the cause.
+#[test]
+fn reserved_root_bits_reject_first() {
+    let mut rng = SplitMix64::seed_from_u64(0x4e5e_4ed0);
+    for _ in 0..2000 {
+        let bits = random_legal_root(&mut rng).to_bits();
+        let reserved_bit = loop {
+            let b = rng.gen_range(0..64) as u32;
+            if ROOT_RESERVED & (1 << b) != 0 {
+                break b;
+            }
+        };
+        let bad = bits | (1 << reserved_bit);
+        assert_eq!(
+            RootPmpte::decode(bad),
+            Err(MalformedPmpte::ReservedBits(bad)),
+            "reserved bit {reserved_bit} not rejected as reserved"
+        );
+        assert!(RootPmpte::from_bits(bad).is_malformed());
+    }
+}
+
+/// Any single-bit flip of a non-reserved bit breaks the whole-word parity
+/// and must be rejected — this is the fault class `FaultClass::PmpteFlip`
+/// injects and the scrubber catches.
+#[test]
+fn single_bit_flips_of_legal_roots_reject() {
+    let mut rng = SplitMix64::seed_from_u64(0xf11b_0075);
+    for _ in 0..2000 {
+        let bits = random_legal_root(&mut rng).to_bits();
+        let flip = loop {
+            let b = rng.gen_range(0..64) as u32;
+            if ROOT_RESERVED & (1 << b) == 0 {
+                break b;
+            }
+        };
+        let bad = bits ^ (1 << flip);
+        assert_eq!(
+            RootPmpte::decode(bad),
+            Err(MalformedPmpte::ParityMismatch(bad)),
+            "flipped bit {flip} slipped through decode"
+        );
+        assert!(RootPmpte::from_bits(bad).is_malformed());
+    }
+}
+
+/// Leaf nibbles carry their own parity bit, so any single-bit flip is
+/// caught per-nibble.
+#[test]
+fn single_bit_flips_of_legal_leaves_reject() {
+    let mut rng = SplitMix64::seed_from_u64(0xf11b_1eaf);
+    for _ in 0..2000 {
+        let bits = random_legal_leaf(&mut rng).to_bits();
+        let bad = bits ^ (1 << rng.gen_range(0..64));
+        assert!(
+            LeafPmpte::decode(bad).is_err(),
+            "flipped leaf {bad:#018x} slipped through decode"
+        );
+        assert!(LeafPmpte::from_bits(bad).is_malformed());
+    }
+}
+
+/// The committed fuzz seeds stay honest: every file in the corpus runs
+/// through the same differential body the fuzz target wraps.
+#[test]
+fn committed_fuzz_corpus_passes_the_differential_body() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus/pmpte_decode");
+    let mut seeds = 0;
+    for entry in std::fs::read_dir(&dir).expect("corpus dir is committed") {
+        let path = entry.expect("corpus entry").path();
+        if path.is_file() {
+            fuzz_pmpte_decode(&std::fs::read(&path).expect("corpus seed reads"));
+            seeds += 1;
+        }
+    }
+    assert!(seeds >= 4, "corpus shrank to {seeds} seeds");
+}

@@ -4,11 +4,12 @@
 //! monitor's cache-free lockstep oracle — a stale grant on *any* hart is a
 //! silent isolation failure.
 //!
-//! The battery has three parts:
+//! The battery has four parts:
 //!
-//! 1. A property test: 1000 seeded random schedules across 2–4 harts and
-//!    all three flavours, with the fail-closed invariant (`fast grant ⇒
-//!    oracle grant`) checked on every hart after every op.
+//! 1. A property test: seeded random schedules (default 1000, overridable
+//!    via `HPMP_SCHEDULES`) across 2–4 harts and all three flavours, with
+//!    the fail-closed invariant (`fast grant ⇒ oracle grant`) checked on
+//!    every hart after every op.
 //! 2. A meta-test proving the property is *observable*: with shootdown
 //!    delivery suppressed, a remote hart's inlined-TLB grant survives the
 //!    revoke and contradicts the oracle; with delivery on, the same
@@ -16,6 +17,10 @@
 //! 3. A regression for the hole the SMP layer actually closes: destroying
 //!    a domain scheduled on another hart must park that hart in the host,
 //!    not leave it running a corpse's image.
+//! 4. Pinned counterexample schedules harvested from `hpmp-verify bmc
+//!    --plant suppress-shootdown`, replayed in both directions: closed
+//!    with delivery on, reproducing the reported divergence when
+//!    suppressed.
 
 use hpmp_suite::core::{PmpRegion, PmptwCache};
 use hpmp_suite::memsim::{
@@ -89,10 +94,23 @@ fn probes(smp: &SmpSystem<NullSink>, live: &[DomainId]) -> Vec<PhysAddr> {
     probes
 }
 
+/// Number of random schedules the property test runs. `HPMP_SCHEDULES`
+/// overrides the default of 1000 — lower for quick local iteration,
+/// higher for a soak run; the seed is fixed either way, so any count's
+/// prefix is reproducible.
+fn schedule_count() -> u32 {
+    match std::env::var("HPMP_SCHEDULES") {
+        Err(_) => 1000,
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("HPMP_SCHEDULES must be a count, got `{v}`")),
+    }
+}
+
 #[test]
 fn randomized_schedules_never_diverge_from_the_oracle() {
     let mut rng = SplitMix64::seed_from_u64(0x5100_7d01);
-    for case in 0..1000u32 {
+    for case in 0..schedule_count() {
         let flavor = FLAVORS[rng.gen_range(0..3) as usize];
         let harts = 2 + rng.gen_range(0..3) as usize; // 2..=4
         let mut smp = boot(flavor, harts);
@@ -280,6 +298,65 @@ fn delivered_shootdown_revokes_the_remote_grant() {
     let probes = [data.base];
     assert_no_divergence(&mut smp, &probes, "post-shootdown");
     smp.verify_accounting().expect("accounting stays coherent");
+}
+
+/// Counterexample schedules harvested from `hpmp-verify bmc --flavor pmp
+/// --plant suppress-shootdown --seed-out`, pinned as regressions. Each is
+/// replayed in both directions against the same 128 MiB 2-hart boot the
+/// checker used: with delivery on, the monitor must close the window (no
+/// divergence anywhere); with delivery suppressed, the schedule must
+/// reproduce a grant-where-oracle-denies — proving the pinned text still
+/// drives the hole the checker reported, not a vacuous replay.
+///
+/// PMP flavour, because that is where the register *image* itself goes
+/// stale; the table flavours share permission tables in physical memory,
+/// so suppression there only leaves cached (non-architectural) staleness.
+const PINNED_BMC_COUNTEREXAMPLES: [&str; 3] = [
+    // The minimal (depth-1) counterexample: creating an enclave carves a
+    // deny out of the host's image; unshot, hart 1 keeps the stale grant.
+    "h0:create",
+    // Widening the carve: a second region allocated to the enclave adds
+    // a second deny hart 1 never receives.
+    "h0:create h0:alloc(1,fast)",
+    // Revoke staleness under pressure placement: a compaction-sized
+    // allocation then its free, with the revoke never delivered.
+    "h0:create h0:alloc(1,slow,big) h0:free(1,1)",
+];
+
+#[test]
+fn pinned_bmc_counterexamples_stay_closed() {
+    use hpmp_suite::modelcheck::bmc::{boot_system, fail_closed_violation, BmcConfig, Plant};
+    use hpmp_suite::modelcheck::Schedule;
+
+    let config = BmcConfig {
+        flavor: TeeFlavor::PenglaiPmp,
+        ..BmcConfig::default()
+    };
+    for text in PINNED_BMC_COUNTEREXAMPLES {
+        let sched = Schedule::parse(text).expect("pinned schedule parses");
+
+        // Delivery on: every hart converges after every op.
+        let mut smp = boot_system(&config);
+        sched.run(&mut smp).expect("pinned schedule replays");
+        assert!(
+            fail_closed_violation(&mut smp).is_none(),
+            "`{text}` must not diverge with shootdown delivery on"
+        );
+
+        // Suppressed: the divergence the checker reported must reproduce.
+        let mut smp = boot_system(&BmcConfig {
+            plant: Plant::SuppressShootdowns,
+            ..config
+        });
+        sched.run(&mut smp).expect("pinned schedule replays");
+        let (hart, addr) = fail_closed_violation(&mut smp)
+            .unwrap_or_else(|| panic!("`{text}` must reproduce its stale grant when suppressed"));
+        assert!(
+            hart > 0,
+            "`{text}`: the issuing hart shot itself down locally"
+        );
+        assert_ne!(addr, 0);
+    }
 }
 
 /// Regression: destroying a domain that is scheduled on a different hart.
